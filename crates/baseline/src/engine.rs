@@ -1,0 +1,374 @@
+//! The user-space DB engine with bolt-on GDPR checks.
+
+use crate::error::BaselineError;
+use parking_lot::Mutex;
+use rgpdos_blockdev::BlockDevice;
+use rgpdos_core::{PurposeId, Row, SubjectId};
+use rgpdos_fs::FileFs;
+use rgpdos_kernel::{LsmPolicy, Machine};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Identifier of a record stored by the baseline engine.
+pub type RecordId = u64;
+
+/// Counters kept by the baseline engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Records inserted.
+    pub inserts: u64,
+    /// Records returned by consent-checked queries.
+    pub returned: u64,
+    /// Records withheld by the application-level consent check.
+    pub withheld: u64,
+    /// Records deleted.
+    pub deletes: u64,
+    /// Direct (check-bypassing) accesses that succeeded.
+    pub bypasses: u64,
+}
+
+/// A user-space record store with application-level GDPR checks, running on
+/// a conventional OS configuration: the Fig. 2 architecture.
+#[derive(Debug)]
+pub struct UserspaceDbEngine<D> {
+    fs: FileFs<D>,
+    machine: Arc<Machine>,
+    state: Mutex<EngineState>,
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    tables: BTreeSet<String>,
+    /// Application-level consent registry: (subject, purpose) pairs that are
+    /// allowed.  This is the "GDPR inside the DB engine" part.
+    consents: BTreeMap<(SubjectId, String), bool>,
+    /// Where each record lives: id -> (table, subject).
+    records: BTreeMap<RecordId, (String, SubjectId)>,
+    next_id: RecordId,
+    stats: BaselineStats,
+}
+
+impl<D: BlockDevice> UserspaceDbEngine<D> {
+    /// Creates the engine on a conventionally formatted filesystem and a
+    /// machine running the permissive (non-rgpdOS) mediation policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and machine construction errors.
+    pub fn new(device: D) -> Result<Self, BaselineError> {
+        let fs = FileFs::format_default(device)?;
+        let machine = Machine::builder()
+            .cpus(4)
+            .memory_mb(4096)
+            .io_device("nvme0")
+            .lsm_policy(LsmPolicy::conventional())
+            .build()
+            .expect("default baseline machine configuration is valid");
+        fs.create_dir("/db")?;
+        Ok(Self {
+            fs,
+            machine: Arc::new(machine),
+            state: Mutex::new(EngineState::default()),
+        })
+    }
+
+    /// The conventional machine the engine runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The filesystem the engine stores records on.
+    pub fn fs(&self) -> &FileFs<D> {
+        &self.fs
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BaselineStats {
+        self.state.lock().stats
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create_table(&self, table: &str) -> Result<(), BaselineError> {
+        self.fs.create_dir(&format!("/db/{table}"))?;
+        self.state.lock().tables.insert(table.to_owned());
+        Ok(())
+    }
+
+    /// Records whether `subject` consents to `purpose` (the application-level
+    /// consent registry).
+    pub fn set_consent(&self, subject: SubjectId, purpose: &PurposeId, allowed: bool) {
+        self.state
+            .lock()
+            .consents
+            .insert((subject, purpose.to_string()), allowed);
+    }
+
+    /// Inserts a record.  The engine also appends the record to its own
+    /// write-ahead log, as real DB engines do — one of the two places deleted
+    /// data will survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::UnknownTable`] and filesystem errors.
+    pub fn insert(
+        &self,
+        table: &str,
+        subject: SubjectId,
+        row: &Row,
+    ) -> Result<RecordId, BaselineError> {
+        let mut state = self.state.lock();
+        if !state.tables.contains(table) {
+            return Err(BaselineError::UnknownTable {
+                table: table.to_owned(),
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        let payload = serde_json::to_vec(&(subject.raw(), row)).map_err(|e| {
+            BaselineError::Corrupt {
+                what: e.to_string(),
+            }
+        })?;
+        let path = format!("/db/{table}/{id}.rec");
+        self.fs.create(&path)?;
+        self.fs.write(&path, &payload)?;
+        // Application-level WAL, append-only.
+        let wal = format!("/db/{table}/wal.log");
+        if !self.fs.exists(&wal) {
+            self.fs.create(&wal)?;
+        }
+        self.fs.append(&wal, &payload)?;
+        self.fs.append(&wal, b"\n")?;
+        state.records.insert(id, (table.to_owned(), subject));
+        state.stats.inserts += 1;
+        Ok(id)
+    }
+
+    /// Consent-checked query: returns the records of `table` whose subject
+    /// consented to `purpose`.  This is the engine doing its best — the
+    /// checks are real, they are simply not backed by the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::UnknownTable`] and filesystem errors.
+    pub fn query(
+        &self,
+        table: &str,
+        purpose: &PurposeId,
+    ) -> Result<Vec<(RecordId, Row)>, BaselineError> {
+        let entries: Vec<(RecordId, SubjectId)> = {
+            let state = self.state.lock();
+            if !state.tables.contains(table) {
+                return Err(BaselineError::UnknownTable {
+                    table: table.to_owned(),
+                });
+            }
+            state
+                .records
+                .iter()
+                .filter(|(_, (t, _))| t == table)
+                .map(|(id, (_, subject))| (*id, *subject))
+                .collect()
+        };
+        let mut out = Vec::new();
+        for (id, subject) in entries {
+            let allowed = {
+                let state = self.state.lock();
+                *state
+                    .consents
+                    .get(&(subject, purpose.to_string()))
+                    .unwrap_or(&false)
+            };
+            let mut state = self.state.lock();
+            if allowed {
+                state.stats.returned += 1;
+                drop(state);
+                out.push((id, self.read_record(table, id)?.1));
+            } else {
+                state.stats.withheld += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The cross-purpose leak of Fig. 2: a function running in the same
+    /// address space reads a record directly, bypassing the engine's consent
+    /// check entirely.  Nothing in the conventional OS stops it — the call
+    /// succeeds whatever the consent registry says.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::UnknownRecord`] and filesystem errors.
+    pub fn direct_access_bypassing_consent(
+        &self,
+        table: &str,
+        id: RecordId,
+    ) -> Result<Row, BaselineError> {
+        let row = self.read_record(table, id)?.1;
+        self.state.lock().stats.bypasses += 1;
+        Ok(row)
+    }
+
+    /// Deletes a record the way conventional engines do: the record file is
+    /// removed, the WAL is left alone, and the filesystem journal retains
+    /// whatever it retains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::UnknownRecord`] and filesystem errors.
+    pub fn delete(&self, table: &str, id: RecordId) -> Result<(), BaselineError> {
+        {
+            let state = self.state.lock();
+            if !state.records.contains_key(&id) {
+                return Err(BaselineError::UnknownRecord { id });
+            }
+        }
+        self.fs.remove(&format!("/db/{table}/{id}.rec"))?;
+        let mut state = self.state.lock();
+        state.records.remove(&id);
+        state.stats.deletes += 1;
+        Ok(())
+    }
+
+    /// A best-effort right-of-access export: the engine can only export what
+    /// it knows, with whatever keys it happens to use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn export_subject(&self, subject: SubjectId) -> Result<Vec<(RecordId, Row)>, BaselineError> {
+        let entries: Vec<(RecordId, String)> = {
+            let state = self.state.lock();
+            state
+                .records
+                .iter()
+                .filter(|(_, (_, s))| *s == subject)
+                .map(|(id, (table, _))| (*id, table.clone()))
+                .collect()
+        };
+        let mut out = Vec::new();
+        for (id, table) in entries {
+            out.push((id, self.read_record(&table, id)?.1));
+        }
+        Ok(out)
+    }
+
+    /// Number of live records.
+    pub fn record_count(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    fn read_record(&self, table: &str, id: RecordId) -> Result<(SubjectId, Row), BaselineError> {
+        let path = format!("/db/{table}/{id}.rec");
+        if !self.fs.exists(&path) {
+            return Err(BaselineError::UnknownRecord { id });
+        }
+        let bytes = self.fs.read(&path)?;
+        let (subject_raw, row): (u64, Row) =
+            serde_json::from_slice(&bytes).map_err(|e| BaselineError::Corrupt {
+                what: e.to_string(),
+            })?;
+        Ok((SubjectId::new(subject_raw), row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_blockdev::{scan_for_pattern, MemDevice};
+
+    fn engine() -> UserspaceDbEngine<Arc<MemDevice>> {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let engine = UserspaceDbEngine::new(device).unwrap();
+        engine.create_table("users").unwrap();
+        engine
+    }
+
+    fn row(name: &str) -> Row {
+        Row::new().with("name", name).with("year_of_birthdate", 1990i64)
+    }
+
+    #[test]
+    fn insert_query_respects_app_level_consent() {
+        let engine = engine();
+        let purpose = PurposeId::from("marketing");
+        engine.insert("users", SubjectId::new(1), &row("Allowed")).unwrap();
+        engine.insert("users", SubjectId::new(2), &row("Refused")).unwrap();
+        engine.set_consent(SubjectId::new(1), &purpose, true);
+        engine.set_consent(SubjectId::new(2), &purpose, false);
+        let results = engine.query("users", &purpose).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1.get("name").unwrap().as_text(), Some("Allowed"));
+        let stats = engine.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.returned, 1);
+        assert_eq!(stats.withheld, 1);
+        assert!(matches!(
+            engine.query("ghost", &purpose),
+            Err(BaselineError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            engine.insert("ghost", SubjectId::new(1), &row("X")),
+            Err(BaselineError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn consent_check_is_bypassable_in_the_baseline() {
+        // Fig. 2's first weakness: the enforcement lives in the same address
+        // space as the application, so a "function that should not access
+        // some PD could still gain access to them".
+        let engine = engine();
+        let purpose = PurposeId::from("purpose2");
+        let id = engine.insert("users", SubjectId::new(1), &row("Private")).unwrap();
+        engine.set_consent(SubjectId::new(1), &purpose, false);
+        // The consent-checked path withholds the record...
+        assert!(engine.query("users", &purpose).unwrap().is_empty());
+        // ...but the direct path reads it anyway, and the conventional OS
+        // does not object.
+        let leaked = engine.direct_access_bypassing_consent("users", id).unwrap();
+        assert_eq!(leaked.get("name").unwrap().as_text(), Some("Private"));
+        assert_eq!(engine.stats().bypasses, 1);
+        assert!(!engine.machine().lsm_policy().is_strict());
+    }
+
+    #[test]
+    fn deleted_records_survive_on_the_raw_device() {
+        // Fig. 2's second weakness: the filesystem journal and the engine's
+        // WAL keep the bytes after a delete.
+        let engine = engine();
+        let id = engine
+            .insert("users", SubjectId::new(1), &row("RESIDUE-CANARY-42"))
+            .unwrap();
+        engine.delete("users", id).unwrap();
+        assert_eq!(engine.record_count(), 0);
+        assert!(matches!(
+            engine.delete("users", id),
+            Err(BaselineError::UnknownRecord { .. })
+        ));
+        let hits = scan_for_pattern(engine.fs().device().as_ref(), b"RESIDUE-CANARY-42").unwrap();
+        assert!(
+            !hits.is_empty(),
+            "the baseline must exhibit the residue the paper describes"
+        );
+    }
+
+    #[test]
+    fn export_subject_returns_their_records() {
+        let engine = engine();
+        engine.insert("users", SubjectId::new(1), &row("Mine")).unwrap();
+        engine.insert("users", SubjectId::new(2), &row("Theirs")).unwrap();
+        let export = engine.export_subject(SubjectId::new(1)).unwrap();
+        assert_eq!(export.len(), 1);
+        assert_eq!(export[0].1.get("name").unwrap().as_text(), Some("Mine"));
+        assert!(engine.export_subject(SubjectId::new(9)).unwrap().is_empty());
+        assert!(matches!(
+            engine.direct_access_bypassing_consent("users", 999),
+            Err(BaselineError::UnknownRecord { .. })
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type of the baseline engine.
+
+use rgpdos_fs::FsError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the baseline user-space DB engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The filesystem underneath failed.
+    Fs(FsError),
+    /// The table does not exist.
+    UnknownTable {
+        /// The missing table.
+        table: String,
+    },
+    /// The record does not exist.
+    UnknownRecord {
+        /// The missing record.
+        id: u64,
+    },
+    /// A stored record could not be decoded.
+    Corrupt {
+        /// What failed to decode.
+        what: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Fs(e) => write!(f, "filesystem error: {e}"),
+            BaselineError::UnknownTable { table } => write!(f, "unknown table `{table}`"),
+            BaselineError::UnknownRecord { id } => write!(f, "unknown record {id}"),
+            BaselineError::Corrupt { what } => write!(f, "corrupt stored record: {what}"),
+        }
+    }
+}
+
+impl StdError for BaselineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BaselineError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for BaselineError {
+    fn from(e: FsError) -> Self {
+        BaselineError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(BaselineError::from(FsError::BadPath { path: "//".into() })
+            .source()
+            .is_some());
+        for e in [
+            BaselineError::UnknownTable { table: "t".into() },
+            BaselineError::UnknownRecord { id: 1 },
+            BaselineError::Corrupt { what: "json".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # rgpdos-baseline — the state-of-the-art comparator of Fig. 2
+//!
+//! The paper positions rgpdOS against the existing operational approaches
+//! (Shastri et al., Schwarzkopf et al.): GDPR compliance implemented **inside
+//! the application's DB engine in userspace**, running on a general-purpose
+//! OS and a conventional file-based filesystem.  Fig. 2 lists the two
+//! structural weaknesses of that architecture:
+//!
+//! 1. it is *application-specific* and the process brings personal data into
+//!    its own address space, so a function that should not see some data can
+//!    still reach it (the `f2` accidentally reading `pd2` scenario — e.g.
+//!    through a use-after-free or simply a missing check);
+//! 2. the OS underneath can contradict the engine: the filesystem's journal
+//!    and the engine's own write-ahead log keep bytes the engine believes it
+//!    has deleted, breaking the right to be forgotten.
+//!
+//! [`UserspaceDbEngine`] implements exactly that architecture over
+//! [`rgpdos_fs`] and a conventionally configured purpose-kernel machine, so
+//! the experiments can measure both weaknesses and compare against rgpdOS on
+//! the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+
+pub use engine::{BaselineStats, RecordId, UserspaceDbEngine};
+pub use error::BaselineError;

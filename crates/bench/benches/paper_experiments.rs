@@ -1,0 +1,242 @@
+//! Criterion benchmarks backing the experiment index of `DESIGN.md`.
+//!
+//! One benchmark group per experiment id; the `experiments` binary prints the
+//! corresponding series in the paper's format.  Sample sizes are kept small
+//! because every iteration runs a full simulated stack.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rgpdos::prelude::*;
+use rgpdos::workloads::penalties::{dataset, top_sectors, totals_by_year};
+use rgpdos::workloads::WorkloadMix;
+use rgpdos_bench::{
+    baseline_scenario, rgpdos_scenario, run_mix_on_baseline, run_mix_on_rgpdos, BENCH_PURPOSE,
+};
+use std::time::Duration as StdDuration;
+
+/// F1 — Figure 1: penalty aggregation.
+fn fig1_penalty_aggregation(c: &mut Criterion) {
+    let records = dataset();
+    let mut group = c.benchmark_group("fig1_penalty_aggregation");
+    group.sample_size(20);
+    group.bench_function("totals_by_year", |b| {
+        b.iter(|| totals_by_year(std::hint::black_box(&records)))
+    });
+    group.bench_function("top5_sectors", |b| {
+        b.iter(|| top_sectors(std::hint::black_box(&records), 5))
+    });
+    group.finish();
+}
+
+/// F2 — Figure 2: baseline operations (insert + consent-checked query + delete).
+fn fig2_baseline_failures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_baseline");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(5));
+    group.bench_function("consent_checked_query_100", |b| {
+        let scenario = baseline_scenario(100, 0.75);
+        b.iter(|| scenario.engine.query("user", &BENCH_PURPOSE.into()).unwrap())
+    });
+    group.bench_function("delete_with_residue", |b| {
+        b.iter_batched(
+            || baseline_scenario(20, 1.0),
+            |scenario| scenario.engine.delete("user", scenario.records[0]).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// F3 — Figure 3: the same operations under rgpdOS enforcement.
+fn fig3_rgpdos_enforcement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_rgpdos");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(8));
+    group.bench_function("membrane_filtered_invoke_100", |b| {
+        let scenario = rgpdos_scenario(100, 0.75, DbfsParams::secure());
+        b.iter(|| {
+            scenario
+                .os
+                .invoke(scenario.compute_age, InvokeRequest::whole_type())
+                .unwrap()
+        })
+    });
+    group.bench_function("crypto_erase_one_subject", |b| {
+        b.iter_batched(
+            || rgpdos_scenario(20, 1.0, DbfsParams::secure()),
+            |scenario| {
+                scenario
+                    .os
+                    .right_to_be_forgotten(scenario.population[0].subject)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// F4 — Figure 4: the full ps_invoke → DED pipeline as a function of the
+/// population size.
+fn fig4_ded_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_ded_pipeline");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(10));
+    for &subjects in &[50usize, 200, 500] {
+        let scenario = rgpdos_scenario(subjects, 0.75, DbfsParams::secure());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subjects),
+            &subjects,
+            |b, _| {
+                b.iter(|| {
+                    scenario
+                        .os
+                        .invoke(scenario.compute_age, InvokeRequest::whole_type())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// C2 — erasure latency (collect + crypto-erase cycle).
+fn c2_erasure_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_erasure");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(8));
+    group.bench_function("collect_then_erase_one_record", |b| {
+        b.iter_batched(
+            || rgpdos_scenario(5, 1.0, DbfsParams::secure()),
+            |scenario| {
+                let subject = SubjectId::new(10_000);
+                scenario
+                    .os
+                    .collect(
+                        "user",
+                        subject,
+                        Row::new()
+                            .with("name", "cycle-subject")
+                            .with("pwd", "pw")
+                            .with("year_of_birthdate", 1990i64),
+                    )
+                    .unwrap();
+                scenario.os.right_to_be_forgotten(subject).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// C3 — right of access export.
+fn c3_access_export(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_access_export");
+    group.sample_size(10);
+    let scenario = rgpdos_scenario(200, 0.8, DbfsParams::secure());
+    scenario
+        .os
+        .invoke(scenario.compute_age, InvokeRequest::whole_type())
+        .unwrap();
+    let subject = scenario.population[5].subject;
+    group.bench_function("right_of_access_200_subjects", |b| {
+        b.iter(|| scenario.os.right_of_access(subject).unwrap().to_json().unwrap())
+    });
+    group.finish();
+}
+
+/// C4 — overhead versus the baseline on the controller mix.
+fn c4_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_overhead_controller_mix");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(12));
+    group.bench_function("baseline_50_ops", |b| {
+        b.iter_batched(
+            || baseline_scenario(50, 0.75),
+            |scenario| run_mix_on_baseline(&scenario, &WorkloadMix::controller(), 50),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rgpdos_50_ops", |b| {
+        b.iter_batched(
+            || rgpdos_scenario(50, 0.75, DbfsParams::secure()),
+            |scenario| run_mix_on_rgpdos(&scenario, &WorkloadMix::controller(), 50),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// C5 — membrane filtering scalability.
+fn c5_membrane_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_membrane_scaling");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(10));
+    for &records in &[100usize, 1_000] {
+        let scenario = rgpdos_scenario(records, 0.6, DbfsParams::secure());
+        let purpose = rgpdos::core::PurposeId::from(BENCH_PURPOSE);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            b.iter(|| {
+                let now = scenario.os.clock().now();
+                let membranes = scenario.os.dbfs().load_membranes(&"user".into()).unwrap();
+                membranes
+                    .iter()
+                    .filter(|(_, m)| m.permits_at(&purpose, now).allows_any())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A1 — the cost of the secure storage policies (scrubbed journal +
+/// zero-on-free) versus the conventional configuration.
+fn ablation_storage_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_storage_policy");
+    group.sample_size(10);
+    group.measurement_time(StdDuration::from_secs(10));
+    for (name, params) in [("secure", DbfsParams::secure()), ("insecure", DbfsParams::insecure())] {
+        group.bench_function(format!("collect_20_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let os = RgpdOs::builder()
+                        .device_blocks(16_384)
+                        .block_size(512)
+                        .dbfs_params(params)
+                        .boot()
+                        .unwrap();
+                    os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
+                    os
+                },
+                |os| {
+                    for i in 0..20u64 {
+                        os.collect(
+                            "user",
+                            SubjectId::new(i),
+                            Row::new()
+                                .with("name", format!("s{i}"))
+                                .with("pwd", "pw")
+                                .with("year_of_birthdate", 1990i64),
+                        )
+                        .unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_penalty_aggregation,
+    fig2_baseline_failures,
+    fig3_rgpdos_enforcement,
+    fig4_ded_pipeline,
+    c2_erasure_latency,
+    c3_access_export,
+    c4_overhead,
+    c5_membrane_scaling,
+    ablation_storage_policy,
+);
+criterion_main!(benches);

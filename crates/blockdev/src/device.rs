@@ -1,0 +1,134 @@
+//! The [`BlockDevice`] trait and device geometry.
+
+use crate::error::DeviceError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Size and shape of a block device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceGeometry {
+    /// Number of blocks on the device.
+    pub blocks: u64,
+    /// Size of one block in bytes.
+    pub block_size: usize,
+}
+
+impl DeviceGeometry {
+    /// Creates a geometry description.
+    pub fn new(blocks: u64, block_size: usize) -> Self {
+        Self { blocks, block_size }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.blocks * self.block_size as u64
+    }
+}
+
+impl fmt::Display for DeviceGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} blocks x {} B", self.blocks, self.block_size)
+    }
+}
+
+/// A (simulated) block device.
+///
+/// All methods take `&self`: devices are internally synchronised so that the
+/// filesystems above them can be shared across simulated kernel tasks.
+pub trait BlockDevice: Send + Sync {
+    /// The device geometry.
+    fn geometry(&self) -> DeviceGeometry;
+
+    /// Reads one block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] if `block` is beyond the device.
+    fn read_block(&self, block: u64) -> Result<Vec<u8>, DeviceError>;
+
+    /// Writes one block.  The buffer must be exactly one block long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] or [`DeviceError::BadBufferSize`].
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<(), DeviceError>;
+
+    /// Flushes any volatile state to "stable storage".
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures (fault injection, crashed device).
+    fn flush(&self) -> Result<(), DeviceError>;
+
+    /// Convenience: number of blocks.
+    fn block_count(&self) -> u64 {
+        self.geometry().blocks
+    }
+
+    /// Convenience: block size in bytes.
+    fn block_size(&self) -> usize {
+        self.geometry().block_size
+    }
+
+    /// Reads the whole device as one byte vector.
+    ///
+    /// This models a *forensic raw scan* of the medium — it deliberately
+    /// bypasses any filesystem on top and is used by the residue experiments
+    /// (F2/C2) to check whether "deleted" personal data still exists on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    fn raw_dump(&self) -> Result<Vec<u8>, DeviceError> {
+        let geometry = self.geometry();
+        let mut out = Vec::with_capacity(geometry.capacity_bytes() as usize);
+        for block in 0..geometry.blocks {
+            out.extend_from_slice(&self.read_block(block)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
+    fn geometry(&self) -> DeviceGeometry {
+        (**self).geometry()
+    }
+
+    fn read_block(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        (**self).read_block(block)
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<(), DeviceError> {
+        (**self).write_block(block, data)
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+
+    #[test]
+    fn geometry_capacity() {
+        let g = DeviceGeometry::new(16, 4096);
+        assert_eq!(g.capacity_bytes(), 65_536);
+        assert_eq!(g.to_string(), "16 blocks x 4096 B");
+    }
+
+    #[test]
+    fn arc_device_is_a_device() {
+        let device = Arc::new(MemDevice::new(4, 64));
+        device.write_block(0, &[7u8; 64]).unwrap();
+        assert_eq!(device.read_block(0).unwrap()[0], 7);
+        assert_eq!(device.block_count(), 4);
+        assert_eq!(device.block_size(), 64);
+        device.flush().unwrap();
+        let dump = device.raw_dump().unwrap();
+        assert_eq!(dump.len(), 256);
+        assert_eq!(dump[0], 7);
+    }
+}

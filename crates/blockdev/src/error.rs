@@ -1,0 +1,70 @@
+//! Error type of the block-device substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by simulated block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A block index beyond the end of the device was accessed.
+    OutOfRange {
+        /// The requested block.
+        block: u64,
+        /// The number of blocks on the device.
+        capacity: u64,
+    },
+    /// A buffer of the wrong size was supplied to a write.
+    BadBufferSize {
+        /// The supplied length.
+        got: usize,
+        /// The device block size.
+        expected: usize,
+    },
+    /// The fault-injection plan decided this operation fails.
+    InjectedFault {
+        /// Which operation failed.
+        operation: &'static str,
+        /// The operation index at which the fault triggered.
+        at_op: u64,
+    },
+    /// The device was shut down (simulated crash) and no longer accepts I/O.
+    DeviceDown,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} is out of range (device has {capacity} blocks)")
+            }
+            DeviceError::BadBufferSize { got, expected } => {
+                write!(f, "buffer of {got} bytes does not match block size {expected}")
+            }
+            DeviceError::InjectedFault { operation, at_op } => {
+                write!(f, "injected fault on {operation} at operation {at_op}")
+            }
+            DeviceError::DeviceDown => f.write_str("device is down"),
+        }
+    }
+}
+
+impl StdError for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            DeviceError::OutOfRange { block: 9, capacity: 4 },
+            DeviceError::BadBufferSize { got: 1, expected: 512 },
+            DeviceError::InjectedFault { operation: "write", at_op: 3 },
+            DeviceError::DeviceDown,
+        ] {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn StdError = &e;
+        }
+    }
+}

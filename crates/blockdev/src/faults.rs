@@ -1,0 +1,170 @@
+//! Fault injection: simulated crashes and failing writes.
+//!
+//! The inode layer's journal recovery (and DBFS's durability claims) are
+//! tested by letting the device "crash" after a configurable number of
+//! writes, then remounting the filesystem and checking invariants.
+
+use crate::device::{BlockDevice, DeviceGeometry};
+use crate::error::DeviceError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// When (and how) the device should start failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Never fail.
+    None,
+    /// Every operation fails once the total write count reaches `n`
+    /// (simulates a sudden power loss after the n-th write).
+    CrashAfterWrites(u64),
+    /// Write number `n` (0-based) silently writes only the first half of the
+    /// block (a torn write), subsequent operations succeed normally.
+    TornWriteAt(u64),
+}
+
+/// Wraps a device with a fault plan.
+#[derive(Debug)]
+pub struct FaultyDevice<D> {
+    inner: D,
+    plan: FaultPlan,
+    writes_seen: AtomicU64,
+    down: AtomicBool,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            writes_seen: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Returns `true` once the simulated crash has happened.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Brings a crashed device back up (models a reboot: the data already on
+    /// the medium is preserved, in-flight operations were lost).
+    pub fn revive(&self) {
+        self.down.store(false, Ordering::SeqCst);
+    }
+
+    /// Number of writes observed so far.
+    pub fn writes_seen(&self) -> u64 {
+        self.writes_seen.load(Ordering::SeqCst)
+    }
+
+    /// Gives access to the wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn geometry(&self) -> DeviceGeometry {
+        self.inner.geometry()
+    }
+
+    fn read_block(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        if self.is_down() {
+            return Err(DeviceError::DeviceDown);
+        }
+        self.inner.read_block(block)
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<(), DeviceError> {
+        if self.is_down() {
+            return Err(DeviceError::DeviceDown);
+        }
+        let n = self.writes_seen.fetch_add(1, Ordering::SeqCst);
+        match self.plan {
+            FaultPlan::None => self.inner.write_block(block, data),
+            FaultPlan::CrashAfterWrites(limit) => {
+                if n >= limit {
+                    self.down.store(true, Ordering::SeqCst);
+                    return Err(DeviceError::InjectedFault {
+                        operation: "write",
+                        at_op: n,
+                    });
+                }
+                self.inner.write_block(block, data)
+            }
+            FaultPlan::TornWriteAt(target) => {
+                if n == target {
+                    // Write only the first half of the block, zero the rest.
+                    let mut torn = data.to_vec();
+                    let half = torn.len() / 2;
+                    for byte in &mut torn[half..] {
+                        *byte = 0;
+                    }
+                    self.inner.write_block(block, &torn)?;
+                    return Err(DeviceError::InjectedFault {
+                        operation: "torn-write",
+                        at_op: n,
+                    });
+                }
+                self.inner.write_block(block, data)
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        if self.is_down() {
+            return Err(DeviceError::DeviceDown);
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+
+    #[test]
+    fn no_plan_never_fails() {
+        let d = FaultyDevice::new(MemDevice::new(4, 8), FaultPlan::None);
+        for i in 0..4 {
+            d.write_block(i, &[i as u8; 8]).unwrap();
+        }
+        assert!(!d.is_down());
+        assert_eq!(d.writes_seen(), 4);
+    }
+
+    #[test]
+    fn crash_after_writes() {
+        let d = FaultyDevice::new(MemDevice::new(8, 8), FaultPlan::CrashAfterWrites(2));
+        d.write_block(0, &[1u8; 8]).unwrap();
+        d.write_block(1, &[2u8; 8]).unwrap();
+        assert!(matches!(
+            d.write_block(2, &[3u8; 8]),
+            Err(DeviceError::InjectedFault { .. })
+        ));
+        assert!(d.is_down());
+        // Everything fails while down.
+        assert!(matches!(d.read_block(0), Err(DeviceError::DeviceDown)));
+        assert!(matches!(d.flush(), Err(DeviceError::DeviceDown)));
+        // Reviving preserves the data written before the crash.
+        d.revive();
+        assert_eq!(d.read_block(0).unwrap(), vec![1u8; 8]);
+        assert_eq!(d.read_block(2).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn torn_write() {
+        let d = FaultyDevice::new(MemDevice::new(4, 8), FaultPlan::TornWriteAt(1));
+        d.write_block(0, &[0xFFu8; 8]).unwrap();
+        assert!(matches!(
+            d.write_block(1, &[0xFFu8; 8]),
+            Err(DeviceError::InjectedFault { .. })
+        ));
+        // Torn block: first half written, second half zeroed.
+        assert_eq!(d.read_block(1).unwrap(), vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]);
+        // Device keeps working afterwards.
+        d.write_block(2, &[0xAAu8; 8]).unwrap();
+        assert_eq!(d.inner().touched_blocks(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! In-memory block device.
+
+use crate::device::{BlockDevice, DeviceGeometry};
+use crate::error::DeviceError;
+use parking_lot::RwLock;
+
+/// A block device backed by a `Vec<u8>` per block.
+///
+/// Blocks read before being written return zeroes, like a freshly formatted
+/// disk.
+#[derive(Debug)]
+pub struct MemDevice {
+    geometry: DeviceGeometry,
+    blocks: RwLock<Vec<Option<Vec<u8>>>>,
+}
+
+impl MemDevice {
+    /// Creates a device with `blocks` blocks of `block_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` or `block_size` is zero.
+    pub fn new(blocks: u64, block_size: usize) -> Self {
+        assert!(blocks > 0, "device must have at least one block");
+        assert!(block_size > 0, "block size must be positive");
+        Self {
+            geometry: DeviceGeometry::new(blocks, block_size),
+            blocks: RwLock::new(vec![None; blocks as usize]),
+        }
+    }
+
+    /// Returns the number of blocks that have been written at least once.
+    pub fn touched_blocks(&self) -> usize {
+        self.blocks.read().iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Overwrites every block with zeroes (secure-wipe simulation).
+    pub fn wipe(&self) {
+        let mut blocks = self.blocks.write();
+        for b in blocks.iter_mut() {
+            *b = None;
+        }
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn geometry(&self) -> DeviceGeometry {
+        self.geometry
+    }
+
+    fn read_block(&self, block: u64) -> Result<Vec<u8>, DeviceError> {
+        if block >= self.geometry.blocks {
+            return Err(DeviceError::OutOfRange {
+                block,
+                capacity: self.geometry.blocks,
+            });
+        }
+        let blocks = self.blocks.read();
+        Ok(blocks[block as usize]
+            .clone()
+            .unwrap_or_else(|| vec![0u8; self.geometry.block_size]))
+    }
+
+    fn write_block(&self, block: u64, data: &[u8]) -> Result<(), DeviceError> {
+        if block >= self.geometry.blocks {
+            return Err(DeviceError::OutOfRange {
+                block,
+                capacity: self.geometry.blocks,
+            });
+        }
+        if data.len() != self.geometry.block_size {
+            return Err(DeviceError::BadBufferSize {
+                got: data.len(),
+                expected: self.geometry.block_size,
+            });
+        }
+        self.blocks.write()[block as usize] = Some(data.to_vec());
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_as_zeroes() {
+        let d = MemDevice::new(8, 32);
+        assert_eq!(d.read_block(5).unwrap(), vec![0u8; 32]);
+        assert_eq!(d.touched_blocks(), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let d = MemDevice::new(8, 32);
+        d.write_block(2, &[9u8; 32]).unwrap();
+        assert_eq!(d.read_block(2).unwrap(), vec![9u8; 32]);
+        assert_eq!(d.touched_blocks(), 1);
+    }
+
+    #[test]
+    fn bounds_and_size_checks() {
+        let d = MemDevice::new(8, 32);
+        assert!(matches!(
+            d.read_block(8),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write_block(9, &[0u8; 32]),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write_block(0, &[0u8; 31]),
+            Err(DeviceError::BadBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let d = MemDevice::new(4, 16);
+        d.write_block(0, &[1u8; 16]).unwrap();
+        d.write_block(3, &[2u8; 16]).unwrap();
+        d.wipe();
+        assert_eq!(d.touched_blocks(), 0);
+        assert_eq!(d.read_block(0).unwrap(), vec![0u8; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        MemDevice::new(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        MemDevice::new(1, 0);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_corrupt() {
+        use std::sync::Arc;
+        let d = Arc::new(MemDevice::new(64, 64));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for b in 0..64u64 {
+                        if b % 8 == t {
+                            d.write_block(b, &[t as u8; 64]).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for b in 0..64u64 {
+            let expected = (b % 8) as u8;
+            assert_eq!(d.read_block(b).unwrap(), vec![expected; 64]);
+        }
+    }
+}

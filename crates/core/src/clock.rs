@@ -1,0 +1,290 @@
+//! Deterministic time model.
+//!
+//! rgpdOS needs a notion of time for three purposes: timestamping audit
+//! events, enforcing the *time to live* that the membrane carries (the GDPR
+//! storage-limitation principle), and ordering processing-log entries for the
+//! right of access.  Because the whole machine is simulated, time is logical
+//! and fully deterministic: the [`LogicalClock`] only advances when a
+//! component tells it to.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of seconds in a (non-leap) day, used by the coarse calendar math of
+/// [`TimeToLive`].
+const SECS_PER_DAY: u64 = 24 * 60 * 60;
+/// Number of seconds in a 365-day year.
+const SECS_PER_YEAR: u64 = 365 * SECS_PER_DAY;
+
+/// A point in simulated time, measured in seconds since the machine booted.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The machine boot instant.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from a number of seconds since boot.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Returns the number of seconds since boot.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this timestamp advanced by `d`.
+    pub const fn advanced_by(self, d: Duration) -> Self {
+        Self(self.0 + d.0)
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero when
+    /// `earlier` is in the future.
+    pub const fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+/// A span of simulated time in seconds.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        Self(days * SECS_PER_DAY)
+    }
+
+    /// Creates a duration from 365-day years.
+    pub const fn from_years(years: u64) -> Self {
+        Self(years * SECS_PER_YEAR)
+    }
+
+    /// Returns the duration in seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of two durations.
+    pub const fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// The retention period attached to personal data by its membrane.
+///
+/// The GDPR's storage-limitation principle requires PD to be kept no longer
+/// than necessary; Listing 1 of the paper expresses it as `age: 1Y`.  The
+/// special value [`TimeToLive::Unbounded`] models PD kept under a legal
+/// obligation (the paper's "legal investigations" case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeToLive {
+    /// The data may be retained indefinitely (requires a legal basis).
+    Unbounded,
+    /// The data expires after the given duration from its collection time.
+    Bounded(Duration),
+}
+
+impl TimeToLive {
+    /// Convenience constructor: a TTL of `n` 365-day years.
+    pub const fn years(n: u64) -> Self {
+        TimeToLive::Bounded(Duration::from_years(n))
+    }
+
+    /// Convenience constructor: a TTL of `n` days.
+    pub const fn days(n: u64) -> Self {
+        TimeToLive::Bounded(Duration::from_days(n))
+    }
+
+    /// Convenience constructor: a TTL of `n` seconds.
+    pub const fn seconds(n: u64) -> Self {
+        TimeToLive::Bounded(Duration::from_secs(n))
+    }
+
+    /// Returns `true` if data collected at `collected_at` has outlived its
+    /// retention period at time `now`.
+    pub fn is_expired(&self, collected_at: Timestamp, now: Timestamp) -> bool {
+        match self {
+            TimeToLive::Unbounded => false,
+            TimeToLive::Bounded(d) => now.since(collected_at) > *d,
+        }
+    }
+
+    /// Returns the instant at which data collected at `collected_at` expires,
+    /// or `None` for unbounded retention.
+    pub fn expires_at(&self, collected_at: Timestamp) -> Option<Timestamp> {
+        match self {
+            TimeToLive::Unbounded => None,
+            TimeToLive::Bounded(d) => Some(collected_at.advanced_by(*d)),
+        }
+    }
+}
+
+impl Default for TimeToLive {
+    fn default() -> Self {
+        // Default to one year, the value used by Listing 1; an explicit
+        // unbounded retention must be an opt-in decision by the sysadmin.
+        TimeToLive::years(1)
+    }
+}
+
+impl fmt::Display for TimeToLive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeToLive::Unbounded => f.write_str("unbounded"),
+            TimeToLive::Bounded(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// A monotonically increasing, manually advanced clock.
+///
+/// The clock is shared (via `Arc`) between the kernel, DBFS and the rights
+/// engine so that every component observes the same notion of "now".  It is
+/// thread-safe: `advance` and `now` use atomic operations.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    now: AtomicU64,
+}
+
+impl LogicalClock {
+    /// Creates a clock at `t+0s`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at the given instant.
+    pub fn starting_at(start: Timestamp) -> Self {
+        Self {
+            now: AtomicU64::new(start.as_secs()),
+        }
+    }
+
+    /// Returns the current simulated instant.
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_secs(self.now.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        let new = self.now.fetch_add(d.as_secs(), Ordering::SeqCst) + d.as_secs();
+        Timestamp::from_secs(new)
+    }
+
+    /// Ticks the clock by one second and returns the new instant.
+    pub fn tick(&self) -> Timestamp {
+        self.advance(Duration::from_secs(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!(t.advanced_by(Duration::from_secs(5)), Timestamp::from_secs(15));
+        assert_eq!(Timestamp::from_secs(15).since(t), Duration::from_secs(5));
+        // `since` saturates rather than underflowing.
+        assert_eq!(t.since(Timestamp::from_secs(15)), Duration::ZERO);
+        assert_eq!(t.to_string(), "t+10s");
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::from_days(2).as_secs(), 2 * 86_400);
+        assert_eq!(Duration::from_years(1).as_secs(), 365 * 86_400);
+        assert_eq!(
+            Duration::from_secs(u64::MAX).saturating_add(Duration::from_secs(1)),
+            Duration::from_secs(u64::MAX)
+        );
+        assert_eq!(Duration::from_secs(3).to_string(), "3s");
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let ttl = TimeToLive::days(30);
+        let collected = Timestamp::from_secs(1_000);
+        assert!(!ttl.is_expired(collected, collected));
+        assert!(!ttl.is_expired(collected, collected.advanced_by(Duration::from_days(30))));
+        assert!(ttl.is_expired(
+            collected,
+            collected.advanced_by(Duration::from_days(30)).advanced_by(Duration::from_secs(1))
+        ));
+        assert_eq!(
+            ttl.expires_at(collected),
+            Some(collected.advanced_by(Duration::from_days(30)))
+        );
+    }
+
+    #[test]
+    fn ttl_unbounded_never_expires() {
+        let ttl = TimeToLive::Unbounded;
+        assert!(!ttl.is_expired(Timestamp::ZERO, Timestamp::from_secs(u64::MAX)));
+        assert_eq!(ttl.expires_at(Timestamp::ZERO), None);
+        assert_eq!(ttl.to_string(), "unbounded");
+    }
+
+    #[test]
+    fn ttl_default_is_one_year() {
+        assert_eq!(TimeToLive::default(), TimeToLive::years(1));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now(), Timestamp::ZERO);
+        assert_eq!(clock.tick(), Timestamp::from_secs(1));
+        assert_eq!(clock.advance(Duration::from_secs(9)), Timestamp::from_secs(10));
+        assert_eq!(clock.now(), Timestamp::from_secs(10));
+        let clock = LogicalClock::starting_at(Timestamp::from_secs(100));
+        assert_eq!(clock.now(), Timestamp::from_secs(100));
+    }
+
+    #[test]
+    fn clock_is_shared_safely() {
+        use std::sync::Arc;
+        let clock = Arc::new(LogicalClock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        c.tick();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now(), Timestamp::from_secs(8_000));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by the core domain model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the core domain model.
+///
+/// Higher-level crates define their own error types and wrap [`CoreError`]
+/// through `From` conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A field type name used in a schema or the DSL is not recognised.
+    UnknownFieldType {
+        /// The unrecognised spelling.
+        name: String,
+    },
+    /// A schema declaration is invalid (duplicate field, empty type, …).
+    InvalidSchema {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A view references a field that the data type does not declare.
+    UnknownViewField {
+        /// The view name.
+        view: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A consent entry references a view that the data type does not declare.
+    UnknownConsentView {
+        /// The purpose whose consent entry is invalid.
+        purpose: String,
+        /// The missing view.
+        view: String,
+    },
+    /// A row does not conform to the schema of its data type.
+    SchemaMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A persisted structure could not be decoded.
+    Corrupt {
+        /// What was being decoded.
+        what: String,
+    },
+    /// A lookup failed (unknown data type, view, field, …).
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// An operation was attempted on personal data that has been erased
+    /// (crypto-erased under the right to be forgotten).
+    Erased {
+        /// Identifier of the erased data, for diagnostics.
+        what: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownFieldType { name } => write!(f, "unknown field type `{name}`"),
+            CoreError::InvalidSchema { reason } => write!(f, "invalid schema: {reason}"),
+            CoreError::UnknownViewField { view, field } => {
+                write!(f, "view `{view}` references unknown field `{field}`")
+            }
+            CoreError::UnknownConsentView { purpose, view } => {
+                write!(f, "consent for purpose `{purpose}` references unknown view `{view}`")
+            }
+            CoreError::SchemaMismatch { reason } => write!(f, "row does not match schema: {reason}"),
+            CoreError::Corrupt { what } => write!(f, "corrupt encoding: {what}"),
+            CoreError::NotFound { what } => write!(f, "not found: {what}"),
+            CoreError::Erased { what } => write!(f, "personal data has been erased: {what}"),
+        }
+    }
+}
+
+impl StdError for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let errors = vec![
+            CoreError::UnknownFieldType { name: "x".into() },
+            CoreError::InvalidSchema { reason: "empty".into() },
+            CoreError::UnknownViewField { view: "v".into(), field: "f".into() },
+            CoreError::UnknownConsentView { purpose: "p".into(), view: "v".into() },
+            CoreError::SchemaMismatch { reason: "missing field".into() },
+            CoreError::Corrupt { what: "row".into() },
+            CoreError::NotFound { what: "type user".into() },
+            CoreError::Erased { what: "pd-1".into() },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            // messages are lowercase without trailing punctuation (C-GOOD-ERR)
+            assert!(!msg.ends_with('.'));
+            let _: &dyn StdError = &e;
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

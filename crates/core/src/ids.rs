@@ -1,0 +1,280 @@
+//! Strongly typed identifiers used across the whole system.
+//!
+//! Every entity manipulated by rgpdOS — subjects, personal data items, data
+//! types, purposes, processings, kernels, tasks, devices — is referred to by
+//! a dedicated newtype so that, for example, a [`SubjectId`] can never be
+//! confused with a [`PdId`] (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! numeric_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the next identifier in sequence.
+            ///
+            /// Used by allocators that hand out identifiers monotonically.
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+macro_rules! string_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates an identifier from any string-like value.
+            pub fn new(name: impl Into<String>) -> Self {
+                Self(name.into())
+            }
+
+            /// Returns the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self(s.to_owned())
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// Identifier of a data subject (the natural person the GDPR protects).
+    SubjectId,
+    "subject-"
+);
+numeric_id!(
+    /// Identifier of one piece of personal data stored in DBFS.
+    PdId,
+    "pd-"
+);
+numeric_id!(
+    /// Identifier of a registered data processing (purpose + implementation).
+    ProcessingId,
+    "proc-"
+);
+numeric_id!(
+    /// Identifier of a sub-kernel in the purpose-kernel machine model.
+    KernelId,
+    "kernel-"
+);
+numeric_id!(
+    /// Identifier of a task (schedulable entity) inside a sub-kernel.
+    TaskId,
+    "task-"
+);
+numeric_id!(
+    /// Identifier of a simulated block device.
+    DeviceId,
+    "dev-"
+);
+
+string_id!(
+    /// Name of a personal-data type (a table of DBFS), e.g. `"user"`.
+    DataTypeId
+);
+string_id!(
+    /// Name of a processing purpose, e.g. `"purpose3"` or `"marketing"`.
+    PurposeId
+);
+string_id!(
+    /// Name of a view defined on a data type, e.g. `"v_ano"`.
+    ViewId
+);
+
+/// Opaque reference to personal data handed back to applications.
+///
+/// The paper requires that the main application *never* manipulates real PD
+/// inside its address space: when a processing wants to return PD, rgpdOS
+/// returns a reference instead (§2, programming model).  A [`PdRef`] carries
+/// enough information for a later `ps_invoke` to name the data, but none of
+/// the data itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PdRef {
+    data_type: DataTypeId,
+    pd: PdId,
+}
+
+impl PdRef {
+    /// Creates a reference to a piece of personal data of the given type.
+    pub fn new(data_type: DataTypeId, pd: PdId) -> Self {
+        Self { data_type, pd }
+    }
+
+    /// The data type (DBFS table) this reference points into.
+    pub fn data_type(&self) -> &DataTypeId {
+        &self.data_type
+    }
+
+    /// The identifier of the referenced personal data.
+    pub fn pd(&self) -> PdId {
+        self.pd
+    }
+}
+
+impl fmt::Display for PdRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.data_type, self.pd)
+    }
+}
+
+/// Monotonic allocator for numeric identifiers.
+///
+/// Shared by DBFS (for [`PdId`]) and the kernel (for [`TaskId`]).  The
+/// allocator is intentionally not thread-safe by itself; wrap it in a lock
+/// where concurrent allocation is needed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an allocator that will hand out `first` as its first value.
+    pub fn starting_at(first: u64) -> Self {
+        Self { next: first }
+    }
+
+    /// Allocates the next raw identifier.
+    pub fn allocate(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Returns the value the next call to [`IdAllocator::allocate`] will return.
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn numeric_ids_round_trip_and_display() {
+        let s = SubjectId::new(42);
+        assert_eq!(s.raw(), 42);
+        assert_eq!(u64::from(s), 42);
+        assert_eq!(SubjectId::from(42), s);
+        assert_eq!(s.to_string(), "subject-42");
+        assert_eq!(s.next(), SubjectId::new(43));
+    }
+
+    #[test]
+    fn numeric_ids_are_ordered() {
+        assert!(PdId::new(1) < PdId::new(2));
+        assert!(TaskId::new(9) > TaskId::new(3));
+    }
+
+    #[test]
+    fn string_ids_round_trip_and_display() {
+        let t = DataTypeId::from("user");
+        assert_eq!(t.as_str(), "user");
+        assert_eq!(t.to_string(), "user");
+        assert_eq!(DataTypeId::new(String::from("user")), t);
+        assert_eq!(t.as_ref(), "user");
+    }
+
+    #[test]
+    fn distinct_id_types_hash_independently() {
+        let mut subjects = HashSet::new();
+        subjects.insert(SubjectId::new(1));
+        subjects.insert(SubjectId::new(1));
+        assert_eq!(subjects.len(), 1);
+    }
+
+    #[test]
+    fn pd_ref_exposes_type_and_id() {
+        let r = PdRef::new(DataTypeId::from("user"), PdId::new(12));
+        assert_eq!(r.data_type().as_str(), "user");
+        assert_eq!(r.pd(), PdId::new(12));
+        assert_eq!(r.to_string(), "user/pd-12");
+    }
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let mut alloc = IdAllocator::new();
+        assert_eq!(alloc.allocate(), 0);
+        assert_eq!(alloc.allocate(), 1);
+        assert_eq!(alloc.peek(), 2);
+        let mut alloc = IdAllocator::starting_at(100);
+        assert_eq!(alloc.allocate(), 100);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", SubjectId::new(0)).is_empty());
+        assert!(!format!("{:?}", DataTypeId::from("")).is_empty());
+        assert!(!format!("{:?}", IdAllocator::new()).is_empty());
+    }
+}

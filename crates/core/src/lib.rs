@@ -1,0 +1,83 @@
+//! # rgpdos-core — shared domain model of the rgpdOS reproduction
+//!
+//! This crate defines the vocabulary shared by every other crate of the
+//! workspace: identifiers for subjects and personal data (PD), the typed
+//! value model, data-type schemas and views, consent, and — most importantly
+//! — the **membrane**, the metadata wrapper that turns passive data into the
+//! *active data* of the paper (§1, Idea 1).
+//!
+//! The crate is deliberately free of any storage, kernel or execution logic;
+//! it only models *what* personal data is, never *where* it lives or *who*
+//! runs code over it.  Higher layers (`rgpdos-dbfs`, `rgpdos-ded`,
+//! `rgpdos-rights`, …) build the enforcement machinery on top of these types.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_core::prelude::*;
+//!
+//! # fn main() -> Result<(), CoreError> {
+//! // Declare the `user` data type of Listing 1 programmatically.
+//! let schema = DataTypeSchema::builder("user")
+//!     .field("name", FieldType::Text)
+//!     .field("pwd", FieldType::Text)
+//!     .field("year_of_birthdate", FieldType::Int)
+//!     .view("v_name", ["name"])
+//!     .view("v_ano", ["year_of_birthdate"])
+//!     .default_consent("purpose1", ConsentDecision::All)
+//!     .default_consent("purpose2", ConsentDecision::None)
+//!     .default_consent("purpose3", ConsentDecision::View("v_ano".into()))
+//!     .origin(Origin::Subject)
+//!     .time_to_live(TimeToLive::years(1))
+//!     .sensitivity(Sensitivity::High)
+//!     .build()?;
+//!
+//! assert_eq!(schema.fields().len(), 3);
+//! let membrane = Membrane::from_schema(&schema, SubjectId::new(7), Timestamp::from_secs(0));
+//! assert!(membrane.permits(&PurposeId::from("purpose1")).allows_any());
+//! assert!(!membrane.permits(&PurposeId::from("purpose2")).allows_any());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod clock;
+pub mod consent;
+pub mod error;
+pub mod ids;
+pub mod membrane;
+pub mod record;
+pub mod schema;
+pub mod value;
+
+pub use audit::{AuditEvent, AuditEventKind, AuditLog};
+pub use clock::{Duration, LogicalClock, TimeToLive, Timestamp};
+pub use consent::{AccessDecision, ConsentDecision, ConsentTable, LegalBasis};
+pub use error::CoreError;
+pub use ids::{
+    DataTypeId, DeviceId, KernelId, PdId, PdRef, ProcessingId, PurposeId, SubjectId, TaskId,
+    ViewId,
+};
+pub use membrane::{CollectionMethod, Membrane, MembraneDelta, Origin, Sensitivity};
+pub use record::{PdRecord, RecordBatch, WrappedPd};
+pub use schema::{DataTypeSchema, DataTypeSchemaBuilder, FieldDef, SchemaRegistry, View};
+pub use value::{FieldType, FieldValue, Row};
+
+/// Convenience prelude exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::audit::{AuditEvent, AuditEventKind, AuditLog};
+    pub use crate::clock::{Duration, LogicalClock, TimeToLive, Timestamp};
+    pub use crate::consent::{AccessDecision, ConsentDecision, ConsentTable, LegalBasis};
+    pub use crate::error::CoreError;
+    pub use crate::ids::{
+        DataTypeId, DeviceId, KernelId, PdId, PdRef, ProcessingId, PurposeId, SubjectId, TaskId,
+        ViewId,
+    };
+    pub use crate::membrane::{CollectionMethod, Membrane, MembraneDelta, Origin, Sensitivity};
+    pub use crate::record::{PdRecord, RecordBatch, WrappedPd};
+    pub use crate::schema::{DataTypeSchema, DataTypeSchemaBuilder, FieldDef, SchemaRegistry, View};
+    pub use crate::value::{FieldType, FieldValue, Row};
+}

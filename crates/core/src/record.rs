@@ -1,0 +1,285 @@
+//! Wrapped personal data records.
+//!
+//! A [`PdRecord`] is the unit DBFS stores: one typed [`Row`] plus the
+//! [`Membrane`] enforcing its subject's decisions.  The paper's enforcement
+//! rule (3) — "every PD stored in DBFS must have a membrane attached to it" —
+//! is made unrepresentable-by-construction here: there is no way to build a
+//! `PdRecord` without a membrane.
+
+use crate::error::CoreError;
+use crate::ids::{DataTypeId, PdId, PdRef, SubjectId};
+use crate::membrane::Membrane;
+use crate::value::Row;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed row of personal data wrapped in its membrane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WrappedPd {
+    row: Row,
+    membrane: Membrane,
+}
+
+impl WrappedPd {
+    /// Wraps a row in a membrane.
+    pub fn new(row: Row, membrane: Membrane) -> Self {
+        Self { row, membrane }
+    }
+
+    /// The data payload.
+    pub fn row(&self) -> &Row {
+        &self.row
+    }
+
+    /// Mutable access to the data payload (used by the `update` built-in).
+    pub fn row_mut(&mut self) -> &mut Row {
+        &mut self.row
+    }
+
+    /// The membrane.
+    pub fn membrane(&self) -> &Membrane {
+        &self.membrane
+    }
+
+    /// Mutable access to the membrane (consent updates, erasure marking).
+    pub fn membrane_mut(&mut self) -> &mut Membrane {
+        &mut self.membrane
+    }
+
+    /// Splits the wrapper into its parts.
+    pub fn into_parts(self) -> (Row, Membrane) {
+        (self.row, self.membrane)
+    }
+
+    /// Replaces the payload with an erasure tombstone (the ciphertext) and
+    /// marks the membrane as erased.
+    pub fn erase_with(&mut self, ciphertext: Vec<u8>) {
+        self.row = Row::new().with("__erased_ciphertext", ciphertext);
+        self.membrane.mark_erased();
+    }
+}
+
+/// A stored PD record: a [`WrappedPd`] plus its storage identity (which table
+/// it lives in, its PD identifier, and its subject).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdRecord {
+    id: PdId,
+    data_type: DataTypeId,
+    wrapped: WrappedPd,
+}
+
+impl PdRecord {
+    /// Creates a record.
+    pub fn new(id: PdId, data_type: DataTypeId, wrapped: WrappedPd) -> Self {
+        Self {
+            id,
+            data_type,
+            wrapped,
+        }
+    }
+
+    /// The PD identifier.
+    pub fn id(&self) -> PdId {
+        self.id
+    }
+
+    /// The data type (table) this record belongs to.
+    pub fn data_type(&self) -> &DataTypeId {
+        &self.data_type
+    }
+
+    /// The subject the record belongs to (read from the membrane).
+    pub fn subject(&self) -> SubjectId {
+        self.wrapped.membrane().subject()
+    }
+
+    /// The wrapped payload + membrane.
+    pub fn wrapped(&self) -> &WrappedPd {
+        &self.wrapped
+    }
+
+    /// Mutable access to the wrapped payload + membrane.
+    pub fn wrapped_mut(&mut self) -> &mut WrappedPd {
+        &mut self.wrapped
+    }
+
+    /// Shorthand for the payload row.
+    pub fn row(&self) -> &Row {
+        self.wrapped.row()
+    }
+
+    /// Shorthand for the membrane.
+    pub fn membrane(&self) -> &Membrane {
+        self.wrapped.membrane()
+    }
+
+    /// The opaque reference applications receive for this record.
+    pub fn to_ref(&self) -> PdRef {
+        PdRef::new(self.data_type.clone(), self.id)
+    }
+}
+
+impl fmt::Display for PdRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] of {} ({} fields)",
+            self.data_type,
+            self.id,
+            self.subject(),
+            self.row().len()
+        )
+    }
+}
+
+/// An ordered batch of records, as returned by DBFS queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    records: Vec<PdRecord>,
+}
+
+impl RecordBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record to the batch.
+    pub fn push(&mut self, record: PdRecord) {
+        self.records.push(record);
+    }
+
+    /// The records in the batch.
+    pub fn records(&self) -> &[PdRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the batch holds no record.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> impl Iterator<Item = &PdRecord> {
+        self.records.iter()
+    }
+
+    /// Consumes the batch, yielding its records.
+    pub fn into_records(self) -> Vec<PdRecord> {
+        self.records
+    }
+
+    /// Keeps only records satisfying the predicate.
+    pub fn retain(&mut self, mut predicate: impl FnMut(&PdRecord) -> bool) {
+        self.records.retain(|r| predicate(r));
+    }
+
+    /// Looks up a record by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] if no record in the batch has this id.
+    pub fn find(&self, id: PdId) -> Result<&PdRecord, CoreError> {
+        self.records
+            .iter()
+            .find(|r| r.id() == id)
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("record {id} in batch"),
+            })
+    }
+}
+
+impl FromIterator<PdRecord> for RecordBatch {
+    fn from_iter<T: IntoIterator<Item = PdRecord>>(iter: T) -> Self {
+        RecordBatch {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<PdRecord> for RecordBatch {
+    fn extend<T: IntoIterator<Item = PdRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl IntoIterator for RecordBatch {
+    type Item = PdRecord;
+    type IntoIter = std::vec::IntoIter<PdRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Timestamp;
+    use crate::schema::listing1_user_schema;
+
+    fn record(id: u64, subject: u64) -> PdRecord {
+        let schema = listing1_user_schema();
+        let row = Row::new()
+            .with("name", "Chiraz")
+            .with("pwd", "pw")
+            .with("year_of_birthdate", 1990i64);
+        let membrane = Membrane::from_schema(&schema, SubjectId::new(subject), Timestamp::ZERO);
+        PdRecord::new(
+            PdId::new(id),
+            DataTypeId::from("user"),
+            WrappedPd::new(row, membrane),
+        )
+    }
+
+    #[test]
+    fn record_accessors() {
+        let r = record(3, 9);
+        assert_eq!(r.id(), PdId::new(3));
+        assert_eq!(r.data_type().as_str(), "user");
+        assert_eq!(r.subject(), SubjectId::new(9));
+        assert_eq!(r.row().len(), 3);
+        assert_eq!(r.to_ref(), PdRef::new(DataTypeId::from("user"), PdId::new(3)));
+        assert!(r.to_string().contains("user"));
+    }
+
+    #[test]
+    fn wrapped_pd_mutation_and_erasure() {
+        let mut r = record(1, 1);
+        r.wrapped_mut().row_mut().insert("name", "Updated");
+        assert_eq!(r.row().get("name").unwrap().as_text(), Some("Updated"));
+        let (row, membrane) = r.wrapped().clone().into_parts();
+        assert_eq!(row.len(), 3);
+        assert!(!membrane.is_erased());
+
+        r.wrapped_mut().erase_with(vec![0xde, 0xad]);
+        assert!(r.membrane().is_erased());
+        assert!(r.row().get("name").is_none());
+        assert_eq!(
+            r.row().get("__erased_ciphertext").unwrap().as_bytes(),
+            Some(&[0xde, 0xad][..])
+        );
+    }
+
+    #[test]
+    fn batch_operations() {
+        let mut batch: RecordBatch = (0..5).map(|i| record(i, i)).collect();
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+        assert!(batch.find(PdId::new(4)).is_ok());
+        assert!(batch.find(PdId::new(99)).is_err());
+        batch.retain(|r| r.id().raw() % 2 == 0);
+        assert_eq!(batch.len(), 3);
+        batch.push(record(10, 10));
+        batch.extend(vec![record(11, 11)]);
+        assert_eq!(batch.iter().count(), 5);
+        let ids: Vec<u64> = batch.into_iter().map(|r| r.id().raw()).collect();
+        assert_eq!(ids, vec![0, 2, 4, 10, 11]);
+        assert!(RecordBatch::new().is_empty());
+    }
+}

@@ -1,0 +1,646 @@
+//! Data-type schemas, views and the schema registry.
+//!
+//! In rgpdOS, every piece of personal data has a precise *type* which
+//! corresponds to a table of the database-oriented filesystem (§2, "File
+//! System").  A [`DataTypeSchema`] declares the fields of that table, the
+//! views defined over it, the default consent applied when data of this type
+//! is collected, and the membrane defaults (origin, time to live,
+//! sensitivity, collection interfaces).
+
+use crate::clock::TimeToLive;
+use crate::consent::ConsentDecision;
+use crate::error::CoreError;
+use crate::ids::{DataTypeId, PurposeId, ViewId};
+use crate::membrane::{CollectionMethod, Origin, Sensitivity};
+use crate::value::{FieldType, Row};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Declaration of one field of a data type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    name: String,
+    field_type: FieldType,
+    /// Whether the field may be absent from a row of this type.
+    optional: bool,
+}
+
+impl FieldDef {
+    /// Creates a required field.
+    pub fn required(name: impl Into<String>, field_type: FieldType) -> Self {
+        Self {
+            name: name.into(),
+            field_type,
+            optional: false,
+        }
+    }
+
+    /// Creates an optional field.
+    pub fn optional(name: impl Into<String>, field_type: FieldType) -> Self {
+        Self {
+            name: name.into(),
+            field_type,
+            optional: true,
+        }
+    }
+
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared type of the field.
+    pub fn field_type(&self) -> FieldType {
+        self.field_type
+    }
+
+    /// Whether the field may be omitted.
+    pub fn is_optional(&self) -> bool {
+        self.optional
+    }
+}
+
+/// A named subset of a data type's fields.
+///
+/// Views are how rgpdOS implements the GDPR *data-minimisation* principle:
+/// a purpose restricted to a view only ever sees the fields that the view
+/// exposes (Listing 1's `v_name` / `v_ano`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    name: ViewId,
+    fields: BTreeSet<String>,
+}
+
+impl View {
+    /// Creates a view exposing exactly `fields`.
+    pub fn new(name: impl Into<ViewId>, fields: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self {
+            name: name.into(),
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The view name.
+    pub fn name(&self) -> &ViewId {
+        &self.name
+    }
+
+    /// The fields the view exposes, in name order.
+    pub fn fields(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(String::as_str)
+    }
+
+    /// Returns `true` if the view exposes `field`.
+    pub fn exposes(&self, field: &str) -> bool {
+        self.fields.contains(field)
+    }
+
+    /// Applies the view to a row, keeping only exposed fields.
+    pub fn apply(&self, row: &Row) -> Row {
+        row.project(self.fields())
+    }
+
+    /// Number of fields exposed.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the view exposes no field.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// Schema of a personal-data type: the machine-checkable form of Listing 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataTypeSchema {
+    name: DataTypeId,
+    fields: Vec<FieldDef>,
+    views: BTreeMap<ViewId, View>,
+    default_consent: BTreeMap<PurposeId, ConsentDecision>,
+    collection: Vec<CollectionMethod>,
+    origin: Origin,
+    time_to_live: TimeToLive,
+    sensitivity: Sensitivity,
+}
+
+impl DataTypeSchema {
+    /// Starts building a schema for the data type `name`.
+    pub fn builder(name: impl Into<DataTypeId>) -> DataTypeSchemaBuilder {
+        DataTypeSchemaBuilder::new(name)
+    }
+
+    /// The data type name (the DBFS table name).
+    pub fn name(&self) -> &DataTypeId {
+        &self.name
+    }
+
+    /// The declared fields, in declaration order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Looks up a field declaration by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name() == name)
+    }
+
+    /// The declared views.
+    pub fn views(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// Looks up a view by name.
+    pub fn view(&self, name: &ViewId) -> Option<&View> {
+        self.views.get(name)
+    }
+
+    /// The default consent applied when data of this type is collected.
+    pub fn default_consent(&self) -> impl Iterator<Item = (&PurposeId, &ConsentDecision)> {
+        self.default_consent.iter()
+    }
+
+    /// The collection interfaces declared for this type (web form, third-party
+    /// fetcher, …).
+    pub fn collection_methods(&self) -> &[CollectionMethod] {
+        &self.collection
+    }
+
+    /// The default origin of data of this type.
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+
+    /// The default retention period for data of this type.
+    pub fn time_to_live(&self) -> TimeToLive {
+        self.time_to_live
+    }
+
+    /// The declared sensitivity level.
+    pub fn sensitivity(&self) -> Sensitivity {
+        self.sensitivity
+    }
+
+    /// Validates a row against the schema.
+    ///
+    /// Required fields must be present, every present field must be declared,
+    /// and value types must match the declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SchemaMismatch`] describing the first violation.
+    pub fn validate_row(&self, row: &Row) -> Result<(), CoreError> {
+        for def in &self.fields {
+            match row.get(def.name()) {
+                None if !def.is_optional() => {
+                    return Err(CoreError::SchemaMismatch {
+                        reason: format!("missing required field `{}`", def.name()),
+                    })
+                }
+                Some(value) if value.field_type() != def.field_type() => {
+                    return Err(CoreError::SchemaMismatch {
+                        reason: format!(
+                            "field `{}` has type {} but schema declares {}",
+                            def.name(),
+                            value.field_type(),
+                            def.field_type()
+                        ),
+                    })
+                }
+                _ => {}
+            }
+        }
+        for name in row.field_names() {
+            if self.field(name).is_none() {
+                return Err(CoreError::SchemaMismatch {
+                    reason: format!("field `{name}` is not declared by type `{}`", self.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the set of field names a purpose restricted to `view` may see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] if the view does not exist.
+    pub fn view_fields(&self, view: &ViewId) -> Result<Vec<&str>, CoreError> {
+        self.views
+            .get(view)
+            .map(|v| v.fields().collect())
+            .ok_or_else(|| CoreError::NotFound {
+                what: format!("view `{view}` of type `{}`", self.name),
+            })
+    }
+}
+
+impl fmt::Display for DataTypeSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "type {} ({} fields, {} views, sensitivity {})",
+            self.name,
+            self.fields.len(),
+            self.views.len(),
+            self.sensitivity
+        )
+    }
+}
+
+/// Builder for [`DataTypeSchema`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct DataTypeSchemaBuilder {
+    name: DataTypeId,
+    fields: Vec<FieldDef>,
+    views: Vec<View>,
+    default_consent: Vec<(PurposeId, ConsentDecision)>,
+    collection: Vec<CollectionMethod>,
+    origin: Origin,
+    time_to_live: TimeToLive,
+    sensitivity: Sensitivity,
+}
+
+impl DataTypeSchemaBuilder {
+    fn new(name: impl Into<DataTypeId>) -> Self {
+        Self {
+            name: name.into(),
+            fields: Vec::new(),
+            views: Vec::new(),
+            default_consent: Vec::new(),
+            collection: Vec::new(),
+            origin: Origin::Subject,
+            time_to_live: TimeToLive::default(),
+            sensitivity: Sensitivity::Medium,
+        }
+    }
+
+    /// Declares a required field.
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, field_type: FieldType) -> Self {
+        self.fields.push(FieldDef::required(name, field_type));
+        self
+    }
+
+    /// Declares an optional field.
+    #[must_use]
+    pub fn optional_field(mut self, name: impl Into<String>, field_type: FieldType) -> Self {
+        self.fields.push(FieldDef::optional(name, field_type));
+        self
+    }
+
+    /// Declares a view exposing the given fields.
+    #[must_use]
+    pub fn view(
+        mut self,
+        name: impl Into<ViewId>,
+        fields: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        self.views.push(View::new(name, fields));
+        self
+    }
+
+    /// Declares the default consent for a purpose.
+    #[must_use]
+    pub fn default_consent(
+        mut self,
+        purpose: impl Into<PurposeId>,
+        decision: ConsentDecision,
+    ) -> Self {
+        self.default_consent.push((purpose.into(), decision));
+        self
+    }
+
+    /// Declares a collection interface for this type.
+    #[must_use]
+    pub fn collection(mut self, method: CollectionMethod) -> Self {
+        self.collection.push(method);
+        self
+    }
+
+    /// Sets the default origin.
+    #[must_use]
+    pub fn origin(mut self, origin: Origin) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Sets the default retention period.
+    #[must_use]
+    pub fn time_to_live(mut self, ttl: TimeToLive) -> Self {
+        self.time_to_live = ttl;
+        self
+    }
+
+    /// Sets the sensitivity level.
+    #[must_use]
+    pub fn sensitivity(mut self, sensitivity: Sensitivity) -> Self {
+        self.sensitivity = sensitivity;
+        self
+    }
+
+    /// Finalises the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchema`] when the type has no fields or a
+    /// duplicate field/view name, [`CoreError::UnknownViewField`] when a view
+    /// references an undeclared field, and [`CoreError::UnknownConsentView`]
+    /// when a consent entry references an undeclared view.
+    pub fn build(self) -> Result<DataTypeSchema, CoreError> {
+        if self.name.as_str().is_empty() {
+            return Err(CoreError::InvalidSchema {
+                reason: "data type name is empty".to_owned(),
+            });
+        }
+        if self.fields.is_empty() {
+            return Err(CoreError::InvalidSchema {
+                reason: format!("data type `{}` declares no field", self.name),
+            });
+        }
+        let mut seen = BTreeSet::new();
+        for f in &self.fields {
+            if !seen.insert(f.name().to_owned()) {
+                return Err(CoreError::InvalidSchema {
+                    reason: format!("duplicate field `{}`", f.name()),
+                });
+            }
+        }
+        let mut views = BTreeMap::new();
+        for v in self.views {
+            for field in v.fields() {
+                if !seen.contains(field) {
+                    return Err(CoreError::UnknownViewField {
+                        view: v.name().to_string(),
+                        field: field.to_owned(),
+                    });
+                }
+            }
+            if views.insert(v.name().clone(), v.clone()).is_some() {
+                return Err(CoreError::InvalidSchema {
+                    reason: format!("duplicate view `{}`", v.name()),
+                });
+            }
+        }
+        let mut default_consent = BTreeMap::new();
+        for (purpose, decision) in self.default_consent {
+            if let ConsentDecision::View(view) = &decision {
+                if !views.contains_key(view) {
+                    return Err(CoreError::UnknownConsentView {
+                        purpose: purpose.to_string(),
+                        view: view.to_string(),
+                    });
+                }
+            }
+            default_consent.insert(purpose, decision);
+        }
+        Ok(DataTypeSchema {
+            name: self.name,
+            fields: self.fields,
+            views,
+            default_consent,
+            collection: self.collection,
+            origin: self.origin,
+            time_to_live: self.time_to_live,
+            sensitivity: self.sensitivity,
+        })
+    }
+}
+
+/// In-memory registry of data-type schemas, keyed by type name.
+///
+/// DBFS owns the authoritative copy; the registry is also used by the DSL
+/// compiler and by the Processing Store when checking that a processing's
+/// declared inputs exist.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    schemas: BTreeMap<DataTypeId, DataTypeSchema>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a schema.  Returns the previous schema with the same name,
+    /// if any (callers decide whether redefinition is allowed).
+    pub fn register(&mut self, schema: DataTypeSchema) -> Option<DataTypeSchema> {
+        self.schemas.insert(schema.name().clone(), schema)
+    }
+
+    /// Looks up a schema by type name.
+    pub fn get(&self, name: &DataTypeId) -> Option<&DataTypeSchema> {
+        self.schemas.get(name)
+    }
+
+    /// Looks up a schema, returning an error when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`].
+    pub fn require(&self, name: &DataTypeId) -> Result<&DataTypeSchema, CoreError> {
+        self.get(name).ok_or_else(|| CoreError::NotFound {
+            what: format!("data type `{name}`"),
+        })
+    }
+
+    /// Removes a schema.
+    pub fn remove(&mut self, name: &DataTypeId) -> Option<DataTypeSchema> {
+        self.schemas.remove(name)
+    }
+
+    /// Returns `true` if the registry knows `name`.
+    pub fn contains(&self, name: &DataTypeId) -> bool {
+        self.schemas.contains_key(name)
+    }
+
+    /// Iterates over the registered schemas in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataTypeSchema> {
+        self.schemas.values()
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Returns `true` if no schema is registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+impl FromIterator<DataTypeSchema> for SchemaRegistry {
+    fn from_iter<T: IntoIterator<Item = DataTypeSchema>>(iter: T) -> Self {
+        let mut registry = SchemaRegistry::new();
+        for schema in iter {
+            registry.register(schema);
+        }
+        registry
+    }
+}
+
+/// Builds the `user` schema of Listing 1, used pervasively in tests, examples
+/// and benchmarks.
+pub fn listing1_user_schema() -> DataTypeSchema {
+    DataTypeSchema::builder("user")
+        .field("name", FieldType::Text)
+        .field("pwd", FieldType::Text)
+        .field("year_of_birthdate", FieldType::Int)
+        .view("v_name", ["name"])
+        .view("v_ano", ["year_of_birthdate"])
+        .default_consent("purpose1", ConsentDecision::All)
+        .default_consent("purpose2", ConsentDecision::None)
+        .default_consent("purpose3", ConsentDecision::View(ViewId::from("v_ano")))
+        .collection(CollectionMethod::WebForm {
+            page: "user_form.html".to_owned(),
+        })
+        .collection(CollectionMethod::ThirdParty {
+            script: "fetch_data.py".to_owned(),
+        })
+        .origin(Origin::Subject)
+        .time_to_live(TimeToLive::years(1))
+        .sensitivity(Sensitivity::High)
+        .build()
+        .expect("listing 1 schema is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::FieldValue;
+
+    #[test]
+    fn listing1_schema_builds() {
+        let schema = listing1_user_schema();
+        assert_eq!(schema.name().as_str(), "user");
+        assert_eq!(schema.fields().len(), 3);
+        assert_eq!(schema.views().count(), 2);
+        assert_eq!(schema.default_consent().count(), 3);
+        assert_eq!(schema.collection_methods().len(), 2);
+        assert_eq!(schema.origin(), Origin::Subject);
+        assert_eq!(schema.time_to_live(), TimeToLive::years(1));
+        assert_eq!(schema.sensitivity(), Sensitivity::High);
+        assert!(schema.to_string().contains("user"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_schemas() {
+        assert!(matches!(
+            DataTypeSchema::builder("empty").build(),
+            Err(CoreError::InvalidSchema { .. })
+        ));
+        assert!(matches!(
+            DataTypeSchema::builder("").field("a", FieldType::Int).build(),
+            Err(CoreError::InvalidSchema { .. })
+        ));
+        assert!(matches!(
+            DataTypeSchema::builder("dup")
+                .field("a", FieldType::Int)
+                .field("a", FieldType::Text)
+                .build(),
+            Err(CoreError::InvalidSchema { .. })
+        ));
+        assert!(matches!(
+            DataTypeSchema::builder("dupview")
+                .field("a", FieldType::Int)
+                .view("v", ["a"])
+                .view("v", ["a"])
+                .build(),
+            Err(CoreError::InvalidSchema { .. })
+        ));
+        assert!(matches!(
+            DataTypeSchema::builder("badview")
+                .field("a", FieldType::Int)
+                .view("v", ["b"])
+                .build(),
+            Err(CoreError::UnknownViewField { .. })
+        ));
+        assert!(matches!(
+            DataTypeSchema::builder("badconsent")
+                .field("a", FieldType::Int)
+                .default_consent("p", ConsentDecision::View(ViewId::from("nope")))
+                .build(),
+            Err(CoreError::UnknownConsentView { .. })
+        ));
+    }
+
+    #[test]
+    fn row_validation() {
+        let schema = listing1_user_schema();
+        let good = Row::new()
+            .with("name", "Chiraz")
+            .with("pwd", "pw")
+            .with("year_of_birthdate", 1990i64);
+        assert!(schema.validate_row(&good).is_ok());
+
+        let missing = Row::new().with("name", "Chiraz");
+        assert!(matches!(
+            schema.validate_row(&missing),
+            Err(CoreError::SchemaMismatch { .. })
+        ));
+
+        let wrong_type = good.clone().with("year_of_birthdate", "not a number");
+        assert!(schema.validate_row(&wrong_type).is_err());
+
+        let extra = good.with("ssn", "1-23-45");
+        assert!(schema.validate_row(&extra).is_err());
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent() {
+        let schema = DataTypeSchema::builder("patient")
+            .field("name", FieldType::Text)
+            .optional_field("allergy", FieldType::Text)
+            .build()
+            .unwrap();
+        let row = Row::new().with("name", "A");
+        assert!(schema.validate_row(&row).is_ok());
+        assert!(schema.field("allergy").unwrap().is_optional());
+        assert!(!schema.field("name").unwrap().is_optional());
+        assert!(schema.field("nope").is_none());
+    }
+
+    #[test]
+    fn views_project_rows() {
+        let schema = listing1_user_schema();
+        let row = Row::new()
+            .with("name", "Chiraz")
+            .with("pwd", "secret")
+            .with("year_of_birthdate", 1990i64);
+        let v_ano = schema.view(&ViewId::from("v_ano")).unwrap();
+        let projected = v_ano.apply(&row);
+        assert_eq!(projected.len(), 1);
+        assert_eq!(
+            projected.get("year_of_birthdate"),
+            Some(&FieldValue::Int(1990))
+        );
+        assert!(v_ano.exposes("year_of_birthdate"));
+        assert!(!v_ano.exposes("pwd"));
+        assert!(!v_ano.is_empty());
+        assert_eq!(
+            schema.view_fields(&ViewId::from("v_name")).unwrap(),
+            vec!["name"]
+        );
+        assert!(schema.view_fields(&ViewId::from("missing")).is_err());
+    }
+
+    #[test]
+    fn registry_crud() {
+        let mut registry = SchemaRegistry::new();
+        assert!(registry.is_empty());
+        assert!(registry.register(listing1_user_schema()).is_none());
+        assert!(registry.contains(&DataTypeId::from("user")));
+        assert_eq!(registry.len(), 1);
+        assert!(registry.require(&DataTypeId::from("user")).is_ok());
+        assert!(registry.require(&DataTypeId::from("ghost")).is_err());
+        // Re-registration returns the old schema.
+        assert!(registry.register(listing1_user_schema()).is_some());
+        assert!(registry.remove(&DataTypeId::from("user")).is_some());
+        assert!(registry.get(&DataTypeId::from("user")).is_none());
+        let registry: SchemaRegistry = vec![listing1_user_schema()].into_iter().collect();
+        assert_eq!(registry.iter().count(), 1);
+    }
+}

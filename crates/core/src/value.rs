@@ -1,0 +1,559 @@
+//! Typed field values and rows.
+//!
+//! DBFS is a *database-oriented* filesystem (§1, Idea 3): unlike a file-based
+//! filesystem which only sees byte streams, it understands that a piece of
+//! personal data has typed fields.  [`FieldType`] describes a column of a
+//! data type, [`FieldValue`] is one cell value, and [`Row`] is the ordered
+//! collection of named values making up one PD item.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The type of a field declared by a data-type schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// 64-bit signed integer (`int` in the paper's DSL).
+    Int,
+    /// 64-bit IEEE-754 floating point (`float`).
+    Float,
+    /// UTF-8 text (`string`).
+    Text,
+    /// Boolean (`bool`).
+    Bool,
+    /// Raw bytes (`bytes`), e.g. a medical image.
+    Bytes,
+    /// A calendar date stored as seconds since the simulated epoch (`date`).
+    Date,
+}
+
+impl FieldType {
+    /// Parses the DSL spelling of a field type (used by `rgpdos-dsl`).
+    pub fn parse(name: &str) -> Result<Self, CoreError> {
+        match name {
+            "int" | "integer" => Ok(FieldType::Int),
+            "float" | "double" => Ok(FieldType::Float),
+            "string" | "text" => Ok(FieldType::Text),
+            "bool" | "boolean" => Ok(FieldType::Bool),
+            "bytes" | "blob" => Ok(FieldType::Bytes),
+            "date" => Ok(FieldType::Date),
+            other => Err(CoreError::UnknownFieldType {
+                name: other.to_owned(),
+            }),
+        }
+    }
+
+    /// The DSL spelling of this type.
+    pub fn dsl_name(self) -> &'static str {
+        match self {
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Text => "string",
+            FieldType::Bool => "bool",
+            FieldType::Bytes => "bytes",
+            FieldType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.dsl_name())
+    }
+}
+
+/// One typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// An integer value.
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+    /// A text value.
+    Text(String),
+    /// A boolean value.
+    Bool(bool),
+    /// A byte-string value.
+    Bytes(Vec<u8>),
+    /// A date, in seconds since the simulated epoch.
+    Date(u64),
+}
+
+impl FieldValue {
+    /// Returns the [`FieldType`] this value belongs to.
+    pub fn field_type(&self) -> FieldType {
+        match self {
+            FieldValue::Int(_) => FieldType::Int,
+            FieldValue::Float(_) => FieldType::Float,
+            FieldValue::Text(_) => FieldType::Text,
+            FieldValue::Bool(_) => FieldType::Bool,
+            FieldValue::Bytes(_) => FieldType::Bytes,
+            FieldValue::Date(_) => FieldType::Date,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`FieldValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            FieldValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a [`FieldValue::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            FieldValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this is a [`FieldValue::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            FieldValue::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`FieldValue::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            FieldValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the byte payload, if this is a [`FieldValue::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            FieldValue::Bytes(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the date payload, if this is a [`FieldValue::Date`].
+    pub fn as_date(&self) -> Option<u64> {
+        match self {
+            FieldValue::Date(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serialises the value to a compact, self-describing byte encoding.
+    ///
+    /// The encoding is `tag byte || payload` and is used by DBFS to persist
+    /// cells inside inode blocks.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            FieldValue::Int(v) => {
+                out.push(0x01);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            FieldValue::Float(v) => {
+                out.push(0x02);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            FieldValue::Text(v) => {
+                out.push(0x03);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v.as_bytes());
+            }
+            FieldValue::Bool(v) => {
+                out.push(0x04);
+                out.push(u8::from(*v));
+            }
+            FieldValue::Bytes(v) => {
+                out.push(0x05);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            FieldValue::Date(v) => {
+                out.push(0x06);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a value previously produced by [`FieldValue::encode`].
+    ///
+    /// Returns the value and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when the buffer is truncated or the tag
+    /// byte is unknown.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), CoreError> {
+        let corrupt = |what: &str| CoreError::Corrupt {
+            what: what.to_owned(),
+        };
+        let tag = *buf.first().ok_or_else(|| corrupt("empty value buffer"))?;
+        match tag {
+            0x01 | 0x02 | 0x06 => {
+                let bytes: [u8; 8] = buf
+                    .get(1..9)
+                    .ok_or_else(|| corrupt("truncated fixed-width value"))?
+                    .try_into()
+                    .expect("slice of length 8");
+                let value = match tag {
+                    0x01 => FieldValue::Int(i64::from_le_bytes(bytes)),
+                    0x02 => FieldValue::Float(f64::from_le_bytes(bytes)),
+                    _ => FieldValue::Date(u64::from_le_bytes(bytes)),
+                };
+                Ok((value, 9))
+            }
+            0x03 | 0x05 => {
+                let len_bytes: [u8; 4] = buf
+                    .get(1..5)
+                    .ok_or_else(|| corrupt("truncated length prefix"))?
+                    .try_into()
+                    .expect("slice of length 4");
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let payload = buf
+                    .get(5..5 + len)
+                    .ok_or_else(|| corrupt("truncated variable-width value"))?;
+                let value = if tag == 0x03 {
+                    FieldValue::Text(
+                        String::from_utf8(payload.to_vec())
+                            .map_err(|_| corrupt("invalid utf-8 in text value"))?,
+                    )
+                } else {
+                    FieldValue::Bytes(payload.to_vec())
+                };
+                Ok((value, 5 + len))
+            }
+            0x04 => {
+                let b = *buf.get(1).ok_or_else(|| corrupt("truncated bool"))?;
+                Ok((FieldValue::Bool(b != 0), 2))
+            }
+            _ => Err(corrupt("unknown value tag")),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Int(v) => write!(f, "{v}"),
+            FieldValue::Float(v) => write!(f, "{v}"),
+            FieldValue::Text(v) => write!(f, "{v:?}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Bytes(v) => write!(f, "<{} bytes>", v.len()),
+            FieldValue::Date(v) => write!(f, "date({v})"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::Float(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Text(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Text(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<Vec<u8>> for FieldValue {
+    fn from(v: Vec<u8>) -> Self {
+        FieldValue::Bytes(v)
+    }
+}
+
+/// An ordered mapping from field names to values: the payload of one PD item.
+///
+/// Rows use a `BTreeMap` so that iteration order (and therefore the on-disk
+/// encoding and the structured export required by the right of access) is
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    fields: BTreeMap<String, FieldValue>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion of a field.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        self.fields.insert(name.into(), value.into());
+        self
+    }
+
+    /// Inserts or replaces a field, returning the previous value if any.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        value: impl Into<FieldValue>,
+    ) -> Option<FieldValue> {
+        self.fields.insert(name.into(), value.into())
+    }
+
+    /// Removes a field, returning its value if it was present.
+    pub fn remove(&mut self, name: &str) -> Option<FieldValue> {
+        self.fields.remove(name)
+    }
+
+    /// Returns the value of a field, if present.
+    pub fn get(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.get(name)
+    }
+
+    /// Returns `true` if the row has a field with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.contains_key(name)
+    }
+
+    /// Number of fields in the row.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns `true` if the row has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in field-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Returns the field names in order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.keys().map(String::as_str)
+    }
+
+    /// Returns a new row containing only the named fields (used to apply a
+    /// view / the data-minimisation principle).
+    pub fn project<'a>(&self, keep: impl IntoIterator<Item = &'a str>) -> Row {
+        let keep: std::collections::BTreeSet<&str> = keep.into_iter().collect();
+        Row {
+            fields: self
+                .fields
+                .iter()
+                .filter(|(k, _)| keep.contains(k.as_str()))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serialises the row to bytes (`u32` field count, then for each field a
+    /// length-prefixed name followed by the encoded value).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (name, value) in &self.fields {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&value.encode());
+        }
+        out
+    }
+
+    /// Decodes a row produced by [`Row::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when the buffer is malformed.
+    pub fn decode(buf: &[u8]) -> Result<Row, CoreError> {
+        let corrupt = |what: &str| CoreError::Corrupt {
+            what: what.to_owned(),
+        };
+        let count_bytes: [u8; 4] = buf
+            .get(0..4)
+            .ok_or_else(|| corrupt("truncated row header"))?
+            .try_into()
+            .expect("slice of length 4");
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        let mut offset = 4;
+        let mut fields = BTreeMap::new();
+        for _ in 0..count {
+            let len_bytes: [u8; 4] = buf
+                .get(offset..offset + 4)
+                .ok_or_else(|| corrupt("truncated field name length"))?
+                .try_into()
+                .expect("slice of length 4");
+            let name_len = u32::from_le_bytes(len_bytes) as usize;
+            offset += 4;
+            let name = String::from_utf8(
+                buf.get(offset..offset + name_len)
+                    .ok_or_else(|| corrupt("truncated field name"))?
+                    .to_vec(),
+            )
+            .map_err(|_| corrupt("field name is not utf-8"))?;
+            offset += name_len;
+            let (value, used) = FieldValue::decode(&buf[offset..])?;
+            offset += used;
+            fields.insert(name, value);
+        }
+        Ok(Row { fields })
+    }
+}
+
+impl FromIterator<(String, FieldValue)> for Row {
+    fn from_iter<T: IntoIterator<Item = (String, FieldValue)>>(iter: T) -> Self {
+        Row {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, FieldValue)> for Row {
+    fn extend<T: IntoIterator<Item = (String, FieldValue)>>(&mut self, iter: T) {
+        self.fields.extend(iter);
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {value}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_type_parse_round_trip() {
+        for ty in [
+            FieldType::Int,
+            FieldType::Float,
+            FieldType::Text,
+            FieldType::Bool,
+            FieldType::Bytes,
+            FieldType::Date,
+        ] {
+            assert_eq!(FieldType::parse(ty.dsl_name()).unwrap(), ty);
+        }
+        assert!(FieldType::parse("complex").is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(FieldValue::Int(3).as_int(), Some(3));
+        assert_eq!(FieldValue::Int(3).as_text(), None);
+        assert_eq!(FieldValue::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(FieldValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(FieldValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(FieldValue::Bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+        assert_eq!(FieldValue::Date(9).as_date(), Some(9));
+    }
+
+    #[test]
+    fn value_encode_decode_round_trip() {
+        let values = vec![
+            FieldValue::Int(-42),
+            FieldValue::Float(3.25),
+            FieldValue::Text("Chiraz".into()),
+            FieldValue::Bool(true),
+            FieldValue::Bytes(vec![0, 1, 2, 255]),
+            FieldValue::Date(1_650_000_000),
+        ];
+        for v in values {
+            let enc = v.encode();
+            let (dec, used) = FieldValue::decode(&enc).unwrap();
+            assert_eq!(dec, v);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn value_decode_rejects_garbage() {
+        assert!(FieldValue::decode(&[]).is_err());
+        assert!(FieldValue::decode(&[0xFF]).is_err());
+        assert!(FieldValue::decode(&[0x01, 1, 2]).is_err());
+        assert!(FieldValue::decode(&[0x03, 10, 0, 0, 0, b'a']).is_err());
+    }
+
+    #[test]
+    fn row_insert_get_project() {
+        let row = Row::new()
+            .with("name", "Chiraz")
+            .with("pwd", "secret")
+            .with("year_of_birthdate", 1990i64);
+        assert_eq!(row.len(), 3);
+        assert!(!row.is_empty());
+        assert!(row.contains("pwd"));
+        assert_eq!(row.get("name").unwrap().as_text(), Some("Chiraz"));
+        let projected = row.project(["name"]);
+        assert_eq!(projected.len(), 1);
+        assert!(projected.get("pwd").is_none());
+        let names: Vec<_> = row.field_names().collect();
+        assert_eq!(names, vec!["name", "pwd", "year_of_birthdate"]);
+    }
+
+    #[test]
+    fn row_encode_decode_round_trip() {
+        let row = Row::new()
+            .with("name", "Benamor")
+            .with("age", 31i64)
+            .with("scan", vec![1u8, 2, 3])
+            .with("active", true);
+        let decoded = Row::decode(&row.encode()).unwrap();
+        assert_eq!(decoded, row);
+    }
+
+    #[test]
+    fn row_decode_rejects_truncation() {
+        let row = Row::new().with("name", "Benamor");
+        let enc = row.encode();
+        assert!(Row::decode(&enc[..enc.len() - 1]).is_err());
+        assert!(Row::decode(&[1, 0]).is_err());
+    }
+
+    #[test]
+    fn row_mutation_and_iteration() {
+        let mut row = Row::new();
+        assert!(row.insert("a", 1i64).is_none());
+        assert_eq!(row.insert("a", 2i64).unwrap().as_int(), Some(1));
+        assert_eq!(row.remove("a").unwrap().as_int(), Some(2));
+        assert!(row.is_empty());
+        row.extend(vec![("b".to_string(), FieldValue::Int(1))]);
+        let collected: Row = row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        assert_eq!(collected, row);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let row = Row::new().with("name", "x").with("n", 1i64);
+        let s = row.to_string();
+        assert!(s.contains("name"));
+        assert!(s.contains('n'));
+        assert_eq!(FieldValue::Bytes(vec![1, 2]).to_string(), "<2 bytes>");
+    }
+}

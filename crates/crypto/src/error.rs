@@ -1,0 +1,56 @@
+//! Error type of the crypto substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the crypto substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A ciphertext could not be decoded.
+    MalformedCiphertext {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Decryption was attempted with a private key that does not match the
+    /// public key used for encryption.
+    WrongKey,
+    /// A parameter is outside the valid range of the group.
+    InvalidGroupElement {
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MalformedCiphertext { reason } => {
+                write!(f, "malformed ciphertext: {reason}")
+            }
+            CryptoError::WrongKey => f.write_str("private key does not match ciphertext"),
+            CryptoError::InvalidGroupElement { value } => {
+                write!(f, "value {value} is not a valid group element")
+            }
+        }
+    }
+}
+
+impl StdError for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            CryptoError::MalformedCiphertext { reason: "short".into() },
+            CryptoError::WrongKey,
+            CryptoError::InvalidGroupElement { value: 0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn StdError = &e;
+        }
+    }
+}

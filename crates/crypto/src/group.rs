@@ -1,0 +1,164 @@
+//! Modular arithmetic over a fixed 64-bit prime group.
+//!
+//! The escrow protocol needs a cyclic group with a hard-ish discrete
+//! logarithm.  We use the multiplicative group modulo the largest 61-bit
+//! Mersenne prime `2^61 - 1`, with a fixed generator.  The group is small by
+//! cryptographic standards (see the crate-level caveat) but exercises exactly
+//! the same code paths as a production implementation would.
+
+use crate::error::CryptoError;
+
+/// The group modulus: the Mersenne prime `2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// A generator of a large subgroup modulo [`MODULUS`].
+pub const GENERATOR: u64 = 3;
+
+/// Reduces an arbitrary 64-bit value into the group range `[1, MODULUS)`.
+///
+/// Used to derive exponents from raw RNG output; zero is mapped to one so the
+/// result is always a valid non-trivial exponent.
+pub fn reduce_to_exponent(raw: u64) -> u64 {
+    let r = raw % (MODULUS - 1);
+    if r == 0 {
+        1
+    } else {
+        r
+    }
+}
+
+/// Checks that `value` is a valid group element (in `[1, MODULUS)`).
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidGroupElement`] otherwise.
+pub fn check_element(value: u64) -> Result<u64, CryptoError> {
+    if value == 0 || value >= MODULUS {
+        Err(CryptoError::InvalidGroupElement { value })
+    } else {
+        Ok(value)
+    }
+}
+
+/// Modular multiplication using 128-bit intermediates.
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(MODULUS)) as u64
+}
+
+/// Modular exponentiation by squaring.
+pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    base %= MODULUS;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem (`a^(p-2) mod p`).
+///
+/// # Panics
+///
+/// Panics if `a` is zero (zero has no inverse).
+pub fn inv_mod(a: u64) -> u64 {
+    assert!(a % MODULUS != 0, "zero has no modular inverse");
+    pow_mod(a, MODULUS - 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_is_prime_for_small_witnesses() {
+        // Deterministic Miller–Rabin with enough witnesses for 64-bit values.
+        fn miller_rabin(n: u64, a: u64) -> bool {
+            if n % a == 0 {
+                return n == a;
+            }
+            let mut d = n - 1;
+            let mut r = 0;
+            while d % 2 == 0 {
+                d /= 2;
+                r += 1;
+            }
+            let mut x = pow_mod_n(a, d, n);
+            if x == 1 || x == n - 1 {
+                return true;
+            }
+            for _ in 0..r - 1 {
+                x = ((u128::from(x) * u128::from(x)) % u128::from(n)) as u64;
+                if x == n - 1 {
+                    return true;
+                }
+            }
+            false
+        }
+        fn pow_mod_n(mut base: u64, mut exp: u64, n: u64) -> u64 {
+            base %= n;
+            let mut acc = 1u64;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    acc = ((u128::from(acc) * u128::from(base)) % u128::from(n)) as u64;
+                }
+                base = ((u128::from(base) * u128::from(base)) % u128::from(n)) as u64;
+                exp >>= 1;
+            }
+            acc
+        }
+        for a in [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            assert!(miller_rabin(MODULUS, a), "witness {a} says composite");
+        }
+    }
+
+    #[test]
+    fn mul_and_pow_basics() {
+        assert_eq!(mul_mod(0, 5), 0);
+        assert_eq!(mul_mod(1, MODULUS - 1), MODULUS - 1);
+        assert_eq!(pow_mod(GENERATOR, 0), 1);
+        assert_eq!(pow_mod(GENERATOR, 1), GENERATOR);
+        assert_eq!(pow_mod(GENERATOR, 2), 9);
+        // Fermat: g^(p-1) = 1 mod p
+        assert_eq!(pow_mod(GENERATOR, MODULUS - 1), 1);
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        for a in [1u64, 2, 3, 1_000_003, MODULUS - 2, 0xDEAD_BEEF] {
+            let inv = inv_mod(a);
+            assert_eq!(mul_mod(a, inv), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(0);
+    }
+
+    #[test]
+    fn exponent_reduction_and_element_check() {
+        assert_eq!(reduce_to_exponent(0), 1);
+        assert_eq!(reduce_to_exponent(MODULUS - 1), 1);
+        assert!(reduce_to_exponent(u64::MAX) < MODULUS - 1);
+        assert!(check_element(1).is_ok());
+        assert!(check_element(MODULUS - 1).is_ok());
+        assert!(check_element(0).is_err());
+        assert!(check_element(MODULUS).is_err());
+        assert!(check_element(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn pow_is_homomorphic() {
+        // g^(a+b) == g^a * g^b
+        let (a, b) = (123_456_789u64, 987_654_321u64);
+        assert_eq!(
+            pow_mod(GENERATOR, a + b),
+            mul_mod(pow_mod(GENERATOR, a), pow_mod(GENERATOR, b))
+        );
+    }
+}

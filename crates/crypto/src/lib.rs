@@ -1,0 +1,55 @@
+//! # rgpdos-crypto — key-escrow encryption substrate
+//!
+//! The paper implements the *right to be forgotten* with a key-escrow model
+//! (§4): every data operator owns a **public** encryption key handed out by
+//! the authorities, who keep the matching **private** key.  "Deleting" a
+//! piece of personal data means encrypting it under the authority key: the
+//! operator can no longer read it, while the authority still can (e.g. for a
+//! legal investigation).
+//!
+//! This crate provides a self-contained implementation of that protocol:
+//!
+//! * a deterministic random number generator ([`rng::DeterministicRng`]),
+//! * a keystream cipher ([`cipher::StreamCipher`]),
+//! * modular arithmetic over a 64-bit prime group ([`group`]),
+//! * an ElGamal-style key-encapsulation mechanism ([`elgamal`]),
+//! * the authority-escrow protocol itself ([`escrow`]).
+//!
+//! **This is a simulation substrate, not production cryptography.**  The
+//! 64-bit group is far too small for real-world confidentiality; what matters
+//! for the reproduction is the *protocol shape* (who holds which key, what
+//! can be recovered by whom), which is faithful to the paper.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_crypto::escrow::{Authority, OperatorEscrow};
+//!
+//! // The authority generates the key pair and hands the public key to the operator.
+//! let authority = Authority::generate(42);
+//! let operator = OperatorEscrow::new(authority.public_key());
+//!
+//! // The operator "forgets" a record by encrypting it.
+//! let ciphertext = operator.erase(b"name=Chiraz Benamor");
+//! assert!(ciphertext.recover_plaintext_hint().is_none());
+//!
+//! // Only the authority can recover the plaintext.
+//! let recovered = authority.recover(&ciphertext).unwrap();
+//! assert_eq!(recovered, b"name=Chiraz Benamor");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod elgamal;
+pub mod error;
+pub mod escrow;
+pub mod group;
+pub mod rng;
+
+pub use cipher::StreamCipher;
+pub use elgamal::{ElGamalCiphertextHeader, KeyPair, PrivateKey, PublicKey};
+pub use error::CryptoError;
+pub use escrow::{Authority, EscrowedCiphertext, OperatorEscrow};
+pub use rng::DeterministicRng;

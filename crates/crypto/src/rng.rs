@@ -1,0 +1,119 @@
+//! Deterministic random number generation (splitmix64).
+//!
+//! All randomness in the reproduction is deterministic and seeded, so that
+//! tests, benchmarks and experiments are reproducible run-to-run.
+
+/// A small, fast, deterministic RNG based on splitmix64.
+///
+/// Not cryptographically secure — see the crate-level caveat.  Used to derive
+/// ephemeral exponents and keystreams in the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicRng {
+    state: u64,
+}
+
+impl DeterministicRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Avoid the all-zero state pathologies by mixing the seed once.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fills a byte slice with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::new(7);
+        let mut b = DeterministicRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = DeterministicRng::new(99);
+        for bound in [1u64, 2, 3, 10, 1_000, u64::MAX / 2] {
+            for _ in 0..50 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        DeterministicRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = DeterministicRng::new(5);
+        for len in 0..40 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 16 {
+                // Overwhelmingly unlikely to remain all zero.
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn output_looks_roughly_uniform() {
+        let mut rng = DeterministicRng::new(1234);
+        let mut ones = 0u32;
+        for _ in 0..1_000 {
+            ones += rng.next_u64().count_ones();
+        }
+        let avg = f64::from(ones) / 1_000.0;
+        assert!((avg - 32.0).abs() < 1.0, "average popcount {avg} too far from 32");
+    }
+}

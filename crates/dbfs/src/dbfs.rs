@@ -1,0 +1,1214 @@
+//! The DBFS implementation: two inode trees, typed tables, membranes,
+//! crypto-erasure and retention sweeping.
+
+use crate::error::DbfsError;
+use crate::query::QueryRequest;
+use crate::stats::{DbfsStats, DbfsStatsInner};
+use parking_lot::Mutex;
+use rgpdos_blockdev::BlockDevice;
+use rgpdos_core::{
+    AuditEventKind, AuditLog, DataTypeId, DataTypeSchema, LogicalClock, Membrane, MembraneDelta,
+    PdId, PdRecord, RecordBatch, Row, SchemaRegistry, SubjectId, WrappedPd,
+};
+use rgpdos_crypto::escrow::OperatorEscrow;
+use rgpdos_inode::fs::ROOT_INO;
+use rgpdos_inode::{FormatParams, Ino, InodeFs, InodeKind, JournalMode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Name of the schema entry inside a table directory.
+const SCHEMA_ENTRY: &str = "__schema";
+/// Name of the metadata file in the DBFS root.
+const META_ENTRY: &str = "meta";
+/// Name of the table tree in the DBFS root.
+const TABLES_DIR: &str = "tables";
+/// Name of the subject tree in the DBFS root.
+const SUBJECTS_DIR: &str = "subjects";
+
+/// Formatting parameters of DBFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbfsParams {
+    /// Parameters of the underlying inode layer.
+    pub inode_params: FormatParams,
+    /// Journal scrub policy.  DBFS defaults to [`JournalMode::Scrub`]; the
+    /// [`DbfsParams::insecure`] preset exists only for the ablation
+    /// experiment that quantifies what scrubbing costs and what leaving it
+    /// out leaks.
+    pub journal_mode: JournalMode,
+}
+
+impl DbfsParams {
+    /// The secure defaults used by rgpdOS (scrubbed journal, zero-on-free).
+    pub fn secure() -> Self {
+        Self {
+            inode_params: FormatParams::standard().with_secure_free(true),
+            journal_mode: JournalMode::Scrub,
+        }
+    }
+
+    /// A conventional configuration (retained journal, no zero-on-free) used
+    /// by the ablation experiments.
+    pub fn insecure() -> Self {
+        Self {
+            inode_params: FormatParams::standard().with_secure_free(false),
+            journal_mode: JournalMode::Retain,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        Self {
+            inode_params: FormatParams::small()
+                .with_inode_count(512)
+                .with_secure_free(true),
+            journal_mode: JournalMode::Scrub,
+        }
+    }
+}
+
+impl Default for DbfsParams {
+    fn default() -> Self {
+        Self::secure()
+    }
+}
+
+/// What DBFS persists for one personal-data item.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StoredRecord {
+    membrane: Membrane,
+    row: Row,
+}
+
+#[derive(Debug, Clone)]
+struct RecordLocation {
+    data_type: DataTypeId,
+    subject: SubjectId,
+    ino: Ino,
+    erased: bool,
+}
+
+#[derive(Debug, Default)]
+struct DbfsIndex {
+    schemas: SchemaRegistry,
+    tables: BTreeMap<DataTypeId, Ino>,
+    subjects: BTreeMap<SubjectId, Ino>,
+    records: BTreeMap<PdId, RecordLocation>,
+    next_pd: u64,
+    tables_ino: Ino,
+    subjects_ino: Ino,
+    meta_ino: Ino,
+}
+
+/// The database-oriented filesystem.
+#[derive(Debug)]
+pub struct Dbfs<D> {
+    fs: InodeFs<D>,
+    index: Mutex<DbfsIndex>,
+    clock: Arc<LogicalClock>,
+    audit: AuditLog,
+    stats: DbfsStatsInner,
+}
+
+impl<D: BlockDevice> Dbfs<D> {
+    /// Formats a device as an empty DBFS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inode-layer errors (device too small, I/O failures).
+    pub fn format(device: D, params: DbfsParams) -> Result<Self, DbfsError> {
+        Self::format_with(device, params, Arc::new(LogicalClock::new()), AuditLog::new())
+    }
+
+    /// Formats a device, sharing an existing clock and audit log with the
+    /// rest of the rgpdOS instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inode-layer errors.
+    pub fn format_with(
+        device: D,
+        params: DbfsParams,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Result<Self, DbfsError> {
+        let inode_params = FormatParams {
+            secure_free: params.inode_params.secure_free,
+            ..params.inode_params
+        };
+        let fs = InodeFs::format(device, inode_params, params.journal_mode)?;
+        let tables_ino = fs.alloc_inode(InodeKind::Directory)?;
+        fs.dir_add(ROOT_INO, TABLES_DIR, tables_ino)?;
+        let subjects_ino = fs.alloc_inode(InodeKind::Directory)?;
+        fs.dir_add(ROOT_INO, SUBJECTS_DIR, subjects_ino)?;
+        let meta_ino = fs.alloc_inode(InodeKind::File)?;
+        fs.dir_add(ROOT_INO, META_ENTRY, meta_ino)?;
+        fs.write_replace(meta_ino, &0u64.to_le_bytes())?;
+        let index = DbfsIndex {
+            tables_ino,
+            subjects_ino,
+            meta_ino,
+            ..DbfsIndex::default()
+        };
+        Ok(Self {
+            fs,
+            index: Mutex::new(index),
+            clock,
+            audit,
+            stats: DbfsStatsInner::default(),
+        })
+    }
+
+    /// Mounts an existing DBFS, rebuilding the in-memory index from the two
+    /// inode trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Corrupt`] when the on-disk structure is not a
+    /// DBFS, and propagates inode-layer errors.
+    pub fn mount(device: D) -> Result<Self, DbfsError> {
+        Self::mount_with(device, Arc::new(LogicalClock::new()), AuditLog::new())
+    }
+
+    /// Mounts like [`Dbfs::mount`], sharing a clock and audit log.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::mount`].
+    pub fn mount_with(
+        device: D,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Result<Self, DbfsError> {
+        let fs = InodeFs::mount_with(device, true)?;
+        let corrupt = |what: &str| DbfsError::Corrupt {
+            what: what.to_owned(),
+        };
+        let tables_ino = fs
+            .dir_lookup(ROOT_INO, TABLES_DIR)?
+            .ok_or_else(|| corrupt("missing tables tree"))?;
+        let subjects_ino = fs
+            .dir_lookup(ROOT_INO, SUBJECTS_DIR)?
+            .ok_or_else(|| corrupt("missing subjects tree"))?;
+        let meta_ino = fs
+            .dir_lookup(ROOT_INO, META_ENTRY)?
+            .ok_or_else(|| corrupt("missing metadata file"))?;
+        let meta = fs.read_all(meta_ino)?;
+        if meta.len() < 8 {
+            return Err(corrupt("metadata file truncated"));
+        }
+        let next_pd = u64::from_le_bytes(meta[0..8].try_into().expect("8 bytes"));
+
+        let mut index = DbfsIndex {
+            tables_ino,
+            subjects_ino,
+            meta_ino,
+            next_pd,
+            ..DbfsIndex::default()
+        };
+
+        for (subject_name, subject_ino) in fs.dir_entries(subjects_ino)? {
+            let raw = subject_name
+                .strip_prefix("subject-")
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| corrupt("malformed subject entry"))?;
+            index.subjects.insert(SubjectId::new(raw), subject_ino);
+        }
+
+        for (type_name, table_ino) in fs.dir_entries(tables_ino)? {
+            let data_type = DataTypeId::from(type_name.as_str());
+            index.tables.insert(data_type.clone(), table_ino);
+            for (entry, ino) in fs.dir_entries(table_ino)? {
+                if entry == SCHEMA_ENTRY {
+                    let bytes = fs.read_all(ino)?;
+                    let schema: DataTypeSchema = serde_json::from_slice(&bytes)
+                        .map_err(|_| corrupt("schema does not decode"))?;
+                    index.schemas.register(schema);
+                } else {
+                    let raw = entry
+                        .strip_prefix("pd-")
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| corrupt("malformed record entry"))?;
+                    let bytes = fs.read_all(ino)?;
+                    let stored: StoredRecord = serde_json::from_slice(&bytes)
+                        .map_err(|_| corrupt("record does not decode"))?;
+                    index.records.insert(
+                        PdId::new(raw),
+                        RecordLocation {
+                            data_type: data_type.clone(),
+                            subject: stored.membrane.subject(),
+                            ino,
+                            erased: stored.membrane.is_erased(),
+                        },
+                    );
+                }
+            }
+        }
+
+        Ok(Self {
+            fs,
+            index: Mutex::new(index),
+            clock,
+            audit,
+            stats: DbfsStatsInner::default(),
+        })
+    }
+
+    /// The clock DBFS uses to timestamp membranes.
+    pub fn clock(&self) -> Arc<LogicalClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The audit log DBFS records storage events into.
+    pub fn audit(&self) -> AuditLog {
+        self.audit.clone()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DbfsStats {
+        self.stats.snapshot()
+    }
+
+    /// The underlying inode filesystem.
+    pub fn inode_fs(&self) -> &InodeFs<D> {
+        &self.fs
+    }
+
+    /// The underlying block device (for forensic scans in experiments).
+    pub fn device(&self) -> &D {
+        self.fs.device()
+    }
+
+    // ------------------------------------------------------------------
+    // Schema management
+    // ------------------------------------------------------------------
+
+    /// Installs a personal-data type (creates its table).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::TypeAlreadyExists`] when the type exists.
+    pub fn create_type(&self, schema: DataTypeSchema) -> Result<(), DbfsError> {
+        let mut index = self.index.lock();
+        if index.tables.contains_key(schema.name()) {
+            return Err(DbfsError::TypeAlreadyExists {
+                name: schema.name().to_string(),
+            });
+        }
+        let table_ino = self.fs.alloc_inode(InodeKind::Table)?;
+        self.fs
+            .dir_add(index.tables_ino, schema.name().as_str(), table_ino)?;
+        let schema_ino = self.fs.alloc_inode(InodeKind::Schema)?;
+        let bytes =
+            serde_json::to_vec(&schema).map_err(|_| DbfsError::Corrupt {
+                what: "schema serialization".to_owned(),
+            })?;
+        self.fs.write_replace(schema_ino, &bytes)?;
+        self.fs.dir_add(table_ino, SCHEMA_ENTRY, schema_ino)?;
+        index.tables.insert(schema.name().clone(), table_ino);
+        index.schemas.register(schema);
+        Ok(())
+    }
+
+    /// Returns the schema of a type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn schema(&self, name: &DataTypeId) -> Result<DataTypeSchema, DbfsError> {
+        self.index
+            .lock()
+            .schemas
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbfsError::UnknownType {
+                name: name.to_string(),
+            })
+    }
+
+    /// The installed type names.
+    pub fn types(&self) -> Vec<DataTypeId> {
+        self.index.lock().tables.keys().cloned().collect()
+    }
+
+    /// Number of live (non-erased) records of a type.
+    pub fn count(&self, name: &DataTypeId) -> usize {
+        self.index
+            .lock()
+            .records
+            .values()
+            .filter(|loc| &loc.data_type == name && !loc.erased)
+            .count()
+    }
+
+    /// The subjects that currently own at least one record.
+    pub fn subjects(&self) -> Vec<SubjectId> {
+        self.index.lock().subjects.keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Record lifecycle (the rgpdOS built-in functions)
+    // ------------------------------------------------------------------
+
+    /// The `acquisition` built-in: stores a newly collected row, wrapping it
+    /// in the default membrane derived from its type's declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] or [`DbfsError::Core`] when the row
+    /// does not match the schema.
+    pub fn collect(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        subject: SubjectId,
+        row: Row,
+    ) -> Result<PdId, DbfsError> {
+        let data_type = data_type.into();
+        let now = self.clock.now();
+        let schema = self.schema(&data_type)?;
+        let membrane = Membrane::from_schema(&schema, subject, now);
+        self.store_wrapped(&data_type, WrappedPd::new(row, membrane), true)
+    }
+
+    /// Stores an already-wrapped record (used by the `copy` built-in and by
+    /// the DED when a processing produces new personal data).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::collect`].
+    pub fn insert_wrapped(
+        &self,
+        data_type: &DataTypeId,
+        wrapped: WrappedPd,
+    ) -> Result<PdId, DbfsError> {
+        self.store_wrapped(data_type, wrapped, true)
+    }
+
+    fn store_wrapped(
+        &self,
+        data_type: &DataTypeId,
+        wrapped: WrappedPd,
+        validate: bool,
+    ) -> Result<PdId, DbfsError> {
+        let mut index = self.index.lock();
+        let Some(&table_ino) = index.tables.get(data_type) else {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        };
+        if validate && !wrapped.membrane().is_erased() {
+            let schema = index
+                .schemas
+                .get(data_type)
+                .ok_or_else(|| DbfsError::UnknownType {
+                    name: data_type.to_string(),
+                })?;
+            schema.validate_row(wrapped.row())?;
+        }
+        let subject = wrapped.membrane().subject();
+        let id = PdId::new(index.next_pd);
+        index.next_pd += 1;
+        self.fs
+            .write_replace(index.meta_ino, &index.next_pd.to_le_bytes())?;
+
+        // Record inode + table-tree entry.
+        let record_ino = self.fs.alloc_inode(InodeKind::Record)?;
+        let stored = StoredRecord {
+            membrane: wrapped.membrane().clone(),
+            row: wrapped.row().clone(),
+        };
+        let bytes = serde_json::to_vec(&stored).map_err(|_| DbfsError::Corrupt {
+            what: "record serialization".to_owned(),
+        })?;
+        self.fs.write_replace(record_ino, &bytes)?;
+        self.fs
+            .dir_add(table_ino, &format!("pd-{}", id.raw()), record_ino)?;
+
+        // Subject-tree entry (creating the subject's subtree on first use).
+        let subject_ino = match index.subjects.get(&subject) {
+            Some(&ino) => ino,
+            None => {
+                let ino = self.fs.alloc_inode(InodeKind::SubjectRoot)?;
+                self.fs
+                    .dir_add(index.subjects_ino, &subject.to_string(), ino)?;
+                index.subjects.insert(subject, ino);
+                ino
+            }
+        };
+        self.fs.dir_add(
+            subject_ino,
+            &format!("{}#pd-{}", data_type, id.raw()),
+            record_ino,
+        )?;
+
+        let erased = stored.membrane.is_erased();
+        index.records.insert(
+            id,
+            RecordLocation {
+                data_type: data_type.clone(),
+                subject,
+                ino: record_ino,
+                erased,
+            },
+        );
+        drop(index);
+
+        DbfsStatsInner::bump(&self.stats.collects);
+        self.audit.record(
+            self.clock.now(),
+            Some(subject),
+            AuditEventKind::Collected { pd: id },
+        );
+        Ok(id)
+    }
+
+    /// Reads one record (payload + membrane).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] when the id does not exist or belongs
+    /// to another type.
+    pub fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {
+        DbfsStatsInner::bump(&self.stats.reads);
+        let location = self.locate(data_type, id)?;
+        let stored = self.read_stored(location.ino)?;
+        Ok(PdRecord::new(
+            id,
+            data_type.clone(),
+            WrappedPd::new(stored.row, stored.membrane),
+        ))
+    }
+
+    /// The `ded_load_membrane` request: fetches only the membranes of a
+    /// table, so consent filtering can happen *before* any personal data is
+    /// read (data minimisation inside the OS itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn load_membranes(&self, data_type: &DataTypeId) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        let locations: Vec<(PdId, Ino)> = {
+            let index = self.index.lock();
+            if !index.tables.contains_key(data_type) {
+                return Err(DbfsError::UnknownType {
+                    name: data_type.to_string(),
+                });
+            }
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| &loc.data_type == data_type)
+                .map(|(id, loc)| (*id, loc.ino))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(locations.len());
+        for (id, ino) in locations {
+            let stored = self.read_stored(ino)?;
+            out.push((id, stored.membrane));
+        }
+        Ok(out)
+    }
+
+    /// The `ded_load_data` request: fetches the full records for the
+    /// identifiers that passed the membrane filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers.
+    pub fn load_records(
+        &self,
+        data_type: &DataTypeId,
+        ids: &[PdId],
+    ) -> Result<RecordBatch, DbfsError> {
+        let mut batch = RecordBatch::new();
+        for &id in ids {
+            batch.push(self.get(data_type, id)?);
+        }
+        Ok(batch)
+    }
+
+    /// The `update` built-in: replaces the payload row of a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Erased`] for erased records and
+    /// [`DbfsError::Core`] for schema violations.
+    pub fn update_row(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DbfsError> {
+        let location = self.locate(data_type, id)?;
+        if location.erased {
+            return Err(DbfsError::Erased { id: id.raw() });
+        }
+        let schema = self.schema(data_type)?;
+        schema.validate_row(&row)?;
+        let mut stored = self.read_stored(location.ino)?;
+        stored.row = row;
+        self.write_stored(location.ino, &stored)?;
+        DbfsStatsInner::bump(&self.stats.updates);
+        self.audit.record(
+            self.clock.now(),
+            Some(location.subject),
+            AuditEventKind::Updated { pd: id },
+        );
+        Ok(())
+    }
+
+    /// Applies a subject-initiated membrane change (consent grant/withdrawal,
+    /// retention change).  Returns whether the delta had an effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] for unknown records.
+    pub fn apply_membrane_delta(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        delta: &MembraneDelta,
+    ) -> Result<bool, DbfsError> {
+        let location = self.locate(data_type, id)?;
+        let mut stored = self.read_stored(location.ino)?;
+        let applied = stored.membrane.apply(delta);
+        if applied {
+            self.write_stored(location.ino, &stored)?;
+            let purpose = match delta {
+                MembraneDelta::Grant { purpose, .. } | MembraneDelta::Withdraw { purpose } => {
+                    purpose.clone()
+                }
+                MembraneDelta::SetTimeToLive { .. } => "retention".into(),
+            };
+            self.audit.record(
+                self.clock.now(),
+                Some(location.subject),
+                AuditEventKind::ConsentChanged { pd: id, purpose },
+            );
+        }
+        Ok(applied)
+    }
+
+    /// The `copy` built-in: duplicates a record, keeping the membrane
+    /// consistent across copies and recording the lineage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Erased`] for erased records.
+    pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DbfsError> {
+        let location = self.locate(data_type, id)?;
+        if location.erased {
+            return Err(DbfsError::Erased { id: id.raw() });
+        }
+        let stored = self.read_stored(location.ino)?;
+        let copy_membrane = stored.membrane.for_copy(id);
+        let new_id = self.store_wrapped(
+            data_type,
+            WrappedPd::new(stored.row, copy_membrane),
+            true,
+        )?;
+        DbfsStatsInner::bump(&self.stats.copies);
+        self.audit.record(
+            self.clock.now(),
+            Some(location.subject),
+            AuditEventKind::Copied { from: id, to: new_id },
+        );
+        Ok(new_id)
+    }
+
+    /// The `delete` built-in, i.e. the right to be forgotten (§4): the
+    /// record's payload is encrypted under the authority's public key and the
+    /// membrane is marked erased.  Copies of the record are erased too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] for unknown records.
+    pub fn erase(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        escrow: &OperatorEscrow,
+    ) -> Result<(), DbfsError> {
+        // Erase the record itself.
+        self.erase_single(data_type, id, escrow)?;
+        // Erasure must reach every copy whose lineage points at this record.
+        let copies: Vec<(DataTypeId, PdId)> = {
+            let index = self.index.lock();
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| !loc.erased)
+                .map(|(other, loc)| (other, loc.clone()))
+                .filter_map(|(other, loc)| {
+                    let stored = self.read_stored(loc.ino).ok()?;
+                    (stored.membrane.copied_from() == Some(id))
+                        .then(|| (loc.data_type.clone(), *other))
+                })
+                .collect()
+        };
+        for (copy_type, copy_id) in copies {
+            self.erase_single(&copy_type, copy_id, escrow)?;
+        }
+        Ok(())
+    }
+
+    fn erase_single(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        escrow: &OperatorEscrow,
+    ) -> Result<(), DbfsError> {
+        let location = self.locate(data_type, id)?;
+        if location.erased {
+            return Ok(());
+        }
+        let mut stored = self.read_stored(location.ino)?;
+        let plaintext = serde_json::to_vec(&stored.row).map_err(|_| DbfsError::Corrupt {
+            what: "row serialization for erasure".to_owned(),
+        })?;
+        let ciphertext = escrow.erase(&plaintext);
+        let mut wrapped = WrappedPd::new(stored.row.clone(), stored.membrane.clone());
+        wrapped.erase_with(ciphertext.encode());
+        stored.row = wrapped.row().clone();
+        stored.membrane = wrapped.membrane().clone();
+        self.write_stored(location.ino, &stored)?;
+        self.index
+            .lock()
+            .records
+            .get_mut(&id)
+            .expect("record located above")
+            .erased = true;
+        DbfsStatsInner::bump(&self.stats.erasures);
+        self.audit.record(
+            self.clock.now(),
+            Some(location.subject),
+            AuditEventKind::Erased { pd: id },
+        );
+        Ok(())
+    }
+
+    /// Erases every record of a subject (a subject-wide right-to-be-forgotten
+    /// request).  Returns the erased identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn erase_subject(
+        &self,
+        subject: SubjectId,
+        escrow: &OperatorEscrow,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        let targets: Vec<(DataTypeId, PdId)> = {
+            let index = self.index.lock();
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| loc.subject == subject && !loc.erased)
+                .map(|(id, loc)| (loc.data_type.clone(), *id))
+                .collect()
+        };
+        let mut erased = Vec::with_capacity(targets.len());
+        for (data_type, id) in targets {
+            self.erase(&data_type, id, escrow)?;
+            erased.push(id);
+        }
+        Ok(erased)
+    }
+
+    /// Enforces the storage-limitation principle: erases every record whose
+    /// retention period has elapsed.  Returns the expired identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn purge_expired(&self, escrow: &OperatorEscrow) -> Result<Vec<PdId>, DbfsError> {
+        let now = self.clock.now();
+        let candidates: Vec<(DataTypeId, PdId, SubjectId)> = {
+            let index = self.index.lock();
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| !loc.erased)
+                .map(|(id, loc)| (loc.data_type.clone(), *id, loc.subject))
+                .collect()
+        };
+        let mut expired = Vec::new();
+        for (data_type, id, subject) in candidates {
+            let location = self.locate(&data_type, id)?;
+            let stored = self.read_stored(location.ino)?;
+            if stored.membrane.is_expired(now) {
+                self.erase(&data_type, id, escrow)?;
+                DbfsStatsInner::bump(&self.stats.expirations);
+                self.audit.record(
+                    now,
+                    Some(subject),
+                    AuditEventKind::Expired { pd: id },
+                );
+                expired.push(id);
+            }
+        }
+        Ok(expired)
+    }
+
+    /// Returns every live record belonging to a subject, across all types —
+    /// the raw material of the right of access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn records_of_subject(&self, subject: SubjectId) -> Result<Vec<PdRecord>, DbfsError> {
+        let locations: Vec<(PdId, RecordLocation)> = {
+            let index = self.index.lock();
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| loc.subject == subject && !loc.erased)
+                .map(|(id, loc)| (*id, loc.clone()))
+                .collect()
+        };
+        let mut out = Vec::with_capacity(locations.len());
+        for (id, loc) in locations {
+            let stored = self.read_stored(loc.ino)?;
+            out.push(PdRecord::new(
+                id,
+                loc.data_type,
+                WrappedPd::new(stored.row, stored.membrane),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Executes a query against one table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] (and [`DbfsError::Core`] when the
+    /// requested view does not exist).
+    pub fn query(&self, request: &QueryRequest) -> Result<RecordBatch, DbfsError> {
+        DbfsStatsInner::bump(&self.stats.queries);
+        let schema = self.schema(&request.data_type)?;
+        let view = match &request.view {
+            Some(view_name) => Some(
+                schema
+                    .view(view_name)
+                    .cloned()
+                    .ok_or(rgpdos_core::CoreError::NotFound {
+                        what: format!("view `{view_name}`"),
+                    })?,
+            ),
+            None => None,
+        };
+        let locations: Vec<(PdId, RecordLocation)> = {
+            let index = self.index.lock();
+            index
+                .records
+                .iter()
+                .filter(|(_, loc)| loc.data_type == request.data_type)
+                .filter(|(_, loc)| !(request.skip_erased && loc.erased))
+                .map(|(id, loc)| (*id, loc.clone()))
+                .collect()
+        };
+        let mut batch = RecordBatch::new();
+        for (id, loc) in locations {
+            let stored = self.read_stored(loc.ino)?;
+            if !request.predicate.matches(id, loc.subject, &stored.row) {
+                continue;
+            }
+            let row = match &view {
+                Some(v) => v.apply(&stored.row),
+                None => stored.row,
+            };
+            batch.push(PdRecord::new(
+                id,
+                request.data_type.clone(),
+                WrappedPd::new(row, stored.membrane),
+            ));
+        }
+        Ok(batch)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn locate(&self, data_type: &DataTypeId, id: PdId) -> Result<RecordLocation, DbfsError> {
+        let index = self.index.lock();
+        match index.records.get(&id) {
+            Some(loc) if &loc.data_type == data_type => Ok(loc.clone()),
+            _ => Err(DbfsError::UnknownPd { id: id.raw() }),
+        }
+    }
+
+    fn read_stored(&self, ino: Ino) -> Result<StoredRecord, DbfsError> {
+        let bytes = self.fs.read_all(ino)?;
+        serde_json::from_slice(&bytes).map_err(|_| DbfsError::Corrupt {
+            what: format!("record inode {ino}"),
+        })
+    }
+
+    fn write_stored(&self, ino: Ino, stored: &StoredRecord) -> Result<(), DbfsError> {
+        let bytes = serde_json::to_vec(stored).map_err(|_| DbfsError::Corrupt {
+            what: "record serialization".to_owned(),
+        })?;
+        self.fs.write_replace(ino, &bytes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_blockdev::{scan_for_pattern, MemDevice};
+    use rgpdos_core::schema::listing1_user_schema;
+    use rgpdos_core::{AccessDecision, ConsentDecision, Duration, PurposeId};
+    use rgpdos_crypto::escrow::Authority;
+    use rgpdos_dsl::compile_type_declarations;
+
+    fn dbfs() -> Dbfs<Arc<MemDevice>> {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Dbfs::format(device, DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        dbfs
+    }
+
+    fn user_row(name: &str, year: i64) -> Row {
+        Row::new()
+            .with("name", name)
+            .with("pwd", "hunter2")
+            .with("year_of_birthdate", year)
+    }
+
+    #[test]
+    fn create_type_and_collect() {
+        let dbfs = dbfs();
+        assert_eq!(dbfs.types(), vec![DataTypeId::from("user")]);
+        assert!(matches!(
+            dbfs.create_type(listing1_user_schema()),
+            Err(DbfsError::TypeAlreadyExists { .. })
+        ));
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Chiraz", 1990))
+            .unwrap();
+        let record = dbfs.get(&"user".into(), id).unwrap();
+        assert_eq!(record.subject(), SubjectId::new(1));
+        assert_eq!(record.row().get("name").unwrap().as_text(), Some("Chiraz"));
+        assert!(!record.membrane().is_erased());
+        assert_eq!(dbfs.count(&"user".into()), 1);
+        assert_eq!(dbfs.subjects(), vec![SubjectId::new(1)]);
+        assert_eq!(dbfs.stats().collects, 1);
+    }
+
+    #[test]
+    fn every_stored_record_has_a_membrane() {
+        // Enforcement rule (3): there is no DBFS API that stores a row
+        // without a membrane; `collect` derives it from the schema and
+        // `insert_wrapped` takes a WrappedPd which cannot be built without one.
+        let dbfs = dbfs();
+        let id = dbfs
+            .collect("user", SubjectId::new(4), user_row("Anyone", 1980))
+            .unwrap();
+        for (pd, membrane) in dbfs.load_membranes(&"user".into()).unwrap() {
+            assert_eq!(pd, id);
+            assert_eq!(membrane.subject(), SubjectId::new(4));
+        }
+    }
+
+    #[test]
+    fn collect_validates_against_schema() {
+        let dbfs = dbfs();
+        let bad = Row::new().with("name", "X");
+        assert!(matches!(
+            dbfs.collect("user", SubjectId::new(1), bad),
+            Err(DbfsError::Core(_))
+        ));
+        assert!(matches!(
+            dbfs.collect("ghost", SubjectId::new(1), user_row("X", 1990)),
+            Err(DbfsError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn update_and_membrane_delta() {
+        let dbfs = dbfs();
+        let id = dbfs
+            .collect("user", SubjectId::new(2), user_row("Old", 1970))
+            .unwrap();
+        dbfs.update_row(&"user".into(), id, user_row("New", 1970))
+            .unwrap();
+        let record = dbfs.get(&"user".into(), id).unwrap();
+        assert_eq!(record.row().get("name").unwrap().as_text(), Some("New"));
+        assert!(matches!(
+            dbfs.update_row(&"user".into(), id, Row::new().with("name", 3i64)),
+            Err(DbfsError::Core(_))
+        ));
+
+        // Grant then withdraw a consent through a membrane delta.
+        assert!(dbfs
+            .apply_membrane_delta(
+                &"user".into(),
+                id,
+                &MembraneDelta::Grant {
+                    purpose: PurposeId::from("newsletter"),
+                    decision: ConsentDecision::All,
+                },
+            )
+            .unwrap());
+        let record = dbfs.get(&"user".into(), id).unwrap();
+        assert_eq!(
+            record.membrane().permits(&PurposeId::from("newsletter")),
+            AccessDecision::Full
+        );
+        assert!(dbfs
+            .apply_membrane_delta(
+                &"user".into(),
+                id,
+                &MembraneDelta::Withdraw {
+                    purpose: PurposeId::from("newsletter"),
+                },
+            )
+            .unwrap());
+        let record = dbfs.get(&"user".into(), id).unwrap();
+        assert_eq!(
+            record.membrane().permits(&PurposeId::from("newsletter")),
+            AccessDecision::Denied
+        );
+        assert_eq!(dbfs.stats().updates, 1);
+    }
+
+    #[test]
+    fn copy_preserves_membrane_and_erasure_reaches_copies() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(9);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(3), user_row("Copied", 1985))
+            .unwrap();
+        let copy = dbfs.copy(&"user".into(), id).unwrap();
+        let copy_record = dbfs.get(&"user".into(), copy).unwrap();
+        assert_eq!(copy_record.membrane().copied_from(), Some(id));
+        assert_eq!(copy_record.subject(), SubjectId::new(3));
+        assert_eq!(dbfs.count(&"user".into()), 2);
+
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        // Both the original and its copy are erased.
+        assert!(dbfs.get(&"user".into(), id).unwrap().membrane().is_erased());
+        assert!(dbfs.get(&"user".into(), copy).unwrap().membrane().is_erased());
+        assert_eq!(dbfs.count(&"user".into()), 0);
+        assert!(matches!(
+            dbfs.copy(&"user".into(), id),
+            Err(DbfsError::Erased { .. })
+        ));
+        assert!(matches!(
+            dbfs.update_row(&"user".into(), id, user_row("X", 1985)),
+            Err(DbfsError::Erased { .. })
+        ));
+        assert_eq!(dbfs.stats().erasures, 2);
+    }
+
+    #[test]
+    fn erasure_leaves_no_plaintext_on_the_device_and_authority_recovers() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(11);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect(
+                "user",
+                SubjectId::new(5),
+                user_row("FORGOTTEN-NAME-XYZ", 1999),
+            )
+            .unwrap();
+        assert!(!scan_for_pattern(device.as_ref(), b"FORGOTTEN-NAME-XYZ")
+            .unwrap()
+            .is_empty());
+
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        // The operator's device no longer holds the plaintext anywhere —
+        // data blocks, journal, or tombstone.
+        assert!(scan_for_pattern(device.as_ref(), b"FORGOTTEN-NAME-XYZ")
+            .unwrap()
+            .is_empty());
+
+        // But the authority can still recover it from the tombstone.
+        let tombstone = dbfs
+            .query(&QueryRequest::all("user").including_erased())
+            .unwrap();
+        let ciphertext_bytes = tombstone.records()[0]
+            .row()
+            .get("__erased_ciphertext")
+            .unwrap()
+            .as_bytes()
+            .unwrap()
+            .to_vec();
+        let ciphertext = rgpdos_crypto::EscrowedCiphertext::decode(&ciphertext_bytes).unwrap();
+        let plaintext = authority.recover(&ciphertext).unwrap();
+        let row: Row = serde_json::from_slice(&plaintext).unwrap();
+        assert_eq!(row.get("name").unwrap().as_text(), Some("FORGOTTEN-NAME-XYZ"));
+    }
+
+    #[test]
+    fn erase_subject_and_records_of_subject() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(3);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        for i in 0..5 {
+            dbfs.collect(
+                "user",
+                SubjectId::new(10),
+                user_row(&format!("dup-{i}"), 1990 + i),
+            )
+            .unwrap();
+        }
+        dbfs.collect("user", SubjectId::new(11), user_row("other", 1970))
+            .unwrap();
+        assert_eq!(dbfs.records_of_subject(SubjectId::new(10)).unwrap().len(), 5);
+        let erased = dbfs.erase_subject(SubjectId::new(10), &escrow).unwrap();
+        assert_eq!(erased.len(), 5);
+        assert!(dbfs.records_of_subject(SubjectId::new(10)).unwrap().is_empty());
+        assert_eq!(dbfs.records_of_subject(SubjectId::new(11)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retention_sweep_erases_expired_records() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(5);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Expiring", 1990))
+            .unwrap();
+        // Nothing expires immediately.
+        assert!(dbfs.purge_expired(&escrow).unwrap().is_empty());
+        // Advance past the 1-year TTL of Listing 1.
+        dbfs.clock().advance(Duration::from_days(366));
+        let expired = dbfs.purge_expired(&escrow).unwrap();
+        assert_eq!(expired, vec![id]);
+        assert!(dbfs.get(&"user".into(), id).unwrap().membrane().is_erased());
+        assert_eq!(dbfs.stats().expirations, 1);
+        // A second sweep is a no-op.
+        assert!(dbfs.purge_expired(&escrow).unwrap().is_empty());
+    }
+
+    #[test]
+    fn queries_filter_and_project() {
+        let dbfs = dbfs();
+        for i in 0..10 {
+            dbfs.collect(
+                "user",
+                SubjectId::new(i % 3),
+                user_row(&format!("user-{i}"), 1960 + i as i64),
+            )
+            .unwrap();
+        }
+        let all = dbfs.query(&QueryRequest::all("user")).unwrap();
+        assert_eq!(all.len(), 10);
+        let subject0 = dbfs
+            .query(&QueryRequest::all("user").for_subject(SubjectId::new(0)))
+            .unwrap();
+        assert_eq!(subject0.len(), 4);
+        let older = dbfs
+            .query(&QueryRequest::all("user").filter(crate::query::Predicate::IntFieldLessThan {
+                field: "year_of_birthdate".into(),
+                bound: 1965,
+            }))
+            .unwrap();
+        assert_eq!(older.len(), 5);
+        let anonymised = dbfs
+            .query(&QueryRequest::all("user").through_view("v_ano".into()))
+            .unwrap();
+        for record in anonymised.iter() {
+            assert!(record.row().get("name").is_none());
+            assert!(record.row().get("pwd").is_none());
+            assert!(record.row().get("year_of_birthdate").is_some());
+        }
+        assert!(matches!(
+            dbfs.query(&QueryRequest::all("user").through_view("nope".into())),
+            Err(DbfsError::Core(_))
+        ));
+        assert!(matches!(
+            dbfs.query(&QueryRequest::all("ghost")),
+            Err(DbfsError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn remount_rebuilds_the_index() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let id;
+        {
+            let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+            dbfs.create_type(listing1_user_schema()).unwrap();
+            id = dbfs
+                .collect("user", SubjectId::new(7), user_row("Persisted", 2001))
+                .unwrap();
+            dbfs.collect("user", SubjectId::new(8), user_row("Another", 2002))
+                .unwrap();
+        }
+        let dbfs = Dbfs::mount(Arc::clone(&device)).unwrap();
+        assert_eq!(dbfs.types(), vec![DataTypeId::from("user")]);
+        assert_eq!(dbfs.count(&"user".into()), 2);
+        let record = dbfs.get(&"user".into(), id).unwrap();
+        assert_eq!(record.row().get("name").unwrap().as_text(), Some("Persisted"));
+        // New identifiers do not collide with pre-remount ones.
+        let new_id = dbfs
+            .collect("user", SubjectId::new(7), user_row("Fresh", 2003))
+            .unwrap();
+        assert!(new_id.raw() > id.raw());
+        // Mounting a non-DBFS device fails cleanly.
+        assert!(Dbfs::mount(Arc::new(MemDevice::new(64, 512))).is_err());
+    }
+
+    #[test]
+    fn listing1_schema_from_dsl_round_trips_through_dbfs() {
+        let schemas = compile_type_declarations(rgpdos_dsl::listings::LISTING_1).unwrap();
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Dbfs::format(device, DbfsParams::small()).unwrap();
+        dbfs.create_type(schemas[0].clone()).unwrap();
+        let loaded = dbfs.schema(&"user".into()).unwrap();
+        assert_eq!(&loaded, &schemas[0]);
+    }
+
+    #[test]
+    fn unknown_pd_is_reported() {
+        let dbfs = dbfs();
+        assert!(matches!(
+            dbfs.get(&"user".into(), PdId::new(99)),
+            Err(DbfsError::UnknownPd { .. })
+        ));
+        assert!(matches!(
+            dbfs.load_records(&"user".into(), &[PdId::new(99)]),
+            Err(DbfsError::UnknownPd { .. })
+        ));
+        assert!(matches!(
+            dbfs.schema(&"ghost".into()),
+            Err(DbfsError::UnknownType { .. })
+        ));
+        assert!(matches!(
+            dbfs.load_membranes(&"ghost".into()),
+            Err(DbfsError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_trail_records_the_lifecycle() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(2);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Audited", 1991))
+            .unwrap();
+        dbfs.update_row(&"user".into(), id, user_row("Audited2", 1991))
+            .unwrap();
+        let copy = dbfs.copy(&"user".into(), id).unwrap();
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        let audit = dbfs.audit();
+        assert!(audit.count_matching(|e| matches!(e.kind, AuditEventKind::Collected { .. })) >= 2);
+        assert_eq!(
+            audit.count_matching(|e| matches!(e.kind, AuditEventKind::Updated { .. })),
+            1
+        );
+        assert_eq!(
+            audit.count_matching(
+                |e| matches!(e.kind, AuditEventKind::Copied { from, to } if from == id && to == copy)
+            ),
+            1
+        );
+        assert!(
+            audit.count_matching(|e| matches!(e.kind, AuditEventKind::Erased { .. })) >= 2,
+            "original and copy erasures are both audited"
+        );
+    }
+}

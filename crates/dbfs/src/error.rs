@@ -1,0 +1,111 @@
+//! Error type of DBFS.
+
+use rgpdos_core::CoreError;
+use rgpdos_crypto::CryptoError;
+use rgpdos_inode::InodeError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the database-oriented filesystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DbfsError {
+    /// The inode layer failed.
+    Inode(InodeError),
+    /// A domain-model rule was violated (schema mismatch, unknown view, …).
+    Core(CoreError),
+    /// The crypto-erasure substrate failed.
+    Crypto(CryptoError),
+    /// A persisted structure could not be decoded.
+    Corrupt {
+        /// What was being decoded.
+        what: String,
+    },
+    /// The data type already exists.
+    TypeAlreadyExists {
+        /// The conflicting type name.
+        name: String,
+    },
+    /// The data type does not exist.
+    UnknownType {
+        /// The missing type name.
+        name: String,
+    },
+    /// The personal-data item does not exist.
+    UnknownPd {
+        /// The missing identifier.
+        id: u64,
+    },
+    /// The operation is not allowed on erased personal data.
+    Erased {
+        /// The erased identifier.
+        id: u64,
+    },
+}
+
+impl fmt::Display for DbfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbfsError::Inode(e) => write!(f, "inode layer error: {e}"),
+            DbfsError::Core(e) => write!(f, "domain error: {e}"),
+            DbfsError::Crypto(e) => write!(f, "crypto error: {e}"),
+            DbfsError::Corrupt { what } => write!(f, "corrupt dbfs structure: {what}"),
+            DbfsError::TypeAlreadyExists { name } => write!(f, "data type `{name}` already exists"),
+            DbfsError::UnknownType { name } => write!(f, "unknown data type `{name}`"),
+            DbfsError::UnknownPd { id } => write!(f, "unknown personal data item pd-{id}"),
+            DbfsError::Erased { id } => write!(f, "personal data pd-{id} has been erased"),
+        }
+    }
+}
+
+impl StdError for DbfsError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DbfsError::Inode(e) => Some(e),
+            DbfsError::Core(e) => Some(e),
+            DbfsError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InodeError> for DbfsError {
+    fn from(e: InodeError) -> Self {
+        DbfsError::Inode(e)
+    }
+}
+
+impl From<CoreError> for DbfsError {
+    fn from(e: CoreError) -> Self {
+        DbfsError::Core(e)
+    }
+}
+
+impl From<CryptoError> for DbfsError {
+    fn from(e: CryptoError) -> Self {
+        DbfsError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        assert!(DbfsError::from(InodeError::OutOfSpace).source().is_some());
+        assert!(DbfsError::from(CoreError::NotFound { what: "x".into() })
+            .source()
+            .is_some());
+        assert!(DbfsError::from(CryptoError::WrongKey).source().is_some());
+        for e in [
+            DbfsError::Corrupt { what: "record".into() },
+            DbfsError::TypeAlreadyExists { name: "user".into() },
+            DbfsError::UnknownType { name: "ghost".into() },
+            DbfsError::UnknownPd { id: 7 },
+            DbfsError::Erased { id: 7 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

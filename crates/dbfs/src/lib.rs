@@ -1,0 +1,63 @@
+//! # rgpdos-dbfs — the database-oriented filesystem
+//!
+//! DBFS is the heart of rgpdOS's storage story (§1 Idea 3, §2 "File System",
+//! §3(1)): personal data is not stored as anonymous byte files but as typed
+//! rows in tables, each row wrapped in its [`Membrane`](rgpdos_core::Membrane).
+//! The implementation follows the paper's description of the re-architected
+//! uFS layout with **two major inode trees** built over the
+//! [`rgpdos_inode`] layer:
+//!
+//! * the **subject tree** gathers every piece of personal data of each
+//!   subject (one subtree per subject, grouping the data *and* its
+//!   membranes);
+//! * the **schema tree** provides the database structure: one subtree per
+//!   table (data type) describing its fields and pointing at the records of
+//!   that type.
+//!
+//! DBFS is always formatted with the scrubbed journal and zero-on-free
+//! policies, so that the right to be forgotten holds against the raw device —
+//! the property the paper shows conventional filesystems violate.  Erasure is
+//! implemented as **crypto-erasure** through the authority escrow of
+//! [`rgpdos_crypto`]: the ciphertext tombstone and membrane survive (so the
+//! audit trail and the authorities' ability to investigate are preserved),
+//! the plaintext does not.
+//!
+//! DBFS must only ever be called by the DED and the rgpdOS built-ins; that
+//! rule is enforced by the LSM layer of [`rgpdos_kernel`] and exercised in
+//! the integration tests.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_blockdev::MemDevice;
+//! use rgpdos_core::prelude::*;
+//! use rgpdos_core::schema::listing1_user_schema;
+//! use rgpdos_dbfs::{Dbfs, DbfsParams};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), rgpdos_dbfs::DbfsError> {
+//! let dbfs = Dbfs::format(Arc::new(MemDevice::new(4096, 512)), DbfsParams::default())?;
+//! dbfs.create_type(listing1_user_schema())?;
+//! let row = Row::new()
+//!     .with("name", "Chiraz")
+//!     .with("pwd", "secret")
+//!     .with("year_of_birthdate", 1990i64);
+//! let id = dbfs.collect("user", SubjectId::new(1), row)?;
+//! let record = dbfs.get(&"user".into(), id)?;
+//! assert_eq!(record.membrane().subject(), SubjectId::new(1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbfs;
+pub mod error;
+pub mod query;
+pub mod stats;
+
+pub use dbfs::{Dbfs, DbfsParams};
+pub use error::DbfsError;
+pub use query::{Predicate, QueryRequest};
+pub use stats::DbfsStats;

@@ -1,0 +1,183 @@
+//! Query requests: the "requests at the destination of DBFS" the DED
+//! generates from a processing's input type (`ded_type2req`).
+
+use rgpdos_core::{DataTypeId, FieldValue, PdId, Row, SubjectId, ViewId};
+
+/// A row-level predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Every row matches.
+    All,
+    /// Only rows of this subject match.
+    SubjectIs(SubjectId),
+    /// Only these personal-data items match.
+    PdIn(Vec<PdId>),
+    /// The named field equals the given value.
+    FieldEquals {
+        /// Field name.
+        field: String,
+        /// Expected value.
+        value: FieldValue,
+    },
+    /// The named field, interpreted as an integer, is strictly less than the
+    /// bound.
+    IntFieldLessThan {
+        /// Field name.
+        field: String,
+        /// Exclusive upper bound.
+        bound: i64,
+    },
+    /// Both operands must match.
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a row and its identity.
+    pub fn matches(&self, id: PdId, subject: SubjectId, row: &Row) -> bool {
+        match self {
+            Predicate::All => true,
+            Predicate::SubjectIs(s) => subject == *s,
+            Predicate::PdIn(ids) => ids.contains(&id),
+            Predicate::FieldEquals { field, value } => row.get(field) == Some(value),
+            Predicate::IntFieldLessThan { field, bound } => row
+                .get(field)
+                .and_then(FieldValue::as_int)
+                .map(|v| v < *bound)
+                .unwrap_or(false),
+            Predicate::And(a, b) => a.matches(id, subject, row) && b.matches(id, subject, row),
+        }
+    }
+
+    /// Combines two predicates conjunctively.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+}
+
+/// A query against one DBFS table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// The table to read.
+    pub data_type: DataTypeId,
+    /// The row filter.
+    pub predicate: Predicate,
+    /// Optional projection: when set, only the fields exposed by this view
+    /// are returned (data minimisation).
+    pub view: Option<ViewId>,
+    /// When `true`, records whose membrane is erased are skipped (the
+    /// default for processings; the rights engine sets it to `false` to see
+    /// tombstones).
+    pub skip_erased: bool,
+}
+
+impl QueryRequest {
+    /// A query returning every live record of a table.
+    pub fn all(data_type: impl Into<DataTypeId>) -> Self {
+        Self {
+            data_type: data_type.into(),
+            predicate: Predicate::All,
+            view: None,
+            skip_erased: true,
+        }
+    }
+
+    /// Restricts the query to one subject.
+    #[must_use]
+    pub fn for_subject(mut self, subject: SubjectId) -> Self {
+        self.predicate = std::mem::replace(&mut self.predicate, Predicate::All)
+            .and(Predicate::SubjectIs(subject));
+        self
+    }
+
+    /// Restricts the query with an arbitrary predicate.
+    #[must_use]
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate =
+            std::mem::replace(&mut self.predicate, Predicate::All).and(predicate);
+        self
+    }
+
+    /// Projects the result through a view.
+    #[must_use]
+    pub fn through_view(mut self, view: ViewId) -> Self {
+        self.view = Some(view);
+        self
+    }
+
+    /// Includes erased tombstones in the result.
+    #[must_use]
+    pub fn including_erased(mut self) -> Self {
+        self.skip_erased = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new().with("name", "Chiraz").with("year_of_birthdate", 1990i64)
+    }
+
+    #[test]
+    fn predicates_match() {
+        let r = row();
+        let id = PdId::new(3);
+        let subject = SubjectId::new(7);
+        assert!(Predicate::All.matches(id, subject, &r));
+        assert!(Predicate::SubjectIs(subject).matches(id, subject, &r));
+        assert!(!Predicate::SubjectIs(SubjectId::new(8)).matches(id, subject, &r));
+        assert!(Predicate::PdIn(vec![PdId::new(3)]).matches(id, subject, &r));
+        assert!(!Predicate::PdIn(vec![]).matches(id, subject, &r));
+        assert!(Predicate::FieldEquals {
+            field: "name".into(),
+            value: "Chiraz".into()
+        }
+        .matches(id, subject, &r));
+        assert!(!Predicate::FieldEquals {
+            field: "name".into(),
+            value: "Someone".into()
+        }
+        .matches(id, subject, &r));
+        assert!(Predicate::IntFieldLessThan { field: "year_of_birthdate".into(), bound: 2000 }
+            .matches(id, subject, &r));
+        assert!(!Predicate::IntFieldLessThan { field: "year_of_birthdate".into(), bound: 1990 }
+            .matches(id, subject, &r));
+        assert!(!Predicate::IntFieldLessThan { field: "name".into(), bound: 10 }
+            .matches(id, subject, &r));
+        assert!(Predicate::All
+            .and(Predicate::SubjectIs(subject))
+            .matches(id, subject, &r));
+        assert!(!Predicate::All
+            .and(Predicate::SubjectIs(SubjectId::new(9)))
+            .matches(id, subject, &r));
+    }
+
+    #[test]
+    fn query_builder_composes() {
+        let q = QueryRequest::all("user")
+            .for_subject(SubjectId::new(5))
+            .filter(Predicate::IntFieldLessThan {
+                field: "year_of_birthdate".into(),
+                bound: 2000,
+            })
+            .through_view(ViewId::from("v_ano"));
+        assert_eq!(q.data_type.as_str(), "user");
+        assert_eq!(q.view, Some(ViewId::from("v_ano")));
+        assert!(q.skip_erased);
+        let q = q.including_erased();
+        assert!(!q.skip_erased);
+        // The composed predicate requires both the subject and the field bound.
+        assert!(q.predicate.matches(
+            PdId::new(1),
+            SubjectId::new(5),
+            &Row::new().with("year_of_birthdate", 1990i64)
+        ));
+        assert!(!q.predicate.matches(
+            PdId::new(1),
+            SubjectId::new(6),
+            &Row::new().with("year_of_birthdate", 1990i64)
+        ));
+    }
+}

@@ -1,0 +1,87 @@
+//! Operation counters exposed by DBFS for the benchmark harness.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of DBFS operations since format/mount.
+#[derive(Debug, Default)]
+pub struct DbfsStatsInner {
+    pub(crate) collects: AtomicU64,
+    pub(crate) reads: AtomicU64,
+    pub(crate) updates: AtomicU64,
+    pub(crate) copies: AtomicU64,
+    pub(crate) erasures: AtomicU64,
+    pub(crate) expirations: AtomicU64,
+    pub(crate) queries: AtomicU64,
+}
+
+/// A point-in-time snapshot of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbfsStats {
+    /// Records collected (inserted).
+    pub collects: u64,
+    /// Records read individually.
+    pub reads: u64,
+    /// Records updated.
+    pub updates: u64,
+    /// Records copied.
+    pub copies: u64,
+    /// Records crypto-erased.
+    pub erasures: u64,
+    /// Records removed by retention expiry.
+    pub expirations: u64,
+    /// Table queries executed.
+    pub queries: u64,
+}
+
+impl DbfsStatsInner {
+    pub(crate) fn snapshot(&self) -> DbfsStats {
+        DbfsStats {
+            collects: self.collects.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            erasures: self.erasures.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for DbfsStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collects={} reads={} updates={} copies={} erasures={} expirations={} queries={}",
+            self.collects,
+            self.reads,
+            self.updates,
+            self.copies,
+            self.erasures,
+            self.expirations,
+            self.queries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let inner = DbfsStatsInner::default();
+        DbfsStatsInner::bump(&inner.collects);
+        DbfsStatsInner::bump(&inner.collects);
+        DbfsStatsInner::bump(&inner.erasures);
+        let snap = inner.snapshot();
+        assert_eq!(snap.collects, 2);
+        assert_eq!(snap.erasures, 1);
+        assert_eq!(snap.reads, 0);
+        assert!(snap.to_string().contains("collects=2"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The rgpdOS built-in functions (§2): `acquisition`, `update`, `copy`,
+//! `delete`.
+//!
+//! The paper distinguishes two kinds of personal-data functions: the
+//! operator-written read-only processings (`F_pd^r`, executed through
+//! [`crate::DedEngine::invoke`]) and the **built-in** functions that modify
+//! the state of DBFS (`F_pd^w`), which rgpdOS provides natively so that every
+//! mutation keeps membranes consistent.  [`Builtins`] wraps the DED engine
+//! and performs those mutations under the `RgpdBuiltin` security context.
+
+use crate::error::DedError;
+use crate::pipeline::DedEngine;
+use rgpdos_blockdev::BlockDevice;
+use rgpdos_core::{DataTypeId, MembraneDelta, PdId, Row, SubjectId};
+use rgpdos_kernel::{ObjectClass, Operation, SecurityContext};
+
+/// Handle on the built-in `F_pd^w` functions of an rgpdOS instance.
+#[derive(Debug)]
+pub struct Builtins<'a, D> {
+    ded: &'a DedEngine<D>,
+}
+
+impl<'a, D: BlockDevice> Builtins<'a, D> {
+    /// Creates the built-ins handle for a DED engine.
+    pub fn new(ded: &'a DedEngine<D>) -> Self {
+        Self { ded }
+    }
+
+    fn with_builtin_task<T>(
+        &self,
+        operation: Operation,
+        body: impl FnOnce() -> Result<T, DedError>,
+    ) -> Result<T, DedError> {
+        let machine = self.ded.machine();
+        let task = machine.spawn_task(machine.rgpd_kernel(), SecurityContext::RgpdBuiltin)?;
+        machine.mediated_access(task, ObjectClass::DbfsStorage, operation)?;
+        let result = body();
+        machine.terminate_task(task)?;
+        result
+    }
+
+    /// The `acquisition` built-in: collects a new personal-data item, making
+    /// sure it enters DBFS correctly wrapped in its membrane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn acquire(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        subject: SubjectId,
+        row: Row,
+    ) -> Result<PdId, DedError> {
+        let data_type = data_type.into();
+        self.with_builtin_task(Operation::Write, || {
+            Ok(self.ded.dbfs().collect(data_type.clone(), subject, row)?)
+        })
+    }
+
+    /// The `update` built-in: replaces the payload of a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn update(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DedError> {
+        self.with_builtin_task(Operation::Write, || {
+            Ok(self.ded.dbfs().update_row(data_type, id, row)?)
+        })
+    }
+
+    /// The `copy` built-in: duplicates a record while keeping the membrane
+    /// consistent across copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DedError> {
+        self.with_builtin_task(Operation::Write, || Ok(self.ded.dbfs().copy(data_type, id)?))
+    }
+
+    /// The `delete` built-in: the right to be forgotten, implemented as
+    /// crypto-erasure under the authority's public key (§4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn delete(&self, data_type: &DataTypeId, id: PdId) -> Result<(), DedError> {
+        self.with_builtin_task(Operation::Write, || {
+            Ok(self.ded.dbfs().erase(data_type, id, self.ded.escrow())?)
+        })
+    }
+
+    /// Consent update on behalf of the subject.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn update_consent(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        delta: &MembraneDelta,
+    ) -> Result<bool, DedError> {
+        self.with_builtin_task(Operation::Write, || {
+            Ok(self.ded.dbfs().apply_membrane_delta(data_type, id, delta)?)
+        })
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the Data Execution Domain.
+
+use rgpdos_dbfs::DbfsError;
+use rgpdos_kernel::KernelError;
+use rgpdos_ps::PsError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the DED.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DedError {
+    /// The Processing Store refused the invocation (unknown, unapproved, …).
+    Ps(PsError),
+    /// DBFS failed.
+    Dbfs(DbfsError),
+    /// The purpose-kernel machine refused an access or syscall.
+    Kernel(KernelError),
+    /// The processing produced personal data of a type that does not exist
+    /// in DBFS.
+    UnknownOutputType {
+        /// The missing type.
+        name: String,
+    },
+}
+
+impl fmt::Display for DedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DedError::Ps(e) => write!(f, "processing store error: {e}"),
+            DedError::Dbfs(e) => write!(f, "dbfs error: {e}"),
+            DedError::Kernel(e) => write!(f, "kernel enforcement error: {e}"),
+            DedError::UnknownOutputType { name } => {
+                write!(f, "processing produced data of unknown type `{name}`")
+            }
+        }
+    }
+}
+
+impl StdError for DedError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DedError::Ps(e) => Some(e),
+            DedError::Dbfs(e) => Some(e),
+            DedError::Kernel(e) => Some(e),
+            DedError::UnknownOutputType { .. } => None,
+        }
+    }
+}
+
+impl From<PsError> for DedError {
+    fn from(e: PsError) -> Self {
+        DedError::Ps(e)
+    }
+}
+
+impl From<DbfsError> for DedError {
+    fn from(e: DbfsError) -> Self {
+        DedError::Dbfs(e)
+    }
+}
+
+impl From<KernelError> for DedError {
+    fn from(e: KernelError) -> Self {
+        DedError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_core::ProcessingId;
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = DedError::from(PsError::UnknownProcessing { id: ProcessingId::new(1) });
+        assert!(e.source().is_some());
+        assert!(!e.to_string().is_empty());
+        let e = DedError::UnknownOutputType { name: "age_pd".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("age_pd"));
+        assert!(DedError::from(DbfsError::UnknownPd { id: 1 }).source().is_some());
+        assert!(DedError::from(KernelError::ResourceExhausted { what: "cpu".into() })
+            .source()
+            .is_some());
+    }
+}

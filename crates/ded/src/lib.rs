@@ -1,0 +1,37 @@
+//! # rgpdos-ded — the Data Execution Domain
+//!
+//! The DED is the third component of rgpdOS (§2): every `F_pd` function is
+//! executed *inside* an instance of the DED, the environment that guarantees
+//! GDPR compliance on the personal data it manipulates.  This is the concrete
+//! form of the paper's **data-centric** idea (§1, Idea 2): instead of the
+//! process pulling personal data into its own address space, the function is
+//! brought to the data's domain, where the membrane is enforced before any
+//! byte of data is exposed.
+//!
+//! [`DedEngine::invoke`] implements the eight steps the paper names:
+//!
+//! 1. `ded_type2req` — translate the processing's input type into DBFS
+//!    requests;
+//! 2. `ded_load_membrane` — fetch only the membranes first;
+//! 3. `ded_filter` — keep the records whose membrane approves the purpose;
+//! 4. `ded_load_data` — fetch the data of the approved records;
+//! 5. `ded_execute` — run the implementation on each (view-projected) row;
+//! 6. `ded_build_membrane` — wrap any produced personal data in a membrane
+//!    derived from its source;
+//! 7. `ded_store` — store produced personal data in DBFS;
+//! 8. `ded_return` — return non-personal values and references (never raw
+//!    personal data) to the caller.
+//!
+//! The engine also hosts the rgpdOS **built-in functions** (`update`,
+//! `delete`, `copy`, `acquisition`) and the per-PD processing log that the
+//! right of access relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod error;
+pub mod pipeline;
+
+pub use error::DedError;
+pub use pipeline::{DedEngine, InvokeRequest, InvokeResult, InvokeTarget};

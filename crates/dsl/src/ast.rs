@@ -1,0 +1,72 @@
+//! Abstract syntax tree of the declaration language.
+
+/// A `type <name> { … }` declaration (Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeDecl {
+    /// The type (table) name.
+    pub name: String,
+    /// `fields { … }`.
+    pub fields: Vec<FieldDecl>,
+    /// `view <name> { … }` blocks.
+    pub views: Vec<ViewDecl>,
+    /// `consent { purpose: decision, … }`.
+    pub consent: Vec<ConsentClause>,
+    /// `collection { web_form: …, third_party: … }`.
+    pub collection: Vec<(String, String)>,
+    /// `origin: subject;`
+    pub origin: Option<String>,
+    /// `age: 1Y;` (retention / time to live).
+    pub age: Option<String>,
+    /// `sensitivity: hight;`
+    pub sensitivity: Option<String>,
+}
+
+/// One field declaration: `name: string`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Field type spelling (`string`, `int`, …).
+    pub field_type: String,
+}
+
+/// One view declaration: `view v_name { name }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDecl {
+    /// View name.
+    pub name: String,
+    /// Exposed fields.
+    pub fields: Vec<String>,
+}
+
+/// One consent clause: `purpose1: all`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsentClause {
+    /// Purpose name.
+    pub purpose: String,
+    /// Decision spelling (`all`, `none`, or a view reference).
+    pub decision: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_type_decl_is_empty() {
+        let decl = TypeDecl::default();
+        assert!(decl.name.is_empty());
+        assert!(decl.fields.is_empty());
+        assert!(decl.origin.is_none());
+    }
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = FieldDecl { name: "n".into(), field_type: "string".into() };
+        assert_eq!(a.clone(), a);
+        let v = ViewDecl { name: "v".into(), fields: vec!["n".into()] };
+        assert_eq!(v.fields.len(), 1);
+        let c = ConsentClause { purpose: "p".into(), decision: "all".into() };
+        assert_eq!(c.decision, "all");
+    }
+}

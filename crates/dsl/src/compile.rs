@@ -1,0 +1,207 @@
+//! Lowering from the AST to `rgpdos-core` schemas.
+
+use crate::ast::TypeDecl;
+use crate::error::DslError;
+use crate::parser::parse_type_declarations;
+use rgpdos_core::{
+    CollectionMethod, ConsentDecision, DataTypeSchema, FieldType, Origin, Sensitivity, TimeToLive,
+};
+
+/// Parses a retention spelling such as `1Y`, `30D`, `3600S`, `unbounded`.
+///
+/// # Errors
+///
+/// Returns [`DslError::BadRetention`] for unrecognised spellings.
+pub fn parse_retention(value: &str) -> Result<TimeToLive, DslError> {
+    let v = value.trim();
+    if v.eq_ignore_ascii_case("unbounded") || v.eq_ignore_ascii_case("forever") {
+        return Ok(TimeToLive::Unbounded);
+    }
+    let bad = || DslError::BadRetention {
+        value: value.to_owned(),
+    };
+    if v.len() < 2 {
+        return Err(bad());
+    }
+    let (amount, unit) = v.split_at(v.len() - 1);
+    let amount: u64 = amount.parse().map_err(|_| bad())?;
+    match unit {
+        "Y" | "y" => Ok(TimeToLive::years(amount)),
+        "D" | "d" => Ok(TimeToLive::days(amount)),
+        "S" | "s" => Ok(TimeToLive::seconds(amount)),
+        _ => Err(bad()),
+    }
+}
+
+/// Resolves a consent decision spelling against the declared view names.
+///
+/// Listing 1 writes `purpose3: ano` while the view is declared as `v_ano`;
+/// we therefore accept either the exact view name or the name with a `v_`
+/// prefix added.
+fn resolve_decision(spelling: &str, views: &[String]) -> ConsentDecision {
+    match spelling {
+        "all" => ConsentDecision::All,
+        "none" => ConsentDecision::None,
+        other => {
+            let exact = views.iter().find(|v| v.as_str() == other);
+            let prefixed = format!("v_{other}");
+            let with_prefix = views.iter().find(|v| **v == prefixed);
+            let resolved = exact.or(with_prefix).cloned().unwrap_or_else(|| other.to_owned());
+            ConsentDecision::View(resolved.into())
+        }
+    }
+}
+
+/// Compiles one parsed declaration to a [`DataTypeSchema`].
+///
+/// # Errors
+///
+/// Returns [`DslError::Core`] when the declaration violates schema rules
+/// (duplicate fields, unknown view references, …) and
+/// [`DslError::BadRetention`] / [`DslError::Core`] for bad attribute values.
+pub fn compile_type_declaration(decl: &TypeDecl) -> Result<DataTypeSchema, DslError> {
+    let mut builder = DataTypeSchema::builder(decl.name.as_str());
+    for field in &decl.fields {
+        builder = builder.field(field.name.as_str(), FieldType::parse(&field.field_type)?);
+    }
+    let view_names: Vec<String> = decl.views.iter().map(|v| v.name.clone()).collect();
+    for view in &decl.views {
+        // Listing 1 declares `view v_ano { age }` although the field is
+        // `year_of_birthdate`; `age` is the *derived* quantity purpose3
+        // computes.  We keep the fidelity to the paper by mapping the view
+        // field `age` onto the declared field it derives from when the
+        // literal field does not exist.
+        let fields: Vec<String> = view
+            .fields
+            .iter()
+            .map(|f| {
+                if decl.fields.iter().any(|d| &d.name == f) {
+                    f.clone()
+                } else if f == "age" && decl.fields.iter().any(|d| d.name == "year_of_birthdate") {
+                    "year_of_birthdate".to_owned()
+                } else {
+                    f.clone()
+                }
+            })
+            .collect();
+        builder = builder.view(view.name.as_str(), fields);
+    }
+    for clause in &decl.consent {
+        builder = builder.default_consent(
+            clause.purpose.as_str(),
+            resolve_decision(&clause.decision, &view_names),
+        );
+    }
+    for (kind, target) in &decl.collection {
+        let method = match kind.as_str() {
+            "web_form" => CollectionMethod::WebForm {
+                page: target.clone(),
+            },
+            "third_party" => CollectionMethod::ThirdParty {
+                script: target.clone(),
+            },
+            _ => CollectionMethod::Inline,
+        };
+        builder = builder.collection(method);
+    }
+    if let Some(origin) = &decl.origin {
+        builder = builder.origin(Origin::parse(origin)?);
+    }
+    if let Some(age) = &decl.age {
+        builder = builder.time_to_live(parse_retention(age)?);
+    }
+    if let Some(sensitivity) = &decl.sensitivity {
+        builder = builder.sensitivity(Sensitivity::parse(sensitivity)?);
+    }
+    Ok(builder.build()?)
+}
+
+/// Parses and compiles every declaration in `input`.
+///
+/// # Errors
+///
+/// Propagates parse and compilation errors.
+pub fn compile_type_declarations(input: &str) -> Result<Vec<DataTypeSchema>, DslError> {
+    parse_type_declarations(input)?
+        .iter()
+        .map(compile_type_declaration)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listings::LISTING_1;
+    use rgpdos_core::{AccessDecision, Membrane, PurposeId, SubjectId, Timestamp, ViewId};
+
+    #[test]
+    fn listing_1_compiles_to_the_expected_schema() {
+        let schemas = compile_type_declarations(LISTING_1).unwrap();
+        assert_eq!(schemas.len(), 1);
+        let user = &schemas[0];
+        assert_eq!(user.name().as_str(), "user");
+        assert_eq!(user.fields().len(), 3);
+        assert_eq!(user.views().count(), 2);
+        assert_eq!(user.origin(), Origin::Subject);
+        assert_eq!(user.time_to_live(), TimeToLive::years(1));
+        assert_eq!(user.sensitivity(), Sensitivity::High);
+        assert_eq!(user.collection_methods().len(), 2);
+
+        // The default consent behaves as the paper describes: purpose1 sees
+        // everything, purpose2 nothing, purpose3 only the anonymous view.
+        let membrane = Membrane::from_schema(user, SubjectId::new(1), Timestamp::ZERO);
+        assert_eq!(membrane.permits(&PurposeId::from("purpose1")), AccessDecision::Full);
+        assert_eq!(membrane.permits(&PurposeId::from("purpose2")), AccessDecision::Denied);
+        assert_eq!(
+            membrane.permits(&PurposeId::from("purpose3")),
+            AccessDecision::Restricted(ViewId::from("v_ano"))
+        );
+    }
+
+    #[test]
+    fn retention_parsing() {
+        assert_eq!(parse_retention("1Y").unwrap(), TimeToLive::years(1));
+        assert_eq!(parse_retention("30d").unwrap(), TimeToLive::days(30));
+        assert_eq!(parse_retention("3600S").unwrap(), TimeToLive::seconds(3600));
+        assert_eq!(parse_retention("unbounded").unwrap(), TimeToLive::Unbounded);
+        assert!(parse_retention("1 fortnight").is_err());
+        assert!(parse_retention("Y").is_err());
+        assert!(parse_retention("12").is_err());
+    }
+
+    #[test]
+    fn unknown_field_type_is_reported() {
+        let err = compile_type_declarations("type t { fields { a: complex } }").unwrap_err();
+        assert!(matches!(err, DslError::Core(_)));
+    }
+
+    #[test]
+    fn consent_referencing_missing_view_is_reported() {
+        let err = compile_type_declarations(
+            "type t { fields { a: int }; consent { p: secret_view } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, DslError::Core(_)));
+    }
+
+    #[test]
+    fn view_name_prefix_resolution() {
+        let schemas = compile_type_declarations(
+            "type t { fields { a: int }; view v_mini { a }; consent { p: mini } }",
+        )
+        .unwrap();
+        let schema = &schemas[0];
+        let membrane = Membrane::from_schema(schema, SubjectId::new(1), Timestamp::ZERO);
+        assert_eq!(
+            membrane.permits(&PurposeId::from("p")),
+            AccessDecision::Restricted(ViewId::from("v_mini"))
+        );
+    }
+
+    #[test]
+    fn bad_sensitivity_and_origin_are_reported() {
+        assert!(compile_type_declarations("type t { fields { a: int }; sensitivity: extreme; }").is_err());
+        assert!(compile_type_declarations("type t { fields { a: int }; origin: mars; }").is_err());
+        assert!(compile_type_declarations("type t { fields { a: int }; age: weird; }").is_err());
+    }
+}

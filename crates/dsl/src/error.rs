@@ -1,0 +1,99 @@
+//! Error type of the declaration language.
+
+use rgpdos_core::CoreError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while lexing, parsing or compiling declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DslError {
+    /// The lexer met a character it does not understand.
+    UnexpectedCharacter {
+        /// The character.
+        character: char,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The parser met an unexpected token.
+    UnexpectedToken {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The declaration text ended in the middle of a construct.
+    UnexpectedEndOfInput {
+        /// What was expected.
+        expected: String,
+    },
+    /// A retention period could not be parsed (`age: 1Y`, `30D`, `3600S`).
+    BadRetention {
+        /// The offending spelling.
+        value: String,
+    },
+    /// Compiling the declaration to a schema failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::UnexpectedCharacter { character, line } => {
+                write!(f, "unexpected character `{character}` on line {line}")
+            }
+            DslError::UnexpectedToken {
+                found,
+                expected,
+                line,
+            } => write!(f, "expected {expected} but found `{found}` on line {line}"),
+            DslError::UnexpectedEndOfInput { expected } => {
+                write!(f, "declaration ended while expecting {expected}")
+            }
+            DslError::BadRetention { value } => write!(f, "cannot parse retention `{value}`"),
+            DslError::Core(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl StdError for DslError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            DslError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DslError {
+    fn from(e: CoreError) -> Self {
+        DslError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            DslError::UnexpectedCharacter { character: '#', line: 3 },
+            DslError::UnexpectedToken {
+                found: "}".into(),
+                expected: "identifier".into(),
+                line: 9,
+            },
+            DslError::UnexpectedEndOfInput { expected: "`}`".into() },
+            DslError::BadRetention { value: "1 fortnight".into() },
+            DslError::Core(CoreError::NotFound { what: "view".into() }),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(DslError::Core(CoreError::NotFound { what: "x".into() })
+            .source()
+            .is_some());
+    }
+}

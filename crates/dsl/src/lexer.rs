@@ -1,0 +1,231 @@
+//! Tokeniser for the declaration language.
+
+use crate::error::DslError;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier, keyword, filename or bare value (`user`, `1Y`,
+    /// `user_form.html`).
+    Ident(String),
+    /// A quoted string literal (without the quotes).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::Colon => f.write_str(":"),
+            Token::Semicolon => f.write_str(";"),
+            Token::Comma => f.write_str(","),
+        }
+    }
+}
+
+/// A token plus the line it was found on (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenises declaration text.
+///
+/// Line comments (`// …`) and block comments (`/* … */`) are skipped.
+///
+/// # Errors
+///
+/// Returns [`DslError::UnexpectedCharacter`] for characters outside the
+/// language.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some('/') => {
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                break;
+                            }
+                            prev = c;
+                        }
+                    }
+                    _ => {
+                        return Err(DslError::UnexpectedCharacter {
+                            character: '/',
+                            line,
+                        })
+                    }
+                }
+            }
+            '{' => {
+                tokens.push(Spanned { token: Token::LBrace, line });
+                chars.next();
+            }
+            '}' => {
+                tokens.push(Spanned { token: Token::RBrace, line });
+                chars.next();
+            }
+            ':' => {
+                tokens.push(Spanned { token: Token::Colon, line });
+                chars.next();
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semicolon, line });
+                chars.next();
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, line });
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(DslError::UnexpectedEndOfInput {
+                                expected: "closing quote".to_owned(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), line });
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned { token: Token::Ident(s), line });
+            }
+            other => {
+                return Err(DslError::UnexpectedCharacter {
+                    character: other,
+                    line,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_declaration() {
+        let tokens = tokenize("type user { fields { name: string, }; };").unwrap();
+        let kinds: Vec<&Token> = tokens.iter().map(|s| &s.token).collect();
+        assert_eq!(kinds[0], &Token::Ident("type".into()));
+        assert_eq!(kinds[1], &Token::Ident("user".into()));
+        assert_eq!(kinds[2], &Token::LBrace);
+        assert!(kinds.contains(&&Token::Colon));
+        assert!(kinds.contains(&&Token::Comma));
+        assert!(kinds.contains(&&Token::Semicolon));
+    }
+
+    #[test]
+    fn tracks_line_numbers_and_skips_comments() {
+        let src = "// header comment\ntype user {\n/* block\ncomment */\nname\n}";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(tokens[0].line, 2); // `type`
+        let name_token = tokens.iter().find(|s| s.token == Token::Ident("name".into())).unwrap();
+        assert_eq!(name_token.line, 5);
+    }
+
+    #[test]
+    fn filenames_and_durations_are_single_tokens() {
+        let tokens = tokenize("web_form: user_form.html age: 1Y").unwrap();
+        let idents: Vec<String> = tokens
+            .iter()
+            .filter_map(|s| match &s.token {
+                Token::Ident(i) => Some(i.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(idents.contains(&"user_form.html".to_string()));
+        assert!(idents.contains(&"1Y".to_string()));
+    }
+
+    #[test]
+    fn quoted_strings() {
+        let tokens = tokenize("description: \"compute the age\"").unwrap();
+        assert!(tokens
+            .iter()
+            .any(|s| s.token == Token::Str("compute the age".into())));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(
+            tokenize("type user @ {}"),
+            Err(DslError::UnexpectedCharacter { character: '@', .. })
+        ));
+        assert!(matches!(
+            tokenize("a / b"),
+            Err(DslError::UnexpectedCharacter { character: '/', .. })
+        ));
+    }
+
+    #[test]
+    fn display_of_tokens() {
+        assert_eq!(Token::LBrace.to_string(), "{");
+        assert_eq!(Token::Ident("x".into()).to_string(), "x");
+        assert_eq!(Token::Str("s".into()).to_string(), "\"s\"");
+    }
+}

@@ -1,0 +1,47 @@
+//! # rgpdos-dsl — the personal-data type and purpose declaration language
+//!
+//! rgpdOS asks the data operator to describe personal-data types (fields,
+//! views, default consent, collection interfaces, origin, retention,
+//! sensitivity) in a small declaration language — Listing 1 of the paper —
+//! and to annotate every data-processing implementation with the purpose it
+//! realises — Listing 2.  This crate implements that language:
+//!
+//! * [`lexer`] / [`parser`] turn declaration text into an [`ast`];
+//! * [`compile`] lowers the AST to the [`rgpdos_core`] schema objects that
+//!   DBFS installs as tables;
+//! * [`purpose`] parses purpose declarations (the "very high level language"
+//!   the paper assigns to project managers) and extracts the purpose
+//!   annotation embedded in an implementation's source;
+//! * [`listings`] contains the verbatim listings of the paper, kept
+//!   compilable as a regression test of fidelity to the publication.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_dsl::{compile_type_declarations, listings};
+//!
+//! # fn main() -> Result<(), rgpdos_dsl::DslError> {
+//! let schemas = compile_type_declarations(listings::LISTING_1)?;
+//! assert_eq!(schemas.len(), 1);
+//! assert_eq!(schemas[0].name().as_str(), "user");
+//! assert_eq!(schemas[0].views().count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod listings;
+pub mod parser;
+pub mod purpose;
+
+pub use ast::{ConsentClause, FieldDecl, TypeDecl, ViewDecl};
+pub use compile::{compile_type_declaration, compile_type_declarations};
+pub use error::DslError;
+pub use parser::parse_type_declarations;
+pub use purpose::{extract_purpose_annotation, parse_purpose_declarations, PurposeDecl};

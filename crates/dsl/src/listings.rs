@@ -1,0 +1,86 @@
+//! The verbatim listings of the paper, kept compilable.
+//!
+//! These constants reproduce Listings 1–3 of *rgpdOS: GDPR Enforcement By The
+//! Operating System* so that tests, examples and the experiment harness can
+//! exercise exactly the artefacts the paper shows.
+
+/// Listing 1: the `user` personal-data type declaration with its default
+/// membrane (views, consent, collection interfaces, origin, retention,
+/// sensitivity).
+pub const LISTING_1: &str = r#"
+type user {
+    fields {
+        name: string,
+        pwd: string,
+        year_of_birthdate: int
+    };
+    view v_name {
+        name
+    };
+    view v_ano {
+        age
+    };
+    consent {
+        purpose1: all,
+        purpose2: none,
+        purpose3: ano
+    };
+    collection {
+        web_form: user_form.html,
+        third_party: fetch_data.py
+    };
+    origin: subject;
+    age: 1Y;
+    sensitivity: hight;
+}
+"#;
+
+/// Listing 2: the C implementation of the `compute_age` processing,
+/// annotated with the purpose it realises.
+pub const LISTING_2_C: &str = r#"
+#include "/etc/rgpdos/ps/types.h"
+/* purpose3 */
+struct age_pd compute_age(struct user_pd user) {
+    if (user.age) { // is age allowed to be seen?
+        return current_year() - user.year_of_birthdate;
+    }
+    else {
+        // error
+    }
+}
+"#;
+
+/// The purpose declaration corresponding to Listing 2, written in the
+/// high-level purpose language (the paper leaves its concrete syntax open;
+/// this is the syntax adopted by the reproduction).
+pub const LISTING_2_PURPOSE: &str = r#"
+purpose purpose3 {
+    description: "compute the age of the input user";
+    input: user;
+    view: v_ano;
+    output: age_pd;
+}
+"#;
+
+/// Listing 3: the main application invoking the processing through the
+/// Processing Store.
+pub const LISTING_3_C: &str = r#"
+#include "/etc/rgpdos/ps/ps.h"
+int main() {
+    int age = ps_invoke(modpol, ref, "compute_age", web_form, 0);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listings_are_nonempty_and_recognisable() {
+        assert!(LISTING_1.contains("year_of_birthdate"));
+        assert!(LISTING_1.contains("sensitivity: hight"));
+        assert!(LISTING_2_C.contains("compute_age"));
+        assert!(LISTING_2_PURPOSE.contains("purpose3"));
+        assert!(LISTING_3_C.contains("ps_invoke"));
+    }
+}

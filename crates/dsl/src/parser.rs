@@ -1,0 +1,275 @@
+//! Recursive-descent parser for type declarations.
+
+use crate::ast::{ConsentClause, FieldDecl, TypeDecl, ViewDecl};
+use crate::error::DslError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+struct Cursor {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), DslError> {
+        match self.next() {
+            Some(s) if &s.token == expected => Ok(()),
+            Some(s) => Err(DslError::UnexpectedToken {
+                found: s.token.to_string(),
+                expected: what.to_owned(),
+                line: s.line,
+            }),
+            None => Err(DslError::UnexpectedEndOfInput {
+                expected: what.to_owned(),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, DslError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => Ok(s),
+            Some(s) => Err(DslError::UnexpectedToken {
+                found: s.token.to_string(),
+                expected: what.to_owned(),
+                line: s.line,
+            }),
+            None => Err(DslError::UnexpectedEndOfInput {
+                expected: what.to_owned(),
+            }),
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek().map(|s| &s.token) == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips any number of separators (`;` and `,`), which the paper's
+    /// listing uses rather loosely.
+    fn skip_separators(&mut self) {
+        while self.eat(&Token::Semicolon) || self.eat(&Token::Comma) {}
+    }
+}
+
+/// Parses a sequence of `type … { … }` declarations.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] describing the first syntax error.
+pub fn parse_type_declarations(input: &str) -> Result<Vec<TypeDecl>, DslError> {
+    let mut cursor = Cursor {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let mut decls = Vec::new();
+    while cursor.peek().is_some() {
+        decls.push(parse_type(&mut cursor)?);
+        cursor.skip_separators();
+    }
+    Ok(decls)
+}
+
+fn parse_type(cursor: &mut Cursor) -> Result<TypeDecl, DslError> {
+    let keyword = cursor.expect_ident("the `type` keyword")?;
+    if keyword != "type" {
+        return Err(DslError::UnexpectedToken {
+            found: keyword,
+            expected: "the `type` keyword".to_owned(),
+            line: cursor
+                .peek()
+                .map(|s| s.line)
+                .unwrap_or_default(),
+        });
+    }
+    let mut decl = TypeDecl {
+        name: cursor.expect_ident("a type name")?,
+        ..TypeDecl::default()
+    };
+    cursor.expect(&Token::LBrace, "`{` opening the type body")?;
+
+    loop {
+        cursor.skip_separators();
+        let Some(next) = cursor.peek() else {
+            return Err(DslError::UnexpectedEndOfInput {
+                expected: "`}` closing the type body".to_owned(),
+            });
+        };
+        let section_line = next.line;
+        if next.token == Token::RBrace {
+            cursor.next();
+            break;
+        }
+        let section = cursor.expect_ident("a section name")?;
+        match section.as_str() {
+            "fields" => {
+                decl.fields = parse_fields(cursor)?;
+            }
+            "view" => {
+                let name = cursor.expect_ident("a view name")?;
+                let fields = parse_ident_list(cursor)?;
+                decl.views.push(ViewDecl { name, fields });
+            }
+            "consent" => {
+                decl.consent = parse_pairs(cursor)?
+                    .into_iter()
+                    .map(|(purpose, decision)| ConsentClause { purpose, decision })
+                    .collect();
+            }
+            "collection" => {
+                decl.collection = parse_pairs(cursor)?;
+            }
+            "origin" => {
+                cursor.expect(&Token::Colon, "`:` after `origin`")?;
+                decl.origin = Some(cursor.expect_ident("an origin value")?);
+            }
+            "age" | "ttl" | "retention" => {
+                cursor.expect(&Token::Colon, "`:` after `age`")?;
+                decl.age = Some(cursor.expect_ident("a retention value")?);
+            }
+            "sensitivity" => {
+                cursor.expect(&Token::Colon, "`:` after `sensitivity`")?;
+                decl.sensitivity = Some(cursor.expect_ident("a sensitivity value")?);
+            }
+            other => {
+                return Err(DslError::UnexpectedToken {
+                    found: other.to_owned(),
+                    expected: "one of `fields`, `view`, `consent`, `collection`, `origin`, `age`, `sensitivity`"
+                        .to_owned(),
+                    line: section_line,
+                })
+            }
+        }
+    }
+    Ok(decl)
+}
+
+fn parse_fields(cursor: &mut Cursor) -> Result<Vec<FieldDecl>, DslError> {
+    Ok(parse_pairs(cursor)?
+        .into_iter()
+        .map(|(name, field_type)| FieldDecl { name, field_type })
+        .collect())
+}
+
+/// Parses `{ key: value, key: value, … }`.
+fn parse_pairs(cursor: &mut Cursor) -> Result<Vec<(String, String)>, DslError> {
+    cursor.expect(&Token::LBrace, "`{`")?;
+    let mut pairs = Vec::new();
+    loop {
+        cursor.skip_separators();
+        if cursor.eat(&Token::RBrace) {
+            break;
+        }
+        let key = cursor.expect_ident("a name")?;
+        cursor.expect(&Token::Colon, "`:`")?;
+        let value = cursor.expect_ident("a value")?;
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Parses `{ ident, ident, … }` (view field lists).
+fn parse_ident_list(cursor: &mut Cursor) -> Result<Vec<String>, DslError> {
+    cursor.expect(&Token::LBrace, "`{`")?;
+    let mut idents = Vec::new();
+    loop {
+        cursor.skip_separators();
+        if cursor.eat(&Token::RBrace) {
+            break;
+        }
+        idents.push(cursor.expect_ident("a field name")?);
+    }
+    Ok(idents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listings::LISTING_1;
+
+    #[test]
+    fn parses_listing_1() {
+        let decls = parse_type_declarations(LISTING_1).unwrap();
+        assert_eq!(decls.len(), 1);
+        let user = &decls[0];
+        assert_eq!(user.name, "user");
+        assert_eq!(user.fields.len(), 3);
+        assert_eq!(user.fields[0].name, "name");
+        assert_eq!(user.fields[2].field_type, "int");
+        assert_eq!(user.views.len(), 2);
+        assert_eq!(user.views[0].name, "v_name");
+        assert_eq!(user.views[1].fields, vec!["age".to_string()]);
+        assert_eq!(user.consent.len(), 3);
+        assert_eq!(user.consent[1].decision, "none");
+        assert_eq!(user.collection.len(), 2);
+        assert_eq!(user.collection[0].1, "user_form.html");
+        assert_eq!(user.origin.as_deref(), Some("subject"));
+        assert_eq!(user.age.as_deref(), Some("1Y"));
+        assert_eq!(user.sensitivity.as_deref(), Some("hight"));
+    }
+
+    #[test]
+    fn parses_multiple_declarations() {
+        let src = "
+            type patient { fields { name: string, diagnosis: string }; sensitivity: high; }
+            type invoice { fields { amount: float }; origin: sysadmin; }
+        ";
+        let decls = parse_type_declarations(src).unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[1].name, "invoice");
+        assert_eq!(decls[1].origin.as_deref(), Some("sysadmin"));
+    }
+
+    #[test]
+    fn reports_unknown_section() {
+        let err = parse_type_declarations("type t { wibble { a: b } }").unwrap_err();
+        assert!(matches!(err, DslError::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn reports_missing_brace() {
+        assert!(matches!(
+            parse_type_declarations("type t { fields { a: int }"),
+            Err(DslError::UnexpectedEndOfInput { .. })
+        ));
+        assert!(matches!(
+            parse_type_declarations("type t"),
+            Err(DslError::UnexpectedEndOfInput { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_not_a_type() {
+        assert!(matches!(
+            parse_type_declarations("table t {}"),
+            Err(DslError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_gives_no_declarations() {
+        assert!(parse_type_declarations("").unwrap().is_empty());
+        assert!(parse_type_declarations("  // just a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Purpose declarations and implementation annotations.
+//!
+//! The paper splits a *data processing* into two artefacts (§2, programming
+//! model): a **purpose**, written by the project manager in a very high-level
+//! language, and an **implementation**, written by a developer in any
+//! language and annotated with the purpose it realises (Listing 2 carries the
+//! annotation `/* purpose3 */`).  The Processing Store cross-checks the two
+//! at registration time.
+
+use crate::error::DslError;
+use crate::lexer::{tokenize, Token};
+
+/// A purpose declaration.
+///
+/// ```text
+/// purpose purpose3 {
+///     description: "compute the age of the input user";
+///     input: user;
+///     view: v_ano;
+///     output: age_pd;
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PurposeDecl {
+    /// The purpose name referenced by consent tables and annotations.
+    pub name: String,
+    /// Human-readable description of the processing goal.
+    pub description: String,
+    /// The personal-data type the processing reads.
+    pub input_type: Option<String>,
+    /// The view the processing is expected to be restricted to.
+    pub view: Option<String>,
+    /// The data type of any produced personal data.
+    pub output_type: Option<String>,
+}
+
+/// Extracts the purpose annotation from an implementation's source text.
+///
+/// Two spellings are accepted: a bare block comment containing only the
+/// purpose name (`/* purpose3 */`, the paper's Listing 2 style) and an
+/// explicit key (`// purpose: purpose3` or `/* purpose: purpose3 */`).
+pub fn extract_purpose_annotation(source: &str) -> Option<String> {
+    // Block comments.
+    let mut rest = source;
+    while let Some(start) = rest.find("/*") {
+        let after = &rest[start + 2..];
+        let end = after.find("*/")?;
+        let body = after[..end].trim();
+        let candidate = body.strip_prefix("purpose:").map(str::trim).unwrap_or(body);
+        if !candidate.is_empty()
+            && candidate
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Some(candidate.to_owned());
+        }
+        rest = &after[end + 2..];
+    }
+    // Line comments with an explicit key.
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if let Some(body) = trimmed.strip_prefix("//") {
+            if let Some(value) = body.trim().strip_prefix("purpose:") {
+                let value = value.trim();
+                if !value.is_empty() {
+                    return Some(value.to_owned());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parses a sequence of purpose declarations.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] describing the first syntax error.
+pub fn parse_purpose_declarations(input: &str) -> Result<Vec<PurposeDecl>, DslError> {
+    let tokens = tokenize(input)?;
+    let mut decls = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        // `purpose <name> {`
+        let keyword = expect_ident(&tokens, &mut pos, "the `purpose` keyword")?;
+        if keyword != "purpose" {
+            return Err(DslError::UnexpectedToken {
+                found: keyword,
+                expected: "the `purpose` keyword".to_owned(),
+                line: tokens.get(pos.saturating_sub(1)).map(|s| s.line).unwrap_or(1),
+            });
+        }
+        let mut decl = PurposeDecl {
+            name: expect_ident(&tokens, &mut pos, "a purpose name")?,
+            ..PurposeDecl::default()
+        };
+        expect_token(&tokens, &mut pos, &Token::LBrace, "`{`")?;
+        loop {
+            skip_separators(&tokens, &mut pos);
+            match tokens.get(pos) {
+                Some(s) if s.token == Token::RBrace => {
+                    pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = expect_ident(&tokens, &mut pos, "an attribute name")?;
+                    expect_token(&tokens, &mut pos, &Token::Colon, "`:`")?;
+                    let value = expect_ident(&tokens, &mut pos, "an attribute value")?;
+                    match key.as_str() {
+                        "description" => decl.description = value,
+                        "input" => decl.input_type = Some(value),
+                        "view" => decl.view = Some(value),
+                        "output" => decl.output_type = Some(value),
+                        other => {
+                            return Err(DslError::UnexpectedToken {
+                                found: other.to_owned(),
+                                expected:
+                                    "one of `description`, `input`, `view`, `output`".to_owned(),
+                                line: tokens.get(pos.saturating_sub(1)).map(|s| s.line).unwrap_or(1),
+                            })
+                        }
+                    }
+                }
+                None => {
+                    return Err(DslError::UnexpectedEndOfInput {
+                        expected: "`}` closing the purpose body".to_owned(),
+                    })
+                }
+            }
+        }
+        decls.push(decl);
+        skip_separators(&tokens, &mut pos);
+    }
+    Ok(decls)
+}
+
+fn expect_ident(
+    tokens: &[crate::lexer::Spanned],
+    pos: &mut usize,
+    what: &str,
+) -> Result<String, DslError> {
+    match tokens.get(*pos) {
+        Some(s) => {
+            *pos += 1;
+            match &s.token {
+                Token::Ident(i) => Ok(i.clone()),
+                Token::Str(i) => Ok(i.clone()),
+                other => Err(DslError::UnexpectedToken {
+                    found: other.to_string(),
+                    expected: what.to_owned(),
+                    line: s.line,
+                }),
+            }
+        }
+        None => Err(DslError::UnexpectedEndOfInput {
+            expected: what.to_owned(),
+        }),
+    }
+}
+
+fn expect_token(
+    tokens: &[crate::lexer::Spanned],
+    pos: &mut usize,
+    token: &Token,
+    what: &str,
+) -> Result<(), DslError> {
+    match tokens.get(*pos) {
+        Some(s) if &s.token == token => {
+            *pos += 1;
+            Ok(())
+        }
+        Some(s) => Err(DslError::UnexpectedToken {
+            found: s.token.to_string(),
+            expected: what.to_owned(),
+            line: s.line,
+        }),
+        None => Err(DslError::UnexpectedEndOfInput {
+            expected: what.to_owned(),
+        }),
+    }
+}
+
+fn skip_separators(tokens: &[crate::lexer::Spanned], pos: &mut usize) {
+    while matches!(
+        tokens.get(*pos).map(|s| &s.token),
+        Some(Token::Semicolon) | Some(Token::Comma)
+    ) {
+        *pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listings::{LISTING_2_C, LISTING_2_PURPOSE};
+
+    #[test]
+    fn extracts_listing_2_annotation() {
+        assert_eq!(
+            extract_purpose_annotation(LISTING_2_C).as_deref(),
+            Some("purpose3")
+        );
+    }
+
+    #[test]
+    fn extracts_line_comment_annotation() {
+        assert_eq!(
+            extract_purpose_annotation("// purpose: marketing\nfn f() {}").as_deref(),
+            Some("marketing")
+        );
+        assert_eq!(extract_purpose_annotation("fn f() {}"), None);
+        // A block comment containing prose is not an annotation.
+        assert_eq!(
+            extract_purpose_annotation("/* this computes things */ /* purpose7 */"),
+            Some("purpose7".to_owned())
+        );
+    }
+
+    #[test]
+    fn parses_the_purpose3_declaration() {
+        let decls = parse_purpose_declarations(LISTING_2_PURPOSE).unwrap();
+        assert_eq!(decls.len(), 1);
+        let p = &decls[0];
+        assert_eq!(p.name, "purpose3");
+        assert_eq!(p.input_type.as_deref(), Some("user"));
+        assert_eq!(p.view.as_deref(), Some("v_ano"));
+        assert_eq!(p.output_type.as_deref(), Some("age_pd"));
+        assert!(p.description.contains("age"));
+    }
+
+    #[test]
+    fn parses_multiple_purposes() {
+        let src = r#"
+            purpose marketing { description: "send newsletters"; input: user; view: v_name; }
+            purpose billing { description: "issue invoices"; input: user; }
+        "#;
+        let decls = parse_purpose_declarations(src).unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[1].name, "billing");
+        assert!(decls[1].view.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_purpose_syntax() {
+        assert!(parse_purpose_declarations("goal x { }").is_err());
+        assert!(parse_purpose_declarations("purpose x { wrong: y }").is_err());
+        assert!(parse_purpose_declarations("purpose x {").is_err());
+        assert!(parse_purpose_declarations("purpose x { description }").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(parse_purpose_declarations("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the file-based filesystem.
+
+use rgpdos_inode::InodeError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by [`crate::FileFs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The inode layer failed.
+    Inode(InodeError),
+    /// A path is syntactically invalid (empty component, empty path, …).
+    BadPath {
+        /// The offending path.
+        path: String,
+    },
+    /// The path does not exist.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// The path already exists.
+    AlreadyExists {
+        /// The conflicting path.
+        path: String,
+    },
+    /// A file operation was attempted on a directory or vice versa.
+    NotAFile {
+        /// The offending path.
+        path: String,
+    },
+    /// A directory that still has entries cannot be removed.
+    DirectoryNotEmpty {
+        /// The offending path.
+        path: String,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Inode(e) => write!(f, "inode layer error: {e}"),
+            FsError::BadPath { path } => write!(f, "invalid path `{path}`"),
+            FsError::NotFound { path } => write!(f, "`{path}` does not exist"),
+            FsError::AlreadyExists { path } => write!(f, "`{path}` already exists"),
+            FsError::NotAFile { path } => write!(f, "`{path}` is not a regular file"),
+            FsError::DirectoryNotEmpty { path } => write!(f, "directory `{path}` is not empty"),
+        }
+    }
+}
+
+impl StdError for FsError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FsError::Inode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InodeError> for FsError {
+    fn from(e: InodeError) -> Self {
+        FsError::Inode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        let e = FsError::from(InodeError::OutOfInodes);
+        assert!(e.source().is_some());
+        for e in [
+            e,
+            FsError::BadPath { path: "//".into() },
+            FsError::NotFound { path: "/x".into() },
+            FsError::AlreadyExists { path: "/x".into() },
+            FsError::NotAFile { path: "/d".into() },
+            FsError::DirectoryNotEmpty { path: "/d".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

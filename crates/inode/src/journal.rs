@@ -1,0 +1,180 @@
+//! Write-ahead journal block formats and scrub policy.
+//!
+//! The journal is a *data journal*: every transaction records the full new
+//! contents of the blocks it is about to modify (metadata **and** data), a
+//! commit marker, and is then applied in place.  This mirrors the behaviour
+//! of `ext4` in `data=journal` mode and of uFS's logging, and is exactly the
+//! mechanism the paper points at when arguing that a file-based filesystem
+//! can silently keep copies of personal data the application believes it has
+//! deleted (§1).
+//!
+//! The [`JournalMode`] chooses what happens to journal blocks after a
+//! transaction has been applied:
+//!
+//! * [`JournalMode::Retain`] leaves them untouched until the log wraps —
+//!   the conventional, performance-friendly behaviour, and the one that
+//!   leaks "deleted" PD to a raw-device scan;
+//! * [`JournalMode::Scrub`] overwrites them with zeroes immediately after
+//!   checkpoint — the policy rgpdOS's DBFS uses so that the right to be
+//!   forgotten also holds against the journal.
+
+use crate::error::InodeError;
+
+/// Magic number of a journal transaction header block.
+pub const HEADER_MAGIC: u64 = 0x5247_5044_4A48_4452; // "RGPDJHDR"
+/// Magic number of a journal commit block.
+pub const COMMIT_MAGIC: u64 = 0x5247_5044_4A43_4D54; // "RGPDJCMT"
+
+/// What happens to journal blocks after their transaction is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JournalMode {
+    /// Keep stale journal contents until the log wraps (ext4-like).
+    Retain = 0,
+    /// Zero journal blocks immediately after checkpoint (rgpdOS DBFS).
+    Scrub = 1,
+}
+
+impl JournalMode {
+    /// Decodes the mode from its superblock encoding.
+    pub fn from_raw(raw: u32) -> Option<Self> {
+        match raw {
+            0 => Some(JournalMode::Retain),
+            1 => Some(JournalMode::Scrub),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum number of target blocks a single journal transaction can carry,
+/// given the device block size (the header block must hold the target list).
+pub fn max_targets_per_tx(block_size: usize) -> usize {
+    (block_size - 20) / 8
+}
+
+/// Encodes a transaction header block.
+///
+/// # Panics
+///
+/// Panics if `targets` does not fit in one header block.
+pub fn encode_header(tx_id: u64, targets: &[u64], block_size: usize) -> Vec<u8> {
+    assert!(
+        targets.len() <= max_targets_per_tx(block_size),
+        "too many targets for one journal transaction"
+    );
+    let mut out = vec![0u8; block_size];
+    out[0..8].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+    out[8..16].copy_from_slice(&tx_id.to_le_bytes());
+    out[16..20].copy_from_slice(&(targets.len() as u32).to_le_bytes());
+    for (i, t) in targets.iter().enumerate() {
+        out[20 + i * 8..28 + i * 8].copy_from_slice(&t.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a transaction header block, returning `(tx_id, targets)`.
+///
+/// # Errors
+///
+/// Returns [`InodeError::Corrupt`] when the block is not a valid header.
+pub fn decode_header(buf: &[u8]) -> Result<(u64, Vec<u64>), InodeError> {
+    let corrupt = |what: &str| InodeError::Corrupt {
+        what: what.to_owned(),
+    };
+    if buf.len() < 20 {
+        return Err(corrupt("journal header too short"));
+    }
+    if u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) != HEADER_MAGIC {
+        return Err(corrupt("journal header magic mismatch"));
+    }
+    let tx_id = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let count = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+    if buf.len() < 20 + count * 8 {
+        return Err(corrupt("journal header target list truncated"));
+    }
+    let mut targets = Vec::with_capacity(count);
+    for i in 0..count {
+        targets.push(u64::from_le_bytes(
+            buf[20 + i * 8..28 + i * 8].try_into().expect("8 bytes"),
+        ));
+    }
+    Ok((tx_id, targets))
+}
+
+/// Encodes a commit block.
+pub fn encode_commit(tx_id: u64, block_size: usize) -> Vec<u8> {
+    let mut out = vec![0u8; block_size];
+    out[0..8].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+    out[8..16].copy_from_slice(&tx_id.to_le_bytes());
+    out
+}
+
+/// Decodes a commit block, returning the committed transaction id.
+///
+/// # Errors
+///
+/// Returns [`InodeError::Corrupt`] when the block is not a valid commit
+/// record.
+pub fn decode_commit(buf: &[u8]) -> Result<u64, InodeError> {
+    if buf.len() < 16
+        || u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) != COMMIT_MAGIC
+    {
+        return Err(InodeError::Corrupt {
+            what: "journal commit block invalid".to_owned(),
+        });
+    }
+    Ok(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let targets = vec![10u64, 20, 30];
+        let buf = encode_header(5, &targets, 512);
+        let (tx, decoded) = decode_header(&buf).unwrap();
+        assert_eq!(tx, 5);
+        assert_eq!(decoded, targets);
+    }
+
+    #[test]
+    fn commit_round_trip() {
+        let buf = encode_commit(9, 128);
+        assert_eq!(decode_commit(&buf).unwrap(), 9);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_header(&[0u8; 8]).is_err());
+        assert!(decode_header(&vec![0u8; 512]).is_err());
+        assert!(decode_commit(&[0u8; 8]).is_err());
+        assert!(decode_commit(&vec![0u8; 512]).is_err());
+        // A commit block is not a header and vice versa.
+        assert!(decode_header(&encode_commit(1, 128)).is_err());
+        assert!(decode_commit(&encode_header(1, &[], 128)).is_err());
+    }
+
+    #[test]
+    fn max_targets_matches_header_capacity() {
+        let block_size = 256;
+        let max = max_targets_per_tx(block_size);
+        let targets: Vec<u64> = (0..max as u64).collect();
+        let buf = encode_header(1, &targets, block_size);
+        assert_eq!(decode_header(&buf).unwrap().1.len(), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many targets")]
+    fn too_many_targets_panics() {
+        let targets = vec![0u64; 100];
+        encode_header(1, &targets, 128);
+    }
+
+    #[test]
+    fn journal_mode_raw_round_trip() {
+        assert_eq!(JournalMode::from_raw(0), Some(JournalMode::Retain));
+        assert_eq!(JournalMode::from_raw(1), Some(JournalMode::Scrub));
+        assert_eq!(JournalMode::from_raw(7), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! On-disk layout of the inode layer.
+//!
+//! ```text
+//! +------------+---------------+--------------+-------------+---------+-------------+
+//! | superblock | inode bitmap  | data bitmap  | inode table | journal | data region |
+//! |  block 0   |               |              |             |         |             |
+//! +------------+---------------+--------------+-------------+---------+-------------+
+//! ```
+//!
+//! All region boundaries are derived from the device geometry and the format
+//! parameters, and are recomputed identically at mount time from the
+//! superblock.
+
+use crate::error::InodeError;
+use rgpdos_blockdev::DeviceGeometry;
+
+/// Size of one encoded inode on disk, in bytes.
+pub const INODE_SIZE: usize = 128;
+
+/// Number of direct block pointers per inode.
+pub const DIRECT_POINTERS: usize = 10;
+
+/// Computed region boundaries (all in blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Total number of blocks on the device.
+    pub total_blocks: u64,
+    /// Number of inodes in the inode table.
+    pub inode_count: u64,
+    /// First block of the inode bitmap.
+    pub inode_bitmap_start: u64,
+    /// Number of blocks of the inode bitmap.
+    pub inode_bitmap_blocks: u64,
+    /// First block of the data bitmap.
+    pub data_bitmap_start: u64,
+    /// Number of blocks of the data bitmap.
+    pub data_bitmap_blocks: u64,
+    /// First block of the inode table.
+    pub inode_table_start: u64,
+    /// Number of blocks of the inode table.
+    pub inode_table_blocks: u64,
+    /// First block of the journal region.
+    pub journal_start: u64,
+    /// Number of blocks of the journal region.
+    pub journal_blocks: u64,
+    /// First block of the data region.
+    pub data_start: u64,
+    /// Number of blocks of the data region.
+    pub data_blocks: u64,
+}
+
+impl Layout {
+    /// Computes the layout for a device of the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InodeError::DeviceTooSmall`] when the metadata regions do
+    /// not leave at least one data block.
+    pub fn compute(
+        geometry: DeviceGeometry,
+        inode_count: u64,
+        journal_blocks: u64,
+    ) -> Result<Self, InodeError> {
+        let block_size = geometry.block_size;
+        let bits_per_block = (block_size * 8) as u64;
+        let inode_bitmap_blocks = inode_count.div_ceil(bits_per_block).max(1);
+        let data_bitmap_blocks = geometry.blocks.div_ceil(bits_per_block).max(1);
+        let inodes_per_block = (block_size / INODE_SIZE) as u64;
+        let inode_table_blocks = inode_count.div_ceil(inodes_per_block).max(1);
+
+        let inode_bitmap_start = 1;
+        let data_bitmap_start = inode_bitmap_start + inode_bitmap_blocks;
+        let inode_table_start = data_bitmap_start + data_bitmap_blocks;
+        let journal_start = inode_table_start + inode_table_blocks;
+        let data_start = journal_start + journal_blocks;
+
+        if data_start >= geometry.blocks {
+            return Err(InodeError::DeviceTooSmall {
+                needed: data_start + 1,
+                available: geometry.blocks,
+            });
+        }
+
+        Ok(Self {
+            block_size,
+            total_blocks: geometry.blocks,
+            inode_count,
+            inode_bitmap_start,
+            inode_bitmap_blocks,
+            data_bitmap_start,
+            data_bitmap_blocks,
+            inode_table_start,
+            inode_table_blocks,
+            journal_start,
+            journal_blocks,
+            data_start,
+            data_blocks: geometry.blocks - data_start,
+        })
+    }
+
+    /// Number of inodes stored per inode-table block.
+    pub fn inodes_per_block(&self) -> u64 {
+        (self.block_size / INODE_SIZE) as u64
+    }
+
+    /// The inode-table block and byte offset holding inode `ino`.
+    pub fn inode_location(&self, ino: u64) -> (u64, usize) {
+        let block = self.inode_table_start + ino / self.inodes_per_block();
+        let offset = (ino % self.inodes_per_block()) as usize * INODE_SIZE;
+        (block, offset)
+    }
+
+    /// Maximum file size supported by one inode (direct + single indirect).
+    pub fn max_file_size(&self) -> u64 {
+        let pointers_per_block = (self.block_size / 8) as u64;
+        (DIRECT_POINTERS as u64 + pointers_per_block) * self.block_size as u64
+    }
+
+    /// Returns `true` if `block` lies inside the data region.
+    pub fn is_data_block(&self, block: u64) -> bool {
+        block >= self.data_start && block < self.total_blocks
+    }
+
+    /// Returns `true` if `block` lies inside the journal region.
+    pub fn is_journal_block(&self, block: u64) -> bool {
+        block >= self.journal_start && block < self.journal_start + self.journal_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_contiguous_and_non_overlapping() {
+        let layout = Layout::compute(DeviceGeometry::new(1024, 512), 64, 32).unwrap();
+        assert_eq!(layout.inode_bitmap_start, 1);
+        assert_eq!(
+            layout.data_bitmap_start,
+            layout.inode_bitmap_start + layout.inode_bitmap_blocks
+        );
+        assert_eq!(
+            layout.inode_table_start,
+            layout.data_bitmap_start + layout.data_bitmap_blocks
+        );
+        assert_eq!(
+            layout.journal_start,
+            layout.inode_table_start + layout.inode_table_blocks
+        );
+        assert_eq!(layout.data_start, layout.journal_start + layout.journal_blocks);
+        assert_eq!(layout.data_blocks, 1024 - layout.data_start);
+        assert!(layout.data_blocks > 0);
+    }
+
+    #[test]
+    fn too_small_device_is_rejected() {
+        assert!(matches!(
+            Layout::compute(DeviceGeometry::new(10, 512), 64, 32),
+            Err(InodeError::DeviceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn inode_location_math() {
+        let layout = Layout::compute(DeviceGeometry::new(1024, 512), 64, 8).unwrap();
+        assert_eq!(layout.inodes_per_block(), 4);
+        let (b0, o0) = layout.inode_location(0);
+        assert_eq!(b0, layout.inode_table_start);
+        assert_eq!(o0, 0);
+        let (b5, o5) = layout.inode_location(5);
+        assert_eq!(b5, layout.inode_table_start + 1);
+        assert_eq!(o5, INODE_SIZE);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let layout = Layout::compute(DeviceGeometry::new(1024, 512), 64, 8).unwrap();
+        assert!(layout.is_data_block(layout.data_start));
+        assert!(!layout.is_data_block(0));
+        assert!(layout.is_journal_block(layout.journal_start));
+        assert!(!layout.is_journal_block(layout.data_start));
+        assert!(layout.max_file_size() >= 64 * 512);
+    }
+
+    #[test]
+    fn larger_block_size_means_fewer_metadata_blocks() {
+        let small = Layout::compute(DeviceGeometry::new(4096, 512), 256, 16).unwrap();
+        let large = Layout::compute(DeviceGeometry::new(4096, 4096), 256, 16).unwrap();
+        assert!(large.inode_table_blocks <= small.inode_table_blocks);
+        assert!(large.max_file_size() > small.max_file_size());
+    }
+}

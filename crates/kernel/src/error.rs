@@ -1,0 +1,99 @@
+//! Error type of the purpose-kernel machine model.
+
+use crate::lsm::{ObjectClass, Operation, SecurityContext};
+use crate::syscall::Syscall;
+use rgpdos_core::{KernelId, TaskId};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the machine model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A syscall was blocked by the task's seccomp profile.
+    SyscallDenied {
+        /// The offending task.
+        task: TaskId,
+        /// The blocked syscall.
+        syscall: Syscall,
+    },
+    /// An access was blocked by the LSM mediation layer.
+    AccessDenied {
+        /// The security context that attempted the access.
+        context: SecurityContext,
+        /// The object class that was protected.
+        object: ObjectClass,
+        /// The attempted operation.
+        operation: Operation,
+    },
+    /// A kernel or task identifier is unknown.
+    UnknownKernel {
+        /// The unknown kernel.
+        kernel: KernelId,
+    },
+    /// A task identifier is unknown.
+    UnknownTask {
+        /// The unknown task.
+        task: TaskId,
+    },
+    /// A resource request cannot be satisfied.
+    ResourceExhausted {
+        /// What was requested.
+        what: String,
+    },
+    /// The machine builder was misconfigured.
+    InvalidConfiguration {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::SyscallDenied { task, syscall } => {
+                write!(f, "seccomp denied {syscall} for {task}")
+            }
+            KernelError::AccessDenied {
+                context,
+                object,
+                operation,
+            } => write!(f, "lsm denied {operation} on {object} to {context}"),
+            KernelError::UnknownKernel { kernel } => write!(f, "unknown kernel {kernel}"),
+            KernelError::UnknownTask { task } => write!(f, "unknown task {task}"),
+            KernelError::ResourceExhausted { what } => write!(f, "resource exhausted: {what}"),
+            KernelError::InvalidConfiguration { reason } => {
+                write!(f, "invalid machine configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            KernelError::SyscallDenied {
+                task: TaskId::new(1),
+                syscall: Syscall::NetworkSend { bytes: 10 },
+            },
+            KernelError::AccessDenied {
+                context: SecurityContext::ExternalProcess,
+                object: ObjectClass::DbfsStorage,
+                operation: Operation::Read,
+            },
+            KernelError::UnknownKernel { kernel: KernelId::new(4) },
+            KernelError::UnknownTask { task: TaskId::new(4) },
+            KernelError::ResourceExhausted { what: "cpus".into() },
+            KernelError::InvalidConfiguration { reason: "no cpu".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn StdError = &e;
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Sub-kernel descriptors.
+
+use rgpdos_core::KernelId;
+use std::fmt;
+
+/// The purpose a sub-kernel serves (§2, purpose-kernel model).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// A lightweight kernel dedicated to one IO device, mainly composed of
+    /// the device driver.
+    IoDriver {
+        /// The device this kernel drives.
+        device: String,
+    },
+    /// The general-purpose kernel hosting and processing non-personal data.
+    /// It has no IO drivers of its own.
+    GeneralPurpose,
+    /// rgpdOS: the GDPR-aware kernel hosting and processing personal data.
+    Rgpd,
+}
+
+impl KernelKind {
+    /// Returns `true` for kernels that must be part of the trusted computing
+    /// base proven for end-to-end GDPR compliance (the paper plans to prove
+    /// rgpdOS and the IO driver kernels, not the general-purpose kernel).
+    pub fn in_trusted_computing_base(&self) -> bool {
+        !matches!(self, KernelKind::GeneralPurpose)
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelKind::IoDriver { device } => write!(f, "io-driver({device})"),
+            KernelKind::GeneralPurpose => f.write_str("general-purpose"),
+            KernelKind::Rgpd => f.write_str("rgpdos"),
+        }
+    }
+}
+
+/// One sub-kernel of the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubKernel {
+    id: KernelId,
+    kind: KernelKind,
+}
+
+impl SubKernel {
+    /// Creates a sub-kernel descriptor.
+    pub fn new(id: KernelId, kind: KernelKind) -> Self {
+        Self { id, kind }
+    }
+
+    /// The kernel identifier.
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// The kernel's purpose.
+    pub fn kind(&self) -> &KernelKind {
+        &self.kind
+    }
+
+    /// Whether this kernel may host tasks that touch personal data.
+    pub fn hosts_personal_data(&self) -> bool {
+        matches!(self.kind, KernelKind::Rgpd)
+    }
+}
+
+impl fmt::Display for SubKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_tcb() {
+        assert!(KernelKind::Rgpd.in_trusted_computing_base());
+        assert!(KernelKind::IoDriver { device: "nvme0".into() }.in_trusted_computing_base());
+        assert!(!KernelKind::GeneralPurpose.in_trusted_computing_base());
+    }
+
+    #[test]
+    fn sub_kernel_accessors() {
+        let k = SubKernel::new(KernelId::new(2), KernelKind::Rgpd);
+        assert_eq!(k.id(), KernelId::new(2));
+        assert!(k.hosts_personal_data());
+        assert!(k.to_string().contains("rgpdos"));
+        let io = SubKernel::new(KernelId::new(0), KernelKind::IoDriver { device: "nvme0".into() });
+        assert!(!io.hosts_personal_data());
+        assert_eq!(io.kind(), &KernelKind::IoDriver { device: "nvme0".into() });
+        assert!(io.to_string().contains("nvme0"));
+    }
+}

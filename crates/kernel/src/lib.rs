@@ -1,0 +1,78 @@
+//! # rgpdos-kernel — the purpose-kernel machine model
+//!
+//! The paper replaces the monolithic kernel with a *purpose kernel* (§2): the
+//! machine kernel is an aggregation of sub-kernels, each achieving a specific
+//! purpose —
+//!
+//! * **IO driver kernels**: one lightweight kernel per IO device (the devices
+//!   are removed from the general-purpose kernel because personal data
+//!   traverses them);
+//! * a **general-purpose kernel** hosting and processing non-personal data;
+//! * **rgpdOS**, the GDPR-aware kernel hosting and processing personal data.
+//!
+//! The sub-kernels cooperate to dynamically partition CPU and memory.  On top
+//! of that partitioning, rgpdOS relies on two Linux security facilities that
+//! this crate models explicitly: an **LSM**-style mediation layer (SELinux /
+//! Smack in the paper) that decides which security context may touch which
+//! object class, and a **seccomp**-style syscall filter that prevents
+//! personal-data processings from issuing syscalls that could leak data
+//! (§2 "programming model", §3(2)).
+//!
+//! Everything is a deterministic simulation: tasks, syscalls and devices are
+//! plain Rust objects, so the enforcement *decision points* — which are what
+//! the paper's claims are about — can be tested and measured precisely.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_kernel::prelude::*;
+//!
+//! # fn main() -> Result<(), rgpdos_kernel::KernelError> {
+//! let machine = Machine::builder()
+//!     .cpus(8)
+//!     .memory_mb(16_384)
+//!     .io_device("nvme0")
+//!     .build()?;
+//!
+//! // Spawn an F_pd task (a personal-data processing) inside the rgpdOS kernel.
+//! let task = machine.spawn_task(machine.rgpd_kernel(), SecurityContext::DedProcessing)?;
+//!
+//! // The seccomp profile for F_pd tasks forbids syscalls that could leak PD.
+//! let denied = machine.syscall(task, Syscall::NetworkSend { bytes: 1024 });
+//! assert!(denied.is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kernel;
+pub mod lsm;
+pub mod machine;
+pub mod resources;
+pub mod seccomp;
+pub mod syscall;
+pub mod task;
+
+pub use error::KernelError;
+pub use kernel::{KernelKind, SubKernel};
+pub use lsm::{AccessVerdict, LsmPolicy, ObjectClass, Operation, SecurityContext};
+pub use machine::{Machine, MachineBuilder};
+pub use resources::{ResourceAssignment, ResourcePartitioner};
+pub use seccomp::{SeccompProfile, SyscallFilter};
+pub use syscall::{Syscall, SyscallOutcome};
+pub use task::{Task, TaskState};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::error::KernelError;
+    pub use crate::kernel::{KernelKind, SubKernel};
+    pub use crate::lsm::{AccessVerdict, LsmPolicy, ObjectClass, Operation, SecurityContext};
+    pub use crate::machine::{Machine, MachineBuilder};
+    pub use crate::resources::{ResourceAssignment, ResourcePartitioner};
+    pub use crate::seccomp::{SeccompProfile, SyscallFilter};
+    pub use crate::syscall::{Syscall, SyscallOutcome};
+    pub use crate::task::{Task, TaskState};
+}

@@ -1,0 +1,308 @@
+//! LSM-style mandatory access control (§3, implementation choice 2).
+//!
+//! The paper relies on a Linux Security Module (SELinux or Smack) to make
+//! DBFS invisible from outside rgpdOS: "DBFS can only be accessed through the
+//! components of rgpdOS … every direct access attempt from the outside is
+//! blocked using a security mechanism".  The [`LsmPolicy`] here encodes the
+//! paper's four enforcement rules as a subject-context × object-class × operation
+//! decision matrix evaluated on every mediated access.
+
+use std::fmt;
+
+/// The security context a task runs under (the "subject" of the MAC policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityContext {
+    /// The Processing Store component of rgpdOS.
+    ProcessingStore,
+    /// The Data Execution Domain executing a registered processing.
+    DedProcessing,
+    /// A built-in rgpdOS function (update, delete, copy, acquisition).
+    RgpdBuiltin,
+    /// An ordinary application running on the general-purpose kernel.
+    Application,
+    /// An IO driver kernel task.
+    IoDriver,
+    /// Anything outside the machine's control (remote peer, attacker with a
+    /// shell, …).
+    ExternalProcess,
+}
+
+impl fmt::Display for SecurityContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SecurityContext::ProcessingStore => "processing-store",
+            SecurityContext::DedProcessing => "ded",
+            SecurityContext::RgpdBuiltin => "rgpd-builtin",
+            SecurityContext::Application => "application",
+            SecurityContext::IoDriver => "io-driver",
+            SecurityContext::ExternalProcess => "external",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The classes of objects the policy protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectClass {
+    /// The DBFS storage holding personal data.
+    DbfsStorage,
+    /// The registry of stored processings inside the Processing Store.
+    ProcessingRegistry,
+    /// The non-personal-data filesystem.
+    NpdFilesystem,
+    /// A raw block device.
+    RawDevice,
+    /// The audit / processing log.
+    AuditLog,
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectClass::DbfsStorage => "dbfs",
+            ObjectClass::ProcessingRegistry => "processing-registry",
+            ObjectClass::NpdFilesystem => "npd-fs",
+            ObjectClass::RawDevice => "raw-device",
+            ObjectClass::AuditLog => "audit-log",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation attempted on the object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Read the object.
+    Read,
+    /// Modify the object.
+    Write,
+    /// Execute / invoke the object.
+    Execute,
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Operation::Read => "read",
+            Operation::Write => "write",
+            Operation::Execute => "execute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The decision of the mediation layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessVerdict {
+    /// Access permitted.
+    Allowed,
+    /// Access denied.
+    Denied,
+}
+
+impl AccessVerdict {
+    /// Returns `true` for [`AccessVerdict::Allowed`].
+    pub fn is_allowed(self) -> bool {
+        self == AccessVerdict::Allowed
+    }
+}
+
+/// The MAC policy encoding the paper's enforcement rules.
+#[derive(Debug, Clone, Default)]
+pub struct LsmPolicy {
+    /// When `true`, denials are also recorded by the caller's audit log; the
+    /// policy itself stays a pure decision function.
+    strict: bool,
+}
+
+impl LsmPolicy {
+    /// Creates the standard rgpdOS policy.
+    pub fn rgpdos() -> Self {
+        Self { strict: true }
+    }
+
+    /// Creates the permissive policy of a conventional OS (used by the
+    /// baseline of Fig. 2): everything that is not a raw-device write is
+    /// allowed, which is precisely why the baseline cannot guarantee GDPR
+    /// compliance end-to-end.
+    pub fn conventional() -> Self {
+        Self { strict: false }
+    }
+
+    /// Returns `true` if this is the strict rgpdOS policy.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Evaluates the policy.
+    pub fn check(
+        &self,
+        context: SecurityContext,
+        object: ObjectClass,
+        operation: Operation,
+    ) -> AccessVerdict {
+        use AccessVerdict::{Allowed, Denied};
+        if !self.strict {
+            // A conventional kernel's DAC model: userspace cannot write raw
+            // devices, everything else goes through.
+            return match (context, object, operation) {
+                (SecurityContext::ExternalProcess, ObjectClass::RawDevice, Operation::Write) => {
+                    Denied
+                }
+                _ => Allowed,
+            };
+        }
+        match (context, object, operation) {
+            // Rule (4): only the DED (and the built-ins it hosts) touches DBFS.
+            (SecurityContext::DedProcessing | SecurityContext::RgpdBuiltin, ObjectClass::DbfsStorage, _) => {
+                Allowed
+            }
+            (_, ObjectClass::DbfsStorage, _) => Denied,
+            // Rules (1) and (2): the PS is the only component able to access
+            // stored processings and the only entry point to invoke one.
+            (SecurityContext::ProcessingStore, ObjectClass::ProcessingRegistry, _) => Allowed,
+            (_, ObjectClass::ProcessingRegistry, Operation::Execute | Operation::Write) => Denied,
+            (_, ObjectClass::ProcessingRegistry, Operation::Read) => Denied,
+            // Raw devices: only IO driver kernels.
+            (SecurityContext::IoDriver, ObjectClass::RawDevice, _) => Allowed,
+            (_, ObjectClass::RawDevice, _) => Denied,
+            // The NPD filesystem is open to applications and rgpdOS alike.
+            (SecurityContext::ExternalProcess, ObjectClass::NpdFilesystem, Operation::Write) => {
+                Denied
+            }
+            (_, ObjectClass::NpdFilesystem, _) => Allowed,
+            // Audit log: append-only for rgpdOS components, readable by all
+            // rgpdOS components, never writable by applications.
+            (
+                SecurityContext::ProcessingStore
+                | SecurityContext::DedProcessing
+                | SecurityContext::RgpdBuiltin,
+                ObjectClass::AuditLog,
+                _,
+            ) => Allowed,
+            (_, ObjectClass::AuditLog, Operation::Read) => Allowed,
+            (_, ObjectClass::AuditLog, _) => Denied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ded_and_builtins_reach_dbfs() {
+        let policy = LsmPolicy::rgpdos();
+        for op in [Operation::Read, Operation::Write, Operation::Execute] {
+            assert!(policy
+                .check(SecurityContext::DedProcessing, ObjectClass::DbfsStorage, op)
+                .is_allowed());
+            assert!(policy
+                .check(SecurityContext::RgpdBuiltin, ObjectClass::DbfsStorage, op)
+                .is_allowed());
+            for ctx in [
+                SecurityContext::Application,
+                SecurityContext::ExternalProcess,
+                SecurityContext::ProcessingStore,
+                SecurityContext::IoDriver,
+            ] {
+                assert!(
+                    !policy.check(ctx, ObjectClass::DbfsStorage, op).is_allowed(),
+                    "{ctx} must not access DBFS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_ps_reaches_the_processing_registry() {
+        let policy = LsmPolicy::rgpdos();
+        assert!(policy
+            .check(
+                SecurityContext::ProcessingStore,
+                ObjectClass::ProcessingRegistry,
+                Operation::Execute
+            )
+            .is_allowed());
+        for ctx in [
+            SecurityContext::Application,
+            SecurityContext::DedProcessing,
+            SecurityContext::ExternalProcess,
+        ] {
+            assert!(!policy
+                .check(ctx, ObjectClass::ProcessingRegistry, Operation::Execute)
+                .is_allowed());
+            assert!(!policy
+                .check(ctx, ObjectClass::ProcessingRegistry, Operation::Read)
+                .is_allowed());
+        }
+    }
+
+    #[test]
+    fn raw_devices_belong_to_io_driver_kernels() {
+        let policy = LsmPolicy::rgpdos();
+        assert!(policy
+            .check(SecurityContext::IoDriver, ObjectClass::RawDevice, Operation::Write)
+            .is_allowed());
+        assert!(!policy
+            .check(SecurityContext::Application, ObjectClass::RawDevice, Operation::Read)
+            .is_allowed());
+        assert!(!policy
+            .check(SecurityContext::ExternalProcess, ObjectClass::RawDevice, Operation::Read)
+            .is_allowed());
+    }
+
+    #[test]
+    fn npd_filesystem_is_shared() {
+        let policy = LsmPolicy::rgpdos();
+        assert!(policy
+            .check(SecurityContext::Application, ObjectClass::NpdFilesystem, Operation::Write)
+            .is_allowed());
+        assert!(policy
+            .check(SecurityContext::DedProcessing, ObjectClass::NpdFilesystem, Operation::Read)
+            .is_allowed());
+        assert!(!policy
+            .check(SecurityContext::ExternalProcess, ObjectClass::NpdFilesystem, Operation::Write)
+            .is_allowed());
+    }
+
+    #[test]
+    fn audit_log_is_protected() {
+        let policy = LsmPolicy::rgpdos();
+        assert!(policy
+            .check(SecurityContext::DedProcessing, ObjectClass::AuditLog, Operation::Write)
+            .is_allowed());
+        assert!(policy
+            .check(SecurityContext::Application, ObjectClass::AuditLog, Operation::Read)
+            .is_allowed());
+        assert!(!policy
+            .check(SecurityContext::Application, ObjectClass::AuditLog, Operation::Write)
+            .is_allowed());
+    }
+
+    #[test]
+    fn conventional_policy_lets_applications_reach_storage() {
+        // This is the Fig. 2 situation: nothing OS-level prevents the
+        // application (or any process) from reading the DB engine's files.
+        let policy = LsmPolicy::conventional();
+        assert!(!policy.is_strict());
+        assert!(policy
+            .check(SecurityContext::Application, ObjectClass::DbfsStorage, Operation::Read)
+            .is_allowed());
+        assert!(policy
+            .check(SecurityContext::ExternalProcess, ObjectClass::NpdFilesystem, Operation::Read)
+            .is_allowed());
+        assert!(!policy
+            .check(SecurityContext::ExternalProcess, ObjectClass::RawDevice, Operation::Write)
+            .is_allowed());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(SecurityContext::DedProcessing.to_string(), "ded");
+        assert_eq!(ObjectClass::DbfsStorage.to_string(), "dbfs");
+        assert_eq!(Operation::Execute.to_string(), "execute");
+        assert!(AccessVerdict::Allowed.is_allowed());
+        assert!(!AccessVerdict::Denied.is_allowed());
+    }
+}

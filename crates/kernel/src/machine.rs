@@ -1,0 +1,560 @@
+//! The machine: sub-kernels, tasks, syscall and access mediation.
+
+use crate::error::KernelError;
+use crate::kernel::{KernelKind, SubKernel};
+use crate::lsm::{LsmPolicy, ObjectClass, Operation, SecurityContext};
+use crate::resources::{ResourceAssignment, ResourcePartitioner};
+use crate::syscall::{Syscall, SyscallOutcome};
+use crate::task::{Task, TaskState};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rgpdos_core::{AuditEventKind, AuditLog, KernelId, TaskId, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A message exchanged between sub-kernels (the cooperation channel of the
+/// purpose-kernel model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelMessage {
+    /// The sending kernel.
+    pub from: KernelId,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Builder for [`Machine`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    cpus: u32,
+    memory_mb: u64,
+    io_devices: Vec<String>,
+    lsm: LsmPolicy,
+}
+
+impl MachineBuilder {
+    /// Sets the number of logical CPUs (default 4).
+    #[must_use]
+    pub fn cpus(mut self, cpus: u32) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Sets the machine memory in MiB (default 4096).
+    #[must_use]
+    pub fn memory_mb(mut self, memory_mb: u64) -> Self {
+        self.memory_mb = memory_mb;
+        self
+    }
+
+    /// Adds an IO device; one IO driver kernel is created per device.
+    #[must_use]
+    pub fn io_device(mut self, name: impl Into<String>) -> Self {
+        self.io_devices.push(name.into());
+        self
+    }
+
+    /// Replaces the mediation policy (the baseline uses
+    /// [`LsmPolicy::conventional`]).
+    #[must_use]
+    pub fn lsm_policy(mut self, policy: LsmPolicy) -> Self {
+        self.lsm = policy;
+        self
+    }
+
+    /// Builds the machine: creates the sub-kernels and partitions resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::InvalidConfiguration`] when there are not
+    /// enough CPUs or memory for every sub-kernel to get a share.
+    pub fn build(self) -> Result<Machine, KernelError> {
+        let kernel_count = self.io_devices.len() as u32 + 2;
+        if self.cpus < kernel_count {
+            return Err(KernelError::InvalidConfiguration {
+                reason: format!(
+                    "{} cpus cannot host {kernel_count} sub-kernels",
+                    self.cpus
+                ),
+            });
+        }
+        if self.memory_mb < u64::from(kernel_count) * 64 {
+            return Err(KernelError::InvalidConfiguration {
+                reason: "at least 64 MiB per sub-kernel is required".to_owned(),
+            });
+        }
+
+        let mut kernels = Vec::new();
+        let mut next_id = 0u64;
+        for device in &self.io_devices {
+            kernels.push(SubKernel::new(
+                KernelId::new(next_id),
+                KernelKind::IoDriver {
+                    device: device.clone(),
+                },
+            ));
+            next_id += 1;
+        }
+        let general = KernelId::new(next_id);
+        kernels.push(SubKernel::new(general, KernelKind::GeneralPurpose));
+        next_id += 1;
+        let rgpd = KernelId::new(next_id);
+        kernels.push(SubKernel::new(rgpd, KernelKind::Rgpd));
+
+        // Initial partition: each IO driver kernel is lightweight (1 CPU,
+        // 64 MiB); the remainder is split between the general-purpose kernel
+        // and rgpdOS.
+        let mut partitioner = ResourcePartitioner::new(self.cpus, self.memory_mb);
+        for kernel in &kernels {
+            if matches!(kernel.kind(), KernelKind::IoDriver { .. }) {
+                partitioner.grant(kernel.id(), 1, 64)?;
+            }
+        }
+        let free = partitioner.free();
+        let general_share = ResourceAssignment {
+            cpus: free.cpus / 2,
+            memory_mb: free.memory_mb / 2,
+        };
+        partitioner.grant(general, general_share.cpus, general_share.memory_mb)?;
+        let rest = partitioner.free();
+        partitioner.grant(rgpd, rest.cpus, rest.memory_mb)?;
+
+        let mut channels = BTreeMap::new();
+        for kernel in &kernels {
+            channels.insert(kernel.id(), unbounded());
+        }
+
+        Ok(Machine {
+            kernels,
+            general,
+            rgpd,
+            partitioner: Mutex::new(partitioner),
+            lsm: self.lsm,
+            tasks: Mutex::new(BTreeMap::new()),
+            next_task: Mutex::new(0),
+            audit: AuditLog::new(),
+            channels,
+        })
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self {
+            cpus: 4,
+            memory_mb: 4096,
+            io_devices: Vec::new(),
+            lsm: LsmPolicy::rgpdos(),
+        }
+    }
+}
+
+/// The simulated machine running the purpose-kernel model.
+#[derive(Debug)]
+pub struct Machine {
+    kernels: Vec<SubKernel>,
+    general: KernelId,
+    rgpd: KernelId,
+    partitioner: Mutex<ResourcePartitioner>,
+    lsm: LsmPolicy,
+    tasks: Mutex<BTreeMap<TaskId, Task>>,
+    next_task: Mutex<u64>,
+    audit: AuditLog,
+    channels: BTreeMap<KernelId, (Sender<KernelMessage>, Receiver<KernelMessage>)>,
+}
+
+impl Machine {
+    /// Starts building a machine.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
+    /// Builds a small default machine with one NVMe-like device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (cannot happen for the default parameters).
+    pub fn default_machine() -> Result<Self, KernelError> {
+        Self::builder().io_device("nvme0").build()
+    }
+
+    /// The sub-kernels of the machine.
+    pub fn kernels(&self) -> &[SubKernel] {
+        &self.kernels
+    }
+
+    /// The rgpdOS sub-kernel.
+    pub fn rgpd_kernel(&self) -> KernelId {
+        self.rgpd
+    }
+
+    /// The general-purpose sub-kernel.
+    pub fn general_kernel(&self) -> KernelId {
+        self.general
+    }
+
+    /// The IO driver sub-kernels.
+    pub fn io_kernels(&self) -> Vec<KernelId> {
+        self.kernels
+            .iter()
+            .filter(|k| matches!(k.kind(), KernelKind::IoDriver { .. }))
+            .map(SubKernel::id)
+            .collect()
+    }
+
+    /// The machine-wide audit log.
+    pub fn audit(&self) -> AuditLog {
+        self.audit.clone()
+    }
+
+    /// The mediation policy in force.
+    pub fn lsm_policy(&self) -> &LsmPolicy {
+        &self.lsm
+    }
+
+    /// Current resource assignment of a kernel.
+    pub fn resources_of(&self, kernel: KernelId) -> ResourceAssignment {
+        self.partitioner.lock().assignment(kernel)
+    }
+
+    /// Moves CPU/memory between two kernels (dynamic repartitioning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ResourceExhausted`] when the source kernel does
+    /// not own the requested amount.
+    pub fn rebalance(
+        &self,
+        from: KernelId,
+        to: KernelId,
+        cpus: u32,
+        memory_mb: u64,
+    ) -> Result<(), KernelError> {
+        self.partitioner.lock().transfer(from, to, cpus, memory_mb)
+    }
+
+    /// Spawns a task with the given security context on a sub-kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownKernel`] for an unknown kernel and
+    /// [`KernelError::InvalidConfiguration`] when a personal-data context is
+    /// spawned outside the rgpdOS kernel (the data-centric rule of §1: the
+    /// function runs in the PD's domain, never the other way around).
+    pub fn spawn_task(
+        &self,
+        kernel: KernelId,
+        context: SecurityContext,
+    ) -> Result<TaskId, KernelError> {
+        let Some(sub_kernel) = self.kernels.iter().find(|k| k.id() == kernel) else {
+            return Err(KernelError::UnknownKernel { kernel });
+        };
+        let pd_context = matches!(
+            context,
+            SecurityContext::DedProcessing
+                | SecurityContext::ProcessingStore
+                | SecurityContext::RgpdBuiltin
+        );
+        if pd_context && !sub_kernel.hosts_personal_data() {
+            return Err(KernelError::InvalidConfiguration {
+                reason: format!("{context} tasks may only run on the rgpdOS kernel"),
+            });
+        }
+        let mut next = self.next_task.lock();
+        let id = TaskId::new(*next);
+        *next += 1;
+        drop(next);
+        self.tasks.lock().insert(id, Task::new(id, kernel, context));
+        Ok(id)
+    }
+
+    /// Returns a snapshot of a task.
+    pub fn task(&self, id: TaskId) -> Option<Task> {
+        self.tasks.lock().get(&id).cloned()
+    }
+
+    /// Marks a task terminated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownTask`] for unknown tasks.
+    pub fn terminate_task(&self, id: TaskId) -> Result<(), KernelError> {
+        let mut tasks = self.tasks.lock();
+        let task = tasks.get_mut(&id).ok_or(KernelError::UnknownTask { task: id })?;
+        task.set_state(TaskState::Terminated);
+        Ok(())
+    }
+
+    /// Executes a simulated syscall on behalf of a task, applying its seccomp
+    /// filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::SyscallDenied`] when the filter blocks the call
+    /// and [`KernelError::UnknownTask`] for unknown tasks.  Denials are also
+    /// recorded in the audit log as blocked violations.
+    pub fn syscall(&self, task_id: TaskId, syscall: Syscall) -> Result<SyscallOutcome, KernelError> {
+        let mut tasks = self.tasks.lock();
+        let task = tasks
+            .get_mut(&task_id)
+            .ok_or(KernelError::UnknownTask { task: task_id })?;
+        if !task.filter().allows(&syscall) {
+            task.record_denied();
+            self.audit.record(
+                Timestamp::ZERO,
+                None,
+                AuditEventKind::ViolationBlocked {
+                    description: format!("seccomp blocked {syscall} for {task_id}"),
+                },
+            );
+            return Err(KernelError::SyscallDenied {
+                task: task_id,
+                syscall,
+            });
+        }
+        task.record_syscall(syscall.name());
+        let outcome = match &syscall {
+            Syscall::FileWrite { bytes, .. }
+            | Syscall::NetworkSend { bytes }
+            | Syscall::NetworkReceive { bytes }
+            | Syscall::ShareMemory { bytes } => SyscallOutcome::Transferred(*bytes),
+            _ => SyscallOutcome::Completed,
+        };
+        Ok(outcome)
+    }
+
+    /// Checks an object access through the LSM mediation layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::AccessDenied`] (and records the blocked
+    /// violation) when the policy denies the access, and
+    /// [`KernelError::UnknownTask`] for unknown tasks.
+    pub fn mediated_access(
+        &self,
+        task_id: TaskId,
+        object: ObjectClass,
+        operation: Operation,
+    ) -> Result<(), KernelError> {
+        let tasks = self.tasks.lock();
+        let task = tasks
+            .get(&task_id)
+            .ok_or(KernelError::UnknownTask { task: task_id })?;
+        let context = task.context();
+        drop(tasks);
+        if self.lsm.check(context, object, operation).is_allowed() {
+            Ok(())
+        } else {
+            self.audit.record(
+                Timestamp::ZERO,
+                None,
+                AuditEventKind::ViolationBlocked {
+                    description: format!("lsm blocked {operation} on {object} by {context}"),
+                },
+            );
+            Err(KernelError::AccessDenied {
+                context,
+                object,
+                operation,
+            })
+        }
+    }
+
+    /// Sends a message to a sub-kernel's mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownKernel`] for unknown destinations.
+    pub fn send_message(
+        &self,
+        from: KernelId,
+        to: KernelId,
+        payload: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        let (sender, _) = self
+            .channels
+            .get(&to)
+            .ok_or(KernelError::UnknownKernel { kernel: to })?;
+        sender
+            .send(KernelMessage { from, payload })
+            .expect("receiver owned by the machine cannot be dropped");
+        Ok(())
+    }
+
+    /// Receives the next pending message of a sub-kernel, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnknownKernel`] for unknown kernels.
+    pub fn receive_message(&self, kernel: KernelId) -> Result<Option<KernelMessage>, KernelError> {
+        let (_, receiver) = self
+            .channels
+            .get(&kernel)
+            .ok_or(KernelError::UnknownKernel { kernel })?;
+        Ok(receiver.try_recv().ok())
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "purpose-kernel machine ({} sub-kernels, {} tasks)",
+            self.kernels.len(),
+            self.tasks.lock().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::builder()
+            .cpus(8)
+            .memory_mb(8192)
+            .io_device("nvme0")
+            .io_device("eth0")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_creates_the_three_kernel_categories() {
+        let m = machine();
+        assert_eq!(m.kernels().len(), 4);
+        assert_eq!(m.io_kernels().len(), 2);
+        assert_ne!(m.rgpd_kernel(), m.general_kernel());
+        // Every kernel received resources and nothing is over-committed.
+        let io_share = m.resources_of(m.io_kernels()[0]);
+        assert_eq!(io_share.cpus, 1);
+        let total: u32 = m
+            .kernels()
+            .iter()
+            .map(|k| m.resources_of(k.id()).cpus)
+            .sum();
+        assert_eq!(total, 8);
+        assert!(m.to_string().contains("4 sub-kernels"));
+        assert!(m.lsm_policy().is_strict());
+    }
+
+    #[test]
+    fn builder_rejects_impossible_configurations() {
+        assert!(matches!(
+            Machine::builder().cpus(1).io_device("d").build(),
+            Err(KernelError::InvalidConfiguration { .. })
+        ));
+        assert!(matches!(
+            Machine::builder().cpus(8).memory_mb(10).build(),
+            Err(KernelError::InvalidConfiguration { .. })
+        ));
+        assert!(Machine::default_machine().is_ok());
+    }
+
+    #[test]
+    fn rebalancing_moves_resources() {
+        let m = machine();
+        let before = m.resources_of(m.rgpd_kernel());
+        m.rebalance(m.general_kernel(), m.rgpd_kernel(), 1, 128).unwrap();
+        let after = m.resources_of(m.rgpd_kernel());
+        assert_eq!(after.cpus, before.cpus + 1);
+        assert_eq!(after.memory_mb, before.memory_mb + 128);
+        assert!(m
+            .rebalance(m.general_kernel(), m.rgpd_kernel(), 100, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn pd_contexts_must_run_on_the_rgpd_kernel() {
+        let m = machine();
+        assert!(m
+            .spawn_task(m.general_kernel(), SecurityContext::DedProcessing)
+            .is_err());
+        assert!(m
+            .spawn_task(m.general_kernel(), SecurityContext::ProcessingStore)
+            .is_err());
+        assert!(m
+            .spawn_task(m.rgpd_kernel(), SecurityContext::DedProcessing)
+            .is_ok());
+        assert!(m
+            .spawn_task(m.general_kernel(), SecurityContext::Application)
+            .is_ok());
+        assert!(m
+            .spawn_task(KernelId::new(99), SecurityContext::Application)
+            .is_err());
+    }
+
+    #[test]
+    fn seccomp_is_enforced_per_task() {
+        let m = machine();
+        let fpd = m
+            .spawn_task(m.rgpd_kernel(), SecurityContext::DedProcessing)
+            .unwrap();
+        let app = m
+            .spawn_task(m.general_kernel(), SecurityContext::Application)
+            .unwrap();
+        // The F_pd task cannot exfiltrate.
+        assert!(matches!(
+            m.syscall(fpd, Syscall::NetworkSend { bytes: 10 }),
+            Err(KernelError::SyscallDenied { .. })
+        ));
+        assert!(m.syscall(fpd, Syscall::ClockRead).is_ok());
+        // The ordinary application can use the network but not DBFS.
+        assert!(m.syscall(app, Syscall::NetworkSend { bytes: 10 }).is_ok());
+        assert!(m.syscall(app, Syscall::DbfsAccess).is_err());
+        // Denials are audited and counted.
+        assert!(m.audit().count_matching(|e| matches!(
+            &e.kind,
+            AuditEventKind::ViolationBlocked { .. }
+        )) >= 2);
+        assert_eq!(m.task(fpd).unwrap().denied_syscalls(), 1);
+        assert!(matches!(
+            m.syscall(TaskId::new(999), Syscall::ClockRead),
+            Err(KernelError::UnknownTask { .. })
+        ));
+    }
+
+    #[test]
+    fn lsm_mediation_is_enforced_per_context() {
+        let m = machine();
+        let ded = m
+            .spawn_task(m.rgpd_kernel(), SecurityContext::DedProcessing)
+            .unwrap();
+        let app = m
+            .spawn_task(m.general_kernel(), SecurityContext::Application)
+            .unwrap();
+        assert!(m
+            .mediated_access(ded, ObjectClass::DbfsStorage, Operation::Read)
+            .is_ok());
+        assert!(matches!(
+            m.mediated_access(app, ObjectClass::DbfsStorage, Operation::Read),
+            Err(KernelError::AccessDenied { .. })
+        ));
+        assert!(m
+            .mediated_access(app, ObjectClass::NpdFilesystem, Operation::Write)
+            .is_ok());
+        assert!(m
+            .mediated_access(TaskId::new(42), ObjectClass::AuditLog, Operation::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn task_lifecycle_and_messages() {
+        let m = machine();
+        let task = m
+            .spawn_task(m.general_kernel(), SecurityContext::Application)
+            .unwrap();
+        m.terminate_task(task).unwrap();
+        assert_eq!(m.task(task).unwrap().state(), TaskState::Terminated);
+        assert!(m.terminate_task(TaskId::new(77)).is_err());
+
+        m.send_message(m.general_kernel(), m.rgpd_kernel(), b"invoke".to_vec())
+            .unwrap();
+        let msg = m.receive_message(m.rgpd_kernel()).unwrap().unwrap();
+        assert_eq!(msg.from, m.general_kernel());
+        assert_eq!(msg.payload, b"invoke");
+        assert!(m.receive_message(m.rgpd_kernel()).unwrap().is_none());
+        assert!(m.send_message(m.rgpd_kernel(), KernelId::new(50), vec![]).is_err());
+        assert!(m.receive_message(KernelId::new(50)).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamic CPU and memory partitioning between sub-kernels (§2).
+//!
+//! "The different kernels cooperate to (dynamically) partition CPU and memory
+//! resources."  The [`ResourcePartitioner`] tracks how many CPUs and how much
+//! memory each sub-kernel currently owns and lets kernels grow or shrink
+//! their share, never exceeding the machine totals.
+
+use crate::error::KernelError;
+use rgpdos_core::KernelId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The resources currently assigned to one sub-kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceAssignment {
+    /// Number of logical CPUs.
+    pub cpus: u32,
+    /// Memory in mebibytes.
+    pub memory_mb: u64,
+}
+
+impl fmt::Display for ResourceAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cpus, {} MiB", self.cpus, self.memory_mb)
+    }
+}
+
+/// Tracks the machine-wide partition of CPUs and memory.
+#[derive(Debug, Clone)]
+pub struct ResourcePartitioner {
+    total: ResourceAssignment,
+    assignments: BTreeMap<KernelId, ResourceAssignment>,
+}
+
+impl ResourcePartitioner {
+    /// Creates a partitioner for a machine with the given totals.
+    pub fn new(cpus: u32, memory_mb: u64) -> Self {
+        Self {
+            total: ResourceAssignment { cpus, memory_mb },
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// The machine totals.
+    pub fn total(&self) -> ResourceAssignment {
+        self.total
+    }
+
+    /// The resources currently assigned to `kernel` (zero if none).
+    pub fn assignment(&self, kernel: KernelId) -> ResourceAssignment {
+        self.assignments.get(&kernel).copied().unwrap_or_default()
+    }
+
+    /// Sum of all assignments.
+    pub fn assigned(&self) -> ResourceAssignment {
+        let mut acc = ResourceAssignment::default();
+        for a in self.assignments.values() {
+            acc.cpus += a.cpus;
+            acc.memory_mb += a.memory_mb;
+        }
+        acc
+    }
+
+    /// Resources not assigned to any kernel.
+    pub fn free(&self) -> ResourceAssignment {
+        let assigned = self.assigned();
+        ResourceAssignment {
+            cpus: self.total.cpus - assigned.cpus,
+            memory_mb: self.total.memory_mb - assigned.memory_mb,
+        }
+    }
+
+    /// Grants additional resources to a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ResourceExhausted`] when the request exceeds
+    /// the free pool.
+    pub fn grant(
+        &mut self,
+        kernel: KernelId,
+        cpus: u32,
+        memory_mb: u64,
+    ) -> Result<ResourceAssignment, KernelError> {
+        let free = self.free();
+        if cpus > free.cpus {
+            return Err(KernelError::ResourceExhausted {
+                what: format!("{cpus} cpus requested, {} free", free.cpus),
+            });
+        }
+        if memory_mb > free.memory_mb {
+            return Err(KernelError::ResourceExhausted {
+                what: format!("{memory_mb} MiB requested, {} free", free.memory_mb),
+            });
+        }
+        let entry = self.assignments.entry(kernel).or_default();
+        entry.cpus += cpus;
+        entry.memory_mb += memory_mb;
+        Ok(*entry)
+    }
+
+    /// Returns resources from a kernel to the free pool.  Amounts larger than
+    /// the current assignment are clamped.
+    pub fn release(&mut self, kernel: KernelId, cpus: u32, memory_mb: u64) -> ResourceAssignment {
+        let entry = self.assignments.entry(kernel).or_default();
+        entry.cpus = entry.cpus.saturating_sub(cpus);
+        entry.memory_mb = entry.memory_mb.saturating_sub(memory_mb);
+        *entry
+    }
+
+    /// Moves resources from one kernel to another (the "cooperate to
+    /// dynamically partition" operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ResourceExhausted`] when the source kernel does
+    /// not own the requested amount.
+    pub fn transfer(
+        &mut self,
+        from: KernelId,
+        to: KernelId,
+        cpus: u32,
+        memory_mb: u64,
+    ) -> Result<(), KernelError> {
+        let source = self.assignment(from);
+        if source.cpus < cpus || source.memory_mb < memory_mb {
+            return Err(KernelError::ResourceExhausted {
+                what: format!("kernel {from} owns only {source}"),
+            });
+        }
+        self.release(from, cpus, memory_mb);
+        // The release returned the resources to the free pool, so the grant
+        // cannot fail.
+        self.grant(to, cpus, memory_mb)
+            .expect("transfer grant cannot exceed the free pool");
+        Ok(())
+    }
+
+    /// Iterates over `(kernel, assignment)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&KernelId, &ResourceAssignment)> {
+        self.assignments.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_release_and_free_accounting() {
+        let mut p = ResourcePartitioner::new(8, 1024);
+        assert_eq!(p.total().cpus, 8);
+        let k0 = KernelId::new(0);
+        let k1 = KernelId::new(1);
+        p.grant(k0, 4, 512).unwrap();
+        p.grant(k1, 2, 256).unwrap();
+        assert_eq!(p.assignment(k0).cpus, 4);
+        assert_eq!(p.free(), ResourceAssignment { cpus: 2, memory_mb: 256 });
+        assert_eq!(p.assigned().memory_mb, 768);
+        p.release(k0, 1, 0);
+        assert_eq!(p.assignment(k0).cpus, 3);
+        assert_eq!(p.free().cpus, 3);
+        assert_eq!(p.iter().count(), 2);
+    }
+
+    #[test]
+    fn overcommit_is_rejected() {
+        let mut p = ResourcePartitioner::new(4, 100);
+        let k = KernelId::new(0);
+        assert!(p.grant(k, 5, 0).is_err());
+        assert!(p.grant(k, 0, 101).is_err());
+        p.grant(k, 4, 100).unwrap();
+        assert!(p.grant(KernelId::new(1), 1, 0).is_err());
+    }
+
+    #[test]
+    fn release_clamps() {
+        let mut p = ResourcePartitioner::new(4, 100);
+        let k = KernelId::new(0);
+        p.grant(k, 2, 50).unwrap();
+        let after = p.release(k, 10, 500);
+        assert_eq!(after, ResourceAssignment::default());
+        assert_eq!(p.free(), ResourceAssignment { cpus: 4, memory_mb: 100 });
+    }
+
+    #[test]
+    fn transfer_between_kernels() {
+        let mut p = ResourcePartitioner::new(8, 800);
+        let general = KernelId::new(0);
+        let rgpd = KernelId::new(1);
+        p.grant(general, 6, 600).unwrap();
+        p.grant(rgpd, 2, 200).unwrap();
+        // A burst of GDPR processing: shift capacity to rgpdOS.
+        p.transfer(general, rgpd, 3, 300).unwrap();
+        assert_eq!(p.assignment(rgpd), ResourceAssignment { cpus: 5, memory_mb: 500 });
+        assert_eq!(p.assignment(general), ResourceAssignment { cpus: 3, memory_mb: 300 });
+        // Cannot transfer more than the source owns.
+        assert!(p.transfer(general, rgpd, 10, 0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ResourceAssignment { cpus: 2, memory_mb: 64 }.to_string(),
+            "2 cpus, 64 MiB"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Seccomp-style syscall filtering (§3, implementation choice 2).
+//!
+//! rgpdOS "leverages Linux Seccomp BPF to avoid functions which operate on PD
+//! to perform syscalls that can leak data".  The [`SyscallFilter`] is the
+//! simulated equivalent: an allow-list attached to each task, evaluated on
+//! every simulated syscall.
+
+use crate::syscall::Syscall;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Named filter profiles used by the components of rgpdOS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeccompProfile {
+    /// No restriction (ordinary applications on the general-purpose kernel).
+    Unrestricted,
+    /// Profile for `F_pd` processings executed by the DED: read-only
+    /// computation, no syscall that could exfiltrate personal data.
+    FpdProcessing,
+    /// Profile for rgpdOS's own trusted components (PS, DED driver, built-in
+    /// functions): DBFS access is allowed, exfiltration channels are not.
+    RgpdComponent,
+    /// Profile for IO driver kernels: device access only.
+    IoDriver,
+}
+
+impl fmt::Display for SeccompProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SeccompProfile::Unrestricted => "unrestricted",
+            SeccompProfile::FpdProcessing => "fpd-processing",
+            SeccompProfile::RgpdComponent => "rgpd-component",
+            SeccompProfile::IoDriver => "io-driver",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An explicit allow-list over syscall names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallFilter {
+    profile: SeccompProfile,
+    allowed: BTreeSet<&'static str>,
+}
+
+impl SyscallFilter {
+    /// Builds the filter implementing `profile`.
+    pub fn for_profile(profile: SeccompProfile) -> Self {
+        let allowed: BTreeSet<&'static str> = match profile {
+            SeccompProfile::Unrestricted => [
+                "file_read",
+                "file_write",
+                "network_send",
+                "network_receive",
+                "spawn",
+                "share_memory",
+                "ps_invoke",
+                "ps_register",
+                "clock_read",
+            ]
+            .into_iter()
+            .collect(),
+            SeccompProfile::FpdProcessing => {
+                // Pure computation over the rows the DED hands in: the only
+                // syscall a processing may issue is reading the clock (needed
+                // by e.g. `compute_age`, Listing 2).
+                ["clock_read"].into_iter().collect()
+            }
+            SeccompProfile::RgpdComponent => {
+                ["dbfs_access", "clock_read", "file_read"].into_iter().collect()
+            }
+            SeccompProfile::IoDriver => ["clock_read"].into_iter().collect(),
+        };
+        Self { profile, allowed }
+    }
+
+    /// The profile this filter implements.
+    pub fn profile(&self) -> SeccompProfile {
+        self.profile
+    }
+
+    /// Returns `true` if the filter allows the syscall.
+    pub fn allows(&self, syscall: &Syscall) -> bool {
+        self.allowed.contains(syscall.name())
+    }
+
+    /// Number of allowed syscalls (used by tests and reporting).
+    pub fn allowed_count(&self) -> usize {
+        self.allowed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpd_profile_blocks_every_exfiltration_channel() {
+        let filter = SyscallFilter::for_profile(SeccompProfile::FpdProcessing);
+        let leaky = [
+            Syscall::FileWrite { path: "/tmp/leak".into(), bytes: 128 },
+            Syscall::NetworkSend { bytes: 128 },
+            Syscall::Spawn,
+            Syscall::ShareMemory { bytes: 4096 },
+        ];
+        for call in leaky {
+            assert!(!filter.allows(&call), "{call} must be blocked for F_pd");
+        }
+        assert!(filter.allows(&Syscall::ClockRead));
+        // Even reads of the NPD filesystem and direct DBFS access are blocked:
+        // the DED hands data in, the processing never fetches it itself.
+        assert!(!filter.allows(&Syscall::FileRead { path: "/etc/passwd".into() }));
+        assert!(!filter.allows(&Syscall::DbfsAccess));
+    }
+
+    #[test]
+    fn unrestricted_profile_blocks_direct_dbfs_access() {
+        let filter = SyscallFilter::for_profile(SeccompProfile::Unrestricted);
+        assert!(filter.allows(&Syscall::NetworkSend { bytes: 1 }));
+        assert!(filter.allows(&Syscall::PsInvoke));
+        // Enforcement rule (4): only the DED accesses DBFS directly — not
+        // even an unrestricted application can.
+        assert!(!filter.allows(&Syscall::DbfsAccess));
+    }
+
+    #[test]
+    fn rgpd_component_profile() {
+        let filter = SyscallFilter::for_profile(SeccompProfile::RgpdComponent);
+        assert!(filter.allows(&Syscall::DbfsAccess));
+        assert!(!filter.allows(&Syscall::NetworkSend { bytes: 1 }));
+        assert!(!filter.allows(&Syscall::Spawn));
+    }
+
+    #[test]
+    fn io_driver_profile_is_minimal() {
+        let filter = SyscallFilter::for_profile(SeccompProfile::IoDriver);
+        assert_eq!(filter.allowed_count(), 1);
+        assert_eq!(filter.profile(), SeccompProfile::IoDriver);
+    }
+
+    #[test]
+    fn profiles_display() {
+        assert_eq!(SeccompProfile::FpdProcessing.to_string(), "fpd-processing");
+        assert_eq!(SeccompProfile::Unrestricted.to_string(), "unrestricted");
+    }
+}

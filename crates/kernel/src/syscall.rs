@@ -1,0 +1,124 @@
+//! The simulated syscall surface.
+
+use std::fmt;
+
+/// A system call a task may attempt.
+///
+/// The set is deliberately small: it contains the calls whose *policy
+/// treatment* matters to rgpdOS — calls that could leak personal data out of
+/// the Data Execution Domain (file writes, network sends, process spawning,
+/// shared memory) and the calls the enforcement layers themselves need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Syscall {
+    /// Read from a file of the non-personal-data filesystem.
+    FileRead {
+        /// Path being read.
+        path: String,
+    },
+    /// Write to a file of the non-personal-data filesystem.
+    FileWrite {
+        /// Path being written.
+        path: String,
+        /// Number of bytes.
+        bytes: usize,
+    },
+    /// Send bytes over the network.
+    NetworkSend {
+        /// Number of bytes.
+        bytes: usize,
+    },
+    /// Receive bytes from the network.
+    NetworkReceive {
+        /// Number of bytes.
+        bytes: usize,
+    },
+    /// Spawn a new process.
+    Spawn,
+    /// Map shared memory (a possible exfiltration channel).
+    ShareMemory {
+        /// Size of the mapping.
+        bytes: usize,
+    },
+    /// Access the DBFS storage directly (only the DED may do this).
+    DbfsAccess,
+    /// Invoke a processing through the Processing Store.
+    PsInvoke,
+    /// Register a processing with the Processing Store.
+    PsRegister,
+    /// Read the machine clock.
+    ClockRead,
+}
+
+impl Syscall {
+    /// Returns `true` if the call can move data out of the calling task's
+    /// domain (the calls the paper forbids to `F_pd` functions).
+    pub fn is_exfiltration_channel(&self) -> bool {
+        matches!(
+            self,
+            Syscall::FileWrite { .. }
+                | Syscall::NetworkSend { .. }
+                | Syscall::Spawn
+                | Syscall::ShareMemory { .. }
+        )
+    }
+
+    /// A short stable name used by counters and audit messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::FileRead { .. } => "file_read",
+            Syscall::FileWrite { .. } => "file_write",
+            Syscall::NetworkSend { .. } => "network_send",
+            Syscall::NetworkReceive { .. } => "network_receive",
+            Syscall::Spawn => "spawn",
+            Syscall::ShareMemory { .. } => "share_memory",
+            Syscall::DbfsAccess => "dbfs_access",
+            Syscall::PsInvoke => "ps_invoke",
+            Syscall::PsRegister => "ps_register",
+            Syscall::ClockRead => "clock_read",
+        }
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of a permitted syscall (the simulation returns a coarse
+/// outcome; the point of the model is the *decision*, not the side effect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallOutcome {
+    /// The call completed.
+    Completed,
+    /// The call completed and transferred this many bytes.
+    Transferred(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exfiltration_classification_matches_the_paper() {
+        // The paper: "F_pd functions are forbidden to make syscalls that
+        // could leak PD (e.g. write)".
+        assert!(Syscall::FileWrite { path: "/tmp/x".into(), bytes: 1 }.is_exfiltration_channel());
+        assert!(Syscall::NetworkSend { bytes: 1 }.is_exfiltration_channel());
+        assert!(Syscall::Spawn.is_exfiltration_channel());
+        assert!(Syscall::ShareMemory { bytes: 1 }.is_exfiltration_channel());
+        assert!(!Syscall::FileRead { path: "/tmp/x".into() }.is_exfiltration_channel());
+        assert!(!Syscall::ClockRead.is_exfiltration_channel());
+        assert!(!Syscall::DbfsAccess.is_exfiltration_channel());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Syscall::PsInvoke.to_string(), "ps_invoke");
+        assert_eq!(Syscall::ClockRead.name(), "clock_read");
+        assert_eq!(
+            Syscall::NetworkReceive { bytes: 5 }.name(),
+            "network_receive"
+        );
+    }
+}

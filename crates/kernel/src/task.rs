@@ -1,0 +1,177 @@
+//! Tasks: the schedulable entities hosted by sub-kernels.
+
+use crate::lsm::SecurityContext;
+use crate::seccomp::{SeccompProfile, SyscallFilter};
+use rgpdos_core::{KernelId, TaskId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Ready to run.
+    Ready,
+    /// Currently executing (the simulation does not model preemption, but
+    /// the DED marks its processing tasks running while they execute).
+    Running,
+    /// Finished.
+    Terminated,
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskState::Ready => "ready",
+            TaskState::Running => "running",
+            TaskState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A task: a security context, a seccomp filter, and counters.
+#[derive(Debug, Clone)]
+pub struct Task {
+    id: TaskId,
+    kernel: KernelId,
+    context: SecurityContext,
+    filter: SyscallFilter,
+    state: TaskState,
+    syscall_counts: BTreeMap<&'static str, u64>,
+    denied_syscalls: u64,
+}
+
+impl Task {
+    /// Creates a task in the [`TaskState::Ready`] state.
+    pub fn new(id: TaskId, kernel: KernelId, context: SecurityContext) -> Self {
+        let profile = match context {
+            SecurityContext::DedProcessing => SeccompProfile::FpdProcessing,
+            SecurityContext::ProcessingStore | SecurityContext::RgpdBuiltin => {
+                SeccompProfile::RgpdComponent
+            }
+            SecurityContext::IoDriver => SeccompProfile::IoDriver,
+            SecurityContext::Application | SecurityContext::ExternalProcess => {
+                SeccompProfile::Unrestricted
+            }
+        };
+        Self {
+            id,
+            kernel,
+            context,
+            filter: SyscallFilter::for_profile(profile),
+            state: TaskState::Ready,
+            syscall_counts: BTreeMap::new(),
+            denied_syscalls: 0,
+        }
+    }
+
+    /// The task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The sub-kernel hosting this task.
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// The task's security context.
+    pub fn context(&self) -> SecurityContext {
+        self.context
+    }
+
+    /// The seccomp profile attached to the task.
+    pub fn profile(&self) -> SeccompProfile {
+        self.filter.profile()
+    }
+
+    /// The task's syscall filter.
+    pub fn filter(&self) -> &SyscallFilter {
+        &self.filter
+    }
+
+    /// The current state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Transitions the task to a new state.
+    pub fn set_state(&mut self, state: TaskState) {
+        self.state = state;
+    }
+
+    /// Records a permitted syscall.
+    pub fn record_syscall(&mut self, name: &'static str) {
+        *self.syscall_counts.entry(name).or_insert(0) += 1;
+    }
+
+    /// Records a denied syscall.
+    pub fn record_denied(&mut self) {
+        self.denied_syscalls += 1;
+    }
+
+    /// Number of permitted syscalls, by name.
+    pub fn syscall_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.syscall_counts
+    }
+
+    /// Number of syscalls denied by the filter.
+    pub fn denied_syscalls(&self) -> u64 {
+        self.denied_syscalls
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} ({}, {}, {})",
+            self.id,
+            self.kernel,
+            self.context,
+            self.profile(),
+            self.state
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_selects_profile() {
+        let t = Task::new(TaskId::new(1), KernelId::new(0), SecurityContext::DedProcessing);
+        assert_eq!(t.profile(), SeccompProfile::FpdProcessing);
+        let t = Task::new(TaskId::new(2), KernelId::new(0), SecurityContext::Application);
+        assert_eq!(t.profile(), SeccompProfile::Unrestricted);
+        let t = Task::new(TaskId::new(3), KernelId::new(0), SecurityContext::ProcessingStore);
+        assert_eq!(t.profile(), SeccompProfile::RgpdComponent);
+        let t = Task::new(TaskId::new(4), KernelId::new(1), SecurityContext::IoDriver);
+        assert_eq!(t.profile(), SeccompProfile::IoDriver);
+    }
+
+    #[test]
+    fn counters_and_state() {
+        let mut t = Task::new(TaskId::new(1), KernelId::new(0), SecurityContext::Application);
+        assert_eq!(t.state(), TaskState::Ready);
+        t.set_state(TaskState::Running);
+        t.record_syscall("file_read");
+        t.record_syscall("file_read");
+        t.record_denied();
+        t.set_state(TaskState::Terminated);
+        assert_eq!(t.syscall_counts()["file_read"], 2);
+        assert_eq!(t.denied_syscalls(), 1);
+        assert_eq!(t.state(), TaskState::Terminated);
+        assert!(t.to_string().contains("task-1"));
+        assert_eq!(t.kernel(), KernelId::new(0));
+        assert_eq!(t.context(), SecurityContext::Application);
+    }
+
+    #[test]
+    fn states_display() {
+        assert_eq!(TaskState::Ready.to_string(), "ready");
+        assert_eq!(TaskState::Running.to_string(), "running");
+        assert_eq!(TaskState::Terminated.to_string(), "terminated");
+    }
+}

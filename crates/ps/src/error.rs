@@ -1,0 +1,91 @@
+//! Error type of the Processing Store.
+
+use rgpdos_core::ProcessingId;
+use rgpdos_dsl::DslError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the Processing Store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PsError {
+    /// The processing declares no purpose at all (neither an annotation in
+    /// its source nor a purpose declaration): the paper mandates rejection.
+    MissingPurpose {
+        /// The processing name.
+        name: String,
+    },
+    /// The purpose declaration could not be parsed.
+    Dsl(DslError),
+    /// The processing id is unknown.
+    UnknownProcessing {
+        /// The unknown identifier.
+        id: ProcessingId,
+    },
+    /// The processing exists but is not approved for invocation.
+    NotApproved {
+        /// The processing identifier.
+        id: ProcessingId,
+        /// Its current status, as text.
+        status: String,
+    },
+    /// A processing with the same name is already registered.
+    DuplicateName {
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::MissingPurpose { name } => {
+                write!(f, "processing `{name}` declares no purpose and is rejected")
+            }
+            PsError::Dsl(e) => write!(f, "purpose declaration error: {e}"),
+            PsError::UnknownProcessing { id } => write!(f, "unknown processing {id}"),
+            PsError::NotApproved { id, status } => {
+                write!(f, "processing {id} is not invocable (status: {status})")
+            }
+            PsError::DuplicateName { name } => {
+                write!(f, "a processing named `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl StdError for PsError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            PsError::Dsl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DslError> for PsError {
+    fn from(e: DslError) -> Self {
+        PsError::Dsl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            PsError::MissingPurpose { name: "f".into() },
+            PsError::Dsl(DslError::UnexpectedEndOfInput { expected: "x".into() }),
+            PsError::UnknownProcessing { id: ProcessingId::new(1) },
+            PsError::NotApproved { id: ProcessingId::new(1), status: "pending".into() },
+            PsError::DuplicateName { name: "f".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(PsError::Dsl(DslError::UnexpectedEndOfInput { expected: "x".into() })
+            .source()
+            .is_some());
+    }
+}

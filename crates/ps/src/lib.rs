@@ -1,0 +1,58 @@
+//! # rgpdos-ps — the Processing Store
+//!
+//! The Processing Store (PS) is "the only rgpdOS entry point" (§2): every
+//! personal-data processing must be registered through [`ProcessingStore::register`]
+//! (the paper's `ps_register`) before it can be invoked, and invocation
+//! requests enter rgpdOS through the PS before being handed to the Data
+//! Execution Domain.
+//!
+//! Registration performs the checks the paper lists:
+//!
+//! * a processing with **no declared purpose is rejected**;
+//! * when the declared purpose does not *match* the implementation (the
+//!   annotation embedded in its source, its input type, or its expected
+//!   view), the PS raises an **alert that requires explicit sysadmin
+//!   approval** before the processing becomes invocable.
+//!
+//! The store never executes anything itself — execution is the DED's job
+//! (`rgpdos-ded`) — but it owns the registry that the LSM policy protects
+//! (only the PS security context may read or modify it).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_ps::{ProcessingOutput, ProcessingSpec, ProcessingStore, RegistrationStatus};
+//! use rgpdos_core::FieldValue;
+//! use std::sync::Arc;
+//!
+//! let store = ProcessingStore::new();
+//! let spec = ProcessingSpec::builder("compute_age", "user")
+//!     .source("/* purpose3 */ fn compute_age(user) { ... }")
+//!     .purpose_declaration(rgpdos_dsl::listings::LISTING_2_PURPOSE)
+//!     .unwrap()
+//!     .expected_view("v_ano")
+//!     .output_type("age_pd")
+//!     .function(Arc::new(|row| {
+//!         let year = row.get("year_of_birthdate").and_then(|v| v.as_int()).unwrap_or(0);
+//!         Ok(ProcessingOutput::Value(FieldValue::Int(2022 - year)))
+//!     }))
+//!     .build();
+//! let outcome = store.register(spec).unwrap();
+//! assert_eq!(outcome.status, RegistrationStatus::Approved);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod matching;
+pub mod processing;
+pub mod store;
+
+pub use error::PsError;
+pub use matching::{match_purpose, MatchReport, Mismatch};
+pub use processing::{
+    ProcessingFn, ProcessingOutput, ProcessingSpec, ProcessingSpecBuilder, RegisteredProcessing,
+    RegistrationStatus,
+};
+pub use store::{ProcessingStore, RegistrationOutcome};

@@ -1,0 +1,248 @@
+//! Purpose ↔ implementation matching.
+//!
+//! "If the specified purpose does not match with the corresponding
+//! implementation, PS raises an alert that requires an explicit sysadmin
+//! approval" (§2).  The paper leaves the matching procedure open (§3(4) lists
+//! it as future work involving semantics and AI); the reproduction implements
+//! the checks that are possible *syntactically* today:
+//!
+//! 1. the purpose annotation embedded in the implementation source must name
+//!    the same purpose as the declaration;
+//! 2. the input type the implementation registers for must be the input type
+//!    the purpose declaration names;
+//! 3. the view the implementation expects must be the view the declaration
+//!    names;
+//! 4. if the declaration promises an output type, the implementation must
+//!    register one (and vice versa).
+//!
+//! Any failed check becomes a [`Mismatch`] in the [`MatchReport`]; the store
+//! then parks the processing in `PendingApproval`.
+
+use crate::processing::ProcessingSpec;
+use rgpdos_dsl::extract_purpose_annotation;
+use std::fmt;
+
+/// One discrepancy between the declared purpose and the implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mismatch {
+    /// The source annotation names a different purpose than the declaration.
+    AnnotationDisagrees {
+        /// Purpose named by the annotation.
+        annotation: String,
+        /// Purpose named by the declaration.
+        declared: String,
+    },
+    /// The implementation source carries no purpose annotation at all.
+    AnnotationMissing,
+    /// The declaration reads a different data type than the implementation.
+    InputTypeDisagrees {
+        /// Input type named by the declaration.
+        declared: String,
+        /// Input type the implementation registers for.
+        registered: String,
+    },
+    /// The declaration names a different view than the implementation expects.
+    ViewDisagrees {
+        /// View named by the declaration.
+        declared: String,
+        /// View the implementation expects (empty when none).
+        registered: String,
+    },
+    /// The declaration and the implementation disagree on whether personal
+    /// data is produced.
+    OutputDisagrees {
+        /// Output named by the declaration (empty when none).
+        declared: String,
+        /// Output the implementation registers (empty when none).
+        registered: String,
+    },
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::AnnotationDisagrees { annotation, declared } => write!(
+                f,
+                "source is annotated `{annotation}` but the declared purpose is `{declared}`"
+            ),
+            Mismatch::AnnotationMissing => {
+                f.write_str("implementation source carries no purpose annotation")
+            }
+            Mismatch::InputTypeDisagrees { declared, registered } => write!(
+                f,
+                "purpose declares input `{declared}` but the implementation registers `{registered}`"
+            ),
+            Mismatch::ViewDisagrees { declared, registered } => write!(
+                f,
+                "purpose declares view `{declared}` but the implementation expects `{registered}`"
+            ),
+            Mismatch::OutputDisagrees { declared, registered } => write!(
+                f,
+                "purpose declares output `{declared}` but the implementation registers `{registered}`"
+            ),
+        }
+    }
+}
+
+/// The result of matching a spec against its declared purpose.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchReport {
+    /// The mismatches found (empty means the processing is consistent).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl MatchReport {
+    /// Returns `true` when no mismatch was found.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Renders the mismatches as sysadmin-readable alert strings.
+    pub fn alerts(&self) -> Vec<String> {
+        self.mismatches.iter().map(ToString::to_string).collect()
+    }
+}
+
+/// Matches a processing spec against its purpose declaration.
+pub fn match_purpose(spec: &ProcessingSpec) -> MatchReport {
+    let mut mismatches = Vec::new();
+    let annotation = extract_purpose_annotation(&spec.source);
+    let claimed = spec.claimed_purpose();
+
+    match (&annotation, &claimed) {
+        (Some(a), Some(c)) if a != c.as_str() => {
+            mismatches.push(Mismatch::AnnotationDisagrees {
+                annotation: a.clone(),
+                declared: c.to_string(),
+            });
+        }
+        (None, Some(_)) => mismatches.push(Mismatch::AnnotationMissing),
+        _ => {}
+    }
+
+    if let Some(decl) = &spec.purpose {
+        if let Some(declared_input) = &decl.input_type {
+            if declared_input != spec.input_type.as_str() {
+                mismatches.push(Mismatch::InputTypeDisagrees {
+                    declared: declared_input.clone(),
+                    registered: spec.input_type.to_string(),
+                });
+            }
+        }
+        if let Some(declared_view) = &decl.view {
+            let registered = spec
+                .expected_view
+                .as_ref()
+                .map(ToString::to_string)
+                .unwrap_or_default();
+            if declared_view != &registered {
+                mismatches.push(Mismatch::ViewDisagrees {
+                    declared: declared_view.clone(),
+                    registered,
+                });
+            }
+        }
+        let declared_output = decl.output_type.clone().unwrap_or_default();
+        let registered_output = spec
+            .output_type
+            .as_ref()
+            .map(ToString::to_string)
+            .unwrap_or_default();
+        if declared_output != registered_output {
+            mismatches.push(Mismatch::OutputDisagrees {
+                declared: declared_output,
+                registered: registered_output,
+            });
+        }
+    }
+
+    MatchReport { mismatches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processing::{ProcessingOutput, ProcessingSpec};
+    use rgpdos_dsl::listings::{LISTING_2_C, LISTING_2_PURPOSE};
+    use std::sync::Arc;
+
+    fn noop() -> crate::processing::ProcessingFn {
+        Arc::new(|_row| Ok(ProcessingOutput::Nothing))
+    }
+
+    #[test]
+    fn listing_2_matches_its_purpose() {
+        let spec = ProcessingSpec::builder("compute_age", "user")
+            .source(LISTING_2_C)
+            .purpose_declaration(LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(noop())
+            .build();
+        let report = match_purpose(&spec);
+        assert!(report.is_clean(), "unexpected mismatches: {:?}", report.mismatches);
+        assert!(report.alerts().is_empty());
+    }
+
+    #[test]
+    fn annotation_disagreement_is_detected() {
+        let spec = ProcessingSpec::builder("compute_age", "user")
+            .source("/* purpose1 */ fn compute_age() {}")
+            .purpose_declaration(LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(noop())
+            .build();
+        let report = match_purpose(&spec);
+        assert!(!report.is_clean());
+        assert!(matches!(
+            report.mismatches[0],
+            Mismatch::AnnotationDisagrees { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_annotation_is_detected() {
+        let spec = ProcessingSpec::builder("compute_age", "user")
+            .source("fn compute_age() {}")
+            .purpose_name("purpose3")
+            .function(noop())
+            .build();
+        let report = match_purpose(&spec);
+        assert_eq!(report.mismatches, vec![Mismatch::AnnotationMissing]);
+    }
+
+    #[test]
+    fn input_view_and_output_disagreements_are_detected() {
+        let spec = ProcessingSpec::builder("compute_age", "patient")
+            .source(LISTING_2_C)
+            .purpose_declaration(LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_name")
+            .function(noop())
+            .build();
+        let report = match_purpose(&spec);
+        let kinds: Vec<_> = report
+            .mismatches
+            .iter()
+            .map(|m| std::mem::discriminant(m))
+            .collect();
+        assert_eq!(report.mismatches.len(), 3);
+        assert_eq!(kinds.len(), 3);
+        for alert in report.alerts() {
+            assert!(!alert.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_declaration_means_only_annotation_checks() {
+        let spec = ProcessingSpec::builder("f", "user")
+            .source("/* marketing */")
+            .purpose_name("marketing")
+            .function(noop())
+            .build();
+        assert!(match_purpose(&spec).is_clean());
+    }
+}

@@ -1,0 +1,300 @@
+//! Processing specifications and registered processings.
+
+use crate::error::PsError;
+use rgpdos_core::{DataTypeId, FieldValue, ProcessingId, PurposeId, Row, ViewId};
+use rgpdos_dsl::{parse_purpose_declarations, PurposeDecl};
+use std::fmt;
+use std::sync::Arc;
+
+/// What one invocation of the processing over one record produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessingOutput {
+    /// A non-personal scalar value, returned to the caller as-is.
+    Value(FieldValue),
+    /// New personal data derived from the input; the DED wraps it in a
+    /// membrane and stores it in DBFS, returning only a reference.
+    PersonalData {
+        /// The type of the produced data.
+        data_type: DataTypeId,
+        /// The produced row.
+        row: Row,
+    },
+    /// Nothing is produced for this record.
+    Nothing,
+}
+
+/// The implementation of a processing: a pure function from the (possibly
+/// view-restricted) input row to an output.
+///
+/// The function runs inside the DED sandbox; it receives the row the
+/// membrane allows it to see and cannot reach any other data.  Errors are
+/// reported as strings so that implementations written "in any language"
+/// (the paper allows C) can be wrapped uniformly.
+pub type ProcessingFn = Arc<dyn Fn(&Row) -> Result<ProcessingOutput, String> + Send + Sync>;
+
+/// Registration status of a processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistrationStatus {
+    /// The processing may be invoked.
+    Approved,
+    /// The purpose/implementation match check raised an alert; a sysadmin
+    /// must approve the processing before it can be invoked.
+    PendingApproval,
+    /// A sysadmin rejected the processing.
+    Rejected,
+}
+
+impl fmt::Display for RegistrationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegistrationStatus::Approved => "approved",
+            RegistrationStatus::PendingApproval => "pending-approval",
+            RegistrationStatus::Rejected => "rejected",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A processing submitted for registration.
+#[derive(Clone)]
+pub struct ProcessingSpec {
+    /// The function name (e.g. `compute_age`).
+    pub name: String,
+    /// The personal-data type the processing reads.
+    pub input_type: DataTypeId,
+    /// The implementation source (any language); the PS only looks at the
+    /// purpose annotation it carries.
+    pub source: String,
+    /// The parsed purpose declaration, when one was provided.
+    pub purpose: Option<PurposeDecl>,
+    /// An explicitly named purpose (used when no full declaration exists).
+    pub declared_purpose: Option<PurposeId>,
+    /// The view the processing expects to operate through, if any.
+    pub expected_view: Option<ViewId>,
+    /// The data type of produced personal data, if the processing creates any.
+    pub output_type: Option<DataTypeId>,
+    /// The callable implementation.
+    pub function: ProcessingFn,
+}
+
+impl fmt::Debug for ProcessingSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessingSpec")
+            .field("name", &self.name)
+            .field("input_type", &self.input_type)
+            .field("purpose", &self.purpose)
+            .field("declared_purpose", &self.declared_purpose)
+            .field("expected_view", &self.expected_view)
+            .field("output_type", &self.output_type)
+            .field("function", &"<fn>")
+            .finish()
+    }
+}
+
+impl ProcessingSpec {
+    /// Starts building a spec for a processing reading `input_type`.
+    pub fn builder(name: impl Into<String>, input_type: impl Into<DataTypeId>) -> ProcessingSpecBuilder {
+        ProcessingSpecBuilder {
+            name: name.into(),
+            input_type: input_type.into(),
+            source: String::new(),
+            purpose: None,
+            declared_purpose: None,
+            expected_view: None,
+            output_type: None,
+            function: None,
+        }
+    }
+
+    /// The purpose this processing claims to implement, from the declaration
+    /// or the explicit name.
+    pub fn claimed_purpose(&self) -> Option<PurposeId> {
+        self.purpose
+            .as_ref()
+            .map(|p| PurposeId::from(p.name.as_str()))
+            .or_else(|| self.declared_purpose.clone())
+    }
+}
+
+/// Builder for [`ProcessingSpec`] (C-BUILDER).
+pub struct ProcessingSpecBuilder {
+    name: String,
+    input_type: DataTypeId,
+    source: String,
+    purpose: Option<PurposeDecl>,
+    declared_purpose: Option<PurposeId>,
+    expected_view: Option<ViewId>,
+    output_type: Option<DataTypeId>,
+    function: Option<ProcessingFn>,
+}
+
+impl ProcessingSpecBuilder {
+    /// Attaches the implementation source text (carrying the annotation).
+    #[must_use]
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Attaches a purpose declaration written in the purpose language.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PsError::Dsl`] when the declaration does not parse.
+    pub fn purpose_declaration(mut self, declaration: &str) -> Result<Self, PsError> {
+        let mut decls = parse_purpose_declarations(declaration)?;
+        self.purpose = decls.pop();
+        Ok(self)
+    }
+
+    /// Names the purpose without a full declaration.
+    #[must_use]
+    pub fn purpose_name(mut self, purpose: impl Into<PurposeId>) -> Self {
+        self.declared_purpose = Some(purpose.into());
+        self
+    }
+
+    /// Declares the view the implementation expects.
+    #[must_use]
+    pub fn expected_view(mut self, view: impl Into<ViewId>) -> Self {
+        self.expected_view = Some(view.into());
+        self
+    }
+
+    /// Declares the type of personal data the processing produces.
+    #[must_use]
+    pub fn output_type(mut self, output: impl Into<DataTypeId>) -> Self {
+        self.output_type = Some(output.into());
+        self
+    }
+
+    /// Attaches the callable implementation.
+    #[must_use]
+    pub fn function(mut self, function: ProcessingFn) -> Self {
+        self.function = Some(function);
+        self
+    }
+
+    /// Finalises the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function was attached; a processing without an
+    /// implementation cannot exist.
+    pub fn build(self) -> ProcessingSpec {
+        ProcessingSpec {
+            name: self.name,
+            input_type: self.input_type,
+            source: self.source,
+            purpose: self.purpose,
+            declared_purpose: self.declared_purpose,
+            expected_view: self.expected_view,
+            output_type: self.output_type,
+            function: self.function.expect("a processing needs an implementation"),
+        }
+    }
+}
+
+/// A processing accepted into the store.
+#[derive(Clone)]
+pub struct RegisteredProcessing {
+    /// The identifier assigned at registration.
+    pub id: ProcessingId,
+    /// The registered spec.
+    pub spec: ProcessingSpec,
+    /// The purpose the processing is bound to.
+    pub purpose: PurposeId,
+    /// Current status.
+    pub status: RegistrationStatus,
+    /// The mismatches found at registration, if any (what the sysadmin is
+    /// asked to review).
+    pub alerts: Vec<String>,
+}
+
+impl fmt::Debug for RegisteredProcessing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisteredProcessing")
+            .field("id", &self.id)
+            .field("name", &self.spec.name)
+            .field("purpose", &self.purpose)
+            .field("status", &self.status)
+            .field("alerts", &self.alerts)
+            .finish()
+    }
+}
+
+impl RegisteredProcessing {
+    /// Returns `true` when the processing may be executed by the DED.
+    pub fn is_invocable(&self) -> bool {
+        self.status == RegistrationStatus::Approved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> ProcessingFn {
+        Arc::new(|_row| Ok(ProcessingOutput::Nothing))
+    }
+
+    #[test]
+    fn builder_collects_every_attribute() {
+        let spec = ProcessingSpec::builder("compute_age", "user")
+            .source("/* purpose3 */")
+            .purpose_declaration(rgpdos_dsl::listings::LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(noop())
+            .build();
+        assert_eq!(spec.name, "compute_age");
+        assert_eq!(spec.input_type.as_str(), "user");
+        assert_eq!(spec.claimed_purpose(), Some(PurposeId::from("purpose3")));
+        assert_eq!(spec.expected_view, Some(ViewId::from("v_ano")));
+        assert_eq!(spec.output_type, Some(DataTypeId::from("age_pd")));
+        assert!(format!("{spec:?}").contains("compute_age"));
+    }
+
+    #[test]
+    fn purpose_name_without_declaration() {
+        let spec = ProcessingSpec::builder("newsletter", "user")
+            .purpose_name("marketing")
+            .function(noop())
+            .build();
+        assert_eq!(spec.claimed_purpose(), Some(PurposeId::from("marketing")));
+        let spec = ProcessingSpec::builder("orphan", "user").function(noop()).build();
+        assert_eq!(spec.claimed_purpose(), None);
+    }
+
+    #[test]
+    fn bad_purpose_declaration_is_reported() {
+        assert!(ProcessingSpec::builder("x", "user")
+            .purpose_declaration("purpose {")
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an implementation")]
+    fn building_without_function_panics() {
+        let _ = ProcessingSpec::builder("x", "user").build();
+    }
+
+    #[test]
+    fn statuses_display() {
+        assert_eq!(RegistrationStatus::Approved.to_string(), "approved");
+        assert_eq!(RegistrationStatus::PendingApproval.to_string(), "pending-approval");
+        assert_eq!(RegistrationStatus::Rejected.to_string(), "rejected");
+    }
+
+    #[test]
+    fn processing_output_variants() {
+        let v = ProcessingOutput::Value(FieldValue::Int(3));
+        assert_ne!(v, ProcessingOutput::Nothing);
+        let pd = ProcessingOutput::PersonalData {
+            data_type: DataTypeId::from("age_pd"),
+            row: Row::new().with("age", 32i64),
+        };
+        assert!(matches!(pd, ProcessingOutput::PersonalData { .. }));
+    }
+}

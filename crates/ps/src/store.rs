@@ -1,0 +1,329 @@
+//! The processing registry and its registration workflow.
+
+use crate::error::PsError;
+use crate::matching::match_purpose;
+use crate::processing::{ProcessingSpec, RegisteredProcessing, RegistrationStatus};
+use parking_lot::RwLock;
+use rgpdos_core::{AuditEventKind, AuditLog, ProcessingId, PurposeId, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The outcome of a `ps_register` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrationOutcome {
+    /// The identifier assigned to the processing.
+    pub id: ProcessingId,
+    /// The status after the matching checks.
+    pub status: RegistrationStatus,
+    /// The alerts raised for the sysadmin, if any.
+    pub alerts: Vec<String>,
+}
+
+/// The Processing Store.
+///
+/// Cloning the store yields another handle onto the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessingStore {
+    inner: Arc<RwLock<StoreInner>>,
+    audit: AuditLog,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    next_id: u64,
+    processings: BTreeMap<ProcessingId, RegisteredProcessing>,
+}
+
+impl std::fmt::Debug for StoreInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreInner")
+            .field("next_id", &self.next_id)
+            .field("processings", &self.processings.len())
+            .finish()
+    }
+}
+
+impl ProcessingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store that records registration events into `audit`.
+    pub fn with_audit(audit: AuditLog) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(StoreInner::default())),
+            audit,
+        }
+    }
+
+    /// `ps_register`: submits a processing for registration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::MissingPurpose`] when the processing declares no
+    /// purpose at all and [`PsError::DuplicateName`] when the name is taken.
+    pub fn register(&self, spec: ProcessingSpec) -> Result<RegistrationOutcome, PsError> {
+        let Some(purpose) = spec.claimed_purpose() else {
+            return Err(PsError::MissingPurpose {
+                name: spec.name.clone(),
+            });
+        };
+        let mut inner = self.inner.write();
+        if inner
+            .processings
+            .values()
+            .any(|p| p.spec.name == spec.name)
+        {
+            return Err(PsError::DuplicateName {
+                name: spec.name.clone(),
+            });
+        }
+        let report = match_purpose(&spec);
+        let status = if report.is_clean() {
+            RegistrationStatus::Approved
+        } else {
+            RegistrationStatus::PendingApproval
+        };
+        let id = ProcessingId::new(inner.next_id);
+        inner.next_id += 1;
+        let alerts = report.alerts();
+        inner.processings.insert(
+            id,
+            RegisteredProcessing {
+                id,
+                spec,
+                purpose: purpose.clone(),
+                status,
+                alerts: alerts.clone(),
+            },
+        );
+        drop(inner);
+        if status == RegistrationStatus::PendingApproval {
+            self.audit.record(
+                Timestamp::ZERO,
+                None,
+                AuditEventKind::ViolationBlocked {
+                    description: format!(
+                        "processing {id} ({purpose}) parked pending sysadmin approval: {}",
+                        alerts.join("; ")
+                    ),
+                },
+            );
+        }
+        Ok(RegistrationOutcome { id, status, alerts })
+    }
+
+    /// Returns a registered processing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::UnknownProcessing`].
+    pub fn get(&self, id: ProcessingId) -> Result<RegisteredProcessing, PsError> {
+        self.inner
+            .read()
+            .processings
+            .get(&id)
+            .cloned()
+            .ok_or(PsError::UnknownProcessing { id })
+    }
+
+    /// Returns a processing only if it may be invoked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::NotApproved`] for pending or rejected processings.
+    pub fn get_invocable(&self, id: ProcessingId) -> Result<RegisteredProcessing, PsError> {
+        let processing = self.get(id)?;
+        if processing.is_invocable() {
+            Ok(processing)
+        } else {
+            Err(PsError::NotApproved {
+                id,
+                status: processing.status.to_string(),
+            })
+        }
+    }
+
+    /// Finds a processing by name.
+    pub fn find_by_name(&self, name: &str) -> Option<RegisteredProcessing> {
+        self.inner
+            .read()
+            .processings
+            .values()
+            .find(|p| p.spec.name == name)
+            .cloned()
+    }
+
+    /// Lists every registered processing.
+    pub fn list(&self) -> Vec<RegisteredProcessing> {
+        self.inner.read().processings.values().cloned().collect()
+    }
+
+    /// Lists the processings bound to a given purpose.
+    pub fn for_purpose(&self, purpose: &PurposeId) -> Vec<RegisteredProcessing> {
+        self.inner
+            .read()
+            .processings
+            .values()
+            .filter(|p| &p.purpose == purpose)
+            .cloned()
+            .collect()
+    }
+
+    /// Sysadmin action: approves a processing parked by a matching alert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::UnknownProcessing`].
+    pub fn approve(&self, id: ProcessingId) -> Result<(), PsError> {
+        self.set_status(id, RegistrationStatus::Approved)
+    }
+
+    /// Sysadmin action: rejects a processing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::UnknownProcessing`].
+    pub fn reject(&self, id: ProcessingId) -> Result<(), PsError> {
+        self.set_status(id, RegistrationStatus::Rejected)
+    }
+
+    fn set_status(&self, id: ProcessingId, status: RegistrationStatus) -> Result<(), PsError> {
+        let mut inner = self.inner.write();
+        let processing = inner
+            .processings
+            .get_mut(&id)
+            .ok_or(PsError::UnknownProcessing { id })?;
+        processing.status = status;
+        Ok(())
+    }
+
+    /// Number of registered processings.
+    pub fn len(&self) -> usize {
+        self.inner.read().processings.len()
+    }
+
+    /// Returns `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().processings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processing::{ProcessingOutput, ProcessingSpec};
+    use rgpdos_core::FieldValue;
+    use rgpdos_dsl::listings::{LISTING_2_C, LISTING_2_PURPOSE};
+    use std::sync::Arc;
+
+    fn compute_age_spec() -> ProcessingSpec {
+        ProcessingSpec::builder("compute_age", "user")
+            .source(LISTING_2_C)
+            .purpose_declaration(LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(Arc::new(|row| {
+                let year = row
+                    .get("year_of_birthdate")
+                    .and_then(FieldValue::as_int)
+                    .ok_or_else(|| "age not visible".to_owned())?;
+                Ok(ProcessingOutput::Value(FieldValue::Int(2022 - year)))
+            }))
+            .build()
+    }
+
+    #[test]
+    fn clean_registration_is_approved() {
+        let store = ProcessingStore::new();
+        let outcome = store.register(compute_age_spec()).unwrap();
+        assert_eq!(outcome.status, RegistrationStatus::Approved);
+        assert!(outcome.alerts.is_empty());
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        let fetched = store.get(outcome.id).unwrap();
+        assert!(fetched.is_invocable());
+        assert_eq!(fetched.purpose, PurposeId::from("purpose3"));
+        assert!(store.get_invocable(outcome.id).is_ok());
+        assert!(store.find_by_name("compute_age").is_some());
+        assert!(store.find_by_name("ghost").is_none());
+        assert_eq!(store.for_purpose(&PurposeId::from("purpose3")).len(), 1);
+        assert_eq!(store.for_purpose(&PurposeId::from("other")).len(), 0);
+    }
+
+    #[test]
+    fn missing_purpose_is_rejected_outright() {
+        let store = ProcessingStore::new();
+        let spec = ProcessingSpec::builder("mystery", "user")
+            .source("fn mystery() {}")
+            .function(Arc::new(|_row| Ok(ProcessingOutput::Nothing)))
+            .build();
+        assert!(matches!(
+            store.register(spec),
+            Err(PsError::MissingPurpose { .. })
+        ));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn mismatch_parks_the_processing_until_sysadmin_approval() {
+        let audit = AuditLog::new();
+        let store = ProcessingStore::with_audit(audit.clone());
+        let spec = ProcessingSpec::builder("compute_age", "user")
+            .source("/* purpose1 */ fn compute_age() {}")
+            .purpose_declaration(LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(Arc::new(|_row| Ok(ProcessingOutput::Nothing)))
+            .build();
+        let outcome = store.register(spec).unwrap();
+        assert_eq!(outcome.status, RegistrationStatus::PendingApproval);
+        assert!(!outcome.alerts.is_empty());
+        assert!(matches!(
+            store.get_invocable(outcome.id),
+            Err(PsError::NotApproved { .. })
+        ));
+        assert_eq!(audit.len(), 1);
+
+        store.approve(outcome.id).unwrap();
+        assert!(store.get_invocable(outcome.id).is_ok());
+
+        store.reject(outcome.id).unwrap();
+        assert!(matches!(
+            store.get_invocable(outcome.id),
+            Err(PsError::NotApproved { .. })
+        ));
+        assert!(store.approve(ProcessingId::new(99)).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let store = ProcessingStore::new();
+        store.register(compute_age_spec()).unwrap();
+        assert!(matches!(
+            store.register(compute_age_spec()),
+            Err(PsError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_processing_lookups_fail() {
+        let store = ProcessingStore::new();
+        assert!(matches!(
+            store.get(ProcessingId::new(1)),
+            Err(PsError::UnknownProcessing { .. })
+        ));
+        assert!(store.list().is_empty());
+    }
+
+    #[test]
+    fn store_handles_share_state() {
+        let store = ProcessingStore::new();
+        let other = store.clone();
+        store.register(compute_age_spec()).unwrap();
+        assert_eq!(other.len(), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! The structured, machine-readable access/portability package.
+//!
+//! The paper's §4 argument: the GDPR requires "structured and machine
+//! readable" exports, but nothing stops a careless operator from exporting
+//! `Chiraz: "Benamor"` — structured, yet semantically useless.  Because DBFS
+//! enforces typed schemas, rgpdOS can always export with the *schema's* field
+//! names as keys; an official authority can simply require the data as it is
+//! stored in DBFS.
+
+use rgpdos_core::{AuditEvent, AuditEventKind, PdRecord, Row, SubjectId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One personal-data item in the export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessItem {
+    /// The data type (DBFS table) the item belongs to.
+    pub data_type: String,
+    /// The item identifier.
+    pub pd_id: u64,
+    /// The item's fields, keyed by their schema names.
+    pub fields: Row,
+    /// Where the data came from.
+    pub origin: String,
+    /// When it was collected (simulated seconds).
+    pub collected_at: u64,
+    /// Its declared sensitivity level.
+    pub sensitivity: String,
+    /// The purposes currently permitted on this item.
+    pub permitted_purposes: Vec<String>,
+}
+
+impl AccessItem {
+    /// Builds an item from a DBFS record.
+    pub fn from_record(record: &PdRecord) -> Self {
+        let membrane = record.membrane();
+        Self {
+            data_type: record.data_type().to_string(),
+            pd_id: record.id().raw(),
+            fields: record.row().clone(),
+            origin: membrane.origin().to_string(),
+            collected_at: membrane.collected_at().as_secs(),
+            sensitivity: membrane.sensitivity().to_string(),
+            permitted_purposes: membrane
+                .consents()
+                .permitted_purposes()
+                .map(ToString::to_string)
+                .collect(),
+        }
+    }
+}
+
+/// One processing-history entry of the export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingLogEntry {
+    /// When the processing executed.
+    pub at: u64,
+    /// The purpose it implemented.
+    pub purpose: String,
+    /// The processing identifier.
+    pub processing: u64,
+    /// The personal-data items of this subject it read.
+    pub pd_ids: Vec<u64>,
+}
+
+impl ProcessingLogEntry {
+    /// Builds a log entry from an audit event, keeping only the personal
+    /// data belonging to `subject_items`.
+    pub fn from_event(event: &AuditEvent, subject_items: &[u64]) -> Option<Self> {
+        match &event.kind {
+            AuditEventKind::ProcessingExecuted {
+                processing,
+                purpose,
+                pds,
+            } => {
+                let pd_ids: Vec<u64> = pds
+                    .iter()
+                    .map(|p| p.raw())
+                    .filter(|p| subject_items.contains(p))
+                    .collect();
+                if pd_ids.is_empty() {
+                    None
+                } else {
+                    Some(Self {
+                        at: event.at.as_secs(),
+                        purpose: purpose.to_string(),
+                        processing: processing.raw(),
+                        pd_ids,
+                    })
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The full package served for a right-of-access request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectAccessPackage {
+    /// The requesting subject.
+    pub subject: u64,
+    /// When the package was produced (simulated seconds).
+    pub generated_at: u64,
+    /// The subject's personal data, item by item.
+    pub items: Vec<AccessItem>,
+    /// The processings executed over the subject's data (empty for a
+    /// portability export).
+    pub processings: Vec<ProcessingLogEntry>,
+}
+
+impl SubjectAccessPackage {
+    /// Assembles a package.
+    pub fn new(
+        subject: SubjectId,
+        generated_at: Timestamp,
+        records: &[PdRecord],
+        audit_events: &[AuditEvent],
+        include_processings: bool,
+    ) -> Self {
+        let items: Vec<AccessItem> = records.iter().map(AccessItem::from_record).collect();
+        let item_ids: Vec<u64> = items.iter().map(|i| i.pd_id).collect();
+        let processings = if include_processings {
+            audit_events
+                .iter()
+                .filter_map(|e| ProcessingLogEntry::from_event(e, &item_ids))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            subject: subject.raw(),
+            generated_at: generated_at.as_secs(),
+            items,
+            processings,
+        }
+    }
+
+    /// Serialises the package to pretty-printed JSON — the structured,
+    /// machine-readable format the GDPR prescribes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when serialisation fails (cannot happen for
+    /// well-formed packages).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a package back from JSON, demonstrating machine readability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the JSON does not describe a package.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_core::schema::listing1_user_schema;
+    use rgpdos_core::{
+        AuditLog, DataTypeId, Membrane, PdId, ProcessingId, PurposeId, WrappedPd,
+    };
+
+    fn record(id: u64, subject: u64) -> PdRecord {
+        let schema = listing1_user_schema();
+        let membrane = Membrane::from_schema(&schema, SubjectId::new(subject), Timestamp::from_secs(5));
+        PdRecord::new(
+            PdId::new(id),
+            DataTypeId::from("user"),
+            WrappedPd::new(
+                Row::new()
+                    .with("name", "Chiraz")
+                    .with("pwd", "pw")
+                    .with("year_of_birthdate", 1990i64),
+                membrane,
+            ),
+        )
+    }
+
+    #[test]
+    fn access_item_uses_schema_field_names() {
+        let item = AccessItem::from_record(&record(3, 1));
+        assert_eq!(item.data_type, "user");
+        assert_eq!(item.pd_id, 3);
+        assert!(item.fields.contains("name"));
+        assert!(item.fields.contains("year_of_birthdate"));
+        assert_eq!(item.origin, "subject");
+        assert_eq!(item.sensitivity, "high");
+        assert!(item.permitted_purposes.contains(&"purpose1".to_string()));
+        assert!(!item.permitted_purposes.contains(&"purpose2".to_string()));
+    }
+
+    #[test]
+    fn package_round_trips_through_json() {
+        let audit = AuditLog::new();
+        audit.record(
+            Timestamp::from_secs(9),
+            None,
+            AuditEventKind::ProcessingExecuted {
+                processing: ProcessingId::new(1),
+                purpose: PurposeId::from("purpose3"),
+                pds: vec![PdId::new(3), PdId::new(99)],
+            },
+        );
+        let package = SubjectAccessPackage::new(
+            SubjectId::new(1),
+            Timestamp::from_secs(100),
+            &[record(3, 1)],
+            &audit.snapshot(),
+            true,
+        );
+        assert_eq!(package.items.len(), 1);
+        assert_eq!(package.processings.len(), 1);
+        // Only the subject's own items appear in the processing entries.
+        assert_eq!(package.processings[0].pd_ids, vec![3]);
+        let json = package.to_json().unwrap();
+        assert!(json.contains("\"name\""));
+        assert!(json.contains("Chiraz"));
+        let parsed = SubjectAccessPackage::from_json(&json).unwrap();
+        assert_eq!(parsed, package);
+        assert!(SubjectAccessPackage::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn portability_excludes_processings() {
+        let package = SubjectAccessPackage::new(
+            SubjectId::new(1),
+            Timestamp::ZERO,
+            &[record(1, 1)],
+            &[],
+            false,
+        );
+        assert!(package.processings.is_empty());
+    }
+
+    #[test]
+    fn unrelated_audit_events_are_ignored() {
+        let audit = AuditLog::new();
+        audit.record(
+            Timestamp::ZERO,
+            Some(SubjectId::new(1)),
+            AuditEventKind::Erased { pd: PdId::new(3) },
+        );
+        audit.record(
+            Timestamp::ZERO,
+            None,
+            AuditEventKind::ProcessingExecuted {
+                processing: ProcessingId::new(1),
+                purpose: PurposeId::from("p"),
+                pds: vec![PdId::new(777)],
+            },
+        );
+        let package = SubjectAccessPackage::new(
+            SubjectId::new(1),
+            Timestamp::ZERO,
+            &[record(3, 1)],
+            &audit.snapshot(),
+            true,
+        );
+        assert!(package.processings.is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the rights engine.
+
+use rgpdos_dbfs::DbfsError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the rights engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RightsError {
+    /// The storage layer failed.
+    Dbfs(DbfsError),
+    /// The subject has no personal data on record.
+    UnknownSubject {
+        /// The subject identifier.
+        subject: u64,
+    },
+    /// An export could not be serialised.
+    Export {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RightsError::Dbfs(e) => write!(f, "storage error: {e}"),
+            RightsError::UnknownSubject { subject } => {
+                write!(f, "subject-{subject} has no personal data on record")
+            }
+            RightsError::Export { reason } => write!(f, "export failed: {reason}"),
+        }
+    }
+}
+
+impl StdError for RightsError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            RightsError::Dbfs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbfsError> for RightsError {
+    fn from(e: DbfsError) -> Self {
+        RightsError::Dbfs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        assert!(RightsError::from(DbfsError::UnknownPd { id: 1 }).source().is_some());
+        assert!(!RightsError::UnknownSubject { subject: 3 }.to_string().is_empty());
+        assert!(!RightsError::Export { reason: "oops".into() }.to_string().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # rgpdos-rights — the GDPR rights engine
+//!
+//! §4 of the paper illustrates how rgpdOS enforces two subject rights: the
+//! **right of access** (structured, machine-readable export of a subject's
+//! personal data plus the list of processings executed over it) and the
+//! **right to be forgotten** (crypto-erasure under the authority's escrow
+//! key).  This crate implements those two rights and the neighbouring ones
+//! that fall out of the same machinery:
+//!
+//! * [`RightsEngine::right_of_access`] — art. 15, structured JSON export
+//!   whose keys are the *semantically meaningful* field names of the DBFS
+//!   schema (the paper's `first_name: "Chiraz"` argument);
+//! * [`RightsEngine::right_to_portability`] — art. 20, the same export minus
+//!   the processing history;
+//! * [`RightsEngine::right_to_be_forgotten`] — art. 17, subject-wide
+//!   crypto-erasure reaching every copy;
+//! * [`RightsEngine::right_to_rectification`] — art. 16;
+//! * [`RightsEngine::withdraw_consent`] — art. 7(3);
+//! * [`RightsEngine::enforce_retention`] — art. 5(1)(e), the TTL sweep;
+//! * [`compliance::ComplianceChecker`] — a machine-checkable summary of the
+//!   enforcement state, mapped to the articles it supports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod compliance;
+pub mod engine;
+pub mod error;
+
+pub use access::{AccessItem, ProcessingLogEntry, SubjectAccessPackage};
+pub use compliance::{ComplianceCheck, ComplianceChecker, ComplianceReport, GdprArticle};
+pub use engine::{ErasureReceipt, RightsEngine};
+pub use error::RightsError;

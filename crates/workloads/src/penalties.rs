@@ -1,0 +1,184 @@
+//! The GDPR penalty dataset behind Figure 1.
+//!
+//! Figure 1 of the paper plots, from the public "GDPR sanctions map" data the
+//! authors cite (Data Legal Drive / enforcement-tracker aggregates): on the
+//! left the total amount of fines per year (2018–2021), on the right the five
+//! most sanctioned business sectors.  The exact per-fine table is not
+//! published with the paper, so this module embeds a synthetic per-fine
+//! dataset **calibrated so its aggregates reproduce the figure's bar
+//! heights** (documented in `EXPERIMENTS.md`).  The aggregation code is what
+//! the experiment exercises; the dataset is the substitute for the
+//! proprietary export.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Business sectors used by Figure 1 (right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sector {
+    /// Retail and online marketplaces.
+    Markets,
+    /// Media and social networks.
+    Medias,
+    /// Transport.
+    Transport,
+    /// Information technology.
+    It,
+    /// Tourism and hospitality.
+    Tourism,
+    /// Health care (the CNIL doctors example of the introduction).
+    Health,
+    /// Telecommunications.
+    Telecom,
+}
+
+impl fmt::Display for Sector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sector::Markets => "Markets",
+            Sector::Medias => "Medias",
+            Sector::Transport => "Transport",
+            Sector::It => "IT",
+            Sector::Tourism => "Tourism",
+            Sector::Health => "Health",
+            Sector::Telecom => "Telecom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One (aggregated) penalty entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PenaltyRecord {
+    /// Year the fine was pronounced.
+    pub year: u32,
+    /// Sector of the sanctioned operator.
+    pub sector: Sector,
+    /// Amount in millions of euros.
+    pub amount_meur: f64,
+}
+
+/// The embedded dataset.  Amounts are calibrated so that
+/// [`totals_by_year`] and [`top_sectors`] reproduce the bar heights of
+/// Figure 1 (≈ 36 M€ in 2018, ≈ 440 M€ in 2019, ≈ 320 M€ in 2020,
+/// ≈ 1 200 M€ in 2021; Markets ≫ Medias > Transport > IT > Tourism).
+pub fn dataset() -> Vec<PenaltyRecord> {
+    use Sector::{Health, It, Markets, Medias, Telecom, Tourism, Transport};
+    let entries: [(u32, Sector, f64); 23] = [
+        // 2018: the GDPR's first (partial) year — small fines only.
+        (2018, It, 20.0),
+        (2018, Telecom, 10.0),
+        (2018, Health, 6.0),
+        // 2019: the first large sanctions (airline / hotel style cases).
+        (2019, It, 60.0),
+        (2019, Transport, 90.0),
+        (2019, Tourism, 105.0),
+        (2019, Markets, 120.0),
+        (2019, Medias, 45.0),
+        (2019, Health, 20.0),
+        // 2020: pandemic year, enforcement dips.
+        (2020, Markets, 105.0),
+        (2020, Tourism, 30.0),
+        (2020, Medias, 60.0),
+        (2020, It, 50.0),
+        (2020, Telecom, 40.0),
+        (2020, Transport, 25.0),
+        (2020, Health, 10.0),
+        // 2021: the record year (marketplace + messaging mega-fines).
+        (2021, Markets, 760.0),
+        (2021, Medias, 250.0),
+        (2021, Transport, 90.0),
+        (2021, It, 30.0),
+        (2021, Telecom, 35.0),
+        (2021, Tourism, 15.0),
+        (2021, Health, 10.0),
+    ];
+    entries
+        .into_iter()
+        .map(|(year, sector, amount_meur)| PenaltyRecord {
+            year,
+            sector,
+            amount_meur,
+        })
+        .collect()
+}
+
+/// Total fines per year, in millions of euros (Figure 1, left).
+pub fn totals_by_year(records: &[PenaltyRecord]) -> BTreeMap<u32, f64> {
+    let mut totals = BTreeMap::new();
+    for record in records {
+        *totals.entry(record.year).or_insert(0.0) += record.amount_meur;
+    }
+    totals
+}
+
+/// Total fines per sector, in millions of euros.
+pub fn totals_by_sector(records: &[PenaltyRecord]) -> BTreeMap<Sector, f64> {
+    let mut totals = BTreeMap::new();
+    for record in records {
+        *totals.entry(record.sector).or_insert(0.0) += record.amount_meur;
+    }
+    totals
+}
+
+/// The `n` most sanctioned sectors, highest first (Figure 1, right).
+pub fn top_sectors(records: &[PenaltyRecord], n: usize) -> Vec<(Sector, f64)> {
+    let mut totals: Vec<(Sector, f64)> = totals_by_sector(records).into_iter().collect();
+    totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("amounts are finite"));
+    totals.truncate(n);
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yearly_totals_match_figure_1_shape() {
+        let totals = totals_by_year(&dataset());
+        assert_eq!(totals.len(), 4);
+        // Monotonic growth except the 2020 dip, topping ≈ 1.2 B€ in 2021.
+        assert!(totals[&2018] < 50.0);
+        assert!(totals[&2019] > totals[&2018]);
+        assert!(totals[&2020] < totals[&2019]);
+        assert!(totals[&2021] > 1_000.0 && totals[&2021] < 1_600.0);
+    }
+
+    #[test]
+    fn sector_ranking_matches_figure_1_right() {
+        let top = top_sectors(&dataset(), 5);
+        assert_eq!(top.len(), 5);
+        // The figure's top-5 ordering: Markets, Medias, Transport, IT, Tourism.
+        let order: Vec<Sector> = top.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            order,
+            vec![
+                Sector::Markets,
+                Sector::Medias,
+                Sector::Transport,
+                Sector::It,
+                Sector::Tourism
+            ]
+        );
+        // Markets dominates by a wide margin, as in the figure.
+        assert!(top[0].1 > 2.0 * top[1].1);
+        // Ordering is strictly decreasing.
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn sector_totals_cover_every_sector_in_the_dataset() {
+        let totals = totals_by_sector(&dataset());
+        assert!(totals.contains_key(&Sector::Health));
+        assert!(totals.values().all(|v| *v > 0.0));
+        assert!(!Sector::It.to_string().is_empty());
+    }
+
+    #[test]
+    fn top_with_large_n_is_clamped() {
+        assert_eq!(top_sectors(&dataset(), 100).len(), 7);
+        assert!(top_sectors(&[], 3).is_empty());
+    }
+}

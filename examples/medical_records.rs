@@ -1,0 +1,134 @@
+//! The introduction's motivating incident: two doctors fined by the CNIL for
+//! hosting medical images on a freely accessible server.
+//!
+//! The example stores the same kind of sensitive data twice:
+//!
+//! * on the **baseline** architecture of Fig. 2 — a user-space record store
+//!   with application-level consent checks on a conventional OS — and shows
+//!   that (a) a function can read the images while bypassing the checks and
+//!   (b) deleted images survive on the raw device;
+//! * on **rgpdOS**, where the membrane denies the unconsented purpose, the
+//!   kernel blocks direct DBFS access, and crypto-erasure leaves no residue.
+//!
+//! Run with `cargo run --example medical_records`.
+
+use rgpdos::baseline::UserspaceDbEngine;
+use rgpdos::blockdev::{scan_for_pattern, MemDevice};
+use rgpdos::kernel::{ObjectClass, Operation, SecurityContext, Syscall};
+use rgpdos::prelude::*;
+use std::error::Error;
+use std::sync::Arc;
+
+const MEDICAL_IMAGE: &[u8] = b"DICOM-IMAGE-OF-PATIENT-DUPONT";
+
+fn baseline_run() -> Result<(), Box<dyn Error>> {
+    println!("=== baseline: GDPR at the DB engine, conventional OS (Fig. 2) ===");
+    let device = Arc::new(MemDevice::new(8_192, 512));
+    let engine = UserspaceDbEngine::new(Arc::clone(&device))?;
+    engine.create_table("radiology")?;
+
+    let record = Row::new()
+        .with("patient", "Dupont")
+        .with("image", MEDICAL_IMAGE.to_vec());
+    let id = engine.insert("radiology", SubjectId::new(1), &record)?;
+    // The patient never consented to the "public_website" purpose.
+    engine.set_consent(SubjectId::new(1), &"public_website".into(), false);
+
+    // The consent-checked path withholds the image…
+    let published = engine.query("radiology", &"public_website".into())?;
+    println!("consent-checked query returned {} records", published.len());
+
+    // …but nothing stops code in the same process from reading it directly.
+    let leaked = engine.direct_access_bypassing_consent("radiology", id)?;
+    println!(
+        "direct access bypassed the check and read patient `{}` anyway",
+        leaked.get("patient").unwrap()
+    );
+
+    // Deleting the record does not remove it from the medium.
+    engine.delete("radiology", id)?;
+    let residue = scan_for_pattern(device.as_ref(), MEDICAL_IMAGE)?;
+    println!(
+        "after delete, raw-device scan still finds the image at {} location(s)\n",
+        residue.len()
+    );
+    Ok(())
+}
+
+fn rgpdos_run() -> Result<(), Box<dyn Error>> {
+    println!("=== rgpdOS: enforcement by the operating system ===");
+    let os = RgpdOs::builder().device_blocks(16_384).block_size(512).boot()?;
+    os.install_types(
+        "type radiology {
+            fields { patient: string, image: bytes };
+            view v_patient { patient };
+            consent { diagnosis: all, public_website: none };
+            origin: sysadmin;
+            age: 30D;
+            sensitivity: high;
+        }",
+    )?;
+
+    let pd = os.collect(
+        "radiology",
+        SubjectId::new(1),
+        Row::new()
+            .with("patient", "Dupont")
+            .with("image", MEDICAL_IMAGE.to_vec()),
+    )?;
+
+    // A processing registered for the unconsented purpose sees nothing.
+    let publish = os.register_processing(
+        ProcessingSpec::builder("publish_images", "radiology")
+            .source("/* public_website */ fn publish_images() {}")
+            .purpose_name("public_website")
+            .function(Arc::new(|row| {
+                Ok(ProcessingOutput::Value(row.get("patient").cloned().unwrap_or(
+                    FieldValue::Text("<nothing visible>".into()),
+                )))
+            }))
+            .build(),
+    )?;
+    let result = os.invoke(publish, InvokeRequest::whole_type())?;
+    println!(
+        "publish_images: processed = {}, denied by membrane = {}",
+        result.processed, result.denied
+    );
+
+    // An application task cannot touch DBFS or exfiltrate data: both the LSM
+    // mediation and the seccomp filter of the purpose-kernel machine block it.
+    let machine = os.machine();
+    let app_task = machine.spawn_task(machine.general_kernel(), SecurityContext::Application)?;
+    let lsm_block = machine.mediated_access(app_task, ObjectClass::DbfsStorage, Operation::Read);
+    println!("application direct DBFS read blocked by LSM: {}", lsm_block.is_err());
+    let ded_task = machine.spawn_task(machine.rgpd_kernel(), SecurityContext::DedProcessing)?;
+    let seccomp_block = machine.syscall(ded_task, Syscall::NetworkSend { bytes: 4096 });
+    println!("F_pd network send blocked by seccomp: {}", seccomp_block.is_err());
+
+    // Right to be forgotten: crypto-erasure, no residue, authority can recover.
+    os.right_to_be_forgotten(SubjectId::new(1))?;
+    let residue = scan_for_pattern(os.device().inner(), MEDICAL_IMAGE)?;
+    println!("after erasure, raw-device scan finds {} occurrence(s)", residue.len());
+
+    let tombstones = os
+        .dbfs()
+        .query(&QueryRequest::all("radiology").including_erased())?;
+    let ciphertext_bytes = tombstones.records()[0]
+        .row()
+        .get("__erased_ciphertext")
+        .and_then(FieldValue::as_bytes)
+        .expect("tombstone carries the escrowed ciphertext")
+        .to_vec();
+    let ciphertext = rgpdos::crypto::EscrowedCiphertext::decode(&ciphertext_bytes)?;
+    let recovered = os.authority().recover(&ciphertext)?;
+    println!(
+        "the authority can still recover the erased record ({} bytes of plaintext) for pd {pd}",
+        recovered.len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    baseline_run()?;
+    rgpdos_run()
+}

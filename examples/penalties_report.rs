@@ -1,0 +1,37 @@
+//! Regenerates Figure 1 of the paper: total GDPR penalties per year (left)
+//! and the five most sanctioned business sectors (right), printed as text
+//! bars.
+//!
+//! Run with `cargo run --example penalties_report`.
+
+use rgpdos::workloads::penalties::{dataset, top_sectors, totals_by_year};
+
+fn bar(value: f64, scale: f64) -> String {
+    let width = ((value / scale) * 50.0).round() as usize;
+    "#".repeat(width.max(1))
+}
+
+fn main() {
+    let records = dataset();
+
+    println!("Figure 1 (left) — total GDPR penalties per year (M euros)");
+    let totals = totals_by_year(&records);
+    let max = totals.values().copied().fold(0.0f64, f64::max);
+    for (year, total) in &totals {
+        println!("  {year}  {total:7.1}  {}", bar(*total, max));
+    }
+
+    println!();
+    println!("Figure 1 (right) — top 5 most sanctioned business sectors (M euros)");
+    let top = top_sectors(&records, 5);
+    let max = top.first().map(|(_, v)| *v).unwrap_or(1.0);
+    for (sector, total) in &top {
+        println!("  {sector:<10} {total:7.1}  {}", bar(*total, max));
+    }
+
+    println!();
+    println!(
+        "dataset: {} aggregated penalty entries (see EXPERIMENTS.md, experiment F1)",
+        records.len()
+    );
+}

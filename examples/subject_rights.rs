@@ -1,0 +1,99 @@
+//! Subject rights walk-through (§4 of the paper): the right of access and the
+//! right to be forgotten, plus consent withdrawal and retention enforcement.
+//!
+//! Run with `cargo run --example subject_rights`.
+
+use rgpdos::prelude::*;
+use rgpdos::workloads::PopulationGenerator;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let os = RgpdOs::builder().device_blocks(32_768).block_size(512).boot()?;
+    os.install_types(rgpdos::dsl::listings::LISTING_1)?;
+
+    // Register the compute_age processing so the access package has a
+    // processing history to show.
+    let compute_age = os.register_processing(
+        ProcessingSpec::builder("compute_age", "user")
+            .source(rgpdos::dsl::listings::LISTING_2_C)
+            .purpose_declaration(rgpdos::dsl::listings::LISTING_2_PURPOSE)?
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(Arc::new(|row| {
+                let year = row
+                    .get("year_of_birthdate")
+                    .and_then(FieldValue::as_int)
+                    .ok_or("age not visible")?;
+                Ok(ProcessingOutput::Value(FieldValue::Int(2022 - year)))
+            }))
+            .build(),
+    )?;
+
+    // Populate DBFS with 50 generated subjects.
+    let population = PopulationGenerator::new(2022).generate(50);
+    for subject in &population {
+        os.collect("user", subject.subject, subject.row.clone())?;
+    }
+    os.invoke(compute_age, InvokeRequest::whole_type())?;
+
+    // --- Right of access (art. 15) -------------------------------------
+    let requester = population[7].subject;
+    let package = os.right_of_access(requester)?;
+    println!("=== right of access for {requester} ===");
+    println!("{}\n", package.to_json().map_err(RuntimeErrorFromString)?);
+
+    // The export is machine readable: parse it back and check the keys are
+    // the schema's field names (the paper's `first_name: "Chiraz"` argument).
+    let parsed = SubjectAccessPackage::from_json(&package.to_json().map_err(RuntimeErrorFromString)?)
+        .map_err(RuntimeErrorFromString)?;
+    assert!(parsed.items.iter().all(|item| item.fields.contains("year_of_birthdate")));
+    println!(
+        "export lists {} personal-data item(s) and {} processing execution(s)\n",
+        parsed.items.len(),
+        parsed.processings.len()
+    );
+
+    // --- Consent withdrawal (art. 7(3)) ---------------------------------
+    let changed = os
+        .rights()
+        .withdraw_consent(requester, &"purpose3".into())?;
+    println!("withdrew purpose3 consent on {changed} item(s)");
+    let rerun = os.invoke(compute_age, InvokeRequest::whole_type())?;
+    println!(
+        "after withdrawal, compute_age processed {} and was denied on {} record(s)\n",
+        rerun.processed, rerun.denied
+    );
+
+    // --- Right to be forgotten (art. 17) --------------------------------
+    let receipt = os.right_to_be_forgotten(requester)?;
+    println!(
+        "right to be forgotten erased {} item(s) at t+{}s",
+        receipt.erased.len(),
+        receipt.at
+    );
+    assert!(os.right_of_access(requester).is_err());
+
+    // --- Storage limitation (art. 5(1)(e)) -------------------------------
+    os.clock().advance(Duration::from_days(400));
+    let expired = os.rights().enforce_retention()?;
+    println!("retention sweep erased {} expired item(s)", expired.len());
+
+    // --- Compliance summary ----------------------------------------------
+    let report = os.compliance_report()?;
+    println!("\ncompliance report:\n{report}");
+    assert!(report.is_compliant());
+    Ok(())
+}
+
+/// Adapter turning the string errors of the export path into boxed errors.
+#[derive(Debug)]
+struct RuntimeErrorFromString(String);
+
+impl std::fmt::Display for RuntimeErrorFromString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for RuntimeErrorFromString {}

@@ -1,0 +1,74 @@
+//! # rgpdos — GDPR enforcement by the operating system (reproduction)
+//!
+//! This is the facade crate of the rgpdOS reproduction.  It re-exports every
+//! subsystem crate and provides [`RgpdOs`], the assembled runtime that the
+//! examples, integration tests and benchmarks use: a purpose-kernel machine,
+//! a DBFS instance on a simulated device, the Processing Store, the Data
+//! Execution Domain, the rights engine and the authority escrow, wired
+//! together the way Fig. 4 of the paper draws them.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use rgpdos::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Boot an rgpdOS instance on a simulated 4 MiB device.
+//! let os = RgpdOs::builder().device_blocks(8_192).block_size(512).boot()?;
+//!
+//! // Install the `user` type of Listing 1 and register `compute_age`.
+//! os.install_types(rgpdos::dsl::listings::LISTING_1)?;
+//! let compute_age = os.register_processing(
+//!     ProcessingSpec::builder("compute_age", "user")
+//!         .source(rgpdos::dsl::listings::LISTING_2_C)
+//!         .purpose_declaration(rgpdos::dsl::listings::LISTING_2_PURPOSE)?
+//!         .expected_view("v_ano")
+//!         .output_type("age_pd")
+//!         .function(Arc::new(|row| {
+//!             let year = row.get("year_of_birthdate").and_then(FieldValue::as_int)
+//!                 .ok_or("age not allowed to be seen")?;
+//!             Ok(ProcessingOutput::Value(FieldValue::Int(2022 - year)))
+//!         }))
+//!         .build(),
+//! )?;
+//!
+//! // Collect a subject's data and invoke the processing (Listing 3).
+//! let row = Row::new().with("name", "Chiraz").with("pwd", "pw").with("year_of_birthdate", 1990i64);
+//! os.collect("user", SubjectId::new(1), row)?;
+//! let result = os.invoke(compute_age, InvokeRequest::whole_type())?;
+//! assert_eq!(result.values[0].as_int(), Some(32));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runtime;
+
+pub use runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RuntimeError};
+
+pub use rgpdos_baseline as baseline;
+pub use rgpdos_blockdev as blockdev;
+pub use rgpdos_core as core;
+pub use rgpdos_crypto as crypto;
+pub use rgpdos_dbfs as dbfs;
+pub use rgpdos_ded as ded;
+pub use rgpdos_dsl as dsl;
+pub use rgpdos_fs as fs;
+pub use rgpdos_inode as inode;
+pub use rgpdos_kernel as kernel;
+pub use rgpdos_ps as ps;
+pub use rgpdos_rights as rights;
+pub use rgpdos_workloads as workloads;
+
+/// The most commonly used items, re-exported for examples and tests.
+pub mod prelude {
+    pub use crate::runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RuntimeError};
+    pub use rgpdos_core::prelude::*;
+    pub use rgpdos_dbfs::{DbfsParams, Predicate, QueryRequest};
+    pub use rgpdos_ded::{InvokeRequest, InvokeResult, InvokeTarget};
+    pub use rgpdos_ps::{ProcessingOutput, ProcessingSpec, RegistrationStatus};
+    pub use rgpdos_rights::{ComplianceChecker, SubjectAccessPackage};
+}

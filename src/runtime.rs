@@ -1,0 +1,538 @@
+//! The assembled rgpdOS runtime.
+
+use rgpdos_blockdev::{InstrumentedDevice, LatencyModel, MemDevice};
+use rgpdos_core::{
+    AuditLog, DataTypeId, FieldValue, LogicalClock, PdId, ProcessingId, Row, SubjectId,
+};
+use rgpdos_crypto::escrow::{Authority, OperatorEscrow};
+use rgpdos_dbfs::{Dbfs, DbfsParams};
+use rgpdos_ded::builtins::Builtins;
+use rgpdos_ded::{DedEngine, InvokeRequest, InvokeResult};
+use rgpdos_dsl::compile_type_declarations;
+use rgpdos_kernel::Machine;
+use rgpdos_ps::{ProcessingSpec, ProcessingStore, RegistrationOutcome};
+use rgpdos_rights::{ComplianceChecker, ComplianceReport, ErasureReceipt, RightsEngine, SubjectAccessPackage};
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::Arc;
+
+pub use rgpdos_ded::builtins::Builtins as RgpdOsBuiltins;
+
+/// The device type the runtime boots on: an instrumented in-memory device,
+/// so every experiment can report simulated I/O cost.
+pub type RgpdOsDevice = Arc<InstrumentedDevice<MemDevice>>;
+
+/// Any error the runtime can surface.
+#[derive(Debug)]
+pub struct RuntimeError {
+    message: String,
+    source: Option<Box<dyn StdError + Send + Sync + 'static>>,
+}
+
+impl RuntimeError {
+    fn new<E: StdError + Send + Sync + 'static>(error: E) -> Self {
+        Self {
+            message: error.to_string(),
+            source: Some(Box::new(error)),
+        }
+    }
+
+    fn message(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            source: None,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rgpdos runtime error: {}", self.message)
+    }
+}
+
+impl StdError for RuntimeError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn StdError + 'static))
+    }
+}
+
+macro_rules! impl_from_error {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for RuntimeError {
+            fn from(e: $ty) -> Self {
+                RuntimeError::new(e)
+            }
+        })*
+    };
+}
+
+impl_from_error!(
+    rgpdos_dbfs::DbfsError,
+    rgpdos_ded::DedError,
+    rgpdos_ps::PsError,
+    rgpdos_rights::RightsError,
+    rgpdos_kernel::KernelError,
+    rgpdos_dsl::DslError,
+    rgpdos_inode::InodeError,
+);
+
+/// Builder for [`RgpdOs`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct RgpdOsBuilder {
+    device_blocks: u64,
+    block_size: usize,
+    latency: LatencyModel,
+    dbfs_params: DbfsParams,
+    authority_seed: u64,
+    cpus: u32,
+    memory_mb: u64,
+}
+
+impl Default for RgpdOsBuilder {
+    fn default() -> Self {
+        Self {
+            device_blocks: 16_384,
+            block_size: 512,
+            latency: LatencyModel::nvme(),
+            dbfs_params: DbfsParams::secure(),
+            authority_seed: 0x2018_05_25, // the GDPR's entry into force
+            cpus: 8,
+            memory_mb: 8_192,
+        }
+    }
+}
+
+impl RgpdOsBuilder {
+    /// Sets the number of blocks of the simulated PD device.
+    #[must_use]
+    pub fn device_blocks(mut self, blocks: u64) -> Self {
+        self.device_blocks = blocks;
+        self
+    }
+
+    /// Sets the block size of the simulated PD device.
+    #[must_use]
+    pub fn block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets the device latency model used for simulated I/O accounting.
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Overrides the DBFS formatting parameters (the insecure preset is used
+    /// by the ablation experiments only).
+    #[must_use]
+    pub fn dbfs_params(mut self, params: DbfsParams) -> Self {
+        self.dbfs_params = params;
+        self
+    }
+
+    /// Sets the machine size.
+    #[must_use]
+    pub fn machine(mut self, cpus: u32, memory_mb: u64) -> Self {
+        self.cpus = cpus;
+        self.memory_mb = memory_mb;
+        self
+    }
+
+    /// Seeds the data-protection authority's key pair.
+    #[must_use]
+    pub fn authority_seed(mut self, seed: u64) -> Self {
+        self.authority_seed = seed;
+        self
+    }
+
+    /// Boots the rgpdOS instance: builds the purpose-kernel machine, formats
+    /// DBFS on a fresh simulated device, creates the PS, DED and rights
+    /// engine, and wires the authority escrow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when the device is too small or the machine
+    /// configuration is invalid.
+    pub fn boot(self) -> Result<RgpdOs, RuntimeError> {
+        let device: RgpdOsDevice = Arc::new(InstrumentedDevice::new(
+            MemDevice::new(self.device_blocks, self.block_size),
+            self.latency,
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        let audit = AuditLog::new();
+        let machine = Arc::new(
+            Machine::builder()
+                .cpus(self.cpus)
+                .memory_mb(self.memory_mb)
+                .io_device("pd-nvme0")
+                .io_device("npd-nvme1")
+                .build()?,
+        );
+        let dbfs = Arc::new(Dbfs::format_with(
+            Arc::clone(&device),
+            self.dbfs_params,
+            Arc::clone(&clock),
+            audit.clone(),
+        )?);
+        let authority = Authority::generate(self.authority_seed);
+        let escrow = Arc::new(OperatorEscrow::new(authority.public_key()));
+        let ps = ProcessingStore::with_audit(audit.clone());
+        let ded = DedEngine::new(
+            Arc::clone(&dbfs),
+            Arc::clone(&machine),
+            ps.clone(),
+            Arc::clone(&escrow),
+        );
+        let rights = RightsEngine::new(Arc::clone(&dbfs), Arc::clone(&escrow));
+        Ok(RgpdOs {
+            device,
+            machine,
+            dbfs,
+            ps,
+            ded,
+            rights,
+            authority,
+            escrow,
+            clock,
+            audit,
+        })
+    }
+}
+
+/// A booted rgpdOS instance: the assembly of Fig. 4 (left).
+#[derive(Debug)]
+pub struct RgpdOs {
+    device: RgpdOsDevice,
+    machine: Arc<Machine>,
+    dbfs: Arc<Dbfs<RgpdOsDevice>>,
+    ps: ProcessingStore,
+    ded: DedEngine<RgpdOsDevice>,
+    rights: RightsEngine<RgpdOsDevice>,
+    authority: Authority,
+    escrow: Arc<OperatorEscrow>,
+    clock: Arc<LogicalClock>,
+    audit: AuditLog,
+}
+
+impl RgpdOs {
+    /// Starts building an instance.
+    pub fn builder() -> RgpdOsBuilder {
+        RgpdOsBuilder::default()
+    }
+
+    /// Boots an instance with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// See [`RgpdOsBuilder::boot`].
+    pub fn boot_default() -> Result<Self, RuntimeError> {
+        Self::builder().boot()
+    }
+
+    // --- accessors ------------------------------------------------------
+
+    /// The simulated personal-data device (instrumented).
+    pub fn device(&self) -> &RgpdOsDevice {
+        &self.device
+    }
+
+    /// The purpose-kernel machine.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The database-oriented filesystem.
+    pub fn dbfs(&self) -> &Arc<Dbfs<RgpdOsDevice>> {
+        &self.dbfs
+    }
+
+    /// The Processing Store.
+    pub fn processing_store(&self) -> &ProcessingStore {
+        &self.ps
+    }
+
+    /// The Data Execution Domain.
+    pub fn ded(&self) -> &DedEngine<RgpdOsDevice> {
+        &self.ded
+    }
+
+    /// The rights engine.
+    pub fn rights(&self) -> &RightsEngine<RgpdOsDevice> {
+        &self.rights
+    }
+
+    /// The data-protection authority (holds the escrow private key).
+    pub fn authority(&self) -> &Authority {
+        &self.authority
+    }
+
+    /// The operator-side escrow engine.
+    pub fn escrow(&self) -> &Arc<OperatorEscrow> {
+        &self.escrow
+    }
+
+    /// The machine clock.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    /// The machine-wide audit log.
+    pub fn audit(&self) -> AuditLog {
+        self.audit.clone()
+    }
+
+    /// The built-in `F_pd^w` functions.
+    pub fn builtins(&self) -> Builtins<'_, RgpdOsDevice> {
+        Builtins::new(&self.ded)
+    }
+
+    // --- sysadmin-facing operations --------------------------------------
+
+    /// Compiles and installs every type declaration in `declarations`
+    /// (Listing 1 syntax), returning the installed type names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSL and DBFS errors.
+    pub fn install_types(&self, declarations: &str) -> Result<Vec<DataTypeId>, RuntimeError> {
+        let schemas = compile_type_declarations(declarations)?;
+        let mut names = Vec::with_capacity(schemas.len());
+        for schema in schemas {
+            names.push(schema.name().clone());
+            self.dbfs.create_type(schema)?;
+        }
+        Ok(names)
+    }
+
+    /// Installs an already-built schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS errors.
+    pub fn install_schema(&self, schema: rgpdos_core::DataTypeSchema) -> Result<(), RuntimeError> {
+        self.dbfs.create_type(schema)?;
+        Ok(())
+    }
+
+    /// `ps_register`: registers a processing, returning its id when it is
+    /// immediately approved.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error carrying the alert text when the processing is parked
+    /// pending sysadmin approval, so callers that expect a clean registration
+    /// notice immediately.  Use [`RgpdOs::register_processing_outcome`] to
+    /// handle the pending case explicitly.
+    pub fn register_processing(&self, spec: ProcessingSpec) -> Result<ProcessingId, RuntimeError> {
+        let outcome = self.ps.register(spec)?;
+        if outcome.status != rgpdos_ps::RegistrationStatus::Approved {
+            return Err(RuntimeError::message(format!(
+                "processing parked pending sysadmin approval: {}",
+                outcome.alerts.join("; ")
+            )));
+        }
+        Ok(outcome.id)
+    }
+
+    /// `ps_register` returning the full outcome (approved or pending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates Processing Store errors.
+    pub fn register_processing_outcome(
+        &self,
+        spec: ProcessingSpec,
+    ) -> Result<RegistrationOutcome, RuntimeError> {
+        Ok(self.ps.register(spec)?)
+    }
+
+    // --- application-facing operations ------------------------------------
+
+    /// Collects a personal-data row (the `acquisition` built-in).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DBFS and kernel errors.
+    pub fn collect(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        subject: SubjectId,
+        row: Row,
+    ) -> Result<PdId, RuntimeError> {
+        Ok(self.builtins().acquire(data_type, subject, row)?)
+    }
+
+    /// `ps_invoke`: runs a registered processing inside the DED (Listing 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PS, DED, DBFS and kernel errors.
+    pub fn invoke(
+        &self,
+        processing: ProcessingId,
+        request: InvokeRequest,
+    ) -> Result<InvokeResult, RuntimeError> {
+        Ok(self.ded.invoke(processing, request)?)
+    }
+
+    /// `ps_invoke` by processing name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PS, DED, DBFS and kernel errors.
+    pub fn invoke_by_name(
+        &self,
+        name: &str,
+        request: InvokeRequest,
+    ) -> Result<InvokeResult, RuntimeError> {
+        Ok(self.ded.invoke_by_name(name, request)?)
+    }
+
+    // --- subject-facing operations ----------------------------------------
+
+    /// Right of access (art. 15).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn right_of_access(&self, subject: SubjectId) -> Result<SubjectAccessPackage, RuntimeError> {
+        Ok(self.rights.right_of_access(subject)?)
+    }
+
+    /// Right to be forgotten (art. 17).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn right_to_be_forgotten(&self, subject: SubjectId) -> Result<ErasureReceipt, RuntimeError> {
+        Ok(self.rights.right_to_be_forgotten(subject)?)
+    }
+
+    /// Runs the compliance checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when the checker cannot inspect storage.
+    pub fn compliance_report(&self) -> Result<ComplianceReport, RuntimeError> {
+        ComplianceChecker::new(Arc::clone(&self.dbfs))
+            .run()
+            .map_err(RuntimeError::message)
+    }
+
+    /// Convenience for experiments: the simulated I/O statistics of the PD
+    /// device.
+    pub fn device_stats(&self) -> rgpdos_blockdev::DeviceStats {
+        self.device.stats()
+    }
+
+    /// Convenience for experiments: a single non-personal scalar produced by
+    /// summing the values of an invocation (used by examples).
+    pub fn sum_values(result: &InvokeResult) -> i64 {
+        result
+            .values
+            .iter()
+            .filter_map(FieldValue::as_int)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_ps::ProcessingOutput;
+
+    fn compute_age_spec() -> ProcessingSpec {
+        ProcessingSpec::builder("compute_age", "user")
+            .source(rgpdos_dsl::listings::LISTING_2_C)
+            .purpose_declaration(rgpdos_dsl::listings::LISTING_2_PURPOSE)
+            .unwrap()
+            .expected_view("v_ano")
+            .output_type("age_pd")
+            .function(Arc::new(|row| {
+                let year = row
+                    .get("year_of_birthdate")
+                    .and_then(FieldValue::as_int)
+                    .ok_or("age not allowed to be seen")?;
+                Ok(ProcessingOutput::Value(FieldValue::Int(2022 - year)))
+            }))
+            .build()
+    }
+
+    fn user_row(name: &str, year: i64) -> Row {
+        Row::new()
+            .with("name", name)
+            .with("pwd", "pw")
+            .with("year_of_birthdate", year)
+    }
+
+    #[test]
+    fn boot_install_collect_invoke() {
+        let os = RgpdOs::builder().device_blocks(8_192).block_size(512).boot().unwrap();
+        let types = os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        assert_eq!(types, vec![DataTypeId::from("user")]);
+        let id = os.register_processing(compute_age_spec()).unwrap();
+        os.collect("user", SubjectId::new(1), user_row("A", 1990)).unwrap();
+        os.collect("user", SubjectId::new(2), user_row("B", 2002)).unwrap();
+        let result = os.invoke(id, InvokeRequest::whole_type()).unwrap();
+        assert_eq!(result.processed, 2);
+        assert_eq!(RgpdOs::sum_values(&result), (2022 - 1990) + (2022 - 2002));
+        assert!(os.device_stats().writes > 0);
+        let report = os.compliance_report().unwrap();
+        assert!(report.is_compliant());
+        // Duplicate type installation is reported.
+        assert!(os.install_types(rgpdos_dsl::listings::LISTING_1).is_err());
+    }
+
+    #[test]
+    fn pending_registration_is_surfaced() {
+        let os = RgpdOs::boot_default().unwrap();
+        os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        let spec = ProcessingSpec::builder("shady", "user")
+            .source("/* purpose1 */")
+            .purpose_declaration(rgpdos_dsl::listings::LISTING_2_PURPOSE)
+            .unwrap()
+            .function(Arc::new(|_row| Ok(ProcessingOutput::Nothing)))
+            .build();
+        let err = os.register_processing(spec).unwrap_err();
+        assert!(err.to_string().contains("sysadmin"));
+        let outcome = os
+            .register_processing_outcome(
+                ProcessingSpec::builder("shady2", "user")
+                    .source("/* purpose1 */")
+                    .purpose_declaration(rgpdos_dsl::listings::LISTING_2_PURPOSE)
+                    .unwrap()
+                    .function(Arc::new(|_row| Ok(ProcessingOutput::Nothing)))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, rgpdos_ps::RegistrationStatus::PendingApproval);
+    }
+
+    #[test]
+    fn subject_rights_through_the_runtime() {
+        let os = RgpdOs::boot_default().unwrap();
+        os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        os.collect("user", SubjectId::new(3), user_row("Right", 1980)).unwrap();
+        let package = os.right_of_access(SubjectId::new(3)).unwrap();
+        assert_eq!(package.items.len(), 1);
+        let receipt = os.right_to_be_forgotten(SubjectId::new(3)).unwrap();
+        assert_eq!(receipt.erased.len(), 1);
+        assert!(os.right_of_access(SubjectId::new(3)).is_err());
+        // The authority can still recover the erased row.
+        assert!(os.authority().public_key().element() > 0);
+    }
+
+    #[test]
+    fn runtime_error_display_and_source() {
+        let e = RuntimeError::from(rgpdos_dbfs::DbfsError::UnknownPd { id: 7 });
+        assert!(e.to_string().contains("pd-7"));
+        assert!(e.source().is_some());
+        let e = RuntimeError::message("plain");
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use rgpdos::blockdev::{scan_for_pattern, MemDevice};
+use rgpdos::core::prelude::*;
+use rgpdos::core::schema::listing1_user_schema;
+use rgpdos::crypto::escrow::{Authority, OperatorEscrow};
+use rgpdos::dbfs::{Dbfs, DbfsParams};
+use rgpdos::inode::{FormatParams, InodeFs, InodeKind, JournalMode};
+use std::sync::Arc;
+
+fn field_value_strategy() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        any::<i64>().prop_map(FieldValue::Int),
+        any::<bool>().prop_map(FieldValue::Bool),
+        "[a-zA-Z0-9 _-]{0,40}".prop_map(FieldValue::Text),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(FieldValue::Bytes),
+        any::<u64>().prop_map(FieldValue::Date),
+        (-1.0e12f64..1.0e12).prop_map(FieldValue::Float),
+    ]
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    proptest::collection::btree_map("[a-z_]{1,12}", field_value_strategy(), 0..8)
+        .prop_map(|fields| fields.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row binary encoding round-trips for arbitrary rows.
+    #[test]
+    fn row_encoding_round_trips(row in row_strategy()) {
+        let encoded = row.encode();
+        let decoded = Row::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, row);
+    }
+
+    /// The escrow protocol always lets the right authority (and only the
+    /// right authority) recover the plaintext.
+    #[test]
+    fn escrow_recovery_is_exact(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in 1u64..1_000_000,
+    ) {
+        let authority = Authority::generate(seed);
+        let wrong = Authority::generate(seed + 1);
+        let operator = OperatorEscrow::new(authority.public_key());
+        let ciphertext = operator.erase(&payload);
+        prop_assert_eq!(authority.recover(&ciphertext).unwrap(), payload);
+        prop_assert!(wrong.recover(&ciphertext).is_err());
+    }
+
+    /// Consent checks never grant access to a purpose that was not granted:
+    /// for any set of granted purposes, every other purpose is denied.
+    #[test]
+    fn unknown_purposes_are_always_denied(
+        granted in proptest::collection::btree_set("[a-z]{1,8}", 0..6),
+        probe in "[a-z]{1,8}",
+    ) {
+        let mut table = ConsentTable::new();
+        for purpose in &granted {
+            table.grant(purpose.as_str(), ConsentDecision::All);
+        }
+        let decision = table.check(&PurposeId::from(probe.as_str()));
+        if granted.contains(&probe) {
+            prop_assert_eq!(decision, AccessDecision::Full);
+        } else {
+            prop_assert_eq!(decision, AccessDecision::Denied);
+        }
+    }
+
+    /// Whatever is written through the inode layer reads back identically,
+    /// at any offset.
+    #[test]
+    fn inode_fs_write_read_round_trip(
+        chunks in proptest::collection::vec((0u64..4_000, proptest::collection::vec(any::<u8>(), 1..300)), 1..6)
+    ) {
+        let device = Arc::new(MemDevice::new(2_048, 256));
+        let fs = InodeFs::format(device, FormatParams::small().with_inode_count(16), JournalMode::Retain).unwrap();
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        let mut shadow = vec![0u8; 5_000];
+        let mut max_end = 0usize;
+        for (offset, data) in &chunks {
+            fs.write(ino, *offset, data).unwrap();
+            let end = *offset as usize + data.len();
+            shadow[*offset as usize..end].copy_from_slice(data);
+            max_end = max_end.max(end);
+        }
+        let read_back = fs.read_all(ino).unwrap();
+        prop_assert_eq!(read_back.len(), max_end);
+        prop_assert_eq!(&read_back[..], &shadow[..max_end]);
+    }
+
+    /// DBFS membrane filtering is sound: a purpose that a record's membrane
+    /// denies never appears among that record's permitted purposes.
+    #[test]
+    fn membrane_permits_is_consistent_with_consents(year in 1900i64..2020) {
+        let schema = listing1_user_schema();
+        let membrane = Membrane::from_schema(&schema, SubjectId::new(1), Timestamp::ZERO);
+        for purpose in ["purpose1", "purpose2", "purpose3", "unknown"] {
+            let decision = membrane.permits(&PurposeId::from(purpose));
+            let listed = membrane
+                .consents()
+                .permitted_purposes()
+                .any(|p| p.as_str() == purpose);
+            prop_assert_eq!(decision.allows_any(), listed, "purpose {} year {}", purpose, year);
+        }
+    }
+}
+
+/// Erasure leaves no plaintext residue for arbitrary (printable) payloads —
+/// the storage-level half of the right to be forgotten, checked end to end
+/// against the raw device.
+#[test]
+fn erasure_never_leaves_residue_for_sampled_payloads() {
+    let names = [
+        "UNIQUE-CANARY-ALPHA-123456",
+        "UNIQUE-CANARY-BRAVO-998877",
+        "UNIQUE-CANARY-CHARLIE-5555",
+    ];
+    for (i, name) in names.iter().enumerate() {
+        let device = Arc::new(MemDevice::new(8_192, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(i as u64 + 1);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect(
+                "user",
+                SubjectId::new(i as u64),
+                Row::new()
+                    .with("name", *name)
+                    .with("pwd", "pw")
+                    .with("year_of_birthdate", 1990i64),
+            )
+            .unwrap();
+        assert!(!scan_for_pattern(device.as_ref(), name.as_bytes()).unwrap().is_empty());
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        assert!(
+            scan_for_pattern(device.as_ref(), name.as_bytes()).unwrap().is_empty(),
+            "residue found for {name}"
+        );
+    }
+}
