@@ -128,11 +128,10 @@ impl<D: BlockDevice> UserspaceDbEngine<D> {
         }
         let id = state.next_id;
         state.next_id += 1;
-        let payload = serde_json::to_vec(&(subject.raw(), row)).map_err(|e| {
-            BaselineError::Corrupt {
+        let payload =
+            serde_json::to_vec(&(subject.raw(), row)).map_err(|e| BaselineError::Corrupt {
                 what: e.to_string(),
-            }
-        })?;
+            })?;
         let path = format!("/db/{table}/{id}.rec");
         self.fs.create(&path)?;
         self.fs.write(&path, &payload)?;
@@ -240,7 +239,10 @@ impl<D: BlockDevice> UserspaceDbEngine<D> {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn export_subject(&self, subject: SubjectId) -> Result<Vec<(RecordId, Row)>, BaselineError> {
+    pub fn export_subject(
+        &self,
+        subject: SubjectId,
+    ) -> Result<Vec<(RecordId, Row)>, BaselineError> {
         let entries: Vec<(RecordId, String)> = {
             let state = self.state.lock();
             state
@@ -289,15 +291,21 @@ mod tests {
     }
 
     fn row(name: &str) -> Row {
-        Row::new().with("name", name).with("year_of_birthdate", 1990i64)
+        Row::new()
+            .with("name", name)
+            .with("year_of_birthdate", 1990i64)
     }
 
     #[test]
     fn insert_query_respects_app_level_consent() {
         let engine = engine();
         let purpose = PurposeId::from("marketing");
-        engine.insert("users", SubjectId::new(1), &row("Allowed")).unwrap();
-        engine.insert("users", SubjectId::new(2), &row("Refused")).unwrap();
+        engine
+            .insert("users", SubjectId::new(1), &row("Allowed"))
+            .unwrap();
+        engine
+            .insert("users", SubjectId::new(2), &row("Refused"))
+            .unwrap();
         engine.set_consent(SubjectId::new(1), &purpose, true);
         engine.set_consent(SubjectId::new(2), &purpose, false);
         let results = engine.query("users", &purpose).unwrap();
@@ -324,7 +332,9 @@ mod tests {
         // some PD could still gain access to them".
         let engine = engine();
         let purpose = PurposeId::from("purpose2");
-        let id = engine.insert("users", SubjectId::new(1), &row("Private")).unwrap();
+        let id = engine
+            .insert("users", SubjectId::new(1), &row("Private"))
+            .unwrap();
         engine.set_consent(SubjectId::new(1), &purpose, false);
         // The consent-checked path withholds the record...
         assert!(engine.query("users", &purpose).unwrap().is_empty());
@@ -360,8 +370,12 @@ mod tests {
     #[test]
     fn export_subject_returns_their_records() {
         let engine = engine();
-        engine.insert("users", SubjectId::new(1), &row("Mine")).unwrap();
-        engine.insert("users", SubjectId::new(2), &row("Theirs")).unwrap();
+        engine
+            .insert("users", SubjectId::new(1), &row("Mine"))
+            .unwrap();
+        engine
+            .insert("users", SubjectId::new(2), &row("Theirs"))
+            .unwrap();
         let export = engine.export_subject(SubjectId::new(1)).unwrap();
         assert_eq!(export.len(), 1);
         assert_eq!(export[0].1.get("name").unwrap().as_text(), Some("Mine"));

@@ -65,7 +65,9 @@ mod tests {
         for e in [
             BaselineError::UnknownTable { table: "t".into() },
             BaselineError::UnknownRecord { id: 1 },
-            BaselineError::Corrupt { what: "json".into() },
+            BaselineError::Corrupt {
+                what: "json".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -34,7 +34,12 @@ fn fig2_baseline_failures(c: &mut Criterion) {
     group.measurement_time(StdDuration::from_secs(5));
     group.bench_function("consent_checked_query_100", |b| {
         let scenario = baseline_scenario(100, 0.75);
-        b.iter(|| scenario.engine.query("user", &BENCH_PURPOSE.into()).unwrap())
+        b.iter(|| {
+            scenario
+                .engine
+                .query("user", &BENCH_PURPOSE.into())
+                .unwrap()
+        })
     });
     group.bench_function("delete_with_residue", |b| {
         b.iter_batched(
@@ -83,18 +88,14 @@ fn fig4_ded_pipeline(c: &mut Criterion) {
     group.measurement_time(StdDuration::from_secs(10));
     for &subjects in &[50usize, 200, 500] {
         let scenario = rgpdos_scenario(subjects, 0.75, DbfsParams::secure());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(subjects),
-            &subjects,
-            |b, _| {
-                b.iter(|| {
-                    scenario
-                        .os
-                        .invoke(scenario.compute_age, InvokeRequest::whole_type())
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(subjects), &subjects, |b, _| {
+            b.iter(|| {
+                scenario
+                    .os
+                    .invoke(scenario.compute_age, InvokeRequest::whole_type())
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -139,7 +140,14 @@ fn c3_access_export(c: &mut Criterion) {
         .unwrap();
     let subject = scenario.population[5].subject;
     group.bench_function("right_of_access_200_subjects", |b| {
-        b.iter(|| scenario.os.right_of_access(subject).unwrap().to_json().unwrap())
+        b.iter(|| {
+            scenario
+                .os
+                .right_of_access(subject)
+                .unwrap()
+                .to_json()
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -194,7 +202,10 @@ fn ablation_storage_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_storage_policy");
     group.sample_size(10);
     group.measurement_time(StdDuration::from_secs(10));
-    for (name, params) in [("secure", DbfsParams::secure()), ("insecure", DbfsParams::insecure())] {
+    for (name, params) in [
+        ("secure", DbfsParams::secure()),
+        ("insecure", DbfsParams::insecure()),
+    ] {
         group.bench_function(format!("collect_20_{name}"), |b| {
             b.iter_batched(
                 || {

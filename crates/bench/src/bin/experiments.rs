@@ -108,7 +108,10 @@ fn fig2() {
         .insert(
             "user",
             SubjectId::new(999_999),
-            &Row::new().with("name", canary).with("pwd", "pw").with("year_of_birthdate", 1990i64),
+            &Row::new()
+                .with("name", canary)
+                .with("pwd", "pw")
+                .with("year_of_birthdate", 1990i64),
         )
         .unwrap();
     scenario.engine.delete("user", victim).unwrap();
@@ -137,7 +140,10 @@ fn fig3() {
         .collect(
             "user",
             victim,
-            Row::new().with("name", canary).with("pwd", "pw").with("year_of_birthdate", 1990i64),
+            Row::new()
+                .with("name", canary)
+                .with("pwd", "pw")
+                .with("year_of_birthdate", 1990i64),
         )
         .unwrap();
     scenario.os.right_to_be_forgotten(victim).unwrap();
@@ -177,21 +183,35 @@ fn fig4() {
 
 fn listings() {
     println!("--- L1–L3: the paper's listings, executed ---");
-    let os = RgpdOs::builder().device_blocks(16_384).block_size(512).boot().unwrap();
+    let os = RgpdOs::builder()
+        .device_blocks(16_384)
+        .block_size(512)
+        .boot()
+        .unwrap();
     let types = os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
-    println!("L1: installed {types:?} with {} views", os.dbfs().schema(&"user".into()).unwrap().views().count());
+    println!(
+        "L1: installed {types:?} with {} views",
+        os.dbfs().schema(&"user".into()).unwrap().views().count()
+    );
     let id = os.register_processing(compute_age_spec()).unwrap();
     println!("L2: compute_age registered as {id} (annotation matches declaration: approved)");
     os.collect(
         "user",
         SubjectId::new(1),
-        Row::new().with("name", "Chiraz").with("pwd", "pw").with("year_of_birthdate", 1990i64),
+        Row::new()
+            .with("name", "Chiraz")
+            .with("pwd", "pw")
+            .with("year_of_birthdate", 1990i64),
     )
     .unwrap();
     let result = os.invoke(id, InvokeRequest::whole_type()).unwrap();
     println!(
         "L3: ps_invoke returned ages {:?} (references only, no raw PD)\n",
-        result.values.iter().filter_map(FieldValue::as_int).collect::<Vec<_>>()
+        result
+            .values
+            .iter()
+            .filter_map(FieldValue::as_int)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -230,17 +250,26 @@ fn c1() {
         ),
         (
             "F_pd issues network send",
-            machine.syscall(fpd, Syscall::NetworkSend { bytes: 64 }).is_err(),
+            machine
+                .syscall(fpd, Syscall::NetworkSend { bytes: 64 })
+                .is_err(),
         ),
         (
             "F_pd writes a file",
             machine
-                .syscall(fpd, Syscall::FileWrite { path: "/tmp/leak".into(), bytes: 64 })
+                .syscall(
+                    fpd,
+                    Syscall::FileWrite {
+                        path: "/tmp/leak".into(),
+                        bytes: 64,
+                    },
+                )
                 .is_err(),
         ),
         (
             "unregistered processing invoked",
-            os.invoke_by_name("ghost", InvokeRequest::whole_type()).is_err(),
+            os.invoke_by_name("ghost", InvokeRequest::whole_type())
+                .is_err(),
         ),
         (
             "processing without purpose registered",
@@ -254,7 +283,15 @@ fn c1() {
         ),
     ];
     for (name, blocked) in checks {
-        println!("{}: {}", name, if blocked { "BLOCKED" } else { "ALLOWED (violation!)" });
+        println!(
+            "{}: {}",
+            name,
+            if blocked {
+                "BLOCKED"
+            } else {
+                "ALLOWED (violation!)"
+            }
+        );
     }
     println!();
 }
@@ -270,7 +307,10 @@ fn c2() {
         .insert(
             "user",
             SubjectId::new(888_888),
-            &Row::new().with("name", canary).with("pwd", "pw").with("year_of_birthdate", 1990i64),
+            &Row::new()
+                .with("name", canary)
+                .with("pwd", "pw")
+                .with("year_of_birthdate", 1990i64),
         )
         .unwrap();
     let start = Instant::now();
@@ -286,7 +326,10 @@ fn c2() {
         .collect(
             "user",
             victim,
-            Row::new().with("name", canary).with("pwd", "pw").with("year_of_birthdate", 1990i64),
+            Row::new()
+                .with("name", canary)
+                .with("pwd", "pw")
+                .with("year_of_birthdate", 1990i64),
         )
         .unwrap();
     let start = Instant::now();
@@ -299,14 +342,17 @@ fn c2() {
         .dbfs()
         .query(&QueryRequest::all("user").including_erased())
         .unwrap();
-    let recoverable = tombstones.iter().filter(|r| r.membrane().is_erased()).any(|r| {
-        r.row()
-            .get("__erased_ciphertext")
-            .and_then(FieldValue::as_bytes)
-            .and_then(|bytes| rgpdos::crypto::EscrowedCiphertext::decode(bytes).ok())
-            .and_then(|ct| scenario.os.authority().recover(&ct).ok())
-            .is_some()
-    });
+    let recoverable = tombstones
+        .iter()
+        .filter(|r| r.membrane().is_erased())
+        .any(|r| {
+            r.row()
+                .get("__erased_ciphertext")
+                .and_then(FieldValue::as_bytes)
+                .and_then(|bytes| rgpdos::crypto::EscrowedCiphertext::decode(bytes).ok())
+                .and_then(|ct| scenario.os.authority().recover(&ct).ok())
+                .is_some()
+        });
     println!("rgpdos, {wall:.2}, {}, {recoverable}\n", hits.len());
 }
 
@@ -397,9 +443,14 @@ fn c5() {
 }
 
 fn ablations() {
-    println!("--- A1: journal scrubbing + zero-on-free (secure) vs conventional (insecure) DBFS ---");
+    println!(
+        "--- A1: journal scrubbing + zero-on-free (secure) vs conventional (insecure) DBFS ---"
+    );
     println!("mode, collect_100_ms, erase_10_ms, residue_hits_after_erase");
-    for (name, params) in [("secure", DbfsParams::secure()), ("insecure", DbfsParams::insecure())] {
+    for (name, params) in [
+        ("secure", DbfsParams::secure()),
+        ("insecure", DbfsParams::insecure()),
+    ] {
         let os = RgpdOs::builder()
             .device_blocks(32_768)
             .block_size(512)

@@ -74,7 +74,7 @@ pub fn rgpdos_scenario(subjects: usize, consent_rate: f64, params: DbfsParams) -
     let compute_age = os
         .register_processing(compute_age_spec())
         .expect("register compute_age");
-    let population = PopulationGenerator::new(0xF1_6)
+    let population = PopulationGenerator::new(0x0F16)
         .with_consent_rate(consent_rate)
         .with_restricted_rate((1.0 - consent_rate) / 2.0)
         .generate(subjects);
@@ -123,7 +123,7 @@ pub fn baseline_scenario(subjects: usize, consent_rate: f64) -> BaselineScenario
     let device = Arc::new(MemDevice::new(blocks, 512));
     let engine = UserspaceDbEngine::new(Arc::clone(&device)).expect("baseline engine");
     engine.create_table("user").expect("create table");
-    let population = PopulationGenerator::new(0xF1_6)
+    let population = PopulationGenerator::new(0x0F16)
         .with_consent_rate(consent_rate)
         .with_restricted_rate((1.0 - consent_rate) / 2.0)
         .generate(subjects);
@@ -235,7 +235,11 @@ pub fn run_mix_on_rgpdos(scenario: &RgpdOsScenario, mix: &WorkloadMix, ops: usiz
 /// # Panics
 ///
 /// Panics on unexpected engine failures.
-pub fn run_mix_on_baseline(scenario: &BaselineScenario, mix: &WorkloadMix, ops: usize) -> MixOutcome {
+pub fn run_mix_on_baseline(
+    scenario: &BaselineScenario,
+    mix: &WorkloadMix,
+    ops: usize,
+) -> MixOutcome {
     let stream = mix.generate(ops, 0xC4);
     let mut outcome = MixOutcome {
         operations: ops,
@@ -254,7 +258,9 @@ pub fn run_mix_on_baseline(scenario: &BaselineScenario, mix: &WorkloadMix, ops: 
             OperationKind::Read => scenario.engine.export_subject(subject).is_ok(),
             OperationKind::Invoke => scenario.engine.query("user", &BENCH_PURPOSE.into()).is_ok(),
             OperationKind::Update | OperationKind::ConsentChange => {
-                scenario.engine.set_consent(subject, &"newsletter".into(), true);
+                scenario
+                    .engine
+                    .set_consent(subject, &"newsletter".into(), true);
                 true
             }
             OperationKind::AccessRequest | OperationKind::Audit => {

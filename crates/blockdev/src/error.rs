@@ -36,10 +36,16 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::OutOfRange { block, capacity } => {
-                write!(f, "block {block} is out of range (device has {capacity} blocks)")
+                write!(
+                    f,
+                    "block {block} is out of range (device has {capacity} blocks)"
+                )
             }
             DeviceError::BadBufferSize { got, expected } => {
-                write!(f, "buffer of {got} bytes does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer of {got} bytes does not match block size {expected}"
+                )
             }
             DeviceError::InjectedFault { operation, at_op } => {
                 write!(f, "injected fault on {operation} at operation {at_op}")
@@ -58,9 +64,18 @@ mod tests {
     #[test]
     fn errors_display() {
         for e in [
-            DeviceError::OutOfRange { block: 9, capacity: 4 },
-            DeviceError::BadBufferSize { got: 1, expected: 512 },
-            DeviceError::InjectedFault { operation: "write", at_op: 3 },
+            DeviceError::OutOfRange {
+                block: 9,
+                capacity: 4,
+            },
+            DeviceError::BadBufferSize {
+                got: 1,
+                expected: 512,
+            },
+            DeviceError::InjectedFault {
+                operation: "write",
+                at_op: 3,
+            },
             DeviceError::DeviceDown,
         ] {
             assert!(!e.to_string().is_empty());

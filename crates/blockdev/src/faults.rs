@@ -162,7 +162,10 @@ mod tests {
             Err(DeviceError::InjectedFault { .. })
         ));
         // Torn block: first half written, second half zeroed.
-        assert_eq!(d.read_block(1).unwrap(), vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]);
+        assert_eq!(
+            d.read_block(1).unwrap(),
+            vec![0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]
+        );
         // Device keeps working afterwards.
         d.write_block(2, &[0xAAu8; 8]).unwrap();
         assert_eq!(d.inner().touched_blocks(), 3);

@@ -80,8 +80,16 @@ impl fmt::Display for AuditEventKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuditEventKind::Collected { pd } => write!(f, "collected {pd}"),
-            AuditEventKind::ProcessingExecuted { processing, purpose, pds } => {
-                write!(f, "executed {processing} ({purpose}) over {} items", pds.len())
+            AuditEventKind::ProcessingExecuted {
+                processing,
+                purpose,
+                pds,
+            } => {
+                write!(
+                    f,
+                    "executed {processing} ({purpose}) over {} items",
+                    pds.len()
+                )
             }
             AuditEventKind::AccessDenied { purpose, pd } => {
                 write!(f, "denied {purpose} on {pd}")
@@ -204,7 +212,11 @@ mod tests {
             Some(SubjectId::new(2)),
             AuditEventKind::Erased { pd: PdId::new(11) },
         );
-        log.record(Timestamp::from_secs(3), None, AuditEventKind::AccessRequestServed);
+        log.record(
+            Timestamp::from_secs(3),
+            None,
+            AuditEventKind::AccessRequestServed,
+        );
         assert_eq!(log.len(), 3);
         assert_eq!(log.snapshot().len(), 3);
         assert_eq!(log.for_subject(SubjectId::new(1)).len(), 1);
@@ -264,11 +276,19 @@ mod tests {
         assert!(s.contains("marketing"));
         let kinds = vec![
             AuditEventKind::Collected { pd: PdId::new(1) },
-            AuditEventKind::Copied { from: PdId::new(1), to: PdId::new(2) },
+            AuditEventKind::Copied {
+                from: PdId::new(1),
+                to: PdId::new(2),
+            },
             AuditEventKind::Updated { pd: PdId::new(1) },
             AuditEventKind::Expired { pd: PdId::new(1) },
-            AuditEventKind::ConsentChanged { pd: PdId::new(1), purpose: PurposeId::from("p") },
-            AuditEventKind::ViolationBlocked { description: "raw dbfs read".into() },
+            AuditEventKind::ConsentChanged {
+                pd: PdId::new(1),
+                purpose: PurposeId::from("p"),
+            },
+            AuditEventKind::ViolationBlocked {
+                description: "raw dbfs read".into(),
+            },
         ];
         for k in kinds {
             assert!(!k.to_string().is_empty());

@@ -210,7 +210,10 @@ mod tests {
     #[test]
     fn timestamp_arithmetic() {
         let t = Timestamp::from_secs(10);
-        assert_eq!(t.advanced_by(Duration::from_secs(5)), Timestamp::from_secs(15));
+        assert_eq!(
+            t.advanced_by(Duration::from_secs(5)),
+            Timestamp::from_secs(15)
+        );
         assert_eq!(Timestamp::from_secs(15).since(t), Duration::from_secs(5));
         // `since` saturates rather than underflowing.
         assert_eq!(t.since(Timestamp::from_secs(15)), Duration::ZERO);
@@ -236,7 +239,9 @@ mod tests {
         assert!(!ttl.is_expired(collected, collected.advanced_by(Duration::from_days(30))));
         assert!(ttl.is_expired(
             collected,
-            collected.advanced_by(Duration::from_days(30)).advanced_by(Duration::from_secs(1))
+            collected
+                .advanced_by(Duration::from_days(30))
+                .advanced_by(Duration::from_secs(1))
         ));
         assert_eq!(
             ttl.expires_at(collected),
@@ -262,7 +267,10 @@ mod tests {
         let clock = LogicalClock::new();
         assert_eq!(clock.now(), Timestamp::ZERO);
         assert_eq!(clock.tick(), Timestamp::from_secs(1));
-        assert_eq!(clock.advance(Duration::from_secs(9)), Timestamp::from_secs(10));
+        assert_eq!(
+            clock.advance(Duration::from_secs(9)),
+            Timestamp::from_secs(10)
+        );
         assert_eq!(clock.now(), Timestamp::from_secs(10));
         let clock = LogicalClock::starting_at(Timestamp::from_secs(100));
         assert_eq!(clock.now(), Timestamp::from_secs(100));

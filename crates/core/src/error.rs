@@ -66,9 +66,14 @@ impl fmt::Display for CoreError {
                 write!(f, "view `{view}` references unknown field `{field}`")
             }
             CoreError::UnknownConsentView { purpose, view } => {
-                write!(f, "consent for purpose `{purpose}` references unknown view `{view}`")
+                write!(
+                    f,
+                    "consent for purpose `{purpose}` references unknown view `{view}`"
+                )
             }
-            CoreError::SchemaMismatch { reason } => write!(f, "row does not match schema: {reason}"),
+            CoreError::SchemaMismatch { reason } => {
+                write!(f, "row does not match schema: {reason}")
+            }
             CoreError::Corrupt { what } => write!(f, "corrupt encoding: {what}"),
             CoreError::NotFound { what } => write!(f, "not found: {what}"),
             CoreError::Erased { what } => write!(f, "personal data has been erased: {what}"),
@@ -86,13 +91,27 @@ mod tests {
     fn errors_display_and_are_std_errors() {
         let errors = vec![
             CoreError::UnknownFieldType { name: "x".into() },
-            CoreError::InvalidSchema { reason: "empty".into() },
-            CoreError::UnknownViewField { view: "v".into(), field: "f".into() },
-            CoreError::UnknownConsentView { purpose: "p".into(), view: "v".into() },
-            CoreError::SchemaMismatch { reason: "missing field".into() },
+            CoreError::InvalidSchema {
+                reason: "empty".into(),
+            },
+            CoreError::UnknownViewField {
+                view: "v".into(),
+                field: "f".into(),
+            },
+            CoreError::UnknownConsentView {
+                purpose: "p".into(),
+                view: "v".into(),
+            },
+            CoreError::SchemaMismatch {
+                reason: "missing field".into(),
+            },
             CoreError::Corrupt { what: "row".into() },
-            CoreError::NotFound { what: "type user".into() },
-            CoreError::Erased { what: "pd-1".into() },
+            CoreError::NotFound {
+                what: "type user".into(),
+            },
+            CoreError::Erased {
+                what: "pd-1".into(),
+            },
         ];
         for e in errors {
             let msg = e.to_string();

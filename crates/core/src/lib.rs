@@ -58,8 +58,7 @@ pub use clock::{Duration, LogicalClock, TimeToLive, Timestamp};
 pub use consent::{AccessDecision, ConsentDecision, ConsentTable, LegalBasis};
 pub use error::CoreError;
 pub use ids::{
-    DataTypeId, DeviceId, KernelId, PdId, PdRef, ProcessingId, PurposeId, SubjectId, TaskId,
-    ViewId,
+    DataTypeId, DeviceId, KernelId, PdId, PdRef, ProcessingId, PurposeId, SubjectId, TaskId, ViewId,
 };
 pub use membrane::{CollectionMethod, Membrane, MembraneDelta, Origin, Sensitivity};
 pub use record::{PdRecord, RecordBatch, WrappedPd};
@@ -78,6 +77,8 @@ pub mod prelude {
     };
     pub use crate::membrane::{CollectionMethod, Membrane, MembraneDelta, Origin, Sensitivity};
     pub use crate::record::{PdRecord, RecordBatch, WrappedPd};
-    pub use crate::schema::{DataTypeSchema, DataTypeSchemaBuilder, FieldDef, SchemaRegistry, View};
+    pub use crate::schema::{
+        DataTypeSchema, DataTypeSchemaBuilder, FieldDef, SchemaRegistry, View,
+    };
     pub use crate::value::{FieldType, FieldValue, Row};
 }

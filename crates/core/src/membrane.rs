@@ -169,7 +169,11 @@ impl Membrane {
     /// Creates the default membrane for data of type `schema`, as the
     /// `acquisition` built-in does at collection time: the schema's default
     /// consent, origin, TTL and sensitivity are copied into the membrane.
-    pub fn from_schema(schema: &DataTypeSchema, subject: SubjectId, collected_at: Timestamp) -> Self {
+    pub fn from_schema(
+        schema: &DataTypeSchema,
+        subject: SubjectId,
+        collected_at: Timestamp,
+    ) -> Self {
         let mut consents = ConsentTable::new();
         for (purpose, decision) in schema.default_consent() {
             // Default consent expresses operations backed by a legitimate
@@ -351,7 +355,11 @@ mod tests {
     use crate::schema::listing1_user_schema;
 
     fn membrane() -> Membrane {
-        Membrane::from_schema(&listing1_user_schema(), SubjectId::new(1), Timestamp::from_secs(100))
+        Membrane::from_schema(
+            &listing1_user_schema(),
+            SubjectId::new(1),
+            Timestamp::from_secs(100),
+        )
     }
 
     #[test]
@@ -377,12 +385,15 @@ mod tests {
         assert_eq!(m.collected_at(), Timestamp::from_secs(100));
         assert_eq!(m.collection_methods().len(), 2);
         assert!(!m.is_erased());
-        assert_eq!(m.permits(&PurposeId::from("purpose1")), AccessDecision::Full);
-        assert_eq!(m.permits(&PurposeId::from("purpose2")), AccessDecision::Denied);
-        assert!(m
-            .permits(&PurposeId::from("purpose3"))
-            .view()
-            .is_some());
+        assert_eq!(
+            m.permits(&PurposeId::from("purpose1")),
+            AccessDecision::Full
+        );
+        assert_eq!(
+            m.permits(&PurposeId::from("purpose2")),
+            AccessDecision::Denied
+        );
+        assert!(m.permits(&PurposeId::from("purpose3")).view().is_some());
         // Unknown purposes are denied by default.
         assert_eq!(m.permits(&PurposeId::from("spam")), AccessDecision::Denied);
     }
@@ -392,7 +403,10 @@ mod tests {
         let mut m = membrane();
         m.mark_erased();
         assert!(m.is_erased());
-        assert_eq!(m.permits(&PurposeId::from("purpose1")), AccessDecision::Denied);
+        assert_eq!(
+            m.permits(&PurposeId::from("purpose1")),
+            AccessDecision::Denied
+        );
     }
 
     #[test]
@@ -439,11 +453,17 @@ mod tests {
             purpose: PurposeId::from("newsletter"),
             decision: ConsentDecision::All,
         }));
-        assert_eq!(m.permits(&PurposeId::from("newsletter")), AccessDecision::Full);
+        assert_eq!(
+            m.permits(&PurposeId::from("newsletter")),
+            AccessDecision::Full
+        );
         assert!(m.apply(&MembraneDelta::Withdraw {
             purpose: PurposeId::from("newsletter"),
         }));
-        assert_eq!(m.permits(&PurposeId::from("newsletter")), AccessDecision::Denied);
+        assert_eq!(
+            m.permits(&PurposeId::from("newsletter")),
+            AccessDecision::Denied
+        );
         // purpose1 was granted under legitimate interest by the schema default,
         // so the subject cannot withdraw it.
         assert!(!m.apply(&MembraneDelta::Withdraw {
@@ -463,7 +483,10 @@ mod tests {
         assert!(s.contains("erased=false"));
         assert_eq!(CollectionMethod::Inline.to_string(), "inline");
         assert_eq!(
-            CollectionMethod::WebForm { page: "f.html".into() }.to_string(),
+            CollectionMethod::WebForm {
+                page: "f.html".into()
+            }
+            .to_string(),
             "web_form:f.html"
         );
     }

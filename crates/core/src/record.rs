@@ -244,7 +244,10 @@ mod tests {
         assert_eq!(r.data_type().as_str(), "user");
         assert_eq!(r.subject(), SubjectId::new(9));
         assert_eq!(r.row().len(), 3);
-        assert_eq!(r.to_ref(), PdRef::new(DataTypeId::from("user"), PdId::new(3)));
+        assert_eq!(
+            r.to_ref(),
+            PdRef::new(DataTypeId::from("user"), PdId::new(3))
+        );
         assert!(r.to_string().contains("user"));
     }
 

@@ -74,7 +74,10 @@ pub struct View {
 
 impl View {
     /// Creates a view exposing exactly `fields`.
-    pub fn new(name: impl Into<ViewId>, fields: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<ViewId>,
+        fields: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         Self {
             name: name.into(),
             fields: fields.into_iter().map(Into::into).collect(),
@@ -533,7 +536,9 @@ mod tests {
             Err(CoreError::InvalidSchema { .. })
         ));
         assert!(matches!(
-            DataTypeSchema::builder("").field("a", FieldType::Int).build(),
+            DataTypeSchema::builder("")
+                .field("a", FieldType::Int)
+                .build(),
             Err(CoreError::InvalidSchema { .. })
         ));
         assert!(matches!(

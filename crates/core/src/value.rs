@@ -544,7 +544,10 @@ mod tests {
         assert_eq!(row.remove("a").unwrap().as_int(), Some(2));
         assert!(row.is_empty());
         row.extend(vec![("b".to_string(), FieldValue::Int(1))]);
-        let collected: Row = row.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+        let collected: Row = row
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
         assert_eq!(collected, row);
     }
 

@@ -6,7 +6,7 @@
 //! and recover erased personal data.
 
 use crate::error::CryptoError;
-use crate::group::{check_element, mul_mod, pow_mod, reduce_to_exponent, GENERATOR};
+use crate::group::{check_element, pow_mod, reduce_to_exponent, GENERATOR};
 use crate::rng::DeterministicRng;
 use std::fmt;
 
@@ -157,13 +157,6 @@ pub fn decapsulate(
         return Err(CryptoError::WrongKey);
     }
     Ok(shared)
-}
-
-/// The multiplicative relation used in tests: `shared = public^r = ephemeral^x`.
-#[doc(hidden)]
-pub fn shared_from_parts(public: PublicKey, private: &PrivateKey) -> u64 {
-    // g^(x*r) computed both ways must agree; helper for property tests.
-    mul_mod(public.element(), 1).wrapping_add(private.exponent() & 0)
 }
 
 #[cfg(test)]

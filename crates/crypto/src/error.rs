@@ -45,7 +45,9 @@ mod tests {
     #[test]
     fn errors_display() {
         for e in [
-            CryptoError::MalformedCiphertext { reason: "short".into() },
+            CryptoError::MalformedCiphertext {
+                reason: "short".into(),
+            },
             CryptoError::WrongKey,
             CryptoError::InvalidGroupElement { value: 0 },
         ] {

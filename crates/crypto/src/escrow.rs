@@ -143,7 +143,7 @@ pub struct OperatorEscrow {
 impl OperatorEscrow {
     /// Creates an escrow engine for the given authority public key.
     pub fn new(public: PublicKey) -> Self {
-        Self::with_seed(public, 0xE5C2_0F_AA)
+        Self::with_seed(public, 0xE5C2_0FAA)
     }
 
     /// Creates an escrow engine with an explicit entropy seed.
@@ -225,7 +225,10 @@ mod tests {
         let ct = operator.erase(b"round trip me");
         let decoded = EscrowedCiphertext::decode(&ct.encode()).unwrap();
         assert_eq!(decoded, ct);
-        assert_eq!(authority.recover(&decoded).unwrap(), b"round trip me".to_vec());
+        assert_eq!(
+            authority.recover(&decoded).unwrap(),
+            b"round trip me".to_vec()
+        );
     }
 
     #[test]

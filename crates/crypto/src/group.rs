@@ -65,7 +65,7 @@ pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
 ///
 /// Panics if `a` is zero (zero has no inverse).
 pub fn inv_mod(a: u64) -> u64 {
-    assert!(a % MODULUS != 0, "zero has no modular inverse");
+    assert!(!a.is_multiple_of(MODULUS), "zero has no modular inverse");
     pow_mod(a, MODULUS - 2)
 }
 
@@ -77,12 +77,12 @@ mod tests {
     fn modulus_is_prime_for_small_witnesses() {
         // Deterministic Miller–Rabin with enough witnesses for 64-bit values.
         fn miller_rabin(n: u64, a: u64) -> bool {
-            if n % a == 0 {
+            if n.is_multiple_of(a) {
                 return n == a;
             }
             let mut d = n - 1;
             let mut r = 0;
-            while d % 2 == 0 {
+            while d.is_multiple_of(2) {
                 d /= 2;
                 r += 1;
             }

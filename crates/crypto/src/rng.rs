@@ -114,6 +114,9 @@ mod tests {
             ones += rng.next_u64().count_ones();
         }
         let avg = f64::from(ones) / 1_000.0;
-        assert!((avg - 32.0).abs() < 1.0, "average popcount {avg} too far from 32");
+        assert!(
+            (avg - 32.0).abs() < 1.0,
+            "average popcount {avg} too far from 32"
+        );
     }
 }

@@ -117,7 +117,12 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Propagates inode-layer errors (device too small, I/O failures).
     pub fn format(device: D, params: DbfsParams) -> Result<Self, DbfsError> {
-        Self::format_with(device, params, Arc::new(LogicalClock::new()), AuditLog::new())
+        Self::format_with(
+            device,
+            params,
+            Arc::new(LogicalClock::new()),
+            AuditLog::new(),
+        )
     }
 
     /// Formats a device, sharing an existing clock and audit log with the
@@ -299,10 +304,9 @@ impl<D: BlockDevice> Dbfs<D> {
         self.fs
             .dir_add(index.tables_ino, schema.name().as_str(), table_ino)?;
         let schema_ino = self.fs.alloc_inode(InodeKind::Schema)?;
-        let bytes =
-            serde_json::to_vec(&schema).map_err(|_| DbfsError::Corrupt {
-                what: "schema serialization".to_owned(),
-            })?;
+        let bytes = serde_json::to_vec(&schema).map_err(|_| DbfsError::Corrupt {
+            what: "schema serialization".to_owned(),
+        })?;
         self.fs.write_replace(schema_ino, &bytes)?;
         self.fs.dir_add(table_ino, SCHEMA_ENTRY, schema_ino)?;
         index.tables.insert(schema.name().clone(), table_ino);
@@ -486,7 +490,10 @@ impl<D: BlockDevice> Dbfs<D> {
     /// # Errors
     ///
     /// Returns [`DbfsError::UnknownType`].
-    pub fn load_membranes(&self, data_type: &DataTypeId) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+    pub fn load_membranes(
+        &self,
+        data_type: &DataTypeId,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
         let locations: Vec<(PdId, Ino)> = {
             let index = self.index.lock();
             if !index.tables.contains_key(data_type) {
@@ -597,16 +604,16 @@ impl<D: BlockDevice> Dbfs<D> {
         }
         let stored = self.read_stored(location.ino)?;
         let copy_membrane = stored.membrane.for_copy(id);
-        let new_id = self.store_wrapped(
-            data_type,
-            WrappedPd::new(stored.row, copy_membrane),
-            true,
-        )?;
+        let new_id =
+            self.store_wrapped(data_type, WrappedPd::new(stored.row, copy_membrane), true)?;
         DbfsStatsInner::bump(&self.stats.copies);
         self.audit.record(
             self.clock.now(),
             Some(location.subject),
-            AuditEventKind::Copied { from: id, to: new_id },
+            AuditEventKind::Copied {
+                from: id,
+                to: new_id,
+            },
         );
         Ok(new_id)
     }
@@ -734,11 +741,8 @@ impl<D: BlockDevice> Dbfs<D> {
             if stored.membrane.is_expired(now) {
                 self.erase(&data_type, id, escrow)?;
                 DbfsStatsInner::bump(&self.stats.expirations);
-                self.audit.record(
-                    now,
-                    Some(subject),
-                    AuditEventKind::Expired { pd: id },
-                );
+                self.audit
+                    .record(now, Some(subject), AuditEventKind::Expired { pd: id });
                 expired.push(id);
             }
         }
@@ -783,14 +787,11 @@ impl<D: BlockDevice> Dbfs<D> {
         DbfsStatsInner::bump(&self.stats.queries);
         let schema = self.schema(&request.data_type)?;
         let view = match &request.view {
-            Some(view_name) => Some(
-                schema
-                    .view(view_name)
-                    .cloned()
-                    .ok_or(rgpdos_core::CoreError::NotFound {
-                        what: format!("view `{view_name}`"),
-                    })?,
-            ),
+            Some(view_name) => Some(schema.view(view_name).cloned().ok_or(
+                rgpdos_core::CoreError::NotFound {
+                    what: format!("view `{view_name}`"),
+                },
+            )?),
             None => None,
         };
         let locations: Vec<(PdId, RecordLocation)> = {
@@ -985,7 +986,11 @@ mod tests {
         dbfs.erase(&"user".into(), id, &escrow).unwrap();
         // Both the original and its copy are erased.
         assert!(dbfs.get(&"user".into(), id).unwrap().membrane().is_erased());
-        assert!(dbfs.get(&"user".into(), copy).unwrap().membrane().is_erased());
+        assert!(dbfs
+            .get(&"user".into(), copy)
+            .unwrap()
+            .membrane()
+            .is_erased());
         assert_eq!(dbfs.count(&"user".into()), 0);
         assert!(matches!(
             dbfs.copy(&"user".into(), id),
@@ -1037,7 +1042,10 @@ mod tests {
         let ciphertext = rgpdos_crypto::EscrowedCiphertext::decode(&ciphertext_bytes).unwrap();
         let plaintext = authority.recover(&ciphertext).unwrap();
         let row: Row = serde_json::from_slice(&plaintext).unwrap();
-        assert_eq!(row.get("name").unwrap().as_text(), Some("FORGOTTEN-NAME-XYZ"));
+        assert_eq!(
+            row.get("name").unwrap().as_text(),
+            Some("FORGOTTEN-NAME-XYZ")
+        );
     }
 
     #[test]
@@ -1055,11 +1063,20 @@ mod tests {
         }
         dbfs.collect("user", SubjectId::new(11), user_row("other", 1970))
             .unwrap();
-        assert_eq!(dbfs.records_of_subject(SubjectId::new(10)).unwrap().len(), 5);
+        assert_eq!(
+            dbfs.records_of_subject(SubjectId::new(10)).unwrap().len(),
+            5
+        );
         let erased = dbfs.erase_subject(SubjectId::new(10), &escrow).unwrap();
         assert_eq!(erased.len(), 5);
-        assert!(dbfs.records_of_subject(SubjectId::new(10)).unwrap().is_empty());
-        assert_eq!(dbfs.records_of_subject(SubjectId::new(11)).unwrap().len(), 1);
+        assert!(dbfs
+            .records_of_subject(SubjectId::new(10))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            dbfs.records_of_subject(SubjectId::new(11)).unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -1100,10 +1117,12 @@ mod tests {
             .unwrap();
         assert_eq!(subject0.len(), 4);
         let older = dbfs
-            .query(&QueryRequest::all("user").filter(crate::query::Predicate::IntFieldLessThan {
-                field: "year_of_birthdate".into(),
-                bound: 1965,
-            }))
+            .query(
+                &QueryRequest::all("user").filter(crate::query::Predicate::IntFieldLessThan {
+                    field: "year_of_birthdate".into(),
+                    bound: 1965,
+                }),
+            )
             .unwrap();
         assert_eq!(older.len(), 5);
         let anonymised = dbfs
@@ -1141,7 +1160,10 @@ mod tests {
         assert_eq!(dbfs.types(), vec![DataTypeId::from("user")]);
         assert_eq!(dbfs.count(&"user".into()), 2);
         let record = dbfs.get(&"user".into(), id).unwrap();
-        assert_eq!(record.row().get("name").unwrap().as_text(), Some("Persisted"));
+        assert_eq!(
+            record.row().get("name").unwrap().as_text(),
+            Some("Persisted")
+        );
         // New identifiers do not collide with pre-remount ones.
         let new_id = dbfs
             .collect("user", SubjectId::new(7), user_row("Fresh", 2003))

@@ -99,9 +99,15 @@ mod tests {
             .is_some());
         assert!(DbfsError::from(CryptoError::WrongKey).source().is_some());
         for e in [
-            DbfsError::Corrupt { what: "record".into() },
-            DbfsError::TypeAlreadyExists { name: "user".into() },
-            DbfsError::UnknownType { name: "ghost".into() },
+            DbfsError::Corrupt {
+                what: "record".into(),
+            },
+            DbfsError::TypeAlreadyExists {
+                name: "user".into(),
+            },
+            DbfsError::UnknownType {
+                name: "ghost".into(),
+            },
             DbfsError::UnknownPd { id: 7 },
             DbfsError::Erased { id: 7 },
         ] {

@@ -92,8 +92,7 @@ impl QueryRequest {
     /// Restricts the query with an arbitrary predicate.
     #[must_use]
     pub fn filter(mut self, predicate: Predicate) -> Self {
-        self.predicate =
-            std::mem::replace(&mut self.predicate, Predicate::All).and(predicate);
+        self.predicate = std::mem::replace(&mut self.predicate, Predicate::All).and(predicate);
         self
     }
 
@@ -117,7 +116,9 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        Row::new().with("name", "Chiraz").with("year_of_birthdate", 1990i64)
+        Row::new()
+            .with("name", "Chiraz")
+            .with("year_of_birthdate", 1990i64)
     }
 
     #[test]
@@ -140,12 +141,21 @@ mod tests {
             value: "Someone".into()
         }
         .matches(id, subject, &r));
-        assert!(Predicate::IntFieldLessThan { field: "year_of_birthdate".into(), bound: 2000 }
-            .matches(id, subject, &r));
-        assert!(!Predicate::IntFieldLessThan { field: "year_of_birthdate".into(), bound: 1990 }
-            .matches(id, subject, &r));
-        assert!(!Predicate::IntFieldLessThan { field: "name".into(), bound: 10 }
-            .matches(id, subject, &r));
+        assert!(Predicate::IntFieldLessThan {
+            field: "year_of_birthdate".into(),
+            bound: 2000
+        }
+        .matches(id, subject, &r));
+        assert!(!Predicate::IntFieldLessThan {
+            field: "year_of_birthdate".into(),
+            bound: 1990
+        }
+        .matches(id, subject, &r));
+        assert!(!Predicate::IntFieldLessThan {
+            field: "name".into(),
+            bound: 10
+        }
+        .matches(id, subject, &r));
         assert!(Predicate::All
             .and(Predicate::SubjectIs(subject))
             .matches(id, subject, &r));

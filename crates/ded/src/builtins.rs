@@ -75,7 +75,9 @@ impl<'a, D: BlockDevice> Builtins<'a, D> {
     ///
     /// Propagates DBFS and kernel errors.
     pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DedError> {
-        self.with_builtin_task(Operation::Write, || Ok(self.ded.dbfs().copy(data_type, id)?))
+        self.with_builtin_task(Operation::Write, || {
+            Ok(self.ded.dbfs().copy(data_type, id)?)
+        })
     }
 
     /// The `delete` built-in: the right to be forgotten, implemented as

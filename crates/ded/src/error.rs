@@ -73,15 +73,23 @@ mod tests {
 
     #[test]
     fn errors_display_and_source() {
-        let e = DedError::from(PsError::UnknownProcessing { id: ProcessingId::new(1) });
+        let e = DedError::from(PsError::UnknownProcessing {
+            id: ProcessingId::new(1),
+        });
         assert!(e.source().is_some());
         assert!(!e.to_string().is_empty());
-        let e = DedError::UnknownOutputType { name: "age_pd".into() };
+        let e = DedError::UnknownOutputType {
+            name: "age_pd".into(),
+        };
         assert!(e.source().is_none());
         assert!(e.to_string().contains("age_pd"));
-        assert!(DedError::from(DbfsError::UnknownPd { id: 1 }).source().is_some());
-        assert!(DedError::from(KernelError::ResourceExhausted { what: "cpu".into() })
+        assert!(DedError::from(DbfsError::UnknownPd { id: 1 })
             .source()
             .is_some());
+        assert!(
+            DedError::from(KernelError::ResourceExhausted { what: "cpu".into() })
+                .source()
+                .is_some()
+        );
     }
 }

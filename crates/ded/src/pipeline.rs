@@ -183,7 +183,8 @@ impl<D: BlockDevice> DedEngine<D> {
             self.machine
                 .mediated_access(task, ObjectClass::DbfsStorage, Operation::Write)?;
             for (subject, row) in &request.collect_first {
-                self.dbfs.collect(data_type.clone(), *subject, row.clone())?;
+                self.dbfs
+                    .collect(data_type.clone(), *subject, row.clone())?;
             }
         }
 
@@ -248,7 +249,10 @@ impl<D: BlockDevice> DedEngine<D> {
                 Err(_) => result.errors += 1,
                 Ok(ProcessingOutput::Nothing) => {}
                 Ok(ProcessingOutput::Value(value)) => result.values.push(value),
-                Ok(ProcessingOutput::PersonalData { data_type: out_type, row }) => {
+                Ok(ProcessingOutput::PersonalData {
+                    data_type: out_type,
+                    row,
+                }) => {
                     if self.dbfs.schema(&out_type).is_err() {
                         return Err(DedError::UnknownOutputType {
                             name: out_type.to_string(),
@@ -289,12 +293,12 @@ impl<D: BlockDevice> DedEngine<D> {
         name: &str,
         request: InvokeRequest,
     ) -> Result<InvokeResult, DedError> {
-        let processing = self
-            .ps
-            .find_by_name(name)
-            .ok_or_else(|| rgpdos_ps::PsError::UnknownProcessing {
-                id: ProcessingId::new(u64::MAX),
-            })?;
+        let processing =
+            self.ps
+                .find_by_name(name)
+                .ok_or_else(|| rgpdos_ps::PsError::UnknownProcessing {
+                    id: ProcessingId::new(u64::MAX),
+                })?;
         self.invoke(processing.id, request)
     }
 
@@ -382,7 +386,11 @@ mod tests {
         assert_eq!(result.processed, 2);
         assert_eq!(result.denied, 0);
         assert_eq!(result.errors, 0);
-        let mut ages: Vec<i64> = result.values.iter().filter_map(FieldValue::as_int).collect();
+        let mut ages: Vec<i64> = result
+            .values
+            .iter()
+            .filter_map(FieldValue::as_int)
+            .collect();
         ages.sort_unstable();
         assert_eq!(ages, vec![22, 32]);
         // The caller got values, not personal data rows.
@@ -393,8 +401,12 @@ mod tests {
     fn consent_filtering_denies_unconsenting_subjects() {
         let h = harness();
         let dbfs = h.ded.dbfs();
-        let id1 = dbfs.collect("user", SubjectId::new(1), user_row("A", 1990)).unwrap();
-        let _id2 = dbfs.collect("user", SubjectId::new(2), user_row("B", 1980)).unwrap();
+        let id1 = dbfs
+            .collect("user", SubjectId::new(1), user_row("A", 1990))
+            .unwrap();
+        let _id2 = dbfs
+            .collect("user", SubjectId::new(2), user_row("B", 1980))
+            .unwrap();
         // Subject 1 withdraws purpose3 (it was granted by default consent
         // under legitimate interest, so the subject sets it to none through a
         // grant of None under their own consent).
@@ -407,7 +419,10 @@ mod tests {
             },
         )
         .unwrap();
-        let result = h.ded.invoke(h.compute_age, InvokeRequest::whole_type()).unwrap();
+        let result = h
+            .ded
+            .invoke(h.compute_age, InvokeRequest::whole_type())
+            .unwrap();
         assert_eq!(result.processed, 1);
         assert_eq!(result.denied, 1);
         // The denial is audited.
@@ -423,17 +438,16 @@ mod tests {
     fn view_restriction_hides_fields_from_the_implementation() {
         let h = harness();
         let dbfs = h.ded.dbfs();
-        dbfs.collect("user", SubjectId::new(1), user_row("Hidden", 1970)).unwrap();
+        dbfs.collect("user", SubjectId::new(1), user_row("Hidden", 1970))
+            .unwrap();
         // Register a processing that tries to read the name under purpose3
         // (restricted to v_ano, which only exposes the birth year).
         let spec = ProcessingSpec::builder("leak_name", "user")
             .source("/* purpose3 */ fn leak_name() {}")
             .purpose_name("purpose3")
-            .function(Arc::new(|row| {
-                match row.get("name") {
-                    Some(name) => Ok(ProcessingOutput::Value(name.clone())),
-                    None => Err("name is not visible".to_owned()),
-                }
+            .function(Arc::new(|row| match row.get("name") {
+                Some(name) => Ok(ProcessingOutput::Value(name.clone())),
+                None => Err("name is not visible".to_owned()),
             }))
             .build();
         let outcome = h.ded.processing_store().register(spec).unwrap();
@@ -452,7 +466,8 @@ mod tests {
     fn produced_personal_data_is_stored_and_returned_by_reference() {
         let h = harness();
         let dbfs = h.ded.dbfs();
-        dbfs.collect("user", SubjectId::new(7), user_row("Derive", 1992)).unwrap();
+        dbfs.collect("user", SubjectId::new(7), user_row("Derive", 1992))
+            .unwrap();
         let spec = ProcessingSpec::builder("materialize_age", "user")
             .source("/* purpose1 */ fn materialize_age() {}")
             .purpose_name("purpose1")
@@ -525,10 +540,14 @@ mod tests {
         ));
         // After sysadmin approval the invocation goes through.
         h.ded.processing_store().approve(outcome.id).unwrap();
-        assert!(h.ded.invoke(outcome.id, InvokeRequest::whole_type()).is_ok());
+        assert!(h
+            .ded
+            .invoke(outcome.id, InvokeRequest::whole_type())
+            .is_ok());
         // Unknown processings are reported as such.
         assert!(matches!(
-            h.ded.invoke(ProcessingId::new(999), InvokeRequest::whole_type()),
+            h.ded
+                .invoke(ProcessingId::new(999), InvokeRequest::whole_type()),
             Err(DedError::Ps(_))
         ));
         assert!(h
@@ -545,9 +564,13 @@ mod tests {
     fn single_and_subject_targets() {
         let h = harness();
         let dbfs = h.ded.dbfs();
-        let id1 = dbfs.collect("user", SubjectId::new(1), user_row("A", 1990)).unwrap();
-        dbfs.collect("user", SubjectId::new(2), user_row("B", 1980)).unwrap();
-        dbfs.collect("user", SubjectId::new(2), user_row("C", 1970)).unwrap();
+        let id1 = dbfs
+            .collect("user", SubjectId::new(1), user_row("A", 1990))
+            .unwrap();
+        dbfs.collect("user", SubjectId::new(2), user_row("B", 1980))
+            .unwrap();
+        dbfs.collect("user", SubjectId::new(2), user_row("C", 1970))
+            .unwrap();
 
         let single = h
             .ded
@@ -569,9 +592,15 @@ mod tests {
     fn processing_log_supports_right_of_access() {
         let h = harness();
         let dbfs = h.ded.dbfs();
-        let id = dbfs.collect("user", SubjectId::new(1), user_row("Logged", 1990)).unwrap();
-        h.ded.invoke(h.compute_age, InvokeRequest::whole_type()).unwrap();
-        h.ded.invoke(h.compute_age, InvokeRequest::whole_type()).unwrap();
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Logged", 1990))
+            .unwrap();
+        h.ded
+            .invoke(h.compute_age, InvokeRequest::whole_type())
+            .unwrap();
+        h.ded
+            .invoke(h.compute_age, InvokeRequest::whole_type())
+            .unwrap();
         let log = h.ded.processing_log_for(id);
         assert_eq!(log.len(), 2);
         assert!(log.iter().all(|e| matches!(

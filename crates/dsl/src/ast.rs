@@ -62,11 +62,20 @@ mod tests {
 
     #[test]
     fn ast_nodes_are_comparable() {
-        let a = FieldDecl { name: "n".into(), field_type: "string".into() };
+        let a = FieldDecl {
+            name: "n".into(),
+            field_type: "string".into(),
+        };
         assert_eq!(a.clone(), a);
-        let v = ViewDecl { name: "v".into(), fields: vec!["n".into()] };
+        let v = ViewDecl {
+            name: "v".into(),
+            fields: vec!["n".into()],
+        };
         assert_eq!(v.fields.len(), 1);
-        let c = ConsentClause { purpose: "p".into(), decision: "all".into() };
+        let c = ConsentClause {
+            purpose: "p".into(),
+            decision: "all".into(),
+        };
         assert_eq!(c.decision, "all");
     }
 }

@@ -46,7 +46,10 @@ fn resolve_decision(spelling: &str, views: &[String]) -> ConsentDecision {
             let exact = views.iter().find(|v| v.as_str() == other);
             let prefixed = format!("v_{other}");
             let with_prefix = views.iter().find(|v| **v == prefixed);
-            let resolved = exact.or(with_prefix).cloned().unwrap_or_else(|| other.to_owned());
+            let resolved = exact
+                .or(with_prefix)
+                .cloned()
+                .unwrap_or_else(|| other.to_owned());
             ConsentDecision::View(resolved.into())
         }
     }
@@ -150,8 +153,14 @@ mod tests {
         // The default consent behaves as the paper describes: purpose1 sees
         // everything, purpose2 nothing, purpose3 only the anonymous view.
         let membrane = Membrane::from_schema(user, SubjectId::new(1), Timestamp::ZERO);
-        assert_eq!(membrane.permits(&PurposeId::from("purpose1")), AccessDecision::Full);
-        assert_eq!(membrane.permits(&PurposeId::from("purpose2")), AccessDecision::Denied);
+        assert_eq!(
+            membrane.permits(&PurposeId::from("purpose1")),
+            AccessDecision::Full
+        );
+        assert_eq!(
+            membrane.permits(&PurposeId::from("purpose2")),
+            AccessDecision::Denied
+        );
         assert_eq!(
             membrane.permits(&PurposeId::from("purpose3")),
             AccessDecision::Restricted(ViewId::from("v_ano"))
@@ -177,10 +186,9 @@ mod tests {
 
     #[test]
     fn consent_referencing_missing_view_is_reported() {
-        let err = compile_type_declarations(
-            "type t { fields { a: int }; consent { p: secret_view } }",
-        )
-        .unwrap_err();
+        let err =
+            compile_type_declarations("type t { fields { a: int }; consent { p: secret_view } }")
+                .unwrap_err();
         assert!(matches!(err, DslError::Core(_)));
     }
 
@@ -200,7 +208,10 @@ mod tests {
 
     #[test]
     fn bad_sensitivity_and_origin_are_reported() {
-        assert!(compile_type_declarations("type t { fields { a: int }; sensitivity: extreme; }").is_err());
+        assert!(
+            compile_type_declarations("type t { fields { a: int }; sensitivity: extreme; }")
+                .is_err()
+        );
         assert!(compile_type_declarations("type t { fields { a: int }; origin: mars; }").is_err());
         assert!(compile_type_declarations("type t { fields { a: int }; age: weird; }").is_err());
     }

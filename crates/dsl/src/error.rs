@@ -80,15 +80,24 @@ mod tests {
     #[test]
     fn errors_display() {
         for e in [
-            DslError::UnexpectedCharacter { character: '#', line: 3 },
+            DslError::UnexpectedCharacter {
+                character: '#',
+                line: 3,
+            },
             DslError::UnexpectedToken {
                 found: "}".into(),
                 expected: "identifier".into(),
                 line: 9,
             },
-            DslError::UnexpectedEndOfInput { expected: "`}`".into() },
-            DslError::BadRetention { value: "1 fortnight".into() },
-            DslError::Core(CoreError::NotFound { what: "view".into() }),
+            DslError::UnexpectedEndOfInput {
+                expected: "`}`".into(),
+            },
+            DslError::BadRetention {
+                value: "1 fortnight".into(),
+            },
+            DslError::Core(CoreError::NotFound {
+                what: "view".into(),
+            }),
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -100,23 +100,38 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
                 }
             }
             '{' => {
-                tokens.push(Spanned { token: Token::LBrace, line });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    line,
+                });
                 chars.next();
             }
             '}' => {
-                tokens.push(Spanned { token: Token::RBrace, line });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    line,
+                });
                 chars.next();
             }
             ':' => {
-                tokens.push(Spanned { token: Token::Colon, line });
+                tokens.push(Spanned {
+                    token: Token::Colon,
+                    line,
+                });
                 chars.next();
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semicolon, line });
+                tokens.push(Spanned {
+                    token: Token::Semicolon,
+                    line,
+                });
                 chars.next();
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, line });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    line,
+                });
                 chars.next();
             }
             '"' => {
@@ -137,7 +152,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
                         }
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), line });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
                 let mut s = String::new();
@@ -149,7 +167,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
                         break;
                     }
                 }
-                tokens.push(Spanned { token: Token::Ident(s), line });
+                tokens.push(Spanned {
+                    token: Token::Ident(s),
+                    line,
+                });
             }
             other => {
                 return Err(DslError::UnexpectedCharacter {
@@ -183,7 +204,10 @@ mod tests {
         let src = "// header comment\ntype user {\n/* block\ncomment */\nname\n}";
         let tokens = tokenize(src).unwrap();
         assert_eq!(tokens[0].line, 2); // `type`
-        let name_token = tokens.iter().find(|s| s.token == Token::Ident("name".into())).unwrap();
+        let name_token = tokens
+            .iter()
+            .find(|s| s.token == Token::Ident("name".into()))
+            .unwrap();
         assert_eq!(name_token.line, 5);
     }
 

@@ -97,10 +97,7 @@ fn parse_type(cursor: &mut Cursor) -> Result<TypeDecl, DslError> {
         return Err(DslError::UnexpectedToken {
             found: keyword,
             expected: "the `type` keyword".to_owned(),
-            line: cursor
-                .peek()
-                .map(|s| s.line)
-                .unwrap_or_default(),
+            line: cursor.peek().map(|s| s.line).unwrap_or_default(),
         });
     }
     let mut decl = TypeDecl {
@@ -270,6 +267,8 @@ mod tests {
     #[test]
     fn empty_input_gives_no_declarations() {
         assert!(parse_type_declarations("").unwrap().is_empty());
-        assert!(parse_type_declarations("  // just a comment\n").unwrap().is_empty());
+        assert!(parse_type_declarations("  // just a comment\n")
+            .unwrap()
+            .is_empty());
     }
 }

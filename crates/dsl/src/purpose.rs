@@ -87,7 +87,10 @@ pub fn parse_purpose_declarations(input: &str) -> Result<Vec<PurposeDecl>, DslEr
             return Err(DslError::UnexpectedToken {
                 found: keyword,
                 expected: "the `purpose` keyword".to_owned(),
-                line: tokens.get(pos.saturating_sub(1)).map(|s| s.line).unwrap_or(1),
+                line: tokens
+                    .get(pos.saturating_sub(1))
+                    .map(|s| s.line)
+                    .unwrap_or(1),
             });
         }
         let mut decl = PurposeDecl {
@@ -114,9 +117,12 @@ pub fn parse_purpose_declarations(input: &str) -> Result<Vec<PurposeDecl>, DslEr
                         other => {
                             return Err(DslError::UnexpectedToken {
                                 found: other.to_owned(),
-                                expected:
-                                    "one of `description`, `input`, `view`, `output`".to_owned(),
-                                line: tokens.get(pos.saturating_sub(1)).map(|s| s.line).unwrap_or(1),
+                                expected: "one of `description`, `input`, `view`, `output`"
+                                    .to_owned(),
+                                line: tokens
+                                    .get(pos.saturating_sub(1))
+                                    .map(|s| s.line)
+                                    .unwrap_or(1),
                             })
                         }
                     }

@@ -189,12 +189,10 @@ impl<D: BlockDevice> FileFs<D> {
                 path: path.to_owned(),
             })?;
         let inode = self.inner.stat(ino)?;
-        if inode.kind == InodeKind::Directory {
-            if !self.inner.dir_entries(ino)?.is_empty() {
-                return Err(FsError::DirectoryNotEmpty {
-                    path: path.to_owned(),
-                });
-            }
+        if inode.kind == InodeKind::Directory && !self.inner.dir_entries(ino)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty {
+                path: path.to_owned(),
+            });
         }
         self.inner.dir_remove(dir, file_name[0])?;
         self.inner.free_inode(ino)?;
@@ -240,12 +238,12 @@ impl<D: BlockDevice> FileFs<D> {
     fn resolve_components(&self, components: &[&str]) -> Result<Ino, FsError> {
         let mut current = ROOT_INO;
         for component in components {
-            current = self
-                .inner
-                .dir_lookup(current, component)?
-                .ok_or_else(|| FsError::NotFound {
-                    path: components.join("/"),
-                })?;
+            current =
+                self.inner
+                    .dir_lookup(current, component)?
+                    .ok_or_else(|| FsError::NotFound {
+                        path: components.join("/"),
+                    })?;
         }
         Ok(current)
     }
@@ -300,7 +298,10 @@ mod tests {
         fs.create("/var/log/app/service.log").unwrap();
         fs.append("/var/log/app/service.log", b"line 1\n").unwrap();
         fs.append("/var/log/app/service.log", b"line 2\n").unwrap();
-        assert_eq!(fs.read("/var/log/app/service.log").unwrap(), b"line 1\nline 2\n");
+        assert_eq!(
+            fs.read("/var/log/app/service.log").unwrap(),
+            b"line 1\nline 2\n"
+        );
         assert!(fs.stat("/var/log").unwrap().is_directory);
         assert_eq!(fs.list("/var/log").unwrap(), vec!["app".to_string()]);
         assert_eq!(fs.list("/").unwrap(), vec!["var".to_string()]);
@@ -310,7 +311,10 @@ mod tests {
     fn duplicate_create_fails() {
         let fs = fs();
         fs.create("/a").unwrap();
-        assert!(matches!(fs.create("/a"), Err(FsError::AlreadyExists { .. })));
+        assert!(matches!(
+            fs.create("/a"),
+            Err(FsError::AlreadyExists { .. })
+        ));
     }
 
     #[test]
@@ -340,7 +344,10 @@ mod tests {
     fn directory_is_not_a_file() {
         let fs = fs();
         fs.create_dir("/d").unwrap();
-        assert!(matches!(fs.write("/d", b"x"), Err(FsError::NotAFile { .. })));
+        assert!(matches!(
+            fs.write("/d", b"x"),
+            Err(FsError::NotAFile { .. })
+        ));
         assert!(matches!(fs.read("/d"), Err(FsError::NotAFile { .. })));
     }
 

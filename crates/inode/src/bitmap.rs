@@ -82,7 +82,7 @@ impl Bitmap {
 
     /// Number of allocated items.
     pub fn count_set(&self) -> u64 {
-        self.bits.iter().map(|b| u64::from(b.count_ones())) .sum()
+        self.bits.iter().map(|b| u64::from(b.count_ones())).sum()
     }
 
     /// Serialises the bitmap bytes that belong to persisted block `block_index`

@@ -51,7 +51,10 @@ impl fmt::Display for InodeError {
         match self {
             InodeError::Device(e) => write!(f, "device error: {e}"),
             InodeError::DeviceTooSmall { needed, available } => {
-                write!(f, "device too small: need {needed} blocks, have {available}")
+                write!(
+                    f,
+                    "device too small: need {needed} blocks, have {available}"
+                )
             }
             InodeError::OutOfInodes => f.write_str("no free inode"),
             InodeError::OutOfSpace => f.write_str("no free data block"),
@@ -90,13 +93,23 @@ mod tests {
         assert!(e.to_string().contains("device"));
         assert!(e.source().is_some());
         for e in [
-            InodeError::DeviceTooSmall { needed: 10, available: 5 },
+            InodeError::DeviceTooSmall {
+                needed: 10,
+                available: 5,
+            },
             InodeError::OutOfInodes,
             InodeError::OutOfSpace,
             InodeError::BadInode { ino: 3 },
-            InodeError::Corrupt { what: "superblock".into() },
-            InodeError::Directory { reason: "duplicate".into() },
-            InodeError::FileTooLarge { requested: 10, max: 5 },
+            InodeError::Corrupt {
+                what: "superblock".into(),
+            },
+            InodeError::Directory {
+                reason: "duplicate".into(),
+            },
+            InodeError::FileTooLarge {
+                requested: 10,
+                max: 5,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -418,7 +418,8 @@ impl<D: BlockDevice> InodeFs<D> {
             let block_start = file_block * block_size;
             let copy_from = offset.max(block_start);
             let copy_to = end.min(block_start + block_size);
-            let mut content = if newly_allocated || (copy_from == block_start && copy_to == block_start + block_size)
+            let mut content = if newly_allocated
+                || (copy_from == block_start && copy_to == block_start + block_size)
             {
                 vec![0u8; block_size as usize]
             } else {
@@ -619,12 +620,13 @@ impl<D: BlockDevice> InodeFs<D> {
     /// Returns [`InodeError::Directory`] when the entry does not exist.
     pub fn dir_remove(&self, dir: Ino, name: &str) -> Result<Ino, InodeError> {
         let mut entries = self.dir_entries(dir)?;
-        let pos = entries
-            .iter()
-            .position(|(n, _)| n == name)
-            .ok_or_else(|| InodeError::Directory {
-                reason: format!("entry `{name}` does not exist"),
-            })?;
+        let pos =
+            entries
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| InodeError::Directory {
+                    reason: format!("entry `{name}` does not exist"),
+                })?;
         let (_, ino) = entries.remove(pos);
         self.write_replace(dir, &Self::encode_dir(&entries))?;
         Ok(ino)
@@ -664,8 +666,8 @@ impl<D: BlockDevice> InodeFs<D> {
             if data.len() < off + name_len + 8 {
                 return Err(corrupt());
             }
-            let name = String::from_utf8(data[off..off + name_len].to_vec())
-                .map_err(|_| corrupt())?;
+            let name =
+                String::from_utf8(data[off..off + name_len].to_vec()).map_err(|_| corrupt())?;
             off += name_len;
             let ino = u64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
             off += 8;
@@ -770,7 +772,12 @@ impl<D: BlockDevice> InodeFs<D> {
         out
     }
 
-    fn file_block_ptr(&self, inode: &Inode, indirect_table: &[u64], file_block: u64) -> Option<u64> {
+    fn file_block_ptr(
+        &self,
+        inode: &Inode,
+        indirect_table: &[u64],
+        file_block: u64,
+    ) -> Option<u64> {
         let ptr = if (file_block as usize) < DIRECT_POINTERS {
             inode.direct[file_block as usize]
         } else {
@@ -842,7 +849,8 @@ impl<D: BlockDevice> InodeFs<D> {
             if state.superblock.journal_mode == JournalMode::Scrub {
                 let zero = vec![0u8; block_size];
                 for b in pos..pos + needed {
-                    self.device.write_block(self.layout.journal_start + b, &zero)?;
+                    self.device
+                        .write_block(self.layout.journal_start + b, &zero)?;
                 }
             }
             self.device.flush()?;
@@ -1044,8 +1052,12 @@ mod tests {
         let device = Arc::new(MemDevice::new(512, 256));
         let ino;
         {
-            let fs = InodeFs::format(Arc::clone(&device), FormatParams::small(), JournalMode::Retain)
-                .unwrap();
+            let fs = InodeFs::format(
+                Arc::clone(&device),
+                FormatParams::small(),
+                JournalMode::Retain,
+            )
+            .unwrap();
             ino = fs.alloc_inode(InodeKind::File).unwrap();
             fs.write(ino, 0, b"persistent bytes").unwrap();
             fs.dir_add(ROOT_INO, "file", ino).unwrap();
@@ -1068,8 +1080,12 @@ mod tests {
     #[test]
     fn journal_retain_leaves_deleted_data_on_device() {
         let device = Arc::new(MemDevice::new(512, 256));
-        let fs = InodeFs::format(Arc::clone(&device), FormatParams::small(), JournalMode::Retain)
-            .unwrap();
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
         let ino = fs.alloc_inode(InodeKind::File).unwrap();
         fs.write(ino, 0, b"SENSITIVE-SSN-1-23-45").unwrap();
         fs.free_inode(ino).unwrap();
@@ -1102,8 +1118,12 @@ mod tests {
         // mounting it.  Whatever the prefix, mount must succeed and the
         // filesystem must be consistent (root directory readable).
         let reference = Arc::new(MemDevice::new(512, 256));
-        let fs = InodeFs::format(Arc::clone(&reference), FormatParams::small(), JournalMode::Retain)
-            .unwrap();
+        let fs = InodeFs::format(
+            Arc::clone(&reference),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
         let ino = fs.alloc_inode(InodeKind::File).unwrap();
         fs.write(ino, 0, &[0x5A; 700]).unwrap();
         fs.dir_add(ROOT_INO, "f", ino).unwrap();
@@ -1111,12 +1131,9 @@ mod tests {
         // The faulty device crashes after a limited number of writes.
         for crash_after in [1u64, 3, 5, 8, 13, 21] {
             let twin = Arc::new(MemDevice::new(512, 256));
-            let faulty = FaultyDevice::new(Arc::clone(&twin), FaultPlan::CrashAfterWrites(crash_after));
-            let fs2 = InodeFs::format(
-                faulty,
-                FormatParams::small(),
-                JournalMode::Retain,
-            );
+            let faulty =
+                FaultyDevice::new(Arc::clone(&twin), FaultPlan::CrashAfterWrites(crash_after));
+            let fs2 = InodeFs::format(faulty, FormatParams::small(), JournalMode::Retain);
             // Format itself may crash for small limits; that is fine — the
             // device is then unformatted and unmountable, which is a
             // legitimate outcome of crashing during mkfs.
@@ -1140,8 +1157,12 @@ mod tests {
         // Build a committed-but-unapplied transaction by hand: write the
         // journal records directly, leave the target block stale, then mount.
         let device = Arc::new(MemDevice::new(512, 256));
-        let fs = InodeFs::format(Arc::clone(&device), FormatParams::small(), JournalMode::Retain)
-            .unwrap();
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
         let ino = fs.alloc_inode(InodeKind::File).unwrap();
         fs.write(ino, 0, b"old-contents!").unwrap();
         let inode = fs.stat(ino).unwrap();
@@ -1227,7 +1248,8 @@ mod tests {
         let ino = fs.alloc_inode(InodeKind::File).unwrap();
         // Each write journals several blocks; loop enough to wrap many times.
         for round in 0..50u64 {
-            fs.write(ino, (round % 4) * 256, &[round as u8; 256]).unwrap();
+            fs.write(ino, (round % 4) * 256, &[round as u8; 256])
+                .unwrap();
         }
         assert_eq!(fs.stat(ino).unwrap().size, 1024);
         // Remount and verify data still reads back.

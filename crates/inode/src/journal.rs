@@ -115,8 +115,7 @@ pub fn encode_commit(tx_id: u64, block_size: usize) -> Vec<u8> {
 /// Returns [`InodeError::Corrupt`] when the block is not a valid commit
 /// record.
 pub fn decode_commit(buf: &[u8]) -> Result<u64, InodeError> {
-    if buf.len() < 16
-        || u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) != COMMIT_MAGIC
+    if buf.len() < 16 || u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")) != COMMIT_MAGIC
     {
         return Err(InodeError::Corrupt {
             what: "journal commit block invalid".to_owned(),

@@ -149,7 +149,10 @@ mod tests {
             layout.journal_start,
             layout.inode_table_start + layout.inode_table_blocks
         );
-        assert_eq!(layout.data_start, layout.journal_start + layout.journal_blocks);
+        assert_eq!(
+            layout.data_start,
+            layout.journal_start + layout.journal_blocks
+        );
         assert_eq!(layout.data_blocks, 1024 - layout.data_start);
         assert!(layout.data_blocks > 0);
     }

@@ -89,8 +89,8 @@ impl Superblock {
             return Err(corrupt("unsupported format version"));
         }
         let mode_raw = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
-        let journal_mode = JournalMode::from_raw(mode_raw)
-            .ok_or_else(|| corrupt("unknown journal mode"))?;
+        let journal_mode =
+            JournalMode::from_raw(mode_raw).ok_or_else(|| corrupt("unknown journal mode"))?;
         Ok(Self {
             journal_mode,
             inode_count: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),

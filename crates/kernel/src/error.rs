@@ -87,10 +87,18 @@ mod tests {
                 object: ObjectClass::DbfsStorage,
                 operation: Operation::Read,
             },
-            KernelError::UnknownKernel { kernel: KernelId::new(4) },
-            KernelError::UnknownTask { task: TaskId::new(4) },
-            KernelError::ResourceExhausted { what: "cpus".into() },
-            KernelError::InvalidConfiguration { reason: "no cpu".into() },
+            KernelError::UnknownKernel {
+                kernel: KernelId::new(4),
+            },
+            KernelError::UnknownTask {
+                task: TaskId::new(4),
+            },
+            KernelError::ResourceExhausted {
+                what: "cpus".into(),
+            },
+            KernelError::InvalidConfiguration {
+                reason: "no cpu".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
             let _: &dyn StdError = &e;

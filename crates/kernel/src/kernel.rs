@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn kinds_and_tcb() {
         assert!(KernelKind::Rgpd.in_trusted_computing_base());
-        assert!(KernelKind::IoDriver { device: "nvme0".into() }.in_trusted_computing_base());
+        assert!(KernelKind::IoDriver {
+            device: "nvme0".into()
+        }
+        .in_trusted_computing_base());
         assert!(!KernelKind::GeneralPurpose.in_trusted_computing_base());
     }
 
@@ -90,9 +93,19 @@ mod tests {
         assert_eq!(k.id(), KernelId::new(2));
         assert!(k.hosts_personal_data());
         assert!(k.to_string().contains("rgpdos"));
-        let io = SubKernel::new(KernelId::new(0), KernelKind::IoDriver { device: "nvme0".into() });
+        let io = SubKernel::new(
+            KernelId::new(0),
+            KernelKind::IoDriver {
+                device: "nvme0".into(),
+            },
+        );
         assert!(!io.hosts_personal_data());
-        assert_eq!(io.kind(), &KernelKind::IoDriver { device: "nvme0".into() });
+        assert_eq!(
+            io.kind(),
+            &KernelKind::IoDriver {
+                device: "nvme0".into()
+            }
+        );
         assert!(io.to_string().contains("nvme0"));
     }
 }

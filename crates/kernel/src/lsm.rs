@@ -154,9 +154,11 @@ impl LsmPolicy {
         }
         match (context, object, operation) {
             // Rule (4): only the DED (and the built-ins it hosts) touches DBFS.
-            (SecurityContext::DedProcessing | SecurityContext::RgpdBuiltin, ObjectClass::DbfsStorage, _) => {
-                Allowed
-            }
+            (
+                SecurityContext::DedProcessing | SecurityContext::RgpdBuiltin,
+                ObjectClass::DbfsStorage,
+                _,
+            ) => Allowed,
             (_, ObjectClass::DbfsStorage, _) => Denied,
             // Rules (1) and (2): the PS is the only component able to access
             // stored processings and the only entry point to invoke one.
@@ -242,13 +244,25 @@ mod tests {
     fn raw_devices_belong_to_io_driver_kernels() {
         let policy = LsmPolicy::rgpdos();
         assert!(policy
-            .check(SecurityContext::IoDriver, ObjectClass::RawDevice, Operation::Write)
+            .check(
+                SecurityContext::IoDriver,
+                ObjectClass::RawDevice,
+                Operation::Write
+            )
             .is_allowed());
         assert!(!policy
-            .check(SecurityContext::Application, ObjectClass::RawDevice, Operation::Read)
+            .check(
+                SecurityContext::Application,
+                ObjectClass::RawDevice,
+                Operation::Read
+            )
             .is_allowed());
         assert!(!policy
-            .check(SecurityContext::ExternalProcess, ObjectClass::RawDevice, Operation::Read)
+            .check(
+                SecurityContext::ExternalProcess,
+                ObjectClass::RawDevice,
+                Operation::Read
+            )
             .is_allowed());
     }
 
@@ -256,13 +270,25 @@ mod tests {
     fn npd_filesystem_is_shared() {
         let policy = LsmPolicy::rgpdos();
         assert!(policy
-            .check(SecurityContext::Application, ObjectClass::NpdFilesystem, Operation::Write)
+            .check(
+                SecurityContext::Application,
+                ObjectClass::NpdFilesystem,
+                Operation::Write
+            )
             .is_allowed());
         assert!(policy
-            .check(SecurityContext::DedProcessing, ObjectClass::NpdFilesystem, Operation::Read)
+            .check(
+                SecurityContext::DedProcessing,
+                ObjectClass::NpdFilesystem,
+                Operation::Read
+            )
             .is_allowed());
         assert!(!policy
-            .check(SecurityContext::ExternalProcess, ObjectClass::NpdFilesystem, Operation::Write)
+            .check(
+                SecurityContext::ExternalProcess,
+                ObjectClass::NpdFilesystem,
+                Operation::Write
+            )
             .is_allowed());
     }
 
@@ -270,13 +296,25 @@ mod tests {
     fn audit_log_is_protected() {
         let policy = LsmPolicy::rgpdos();
         assert!(policy
-            .check(SecurityContext::DedProcessing, ObjectClass::AuditLog, Operation::Write)
+            .check(
+                SecurityContext::DedProcessing,
+                ObjectClass::AuditLog,
+                Operation::Write
+            )
             .is_allowed());
         assert!(policy
-            .check(SecurityContext::Application, ObjectClass::AuditLog, Operation::Read)
+            .check(
+                SecurityContext::Application,
+                ObjectClass::AuditLog,
+                Operation::Read
+            )
             .is_allowed());
         assert!(!policy
-            .check(SecurityContext::Application, ObjectClass::AuditLog, Operation::Write)
+            .check(
+                SecurityContext::Application,
+                ObjectClass::AuditLog,
+                Operation::Write
+            )
             .is_allowed());
     }
 
@@ -287,13 +325,25 @@ mod tests {
         let policy = LsmPolicy::conventional();
         assert!(!policy.is_strict());
         assert!(policy
-            .check(SecurityContext::Application, ObjectClass::DbfsStorage, Operation::Read)
+            .check(
+                SecurityContext::Application,
+                ObjectClass::DbfsStorage,
+                Operation::Read
+            )
             .is_allowed());
         assert!(policy
-            .check(SecurityContext::ExternalProcess, ObjectClass::NpdFilesystem, Operation::Read)
+            .check(
+                SecurityContext::ExternalProcess,
+                ObjectClass::NpdFilesystem,
+                Operation::Read
+            )
             .is_allowed());
         assert!(!policy
-            .check(SecurityContext::ExternalProcess, ObjectClass::RawDevice, Operation::Write)
+            .check(
+                SecurityContext::ExternalProcess,
+                ObjectClass::RawDevice,
+                Operation::Write
+            )
             .is_allowed());
     }
 

@@ -71,10 +71,7 @@ impl MachineBuilder {
         let kernel_count = self.io_devices.len() as u32 + 2;
         if self.cpus < kernel_count {
             return Err(KernelError::InvalidConfiguration {
-                reason: format!(
-                    "{} cpus cannot host {kernel_count} sub-kernels",
-                    self.cpus
-                ),
+                reason: format!("{} cpus cannot host {kernel_count} sub-kernels", self.cpus),
             });
         }
         if self.memory_mb < u64::from(kernel_count) * 64 {
@@ -279,7 +276,9 @@ impl Machine {
     /// Returns [`KernelError::UnknownTask`] for unknown tasks.
     pub fn terminate_task(&self, id: TaskId) -> Result<(), KernelError> {
         let mut tasks = self.tasks.lock();
-        let task = tasks.get_mut(&id).ok_or(KernelError::UnknownTask { task: id })?;
+        let task = tasks
+            .get_mut(&id)
+            .ok_or(KernelError::UnknownTask { task: id })?;
         task.set_state(TaskState::Terminated);
         Ok(())
     }
@@ -292,7 +291,11 @@ impl Machine {
     /// Returns [`KernelError::SyscallDenied`] when the filter blocks the call
     /// and [`KernelError::UnknownTask`] for unknown tasks.  Denials are also
     /// recorded in the audit log as blocked violations.
-    pub fn syscall(&self, task_id: TaskId, syscall: Syscall) -> Result<SyscallOutcome, KernelError> {
+    pub fn syscall(
+        &self,
+        task_id: TaskId,
+        syscall: Syscall,
+    ) -> Result<SyscallOutcome, KernelError> {
         let mut tasks = self.tasks.lock();
         let task = tasks
             .get_mut(&task_id)
@@ -455,7 +458,8 @@ mod tests {
     fn rebalancing_moves_resources() {
         let m = machine();
         let before = m.resources_of(m.rgpd_kernel());
-        m.rebalance(m.general_kernel(), m.rgpd_kernel(), 1, 128).unwrap();
+        m.rebalance(m.general_kernel(), m.rgpd_kernel(), 1, 128)
+            .unwrap();
         let after = m.resources_of(m.rgpd_kernel());
         assert_eq!(after.cpus, before.cpus + 1);
         assert_eq!(after.memory_mb, before.memory_mb + 128);
@@ -503,10 +507,11 @@ mod tests {
         assert!(m.syscall(app, Syscall::NetworkSend { bytes: 10 }).is_ok());
         assert!(m.syscall(app, Syscall::DbfsAccess).is_err());
         // Denials are audited and counted.
-        assert!(m.audit().count_matching(|e| matches!(
-            &e.kind,
-            AuditEventKind::ViolationBlocked { .. }
-        )) >= 2);
+        assert!(
+            m.audit()
+                .count_matching(|e| matches!(&e.kind, AuditEventKind::ViolationBlocked { .. }))
+                >= 2
+        );
         assert_eq!(m.task(fpd).unwrap().denied_syscalls(), 1);
         assert!(matches!(
             m.syscall(TaskId::new(999), Syscall::ClockRead),
@@ -554,7 +559,9 @@ mod tests {
         assert_eq!(msg.from, m.general_kernel());
         assert_eq!(msg.payload, b"invoke");
         assert!(m.receive_message(m.rgpd_kernel()).unwrap().is_none());
-        assert!(m.send_message(m.rgpd_kernel(), KernelId::new(50), vec![]).is_err());
+        assert!(m
+            .send_message(m.rgpd_kernel(), KernelId::new(50), vec![])
+            .is_err());
         assert!(m.receive_message(KernelId::new(50)).is_err());
     }
 }

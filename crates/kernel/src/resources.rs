@@ -155,7 +155,13 @@ mod tests {
         p.grant(k0, 4, 512).unwrap();
         p.grant(k1, 2, 256).unwrap();
         assert_eq!(p.assignment(k0).cpus, 4);
-        assert_eq!(p.free(), ResourceAssignment { cpus: 2, memory_mb: 256 });
+        assert_eq!(
+            p.free(),
+            ResourceAssignment {
+                cpus: 2,
+                memory_mb: 256
+            }
+        );
         assert_eq!(p.assigned().memory_mb, 768);
         p.release(k0, 1, 0);
         assert_eq!(p.assignment(k0).cpus, 3);
@@ -180,7 +186,13 @@ mod tests {
         p.grant(k, 2, 50).unwrap();
         let after = p.release(k, 10, 500);
         assert_eq!(after, ResourceAssignment::default());
-        assert_eq!(p.free(), ResourceAssignment { cpus: 4, memory_mb: 100 });
+        assert_eq!(
+            p.free(),
+            ResourceAssignment {
+                cpus: 4,
+                memory_mb: 100
+            }
+        );
     }
 
     #[test]
@@ -192,8 +204,20 @@ mod tests {
         p.grant(rgpd, 2, 200).unwrap();
         // A burst of GDPR processing: shift capacity to rgpdOS.
         p.transfer(general, rgpd, 3, 300).unwrap();
-        assert_eq!(p.assignment(rgpd), ResourceAssignment { cpus: 5, memory_mb: 500 });
-        assert_eq!(p.assignment(general), ResourceAssignment { cpus: 3, memory_mb: 300 });
+        assert_eq!(
+            p.assignment(rgpd),
+            ResourceAssignment {
+                cpus: 5,
+                memory_mb: 500
+            }
+        );
+        assert_eq!(
+            p.assignment(general),
+            ResourceAssignment {
+                cpus: 3,
+                memory_mb: 300
+            }
+        );
         // Cannot transfer more than the source owns.
         assert!(p.transfer(general, rgpd, 10, 0).is_err());
     }
@@ -201,7 +225,11 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            ResourceAssignment { cpus: 2, memory_mb: 64 }.to_string(),
+            ResourceAssignment {
+                cpus: 2,
+                memory_mb: 64
+            }
+            .to_string(),
             "2 cpus, 64 MiB"
         );
     }

@@ -66,9 +66,9 @@ impl SyscallFilter {
                 // by e.g. `compute_age`, Listing 2).
                 ["clock_read"].into_iter().collect()
             }
-            SeccompProfile::RgpdComponent => {
-                ["dbfs_access", "clock_read", "file_read"].into_iter().collect()
-            }
+            SeccompProfile::RgpdComponent => ["dbfs_access", "clock_read", "file_read"]
+                .into_iter()
+                .collect(),
             SeccompProfile::IoDriver => ["clock_read"].into_iter().collect(),
         };
         Self { profile, allowed }
@@ -98,7 +98,10 @@ mod tests {
     fn fpd_profile_blocks_every_exfiltration_channel() {
         let filter = SyscallFilter::for_profile(SeccompProfile::FpdProcessing);
         let leaky = [
-            Syscall::FileWrite { path: "/tmp/leak".into(), bytes: 128 },
+            Syscall::FileWrite {
+                path: "/tmp/leak".into(),
+                bytes: 128,
+            },
             Syscall::NetworkSend { bytes: 128 },
             Syscall::Spawn,
             Syscall::ShareMemory { bytes: 4096 },
@@ -109,7 +112,9 @@ mod tests {
         assert!(filter.allows(&Syscall::ClockRead));
         // Even reads of the NPD filesystem and direct DBFS access are blocked:
         // the DED hands data in, the processing never fetches it itself.
-        assert!(!filter.allows(&Syscall::FileRead { path: "/etc/passwd".into() }));
+        assert!(!filter.allows(&Syscall::FileRead {
+            path: "/etc/passwd".into()
+        }));
         assert!(!filter.allows(&Syscall::DbfsAccess));
     }
 

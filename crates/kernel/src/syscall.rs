@@ -103,11 +103,18 @@ mod tests {
     fn exfiltration_classification_matches_the_paper() {
         // The paper: "F_pd functions are forbidden to make syscalls that
         // could leak PD (e.g. write)".
-        assert!(Syscall::FileWrite { path: "/tmp/x".into(), bytes: 1 }.is_exfiltration_channel());
+        assert!(Syscall::FileWrite {
+            path: "/tmp/x".into(),
+            bytes: 1
+        }
+        .is_exfiltration_channel());
         assert!(Syscall::NetworkSend { bytes: 1 }.is_exfiltration_channel());
         assert!(Syscall::Spawn.is_exfiltration_channel());
         assert!(Syscall::ShareMemory { bytes: 1 }.is_exfiltration_channel());
-        assert!(!Syscall::FileRead { path: "/tmp/x".into() }.is_exfiltration_channel());
+        assert!(!Syscall::FileRead {
+            path: "/tmp/x".into()
+        }
+        .is_exfiltration_channel());
         assert!(!Syscall::ClockRead.is_exfiltration_channel());
         assert!(!Syscall::DbfsAccess.is_exfiltration_channel());
     }

@@ -141,11 +141,23 @@ mod tests {
 
     #[test]
     fn context_selects_profile() {
-        let t = Task::new(TaskId::new(1), KernelId::new(0), SecurityContext::DedProcessing);
+        let t = Task::new(
+            TaskId::new(1),
+            KernelId::new(0),
+            SecurityContext::DedProcessing,
+        );
         assert_eq!(t.profile(), SeccompProfile::FpdProcessing);
-        let t = Task::new(TaskId::new(2), KernelId::new(0), SecurityContext::Application);
+        let t = Task::new(
+            TaskId::new(2),
+            KernelId::new(0),
+            SecurityContext::Application,
+        );
         assert_eq!(t.profile(), SeccompProfile::Unrestricted);
-        let t = Task::new(TaskId::new(3), KernelId::new(0), SecurityContext::ProcessingStore);
+        let t = Task::new(
+            TaskId::new(3),
+            KernelId::new(0),
+            SecurityContext::ProcessingStore,
+        );
         assert_eq!(t.profile(), SeccompProfile::RgpdComponent);
         let t = Task::new(TaskId::new(4), KernelId::new(1), SecurityContext::IoDriver);
         assert_eq!(t.profile(), SeccompProfile::IoDriver);
@@ -153,7 +165,11 @@ mod tests {
 
     #[test]
     fn counters_and_state() {
-        let mut t = Task::new(TaskId::new(1), KernelId::new(0), SecurityContext::Application);
+        let mut t = Task::new(
+            TaskId::new(1),
+            KernelId::new(0),
+            SecurityContext::Application,
+        );
         assert_eq!(t.state(), TaskState::Ready);
         t.set_state(TaskState::Running);
         t.record_syscall("file_read");

@@ -77,15 +77,24 @@ mod tests {
     fn errors_display() {
         for e in [
             PsError::MissingPurpose { name: "f".into() },
-            PsError::Dsl(DslError::UnexpectedEndOfInput { expected: "x".into() }),
-            PsError::UnknownProcessing { id: ProcessingId::new(1) },
-            PsError::NotApproved { id: ProcessingId::new(1), status: "pending".into() },
+            PsError::Dsl(DslError::UnexpectedEndOfInput {
+                expected: "x".into(),
+            }),
+            PsError::UnknownProcessing {
+                id: ProcessingId::new(1),
+            },
+            PsError::NotApproved {
+                id: ProcessingId::new(1),
+                status: "pending".into(),
+            },
             PsError::DuplicateName { name: "f".into() },
         ] {
             assert!(!e.to_string().is_empty());
         }
-        assert!(PsError::Dsl(DslError::UnexpectedEndOfInput { expected: "x".into() })
-            .source()
-            .is_some());
+        assert!(PsError::Dsl(DslError::UnexpectedEndOfInput {
+            expected: "x".into()
+        })
+        .source()
+        .is_some());
     }
 }

@@ -181,7 +181,11 @@ mod tests {
             .function(noop())
             .build();
         let report = match_purpose(&spec);
-        assert!(report.is_clean(), "unexpected mismatches: {:?}", report.mismatches);
+        assert!(
+            report.is_clean(),
+            "unexpected mismatches: {:?}",
+            report.mismatches
+        );
         assert!(report.alerts().is_empty());
     }
 
@@ -227,7 +231,7 @@ mod tests {
         let kinds: Vec<_> = report
             .mismatches
             .iter()
-            .map(|m| std::mem::discriminant(m))
+            .map(std::mem::discriminant)
             .collect();
         assert_eq!(report.mismatches.len(), 3);
         assert_eq!(kinds.len(), 3);

@@ -93,7 +93,10 @@ impl fmt::Debug for ProcessingSpec {
 
 impl ProcessingSpec {
     /// Starts building a spec for a processing reading `input_type`.
-    pub fn builder(name: impl Into<String>, input_type: impl Into<DataTypeId>) -> ProcessingSpecBuilder {
+    pub fn builder(
+        name: impl Into<String>,
+        input_type: impl Into<DataTypeId>,
+    ) -> ProcessingSpecBuilder {
         ProcessingSpecBuilder {
             name: name.into(),
             input_type: input_type.into(),
@@ -263,7 +266,9 @@ mod tests {
             .function(noop())
             .build();
         assert_eq!(spec.claimed_purpose(), Some(PurposeId::from("marketing")));
-        let spec = ProcessingSpec::builder("orphan", "user").function(noop()).build();
+        let spec = ProcessingSpec::builder("orphan", "user")
+            .function(noop())
+            .build();
         assert_eq!(spec.claimed_purpose(), None);
     }
 
@@ -283,7 +288,10 @@ mod tests {
     #[test]
     fn statuses_display() {
         assert_eq!(RegistrationStatus::Approved.to_string(), "approved");
-        assert_eq!(RegistrationStatus::PendingApproval.to_string(), "pending-approval");
+        assert_eq!(
+            RegistrationStatus::PendingApproval.to_string(),
+            "pending-approval"
+        );
         assert_eq!(RegistrationStatus::Rejected.to_string(), "rejected");
     }
 

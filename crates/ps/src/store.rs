@@ -70,11 +70,7 @@ impl ProcessingStore {
             });
         };
         let mut inner = self.inner.write();
-        if inner
-            .processings
-            .values()
-            .any(|p| p.spec.name == spec.name)
-        {
+        if inner.processings.values().any(|p| p.spec.name == spec.name) {
             return Err(PsError::DuplicateName {
                 name: spec.name.clone(),
             });

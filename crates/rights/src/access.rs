@@ -159,13 +159,12 @@ impl SubjectAccessPackage {
 mod tests {
     use super::*;
     use rgpdos_core::schema::listing1_user_schema;
-    use rgpdos_core::{
-        AuditLog, DataTypeId, Membrane, PdId, ProcessingId, PurposeId, WrappedPd,
-    };
+    use rgpdos_core::{AuditLog, DataTypeId, Membrane, PdId, ProcessingId, PurposeId, WrappedPd};
 
     fn record(id: u64, subject: u64) -> PdRecord {
         let schema = listing1_user_schema();
-        let membrane = Membrane::from_schema(&schema, SubjectId::new(subject), Timestamp::from_secs(5));
+        let membrane =
+            Membrane::from_schema(&schema, SubjectId::new(subject), Timestamp::from_secs(5));
         PdRecord::new(
             PdId::new(id),
             DataTypeId::from("user"),

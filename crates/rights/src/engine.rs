@@ -239,9 +239,12 @@ mod tests {
     fn right_of_access_returns_structured_export() {
         let (engine, _) = engine();
         let dbfs = engine.dbfs();
-        dbfs.collect("user", SubjectId::new(1), user_row("Chiraz", 1990)).unwrap();
-        dbfs.collect("user", SubjectId::new(1), user_row("Chiraz2", 1991)).unwrap();
-        dbfs.collect("user", SubjectId::new(2), user_row("Other", 1970)).unwrap();
+        dbfs.collect("user", SubjectId::new(1), user_row("Chiraz", 1990))
+            .unwrap();
+        dbfs.collect("user", SubjectId::new(1), user_row("Chiraz2", 1991))
+            .unwrap();
+        dbfs.collect("user", SubjectId::new(2), user_row("Other", 1970))
+            .unwrap();
 
         let package = engine.right_of_access(SubjectId::new(1)).unwrap();
         assert_eq!(package.subject, 1);
@@ -309,7 +312,12 @@ mod tests {
             .right_to_rectification(&"user".into(), id, user_row("Right", 1990))
             .unwrap();
         assert_eq!(
-            dbfs.get(&"user".into(), id).unwrap().row().get("name").unwrap().as_text(),
+            dbfs.get(&"user".into(), id)
+                .unwrap()
+                .row()
+                .get("name")
+                .unwrap()
+                .as_text(),
             Some("Right")
         );
         // Schema violations are propagated.
@@ -336,15 +344,23 @@ mod tests {
             1
         );
         assert_eq!(
-            dbfs.get(&"user".into(), id).unwrap().membrane().permits(&purpose),
+            dbfs.get(&"user".into(), id)
+                .unwrap()
+                .membrane()
+                .permits(&purpose),
             AccessDecision::Full
         );
         assert_eq!(
-            engine.withdraw_consent(SubjectId::new(3), &purpose).unwrap(),
+            engine
+                .withdraw_consent(SubjectId::new(3), &purpose)
+                .unwrap(),
             1
         );
         assert_eq!(
-            dbfs.get(&"user".into(), id).unwrap().membrane().permits(&purpose),
+            dbfs.get(&"user".into(), id)
+                .unwrap()
+                .membrane()
+                .permits(&purpose),
             AccessDecision::Denied
         );
     }
@@ -353,7 +369,8 @@ mod tests {
     fn retention_enforcement() {
         let (engine, _) = engine();
         let dbfs = engine.dbfs();
-        dbfs.collect("user", SubjectId::new(4), user_row("Old", 1950)).unwrap();
+        dbfs.collect("user", SubjectId::new(4), user_row("Old", 1950))
+            .unwrap();
         assert!(engine.enforce_retention().unwrap().is_empty());
         dbfs.clock().advance(Duration::from_days(400));
         assert_eq!(engine.enforce_retention().unwrap().len(), 1);

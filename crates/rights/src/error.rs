@@ -55,8 +55,16 @@ mod tests {
 
     #[test]
     fn errors_display_and_source() {
-        assert!(RightsError::from(DbfsError::UnknownPd { id: 1 }).source().is_some());
-        assert!(!RightsError::UnknownSubject { subject: 3 }.to_string().is_empty());
-        assert!(!RightsError::Export { reason: "oops".into() }.to_string().is_empty());
+        assert!(RightsError::from(DbfsError::UnknownPd { id: 1 })
+            .source()
+            .is_some());
+        assert!(!RightsError::UnknownSubject { subject: 3 }
+            .to_string()
+            .is_empty());
+        assert!(!RightsError::Export {
+            reason: "oops".into()
+        }
+        .to_string()
+        .is_empty());
     }
 }

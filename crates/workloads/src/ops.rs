@@ -138,7 +138,10 @@ impl WorkloadMix {
     /// Panics if every weight is zero.
     pub fn generate(&self, count: usize, seed: u64) -> Vec<OperationKind> {
         let total = self.total_weight();
-        assert!(total > 0, "a workload mix needs at least one positive weight");
+        assert!(
+            total > 0,
+            "a workload mix needs at least one positive weight"
+        );
         let weights = self.weights();
         let mut rng = StdRng::seed_from_u64(seed);
         (0..count)

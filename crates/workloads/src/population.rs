@@ -45,7 +45,10 @@ impl PopulationGenerator {
     /// Panics unless `0.0 <= rate <= 1.0`.
     #[must_use]
     pub fn with_consent_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "consent rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "consent rate must be a probability"
+        );
         self.consent_rate = rate;
         self
     }
@@ -57,7 +60,10 @@ impl PopulationGenerator {
     /// Panics unless `0.0 <= rate <= 1.0`.
     #[must_use]
     pub fn with_restricted_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "restricted rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "restricted rate must be a probability"
+        );
         self.restricted_rate = rate;
         self
     }
@@ -70,8 +76,18 @@ impl PopulationGenerator {
             "Amina", "Pierre", "Lucie", "Karim",
         ];
         let last_names = [
-            "Benamor", "Tchana", "Colin", "Le Berre", "Berger", "Combemale", "Crooks", "Pailler",
-            "Diallo", "Martin", "Nguyen", "Garcia",
+            "Benamor",
+            "Tchana",
+            "Colin",
+            "Le Berre",
+            "Berger",
+            "Combemale",
+            "Crooks",
+            "Pailler",
+            "Diallo",
+            "Martin",
+            "Nguyen",
+            "Garcia",
         ];
         (0..count)
             .map(|i| {
@@ -142,12 +158,17 @@ mod tests {
             .count() as f64
             / 2_000.0;
         assert!((full - 0.5).abs() < 0.05, "full consent rate {full}");
-        assert!((restricted - 0.2).abs() < 0.05, "restricted rate {restricted}");
+        assert!(
+            (restricted - 0.2).abs() < 0.05,
+            "restricted rate {restricted}"
+        );
     }
 
     #[test]
     fn zero_and_full_consent_rates() {
-        let none = PopulationGenerator::new(2).with_consent_rate(0.0).with_restricted_rate(0.0);
+        let none = PopulationGenerator::new(2)
+            .with_consent_rate(0.0)
+            .with_restricted_rate(0.0);
         assert!(none
             .generate(100)
             .iter()

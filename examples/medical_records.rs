@@ -57,7 +57,10 @@ fn baseline_run() -> Result<(), Box<dyn Error>> {
 
 fn rgpdos_run() -> Result<(), Box<dyn Error>> {
     println!("=== rgpdOS: enforcement by the operating system ===");
-    let os = RgpdOs::builder().device_blocks(16_384).block_size(512).boot()?;
+    let os = RgpdOs::builder()
+        .device_blocks(16_384)
+        .block_size(512)
+        .boot()?;
     os.install_types(
         "type radiology {
             fields { patient: string, image: bytes };
@@ -83,9 +86,11 @@ fn rgpdos_run() -> Result<(), Box<dyn Error>> {
             .source("/* public_website */ fn publish_images() {}")
             .purpose_name("public_website")
             .function(Arc::new(|row| {
-                Ok(ProcessingOutput::Value(row.get("patient").cloned().unwrap_or(
-                    FieldValue::Text("<nothing visible>".into()),
-                )))
+                Ok(ProcessingOutput::Value(
+                    row.get("patient")
+                        .cloned()
+                        .unwrap_or(FieldValue::Text("<nothing visible>".into())),
+                ))
             }))
             .build(),
     )?;
@@ -100,15 +105,24 @@ fn rgpdos_run() -> Result<(), Box<dyn Error>> {
     let machine = os.machine();
     let app_task = machine.spawn_task(machine.general_kernel(), SecurityContext::Application)?;
     let lsm_block = machine.mediated_access(app_task, ObjectClass::DbfsStorage, Operation::Read);
-    println!("application direct DBFS read blocked by LSM: {}", lsm_block.is_err());
+    println!(
+        "application direct DBFS read blocked by LSM: {}",
+        lsm_block.is_err()
+    );
     let ded_task = machine.spawn_task(machine.rgpd_kernel(), SecurityContext::DedProcessing)?;
     let seccomp_block = machine.syscall(ded_task, Syscall::NetworkSend { bytes: 4096 });
-    println!("F_pd network send blocked by seccomp: {}", seccomp_block.is_err());
+    println!(
+        "F_pd network send blocked by seccomp: {}",
+        seccomp_block.is_err()
+    );
 
     // Right to be forgotten: crypto-erasure, no residue, authority can recover.
     os.right_to_be_forgotten(SubjectId::new(1))?;
     let residue = scan_for_pattern(os.device().inner(), MEDICAL_IMAGE)?;
-    println!("after erasure, raw-device scan finds {} occurrence(s)", residue.len());
+    println!(
+        "after erasure, raw-device scan finds {} occurrence(s)",
+        residue.len()
+    );
 
     let tombstones = os
         .dbfs()

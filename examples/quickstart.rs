@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // Boot an rgpdOS instance (purpose-kernel machine + DBFS + PS + DED).
-    let os = RgpdOs::builder().device_blocks(16_384).block_size(512).boot()?;
+    let os = RgpdOs::builder()
+        .device_blocks(16_384)
+        .block_size(512)
+        .boot()?;
     println!("booted rgpdOS: {}", os.machine());
 
     // Listing 1: the sysadmin declares the `user` type and its membrane

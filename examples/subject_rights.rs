@@ -9,7 +9,10 @@ use std::error::Error;
 use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let os = RgpdOs::builder().device_blocks(32_768).block_size(512).boot()?;
+    let os = RgpdOs::builder()
+        .device_blocks(32_768)
+        .block_size(512)
+        .boot()?;
     os.install_types(rgpdos::dsl::listings::LISTING_1)?;
 
     // Register the compute_age processing so the access package has a
@@ -45,9 +48,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The export is machine readable: parse it back and check the keys are
     // the schema's field names (the paper's `first_name: "Chiraz"` argument).
-    let parsed = SubjectAccessPackage::from_json(&package.to_json().map_err(RuntimeErrorFromString)?)
-        .map_err(RuntimeErrorFromString)?;
-    assert!(parsed.items.iter().all(|item| item.fields.contains("year_of_birthdate")));
+    let parsed =
+        SubjectAccessPackage::from_json(&package.to_json().map_err(RuntimeErrorFromString)?)
+            .map_err(RuntimeErrorFromString)?;
+    assert!(parsed
+        .items
+        .iter()
+        .all(|item| item.fields.contains("year_of_birthdate")));
     println!(
         "export lists {} personal-data item(s) and {} processing execution(s)\n",
         parsed.items.len(),

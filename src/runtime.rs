@@ -11,7 +11,9 @@ use rgpdos_ded::{DedEngine, InvokeRequest, InvokeResult};
 use rgpdos_dsl::compile_type_declarations;
 use rgpdos_kernel::Machine;
 use rgpdos_ps::{ProcessingSpec, ProcessingStore, RegistrationOutcome};
-use rgpdos_rights::{ComplianceChecker, ComplianceReport, ErasureReceipt, RightsEngine, SubjectAccessPackage};
+use rgpdos_rights::{
+    ComplianceChecker, ComplianceReport, ErasureReceipt, RightsEngine, SubjectAccessPackage,
+};
 use std::error::Error as StdError;
 use std::fmt;
 use std::sync::Arc;
@@ -98,7 +100,7 @@ impl Default for RgpdOsBuilder {
             block_size: 512,
             latency: LatencyModel::nvme(),
             dbfs_params: DbfsParams::secure(),
-            authority_seed: 0x2018_05_25, // the GDPR's entry into force
+            authority_seed: 0x2018_0525, // the GDPR's entry into force (2018-05-25)
             cpus: 8,
             memory_mb: 8_192,
         }
@@ -400,7 +402,10 @@ impl RgpdOs {
     /// # Errors
     ///
     /// Propagates rights-engine errors.
-    pub fn right_of_access(&self, subject: SubjectId) -> Result<SubjectAccessPackage, RuntimeError> {
+    pub fn right_of_access(
+        &self,
+        subject: SubjectId,
+    ) -> Result<SubjectAccessPackage, RuntimeError> {
         Ok(self.rights.right_of_access(subject)?)
     }
 
@@ -409,7 +414,10 @@ impl RgpdOs {
     /// # Errors
     ///
     /// Propagates rights-engine errors.
-    pub fn right_to_be_forgotten(&self, subject: SubjectId) -> Result<ErasureReceipt, RuntimeError> {
+    pub fn right_to_be_forgotten(
+        &self,
+        subject: SubjectId,
+    ) -> Result<ErasureReceipt, RuntimeError> {
         Ok(self.rights.right_to_be_forgotten(subject)?)
     }
 
@@ -433,11 +441,7 @@ impl RgpdOs {
     /// Convenience for experiments: a single non-personal scalar produced by
     /// summing the values of an invocation (used by examples).
     pub fn sum_values(result: &InvokeResult) -> i64 {
-        result
-            .values
-            .iter()
-            .filter_map(FieldValue::as_int)
-            .sum()
+        result.values.iter().filter_map(FieldValue::as_int).sum()
     }
 }
 
@@ -472,12 +476,18 @@ mod tests {
 
     #[test]
     fn boot_install_collect_invoke() {
-        let os = RgpdOs::builder().device_blocks(8_192).block_size(512).boot().unwrap();
+        let os = RgpdOs::builder()
+            .device_blocks(8_192)
+            .block_size(512)
+            .boot()
+            .unwrap();
         let types = os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
         assert_eq!(types, vec![DataTypeId::from("user")]);
         let id = os.register_processing(compute_age_spec()).unwrap();
-        os.collect("user", SubjectId::new(1), user_row("A", 1990)).unwrap();
-        os.collect("user", SubjectId::new(2), user_row("B", 2002)).unwrap();
+        os.collect("user", SubjectId::new(1), user_row("A", 1990))
+            .unwrap();
+        os.collect("user", SubjectId::new(2), user_row("B", 2002))
+            .unwrap();
         let result = os.invoke(id, InvokeRequest::whole_type()).unwrap();
         assert_eq!(result.processed, 2);
         assert_eq!(RgpdOs::sum_values(&result), (2022 - 1990) + (2022 - 2002));
@@ -510,14 +520,18 @@ mod tests {
                     .build(),
             )
             .unwrap();
-        assert_eq!(outcome.status, rgpdos_ps::RegistrationStatus::PendingApproval);
+        assert_eq!(
+            outcome.status,
+            rgpdos_ps::RegistrationStatus::PendingApproval
+        );
     }
 
     #[test]
     fn subject_rights_through_the_runtime() {
         let os = RgpdOs::boot_default().unwrap();
         os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
-        os.collect("user", SubjectId::new(3), user_row("Right", 1980)).unwrap();
+        os.collect("user", SubjectId::new(3), user_row("Right", 1980))
+            .unwrap();
         let package = os.right_of_access(SubjectId::new(3)).unwrap();
         assert_eq!(package.items.len(), 1);
         let receipt = os.right_to_be_forgotten(SubjectId::new(3)).unwrap();

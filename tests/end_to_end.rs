@@ -53,7 +53,11 @@ fn listings_1_2_3_full_pipeline() {
     assert_eq!(result.processed, 4);
     assert_eq!(result.denied, 0);
     assert_eq!(result.errors, 0);
-    let mut ages: Vec<i64> = result.values.iter().filter_map(FieldValue::as_int).collect();
+    let mut ages: Vec<i64> = result
+        .values
+        .iter()
+        .filter_map(FieldValue::as_int)
+        .collect();
     ages.sort_unstable();
     assert_eq!(ages, vec![19, 32, 47, 72]);
     assert!(os.compliance_report().unwrap().is_compliant());
@@ -66,7 +70,11 @@ fn figure_2_versus_figure_3_erasure_residue() {
     let baseline = UserspaceDbEngine::new(Arc::clone(&device)).unwrap();
     baseline.create_table("users").unwrap();
     let id = baseline
-        .insert("users", SubjectId::new(1), &user_row("RESIDUE-SENTINEL", 1990))
+        .insert(
+            "users",
+            SubjectId::new(1),
+            &user_row("RESIDUE-SENTINEL", 1990),
+        )
         .unwrap();
     baseline.delete("users", id).unwrap();
     assert!(!scan_for_pattern(device.as_ref(), b"RESIDUE-SENTINEL")
@@ -76,8 +84,12 @@ fn figure_2_versus_figure_3_erasure_residue() {
     // rgpdOS (Fig. 3): erasure leaves nothing readable on the device.
     let os = boot();
     os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
-    os.collect("user", SubjectId::new(1), user_row("RESIDUE-SENTINEL", 1990))
-        .unwrap();
+    os.collect(
+        "user",
+        SubjectId::new(1),
+        user_row("RESIDUE-SENTINEL", 1990),
+    )
+    .unwrap();
     os.right_to_be_forgotten(SubjectId::new(1)).unwrap();
     assert!(scan_for_pattern(os.device().inner(), b"RESIDUE-SENTINEL")
         .unwrap()
@@ -95,14 +107,20 @@ fn figure_2_versus_figure_3_cross_purpose_access() {
         .insert("users", SubjectId::new(1), &user_row("private", 1990))
         .unwrap();
     baseline.set_consent(SubjectId::new(1), &"purpose2".into(), false);
-    assert!(baseline.query("users", &"purpose2".into()).unwrap().is_empty());
-    assert!(baseline.direct_access_bypassing_consent("users", id).is_ok());
+    assert!(baseline
+        .query("users", &"purpose2".into())
+        .unwrap()
+        .is_empty());
+    assert!(baseline
+        .direct_access_bypassing_consent("users", id)
+        .is_ok());
 
     // rgpdOS: the same attempt is denied by the membrane at the DED filter
     // step, and the data never reaches the function.
     let os = boot();
     os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
-    os.collect("user", SubjectId::new(1), user_row("private", 1990)).unwrap();
+    os.collect("user", SubjectId::new(1), user_row("private", 1990))
+        .unwrap();
     let spy = os
         .register_processing(
             ProcessingSpec::builder("spy", "user")
@@ -126,7 +144,8 @@ fn figure_2_versus_figure_3_cross_purpose_access() {
 fn enforcement_completeness_matrix_c1() {
     let os = boot();
     os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
-    os.collect("user", SubjectId::new(1), user_row("canary", 1990)).unwrap();
+    os.collect("user", SubjectId::new(1), user_row("canary", 1990))
+        .unwrap();
     let machine = os.machine();
 
     // 1. Direct DBFS access from an application task is blocked by the LSM.
@@ -180,7 +199,10 @@ fn enforcement_completeness_matrix_c1() {
         .spawn_task(machine.rgpd_kernel(), SecurityContext::DedProcessing)
         .unwrap();
     for syscall in [
-        Syscall::FileWrite { path: "/tmp/leak".into(), bytes: 64 },
+        Syscall::FileWrite {
+            path: "/tmp/leak".into(),
+            bytes: 64,
+        },
         Syscall::NetworkSend { bytes: 64 },
         Syscall::Spawn,
         Syscall::ShareMemory { bytes: 4096 },
@@ -190,11 +212,18 @@ fn enforcement_completeness_matrix_c1() {
 
     // 6. Every blocked attempt left an audit trace (kernel-level denials go
     //    to the machine's log, registration alerts to the rgpdOS log).
-    let is_violation =
-        |e: &rgpdos::core::AuditEvent| matches!(e.kind, rgpdos::core::AuditEventKind::ViolationBlocked { .. });
-    let blocked = machine.audit().count_matching(is_violation)
-        + os.audit().count_matching(is_violation);
-    assert!(blocked >= 8, "only {blocked} blocked violations were audited");
+    let is_violation = |e: &rgpdos::core::AuditEvent| {
+        matches!(
+            e.kind,
+            rgpdos::core::AuditEventKind::ViolationBlocked { .. }
+        )
+    };
+    let blocked =
+        machine.audit().count_matching(is_violation) + os.audit().count_matching(is_violation);
+    assert!(
+        blocked >= 8,
+        "only {blocked} blocked violations were audited"
+    );
 }
 
 #[test]
@@ -202,9 +231,13 @@ fn consent_rate_controls_processing_coverage() {
     let os = boot();
     os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
     let id = os.register_processing(compute_age_spec()).unwrap();
-    let population = PopulationGenerator::new(7).with_consent_rate(0.5).generate(60);
+    let population = PopulationGenerator::new(7)
+        .with_consent_rate(0.5)
+        .generate(60);
     for subject in &population {
-        let pd = os.collect("user", subject.subject, subject.row.clone()).unwrap();
+        let pd = os
+            .collect("user", subject.subject, subject.row.clone())
+            .unwrap();
         // Apply each subject's consent decision for purpose3.
         os.dbfs()
             .apply_membrane_delta(
@@ -251,7 +284,8 @@ fn right_of_access_covers_processing_history_across_crates() {
 fn retention_and_compliance_interplay() {
     let os = boot();
     os.install_types(rgpdos::dsl::listings::LISTING_1).unwrap();
-    os.collect("user", SubjectId::new(1), user_row("old", 1960)).unwrap();
+    os.collect("user", SubjectId::new(1), user_row("old", 1960))
+        .unwrap();
     os.clock().advance(Duration::from_days(366));
     // Before the sweep the compliance report flags storage limitation.
     let report = os.compliance_report().unwrap();

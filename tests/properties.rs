@@ -135,10 +135,14 @@ fn erasure_never_leaves_residue_for_sampled_payloads() {
                     .with("year_of_birthdate", 1990i64),
             )
             .unwrap();
-        assert!(!scan_for_pattern(device.as_ref(), name.as_bytes()).unwrap().is_empty());
+        assert!(!scan_for_pattern(device.as_ref(), name.as_bytes())
+            .unwrap()
+            .is_empty());
         dbfs.erase(&"user".into(), id, &escrow).unwrap();
         assert!(
-            scan_for_pattern(device.as_ref(), name.as_bytes()).unwrap().is_empty(),
+            scan_for_pattern(device.as_ref(), name.as_bytes())
+                .unwrap()
+                .is_empty(),
             "residue found for {name}"
         );
     }

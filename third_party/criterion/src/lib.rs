@@ -1,0 +1,221 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by `benches/paper_experiments.rs`: benchmark
+//! groups with `sample_size`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `BenchmarkId` and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark runs a short calibrated loop and prints mean time per
+//! iteration; there is no statistical analysis or report output.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output a batched iteration consumes (sizing hint only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Accepted by `bench_function`: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display name of the benchmark.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, recorded by the last `iter*` call.
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up iteration, excluded from timing.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.sample_size as f64;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_nanos = total.as_nanos() as f64 / self.sample_size as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in ignores the target time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `benchmark` and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut benchmark: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean_nanos: 0.0,
+        };
+        benchmark(&mut bencher);
+        report(&self.name, &id.into_id(), bencher.mean_nanos);
+        self
+    }
+
+    /// Runs a parameterised `benchmark` and prints its mean iteration time.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut benchmark: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            mean_nanos: 0.0,
+        };
+        benchmark(&mut bencher, input);
+        report(&self.name, &id.into_id(), bencher.mean_nanos);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, mean_nanos: f64) {
+    let (value, unit) = if mean_nanos >= 1e9 {
+        (mean_nanos / 1e9, "s")
+    } else if mean_nanos >= 1e6 {
+        (mean_nanos / 1e6, "ms")
+    } else if mean_nanos >= 1e3 {
+        (mean_nanos / 1e3, "µs")
+    } else {
+        (mean_nanos, "ns")
+    };
+    println!("{group}/{id}: {value:.3} {unit}/iter");
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given criterion groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! String generation from the subset of regex syntax the workspace's
+//! property tests use as `&str` strategies.
+//!
+//! Supported pattern atoms: literal characters, `[...]` character classes
+//! with ranges (e.g. `[a-zA-Z0-9 _-]`), and `{m,n}` / `{n}` repetition
+//! suffixes.  Everything else is treated as a literal character.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        let atom = if chars[pos] == '[' {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|offset| pos + offset)
+                .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+            let mut members = Vec::new();
+            let mut i = pos + 1;
+            while i < close {
+                if i + 2 < close && chars[i + 1] == '-' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "invalid range `{lo}-{hi}` in `{pattern}`");
+                    for code in lo as u32..=hi as u32 {
+                        if let Some(c) = char::from_u32(code) {
+                            members.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    members.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(!members.is_empty(), "empty character class in `{pattern}`");
+            pos = close + 1;
+            Atom::Class(members)
+        } else if chars[pos] == '\\' && pos + 1 < chars.len() {
+            pos += 2;
+            Atom::Literal(chars[pos - 1])
+        } else {
+            pos += 1;
+            Atom::Literal(chars[pos - 1])
+        };
+        // Optional {m,n} / {n} repetition suffix.
+        let (min, max) = if chars.get(pos) == Some(&'{') {
+            let close = chars[pos..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|offset| pos + offset)
+                .unwrap_or_else(|| panic!("unterminated repetition in `{pattern}`"));
+            let spec: String = chars[pos + 1..close].iter().collect();
+            pos = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition minimum"),
+                    n.trim().parse().expect("repetition maximum"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.usize_in(piece.min..piece.max + 1)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => {
+                    out.push(members[rng.usize_in(0..members.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_counts() {
+        let mut rng = TestRng::for_case("pattern", 1);
+        for _ in 0..200 {
+            let s = generate("[a-z_]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "len {} of {s:?}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let mut rng = TestRng::for_case("pattern", 2);
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate("[a-zA-Z0-9 _-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            saw_empty |= s.is_empty();
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _-".contains(c)));
+        }
+        assert!(saw_empty, "0-length strings should occur");
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_case("pattern", 3);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for plain
+//! (non-generic) structs and enums without `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro` token tree and the impl is emitted as
+//! source text.  The representation matches real serde's externally-tagged
+//! default: named structs become objects, newtype structs unwrap to their
+//! inner value, unit enum variants become strings and data-carrying variants
+//! become single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => pos += 2,
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => return pos,
+        }
+    }
+}
+
+/// Counts the top-level comma-separated items of a field/variant list,
+/// tracking nesting of `<...>` (ignoring `->`) so commas inside generic
+/// arguments are not counted.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut items = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        items.push(std::mem::take(&mut current));
+                    }
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+/// Extracts the field names of a named-field list (brace-group contents).
+fn named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    split_top_level(tokens)
+        .into_iter()
+        .map(|field| {
+            let pos = skip_attrs_and_vis(&field, 0);
+            match field.get(pos) {
+                Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+                _ => Err("could not parse field name".to_string()),
+            }
+        })
+        .collect()
+}
+
+fn parse_shape_after_name(tokens: &[TokenTree], pos: usize) -> Result<Shape, String> {
+    match tokens.get(pos) {
+        None => Ok(Shape::Unit),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit),
+        Some(TokenTree::Group(group)) => match group.delimiter() {
+            Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Ok(Shape::Tuple(split_top_level(&inner).len()))
+            }
+            Delimiter::Brace => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Ok(Shape::Named(named_fields(&inner)?))
+            }
+            _ => Err("unsupported item body".to_string()),
+        },
+        Some(other) => Err(format!("unsupported token after type name: {other}")),
+    }
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    split_top_level(tokens)
+        .into_iter()
+        .map(|variant| {
+            let pos = skip_attrs_and_vis(&variant, 0);
+            let name = match variant.get(pos) {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                _ => return Err("could not parse variant name".to_string()),
+            };
+            // A discriminant (`= expr`) or nothing further means a unit variant.
+            let shape = match variant.get(pos + 1) {
+                Some(TokenTree::Group(_)) => parse_shape_after_name(&variant, pos + 1)?,
+                _ => Shape::Unit,
+            };
+            Ok(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected a type name".to_string()),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the offline serde_derive".to_string());
+        }
+    }
+    match keyword.as_str() {
+        "struct" => Ok(Parsed::Struct {
+            name,
+            shape: parse_shape_after_name(&tokens, pos)?,
+        }),
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Ok(Parsed::Enum {
+                    name,
+                    variants: parse_variants(&inner)?,
+                })
+            }
+            _ => Err("expected enum body".to_string()),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let (name, body) = match &parsed {
+        Parsed::Struct { name, shape } => (name, serialize_struct_body(shape)),
+        Parsed::Enum { name, variants } => (name, serialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn serialize_struct_body(shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|variant| {
+            let v = &variant.name;
+            match &variant.shape {
+                Shape::Unit => format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),"),
+                Shape::Tuple(1) => format!(
+                    "{name}::{v}(f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ),
+                Shape::Tuple(arity) => {
+                    let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Value::Array(vec![{}]))]),",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{v} {{ {} }} => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Value::Object(vec![{}]))]),",
+                        fields.join(", "),
+                        items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(message) => return compile_error(&message),
+    };
+    let (name, body) = match &parsed {
+        Parsed::Struct { name, shape } => (name, deserialize_struct_body(name, shape)),
+        Parsed::Enum { name, variants } => (name, deserialize_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+fn named_constructor(context: &str, fields: &[String]) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::__find(__fields, {f:?}))?,")
+        })
+        .collect();
+    format!(
+        "let __fields = value.__expect_object({context:?})?;\n\
+         Ok(Self {{ {} }})",
+        items.join(" ")
+    )
+}
+
+fn deserialize_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => "let _ = value; Ok(Self)".to_string(),
+        Shape::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(value)?))".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = value.__expect_tuple({name:?}, {arity})?;\n\
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => named_constructor(name, fields),
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{0:?} => Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|variant| {
+            let v = &variant.name;
+            match &variant.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                Shape::Tuple(arity) => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{v:?} => {{ let __items = __inner.__expect_tuple({v:?}, {arity})?; \
+                         Ok({name}::{v}({})) }}",
+                        items.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::__find(__vf, {f:?}))?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "{v:?} => {{ let __vf = __inner.__expect_object({v:?})?; \
+                         Ok({name}::{v} {{ {} }}) }}",
+                        items.join(" ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+             }},\n\
+             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(::serde::Error::custom(\
+                 \"invalid representation for enum {name}\".to_string())),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}
