@@ -11,9 +11,12 @@
 #![warn(missing_docs)]
 
 use rgpdos::baseline::UserspaceDbEngine;
-use rgpdos::blockdev::MemDevice;
+use rgpdos::blockdev::{InstrumentedDevice, LatencyModel, MemDevice};
+use rgpdos::dbfs::Dbfs;
 use rgpdos::prelude::*;
-use rgpdos::workloads::{GeneratedSubject, OperationKind, PopulationGenerator, WorkloadMix};
+use rgpdos::workloads::{
+    GeneratedSubject, MultiTableWorkload, OperationKind, PopulationGenerator, WorkloadMix,
+};
 use std::sync::Arc;
 
 /// The purpose used by the benchmark processings.
@@ -144,6 +147,74 @@ pub fn baseline_scenario(subjects: usize, consent_rate: f64) -> BaselineScenario
         device,
         records,
         population,
+    }
+}
+
+/// A populated many-tables DBFS for the S1 scaling experiment: the *target*
+/// table has a fixed record count, every other table only adds unrelated
+/// records.  With the secondary indexes, scanning the target table costs the
+/// same however many unrelated records exist.
+pub struct ScalingScenario {
+    /// The populated store.
+    pub dbfs: Dbfs<Arc<InstrumentedDevice<MemDevice>>>,
+    /// The instrumented device underneath (for block-read accounting).
+    pub device: Arc<InstrumentedDevice<MemDevice>>,
+    /// Name of the target table.
+    pub target: DataTypeId,
+    /// Records in the target table.
+    pub target_records: usize,
+    /// Records spread over the other tables.
+    pub other_records: usize,
+}
+
+/// Builds the S1 scenario: one target table of `target_records` records
+/// created and populated *first* (so its on-disk layout is identical across
+/// scenario sizes), then `other_tables` tables of `records_per_other_table`
+/// records each.
+///
+/// # Panics
+///
+/// Panics when the simulated device cannot hold the requested population.
+pub fn scaling_scenario(
+    target_records: usize,
+    other_tables: usize,
+    records_per_other_table: usize,
+) -> ScalingScenario {
+    let total = target_records + other_tables * records_per_other_table;
+    let device = Arc::new(InstrumentedDevice::new(
+        MemDevice::new((total as u64 * 24).max(16_384), 512),
+        LatencyModel::nvme(),
+    ));
+    let mut params = DbfsParams::secure();
+    params.inode_params.inode_count = params.inode_params.inode_count.max(total as u64 * 2 + 256);
+    let dbfs = Dbfs::format(Arc::clone(&device), params).expect("format scaling DBFS");
+
+    let target_gen = MultiTableWorkload::new(1, target_records).with_payload_bytes(1_024);
+    let target: DataTypeId = MultiTableWorkload::table_name(0).as_str().into();
+    dbfs.create_type(target_gen.schema(0)).expect("target type");
+    for (subject, row) in target_gen.rows(0) {
+        dbfs.collect(target.clone(), subject, row)
+            .expect("collect target row");
+    }
+
+    let other_gen = MultiTableWorkload::new(other_tables + 1, records_per_other_table)
+        .with_payload_bytes(1_024);
+    for table in 1..=other_tables {
+        dbfs.create_type(other_gen.schema(table))
+            .expect("other type");
+        let name: DataTypeId = MultiTableWorkload::table_name(table).as_str().into();
+        for (subject, row) in other_gen.rows(table) {
+            dbfs.collect(name.clone(), subject, row)
+                .expect("collect other row");
+        }
+    }
+
+    ScalingScenario {
+        dbfs,
+        device,
+        target,
+        target_records,
+        other_records: other_tables * records_per_other_table,
     }
 }
 
@@ -300,6 +371,40 @@ mod tests {
         let baseline = baseline_scenario(20, 0.8);
         assert_eq!(baseline.records.len(), 20);
         assert_eq!(baseline.engine.record_count(), 20);
+    }
+
+    #[test]
+    fn target_table_scan_cost_is_independent_of_other_tables() {
+        // The acceptance check of the indexed read path: scanning the
+        // membranes of one table costs the same number of block reads
+        // whether the store holds 0 or 400 unrelated records.
+        let small = scaling_scenario(50, 0, 0);
+        let big = scaling_scenario(50, 4, 100);
+        let membrane_scan_reads = |s: &ScalingScenario| {
+            s.device.reset_stats();
+            let membranes = s.dbfs.load_membranes(&s.target).unwrap();
+            assert_eq!(membranes.len(), 50);
+            s.device.stats().reads
+        };
+        let isolated = membrane_scan_reads(&small);
+        let crowded = membrane_scan_reads(&big);
+        assert_eq!(
+            isolated, crowded,
+            "per-table membrane scans must not depend on other tables' records"
+        );
+        // And the membrane-only scan reads a fraction of the blocks a
+        // full-record scan does.
+        big.device.reset_stats();
+        let batch = big
+            .dbfs
+            .query(&QueryRequest::all(big.target.clone()))
+            .unwrap();
+        assert_eq!(batch.len(), 50);
+        let full = big.device.stats().reads;
+        assert!(
+            crowded * 2 <= full,
+            "membrane scan ({crowded} reads) should cost well under a full scan ({full} reads)"
+        );
     }
 
     #[test]

@@ -272,6 +272,16 @@ impl Membrane {
         self.time_to_live.is_expired(self.collected_at, now)
     }
 
+    /// The instant at which the wrapped data expires: `None` for unbounded
+    /// retention and for erased tombstones (which no longer expire).
+    pub fn expiry_instant(&self) -> Option<Timestamp> {
+        if self.erased {
+            None
+        } else {
+            self.time_to_live.expires_at(self.collected_at)
+        }
+    }
+
     /// Produces the membrane for a copy of this PD, preserving every
     /// restriction (the `copy` built-in must keep membranes consistent across
     /// copies, §2).

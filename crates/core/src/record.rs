@@ -13,6 +13,119 @@ use crate::value::Row;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// On-disk codec for the *split* record layout used by DBFS (format v2).
+///
+/// A stored record is two length-prefixed sections inside one inode extent:
+///
+/// ```text
+/// [u32 LE: membrane section length][membrane JSON][row JSON]
+/// ```
+///
+/// The membrane header comes first so that membrane-only reads (the
+/// `ded_load_membrane` request) can fetch and deserialize the header section
+/// without ever touching the row payload — data minimisation inside the
+/// storage layer itself.
+pub mod stored {
+    use super::{CoreError, Membrane, Row};
+
+    /// Length of the section-length prefix.
+    pub const PREFIX_LEN: usize = 4;
+
+    fn corrupt(what: &str) -> CoreError {
+        CoreError::Corrupt {
+            what: what.to_owned(),
+        }
+    }
+
+    /// Encodes a membrane + row into the split layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when either section fails to serialize.
+    pub fn encode(membrane: &Membrane, row: &Row) -> Result<Vec<u8>, CoreError> {
+        let header = serde_json::to_vec(membrane).map_err(|_| corrupt("membrane serialization"))?;
+        let payload = serde_json::to_vec(row).map_err(|_| corrupt("row serialization"))?;
+        let len = u32::try_from(header.len()).map_err(|_| corrupt("membrane section length"))?;
+        let mut out = Vec::with_capacity(PREFIX_LEN + header.len() + payload.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    /// Reads the membrane-section length out of the 4-byte prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when fewer than [`PREFIX_LEN`] bytes
+    /// are supplied.
+    pub fn membrane_section_len(prefix: &[u8]) -> Result<usize, CoreError> {
+        let bytes: [u8; PREFIX_LEN] = prefix
+            .get(..PREFIX_LEN)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("record header prefix truncated"))?;
+        Ok(u32::from_le_bytes(bytes) as usize)
+    }
+
+    /// Decodes a membrane header section (the bytes *after* the prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when the section does not decode.
+    pub fn decode_membrane(section: &[u8]) -> Result<Membrane, CoreError> {
+        serde_json::from_slice(section).map_err(|_| corrupt("membrane header section"))
+    }
+
+    fn header_end(bytes: &[u8]) -> Result<usize, CoreError> {
+        PREFIX_LEN
+            .checked_add(membrane_section_len(bytes)?)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| corrupt("membrane section truncated"))
+    }
+
+    /// Decodes a full split-layout record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] for truncated or undecodable input.
+    pub fn decode(bytes: &[u8]) -> Result<(Membrane, Row), CoreError> {
+        let header_end = header_end(bytes)?;
+        let membrane = decode_membrane(&bytes[PREFIX_LEN..header_end])?;
+        let row: Row = serde_json::from_slice(&bytes[header_end..])
+            .map_err(|_| corrupt("row payload section"))?;
+        Ok((membrane, row))
+    }
+
+    /// Decodes only the membrane header of a full split-layout record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] for truncated or undecodable input.
+    pub fn membrane_of(bytes: &[u8]) -> Result<Membrane, CoreError> {
+        decode_membrane(&bytes[PREFIX_LEN..header_end(bytes)?])
+    }
+
+    /// Re-encodes a split-layout record with a replacement membrane header,
+    /// carrying the row payload bytes over untouched (no row deserialization
+    /// round-trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Corrupt`] when the input is truncated or the new
+    /// membrane fails to serialize.
+    pub fn replace_membrane(bytes: &[u8], membrane: &Membrane) -> Result<Vec<u8>, CoreError> {
+        let header_end = header_end(bytes)?;
+        let header = serde_json::to_vec(membrane).map_err(|_| corrupt("membrane serialization"))?;
+        let len = u32::try_from(header.len()).map_err(|_| corrupt("membrane section length"))?;
+        let payload = &bytes[header_end..];
+        let mut out = Vec::with_capacity(PREFIX_LEN + header.len() + payload.len());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(payload);
+        Ok(out)
+    }
+}
+
 /// A typed row of personal data wrapped in its membrane.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WrappedPd {
@@ -267,6 +380,34 @@ mod tests {
             r.row().get("__erased_ciphertext").unwrap().as_bytes(),
             Some(&[0xde, 0xad][..])
         );
+    }
+
+    #[test]
+    fn split_layout_round_trips_and_header_decodes_alone() {
+        let r = record(5, 2);
+        let bytes = stored::encode(r.membrane(), r.row()).unwrap();
+        // The full record round-trips.
+        let (membrane, row) = stored::decode(&bytes).unwrap();
+        assert_eq!(&membrane, r.membrane());
+        assert_eq!(&row, r.row());
+        // The membrane header decodes without the row payload ever being
+        // parsed (or even present).
+        let header_len = stored::membrane_section_len(&bytes).unwrap();
+        let header_only = &bytes[stored::PREFIX_LEN..stored::PREFIX_LEN + header_len];
+        let membrane = stored::decode_membrane(header_only).unwrap();
+        assert_eq!(&membrane, r.membrane());
+        // Truncated input is reported as corrupt, not a panic.
+        assert!(stored::membrane_section_len(&bytes[..2]).is_err());
+        assert!(stored::decode(&bytes[..stored::PREFIX_LEN + header_len - 1]).is_err());
+        assert!(stored::decode_membrane(b"not json").is_err());
+        // A membrane swap keeps the payload bytes byte-identical.
+        let mut erased = r.membrane().clone();
+        erased.mark_erased();
+        let swapped = stored::replace_membrane(&bytes, &erased).unwrap();
+        assert!(stored::membrane_of(&swapped).unwrap().is_erased());
+        let (_, row) = stored::decode(&swapped).unwrap();
+        assert_eq!(&row, r.row());
+        assert!(stored::replace_membrane(&bytes[..2], &erased).is_err());
     }
 
     #[test]

@@ -1,20 +1,33 @@
 //! The DBFS implementation: two inode trees, typed tables, membranes,
 //! crypto-erasure and retention sweeping.
+//!
+//! # Record layout and secondary indexes
+//!
+//! Since format v2 every record inode holds the *split* layout of
+//! [`rgpdos_core::record::stored`]: a length-prefixed membrane header
+//! followed by the row payload.  Membrane-only reads (`ded_load_membrane`)
+//! fetch and deserialize the header section without touching the payload.
+//!
+//! The in-memory [`DbfsIndex`] mirrors the two inode trees with secondary
+//! indexes — per-table, per-subject, reverse copy-lineage, and an expiry
+//! index — so that per-table scans, subject-wide operations, erasure
+//! propagation and retention sweeps never iterate the global record map.
 
 use crate::error::DbfsError;
 use crate::query::QueryRequest;
 use crate::stats::{DbfsStats, DbfsStatsInner};
 use parking_lot::Mutex;
 use rgpdos_blockdev::BlockDevice;
+use rgpdos_core::record::stored;
 use rgpdos_core::{
     AuditEventKind, AuditLog, DataTypeId, DataTypeSchema, LogicalClock, Membrane, MembraneDelta,
-    PdId, PdRecord, RecordBatch, Row, SchemaRegistry, SubjectId, WrappedPd,
+    PdId, PdRecord, RecordBatch, Row, SchemaRegistry, SubjectId, Timestamp, WrappedPd,
 };
 use rgpdos_crypto::escrow::OperatorEscrow;
 use rgpdos_inode::fs::ROOT_INO;
 use rgpdos_inode::{FormatParams, Ino, InodeFs, InodeKind, JournalMode};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::Deserialize;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Name of the schema entry inside a table directory.
@@ -25,6 +38,64 @@ const META_ENTRY: &str = "meta";
 const TABLES_DIR: &str = "tables";
 /// Name of the subject tree in the DBFS root.
 const SUBJECTS_DIR: &str = "subjects";
+/// Magic-plus-version tag leading the metadata entry since format v2 (split
+/// record layout).  v1 metadata was a bare 8-byte `next_pd` counter; v1
+/// images are migrated in place on mount.
+const META_MAGIC_V2: u64 = 0x5247_5044_4653_0002;
+
+/// Encodes the v2 metadata entry (magic + next PD identifier).
+fn encode_meta(next_pd: u64) -> [u8; 16] {
+    let mut bytes = [0u8; 16];
+    bytes[0..8].copy_from_slice(&META_MAGIC_V2.to_le_bytes());
+    bytes[8..16].copy_from_slice(&next_pd.to_le_bytes());
+    bytes
+}
+
+/// Decodes the metadata entry, returning `(format_version, next_pd)`.
+fn decode_meta(meta: &[u8]) -> Option<(u32, u64)> {
+    match meta.len() {
+        8 => Some((1, u64::from_le_bytes(meta[0..8].try_into().ok()?))),
+        16 => {
+            let magic = u64::from_le_bytes(meta[0..8].try_into().ok()?);
+            (magic == META_MAGIC_V2).then(|| {
+                (
+                    2,
+                    u64::from_le_bytes(meta[8..16].try_into().expect("8 bytes")),
+                )
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Reads only the membrane header section of a split-layout record: the
+/// first block is fetched once, and further blocks only when the header
+/// spills past it.  The row payload is never read.
+fn read_membrane_from<D: BlockDevice>(fs: &InodeFs<D>, ino: Ino) -> Result<Membrane, DbfsError> {
+    let block_size = fs.layout().block_size.max(stored::PREFIX_LEN);
+    let first = fs.read(ino, 0, block_size)?;
+    let header_len = stored::membrane_section_len(&first)?;
+    let header_end =
+        stored::PREFIX_LEN
+            .checked_add(header_len)
+            .ok_or_else(|| DbfsError::Corrupt {
+                what: format!("membrane header length of record inode {ino} overflows"),
+            })?;
+    let membrane = if first.len() >= header_end {
+        stored::decode_membrane(&first[stored::PREFIX_LEN..header_end])?
+    } else {
+        let mut section = first[stored::PREFIX_LEN.min(first.len())..].to_vec();
+        let rest = fs.read(ino, first.len() as u64, header_end - first.len())?;
+        section.extend_from_slice(&rest);
+        if section.len() < header_len {
+            return Err(DbfsError::Corrupt {
+                what: format!("membrane header of record inode {ino} truncated"),
+            });
+        }
+        stored::decode_membrane(&section)?
+    };
+    Ok(membrane)
+}
 
 /// Formatting parameters of DBFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,9 +144,18 @@ impl Default for DbfsParams {
     }
 }
 
-/// What DBFS persists for one personal-data item.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// What DBFS persists for one personal-data item (encoded via the split
+/// layout of [`rgpdos_core::record::stored`]).
+#[derive(Debug, Clone)]
 struct StoredRecord {
+    membrane: Membrane,
+    row: Row,
+}
+
+/// The single-section JSON encoding of format v1, kept only so that legacy
+/// images can be migrated on mount.
+#[derive(Debug, Deserialize)]
+struct LegacyStoredRecord {
     membrane: Membrane,
     row: Row,
 }
@@ -86,6 +166,24 @@ struct RecordLocation {
     subject: SubjectId,
     ino: Ino,
     erased: bool,
+    /// Direct lineage parent when the record was produced by `copy`.
+    copied_from: Option<PdId>,
+    /// When the record's retention period elapses (`None` for unbounded TTLs
+    /// and for tombstones, which no longer expire).
+    expires_at: Option<Timestamp>,
+}
+
+impl RecordLocation {
+    fn from_membrane(data_type: &DataTypeId, membrane: &Membrane, ino: Ino) -> Self {
+        Self {
+            data_type: data_type.clone(),
+            subject: membrane.subject(),
+            ino,
+            erased: membrane.is_erased(),
+            copied_from: membrane.copied_from(),
+            expires_at: membrane.expiry_instant(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -93,11 +191,137 @@ struct DbfsIndex {
     schemas: SchemaRegistry,
     tables: BTreeMap<DataTypeId, Ino>,
     subjects: BTreeMap<SubjectId, Ino>,
+    /// The primary record map.
     records: BTreeMap<PdId, RecordLocation>,
+    /// Secondary index: table -> record ids (live and tombstoned).
+    by_table: BTreeMap<DataTypeId, BTreeSet<PdId>>,
+    /// Secondary index: subject -> record ids (live and tombstoned).
+    by_subject: BTreeMap<SubjectId, BTreeSet<PdId>>,
+    /// Reverse copy-lineage index: original -> its direct copies.  Erasure
+    /// propagation walks the transitive closure of this map.
+    copies_of: BTreeMap<PdId, BTreeSet<PdId>>,
+    /// Expiry index: expiry instant -> live bounded-TTL record ids.  The
+    /// retention sweep only ever visits the `..now` range of this map.
+    by_expiry: BTreeMap<Timestamp, BTreeSet<PdId>>,
     next_pd: u64,
     tables_ino: Ino,
     subjects_ino: Ino,
     meta_ino: Ino,
+}
+
+impl DbfsIndex {
+    /// Inserts a record into the primary map and every secondary index.
+    fn insert_record(&mut self, id: PdId, location: RecordLocation) {
+        self.by_table
+            .entry(location.data_type.clone())
+            .or_default()
+            .insert(id);
+        self.by_subject
+            .entry(location.subject)
+            .or_default()
+            .insert(id);
+        if let Some(original) = location.copied_from {
+            self.copies_of.entry(original).or_default().insert(id);
+        }
+        if !location.erased {
+            if let Some(at) = location.expires_at {
+                self.by_expiry.entry(at).or_default().insert(id);
+            }
+        }
+        self.records.insert(id, location);
+    }
+
+    /// Marks a record as a tombstone, retiring it from the expiry index.
+    fn mark_erased(&mut self, id: PdId) {
+        let expires_at = match self.records.get_mut(&id) {
+            Some(location) => {
+                location.erased = true;
+                location.expires_at.take()
+            }
+            None => None,
+        };
+        if let Some(at) = expires_at {
+            self.remove_expiry_entry(at, id);
+        }
+    }
+
+    /// Re-keys a live record in the expiry index after a TTL change.
+    fn set_expiry(&mut self, id: PdId, expires_at: Option<Timestamp>) {
+        let previous = match self.records.get_mut(&id) {
+            Some(location) if !location.erased => {
+                let previous = location.expires_at;
+                location.expires_at = expires_at;
+                previous
+            }
+            _ => return,
+        };
+        if previous == expires_at {
+            return;
+        }
+        if let Some(at) = previous {
+            self.remove_expiry_entry(at, id);
+        }
+        if let Some(at) = expires_at {
+            self.by_expiry.entry(at).or_default().insert(id);
+        }
+    }
+
+    fn remove_expiry_entry(&mut self, at: Timestamp, id: PdId) {
+        if let Some(ids) = self.by_expiry.get_mut(&at) {
+            ids.remove(&id);
+            if ids.is_empty() {
+                self.by_expiry.remove(&at);
+            }
+        }
+    }
+
+    /// The ids of one table (empty when the table holds no record yet).
+    fn table_ids(&self, data_type: &DataTypeId) -> impl Iterator<Item = PdId> + '_ {
+        self.by_table
+            .get(data_type)
+            .into_iter()
+            .flat_map(|ids| ids.iter().copied())
+    }
+
+    /// The ids of one subject (empty when the subject owns no record).
+    fn subject_ids(&self, subject: SubjectId) -> impl Iterator<Item = PdId> + '_ {
+        self.by_subject
+            .get(&subject)
+            .into_iter()
+            .flat_map(|ids| ids.iter().copied())
+    }
+
+    /// Projects ids onto their live (non-tombstoned) locations.
+    fn live_locations<'a>(
+        &'a self,
+        ids: impl Iterator<Item = PdId> + 'a,
+    ) -> impl Iterator<Item = (PdId, &'a RecordLocation)> + 'a {
+        ids.filter_map(|id| {
+            self.records
+                .get(&id)
+                .filter(|loc| !loc.erased)
+                .map(|loc| (id, loc))
+        })
+    }
+
+    /// The transitive copy closure of `id` (excluding `id` itself), computed
+    /// purely from the reverse-lineage index — no disk I/O.
+    fn lineage_closure(&self, id: PdId) -> Vec<PdId> {
+        let mut closure = Vec::new();
+        let mut seen = BTreeSet::from([id]);
+        let mut stack = vec![id];
+        while let Some(current) = stack.pop() {
+            if let Some(copies) = self.copies_of.get(&current) {
+                for &copy in copies {
+                    if seen.insert(copy) {
+                        stack.push(copy);
+                        closure.push(copy);
+                    }
+                }
+            }
+        }
+        closure
+    }
 }
 
 /// The database-oriented filesystem.
@@ -148,7 +372,7 @@ impl<D: BlockDevice> Dbfs<D> {
         fs.dir_add(ROOT_INO, SUBJECTS_DIR, subjects_ino)?;
         let meta_ino = fs.alloc_inode(InodeKind::File)?;
         fs.dir_add(ROOT_INO, META_ENTRY, meta_ino)?;
-        fs.write_replace(meta_ino, &0u64.to_le_bytes())?;
+        fs.write_replace(meta_ino, &encode_meta(0))?;
         let index = DbfsIndex {
             tables_ino,
             subjects_ino,
@@ -199,10 +423,7 @@ impl<D: BlockDevice> Dbfs<D> {
             .dir_lookup(ROOT_INO, META_ENTRY)?
             .ok_or_else(|| corrupt("missing metadata file"))?;
         let meta = fs.read_all(meta_ino)?;
-        if meta.len() < 8 {
-            return Err(corrupt("metadata file truncated"));
-        }
-        let next_pd = u64::from_le_bytes(meta[0..8].try_into().expect("8 bytes"));
+        let (format_version, next_pd) = decode_meta(&meta).ok_or_else(|| corrupt("metadata"))?;
 
         let mut index = DbfsIndex {
             tables_ino,
@@ -234,20 +455,40 @@ impl<D: BlockDevice> Dbfs<D> {
                         .strip_prefix("pd-")
                         .and_then(|s| s.parse::<u64>().ok())
                         .ok_or_else(|| corrupt("malformed record entry"))?;
-                    let bytes = fs.read_all(ino)?;
-                    let stored: StoredRecord = serde_json::from_slice(&bytes)
-                        .map_err(|_| corrupt("record does not decode"))?;
-                    index.records.insert(
+                    let membrane = if format_version == 1 {
+                        // Legacy single-section record: decode it whole and
+                        // rewrite it in place using the split layout.  A
+                        // crash mid-migration leaves some records already
+                        // split while the metadata still says v1, so fall
+                        // back to the split decoding to stay idempotent.
+                        let bytes = fs.read_all(ino)?;
+                        match serde_json::from_slice::<LegacyStoredRecord>(&bytes) {
+                            Ok(legacy) => {
+                                let encoded = stored::encode(&legacy.membrane, &legacy.row)?;
+                                fs.write_replace(ino, &encoded)?;
+                                legacy.membrane
+                            }
+                            Err(_) => stored::decode(&bytes)
+                                .map(|(membrane, _)| membrane)
+                                .map_err(|_| corrupt("record decodes in neither layout"))?,
+                        }
+                    } else {
+                        // Index rebuild needs membranes only — the row
+                        // payloads stay on disk, unread.
+                        read_membrane_from(&fs, ino)?
+                    };
+                    index.insert_record(
                         PdId::new(raw),
-                        RecordLocation {
-                            data_type: data_type.clone(),
-                            subject: stored.membrane.subject(),
-                            ino,
-                            erased: stored.membrane.is_erased(),
-                        },
+                        RecordLocation::from_membrane(&data_type, &membrane, ino),
                     );
                 }
             }
+        }
+
+        if format_version == 1 {
+            // The records above were rewritten in the split layout; stamp the
+            // metadata so the next mount takes the v2 fast path.
+            fs.write_replace(meta_ino, &encode_meta(next_pd))?;
         }
 
         Ok(Self {
@@ -337,12 +578,8 @@ impl<D: BlockDevice> Dbfs<D> {
 
     /// Number of live (non-erased) records of a type.
     pub fn count(&self, name: &DataTypeId) -> usize {
-        self.index
-            .lock()
-            .records
-            .values()
-            .filter(|loc| &loc.data_type == name && !loc.erased)
-            .count()
+        let index = self.index.lock();
+        index.live_locations(index.table_ids(name)).count()
     }
 
     /// The subjects that currently own at least one record.
@@ -394,6 +631,12 @@ impl<D: BlockDevice> Dbfs<D> {
         wrapped: WrappedPd,
         validate: bool,
     ) -> Result<PdId, DbfsError> {
+        // The whole insert (lineage guard, disk writes, index update) runs
+        // under the index lock: the erased-ancestor check below is only
+        // sound because no erasure can interleave with it, and the id/inode
+        // trees stay consistent.  Inserts therefore serialize against each
+        // other — an accepted cost, since the read paths are what the
+        // secondary indexes optimize.
         let mut index = self.index.lock();
         let Some(&table_ino) = index.tables.get(data_type) else {
             return Err(DbfsError::UnknownType {
@@ -409,11 +652,33 @@ impl<D: BlockDevice> Dbfs<D> {
                 })?;
             schema.validate_row(wrapped.row())?;
         }
+        // A copy must not outlive its lineage: refuse a live copy when *any*
+        // ancestor in its copied_from chain is already tombstoned.  This
+        // closes the race where `copy` reads the plaintext just before an
+        // `erase` snapshots the lineage closure: the erasure tombstones the
+        // chain's root first, so an insert that slips in after the snapshot
+        // finds an erased ancestor here and loses.
+        if !wrapped.membrane().is_erased() {
+            let mut seen = BTreeSet::new();
+            let mut ancestor = wrapped.membrane().copied_from();
+            while let Some(current) = ancestor {
+                if !seen.insert(current) {
+                    break;
+                }
+                match index.records.get(&current) {
+                    Some(loc) if loc.erased => {
+                        return Err(DbfsError::Erased { id: current.raw() });
+                    }
+                    Some(loc) => ancestor = loc.copied_from,
+                    None => break,
+                }
+            }
+        }
         let subject = wrapped.membrane().subject();
         let id = PdId::new(index.next_pd);
         index.next_pd += 1;
         self.fs
-            .write_replace(index.meta_ino, &index.next_pd.to_le_bytes())?;
+            .write_replace(index.meta_ino, &encode_meta(index.next_pd))?;
 
         // Record inode + table-tree entry.
         let record_ino = self.fs.alloc_inode(InodeKind::Record)?;
@@ -421,9 +686,7 @@ impl<D: BlockDevice> Dbfs<D> {
             membrane: wrapped.membrane().clone(),
             row: wrapped.row().clone(),
         };
-        let bytes = serde_json::to_vec(&stored).map_err(|_| DbfsError::Corrupt {
-            what: "record serialization".to_owned(),
-        })?;
+        let bytes = stored::encode(&stored.membrane, &stored.row)?;
         self.fs.write_replace(record_ino, &bytes)?;
         self.fs
             .dir_add(table_ino, &format!("pd-{}", id.raw()), record_ino)?;
@@ -445,15 +708,9 @@ impl<D: BlockDevice> Dbfs<D> {
             record_ino,
         )?;
 
-        let erased = stored.membrane.is_erased();
-        index.records.insert(
+        index.insert_record(
             id,
-            RecordLocation {
-                data_type: data_type.clone(),
-                subject,
-                ino: record_ino,
-                erased,
-            },
+            RecordLocation::from_membrane(data_type, &stored.membrane, record_ino),
         );
         drop(index);
 
@@ -502,16 +759,61 @@ impl<D: BlockDevice> Dbfs<D> {
                 });
             }
             index
-                .records
-                .iter()
-                .filter(|(_, loc)| &loc.data_type == data_type)
-                .map(|(id, loc)| (*id, loc.ino))
+                .table_ids(data_type)
+                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc.ino)))
                 .collect()
         };
+        self.read_membranes(locations)
+    }
+
+    /// Membrane-only load restricted to one subject's records of a type,
+    /// resolved through the subject index (used by subject-targeted
+    /// invocations and the rights engine).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn load_membranes_for_subject(
+        &self,
+        data_type: &DataTypeId,
+        subject: SubjectId,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        let locations: Vec<(PdId, Ino)> = {
+            let index = self.index.lock();
+            if !index.tables.contains_key(data_type) {
+                return Err(DbfsError::UnknownType {
+                    name: data_type.to_string(),
+                });
+            }
+            index
+                .subject_ids(subject)
+                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc)))
+                .filter(|(_, loc)| &loc.data_type == data_type)
+                .map(|(id, loc)| (id, loc.ino))
+                .collect()
+        };
+        self.read_membranes(locations)
+    }
+
+    /// Membrane-only load of a single record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`].
+    pub fn load_membrane(&self, data_type: &DataTypeId, id: PdId) -> Result<Membrane, DbfsError> {
+        let location = self.locate(data_type, id)?;
+        DbfsStatsInner::bump(&self.stats.membrane_loads);
+        read_membrane_from(&self.fs, location.ino)
+    }
+
+    fn read_membranes(
+        &self,
+        locations: Vec<(PdId, Ino)>,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
         let mut out = Vec::with_capacity(locations.len());
         for (id, ino) in locations {
-            let stored = self.read_stored(ino)?;
-            out.push((id, stored.membrane));
+            DbfsStatsInner::bump(&self.stats.membrane_loads);
+            out.push((id, read_membrane_from(&self.fs, ino)?));
         }
         Ok(out)
     }
@@ -527,9 +829,26 @@ impl<D: BlockDevice> Dbfs<D> {
         data_type: &DataTypeId,
         ids: &[PdId],
     ) -> Result<RecordBatch, DbfsError> {
+        // Resolve every location under one lock acquisition, then perform
+        // the batched reads outside the lock.
+        let locations: Vec<(PdId, Ino)> = {
+            let index = self.index.lock();
+            ids.iter()
+                .map(|&id| match index.records.get(&id) {
+                    Some(loc) if &loc.data_type == data_type => Ok((id, loc.ino)),
+                    _ => Err(DbfsError::UnknownPd { id: id.raw() }),
+                })
+                .collect::<Result<_, _>>()?
+        };
         let mut batch = RecordBatch::new();
-        for &id in ids {
-            batch.push(self.get(data_type, id)?);
+        for (id, ino) in locations {
+            DbfsStatsInner::bump(&self.stats.reads);
+            let stored = self.read_stored(ino)?;
+            batch.push(PdRecord::new(
+                id,
+                data_type.clone(),
+                WrappedPd::new(stored.row, stored.membrane),
+            ));
         }
         Ok(batch)
     }
@@ -541,15 +860,22 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::Erased`] for erased records and
     /// [`DbfsError::Core`] for schema violations.
     pub fn update_row(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DbfsError> {
-        let location = self.locate(data_type, id)?;
-        if location.erased {
-            return Err(DbfsError::Erased { id: id.raw() });
-        }
         let schema = self.schema(data_type)?;
         schema.validate_row(&row)?;
-        let mut stored = self.read_stored(location.ino)?;
-        stored.row = row;
-        self.write_stored(location.ino, &stored)?;
+        // The read-modify-write runs atomically under the index lock, so a
+        // concurrent membrane change (consent withdrawal, TTL change) or
+        // erasure can never be reverted by this row update.
+        let location = {
+            let index = self.index.lock();
+            let location = Self::locate_in(&index, data_type, id)?;
+            if location.erased {
+                return Err(DbfsError::Erased { id: id.raw() });
+            }
+            let mut stored = self.read_stored(location.ino)?;
+            stored.row = row;
+            self.write_stored(location.ino, &stored)?;
+            location
+        };
         DbfsStatsInner::bump(&self.stats.updates);
         self.audit.record(
             self.clock.now(),
@@ -562,6 +888,13 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Applies a subject-initiated membrane change (consent grant/withdrawal,
     /// retention change).  Returns whether the delta had an effect.
     ///
+    /// Concurrent deltas to the same record are last-writer-wins; the expiry
+    /// index may briefly trail the membrane on disk, but the retention sweep
+    /// re-verifies every candidate against its on-disk header before erasing
+    /// (and a remount rebuilds the index from disk).  An erasure racing this
+    /// call always wins: the stale pre-erasure membrane is never written
+    /// over the tombstone.
+    ///
     /// # Errors
     ///
     /// Returns [`DbfsError::UnknownPd`] for unknown records.
@@ -571,11 +904,28 @@ impl<D: BlockDevice> Dbfs<D> {
         id: PdId,
         delta: &MembraneDelta,
     ) -> Result<bool, DbfsError> {
-        let location = self.locate(data_type, id)?;
-        let mut stored = self.read_stored(location.ino)?;
-        let applied = stored.membrane.apply(delta);
+        // Atomic read-modify-write under the index lock, mirroring
+        // `update_row`: a racing erasure or row update is never clobbered.
+        // Only the membrane header is deserialized and re-encoded; the row
+        // payload bytes are carried over untouched.
+        let (location, applied) = {
+            let mut index = self.index.lock();
+            let location = Self::locate_in(&index, data_type, id)?;
+            let bytes = self.fs.read_all(location.ino)?;
+            let mut membrane = stored::membrane_of(&bytes).map_err(|_| DbfsError::Corrupt {
+                what: format!("record inode {}", location.ino),
+            })?;
+            let applied = membrane.apply(delta);
+            if applied {
+                let spliced = stored::replace_membrane(&bytes, &membrane)?;
+                self.fs.write_replace(location.ino, &spliced)?;
+                if matches!(delta, MembraneDelta::SetTimeToLive { .. }) {
+                    index.set_expiry(id, membrane.expiry_instant());
+                }
+            }
+            (location, applied)
+        };
         if applied {
-            self.write_stored(location.ino, &stored)?;
             let purpose = match delta {
                 MembraneDelta::Grant { purpose, .. } | MembraneDelta::Withdraw { purpose } => {
                     purpose.clone()
@@ -620,7 +970,12 @@ impl<D: BlockDevice> Dbfs<D> {
 
     /// The `delete` built-in, i.e. the right to be forgotten (§4): the
     /// record's payload is encrypted under the authority's public key and the
-    /// membrane is marked erased.  Copies of the record are erased too.
+    /// membrane is marked erased.  Erasure reaches every *transitive* copy of
+    /// the record — the full lineage closure, computed from the reverse
+    /// copy-lineage index without any disk scan.
+    ///
+    /// Returns the identifiers this call tombstoned (the record itself and
+    /// every lineage copy it reached; already-erased items are not listed).
     ///
     /// # Errors
     ///
@@ -630,63 +985,67 @@ impl<D: BlockDevice> Dbfs<D> {
         data_type: &DataTypeId,
         id: PdId,
         escrow: &OperatorEscrow,
-    ) -> Result<(), DbfsError> {
+    ) -> Result<Vec<PdId>, DbfsError> {
         // Erase the record itself.
-        self.erase_single(data_type, id, escrow)?;
-        // Erasure must reach every copy whose lineage points at this record.
+        let mut erased = Vec::new();
+        if self.erase_single(data_type, id, escrow)? {
+            erased.push(id);
+        }
+        // Snapshot the lineage closure from the index — a pure in-memory
+        // walk, so no disk I/O ever happens while the lock is held.
         let copies: Vec<(DataTypeId, PdId)> = {
             let index = self.index.lock();
             index
-                .records
-                .iter()
-                .filter(|(_, loc)| !loc.erased)
-                .map(|(other, loc)| (other, loc.clone()))
-                .filter_map(|(other, loc)| {
-                    let stored = self.read_stored(loc.ino).ok()?;
-                    (stored.membrane.copied_from() == Some(id))
-                        .then(|| (loc.data_type.clone(), *other))
-                })
+                .live_locations(index.lineage_closure(id).into_iter())
+                .map(|(copy, loc)| (loc.data_type.clone(), copy))
                 .collect()
         };
         for (copy_type, copy_id) in copies {
-            self.erase_single(&copy_type, copy_id, escrow)?;
+            if self.erase_single(&copy_type, copy_id, escrow)? {
+                erased.push(copy_id);
+            }
         }
-        Ok(())
+        Ok(erased)
     }
 
+    /// Tombstones one record, returning whether *this call* performed the
+    /// erasure (`false` when the record was already a tombstone).
     fn erase_single(
         &self,
         data_type: &DataTypeId,
         id: PdId,
         escrow: &OperatorEscrow,
-    ) -> Result<(), DbfsError> {
-        let location = self.locate(data_type, id)?;
-        if location.erased {
-            return Ok(());
-        }
-        let mut stored = self.read_stored(location.ino)?;
-        let plaintext = serde_json::to_vec(&stored.row).map_err(|_| DbfsError::Corrupt {
-            what: "row serialization for erasure".to_owned(),
-        })?;
-        let ciphertext = escrow.erase(&plaintext);
-        let mut wrapped = WrappedPd::new(stored.row.clone(), stored.membrane.clone());
-        wrapped.erase_with(ciphertext.encode());
-        stored.row = wrapped.row().clone();
-        stored.membrane = wrapped.membrane().clone();
-        self.write_stored(location.ino, &stored)?;
-        self.index
-            .lock()
-            .records
-            .get_mut(&id)
-            .expect("record located above")
-            .erased = true;
+    ) -> Result<bool, DbfsError> {
+        // The whole read-encrypt-write-mark sequence runs under one lock
+        // acquisition: the escrowed ciphertext always captures the row as
+        // last committed, and no writer can interleave between the
+        // tombstone write and the index flag flip.
+        let location = {
+            let mut index = self.index.lock();
+            let location = Self::locate_in(&index, data_type, id)?;
+            if location.erased {
+                return Ok(false);
+            }
+            let mut stored = self.read_stored(location.ino)?;
+            let plaintext = serde_json::to_vec(&stored.row).map_err(|_| DbfsError::Corrupt {
+                what: "row serialization for erasure".to_owned(),
+            })?;
+            let ciphertext = escrow.erase(&plaintext);
+            let mut wrapped = WrappedPd::new(stored.row.clone(), stored.membrane.clone());
+            wrapped.erase_with(ciphertext.encode());
+            stored.row = wrapped.row().clone();
+            stored.membrane = wrapped.membrane().clone();
+            self.write_stored(location.ino, &stored)?;
+            index.mark_erased(id);
+            location
+        };
         DbfsStatsInner::bump(&self.stats.erasures);
         self.audit.record(
             self.clock.now(),
             Some(location.subject),
             AuditEventKind::Erased { pd: id },
         );
-        Ok(())
+        Ok(true)
     }
 
     /// Erases every record of a subject (a subject-wide right-to-be-forgotten
@@ -703,10 +1062,8 @@ impl<D: BlockDevice> Dbfs<D> {
         let targets: Vec<(DataTypeId, PdId)> = {
             let index = self.index.lock();
             index
-                .records
-                .iter()
-                .filter(|(_, loc)| loc.subject == subject && !loc.erased)
-                .map(|(id, loc)| (loc.data_type.clone(), *id))
+                .live_locations(index.subject_ids(subject))
+                .map(|(id, loc)| (loc.data_type.clone(), id))
                 .collect()
         };
         let mut erased = Vec::with_capacity(targets.len());
@@ -720,6 +1077,10 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Enforces the storage-limitation principle: erases every record whose
     /// retention period has elapsed.  Returns the expired identifiers.
     ///
+    /// The candidates come from the expiry index, so the sweep only ever
+    /// visits records that actually expired — unexpired and unbounded-TTL
+    /// records cost nothing, in memory or on disk.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors.
@@ -728,18 +1089,57 @@ impl<D: BlockDevice> Dbfs<D> {
         let candidates: Vec<(DataTypeId, PdId, SubjectId)> = {
             let index = self.index.lock();
             index
-                .records
-                .iter()
-                .filter(|(_, loc)| !loc.erased)
-                .map(|(id, loc)| (loc.data_type.clone(), *id, loc.subject))
+                .live_locations(
+                    index
+                        .by_expiry
+                        .range(..now)
+                        .flat_map(|(_, ids)| ids.iter().copied()),
+                )
+                .map(|(id, loc)| (loc.data_type.clone(), id, loc.subject))
                 .collect()
         };
         let mut expired = Vec::new();
+        let mut swept: BTreeSet<PdId> = BTreeSet::new();
         for (data_type, id, subject) in candidates {
-            let location = self.locate(&data_type, id)?;
-            let stored = self.read_stored(location.ino)?;
-            if stored.membrane.is_expired(now) {
-                self.erase(&data_type, id, escrow)?;
+            let reached_earlier = swept.contains(&id);
+            if !reached_earlier {
+                // Re-verify against the on-disk membrane header before
+                // erasing: a TTL change racing the sweep must never erase a
+                // record whose membrane no longer allows it.  The read and
+                // the heal happen under one lock acquisition so the heal
+                // cannot clobber a concurrent TTL change.
+                let still_expired = {
+                    let mut index = self.index.lock();
+                    // Tombstoned by someone else (a concurrent sweep or an
+                    // Art. 17 request) since the snapshot — not this sweep's
+                    // expiry to report.
+                    match index
+                        .records
+                        .get(&id)
+                        .filter(|loc| !loc.erased)
+                        .map(|loc| loc.ino)
+                    {
+                        None => false,
+                        Some(ino) => {
+                            let membrane = read_membrane_from(&self.fs, ino)?;
+                            if membrane.is_expired(now) {
+                                true
+                            } else {
+                                // Heal the stale expiry entry the race left.
+                                index.set_expiry(id, membrane.expiry_instant());
+                                false
+                            }
+                        }
+                    }
+                };
+                if !still_expired {
+                    continue;
+                }
+                swept.extend(self.erase(&data_type, id, escrow)?);
+            }
+            // Reported when erased by this iteration, or earlier in this
+            // sweep as the expired copy of another expired record.
+            if reached_earlier || swept.contains(&id) {
                 DbfsStatsInner::bump(&self.stats.expirations);
                 self.audit
                     .record(now, Some(subject), AuditEventKind::Expired { pd: id });
@@ -759,10 +1159,8 @@ impl<D: BlockDevice> Dbfs<D> {
         let locations: Vec<(PdId, RecordLocation)> = {
             let index = self.index.lock();
             index
-                .records
-                .iter()
-                .filter(|(_, loc)| loc.subject == subject && !loc.erased)
-                .map(|(id, loc)| (*id, loc.clone()))
+                .live_locations(index.subject_ids(subject))
+                .map(|(id, loc)| (id, loc.clone()))
                 .collect()
         };
         let mut out = Vec::with_capacity(locations.len());
@@ -796,12 +1194,38 @@ impl<D: BlockDevice> Dbfs<D> {
         };
         let locations: Vec<(PdId, RecordLocation)> = {
             let index = self.index.lock();
-            index
-                .records
-                .iter()
+            // Narrow the candidate set through the secondary indexes before
+            // touching the disk: seed it from the most selective source —
+            // an explicit id-list conjunct, then a subject conjunct, then
+            // the table index — so point and per-subject queries cost
+            // O(result), not O(table).
+            let mut subjects = Vec::new();
+            let mut id_sets = Vec::new();
+            request
+                .predicate
+                .conjunctive_hints(&mut subjects, &mut id_sets);
+            static EMPTY: BTreeSet<PdId> = BTreeSet::new();
+            let candidates: Box<dyn Iterator<Item = PdId> + '_> =
+                if let Some(smallest) = id_sets.iter().copied().min_by_key(|ids| ids.len()) {
+                    Box::new(smallest.iter().copied())
+                } else if !subjects.is_empty() {
+                    let smallest = subjects
+                        .iter()
+                        .map(|s| index.by_subject.get(s))
+                        .min_by_key(|set| set.map_or(0, BTreeSet::len))
+                        .flatten()
+                        .unwrap_or(&EMPTY);
+                    Box::new(smallest.iter().copied())
+                } else {
+                    Box::new(index.table_ids(&request.data_type))
+                };
+            candidates
+                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc)))
                 .filter(|(_, loc)| loc.data_type == request.data_type)
+                .filter(|(_, loc)| subjects.iter().all(|s| loc.subject == *s))
+                .filter(|(id, _)| id_sets.iter().all(|ids| ids.contains(id)))
                 .filter(|(_, loc)| !(request.skip_erased && loc.erased))
-                .map(|(id, loc)| (*id, loc.clone()))
+                .map(|(id, loc)| (id, loc.clone()))
                 .collect()
         };
         let mut batch = RecordBatch::new();
@@ -827,6 +1251,21 @@ impl<D: BlockDevice> Dbfs<D> {
 
     fn locate(&self, data_type: &DataTypeId, id: PdId) -> Result<RecordLocation, DbfsError> {
         let index = self.index.lock();
+        Self::locate_in(&index, data_type, id)
+    }
+
+    /// Like [`Dbfs::locate`] but against an already-held index lock, so that
+    /// read-modify-write operations can resolve and write atomically.
+    fn locate_in(
+        index: &DbfsIndex,
+        data_type: &DataTypeId,
+        id: PdId,
+    ) -> Result<RecordLocation, DbfsError> {
+        if !index.tables.contains_key(data_type) {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        }
         match index.records.get(&id) {
             Some(loc) if &loc.data_type == data_type => Ok(loc.clone()),
             _ => Err(DbfsError::UnknownPd { id: id.raw() }),
@@ -835,16 +1274,121 @@ impl<D: BlockDevice> Dbfs<D> {
 
     fn read_stored(&self, ino: Ino) -> Result<StoredRecord, DbfsError> {
         let bytes = self.fs.read_all(ino)?;
-        serde_json::from_slice(&bytes).map_err(|_| DbfsError::Corrupt {
+        let (membrane, row) = stored::decode(&bytes).map_err(|_| DbfsError::Corrupt {
             what: format!("record inode {ino}"),
-        })
+        })?;
+        Ok(StoredRecord { membrane, row })
     }
 
     fn write_stored(&self, ino: Ino, stored: &StoredRecord) -> Result<(), DbfsError> {
-        let bytes = serde_json::to_vec(stored).map_err(|_| DbfsError::Corrupt {
-            what: "record serialization".to_owned(),
-        })?;
+        let bytes = stored::encode(&stored.membrane, &stored.row)?;
         self.fs.write_replace(ino, &bytes)?;
+        Ok(())
+    }
+
+    /// Verifies that the secondary indexes agree with the primary record map
+    /// and with the membrane headers on disk.  Used by the property tests
+    /// and available to compliance audits.
+    ///
+    /// Expects a *quiescent* store: the disk comparison runs against an
+    /// index snapshot, so a writer racing this call can make the two
+    /// transiently disagree and produce a false corruption report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Corrupt`] describing the first violation found,
+    /// and propagates storage errors.
+    pub fn verify_index_invariants(&self) -> Result<(), DbfsError> {
+        let (records, by_table, by_subject, copies_of, by_expiry) = {
+            let index = self.index.lock();
+            (
+                index.records.clone(),
+                index.by_table.clone(),
+                index.by_subject.clone(),
+                index.copies_of.clone(),
+                index.by_expiry.clone(),
+            )
+        };
+        let violation = |what: String| DbfsError::Corrupt { what };
+        // Every record is present in exactly the right secondary entries.
+        for (id, loc) in &records {
+            if !by_table
+                .get(&loc.data_type)
+                .is_some_and(|ids| ids.contains(id))
+            {
+                return Err(violation(format!("{id} missing from table index")));
+            }
+            if !by_subject
+                .get(&loc.subject)
+                .is_some_and(|ids| ids.contains(id))
+            {
+                return Err(violation(format!("{id} missing from subject index")));
+            }
+            if let Some(original) = loc.copied_from {
+                if !copies_of.get(&original).is_some_and(|ids| ids.contains(id)) {
+                    return Err(violation(format!("{id} missing from lineage index")));
+                }
+            }
+            if let Some(at) = loc.expires_at {
+                if loc.erased {
+                    return Err(violation(format!("tombstone {id} still carries an expiry")));
+                }
+                if !by_expiry.get(&at).is_some_and(|ids| ids.contains(id)) {
+                    return Err(violation(format!("{id} missing from expiry index")));
+                }
+            }
+        }
+        // No secondary entry points at a missing or mismatched record.
+        for (data_type, ids) in &by_table {
+            for id in ids {
+                if records.get(id).map(|loc| &loc.data_type) != Some(data_type) {
+                    return Err(violation(format!("table index points {id} at {data_type}")));
+                }
+            }
+        }
+        for (subject, ids) in &by_subject {
+            for id in ids {
+                if records.get(id).map(|loc| loc.subject) != Some(*subject) {
+                    return Err(violation(format!("subject index points {id} at {subject}")));
+                }
+            }
+        }
+        for (original, ids) in &copies_of {
+            for id in ids {
+                if records.get(id).and_then(|loc| loc.copied_from) != Some(*original) {
+                    return Err(violation(format!(
+                        "lineage index points {id} at {original}"
+                    )));
+                }
+            }
+        }
+        for (at, ids) in &by_expiry {
+            for id in ids {
+                let Some(loc) = records.get(id) else {
+                    return Err(violation(format!("expiry index holds unknown {id}")));
+                };
+                if loc.erased || loc.expires_at != Some(*at) {
+                    return Err(violation(format!("expiry index mis-keys {id}")));
+                }
+            }
+        }
+        // The indexed locations agree with the membrane headers on disk.
+        for (id, loc) in &records {
+            let membrane = read_membrane_from(&self.fs, loc.ino)?;
+            if membrane.subject() != loc.subject
+                || membrane.is_erased() != loc.erased
+                || membrane.copied_from() != loc.copied_from
+            {
+                return Err(violation(format!(
+                    "{id} disagrees with its on-disk membrane"
+                )));
+            }
+            if membrane.expiry_instant() != loc.expires_at {
+                return Err(violation(format!(
+                    "{id} expiry disagrees with its membrane"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -1001,6 +1545,208 @@ mod tests {
             Err(DbfsError::Erased { .. })
         ));
         assert_eq!(dbfs.stats().erasures, 2);
+    }
+
+    #[test]
+    fn erasure_reaches_transitive_copies() {
+        // Regression test for the lineage bug: a copy-of-a-copy must not
+        // survive the erasure of the chain's original (GDPR art. 17).
+        let dbfs = dbfs();
+        let authority = Authority::generate(13);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let original = dbfs
+            .collect("user", SubjectId::new(6), user_row("Chain", 1988))
+            .unwrap();
+        let copy = dbfs.copy(&"user".into(), original).unwrap();
+        let copy_of_copy = dbfs.copy(&"user".into(), copy).unwrap();
+        assert_eq!(
+            dbfs.get(&"user".into(), copy_of_copy)
+                .unwrap()
+                .membrane()
+                .copied_from(),
+            Some(copy),
+            "the second hop's lineage points at the first copy, not the original"
+        );
+
+        dbfs.erase(&"user".into(), original, &escrow).unwrap();
+        for id in [original, copy, copy_of_copy] {
+            assert!(
+                dbfs.get(&"user".into(), id).unwrap().membrane().is_erased(),
+                "pd-{} survived a lineage erasure",
+                id.raw()
+            );
+        }
+        assert_eq!(dbfs.count(&"user".into()), 0);
+        assert_eq!(dbfs.stats().erasures, 3);
+        // Every hop's erasure is individually audited.
+        assert_eq!(
+            dbfs.audit()
+                .count_matching(|e| matches!(e.kind, AuditEventKind::Erased { .. })),
+            3
+        );
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn live_copies_of_erased_originals_cannot_be_inserted() {
+        // The storage-level half of the copy/erase race: once an original
+        // is tombstoned, inserting a live record whose lineage points at it
+        // is refused, so no plaintext copy can slip past an erasure.
+        let dbfs = dbfs();
+        let authority = Authority::generate(21);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(2), user_row("Gone", 1970))
+            .unwrap();
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        let membrane = Membrane::from_schema(
+            &listing1_user_schema(),
+            SubjectId::new(2),
+            dbfs.clock().now(),
+        )
+        .for_copy(id);
+        assert!(matches!(
+            dbfs.insert_wrapped(
+                &"user".into(),
+                WrappedPd::new(user_row("Gone", 1970), membrane),
+            ),
+            Err(DbfsError::Erased { .. })
+        ));
+        assert_eq!(dbfs.count(&"user".into()), 0);
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_images_migrate_on_mount() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        // Hand-build a format-v1 image: bare-counter metadata and
+        // single-section JSON records.
+        {
+            let fs = InodeFs::format(
+                Arc::clone(&device),
+                FormatParams::small()
+                    .with_inode_count(512)
+                    .with_secure_free(true),
+                JournalMode::Scrub,
+            )
+            .unwrap();
+            let tables_ino = fs.alloc_inode(InodeKind::Directory).unwrap();
+            fs.dir_add(ROOT_INO, TABLES_DIR, tables_ino).unwrap();
+            let subjects_ino = fs.alloc_inode(InodeKind::Directory).unwrap();
+            fs.dir_add(ROOT_INO, SUBJECTS_DIR, subjects_ino).unwrap();
+            let meta_ino = fs.alloc_inode(InodeKind::File).unwrap();
+            fs.dir_add(ROOT_INO, META_ENTRY, meta_ino).unwrap();
+            fs.write_replace(meta_ino, &1u64.to_le_bytes()).unwrap();
+            let table_ino = fs.alloc_inode(InodeKind::Table).unwrap();
+            fs.dir_add(tables_ino, "user", table_ino).unwrap();
+            let schema_ino = fs.alloc_inode(InodeKind::Schema).unwrap();
+            fs.write_replace(
+                schema_ino,
+                &serde_json::to_vec(&listing1_user_schema()).unwrap(),
+            )
+            .unwrap();
+            fs.dir_add(table_ino, SCHEMA_ENTRY, schema_ino).unwrap();
+
+            #[derive(serde::Serialize)]
+            struct V1 {
+                membrane: Membrane,
+                row: Row,
+            }
+            let legacy = V1 {
+                membrane: Membrane::from_schema(
+                    &listing1_user_schema(),
+                    SubjectId::new(9),
+                    rgpdos_core::Timestamp::ZERO,
+                ),
+                row: user_row("Legacy", 1975),
+            };
+            let record_ino = fs.alloc_inode(InodeKind::Record).unwrap();
+            fs.write_replace(record_ino, &serde_json::to_vec(&legacy).unwrap())
+                .unwrap();
+            fs.dir_add(table_ino, "pd-0", record_ino).unwrap();
+            let subject_ino = fs.alloc_inode(InodeKind::SubjectRoot).unwrap();
+            fs.dir_add(subjects_ino, "subject-9", subject_ino).unwrap();
+            fs.dir_add(subject_ino, "user#pd-0", record_ino).unwrap();
+
+            // A second record already in the *split* layout while the
+            // metadata still says v1 — the image a crash mid-migration
+            // leaves behind.  The migration must stay idempotent.
+            let membrane = Membrane::from_schema(
+                &listing1_user_schema(),
+                SubjectId::new(9),
+                rgpdos_core::Timestamp::ZERO,
+            );
+            let row = user_row("Partial", 1980);
+            let record2_ino = fs.alloc_inode(InodeKind::Record).unwrap();
+            fs.write_replace(record2_ino, &stored::encode(&membrane, &row).unwrap())
+                .unwrap();
+            fs.dir_add(table_ino, "pd-1", record2_ino).unwrap();
+            fs.dir_add(subject_ino, "user#pd-1", record2_ino).unwrap();
+            fs.write_replace(meta_ino, &2u64.to_le_bytes()).unwrap();
+        }
+
+        // Mounting migrates the records to the split layout and stamps v2.
+        let dbfs = Dbfs::mount(Arc::clone(&device)).unwrap();
+        let record = dbfs.get(&"user".into(), PdId::new(0)).unwrap();
+        assert_eq!(record.row().get("name").unwrap().as_text(), Some("Legacy"));
+        assert_eq!(record.subject(), SubjectId::new(9));
+        let record = dbfs.get(&"user".into(), PdId::new(1)).unwrap();
+        assert_eq!(record.row().get("name").unwrap().as_text(), Some("Partial"));
+        dbfs.verify_index_invariants().unwrap();
+        drop(dbfs);
+
+        // A second mount takes the v2 header-only path and keeps working.
+        let dbfs = Dbfs::mount(device).unwrap();
+        assert_eq!(dbfs.count(&"user".into()), 2);
+        let id = dbfs
+            .collect("user", SubjectId::new(9), user_row("New", 2000))
+            .unwrap();
+        assert_eq!(id, PdId::new(2));
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn load_membranes_reads_headers_not_payloads() {
+        use rgpdos_blockdev::{InstrumentedDevice, LatencyModel};
+        let device = Arc::new(InstrumentedDevice::new(
+            MemDevice::new(16_384, 512),
+            LatencyModel::nvme(),
+        ));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        // A fat payload spanning many blocks, so header-only reads are
+        // visibly cheaper than full-record reads.
+        let blob = "x".repeat(8 * 512);
+        for i in 0..4u64 {
+            dbfs.collect(
+                "user",
+                SubjectId::new(i),
+                Row::new()
+                    .with("name", blob.as_str())
+                    .with("pwd", "pw")
+                    .with("year_of_birthdate", 1990i64),
+            )
+            .unwrap();
+        }
+        device.reset_stats();
+        let membranes = dbfs.load_membranes(&"user".into()).unwrap();
+        assert_eq!(membranes.len(), 4);
+        let header_reads = device.stats().reads;
+        device.reset_stats();
+        let batch = dbfs
+            .load_records(
+                &"user".into(),
+                &membranes.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            )
+            .unwrap();
+        assert_eq!(batch.len(), 4);
+        let full_reads = device.stats().reads;
+        assert!(
+            header_reads * 2 <= full_reads,
+            "membrane-only loads should cost a fraction of full loads \
+             (headers: {header_reads} block reads, full: {full_reads})"
+        );
+        assert_eq!(dbfs.stats().membrane_loads, 4);
     }
 
     #[test]

@@ -26,6 +26,24 @@
 //! rule is enforced by the LSM layer of [`rgpdos_kernel`] and exercised in
 //! the integration tests.
 //!
+//! ## Split record layout and secondary indexes (format v2)
+//!
+//! Each record inode holds a **length-prefixed membrane header followed by
+//! the row payload** ([`rgpdos_core::record::stored`]).  Membrane-only reads
+//! — the `ded_load_membrane` request that consent filtering runs on — fetch
+//! and decode the header section without ever reading the payload, making
+//! data minimisation hold at the storage layer too.  Mounting a format-v1
+//! image (single-section JSON records, bare-counter metadata) migrates it in
+//! place.
+//!
+//! The in-memory index keeps four secondary maps besides the primary record
+//! map: per-table and per-subject id sets (bounding every scan to the
+//! records actually involved), a **reverse copy-lineage** map (so the right
+//! to be forgotten reaches every *transitive* copy via a pure index walk),
+//! and an **expiry** map keyed by expiry instant (so retention sweeps only
+//! visit records that actually expired).  `Dbfs::verify_index_invariants`
+//! checks all of them against the primary map and the on-disk headers.
+//!
 //! ## Example
 //!
 //! ```rust

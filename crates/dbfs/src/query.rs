@@ -2,6 +2,7 @@
 //! generates from a processing's input type (`ded_type2req`).
 
 use rgpdos_core::{DataTypeId, FieldValue, PdId, Row, SubjectId, ViewId};
+use std::collections::BTreeSet;
 
 /// A row-level predicate.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,8 +11,10 @@ pub enum Predicate {
     All,
     /// Only rows of this subject match.
     SubjectIs(SubjectId),
-    /// Only these personal-data items match.
-    PdIn(Vec<PdId>),
+    /// Only these personal-data items match.  The set membership test is a
+    /// tree lookup, so large id lists stay cheap per row; build one with
+    /// [`Predicate::pd_in`].
+    PdIn(BTreeSet<PdId>),
     /// The named field equals the given value.
     FieldEquals {
         /// Field name.
@@ -51,6 +54,31 @@ impl Predicate {
     /// Combines two predicates conjunctively.
     pub fn and(self, other: Predicate) -> Predicate {
         Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Builds a [`Predicate::PdIn`] from any id collection.
+    pub fn pd_in(ids: impl IntoIterator<Item = PdId>) -> Predicate {
+        Predicate::PdIn(ids.into_iter().collect())
+    }
+
+    /// Collects the subject and id-list constraints that *must* hold for any
+    /// row to match (the conjuncts reachable through `And` alone), so the
+    /// query planner can narrow its candidate set through the secondary
+    /// indexes before reading anything from disk.
+    pub(crate) fn conjunctive_hints<'a>(
+        &'a self,
+        subjects: &mut Vec<SubjectId>,
+        id_sets: &mut Vec<&'a BTreeSet<PdId>>,
+    ) {
+        match self {
+            Predicate::SubjectIs(subject) => subjects.push(*subject),
+            Predicate::PdIn(ids) => id_sets.push(ids),
+            Predicate::And(a, b) => {
+                a.conjunctive_hints(subjects, id_sets);
+                b.conjunctive_hints(subjects, id_sets);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -129,8 +157,8 @@ mod tests {
         assert!(Predicate::All.matches(id, subject, &r));
         assert!(Predicate::SubjectIs(subject).matches(id, subject, &r));
         assert!(!Predicate::SubjectIs(SubjectId::new(8)).matches(id, subject, &r));
-        assert!(Predicate::PdIn(vec![PdId::new(3)]).matches(id, subject, &r));
-        assert!(!Predicate::PdIn(vec![]).matches(id, subject, &r));
+        assert!(Predicate::pd_in([PdId::new(3)]).matches(id, subject, &r));
+        assert!(!Predicate::pd_in([]).matches(id, subject, &r));
         assert!(Predicate::FieldEquals {
             field: "name".into(),
             value: "Chiraz".into()
@@ -162,6 +190,29 @@ mod tests {
         assert!(!Predicate::All
             .and(Predicate::SubjectIs(SubjectId::new(9)))
             .matches(id, subject, &r));
+    }
+
+    #[test]
+    fn conjunctive_hints_collect_subject_and_id_constraints() {
+        let ids: BTreeSet<PdId> = [PdId::new(1), PdId::new(2)].into();
+        let p = Predicate::SubjectIs(SubjectId::new(4))
+            .and(Predicate::PdIn(ids.clone()))
+            .and(Predicate::IntFieldLessThan {
+                field: "year_of_birthdate".into(),
+                bound: 2000,
+            });
+        let mut subjects = Vec::new();
+        let mut id_sets = Vec::new();
+        p.conjunctive_hints(&mut subjects, &mut id_sets);
+        assert_eq!(subjects, vec![SubjectId::new(4)]);
+        assert_eq!(id_sets, vec![&ids]);
+        // Constraints guarded by non-And combinators are not treated as
+        // mandatory (there is no Or today, but the walk must stay sound if
+        // one appears inside a field predicate).
+        let mut subjects = Vec::new();
+        let mut id_sets = Vec::new();
+        Predicate::All.conjunctive_hints(&mut subjects, &mut id_sets);
+        assert!(subjects.is_empty() && id_sets.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct DbfsStatsInner {
     pub(crate) collects: AtomicU64,
     pub(crate) reads: AtomicU64,
+    pub(crate) membrane_loads: AtomicU64,
     pub(crate) updates: AtomicU64,
     pub(crate) copies: AtomicU64,
     pub(crate) erasures: AtomicU64,
@@ -22,6 +23,8 @@ pub struct DbfsStats {
     pub collects: u64,
     /// Records read individually.
     pub reads: u64,
+    /// Membrane-only header reads (the `ded_load_membrane` path).
+    pub membrane_loads: u64,
     /// Records updated.
     pub updates: u64,
     /// Records copied.
@@ -39,6 +42,7 @@ impl DbfsStatsInner {
         DbfsStats {
             collects: self.collects.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
+            membrane_loads: self.membrane_loads.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
             copies: self.copies.load(Ordering::Relaxed),
             erasures: self.erasures.load(Ordering::Relaxed),
@@ -56,9 +60,10 @@ impl fmt::Display for DbfsStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "collects={} reads={} updates={} copies={} erasures={} expirations={} queries={}",
+            "collects={} reads={} membrane_loads={} updates={} copies={} erasures={} expirations={} queries={}",
             self.collects,
             self.reads,
+            self.membrane_loads,
             self.updates,
             self.copies,
             self.erasures,

@@ -88,7 +88,8 @@ impl<'a, D: BlockDevice> Builtins<'a, D> {
     /// Propagates DBFS and kernel errors.
     pub fn delete(&self, data_type: &DataTypeId, id: PdId) -> Result<(), DedError> {
         self.with_builtin_task(Operation::Write, || {
-            Ok(self.ded.dbfs().erase(data_type, id, self.ded.escrow())?)
+            self.ded.dbfs().erase(data_type, id, self.ded.escrow())?;
+            Ok(())
         })
     }
 

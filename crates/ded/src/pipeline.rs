@@ -188,20 +188,31 @@ impl<D: BlockDevice> DedEngine<D> {
             }
         }
 
-        // ded_type2req + ded_load_membrane: DBFS is asked for membranes only.
+        // ded_type2req + ded_load_membrane: DBFS is asked for membranes
+        // only, and only for the requested target — single-item and
+        // per-subject invocations resolve through the record and subject
+        // indexes instead of scanning the whole table.
         self.machine
             .mediated_access(task, ObjectClass::DbfsStorage, Operation::Read)?;
-        let membranes = self.dbfs.load_membranes(&data_type)?;
-
-        // Narrow to the requested target.
-        let candidates: Vec<(PdId, rgpdos_core::Membrane)> = membranes
-            .into_iter()
-            .filter(|(id, membrane)| match &request.target {
-                InvokeTarget::WholeType => true,
-                InvokeTarget::Single(pd) => pd.pd() == *id,
-                InvokeTarget::Subject(subject) => membrane.subject() == *subject,
-            })
-            .collect();
+        let candidates: Vec<(PdId, rgpdos_core::Membrane)> = match &request.target {
+            InvokeTarget::WholeType => self.dbfs.load_membranes(&data_type)?,
+            InvokeTarget::Single(pd) => {
+                let id = pd.pd();
+                match self.dbfs.load_membrane(&data_type, id) {
+                    Ok(membrane) => vec![(id, membrane)],
+                    // An id that does not exist (or lives in another table)
+                    // is an empty target, not an invocation failure.  An
+                    // uninstalled input type surfaces as `UnknownType`,
+                    // exactly as the whole-type and subject targets report
+                    // it.
+                    Err(rgpdos_dbfs::DbfsError::UnknownPd { .. }) => Vec::new(),
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            InvokeTarget::Subject(subject) => {
+                self.dbfs.load_membranes_for_subject(&data_type, *subject)?
+            }
+        };
 
         // ded_filter: consent + retention filtering before any data is read.
         let mut allowed: Vec<(PdId, AccessDecision)> = Vec::new();
@@ -586,6 +597,35 @@ mod tests {
             .invoke(h.compute_age, InvokeRequest::subject(SubjectId::new(2)))
             .unwrap();
         assert_eq!(subject.processed, 2);
+    }
+
+    #[test]
+    fn single_target_distinguishes_missing_record_from_missing_table() {
+        let h = harness();
+        // A processing whose input type was never installed in DBFS fails
+        // for the single target exactly as it does for the other targets.
+        let spec = ProcessingSpec::builder("ghost_input", "ghost_table")
+            .source("/* purpose1 */")
+            .purpose_name("purpose1")
+            .function(Arc::new(|_row| Ok(ProcessingOutput::Nothing)))
+            .build();
+        let outcome = h.ded.processing_store().register(spec).unwrap();
+        assert!(matches!(
+            h.ded.invoke(
+                outcome.id,
+                InvokeRequest::single(PdRef::new("ghost_table".into(), PdId::new(0))),
+            ),
+            Err(DedError::Dbfs(rgpdos_dbfs::DbfsError::UnknownType { .. }))
+        ));
+        // An unknown id in an installed table is just an empty target.
+        let result = h
+            .ded
+            .invoke(
+                h.compute_age,
+                InvokeRequest::single(PdRef::new("user".into(), PdId::new(999))),
+            )
+            .unwrap();
+        assert_eq!(result.processed + result.denied, 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rgpdos_core::{ConsentDecision, Row, SubjectId};
+use rgpdos_core::{ConsentDecision, DataTypeSchema, FieldType, Row, SubjectId};
 
 /// One generated data subject with the `user` row of Listing 1 and the
 /// consent decision they give to the benchmark purpose.
@@ -118,9 +118,122 @@ impl PopulationGenerator {
     }
 }
 
+/// Deterministic generator for the many-tables/many-subjects scaling
+/// scenario: `tables` independent data types, each populated with
+/// `records_per_table` rows spread over `subjects` subjects, every row
+/// carrying a `payload_bytes`-sized blob so that records span several device
+/// blocks (which is what makes membrane-only reads measurably cheaper than
+/// full-record reads).
+#[derive(Debug, Clone)]
+pub struct MultiTableWorkload {
+    tables: usize,
+    records_per_table: usize,
+    subjects: usize,
+    payload_bytes: usize,
+}
+
+impl MultiTableWorkload {
+    /// Creates a workload of `tables` tables with `records_per_table`
+    /// records each (64 subjects and a 2 KiB payload by default).
+    pub fn new(tables: usize, records_per_table: usize) -> Self {
+        Self {
+            tables,
+            records_per_table,
+            subjects: 64,
+            payload_bytes: 2_048,
+        }
+    }
+
+    /// Sets how many distinct subjects the rows are spread over.
+    #[must_use]
+    pub fn with_subjects(mut self, subjects: usize) -> Self {
+        assert!(subjects > 0, "at least one subject");
+        self.subjects = subjects;
+        self
+    }
+
+    /// Sets the payload blob size per row.
+    #[must_use]
+    pub fn with_payload_bytes(mut self, payload_bytes: usize) -> Self {
+        self.payload_bytes = payload_bytes;
+        self
+    }
+
+    /// Number of tables in the workload.
+    pub fn tables(&self) -> usize {
+        self.tables
+    }
+
+    /// Records per table.
+    pub fn records_per_table(&self) -> usize {
+        self.records_per_table
+    }
+
+    /// Total number of records across every table.
+    pub fn total_records(&self) -> usize {
+        self.tables * self.records_per_table
+    }
+
+    /// The name of table `index`.
+    pub fn table_name(index: usize) -> String {
+        format!("scale_{index:03}")
+    }
+
+    /// The schema of table `index` (a sequence number plus the payload).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the generated schema is valid by construction.
+    pub fn schema(&self, index: usize) -> DataTypeSchema {
+        DataTypeSchema::builder(Self::table_name(index).as_str())
+            .field("seq", FieldType::Int)
+            .field("payload", FieldType::Text)
+            .build()
+            .expect("scaling schema is valid")
+    }
+
+    /// The `(subject, row)` pairs of table `index`, deterministically
+    /// derived from the table number and row sequence.
+    pub fn rows(&self, index: usize) -> impl Iterator<Item = (SubjectId, Row)> + '_ {
+        let payload = "x".repeat(self.payload_bytes);
+        (0..self.records_per_table).map(move |seq| {
+            let global = index * self.records_per_table + seq;
+            (
+                SubjectId::new((global % self.subjects) as u64),
+                Row::new()
+                    .with("seq", seq as i64)
+                    .with("payload", payload.as_str()),
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multi_table_workload_is_deterministic_and_schema_valid() {
+        let workload = MultiTableWorkload::new(3, 10)
+            .with_subjects(4)
+            .with_payload_bytes(128);
+        assert_eq!(workload.tables(), 3);
+        assert_eq!(workload.total_records(), 30);
+        for table in 0..workload.tables() {
+            let schema = workload.schema(table);
+            assert_eq!(
+                schema.name().as_str(),
+                MultiTableWorkload::table_name(table)
+            );
+            let rows: Vec<_> = workload.rows(table).collect();
+            assert_eq!(rows.len(), 10);
+            for (subject, row) in &rows {
+                assert!(subject.raw() < 4);
+                schema.validate_row(row).unwrap();
+            }
+            assert_eq!(workload.rows(table).collect::<Vec<_>>(), rows);
+        }
+    }
 
     #[test]
     fn generation_is_deterministic() {

@@ -421,6 +421,17 @@ impl RgpdOs {
         Ok(self.rights.right_to_be_forgotten(subject)?)
     }
 
+    /// Storage limitation (art. 5(1)(e)): crypto-erases every record whose
+    /// retention period has elapsed.  The sweep is driven by the DBFS expiry
+    /// index, so it only ever visits records that actually expired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn enforce_retention(&self) -> Result<Vec<PdId>, RuntimeError> {
+        Ok(self.rights.enforce_retention()?)
+    }
+
     /// Runs the compliance checker.
     ///
     /// # Errors
@@ -528,12 +539,21 @@ mod tests {
 
     #[test]
     fn subject_rights_through_the_runtime() {
+        use rgpdos_core::Duration;
         let os = RgpdOs::boot_default().unwrap();
         os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
         os.collect("user", SubjectId::new(3), user_row("Right", 1980))
             .unwrap();
         let package = os.right_of_access(SubjectId::new(3)).unwrap();
         assert_eq!(package.items.len(), 1);
+        // Nothing has expired yet; the sweep is an indexed no-op.
+        assert!(os.enforce_retention().unwrap().is_empty());
+        // Past the 1-year TTL of Listing 1 the record is swept.
+        os.clock().advance(Duration::from_days(366));
+        assert_eq!(os.enforce_retention().unwrap().len(), 1);
+        os.clock().advance(Duration::from_days(1));
+        os.collect("user", SubjectId::new(3), user_row("Again", 1981))
+            .unwrap();
         let receipt = os.right_to_be_forgotten(SubjectId::new(3)).unwrap();
         assert_eq!(receipt.erased.len(), 1);
         assert!(os.right_of_access(SubjectId::new(3)).is_err());

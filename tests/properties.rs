@@ -109,6 +109,153 @@ proptest! {
     }
 }
 
+/// One step of the index-consistency property: the operations a DBFS index
+/// must survive in any order (insert, copy, erase, subject-wide erase, TTL
+/// change, clock advance, retention sweep).
+#[derive(Debug, Clone)]
+enum DbfsOp {
+    Collect { subject: u8 },
+    Copy { pick: u8 },
+    Erase { pick: u8 },
+    EraseSubject { subject: u8 },
+    SetTtlDays { pick: u8, days: u64 },
+    AdvanceDays { days: u64 },
+    Purge,
+}
+
+fn dbfs_op_strategy() -> impl Strategy<Value = DbfsOp> {
+    prop_oneof![
+        (0u8..6).prop_map(|subject| DbfsOp::Collect { subject }),
+        any::<u8>().prop_map(|pick| DbfsOp::Copy { pick }),
+        any::<u8>().prop_map(|pick| DbfsOp::Erase { pick }),
+        (0u8..6).prop_map(|subject| DbfsOp::EraseSubject { subject }),
+        (any::<u8>(), 1u64..800).prop_map(|(pick, days)| DbfsOp::SetTtlDays { pick, days }),
+        (1u64..400).prop_map(|days| DbfsOp::AdvanceDays { days }),
+        proptest::strategy::Just(DbfsOp::Purge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After an arbitrary sequence of lifecycle operations the secondary
+    /// indexes (per-table, per-subject, reverse lineage, expiry) agree with
+    /// the primary record map and with the membrane headers on disk — and a
+    /// remount rebuilds the same picture.
+    #[test]
+    fn secondary_indexes_stay_consistent(
+        ops in proptest::collection::vec(dbfs_op_strategy(), 1..40)
+    ) {
+        let device = Arc::new(MemDevice::new(16_384, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(99);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let user = rgpdos::core::DataTypeId::from("user");
+        let mut ids: Vec<PdId> = Vec::new();
+        for op in ops {
+            match op {
+                DbfsOp::Collect { subject } => {
+                    let row = Row::new()
+                        .with("name", format!("subject-{subject}"))
+                        .with("pwd", "pw")
+                        .with("year_of_birthdate", 1990i64);
+                    ids.push(dbfs.collect("user", SubjectId::new(subject as u64), row).unwrap());
+                }
+                DbfsOp::Copy { pick } if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    // Copying an erased record is (correctly) refused.
+                    if let Ok(copy) = dbfs.copy(&user, id) {
+                        ids.push(copy);
+                    }
+                }
+                DbfsOp::Erase { pick } if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    dbfs.erase(&user, id, &escrow).unwrap();
+                }
+                DbfsOp::EraseSubject { subject } => {
+                    dbfs.erase_subject(SubjectId::new(subject as u64), &escrow).unwrap();
+                }
+                DbfsOp::SetTtlDays { pick, days } if !ids.is_empty() => {
+                    let id = ids[pick as usize % ids.len()];
+                    dbfs.apply_membrane_delta(
+                        &user,
+                        id,
+                        &MembraneDelta::SetTimeToLive { ttl: TimeToLive::days(days) },
+                    )
+                    .unwrap();
+                }
+                DbfsOp::AdvanceDays { days } => {
+                    dbfs.clock().advance(Duration::from_days(days));
+                }
+                DbfsOp::Purge => {
+                    dbfs.purge_expired(&escrow).unwrap();
+                }
+                // Pick-based operations on an empty store are no-ops.
+                _ => {}
+            }
+        }
+        dbfs.verify_index_invariants().unwrap();
+        let live = dbfs.count(&user);
+        drop(dbfs);
+        let remounted = Dbfs::mount(device).unwrap();
+        remounted.verify_index_invariants().unwrap();
+        prop_assert_eq!(remounted.count(&user), live);
+    }
+}
+
+/// The index stays consistent under concurrent use of a shared
+/// `Arc<Dbfs<_>>`.  Each thread works in its own table so the final
+/// verification observes every thread's full history.
+#[test]
+fn concurrent_dbfs_operations_keep_indexes_consistent() {
+    use rgpdos::core::{DataTypeSchema, FieldType};
+    let device = Arc::new(MemDevice::new(32_768, 512));
+    let dbfs = Arc::new(Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap());
+    for thread in 0..4 {
+        dbfs.create_type(
+            DataTypeSchema::builder(format!("events_{thread}"))
+                .field("name", FieldType::Text)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    let authority = Authority::generate(7);
+    let escrow = Arc::new(OperatorEscrow::new(authority.public_key()));
+    let mut handles = Vec::new();
+    for thread in 0..4u64 {
+        let dbfs = Arc::clone(&dbfs);
+        let escrow = Arc::clone(&escrow);
+        handles.push(std::thread::spawn(move || {
+            let table = rgpdos::core::DataTypeId::from(format!("events_{thread}").as_str());
+            for i in 0..25u64 {
+                let subject = SubjectId::new(thread * 100 + i % 5);
+                let row = Row::new().with("name", format!("t{thread}-i{i}"));
+                let id = dbfs.collect(table.clone(), subject, row).unwrap();
+                if i % 3 == 0 {
+                    let copy = dbfs.copy(&table, id).unwrap();
+                    if i % 6 == 0 {
+                        // Erasing the original must reach the copy.
+                        dbfs.erase(&table, id, &escrow).unwrap();
+                        assert!(dbfs.get(&table, copy).unwrap().membrane().is_erased());
+                    }
+                }
+                assert!(!dbfs.load_membranes(&table).unwrap().is_empty());
+                dbfs.records_of_subject(subject).unwrap();
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    dbfs.verify_index_invariants().unwrap();
+    // 100 direct collects plus 36 copies (copies store through the same
+    // path, so they count as collects too).
+    assert_eq!(dbfs.stats().collects, 136);
+    assert_eq!(dbfs.stats().copies, 36);
+}
+
 /// Erasure leaves no plaintext residue for arbitrary (printable) payloads —
 /// the storage-level half of the right to be forgotten, checked end to end
 /// against the raw device.
