@@ -2,7 +2,10 @@
 //! `DESIGN.md` and prints the series the way the paper reports them.
 //!
 //! Run everything with `cargo run -p rgpdos-bench --bin experiments --release`,
-//! or a single experiment with e.g. `--fig1`, `--c4`.
+//! or a single experiment with e.g. `--fig1`, `--c4`.  Pass
+//! `--json <path>` to additionally write a machine-readable results file
+//! (scenario name, counters, elapsed milliseconds per entry), so the perf
+//! trajectory can be tracked across commits.
 
 use rgpdos::blockdev::{scan_for_pattern, LatencyModel};
 use rgpdos::kernel::{ObjectClass, Operation, SecurityContext, Syscall};
@@ -11,58 +14,98 @@ use rgpdos::workloads::penalties::{dataset, top_sectors, totals_by_year};
 use rgpdos::workloads::WorkloadMix;
 use rgpdos_bench::{
     baseline_scenario, compute_age_spec, rgpdos_scenario, run_mix_on_baseline, run_mix_on_rgpdos,
-    scaling_scenario, BENCH_PURPOSE,
+    scaling_scenario, sharded_scaling_scenario, ShardedScalingScenario, BENCH_PURPOSE,
 };
+use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// One machine-readable result entry.
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    scenario: String,
+    counters: BTreeMap<String, f64>,
+    elapsed_ms: f64,
+}
+
+/// The report written by `--json <path>`.
+#[derive(Debug, Default, Serialize)]
+struct BenchReport {
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    fn push(
+        &mut self,
+        scenario: impl Into<String>,
+        counters: impl IntoIterator<Item = (&'static str, f64)>,
+        elapsed_ms: f64,
+    ) {
+        self.entries.push(BenchEntry {
+            scenario: scenario.into(),
+            counters: counters
+                .into_iter()
+                .map(|(key, value)| (key.to_owned(), value))
+                .collect(),
+            elapsed_ms,
+        });
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let run_all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let wants = |flag: &str| run_all || args.iter().any(|a| a == flag);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let flags: Vec<String> = {
+        let mut flags = args.clone();
+        if let Some(i) = flags.iter().position(|a| a == "--json") {
+            flags.drain(i..(i + 2).min(flags.len()));
+        }
+        flags
+    };
+    let run_all = flags.is_empty() || flags.iter().any(|a| a == "--all");
+    let wants = |flag: &str| run_all || flags.iter().any(|a| a == flag);
+    let mut report = BenchReport::default();
 
     println!("rgpdOS reproduction — experiment driver");
     println!("=======================================\n");
 
-    if wants("--fig1") {
-        fig1();
-    }
-    if wants("--fig2") {
-        fig2();
-    }
-    if wants("--fig3") {
-        fig3();
-    }
-    if wants("--fig4") {
-        fig4();
-    }
-    if wants("--listings") {
-        listings();
-    }
-    if wants("--c1") {
-        c1();
-    }
-    if wants("--c2") {
-        c2();
-    }
-    if wants("--c3") {
-        c3();
-    }
-    if wants("--c4") {
-        c4();
-    }
-    if wants("--c5") {
-        c5();
-    }
-    if wants("--s1") {
-        s1();
-    }
-    if wants("--ablations") {
-        ablations();
+    let mut timed = |name: &str, enabled: bool, body: &mut dyn FnMut(&mut BenchReport)| {
+        if !enabled {
+            return;
+        }
+        let start = Instant::now();
+        body(&mut report);
+        let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+        report.push(format!("experiment:{name}"), [], elapsed);
+    };
+
+    timed("fig1", wants("--fig1"), &mut |_| fig1());
+    timed("fig2", wants("--fig2"), &mut |_| fig2());
+    timed("fig3", wants("--fig3"), &mut |_| fig3());
+    timed("fig4", wants("--fig4"), &mut |_| fig4());
+    timed("listings", wants("--listings"), &mut |_| listings());
+    timed("c1", wants("--c1"), &mut |_| c1());
+    timed("c2", wants("--c2"), &mut |_| c2());
+    timed("c3", wants("--c3"), &mut |_| c3());
+    timed("c4", wants("--c4"), &mut |_| c4());
+    timed("c5", wants("--c5"), &mut |_| c5());
+    timed("s1", wants("--s1"), &mut |report| s1(report));
+    timed("s2", wants("--s2"), &mut |report| s2(report));
+    timed("ablations", wants("--ablations"), &mut |_| ablations());
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+        std::fs::write(&path, json).expect("write bench report");
+        println!("(machine-readable results written to {path})");
     }
 }
 
-fn s1() {
+fn s1(report: &mut BenchReport) {
     println!("--- S1: indexed read path — per-table scan cost vs unrelated tables ---");
     println!(
         "other_records, target_records, membrane_scan_block_reads, membrane_scan_ms, \
@@ -89,9 +132,196 @@ fn s1() {
             "{}, {}, {membrane_reads}, {membrane_ms:.2}, {full_reads}, {full_ms:.2}",
             scenario.other_records, scenario.target_records
         );
+        report.push(
+            format!("s1:other_records={}", scenario.other_records),
+            [
+                ("target_records", scenario.target_records as f64),
+                ("membrane_scan_block_reads", membrane_reads as f64),
+                ("full_scan_block_reads", full_reads as f64),
+            ],
+            membrane_ms + full_ms,
+        );
     }
     println!("(membrane_scan_block_reads stays flat as other_records grows: the table and");
     println!(" subject indexes bound every scan, and membrane-only loads skip row payloads)\n");
+}
+
+fn s2(report: &mut BenchReport) {
+    println!("--- S2: sharded DBFS — isolation, cross-shard erasure, scatter-gather ---");
+
+    // Part 1 — isolation: a subject-routed scan costs the same block reads
+    // on the home shard however much data the other shards hold, and zero
+    // reads anywhere else.
+    println!(
+        "isolation: other_records, target_records, home_shard_reads, other_shard_reads, wall_ms"
+    );
+    let mut home_reads_seen: Vec<u64> = Vec::new();
+    for &other_records in &[0usize, 2_000, 4_000] {
+        let scenario = sharded_scaling_scenario(4, 200, other_records);
+        for device in &scenario.devices {
+            device.reset_stats();
+        }
+        let start = Instant::now();
+        let records = scenario
+            .dbfs
+            .records_of_subject(scenario.target_subject)
+            .unwrap();
+        let wall = start.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(records.len(), scenario.target_records);
+        let home_reads = scenario.devices[scenario.target_shard].stats().reads;
+        let other_reads: u64 = scenario
+            .devices
+            .iter()
+            .enumerate()
+            .filter(|(shard, _)| *shard != scenario.target_shard)
+            .map(|(_, device)| device.stats().reads)
+            .sum();
+        assert_eq!(other_reads, 0, "non-home shards must stay untouched");
+        home_reads_seen.push(home_reads);
+        println!(
+            "{other_records}, {}, {home_reads}, {other_reads}, {wall:.2}",
+            scenario.target_records
+        );
+        report.push(
+            format!("s2:isolation:other_records={other_records}"),
+            [
+                ("target_records", scenario.target_records as f64),
+                ("home_shard_reads", home_reads as f64),
+                ("other_shard_reads", other_reads as f64),
+            ],
+            wall,
+        );
+    }
+    assert!(
+        home_reads_seen.windows(2).all(|w| w[0] == w[1]),
+        "per-shard scan cost must be flat in other shards' record counts: {home_reads_seen:?}"
+    );
+
+    // Part 2 — cross-shard erasure: copies are spread round-robin over every
+    // shard, and one subject-wide erasure removes the full copy closure
+    // everywhere.
+    println!("erasure: shards, records, copies, erased, shards_touched, wall_ms");
+    for &shards in &[2usize, 4, 8] {
+        let scenario = sharded_scaling_scenario(shards, 50, 0);
+        let user = rgpdos::core::DataTypeId::from("user");
+        let owned = scenario
+            .dbfs
+            .records_of_subject(scenario.target_subject)
+            .unwrap();
+        let mut copies = 0usize;
+        for record in owned.iter().take(10) {
+            for _ in 0..shards {
+                scenario.dbfs.copy(&user, record.id()).unwrap();
+                copies += 1;
+            }
+        }
+        let authority = rgpdos::crypto::escrow::Authority::generate(7);
+        let escrow = rgpdos::crypto::escrow::OperatorEscrow::new(authority.public_key());
+        let start = Instant::now();
+        let erased = scenario
+            .dbfs
+            .erase_subject(scenario.target_subject, &escrow)
+            .unwrap();
+        let wall = start.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(erased.len(), 50 + copies, "full copy closure erased");
+        let shards_touched: std::collections::BTreeSet<usize> = erased
+            .iter()
+            .map(|&id| scenario.dbfs.shard_of_id(id))
+            .collect();
+        assert_eq!(shards_touched.len(), shards, "every shard held lineage");
+        assert!(scenario
+            .dbfs
+            .records_of_subject(scenario.target_subject)
+            .unwrap()
+            .is_empty());
+        scenario.dbfs.verify_index_invariants().unwrap();
+        println!(
+            "{shards}, 50, {copies}, {}, {}, {wall:.2}",
+            erased.len(),
+            shards_touched.len()
+        );
+        report.push(
+            format!("s2:erasure:shards={shards}"),
+            [
+                ("records", 50.0),
+                ("copies", copies as f64),
+                ("erased", erased.len() as f64),
+                ("shards_touched", shards_touched.len() as f64),
+            ],
+            wall,
+        );
+    }
+
+    // Part 3 — scatter-gather throughput: per-shard record count fixed, so a
+    // full membrane scan fans out with flat per-shard block reads.  Each
+    // shard owns its device, so a deployment's scan time is the *maximum*
+    // per-shard simulated I/O time while the records served grow with the
+    // shard count: `sim_krecords_per_s` is the aggregate throughput a
+    // parallel deployment sustains (wall-clock speedup additionally depends
+    // on host cores; the simulated metric is deterministic).
+    println!(
+        "throughput: shards, total_records, max_shard_reads, max_shard_sim_io_us, \
+         sim_krecords_per_s, wall_ms, imbalance"
+    );
+    let mut sim_throughput_seen: Vec<f64> = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let per_shard_records = 1_000usize;
+        let scenario = throughput_scenario(shards, per_shard_records);
+        let user = rgpdos::core::DataTypeId::from("user");
+        let total = scenario.dbfs.count(&user);
+        for device in &scenario.devices {
+            device.reset_stats();
+        }
+        let start = Instant::now();
+        let membranes = scenario.dbfs.load_membranes(&user).unwrap();
+        let wall = start.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(membranes.len(), total);
+        let max_shard_reads = scenario
+            .devices
+            .iter()
+            .map(|device| device.stats().reads)
+            .max()
+            .unwrap_or(0);
+        let max_shard_sim_us = scenario
+            .devices
+            .iter()
+            .map(|device| device.stats().simulated_us)
+            .max()
+            .unwrap_or(0);
+        let sim_throughput = total as f64 * 1_000.0 / max_shard_sim_us.max(1) as f64;
+        sim_throughput_seen.push(sim_throughput);
+        let imbalance = scenario.dbfs.sharded_stats().imbalance();
+        println!(
+            "{shards}, {total}, {max_shard_reads}, {max_shard_sim_us}, {sim_throughput:.1}, \
+             {wall:.2}, {imbalance:.2}"
+        );
+        report.push(
+            format!("s2:throughput:shards={shards}"),
+            [
+                ("total_records", total as f64),
+                ("max_shard_reads", max_shard_reads as f64),
+                ("max_shard_sim_io_us", max_shard_sim_us as f64),
+                ("sim_krecords_per_s", sim_throughput),
+                ("imbalance", imbalance),
+            ],
+            wall,
+        );
+    }
+    assert!(
+        sim_throughput_seen.last().unwrap() > sim_throughput_seen.first().unwrap(),
+        "aggregate simulated throughput must grow with the shard count: {sim_throughput_seen:?}"
+    );
+    println!("(home_shard_reads flat in other shards' data; erasure reaches every shard's");
+    println!(" copies; full scans fan out so aggregate simulated records/s grows with the");
+    println!(" shard count while per-shard scan cost stays bounded by per-shard data)\n");
+}
+
+/// A sharded store holding `per_shard * shards` records of a skewed
+/// population (used by the S2 throughput sweep: per-shard load is held
+/// constant while the deployment grows).
+fn throughput_scenario(shards: usize, per_shard: usize) -> ShardedScalingScenario {
+    // At one shard this degenerates to everything on the single shard.
+    sharded_scaling_scenario(shards, per_shard, per_shard * (shards - 1))
 }
 
 fn fig1() {

@@ -15,7 +15,8 @@ use rgpdos::blockdev::{InstrumentedDevice, LatencyModel, MemDevice};
 use rgpdos::dbfs::Dbfs;
 use rgpdos::prelude::*;
 use rgpdos::workloads::{
-    GeneratedSubject, MultiTableWorkload, OperationKind, PopulationGenerator, WorkloadMix,
+    GeneratedSubject, MultiTableWorkload, OperationKind, PopulationGenerator, SkewedPopulation,
+    WorkloadMix,
 };
 use std::sync::Arc;
 
@@ -218,6 +219,111 @@ pub fn scaling_scenario(
     }
 }
 
+/// The instrumented device type the sharded scenarios run on.
+pub type ShardDevice = Arc<InstrumentedDevice<MemDevice>>;
+
+/// A populated sharded DBFS for the S2 scaling experiment: one *target*
+/// subject with a fixed record count on its home shard, plus a skewed
+/// multi-subject population spread over the **other** shards.  With
+/// subject-hash placement, operations routed by the target subject must cost
+/// the same number of block reads however much data the other shards hold.
+pub struct ShardedScalingScenario {
+    /// The sharded store.
+    pub dbfs: ShardedDbfs<ShardDevice>,
+    /// The per-shard instrumented devices, in shard order.
+    pub devices: Vec<ShardDevice>,
+    /// The subject whose records form the isolation target.
+    pub target_subject: SubjectId,
+    /// The target subject's home shard.
+    pub target_shard: usize,
+    /// Records collected for the target subject.
+    pub target_records: usize,
+    /// Records collected for the skewed off-target population.
+    pub other_records: usize,
+}
+
+/// Builds the S2 scenario: `shards` shards, a target subject homed on shard
+/// 0 with `target_records` records collected *first* (so its on-disk layout
+/// is identical across scenario sizes), then `other_records` rows of a
+/// Zipf-skewed population restricted to subjects homed on other shards.
+///
+/// # Panics
+///
+/// Panics when a simulated shard device cannot hold the requested
+/// population, or when `shards < 2` while `other_records > 0` (the
+/// off-target population needs a non-target shard to live on).
+pub fn sharded_scaling_scenario(
+    shards: usize,
+    target_records: usize,
+    other_records: usize,
+) -> ShardedScalingScenario {
+    assert!(
+        other_records == 0 || shards >= 2,
+        "off-target records need a second shard"
+    );
+    let per_device = ((target_records + other_records) as u64 * 24).max(16_384);
+    let devices: Vec<ShardDevice> = (0..shards)
+        .map(|_| {
+            Arc::new(InstrumentedDevice::new(
+                MemDevice::new(per_device, 512),
+                LatencyModel::nvme(),
+            ))
+        })
+        .collect();
+    let mut params = DbfsParams::secure();
+    params.inode_params.inode_count = params
+        .inode_params
+        .inode_count
+        .max((target_records + other_records) as u64 * 2 + 256);
+    let dbfs = ShardedDbfs::format(devices.clone(), params).expect("format sharded DBFS");
+    dbfs.create_type(rgpdos::core::schema::listing1_user_schema())
+        .expect("install user type");
+
+    // The target subject: the smallest raw id homed on shard 0.
+    let target_subject = (0..u64::MAX)
+        .map(SubjectId::new)
+        .find(|&s| dbfs.home_shard(s) == 0)
+        .expect("some subject is homed on shard 0");
+    for record in 0..target_records {
+        dbfs.collect(
+            "user",
+            target_subject,
+            rgpdos::core::Row::new()
+                .with("name", format!("target-{record}"))
+                .with("pwd", "pw")
+                .with("year_of_birthdate", 1990i64),
+        )
+        .expect("collect target row");
+    }
+
+    // The skewed off-target population: remap every generated subject onto a
+    // raw id homed away from shard 0, keeping the Zipf record-count skew.
+    let population = SkewedPopulation::new(0x52, 64, other_records);
+    let mut remapped: std::collections::BTreeMap<u64, SubjectId> =
+        std::collections::BTreeMap::new();
+    let mut next_raw = target_subject.raw() + 1;
+    for (subject, row) in population.rows() {
+        let mapped = *remapped.entry(subject.raw()).or_insert_with(|| loop {
+            let candidate = SubjectId::new(next_raw);
+            next_raw += 1;
+            if dbfs.home_shard(candidate) != 0 {
+                break candidate;
+            }
+        });
+        dbfs.collect("user", mapped, row)
+            .expect("collect skewed row");
+    }
+
+    ShardedScalingScenario {
+        target_shard: dbfs.home_shard(target_subject),
+        dbfs,
+        devices,
+        target_subject,
+        target_records,
+        other_records,
+    }
+}
+
 /// Outcome of replaying a GDPRBench-style mix (experiment C4).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MixOutcome {
@@ -405,6 +511,43 @@ mod tests {
             crowded * 2 <= full,
             "membrane scan ({crowded} reads) should cost well under a full scan ({full} reads)"
         );
+    }
+
+    #[test]
+    fn target_subject_cost_is_independent_of_other_shards() {
+        // The acceptance check of the sharded read path: a subject-routed
+        // operation costs the same block reads on the home shard whether the
+        // other shards hold 0 or 1000 records — and zero reads elsewhere.
+        let small = sharded_scaling_scenario(4, 50, 0);
+        let big = sharded_scaling_scenario(4, 50, 1_000);
+        let subject_reads = |s: &ShardedScalingScenario| {
+            for device in &s.devices {
+                device.reset_stats();
+            }
+            let records = s.dbfs.records_of_subject(s.target_subject).unwrap();
+            assert_eq!(records.len(), 50);
+            let home = s.devices[s.target_shard].stats().reads;
+            let elsewhere: u64 = s
+                .devices
+                .iter()
+                .enumerate()
+                .filter(|(shard, _)| *shard != s.target_shard)
+                .map(|(_, device)| device.stats().reads)
+                .sum();
+            (home, elsewhere)
+        };
+        let (isolated, quiet_a) = subject_reads(&small);
+        let (crowded, quiet_b) = subject_reads(&big);
+        assert_eq!(
+            isolated, crowded,
+            "subject-routed reads must not depend on other shards' records"
+        );
+        assert_eq!(quiet_a + quiet_b, 0, "non-home shards are never touched");
+        // The skewed population landed live records, none on the target shard
+        // beyond the target's own.
+        assert_eq!(big.dbfs.count(&"user".into()), 50 + 1_000);
+        let balance = big.dbfs.sharded_stats();
+        assert_eq!(balance.records_per_shard()[big.target_shard], 50);
     }
 
     #[test]

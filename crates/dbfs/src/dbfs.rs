@@ -97,6 +97,53 @@ fn read_membrane_from<D: BlockDevice>(fs: &InodeFs<D>, ino: Ino) -> Result<Membr
     Ok(membrane)
 }
 
+/// How a DBFS instance allocates [`PdId`]s: the `n`-th record receives
+/// `offset + n * stride`.
+///
+/// A standalone instance uses the dense default (`offset = 0`, `stride = 1`).
+/// A sharded deployment gives shard `i` of `n` the allocation
+/// `IdAllocation::sharded(i, n)`, so identifiers are globally unique across
+/// shards and the owning shard of any id is computable as `id % n` without a
+/// directory lookup.  Only the record *counter* is persisted on disk; the
+/// same allocation must be passed at mount time
+/// ([`Dbfs::mount_with_ids`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdAllocation {
+    /// First identifier handed out.
+    pub offset: u64,
+    /// Distance between consecutive identifiers (must be non-zero).
+    pub stride: u64,
+}
+
+impl Default for IdAllocation {
+    fn default() -> Self {
+        Self {
+            offset: 0,
+            stride: 1,
+        }
+    }
+}
+
+impl IdAllocation {
+    /// The allocation of shard `shard` in a deployment of `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= shards` or `shards == 0`.
+    pub fn sharded(shard: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(shard < shards, "shard index within the deployment");
+        Self {
+            offset: shard as u64,
+            stride: shards as u64,
+        }
+    }
+
+    fn id_for(&self, counter: u64) -> u64 {
+        self.offset + counter * self.stride
+    }
+}
+
 /// Formatting parameters of DBFS.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbfsParams {
@@ -203,6 +250,8 @@ struct DbfsIndex {
     /// Expiry index: expiry instant -> live bounded-TTL record ids.  The
     /// retention sweep only ever visits the `..now` range of this map.
     by_expiry: BTreeMap<Timestamp, BTreeSet<PdId>>,
+    /// Identifier allocation policy (dense by default, strided on shards).
+    alloc: IdAllocation,
     next_pd: u64,
     tables_ino: Ino,
     subjects_ino: Ino,
@@ -324,6 +373,23 @@ impl DbfsIndex {
     }
 }
 
+/// An index-only summary of one record, exposed so that routing layers
+/// (sharding, replication) can reason about placement and lineage without
+/// any disk I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordSummary {
+    /// The record identifier.
+    pub id: PdId,
+    /// The table the record belongs to.
+    pub data_type: DataTypeId,
+    /// The data subject.
+    pub subject: SubjectId,
+    /// Direct lineage parent when the record was produced by `copy`.
+    pub copied_from: Option<PdId>,
+    /// Whether the record is a tombstone.
+    pub erased: bool,
+}
+
 /// The database-oriented filesystem.
 #[derive(Debug)]
 pub struct Dbfs<D> {
@@ -361,6 +427,24 @@ impl<D: BlockDevice> Dbfs<D> {
         clock: Arc<LogicalClock>,
         audit: AuditLog,
     ) -> Result<Self, DbfsError> {
+        Self::format_with_ids(device, params, clock, audit, IdAllocation::default())
+    }
+
+    /// Formats like [`Dbfs::format_with`] under an explicit identifier
+    /// allocation policy (used by sharded deployments, where every shard
+    /// must draw from a disjoint id space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inode-layer errors.
+    pub fn format_with_ids(
+        device: D,
+        params: DbfsParams,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+        alloc: IdAllocation,
+    ) -> Result<Self, DbfsError> {
+        assert!(alloc.stride > 0, "id stride must be non-zero");
         let inode_params = FormatParams {
             secure_free: params.inode_params.secure_free,
             ..params.inode_params
@@ -377,6 +461,7 @@ impl<D: BlockDevice> Dbfs<D> {
             tables_ino,
             subjects_ino,
             meta_ino,
+            alloc,
             ..DbfsIndex::default()
         };
         Ok(Self {
@@ -409,6 +494,23 @@ impl<D: BlockDevice> Dbfs<D> {
         clock: Arc<LogicalClock>,
         audit: AuditLog,
     ) -> Result<Self, DbfsError> {
+        Self::mount_with_ids(device, clock, audit, IdAllocation::default())
+    }
+
+    /// Mounts like [`Dbfs::mount_with`] under an explicit identifier
+    /// allocation.  The allocation is not persisted: a sharded deployment
+    /// must pass the same `IdAllocation` it formatted the shard with.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::mount`].
+    pub fn mount_with_ids(
+        device: D,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+        alloc: IdAllocation,
+    ) -> Result<Self, DbfsError> {
+        assert!(alloc.stride > 0, "id stride must be non-zero");
         let fs = InodeFs::mount_with(device, true)?;
         let corrupt = |what: &str| DbfsError::Corrupt {
             what: what.to_owned(),
@@ -429,6 +531,7 @@ impl<D: BlockDevice> Dbfs<D> {
             tables_ino,
             subjects_ino,
             meta_ino,
+            alloc,
             next_pd,
             ..DbfsIndex::default()
         };
@@ -675,7 +778,7 @@ impl<D: BlockDevice> Dbfs<D> {
             }
         }
         let subject = wrapped.membrane().subject();
-        let id = PdId::new(index.next_pd);
+        let id = PdId::new(index.alloc.id_for(index.next_pd));
         index.next_pd += 1;
         self.fs
             .write_replace(index.meta_ino, &encode_meta(index.next_pd))?;
@@ -1049,7 +1152,10 @@ impl<D: BlockDevice> Dbfs<D> {
     }
 
     /// Erases every record of a subject (a subject-wide right-to-be-forgotten
-    /// request).  Returns the erased identifiers.
+    /// request).  Returns the identifiers tombstoned by this call — the
+    /// subject's records *and* every transitive lineage copy the cascade
+    /// reached (copies carry their original's subject, so the closure stays
+    /// within the subject's id set).
     ///
     /// # Errors
     ///
@@ -1173,6 +1279,45 @@ impl<D: BlockDevice> Dbfs<D> {
             ));
         }
         Ok(out)
+    }
+
+    /// The `(table, id)` pairs of a subject's *live* records, resolved purely
+    /// from the in-memory index — no disk I/O.  Sharded deployments use this
+    /// to snapshot a subject's record set before a cross-shard erasure
+    /// without reading a single block.
+    pub fn ids_of_subject(&self, subject: SubjectId) -> Vec<(DataTypeId, PdId)> {
+        let index = self.index.lock();
+        index
+            .live_locations(index.subject_ids(subject))
+            .map(|(id, loc)| (loc.data_type.clone(), id))
+            .collect()
+    }
+
+    /// `(live, tombstoned)` record counts, read straight off the in-memory
+    /// index — no allocation, no disk I/O (the cheap path for load
+    /// reporting; [`Dbfs::record_index_snapshot`] is the full snapshot).
+    pub fn record_counts(&self) -> (usize, usize) {
+        let index = self.index.lock();
+        let tombstones = index.records.values().filter(|loc| loc.erased).count();
+        (index.records.len() - tombstones, tombstones)
+    }
+
+    /// An index-only snapshot of every record (live and tombstoned).  Routing
+    /// layers use this to rebuild placement and lineage directories on mount
+    /// and to audit cross-instance invariants.
+    pub fn record_index_snapshot(&self) -> Vec<RecordSummary> {
+        let index = self.index.lock();
+        index
+            .records
+            .iter()
+            .map(|(&id, loc)| RecordSummary {
+                id,
+                data_type: loc.data_type.clone(),
+                subject: loc.subject,
+                copied_from: loc.copied_from,
+                erased: loc.erased,
+            })
+            .collect()
     }
 
     /// Executes a query against one table.

@@ -74,8 +74,10 @@ pub mod dbfs;
 pub mod error;
 pub mod query;
 pub mod stats;
+pub mod store;
 
-pub use dbfs::{Dbfs, DbfsParams};
+pub use dbfs::{Dbfs, DbfsParams, IdAllocation, RecordSummary};
 pub use error::DbfsError;
 pub use query::{Predicate, QueryRequest};
 pub use stats::DbfsStats;
+pub use store::PdStore;

@@ -61,6 +61,30 @@ impl Predicate {
         Predicate::PdIn(ids.into_iter().collect())
     }
 
+    /// The subjects that *must* own any matching row (the `SubjectIs`
+    /// conjuncts reachable through `And` alone).  Routing layers use this to
+    /// send a subject-pinned query to the one shard that can answer it
+    /// instead of fanning out; an empty result means the query is not
+    /// subject-pinned.
+    pub fn pinned_subjects(&self) -> Vec<SubjectId> {
+        let mut subjects = Vec::new();
+        let mut id_sets = Vec::new();
+        self.conjunctive_hints(&mut subjects, &mut id_sets);
+        subjects
+    }
+
+    /// The smallest id set every matching row's id *must* belong to (the
+    /// most selective `PdIn` conjunct reachable through `And` alone), or
+    /// `None` when the predicate carries no mandatory id constraint.
+    /// Routing layers use this to send an id-pinned query only to the
+    /// shards that own those ids.
+    pub fn pinned_ids(&self) -> Option<BTreeSet<PdId>> {
+        let mut subjects = Vec::new();
+        let mut id_sets = Vec::new();
+        self.conjunctive_hints(&mut subjects, &mut id_sets);
+        id_sets.into_iter().min_by_key(|ids| ids.len()).cloned()
+    }
+
     /// Collects the subject and id-list constraints that *must* hold for any
     /// row to match (the conjuncts reachable through `And` alone), so the
     /// query planner can narrow its candidate set through the secondary

@@ -1,6 +1,7 @@
 //! Operation counters exposed by DBFS for the benchmark harness.
 
 use std::fmt;
+use std::ops::{Add, AddAssign};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of DBFS operations since format/mount.
@@ -35,6 +36,38 @@ pub struct DbfsStats {
     pub expirations: u64,
     /// Table queries executed.
     pub queries: u64,
+}
+
+impl DbfsStats {
+    /// Field-wise sum of two snapshots.  Sharded deployments merge the
+    /// per-shard snapshots into one aggregate view with this.
+    #[must_use]
+    pub fn merge(self, other: DbfsStats) -> DbfsStats {
+        DbfsStats {
+            collects: self.collects + other.collects,
+            reads: self.reads + other.reads,
+            membrane_loads: self.membrane_loads + other.membrane_loads,
+            updates: self.updates + other.updates,
+            copies: self.copies + other.copies,
+            erasures: self.erasures + other.erasures,
+            expirations: self.expirations + other.expirations,
+            queries: self.queries + other.queries,
+        }
+    }
+}
+
+impl Add for DbfsStats {
+    type Output = DbfsStats;
+
+    fn add(self, other: DbfsStats) -> DbfsStats {
+        self.merge(other)
+    }
+}
+
+impl AddAssign for DbfsStats {
+    fn add_assign(&mut self, other: DbfsStats) {
+        *self = self.merge(other);
+    }
 }
 
 impl DbfsStatsInner {
@@ -88,5 +121,46 @@ mod tests {
         assert_eq!(snap.erasures, 1);
         assert_eq!(snap.reads, 0);
         assert!(snap.to_string().contains("collects=2"));
+    }
+
+    #[test]
+    fn merge_sums_every_counter_field_wise() {
+        let a = DbfsStats {
+            collects: 1,
+            reads: 2,
+            membrane_loads: 3,
+            updates: 4,
+            copies: 5,
+            erasures: 6,
+            expirations: 7,
+            queries: 8,
+        };
+        let b = DbfsStats {
+            collects: 10,
+            reads: 20,
+            membrane_loads: 30,
+            updates: 40,
+            copies: 50,
+            erasures: 60,
+            expirations: 70,
+            queries: 80,
+        };
+        let merged = a.merge(b);
+        assert_eq!(merged.collects, 11);
+        assert_eq!(merged.reads, 22);
+        assert_eq!(merged.membrane_loads, 33);
+        assert_eq!(merged.updates, 44);
+        assert_eq!(merged.copies, 55);
+        assert_eq!(merged.erasures, 66);
+        assert_eq!(merged.expirations, 77);
+        assert_eq!(merged.queries, 88);
+        // `+` and `+=` agree with `merge`, and the identity element is the
+        // default snapshot.
+        assert_eq!(a + b, merged);
+        let mut acc = DbfsStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, merged);
+        assert_eq!(a + DbfsStats::default(), a);
     }
 }

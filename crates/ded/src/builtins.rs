@@ -10,19 +10,19 @@
 
 use crate::error::DedError;
 use crate::pipeline::DedEngine;
-use rgpdos_blockdev::BlockDevice;
 use rgpdos_core::{DataTypeId, MembraneDelta, PdId, Row, SubjectId};
+use rgpdos_dbfs::PdStore;
 use rgpdos_kernel::{ObjectClass, Operation, SecurityContext};
 
 /// Handle on the built-in `F_pd^w` functions of an rgpdOS instance.
 #[derive(Debug)]
-pub struct Builtins<'a, D> {
-    ded: &'a DedEngine<D>,
+pub struct Builtins<'a, S> {
+    ded: &'a DedEngine<S>,
 }
 
-impl<'a, D: BlockDevice> Builtins<'a, D> {
+impl<'a, S: PdStore> Builtins<'a, S> {
     /// Creates the built-ins handle for a DED engine.
-    pub fn new(ded: &'a DedEngine<D>) -> Self {
+    pub fn new(ded: &'a DedEngine<S>) -> Self {
         Self { ded }
     }
 
@@ -53,7 +53,7 @@ impl<'a, D: BlockDevice> Builtins<'a, D> {
     ) -> Result<PdId, DedError> {
         let data_type = data_type.into();
         self.with_builtin_task(Operation::Write, || {
-            Ok(self.ded.dbfs().collect(data_type.clone(), subject, row)?)
+            Ok(self.ded.dbfs().collect(&data_type, subject, row)?)
         })
     }
 

@@ -1,13 +1,12 @@
 //! The eight-step invocation pipeline.
 
 use crate::error::DedError;
-use rgpdos_blockdev::BlockDevice;
 use rgpdos_core::{
     AccessDecision, AuditEventKind, AuditLog, FieldValue, LogicalClock, PdId, PdRef, ProcessingId,
     Row, SubjectId, WrappedPd,
 };
 use rgpdos_crypto::escrow::OperatorEscrow;
-use rgpdos_dbfs::Dbfs;
+use rgpdos_dbfs::PdStore;
 use rgpdos_kernel::{Machine, ObjectClass, Operation, SecurityContext};
 use rgpdos_ps::{ProcessingOutput, ProcessingStore, RegisteredProcessing};
 use std::sync::Arc;
@@ -85,10 +84,11 @@ pub struct InvokeResult {
     pub errors: usize,
 }
 
-/// The Data Execution Domain engine.
+/// The Data Execution Domain engine, generic over the personal-data store
+/// it mediates access to (a single DBFS instance or a sharded deployment).
 #[derive(Debug)]
-pub struct DedEngine<D> {
-    dbfs: Arc<Dbfs<D>>,
+pub struct DedEngine<S> {
+    dbfs: Arc<S>,
     machine: Arc<Machine>,
     ps: ProcessingStore,
     escrow: Arc<OperatorEscrow>,
@@ -96,11 +96,11 @@ pub struct DedEngine<D> {
     audit: AuditLog,
 }
 
-impl<D: BlockDevice> DedEngine<D> {
-    /// Creates a DED bound to a DBFS instance, a machine and a processing
-    /// store.
+impl<S: PdStore> DedEngine<S> {
+    /// Creates a DED bound to a personal-data store, a machine and a
+    /// processing store.
     pub fn new(
-        dbfs: Arc<Dbfs<D>>,
+        dbfs: Arc<S>,
         machine: Arc<Machine>,
         ps: ProcessingStore,
         escrow: Arc<OperatorEscrow>,
@@ -117,8 +117,8 @@ impl<D: BlockDevice> DedEngine<D> {
         }
     }
 
-    /// The DBFS instance the DED mediates access to.
-    pub fn dbfs(&self) -> &Arc<Dbfs<D>> {
+    /// The store the DED mediates access to.
+    pub fn dbfs(&self) -> &Arc<S> {
         &self.dbfs
     }
 
@@ -183,8 +183,7 @@ impl<D: BlockDevice> DedEngine<D> {
             self.machine
                 .mediated_access(task, ObjectClass::DbfsStorage, Operation::Write)?;
             for (subject, row) in &request.collect_first {
-                self.dbfs
-                    .collect(data_type.clone(), *subject, row.clone())?;
+                self.dbfs.collect(&data_type, *subject, row.clone())?;
             }
         }
 
@@ -328,12 +327,12 @@ mod tests {
     use rgpdos_core::schema::listing1_user_schema;
     use rgpdos_core::{ConsentDecision, DataTypeSchema, FieldType, MembraneDelta, PurposeId};
     use rgpdos_crypto::escrow::Authority;
-    use rgpdos_dbfs::DbfsParams;
+    use rgpdos_dbfs::{Dbfs, DbfsParams};
     use rgpdos_dsl::listings::{LISTING_2_C, LISTING_2_PURPOSE};
     use rgpdos_ps::{ProcessingSpec, RegistrationStatus};
 
     struct Harness {
-        ded: DedEngine<Arc<MemDevice>>,
+        ded: DedEngine<Dbfs<Arc<MemDevice>>>,
         compute_age: ProcessingId,
     }
 

@@ -6,9 +6,8 @@
 //! inspects a running DBFS instance and its audit log and produces a
 //! [`ComplianceReport`] mapping concrete checks to the articles they support.
 
-use rgpdos_blockdev::BlockDevice;
 use rgpdos_core::{AuditEventKind, AuditLog};
-use rgpdos_dbfs::{Dbfs, QueryRequest};
+use rgpdos_dbfs::{PdStore, QueryRequest};
 use std::fmt;
 use std::sync::Arc;
 
@@ -97,16 +96,17 @@ impl fmt::Display for ComplianceReport {
     }
 }
 
-/// Inspects a DBFS instance and its audit log.
+/// Inspects a personal-data store and its audit log.
 #[derive(Debug)]
-pub struct ComplianceChecker<D> {
-    dbfs: Arc<Dbfs<D>>,
+pub struct ComplianceChecker<S> {
+    dbfs: Arc<S>,
     audit: AuditLog,
 }
 
-impl<D: BlockDevice> ComplianceChecker<D> {
-    /// Creates a checker for a DBFS instance.
-    pub fn new(dbfs: Arc<Dbfs<D>>) -> Self {
+impl<S: PdStore> ComplianceChecker<S> {
+    /// Creates a checker for a personal-data store (a single DBFS instance
+    /// or a sharded deployment).
+    pub fn new(dbfs: Arc<S>) -> Self {
         let audit = dbfs.audit();
         Self { dbfs, audit }
     }
@@ -245,7 +245,7 @@ mod tests {
     use rgpdos_core::schema::listing1_user_schema;
     use rgpdos_core::{Duration, Row, SubjectId};
     use rgpdos_crypto::escrow::{Authority, OperatorEscrow};
-    use rgpdos_dbfs::DbfsParams;
+    use rgpdos_dbfs::{Dbfs, DbfsParams};
 
     #[test]
     fn fresh_instance_is_compliant() {

@@ -1,14 +1,14 @@
-//! The rights engine: subject-facing GDPR rights over a DBFS instance.
+//! The rights engine: subject-facing GDPR rights over any [`PdStore`]
+//! (a single DBFS instance or a sharded deployment).
 
 use crate::access::SubjectAccessPackage;
 use crate::error::RightsError;
-use rgpdos_blockdev::BlockDevice;
 use rgpdos_core::{
     AuditEventKind, AuditLog, ConsentDecision, DataTypeId, LogicalClock, MembraneDelta, PdId,
     PurposeId, Row, SubjectId,
 };
 use rgpdos_crypto::escrow::OperatorEscrow;
-use rgpdos_dbfs::Dbfs;
+use rgpdos_dbfs::PdStore;
 use std::sync::Arc;
 
 /// Receipt returned by an erasure request.
@@ -16,7 +16,9 @@ use std::sync::Arc;
 pub struct ErasureReceipt {
     /// The subject whose data was erased.
     pub subject: SubjectId,
-    /// The erased personal-data items.
+    /// Every personal-data item the request tombstoned: the subject's
+    /// records **and** every transitively tombstoned lineage copy the
+    /// erasure cascade reached (on every shard, in a sharded deployment).
     pub erased: Vec<PdId>,
     /// When the erasure happened (simulated seconds).
     pub at: u64,
@@ -24,16 +26,16 @@ pub struct ErasureReceipt {
 
 /// The engine serving subject rights requests.
 #[derive(Debug)]
-pub struct RightsEngine<D> {
-    dbfs: Arc<Dbfs<D>>,
+pub struct RightsEngine<S> {
+    dbfs: Arc<S>,
     escrow: Arc<OperatorEscrow>,
     audit: AuditLog,
     clock: Arc<LogicalClock>,
 }
 
-impl<D: BlockDevice> RightsEngine<D> {
-    /// Creates a rights engine over a DBFS instance.
-    pub fn new(dbfs: Arc<Dbfs<D>>, escrow: Arc<OperatorEscrow>) -> Self {
+impl<S: PdStore> RightsEngine<S> {
+    /// Creates a rights engine over a personal-data store.
+    pub fn new(dbfs: Arc<S>, escrow: Arc<OperatorEscrow>) -> Self {
         let audit = dbfs.audit();
         let clock = dbfs.clock();
         Self {
@@ -44,8 +46,8 @@ impl<D: BlockDevice> RightsEngine<D> {
         }
     }
 
-    /// The DBFS instance the engine operates on.
-    pub fn dbfs(&self) -> &Arc<Dbfs<D>> {
+    /// The store the engine operates on.
+    pub fn dbfs(&self) -> &Arc<S> {
         &self.dbfs
     }
 
@@ -217,9 +219,9 @@ mod tests {
     use rgpdos_core::schema::listing1_user_schema;
     use rgpdos_core::{AccessDecision, Duration};
     use rgpdos_crypto::escrow::Authority;
-    use rgpdos_dbfs::DbfsParams;
+    use rgpdos_dbfs::{Dbfs, DbfsParams};
 
-    fn engine() -> (RightsEngine<Arc<MemDevice>>, Arc<MemDevice>) {
+    fn engine() -> (RightsEngine<Dbfs<Arc<MemDevice>>>, Arc<MemDevice>) {
         let device = Arc::new(MemDevice::new(8192, 512));
         let dbfs = Arc::new(Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap());
         dbfs.create_type(listing1_user_schema()).unwrap();

@@ -1,0 +1,210 @@
+//! The cross-shard lineage directory.
+//!
+//! Per-shard `Dbfs` indexes only know the lineage edges whose endpoints live
+//! on the same device.  The directory is the router-level complement: it
+//! records **every** copy edge made through the sharded layer (intra- and
+//! cross-shard, so the transitive closure of an erasure is computable
+//! without asking any shard), which records live off their subject's home
+//! shard (so subject-routed reads stay `O(home shard + lineage)`), and which
+//! identifiers have been tombstoned (so a `copy` racing an erasure can be
+//! refused, mirroring the per-shard erased-ancestor insert guard).
+//!
+//! The directory itself is pure metadata.  The **erasure** path never does
+//! disk I/O under the directory lock (closure snapshot and tombstone
+//! pre-announcement are in-memory walks, mirroring the per-shard index
+//! discipline).  The **copy/registration** path is the one deliberate
+//! exception: a lineage-carrying insert holds the lock across its shard
+//! write so the erased-ancestor guard and the registration are atomic —
+//! the router-level analogue of `Dbfs` running inserts under its index
+//! lock, and, like there, an accepted cost: lineage-free inserts (the
+//! common case) bypass the lock entirely.
+
+use rgpdos_core::{DataTypeId, PdId, SubjectId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Routing metadata for one directory-tracked record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DirectoryEntry {
+    /// The table the record belongs to (needed to route an erasure).
+    pub data_type: DataTypeId,
+    /// The data subject (needed to serve subject-routed reads).
+    pub subject: SubjectId,
+}
+
+/// The router-level lineage and placement directory.
+#[derive(Debug, Default)]
+pub(crate) struct LineageDirectory {
+    /// original -> its direct copies (every copy made through the router).
+    copies_of: BTreeMap<PdId, BTreeSet<PdId>>,
+    /// copy -> its direct lineage parent.
+    copied_from: BTreeMap<PdId, PdId>,
+    /// Routing metadata for every id involved in lineage or placed off its
+    /// subject's home shard.
+    entries: BTreeMap<PdId, DirectoryEntry>,
+    /// subject -> records living off the subject's home shard.
+    foreign: BTreeMap<SubjectId, BTreeSet<PdId>>,
+    /// Identifiers tombstoned through the router (or found tombstoned on
+    /// mount).  Grows monotonically — tombstones never resurrect.
+    erased: BTreeSet<PdId>,
+}
+
+impl LineageDirectory {
+    /// Records a copy edge `original -> copy`, keeping routing metadata for
+    /// both endpoints.
+    pub(crate) fn register_copy(
+        &mut self,
+        original: PdId,
+        original_entry: DirectoryEntry,
+        copy: PdId,
+        copy_entry: DirectoryEntry,
+    ) {
+        self.copies_of.entry(original).or_default().insert(copy);
+        self.copied_from.insert(copy, original);
+        self.entries.entry(original).or_insert(original_entry);
+        self.entries.entry(copy).or_insert(copy_entry);
+    }
+
+    /// Records that `id` lives off `subject`'s home shard.
+    pub(crate) fn register_foreign(&mut self, subject: SubjectId, id: PdId, entry: DirectoryEntry) {
+        self.foreign.entry(subject).or_default().insert(id);
+        self.entries.entry(id).or_insert(entry);
+    }
+
+    /// Marks identifiers as tombstoned.
+    pub(crate) fn mark_erased(&mut self, ids: impl IntoIterator<Item = PdId>) {
+        self.erased.extend(ids);
+    }
+
+    /// Whether `id` itself is marked tombstoned.
+    pub(crate) fn is_erased(&self, id: PdId) -> bool {
+        self.erased.contains(&id)
+    }
+
+    /// Whether `id` or any ancestor in its lineage chain is tombstoned (the
+    /// cross-shard insert guard: a copy must never outlive its lineage).
+    pub(crate) fn lineage_erased(&self, id: PdId) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut current = Some(id);
+        while let Some(node) = current {
+            if !seen.insert(node) {
+                break;
+            }
+            if self.erased.contains(&node) {
+                return true;
+            }
+            current = self.copied_from.get(&node).copied();
+        }
+        false
+    }
+
+    /// The transitive copy closure of `roots` (descendants only, the roots
+    /// themselves excluded) — a pure in-memory walk.
+    pub(crate) fn closure(&self, roots: impl IntoIterator<Item = PdId>) -> Vec<PdId> {
+        let mut stack: Vec<PdId> = roots.into_iter().collect();
+        let mut seen: BTreeSet<PdId> = stack.iter().copied().collect();
+        let mut out = Vec::new();
+        while let Some(current) = stack.pop() {
+            if let Some(copies) = self.copies_of.get(&current) {
+                for &copy in copies {
+                    if seen.insert(copy) {
+                        stack.push(copy);
+                        out.push(copy);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The routing entry of `id`, when the directory tracks it.
+    pub(crate) fn entry(&self, id: PdId) -> Option<&DirectoryEntry> {
+        self.entries.get(&id)
+    }
+
+    /// The lineage parent of `id`, when the directory tracks one.
+    pub(crate) fn parent(&self, id: PdId) -> Option<PdId> {
+        self.copied_from.get(&id).copied()
+    }
+
+    /// The ids recorded as living off `subject`'s home shard (tombstones
+    /// included; readers filter).
+    pub(crate) fn foreign_of(&self, subject: SubjectId) -> Vec<PdId> {
+        self.foreign
+            .get(&subject)
+            .map(|ids| ids.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterates every foreign placement, for invariant checking.
+    pub(crate) fn foreign_iter(&self) -> impl Iterator<Item = (SubjectId, PdId)> + '_ {
+        self.foreign
+            .iter()
+            .flat_map(|(&subject, ids)| ids.iter().map(move |&id| (subject, id)))
+    }
+
+    /// Iterates every lineage edge `(copy, original)`, for invariant
+    /// checking.
+    pub(crate) fn edges(&self) -> impl Iterator<Item = (PdId, PdId)> + '_ {
+        self.copied_from.iter().map(|(&copy, &orig)| (copy, orig))
+    }
+
+    /// Iterates the tombstone set, for invariant checking.
+    pub(crate) fn erased_iter(&self) -> impl Iterator<Item = PdId> + '_ {
+        self.erased.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(table: &str, subject: u64) -> DirectoryEntry {
+        DirectoryEntry {
+            data_type: table.into(),
+            subject: SubjectId::new(subject),
+        }
+    }
+
+    #[test]
+    fn closure_walks_transitive_copies() {
+        let mut dir = LineageDirectory::default();
+        // 1 -> 2 -> 3, 1 -> 4.
+        dir.register_copy(PdId::new(1), entry("t", 9), PdId::new(2), entry("t", 9));
+        dir.register_copy(PdId::new(2), entry("t", 9), PdId::new(3), entry("t", 9));
+        dir.register_copy(PdId::new(1), entry("t", 9), PdId::new(4), entry("t", 9));
+        let mut closure = dir.closure([PdId::new(1)]);
+        closure.sort();
+        assert_eq!(closure, vec![PdId::new(2), PdId::new(3), PdId::new(4)]);
+        assert_eq!(dir.closure([PdId::new(3)]), Vec::<PdId>::new());
+        assert_eq!(dir.parent(PdId::new(3)), Some(PdId::new(2)));
+    }
+
+    #[test]
+    fn lineage_erasure_guard_walks_ancestors() {
+        let mut dir = LineageDirectory::default();
+        dir.register_copy(PdId::new(1), entry("t", 9), PdId::new(2), entry("t", 9));
+        dir.register_copy(PdId::new(2), entry("t", 9), PdId::new(3), entry("t", 9));
+        assert!(!dir.lineage_erased(PdId::new(3)));
+        dir.mark_erased([PdId::new(1)]);
+        assert!(dir.lineage_erased(PdId::new(3)));
+        assert!(dir.lineage_erased(PdId::new(1)));
+        assert!(!dir.lineage_erased(PdId::new(7)), "untracked ids are clean");
+        assert!(dir.is_erased(PdId::new(1)));
+        assert!(!dir.is_erased(PdId::new(3)));
+    }
+
+    #[test]
+    fn foreign_placements_are_per_subject() {
+        let mut dir = LineageDirectory::default();
+        dir.register_foreign(SubjectId::new(5), PdId::new(10), entry("t", 5));
+        dir.register_foreign(SubjectId::new(5), PdId::new(11), entry("u", 5));
+        dir.register_foreign(SubjectId::new(6), PdId::new(12), entry("t", 6));
+        assert_eq!(
+            dir.foreign_of(SubjectId::new(5)),
+            vec![PdId::new(10), PdId::new(11)]
+        );
+        assert!(dir.foreign_of(SubjectId::new(7)).is_empty());
+        assert_eq!(dir.entry(PdId::new(11)).unwrap().data_type, "u".into());
+        assert_eq!(dir.foreign_iter().count(), 3);
+    }
+}

@@ -1,0 +1,1089 @@
+//! [`ShardedDbfs`]: N independent DBFS instances behind a deterministic
+//! subject-hash placement map, a scatter-gather router and a cross-shard
+//! lineage directory.
+
+use crate::directory::{DirectoryEntry, LineageDirectory};
+use crate::pool::ShardPool;
+use parking_lot::Mutex;
+use rgpdos_blockdev::BlockDevice;
+use rgpdos_core::{
+    AuditLog, DataTypeId, DataTypeSchema, LogicalClock, Membrane, MembraneDelta, PdId, PdRecord,
+    RecordBatch, Row, SubjectId, WrappedPd,
+};
+use rgpdos_crypto::escrow::OperatorEscrow;
+use rgpdos_dbfs::dbfs::RecordSummary;
+use rgpdos_dbfs::{Dbfs, DbfsError, DbfsParams, DbfsStats, IdAllocation, PdStore, QueryRequest};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// SplitMix64: a strong deterministic mix so that dense subject ids spread
+/// evenly over the shards.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The home shard of a subject in a deployment of `shards` shards.
+fn home_for(subject: SubjectId, shards: usize) -> usize {
+    (mix(subject.raw()) % shards as u64) as usize
+}
+
+/// Load and operation counters of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: usize,
+    /// Live (non-tombstoned) records on the shard.
+    pub live_records: usize,
+    /// Tombstoned records on the shard.
+    pub tombstones: usize,
+    /// The shard's DBFS operation counters.
+    pub stats: DbfsStats,
+}
+
+/// A point-in-time snapshot of a sharded deployment: per-shard load plus the
+/// merged aggregate counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardLoad>,
+    /// Field-wise sum of every shard's counters.
+    pub totals: DbfsStats,
+}
+
+impl ShardedStats {
+    /// Total live records across the deployment.
+    pub fn live_records(&self) -> usize {
+        self.per_shard.iter().map(|s| s.live_records).sum()
+    }
+
+    /// Live records per shard, in shard order.
+    pub fn records_per_shard(&self) -> Vec<usize> {
+        self.per_shard.iter().map(|s| s.live_records).collect()
+    }
+
+    /// Placement balance: the most loaded shard's live-record count divided
+    /// by the mean (`1.0` is perfect balance; an empty deployment reports
+    /// `1.0`).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.live_records();
+        if total == 0 || self.per_shard.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.per_shard.len() as f64;
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.live_records)
+            .max()
+            .unwrap_or(0) as f64;
+        max / mean
+    }
+}
+
+impl fmt::Display for ShardedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards={} live={} imbalance={:.2} [{}]",
+            self.per_shard.len(),
+            self.live_records(),
+            self.imbalance(),
+            self.per_shard
+                .iter()
+                .map(|s| s.live_records.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        )
+    }
+}
+
+/// A horizontally partitioned DBFS: N independent [`Dbfs`] instances, each
+/// on its own block device, behind one [`PdStore`] façade.
+///
+/// * **Placement** is deterministic: a subject's records live on
+///   `hash(subject) % N` (the *home shard*), so `collect`, point reads and
+///   subject-routed operations touch exactly one shard.
+/// * **Identifiers** are globally unique by construction: shard `i` draws
+///   from the strided id space `{ i, i + N, i + 2N, … }`
+///   ([`IdAllocation::sharded`]), so the owning shard of any id is `id % N`
+///   — no directory lookup on the point-read path.
+/// * **Scans** (`query` without a subject conjunct, `count`,
+///   `load_membranes`) fan out over a worker pool, one worker pinned per
+///   shard, and merge the per-shard results in shard order.
+/// * **Copies** are placed round-robin across shards, modelling the
+///   derived-data copies (caches, processing outputs) that a real
+///   deployment spreads for load.  The cross-shard lineage this creates is
+///   tracked in a router-level directory, and erasure tombstones the
+///   **transitive copy closure on every shard** in two phases: the closure
+///   is snapshotted (and the tombstones pre-announced) under the directory
+///   lock with no disk I/O, then each involved shard erases its members.
+///
+/// All mutations must go through the router: driving a shard's `Dbfs`
+/// directly would bypass the lineage directory, exactly like writing to a
+/// raw device bypasses DBFS.
+pub struct ShardedDbfs<D: BlockDevice + 'static> {
+    shards: Vec<Arc<Dbfs<D>>>,
+    directory: Mutex<LineageDirectory>,
+    pool: ShardPool<D>,
+    clock: Arc<LogicalClock>,
+    audit: AuditLog,
+    /// Round-robin cursor for copy placement.
+    next_copy: AtomicUsize,
+}
+
+impl<D: BlockDevice + 'static> fmt::Debug for ShardedDbfs<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedDbfs")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<D: BlockDevice + 'static> ShardedDbfs<D> {
+    /// Formats one DBFS per device and assembles the router.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inode-layer errors from any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn format(devices: Vec<D>, params: DbfsParams) -> Result<Self, DbfsError> {
+        Self::format_with(
+            devices,
+            params,
+            Arc::new(LogicalClock::new()),
+            AuditLog::new(),
+        )
+    }
+
+    /// Formats like [`ShardedDbfs::format`], sharing a clock and audit log
+    /// with the rest of the rgpdOS instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inode-layer errors from any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn format_with(
+        devices: Vec<D>,
+        params: DbfsParams,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Result<Self, DbfsError> {
+        assert!(!devices.is_empty(), "at least one shard device");
+        let shards = devices.len();
+        let instances = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, device)| {
+                Dbfs::format_with_ids(
+                    device,
+                    params,
+                    Arc::clone(&clock),
+                    audit.clone(),
+                    IdAllocation::sharded(i, shards),
+                )
+                .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(
+            instances,
+            LineageDirectory::default(),
+            clock,
+            audit,
+        ))
+    }
+
+    /// Mounts an existing sharded deployment.  The devices must be passed in
+    /// their original shard order; the lineage directory is rebuilt from the
+    /// per-shard indexes (membrane headers only — no payload reads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-shard mount errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn mount(devices: Vec<D>) -> Result<Self, DbfsError> {
+        Self::mount_with(devices, Arc::new(LogicalClock::new()), AuditLog::new())
+    }
+
+    /// Mounts like [`ShardedDbfs::mount`], sharing a clock and audit log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-shard mount errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty.
+    pub fn mount_with(
+        devices: Vec<D>,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Result<Self, DbfsError> {
+        assert!(!devices.is_empty(), "at least one shard device");
+        let shards = devices.len();
+        let instances = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, device)| {
+                Dbfs::mount_with_ids(
+                    device,
+                    Arc::clone(&clock),
+                    audit.clone(),
+                    IdAllocation::sharded(i, shards),
+                )
+                .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Rebuild the directory: first a global placement map, then the
+        // lineage, foreign-placement and tombstone registrations.
+        let mut global: BTreeMap<PdId, (usize, RecordSummary)> = BTreeMap::new();
+        for (shard, instance) in instances.iter().enumerate() {
+            for summary in instance.record_index_snapshot() {
+                global.insert(summary.id, (shard, summary));
+            }
+        }
+        let mut directory = LineageDirectory::default();
+        for (&id, (shard, summary)) in &global {
+            if summary.erased {
+                directory.mark_erased([id]);
+            }
+            let entry = DirectoryEntry {
+                data_type: summary.data_type.clone(),
+                subject: summary.subject,
+            };
+            if let Some(parent) = summary.copied_from {
+                let parent_entry = global
+                    .get(&parent)
+                    .map(|(_, p)| DirectoryEntry {
+                        data_type: p.data_type.clone(),
+                        subject: p.subject,
+                    })
+                    .unwrap_or_else(|| entry.clone());
+                directory.register_copy(parent, parent_entry, id, entry.clone());
+            }
+            if *shard != home_for(summary.subject, shards) {
+                directory.register_foreign(summary.subject, id, entry);
+            }
+        }
+        Ok(Self::assemble(instances, directory, clock, audit))
+    }
+
+    fn assemble(
+        shards: Vec<Arc<Dbfs<D>>>,
+        directory: LineageDirectory,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Self {
+        let pool = ShardPool::new(&shards);
+        Self {
+            shards,
+            directory: Mutex::new(directory),
+            pool,
+            clock,
+            audit,
+            next_copy: AtomicUsize::new(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Placement
+    // ------------------------------------------------------------------
+
+    /// Number of shards in the deployment.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a subject's records are collected onto.
+    pub fn home_shard(&self, subject: SubjectId) -> usize {
+        home_for(subject, self.shards.len())
+    }
+
+    /// The shard that allocated an identifier (computable from the strided
+    /// id space, no directory lookup).
+    pub fn shard_of_id(&self, id: PdId) -> usize {
+        (id.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// The backing shards, in shard order (read-only instrumentation access
+    /// for experiments; mutations must go through the router).
+    pub fn shards(&self) -> &[Arc<Dbfs<D>>] {
+        &self.shards
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> Arc<LogicalClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The shared audit log.
+    pub fn audit(&self) -> AuditLog {
+        self.audit.clone()
+    }
+
+    /// Merged operation counters across every shard.
+    pub fn stats(&self) -> DbfsStats {
+        self.shards
+            .iter()
+            .map(|shard| shard.stats())
+            .fold(DbfsStats::default(), DbfsStats::merge)
+    }
+
+    /// Per-shard load plus merged counters (records-per-shard balance).
+    pub fn sharded_stats(&self) -> ShardedStats {
+        let per_shard = self.pool.scatter(|shard, dbfs| {
+            let (live_records, tombstones) = dbfs.record_counts();
+            ShardLoad {
+                shard,
+                live_records,
+                tombstones,
+                stats: dbfs.stats(),
+            }
+        });
+        let totals = per_shard
+            .iter()
+            .map(|load| load.stats)
+            .fold(DbfsStats::default(), DbfsStats::merge);
+        ShardedStats { per_shard, totals }
+    }
+
+    // ------------------------------------------------------------------
+    // Schema management (broadcast)
+    // ------------------------------------------------------------------
+
+    /// Installs a type on every shard (shards stay schema-identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::TypeAlreadyExists`] when the type exists.
+    pub fn create_type(&self, schema: DataTypeSchema) -> Result<(), DbfsError> {
+        for shard in &self.shards {
+            shard.create_type(schema.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Returns the schema of a type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn schema(&self, name: &DataTypeId) -> Result<DataTypeSchema, DbfsError> {
+        self.shards[0].schema(name)
+    }
+
+    /// The installed type names.
+    pub fn types(&self) -> Vec<DataTypeId> {
+        self.shards[0].types()
+    }
+
+    /// Live records of a type, summed over a scatter across every shard.
+    pub fn count(&self, name: &DataTypeId) -> usize {
+        let name = name.clone();
+        self.pool
+            .scatter(move |_, dbfs| dbfs.count(&name))
+            .into_iter()
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Record lifecycle
+    // ------------------------------------------------------------------
+
+    /// The `acquisition` built-in, routed to the subject's home shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] or [`DbfsError::Core`] on schema
+    /// mismatch.
+    pub fn collect(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        subject: SubjectId,
+        row: Row,
+    ) -> Result<PdId, DbfsError> {
+        self.shards[self.home_shard(subject)].collect(data_type, subject, row)
+    }
+
+    /// Stores an already-wrapped record on its subject's home shard,
+    /// registering any lineage the membrane carries.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedDbfs::collect`], plus [`DbfsError::Erased`] when the
+    /// membrane's lineage chain is already tombstoned.
+    pub fn insert_wrapped(
+        &self,
+        data_type: &DataTypeId,
+        wrapped: WrappedPd,
+    ) -> Result<PdId, DbfsError> {
+        let target = self.home_shard(wrapped.membrane().subject());
+        self.store_routed(data_type, wrapped, target)
+    }
+
+    /// Stores a wrapped record on an explicit target shard.
+    ///
+    /// A record with no lineage parent bound for its subject's home shard
+    /// (the common case: DED-produced derived data) needs no directory
+    /// registration and never touches the router lock — parallel derived
+    /// inserts scale with the shard count.  A record that *does* need
+    /// registration (a copy, or an off-home placement) runs its
+    /// erased-lineage check, the shard insert and the registration under one
+    /// directory-lock acquisition — the router-level analogue of `Dbfs`
+    /// running its insert under the index lock — so an erasure can never
+    /// interleave between the guard and the insert.
+    fn store_routed(
+        &self,
+        data_type: &DataTypeId,
+        wrapped: WrappedPd,
+        target: usize,
+    ) -> Result<PdId, DbfsError> {
+        let subject = wrapped.membrane().subject();
+        let parent = wrapped.membrane().copied_from();
+        if parent.is_none() && target == self.home_shard(subject) {
+            // Lineage-free home placement: nothing to register, no router
+            // lock — the shard's own index lock is the only serialization.
+            return self.shards[target].insert_wrapped(data_type, wrapped);
+        }
+        let mut directory = self.directory.lock();
+        if !wrapped.membrane().is_erased() {
+            if let Some(parent) = parent {
+                // The cross-shard analogue of the per-shard erased-ancestor
+                // insert guard: a copy whose lineage chain was tombstoned
+                // after its plaintext was read must lose the race.
+                if directory.lineage_erased(parent) {
+                    return Err(DbfsError::Erased { id: parent.raw() });
+                }
+            }
+        }
+        let id = self.shards[target].insert_wrapped(data_type, wrapped)?;
+        let entry = DirectoryEntry {
+            data_type: data_type.clone(),
+            subject,
+        };
+        if let Some(parent) = parent {
+            directory.register_copy(parent, entry.clone(), id, entry.clone());
+        }
+        if target != self.home_shard(subject) {
+            directory.register_foreign(subject, id, entry);
+        }
+        Ok(id)
+    }
+
+    /// Reads one record, routed by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`].
+    pub fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {
+        self.shards[self.shard_of_id(id)].get(data_type, id)
+    }
+
+    /// Membrane-only load of a single record, routed by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`].
+    pub fn load_membrane(&self, data_type: &DataTypeId, id: PdId) -> Result<Membrane, DbfsError> {
+        self.shards[self.shard_of_id(id)].load_membrane(data_type, id)
+    }
+
+    /// Membrane-only load of a whole table: a scatter-gather over every
+    /// shard, merged in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn load_membranes(
+        &self,
+        data_type: &DataTypeId,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        let name = data_type.clone();
+        let mut out = Vec::new();
+        for result in self.pool.scatter(move |_, dbfs| dbfs.load_membranes(&name)) {
+            out.extend(result?);
+        }
+        Ok(out)
+    }
+
+    /// Membrane-only load of one subject's records of a type: the home shard
+    /// answers from its subject index, plus the directory's foreign
+    /// placements of that subject — `O(home shard + lineage)`, never a
+    /// fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`].
+    pub fn load_membranes_for_subject(
+        &self,
+        data_type: &DataTypeId,
+        subject: SubjectId,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        let mut out =
+            self.shards[self.home_shard(subject)].load_membranes_for_subject(data_type, subject)?;
+        let foreign: Vec<PdId> = {
+            let directory = self.directory.lock();
+            directory
+                .foreign_of(subject)
+                .into_iter()
+                .filter(|id| {
+                    directory
+                        .entry(*id)
+                        .is_some_and(|entry| &entry.data_type == data_type)
+                })
+                .collect()
+        };
+        for id in foreign {
+            out.push((id, self.load_membrane(data_type, id)?));
+        }
+        Ok(out)
+    }
+
+    /// Full-record load of the given identifiers, grouped per shard, fetched
+    /// through the worker pool and returned in the order of `ids`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers.
+    pub fn load_records(
+        &self,
+        data_type: &DataTypeId,
+        ids: &[PdId],
+    ) -> Result<RecordBatch, DbfsError> {
+        let mut groups: Vec<Vec<PdId>> = vec![Vec::new(); self.shards.len()];
+        for &id in ids {
+            groups[self.shard_of_id(id)].push(id);
+        }
+        let involved: Vec<usize> = (0..groups.len())
+            .filter(|&shard| !groups[shard].is_empty())
+            .collect();
+        let groups = Arc::new(groups);
+        let name = data_type.clone();
+        let results = self.pool.scatter_on(&involved, move |shard, dbfs| {
+            dbfs.load_records(&name, &groups[shard])
+        });
+        let mut by_id: BTreeMap<PdId, PdRecord> = BTreeMap::new();
+        for result in results {
+            for record in result?.into_records() {
+                by_id.insert(record.id(), record);
+            }
+        }
+        let mut batch = RecordBatch::new();
+        for id in ids {
+            match by_id.remove(id) {
+                Some(record) => batch.push(record),
+                None => return Err(DbfsError::UnknownPd { id: id.raw() }),
+            }
+        }
+        Ok(batch)
+    }
+
+    /// The `update` built-in, routed by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Erased`] or [`DbfsError::Core`].
+    pub fn update_row(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DbfsError> {
+        self.shards[self.shard_of_id(id)].update_row(data_type, id, row)
+    }
+
+    /// Applies a membrane delta, routed by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`].
+    pub fn apply_membrane_delta(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        delta: &MembraneDelta,
+    ) -> Result<bool, DbfsError> {
+        self.shards[self.shard_of_id(id)].apply_membrane_delta(data_type, id, delta)
+    }
+
+    /// The `copy` built-in.  The source is read on its own shard; the copy
+    /// is placed **round-robin** across the deployment (derived-data load
+    /// balancing), so a copy routinely lands on a different shard than its
+    /// source — the case the lineage directory exists for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Erased`] for erased records (including a source
+    /// whose erasure wins the race against this copy).
+    pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DbfsError> {
+        let record = self.get(data_type, id)?;
+        if record.membrane().is_erased() {
+            return Err(DbfsError::Erased { id: id.raw() });
+        }
+        let wrapped = WrappedPd::new(record.row().clone(), record.membrane().for_copy(id));
+        let target = self.next_copy.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.store_routed(data_type, wrapped, target)
+    }
+
+    /// The `delete` built-in across the deployment: erases the record on its
+    /// shard, then tombstones the **transitive copy closure on every
+    /// shard**.  Two phases, mirroring the per-shard discipline: the closure
+    /// is snapshotted and pre-announced as tombstoned under the directory
+    /// lock (pure metadata, no disk I/O), then each involved shard performs
+    /// its crypto-erasures with no router lock held.
+    ///
+    /// Returns every identifier this call tombstoned, transitive cross-shard
+    /// copies included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownPd`] for unknown records.
+    pub fn erase(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        escrow: &OperatorEscrow,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        // Erase the record itself first (this also validates the id), letting
+        // the shard cascade over its intra-shard lineage.
+        let mut erased: BTreeSet<PdId> = self.shards[self.shard_of_id(id)]
+            .erase(data_type, id, escrow)?
+            .into_iter()
+            .collect();
+        // Phase 1: snapshot the directory closure and pre-announce the
+        // tombstones, so any copy racing this erasure is refused from here
+        // on.  No disk I/O under the directory lock.
+        let targets: Vec<(usize, DataTypeId, PdId)> = {
+            let mut directory = self.directory.lock();
+            let members = directory.closure([id]);
+            directory.mark_erased(members.iter().copied().chain([id]));
+            directory.mark_erased(erased.iter().copied());
+            members
+                .into_iter()
+                .filter(|member| !erased.contains(member))
+                .map(|member| {
+                    let member_type = directory
+                        .entry(member)
+                        .map(|entry| entry.data_type.clone())
+                        .unwrap_or_else(|| data_type.clone());
+                    (self.shard_of_id(member), member_type, member)
+                })
+                .collect()
+        };
+        // Phase 2: per-shard erasure of the remaining closure members.
+        for (shard, member_type, member) in targets {
+            erased.extend(self.shards[shard].erase(&member_type, member, escrow)?);
+        }
+        self.directory.lock().mark_erased(erased.iter().copied());
+        Ok(erased.into_iter().collect())
+    }
+
+    /// Subject-wide right to be forgotten: the subject's home-shard records
+    /// and foreign placements are snapshotted together with their transitive
+    /// copy closure under the directory lock, then every involved shard
+    /// erases its members.  Returns every identifier tombstoned,
+    /// cross-shard copies included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn erase_subject(
+        &self,
+        subject: SubjectId,
+        escrow: &OperatorEscrow,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        // The subject's own records, from the home shard's in-memory index.
+        let home_ids = self.shards[self.home_shard(subject)].ids_of_subject(subject);
+        // Phase 1: roots = home records + foreign placements; closure-expand
+        // through the directory and pre-announce the tombstones.
+        let targets: Vec<(usize, DataTypeId, PdId)> = {
+            let mut directory = self.directory.lock();
+            let mut targets: Vec<(usize, DataTypeId, PdId)> = Vec::new();
+            let mut seen: BTreeSet<PdId> = BTreeSet::new();
+            for (data_type, id) in home_ids {
+                if seen.insert(id) {
+                    targets.push((self.shard_of_id(id), data_type, id));
+                }
+            }
+            for id in directory.foreign_of(subject) {
+                if !directory.is_erased(id) && seen.insert(id) {
+                    let data_type = directory
+                        .entry(id)
+                        .expect("foreign placements carry a directory entry")
+                        .data_type
+                        .clone();
+                    targets.push((self.shard_of_id(id), data_type, id));
+                }
+            }
+            for member in directory.closure(seen.iter().copied()) {
+                if seen.insert(member) {
+                    if let Some(entry) = directory.entry(member) {
+                        targets.push((self.shard_of_id(member), entry.data_type.clone(), member));
+                    }
+                }
+            }
+            directory.mark_erased(seen);
+            targets
+        };
+        // Phase 2: per-shard erasure.
+        let mut erased: BTreeSet<PdId> = BTreeSet::new();
+        for (shard, data_type, id) in targets {
+            erased.extend(self.shards[shard].erase(&data_type, id, escrow)?);
+        }
+        self.directory.lock().mark_erased(erased.iter().copied());
+        Ok(erased.into_iter().collect())
+    }
+
+    /// Storage-limitation sweep: every shard purges its own expiry index,
+    /// then the directory propagates the erasure to cross-shard copies whose
+    /// retention diverged from their expired original (a copy must never
+    /// outlive its lineage).  Returns every identifier the sweep tombstoned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn purge_expired(&self, escrow: &OperatorEscrow) -> Result<Vec<PdId>, DbfsError> {
+        let mut expired: Vec<PdId> = Vec::new();
+        for shard in &self.shards {
+            expired.extend(shard.purge_expired(escrow)?);
+        }
+        let targets: Vec<(usize, DataTypeId, PdId)> = {
+            let mut directory = self.directory.lock();
+            let members = directory.closure(expired.iter().copied());
+            let targets = members
+                .iter()
+                .filter(|member| !directory.is_erased(**member))
+                .filter_map(|&member| {
+                    directory
+                        .entry(member)
+                        .map(|entry| (self.shard_of_id(member), entry.data_type.clone(), member))
+                })
+                .collect();
+            directory.mark_erased(expired.iter().copied());
+            directory.mark_erased(members.iter().copied());
+            targets
+        };
+        for (shard, data_type, id) in targets {
+            expired.extend(self.shards[shard].erase(&data_type, id, escrow)?);
+        }
+        Ok(expired)
+    }
+
+    /// Every live record of a subject across the deployment: the home
+    /// shard's subject index plus the directory's foreign placements —
+    /// `O(home shard + lineage)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn records_of_subject(&self, subject: SubjectId) -> Result<Vec<PdRecord>, DbfsError> {
+        let mut out = self.shards[self.home_shard(subject)].records_of_subject(subject)?;
+        let foreign: Vec<(PdId, DataTypeId)> = {
+            let directory = self.directory.lock();
+            directory
+                .foreign_of(subject)
+                .into_iter()
+                .filter(|id| !directory.is_erased(*id))
+                .filter_map(|id| {
+                    directory
+                        .entry(id)
+                        .map(|entry| (id, entry.data_type.clone()))
+                })
+                .collect()
+        };
+        for (id, data_type) in foreign {
+            let record = self.get(&data_type, id)?;
+            if !record.membrane().is_erased() {
+                out.push(record);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Executes a query.  A query whose predicate pins an id list is routed
+    /// to the shards owning those ids (computable from the strided id
+    /// space); one that pins one or more subjects is routed to the home
+    /// shards of those subjects (plus the shards holding their foreign
+    /// records); anything else scatter-gathers across every shard and
+    /// merges in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] or [`DbfsError::Core`].
+    pub fn query(&self, request: &QueryRequest) -> Result<RecordBatch, DbfsError> {
+        let pinned = request.predicate.pinned_subjects();
+        let involved: Vec<usize> = if let Some(ids) = request.predicate.pinned_ids() {
+            let mut involved: Vec<usize> = ids.iter().map(|&id| self.shard_of_id(id)).collect();
+            involved.sort_unstable();
+            involved.dedup();
+            involved
+        } else if pinned.is_empty() {
+            (0..self.shards.len()).collect()
+        } else {
+            let mut involved: Vec<usize> = pinned.iter().map(|&s| self.home_shard(s)).collect();
+            let directory = self.directory.lock();
+            for &subject in &pinned {
+                for id in directory.foreign_of(subject) {
+                    involved.push(self.shard_of_id(id));
+                }
+            }
+            involved.sort_unstable();
+            involved.dedup();
+            involved
+        };
+        let request = Arc::new(request.clone());
+        let mut batch = RecordBatch::new();
+        for result in self
+            .pool
+            .scatter_on(&involved, move |_, dbfs| dbfs.query(&request))
+        {
+            for record in result?.into_records() {
+                batch.push(record);
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Verifies every shard's own index invariants (in parallel), then the
+    /// router-level invariants: globally unique strided ids, every lineage
+    /// edge present in the directory (and vice versa), every off-home
+    /// placement registered, tombstone agreement between the directory and
+    /// the shards, and the GDPR core property — **no live record anywhere in
+    /// the deployment has an erased lineage ancestor**.
+    ///
+    /// Expects a quiescent deployment, like the per-shard checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Corrupt`] describing the first violation.
+    pub fn verify_index_invariants(&self) -> Result<(), DbfsError> {
+        for result in self.pool.scatter(|_, dbfs| dbfs.verify_index_invariants()) {
+            result?;
+        }
+        let violation = |what: String| DbfsError::Corrupt { what };
+        let snapshots = self.pool.scatter(|_, dbfs| dbfs.record_index_snapshot());
+        let mut global: BTreeMap<PdId, (usize, RecordSummary)> = BTreeMap::new();
+        for (shard, snapshot) in snapshots.into_iter().enumerate() {
+            for summary in snapshot {
+                let id = summary.id;
+                if self.shard_of_id(id) != shard {
+                    return Err(violation(format!("{id} allocated off its strided shard")));
+                }
+                if global.insert(id, (shard, summary)).is_some() {
+                    return Err(violation(format!("{id} exists on two shards")));
+                }
+            }
+        }
+        let directory = self.directory.lock();
+        // Every on-shard lineage edge is in the directory, and vice versa.
+        for (id, (_, summary)) in &global {
+            if let Some(parent) = summary.copied_from {
+                if directory.parent(*id) != Some(parent) {
+                    return Err(violation(format!("lineage edge of {id} not in directory")));
+                }
+            }
+        }
+        for (copy, original) in directory.edges() {
+            match global.get(&copy) {
+                Some((_, summary)) if summary.copied_from == Some(original) => {}
+                _ => {
+                    return Err(violation(format!(
+                        "directory edge {copy} -> {original} has no backing record"
+                    )))
+                }
+            }
+        }
+        // Foreign placements agree in both directions.
+        for (subject, id) in directory.foreign_iter() {
+            match global.get(&id) {
+                Some((shard, summary))
+                    if summary.subject == subject && *shard != self.home_shard(subject) => {}
+                _ => {
+                    return Err(violation(format!(
+                        "directory foreign placement of {id} disagrees with the shards"
+                    )))
+                }
+            }
+        }
+        for (id, (shard, summary)) in &global {
+            if *shard != self.home_shard(summary.subject)
+                && !directory.foreign_of(summary.subject).contains(id)
+            {
+                return Err(violation(format!(
+                    "{id} lives off-home but is unregistered"
+                )));
+            }
+        }
+        // Tombstones agree in both directions.
+        for id in directory.erased_iter() {
+            match global.get(&id) {
+                Some((_, summary)) if summary.erased => {}
+                _ => {
+                    return Err(violation(format!(
+                        "directory tombstone {id} disagrees with the shards"
+                    )))
+                }
+            }
+        }
+        for (id, (_, summary)) in &global {
+            if summary.erased && !directory.is_erased(*id) {
+                return Err(violation(format!("shard tombstone {id} not in directory")));
+            }
+        }
+        // The GDPR invariant: no live record has an erased lineage ancestor.
+        for (id, (_, summary)) in &global {
+            if summary.erased {
+                continue;
+            }
+            let mut seen = BTreeSet::from([*id]);
+            let mut ancestor = summary.copied_from;
+            while let Some(current) = ancestor {
+                if !seen.insert(current) {
+                    break;
+                }
+                match global.get(&current) {
+                    Some((_, parent)) => {
+                        if parent.erased {
+                            return Err(violation(format!(
+                                "live {id} outlives its erased ancestor {current}"
+                            )));
+                        }
+                        ancestor = parent.copied_from;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
+    fn clock(&self) -> Arc<LogicalClock> {
+        ShardedDbfs::clock(self)
+    }
+
+    fn audit(&self) -> AuditLog {
+        ShardedDbfs::audit(self)
+    }
+
+    fn stats(&self) -> DbfsStats {
+        ShardedDbfs::stats(self)
+    }
+
+    fn create_type(&self, schema: DataTypeSchema) -> Result<(), DbfsError> {
+        ShardedDbfs::create_type(self, schema)
+    }
+
+    fn schema(&self, name: &DataTypeId) -> Result<DataTypeSchema, DbfsError> {
+        ShardedDbfs::schema(self, name)
+    }
+
+    fn types(&self) -> Vec<DataTypeId> {
+        ShardedDbfs::types(self)
+    }
+
+    fn count(&self, name: &DataTypeId) -> usize {
+        ShardedDbfs::count(self, name)
+    }
+
+    fn collect(
+        &self,
+        data_type: &DataTypeId,
+        subject: SubjectId,
+        row: Row,
+    ) -> Result<PdId, DbfsError> {
+        ShardedDbfs::collect(self, data_type.clone(), subject, row)
+    }
+
+    fn insert_wrapped(
+        &self,
+        data_type: &DataTypeId,
+        wrapped: WrappedPd,
+    ) -> Result<PdId, DbfsError> {
+        ShardedDbfs::insert_wrapped(self, data_type, wrapped)
+    }
+
+    fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {
+        ShardedDbfs::get(self, data_type, id)
+    }
+
+    fn load_membranes(&self, data_type: &DataTypeId) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        ShardedDbfs::load_membranes(self, data_type)
+    }
+
+    fn load_membranes_for_subject(
+        &self,
+        data_type: &DataTypeId,
+        subject: SubjectId,
+    ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
+        ShardedDbfs::load_membranes_for_subject(self, data_type, subject)
+    }
+
+    fn load_membrane(&self, data_type: &DataTypeId, id: PdId) -> Result<Membrane, DbfsError> {
+        ShardedDbfs::load_membrane(self, data_type, id)
+    }
+
+    fn load_records(&self, data_type: &DataTypeId, ids: &[PdId]) -> Result<RecordBatch, DbfsError> {
+        ShardedDbfs::load_records(self, data_type, ids)
+    }
+
+    fn update_row(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DbfsError> {
+        ShardedDbfs::update_row(self, data_type, id, row)
+    }
+
+    fn apply_membrane_delta(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        delta: &MembraneDelta,
+    ) -> Result<bool, DbfsError> {
+        ShardedDbfs::apply_membrane_delta(self, data_type, id, delta)
+    }
+
+    fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DbfsError> {
+        ShardedDbfs::copy(self, data_type, id)
+    }
+
+    fn erase(
+        &self,
+        data_type: &DataTypeId,
+        id: PdId,
+        escrow: &OperatorEscrow,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        ShardedDbfs::erase(self, data_type, id, escrow)
+    }
+
+    fn erase_subject(
+        &self,
+        subject: SubjectId,
+        escrow: &OperatorEscrow,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        ShardedDbfs::erase_subject(self, subject, escrow)
+    }
+
+    fn purge_expired(&self, escrow: &OperatorEscrow) -> Result<Vec<PdId>, DbfsError> {
+        ShardedDbfs::purge_expired(self, escrow)
+    }
+
+    fn records_of_subject(&self, subject: SubjectId) -> Result<Vec<PdRecord>, DbfsError> {
+        ShardedDbfs::records_of_subject(self, subject)
+    }
+
+    fn query(&self, request: &QueryRequest) -> Result<RecordBatch, DbfsError> {
+        ShardedDbfs::query(self, request)
+    }
+
+    fn verify_index_invariants(&self) -> Result<(), DbfsError> {
+        ShardedDbfs::verify_index_invariants(self)
+    }
+}

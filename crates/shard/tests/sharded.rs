@@ -1,0 +1,344 @@
+//! Integration tests of the sharded DBFS: placement, scatter-gather,
+//! cross-shard erasure and the mount-time directory rebuild.
+
+use rgpdos_blockdev::MemDevice;
+use rgpdos_core::schema::listing1_user_schema;
+use rgpdos_core::{DataTypeId, Duration, MembraneDelta, PdId, Row, SubjectId, TimeToLive};
+use rgpdos_crypto::escrow::{Authority, OperatorEscrow};
+use rgpdos_dbfs::{DbfsParams, PdStore, Predicate, QueryRequest};
+use rgpdos_shard::ShardedDbfs;
+use std::sync::Arc;
+
+fn devices(n: usize) -> Vec<Arc<MemDevice>> {
+    (0..n)
+        .map(|_| Arc::new(MemDevice::new(8192, 512)))
+        .collect()
+}
+
+fn sharded(n: usize) -> ShardedDbfs<Arc<MemDevice>> {
+    let sharded = ShardedDbfs::format(devices(n), DbfsParams::small()).unwrap();
+    sharded.create_type(listing1_user_schema()).unwrap();
+    sharded
+}
+
+fn escrow() -> OperatorEscrow {
+    OperatorEscrow::new(Authority::generate(42).public_key())
+}
+
+fn user_row(name: &str) -> Row {
+    Row::new()
+        .with("name", name)
+        .with("pwd", "pw")
+        .with("year_of_birthdate", 1990i64)
+}
+
+fn user() -> DataTypeId {
+    DataTypeId::from("user")
+}
+
+#[test]
+fn placement_is_deterministic_and_ids_are_strided() {
+    let sharded = sharded(4);
+    for raw in 0..32u64 {
+        let subject = SubjectId::new(raw);
+        let id = sharded.collect("user", subject, user_row("p")).unwrap();
+        // The id's strided shard is the subject's home shard.
+        assert_eq!(sharded.shard_of_id(id), sharded.home_shard(subject));
+        assert_eq!(id.raw() % 4, sharded.home_shard(subject) as u64);
+    }
+    assert_eq!(sharded.count(&user()), 32);
+    // Every shard got some records (the mix spreads 32 dense subjects).
+    let stats = sharded.sharded_stats();
+    assert!(
+        stats.per_shard.iter().all(|s| s.live_records > 0),
+        "{stats}"
+    );
+    assert_eq!(stats.live_records(), 32);
+    assert_eq!(stats.totals.collects, 32);
+}
+
+#[test]
+fn scatter_gather_merges_scans_and_subject_queries_stay_routed() {
+    let sharded = sharded(3);
+    for raw in 0..30u64 {
+        sharded
+            .collect("user", SubjectId::new(raw), user_row(&format!("s{raw}")))
+            .unwrap();
+    }
+    // Full scan reaches every shard's records.
+    let batch = sharded.query(&QueryRequest::all("user")).unwrap();
+    assert_eq!(batch.len(), 30);
+    let membranes = sharded.load_membranes(&user()).unwrap();
+    assert_eq!(membranes.len(), 30);
+    // A subject-pinned query returns exactly that subject's records.
+    let subject = SubjectId::new(7);
+    let pinned = sharded
+        .query(&QueryRequest::all("user").for_subject(subject))
+        .unwrap();
+    assert_eq!(pinned.len(), 1);
+    assert_eq!(pinned.iter().next().unwrap().subject(), subject);
+    // Point reads route by id.
+    let id = pinned.iter().next().unwrap().id();
+    let record = sharded.get(&user(), id).unwrap();
+    assert_eq!(record.subject(), subject);
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn id_pinned_queries_route_to_the_owning_shards_only() {
+    use rgpdos_blockdev::InstrumentedDevice;
+    use rgpdos_blockdev::LatencyModel;
+    let devices: Vec<Arc<InstrumentedDevice<MemDevice>>> = (0..4)
+        .map(|_| {
+            Arc::new(InstrumentedDevice::new(
+                MemDevice::new(8192, 512),
+                LatencyModel::nvme(),
+            ))
+        })
+        .collect();
+    let sharded = ShardedDbfs::format(devices.clone(), DbfsParams::small()).unwrap();
+    sharded.create_type(listing1_user_schema()).unwrap();
+    let ids: Vec<PdId> = (0..16u64)
+        .map(|raw| {
+            sharded
+                .collect("user", SubjectId::new(raw), user_row("id-pin"))
+                .unwrap()
+        })
+        .collect();
+    let target = ids[0];
+    let owner = sharded.shard_of_id(target);
+    for device in &devices {
+        device.reset_stats();
+    }
+    let batch = sharded
+        .query(&QueryRequest::all("user").filter(Predicate::pd_in([target])))
+        .unwrap();
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch.iter().next().unwrap().id(), target);
+    for (shard, device) in devices.iter().enumerate() {
+        if shard == owner {
+            assert!(device.stats().reads > 0, "owning shard answers");
+        } else {
+            assert_eq!(device.stats().reads, 0, "shard {shard} must stay idle");
+        }
+    }
+    // An empty mandatory id set matches nothing and touches nothing.
+    let empty = sharded
+        .query(&QueryRequest::all("user").filter(Predicate::pd_in([])))
+        .unwrap();
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn load_records_preserves_request_order_across_shards() {
+    let sharded = sharded(3);
+    let mut ids: Vec<PdId> = (0..9u64)
+        .map(|raw| {
+            sharded
+                .collect("user", SubjectId::new(raw), user_row("o"))
+                .unwrap()
+        })
+        .collect();
+    ids.reverse();
+    let batch = sharded.load_records(&user(), &ids).unwrap();
+    let got: Vec<PdId> = batch.iter().map(|r| r.id()).collect();
+    assert_eq!(got, ids);
+    // An unknown id is reported, like the single-device store does.
+    assert!(sharded.load_records(&user(), &[PdId::new(999)]).is_err());
+}
+
+#[test]
+fn cross_shard_copies_are_tracked_and_erasure_reaches_the_whole_closure() {
+    let sharded = sharded(4);
+    let escrow = escrow();
+    let subject = SubjectId::new(5);
+    let original = sharded
+        .collect("user", subject, user_row("lineage"))
+        .unwrap();
+    // Round-robin placement: four copies cover every shard, and a copy of a
+    // copy extends the chain cross-shard.
+    let copies: Vec<PdId> = (0..4)
+        .map(|_| sharded.copy(&user(), original).unwrap())
+        .collect();
+    let grandchild = sharded.copy(&user(), copies[0]).unwrap();
+    let shards_touched: std::collections::BTreeSet<usize> = copies
+        .iter()
+        .chain([&original, &grandchild])
+        .map(|&id| sharded.shard_of_id(id))
+        .collect();
+    assert!(shards_touched.len() > 1, "copies must span shards");
+    // The subject sees every copy, wherever it lives.
+    assert_eq!(sharded.records_of_subject(subject).unwrap().len(), 6);
+    sharded.verify_index_invariants().unwrap();
+
+    // Erasing the original tombstones the transitive closure on every shard.
+    let erased = sharded.erase(&user(), original, &escrow).unwrap();
+    assert_eq!(erased.len(), 6, "original + 4 copies + grandchild");
+    for id in copies.iter().chain([&original, &grandchild]) {
+        assert!(sharded.get(&user(), *id).unwrap().membrane().is_erased());
+    }
+    assert!(sharded.records_of_subject(subject).unwrap().is_empty());
+    // A copy of an erased record is refused.
+    assert!(sharded.copy(&user(), original).is_err());
+    assert!(sharded.copy(&user(), grandchild).is_err());
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn erase_subject_reaches_foreign_copies_on_every_shard() {
+    let sharded = sharded(4);
+    let escrow = escrow();
+    let subject = SubjectId::new(11);
+    let other = SubjectId::new(12);
+    let a = sharded
+        .collect("user", subject, user_row("mine-a"))
+        .unwrap();
+    let b = sharded
+        .collect("user", subject, user_row("mine-b"))
+        .unwrap();
+    let other_id = sharded.collect("user", other, user_row("theirs")).unwrap();
+    let copy_a = sharded.copy(&user(), a).unwrap();
+    let copy_b = sharded.copy(&user(), b).unwrap();
+
+    let erased = sharded.erase_subject(subject, &escrow).unwrap();
+    let mut expected = vec![a, b, copy_a, copy_b];
+    expected.sort();
+    let mut got = erased.clone();
+    got.sort();
+    assert_eq!(got, expected);
+    // The other subject is untouched.
+    assert!(!sharded
+        .get(&user(), other_id)
+        .unwrap()
+        .membrane()
+        .is_erased());
+    assert_eq!(sharded.count(&user()), 1);
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn retention_purge_propagates_to_ttl_diverged_cross_shard_copies() {
+    let sharded = sharded(3);
+    let escrow = escrow();
+    let subject = SubjectId::new(2);
+    let original = sharded.collect("user", subject, user_row("ttl")).unwrap();
+    // Find a copy on a different shard than the original, then extend its
+    // TTL so it will not expire on its own.
+    let copy = loop {
+        let copy = sharded.copy(&user(), original).unwrap();
+        if sharded.shard_of_id(copy) != sharded.shard_of_id(original) {
+            break copy;
+        }
+    };
+    sharded
+        .apply_membrane_delta(
+            &user(),
+            copy,
+            &MembraneDelta::SetTimeToLive {
+                ttl: TimeToLive::days(10_000),
+            },
+        )
+        .unwrap();
+    // Past the 1-year default TTL of Listing 1 the original expires; the
+    // sweep must still tombstone the long-lived copy on the other shard —
+    // a copy never outlives its lineage.
+    sharded.clock().advance(Duration::from_days(400));
+    let swept = sharded.purge_expired(&escrow).unwrap();
+    assert!(swept.contains(&original));
+    assert!(
+        swept.contains(&copy),
+        "cross-shard copy must be swept: {swept:?}"
+    );
+    assert!(sharded.get(&user(), copy).unwrap().membrane().is_erased());
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn mount_rebuilds_the_directory_and_invariants_hold() {
+    let devices = devices(3);
+    let escrow = escrow();
+    let erased_original = {
+        let sharded = ShardedDbfs::format(devices.clone(), DbfsParams::small()).unwrap();
+        sharded.create_type(listing1_user_schema()).unwrap();
+        for raw in 0..12u64 {
+            sharded
+                .collect("user", SubjectId::new(raw), user_row(&format!("m{raw}")))
+                .unwrap();
+        }
+        let victim = sharded
+            .collect("user", SubjectId::new(50), user_row("victim"))
+            .unwrap();
+        let _spread: Vec<PdId> = (0..3)
+            .map(|_| sharded.copy(&user(), victim).unwrap())
+            .collect();
+        let keeper = sharded
+            .collect("user", SubjectId::new(51), user_row("keeper"))
+            .unwrap();
+        sharded.copy(&user(), keeper).unwrap();
+        sharded.erase(&user(), victim, &escrow).unwrap();
+        sharded.verify_index_invariants().unwrap();
+        assert_eq!(
+            sharded
+                .records_of_subject(SubjectId::new(51))
+                .unwrap()
+                .len(),
+            2
+        );
+        victim
+    };
+    // Remount on the same devices: the directory is rebuilt from the
+    // per-shard indexes.
+    let remounted = ShardedDbfs::mount(devices).unwrap();
+    remounted.verify_index_invariants().unwrap();
+    assert_eq!(remounted.count(&user()), 14, "12 + keeper + its copy");
+    // The erased lineage stays erased, and copying from it stays refused.
+    assert!(remounted.copy(&user(), erased_original).is_err());
+    // The surviving lineage is still visible through the subject route.
+    assert_eq!(
+        remounted
+            .records_of_subject(SubjectId::new(51))
+            .unwrap()
+            .len(),
+        2,
+        "keeper + copy"
+    );
+}
+
+#[test]
+fn single_shard_deployment_degenerates_to_plain_dbfs_semantics() {
+    let sharded = sharded(1);
+    let escrow = escrow();
+    let id = sharded
+        .collect("user", SubjectId::new(1), user_row("solo"))
+        .unwrap();
+    let copy = sharded.copy(&user(), id).unwrap();
+    assert_eq!(sharded.count(&user()), 2);
+    let erased = sharded.erase(&user(), id, &escrow).unwrap();
+    assert_eq!(erased.len(), 2);
+    assert!(sharded.get(&user(), copy).unwrap().membrane().is_erased());
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn pd_store_trait_object_surface_works_for_the_sharded_store() {
+    // The engines are generic over PdStore; drive the sharded store through
+    // the trait to pin the contract.
+    fn through_trait<S: PdStore>(store: &S) {
+        let user = DataTypeId::from("user");
+        let id = store
+            .collect(&user, SubjectId::new(3), user_row("trait"))
+            .unwrap();
+        let membranes = store
+            .load_membranes_for_subject(&user, SubjectId::new(3))
+            .unwrap();
+        assert_eq!(membranes.len(), 1);
+        assert_eq!(membranes[0].0, id);
+        assert_eq!(store.count(&user), 1);
+        let batch = store
+            .query(&QueryRequest::all("user").filter(Predicate::SubjectIs(SubjectId::new(3))))
+            .unwrap();
+        assert_eq!(batch.len(), 1);
+        store.verify_index_invariants().unwrap();
+    }
+    through_trait(&sharded(4));
+}

@@ -47,7 +47,7 @@
 
 pub mod runtime;
 
-pub use runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RuntimeError};
+pub use runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RgpdOsWith, RuntimeError, ShardedRgpdOs};
 
 pub use rgpdos_baseline as baseline;
 pub use rgpdos_blockdev as blockdev;
@@ -61,14 +61,18 @@ pub use rgpdos_inode as inode;
 pub use rgpdos_kernel as kernel;
 pub use rgpdos_ps as ps;
 pub use rgpdos_rights as rights;
+pub use rgpdos_shard as shard;
 pub use rgpdos_workloads as workloads;
 
 /// The most commonly used items, re-exported for examples and tests.
 pub mod prelude {
-    pub use crate::runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RuntimeError};
+    pub use crate::runtime::{
+        RgpdOs, RgpdOsBuilder, RgpdOsDevice, RgpdOsWith, RuntimeError, ShardedRgpdOs,
+    };
     pub use rgpdos_core::prelude::*;
-    pub use rgpdos_dbfs::{DbfsParams, Predicate, QueryRequest};
+    pub use rgpdos_dbfs::{DbfsParams, PdStore, Predicate, QueryRequest};
     pub use rgpdos_ded::{InvokeRequest, InvokeResult, InvokeTarget};
     pub use rgpdos_ps::{ProcessingOutput, ProcessingSpec, RegistrationStatus};
     pub use rgpdos_rights::{ComplianceChecker, SubjectAccessPackage};
+    pub use rgpdos_shard::{ShardedDbfs, ShardedStats};
 }

@@ -1,11 +1,11 @@
 //! The assembled rgpdOS runtime.
 
-use rgpdos_blockdev::{InstrumentedDevice, LatencyModel, MemDevice};
+use rgpdos_blockdev::{DeviceStats, InstrumentedDevice, LatencyModel, MemDevice};
 use rgpdos_core::{
     AuditLog, DataTypeId, FieldValue, LogicalClock, PdId, ProcessingId, Row, SubjectId,
 };
 use rgpdos_crypto::escrow::{Authority, OperatorEscrow};
-use rgpdos_dbfs::{Dbfs, DbfsParams};
+use rgpdos_dbfs::{Dbfs, DbfsParams, PdStore};
 use rgpdos_ded::builtins::Builtins;
 use rgpdos_ded::{DedEngine, InvokeRequest, InvokeResult};
 use rgpdos_dsl::compile_type_declarations;
@@ -14,6 +14,7 @@ use rgpdos_ps::{ProcessingSpec, ProcessingStore, RegistrationOutcome};
 use rgpdos_rights::{
     ComplianceChecker, ComplianceReport, ErasureReceipt, RightsEngine, SubjectAccessPackage,
 };
+use rgpdos_shard::ShardedDbfs;
 use std::error::Error as StdError;
 use std::fmt;
 use std::sync::Arc;
@@ -81,7 +82,7 @@ impl_from_error!(
     rgpdos_inode::InodeError,
 );
 
-/// Builder for [`RgpdOs`] (C-BUILDER).
+/// Builder for [`RgpdOs`] / [`ShardedRgpdOs`] (C-BUILDER).
 #[derive(Debug, Clone)]
 pub struct RgpdOsBuilder {
     device_blocks: u64,
@@ -91,6 +92,7 @@ pub struct RgpdOsBuilder {
     authority_seed: u64,
     cpus: u32,
     memory_mb: u64,
+    shards: usize,
 }
 
 impl Default for RgpdOsBuilder {
@@ -103,6 +105,7 @@ impl Default for RgpdOsBuilder {
             authority_seed: 0x2018_0525, // the GDPR's entry into force (2018-05-25)
             cpus: 8,
             memory_mb: 8_192,
+            shards: 1,
         }
     }
 }
@@ -152,6 +155,37 @@ impl RgpdOsBuilder {
         self
     }
 
+    /// Sets the number of DBFS shards used by [`RgpdOsBuilder::boot_sharded`]
+    /// (each shard gets its own `device_blocks`-sized device).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    fn fresh_device(&self) -> RgpdOsDevice {
+        Arc::new(InstrumentedDevice::new(
+            MemDevice::new(self.device_blocks, self.block_size),
+            self.latency,
+        ))
+    }
+
+    fn build_machine(&self) -> Result<Arc<Machine>, RuntimeError> {
+        Ok(Arc::new(
+            Machine::builder()
+                .cpus(self.cpus)
+                .memory_mb(self.memory_mb)
+                .io_device("pd-nvme0")
+                .io_device("npd-nvme1")
+                .build()?,
+        ))
+    }
+
     /// Boots the rgpdOS instance: builds the purpose-kernel machine, formats
     /// DBFS on a fresh simulated device, creates the PS, DED and rights
     /// engine, and wires the authority escrow.
@@ -161,26 +195,47 @@ impl RgpdOsBuilder {
     /// Returns a [`RuntimeError`] when the device is too small or the machine
     /// configuration is invalid.
     pub fn boot(self) -> Result<RgpdOs, RuntimeError> {
-        let device: RgpdOsDevice = Arc::new(InstrumentedDevice::new(
-            MemDevice::new(self.device_blocks, self.block_size),
-            self.latency,
-        ));
+        let device = self.fresh_device();
         let clock = Arc::new(LogicalClock::new());
         let audit = AuditLog::new();
-        let machine = Arc::new(
-            Machine::builder()
-                .cpus(self.cpus)
-                .memory_mb(self.memory_mb)
-                .io_device("pd-nvme0")
-                .io_device("npd-nvme1")
-                .build()?,
-        );
         let dbfs = Arc::new(Dbfs::format_with(
             Arc::clone(&device),
             self.dbfs_params,
             Arc::clone(&clock),
             audit.clone(),
         )?);
+        self.assemble(vec![device], dbfs, clock, audit)
+    }
+
+    /// Boots a **sharded** rgpdOS instance: one DBFS per shard device behind
+    /// the scatter-gather router of `rgpdos_shard`, with the same machine,
+    /// PS, DED, rights engine and escrow wiring as [`RgpdOsBuilder::boot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] when a device is too small or the machine
+    /// configuration is invalid.
+    pub fn boot_sharded(self) -> Result<ShardedRgpdOs, RuntimeError> {
+        let devices: Vec<RgpdOsDevice> = (0..self.shards).map(|_| self.fresh_device()).collect();
+        let clock = Arc::new(LogicalClock::new());
+        let audit = AuditLog::new();
+        let dbfs = Arc::new(ShardedDbfs::format_with(
+            devices.clone(),
+            self.dbfs_params,
+            Arc::clone(&clock),
+            audit.clone(),
+        )?);
+        self.assemble(devices, dbfs, clock, audit)
+    }
+
+    fn assemble<S: PdStore>(
+        self,
+        devices: Vec<RgpdOsDevice>,
+        dbfs: Arc<S>,
+        clock: Arc<LogicalClock>,
+        audit: AuditLog,
+    ) -> Result<RgpdOsWith<S>, RuntimeError> {
+        let machine = self.build_machine()?;
         let authority = Authority::generate(self.authority_seed);
         let escrow = Arc::new(OperatorEscrow::new(authority.public_key()));
         let ps = ProcessingStore::with_audit(audit.clone());
@@ -191,8 +246,8 @@ impl RgpdOsBuilder {
             Arc::clone(&escrow),
         );
         let rights = RightsEngine::new(Arc::clone(&dbfs), Arc::clone(&escrow));
-        Ok(RgpdOs {
-            device,
+        Ok(RgpdOsWith {
+            devices,
             machine,
             dbfs,
             ps,
@@ -206,27 +261,31 @@ impl RgpdOsBuilder {
     }
 }
 
-/// A booted rgpdOS instance: the assembly of Fig. 4 (left).
+/// A booted rgpdOS instance, generic over its personal-data store: the
+/// assembly of Fig. 4 (left).  Use the [`RgpdOs`] alias for the
+/// single-device deployment and [`ShardedRgpdOs`] for the subject-sharded
+/// one.
 #[derive(Debug)]
-pub struct RgpdOs {
-    device: RgpdOsDevice,
+pub struct RgpdOsWith<S: PdStore> {
+    devices: Vec<RgpdOsDevice>,
     machine: Arc<Machine>,
-    dbfs: Arc<Dbfs<RgpdOsDevice>>,
+    dbfs: Arc<S>,
     ps: ProcessingStore,
-    ded: DedEngine<RgpdOsDevice>,
-    rights: RightsEngine<RgpdOsDevice>,
+    ded: DedEngine<S>,
+    rights: RightsEngine<S>,
     authority: Authority,
     escrow: Arc<OperatorEscrow>,
     clock: Arc<LogicalClock>,
     audit: AuditLog,
 }
 
-impl RgpdOs {
-    /// Starts building an instance.
-    pub fn builder() -> RgpdOsBuilder {
-        RgpdOsBuilder::default()
-    }
+/// The classic single-device rgpdOS instance.
+pub type RgpdOs = RgpdOsWith<Dbfs<RgpdOsDevice>>;
 
+/// An rgpdOS instance over subject-partitioned DBFS shards.
+pub type ShardedRgpdOs = RgpdOsWith<ShardedDbfs<RgpdOsDevice>>;
+
+impl RgpdOs {
     /// Boots an instance with default parameters.
     ///
     /// # Errors
@@ -235,12 +294,27 @@ impl RgpdOs {
     pub fn boot_default() -> Result<Self, RuntimeError> {
         Self::builder().boot()
     }
+}
+
+impl<S: PdStore> RgpdOsWith<S> {
+    /// Starts building an instance.
+    pub fn builder() -> RgpdOsBuilder {
+        RgpdOsBuilder::default()
+    }
 
     // --- accessors ------------------------------------------------------
 
-    /// The simulated personal-data device (instrumented).
+    /// The (first) simulated personal-data device (instrumented).  Sharded
+    /// instances expose every shard device through
+    /// [`RgpdOsWith::devices`].
     pub fn device(&self) -> &RgpdOsDevice {
-        &self.device
+        &self.devices[0]
+    }
+
+    /// Every simulated personal-data device, in shard order (a single-device
+    /// instance has exactly one).
+    pub fn devices(&self) -> &[RgpdOsDevice] {
+        &self.devices
     }
 
     /// The purpose-kernel machine.
@@ -248,8 +322,8 @@ impl RgpdOs {
         &self.machine
     }
 
-    /// The database-oriented filesystem.
-    pub fn dbfs(&self) -> &Arc<Dbfs<RgpdOsDevice>> {
+    /// The personal-data store (a single DBFS or a sharded deployment).
+    pub fn dbfs(&self) -> &Arc<S> {
         &self.dbfs
     }
 
@@ -259,12 +333,12 @@ impl RgpdOs {
     }
 
     /// The Data Execution Domain.
-    pub fn ded(&self) -> &DedEngine<RgpdOsDevice> {
+    pub fn ded(&self) -> &DedEngine<S> {
         &self.ded
     }
 
     /// The rights engine.
-    pub fn rights(&self) -> &RightsEngine<RgpdOsDevice> {
+    pub fn rights(&self) -> &RightsEngine<S> {
         &self.rights
     }
 
@@ -289,7 +363,7 @@ impl RgpdOs {
     }
 
     /// The built-in `F_pd^w` functions.
-    pub fn builtins(&self) -> Builtins<'_, RgpdOsDevice> {
+    pub fn builtins(&self) -> Builtins<'_, S> {
         Builtins::new(&self.ded)
     }
 
@@ -444,9 +518,17 @@ impl RgpdOs {
     }
 
     /// Convenience for experiments: the simulated I/O statistics of the PD
-    /// device.
-    pub fn device_stats(&self) -> rgpdos_blockdev::DeviceStats {
-        self.device.stats()
+    /// device(s), summed across shards for a sharded instance.
+    pub fn device_stats(&self) -> DeviceStats {
+        self.devices.iter().map(|device| device.stats()).fold(
+            DeviceStats::default(),
+            |acc, stats| DeviceStats {
+                reads: acc.reads + stats.reads,
+                writes: acc.writes + stats.writes,
+                flushes: acc.flushes + stats.flushes,
+                simulated_us: acc.simulated_us + stats.simulated_us,
+            },
+        )
     }
 
     /// Convenience for experiments: a single non-personal scalar produced by
@@ -559,6 +641,42 @@ mod tests {
         assert!(os.right_of_access(SubjectId::new(3)).is_err());
         // The authority can still recover the erased row.
         assert!(os.authority().public_key().element() > 0);
+    }
+
+    #[test]
+    fn sharded_boot_runs_the_whole_stack() {
+        let os = RgpdOs::builder()
+            .device_blocks(8_192)
+            .block_size(512)
+            .shards(4)
+            .boot_sharded()
+            .unwrap();
+        assert_eq!(os.devices().len(), 4);
+        assert_eq!(os.dbfs().num_shards(), 4);
+        os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        let id = os.register_processing(compute_age_spec()).unwrap();
+        for raw in 0..20u64 {
+            os.collect(
+                "user",
+                SubjectId::new(raw),
+                user_row(&format!("s{raw}"), 1990),
+            )
+            .unwrap();
+        }
+        // The DED pipeline scatter-gathers over every shard.
+        let result = os.invoke(id, InvokeRequest::whole_type()).unwrap();
+        assert_eq!(result.processed, 20);
+        // Subject rights route to one shard (plus lineage).
+        let package = os.right_of_access(SubjectId::new(3)).unwrap();
+        assert_eq!(package.items.len(), 1);
+        let receipt = os.right_to_be_forgotten(SubjectId::new(3)).unwrap();
+        assert_eq!(receipt.erased.len(), 1);
+        assert!(os.right_of_access(SubjectId::new(3)).is_err());
+        // Compliance checking runs unchanged over the sharded store.
+        let report = os.compliance_report().unwrap();
+        assert!(report.is_compliant(), "failures: {:?}", report.failures());
+        os.dbfs().verify_index_invariants().unwrap();
+        assert!(os.device_stats().writes > 0);
     }
 
     #[test]
