@@ -1,0 +1,774 @@
+//! Deterministic crash-point harness for DBFS and the sharded router.
+//!
+//! `crashgrind` brute-forces durability: for a scripted workload it first
+//! runs a fault-free *reference* pass to learn the total number of device
+//! writes `N` and the expected audit trail, then replays the same workload
+//! `N` times against a [`FaultyDevice`], crashing after write `0, 1, …,
+//! N-1`.  After each crash the device is revived and remounted, and the
+//! GDPR invariants are asserted:
+//!
+//! * the store remounts and [`PdStore::verify_index_invariants`] passes;
+//! * **no erased id is ever live again** — every id a pre-crash erasure
+//!   reported tombstoned is still tombstoned;
+//! * a subject whose erase-subject request completed before the crash has
+//!   no live records;
+//! * **no half-written record is visible** — every record (tombstones
+//!   included) decodes;
+//! * no live record anywhere has an erased lineage ancestor (the erasure
+//!   cascade is all-or-nothing across the crash);
+//! * the audit log at the moment of the crash is a **prefix** of the
+//!   reference run's audit log (no event is recorded for work that never
+//!   committed);
+//! * the store remains usable: a fresh record can be collected after
+//!   recovery.
+//!
+//! The sharded sweep wraps every shard device around one shared
+//! [`FaultCell`], so the crash models a whole-machine power loss at a
+//! global write index — exactly the window the two-phase cross-shard
+//! erasure's intent log exists for.
+
+use rgpdos::blockdev::{FaultCell, FaultPlan, FaultScript, FaultyDevice, MemDevice};
+use rgpdos::core::schema::listing1_user_schema;
+use rgpdos::core::{
+    AuditEvent, DataTypeId, Duration, Membrane, MembraneDelta, PdId, Row, SubjectId, TimeToLive,
+};
+use rgpdos::crypto::escrow::{Authority, OperatorEscrow};
+use rgpdos::dbfs::{Dbfs, DbfsError, DbfsParams, PdStore, QueryRequest};
+use rgpdos::inode::InodeError;
+use rgpdos::shard::ShardedDbfs;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One step of a scripted crash-consistency workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Collect a fresh record for `subject`.
+    Insert {
+        /// The data subject.
+        subject: u64,
+    },
+    /// Replace the row of a previously created record.
+    Update {
+        /// Index into the ids created so far (modulo).
+        pick: u8,
+    },
+    /// Copy a previously created record (round-robin across shards when
+    /// sharded — the cross-shard lineage case).
+    Copy {
+        /// Index into the ids created so far (modulo).
+        pick: u8,
+    },
+    /// Change a record's retention period.
+    SetTtlDays {
+        /// Index into the ids created so far (modulo).
+        pick: u8,
+        /// The new TTL in days.
+        days: u64,
+    },
+    /// Advance the shared clock.
+    AdvanceDays {
+        /// Days to advance.
+        days: u64,
+    },
+    /// Right to be forgotten on one record (cascades over the lineage).
+    Erase {
+        /// Index into the ids created so far (modulo).
+        pick: u8,
+    },
+    /// Subject-wide right to be forgotten.
+    EraseSubject {
+        /// The data subject.
+        subject: u64,
+    },
+    /// Retention sweep.
+    Purge,
+}
+
+/// The default workload: covers insert, update, copy (including a
+/// copy-of-a-copy lineage chain), TTL change, erase, subject erase and the
+/// retention sweep.
+pub fn default_script() -> Vec<ScriptOp> {
+    vec![
+        ScriptOp::Insert { subject: 1 },
+        ScriptOp::Insert { subject: 1 },
+        ScriptOp::Insert { subject: 2 },
+        ScriptOp::Copy { pick: 0 },
+        ScriptOp::Copy { pick: 3 },
+        ScriptOp::Update { pick: 1 },
+        ScriptOp::SetTtlDays { pick: 1, days: 30 },
+        ScriptOp::Insert { subject: 3 },
+        ScriptOp::Erase { pick: 0 },
+        ScriptOp::EraseSubject { subject: 2 },
+        ScriptOp::AdvanceDays { days: 40 },
+        ScriptOp::Purge,
+    ]
+}
+
+/// A deterministic pseudo-random workload derived from `seed` (echoed in CI
+/// logs so any sweep can be reproduced bit-for-bit).
+pub fn scripted_ops(seed: u64, len: usize) -> Vec<ScriptOp> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let op = match next() % 10 {
+            0..=2 => ScriptOp::Insert {
+                subject: next() % 4,
+            },
+            3 => ScriptOp::Update {
+                pick: (next() % 251) as u8,
+            },
+            4..=5 => ScriptOp::Copy {
+                pick: (next() % 251) as u8,
+            },
+            6 => ScriptOp::SetTtlDays {
+                pick: (next() % 251) as u8,
+                days: 1 + next() % 200,
+            },
+            7 => ScriptOp::Erase {
+                pick: (next() % 251) as u8,
+            },
+            8 => ScriptOp::EraseSubject {
+                subject: next() % 4,
+            },
+            _ => {
+                if next() % 2 == 0 {
+                    ScriptOp::AdvanceDays {
+                        days: 1 + next() % 300,
+                    }
+                } else {
+                    ScriptOp::Purge
+                }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// What a (possibly interrupted) replay observed succeed before the crash.
+#[derive(Debug, Default)]
+struct Shadow {
+    /// Ids created so far (inserts and copies), in creation order.
+    ids: Vec<PdId>,
+    /// Every id an erasure / sweep *reported* tombstoned before the crash.
+    erased: BTreeSet<PdId>,
+    /// Subjects whose subject-wide erasure completed before the crash.
+    erased_subjects: BTreeSet<SubjectId>,
+}
+
+/// The machine-readable outcome of one sweep (uploaded as a CI artifact).
+#[derive(Debug, Serialize)]
+pub struct SweepReport {
+    /// Which scenario was swept (`dbfs`, `sharded`, `migration`, …).
+    pub scenario: String,
+    /// Number of crash points exercised (= writes in the reference run).
+    pub crash_points: u64,
+    /// Inode-journal replays observed across every remount.
+    pub journal_replays: u64,
+    /// DBFS/router recovery actions observed across every remount.
+    pub recovered_txs: u64,
+    /// Human-readable invariant violations (empty on a passing sweep).
+    pub violations: Vec<String>,
+}
+
+impl SweepReport {
+    fn new(scenario: impl Into<String>, crash_points: u64) -> Self {
+        Self {
+            scenario: scenario.into(),
+            crash_points,
+            journal_replays: 0,
+            recovered_txs: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether every crash point upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn sample_row(name: &str) -> Row {
+    Row::new()
+        .with("name", name)
+        .with("pwd", "pw")
+        .with("year_of_birthdate", 1990i64)
+}
+
+/// Whether an error is the injected crash surfacing (as opposed to a
+/// legitimate logical refusal such as "already erased").
+fn is_crash(error: &DbfsError) -> bool {
+    matches!(error, DbfsError::Inode(InodeError::Device(_)))
+}
+
+/// The only logical refusals a replayed script legitimately provokes:
+/// operating on a tombstone (copy/update of an erased record, an erased
+/// lineage ancestor) or on an id the interrupted script never created.
+/// Anything else — `Corrupt`, schema errors, crypto failures — is a real
+/// defect the sweep must surface, not swallow.
+fn is_expected_refusal(error: &DbfsError) -> bool {
+    matches!(
+        error,
+        DbfsError::Erased { .. } | DbfsError::UnknownPd { .. }
+    )
+}
+
+/// How a replay ended before the script ran to completion.
+#[derive(Debug)]
+enum ReplayFailure {
+    /// The injected crash fired (the expected outcome of a crash run).
+    Crash(#[allow(dead_code)] DbfsError),
+    /// A mutation failed for a reason the script cannot legitimately
+    /// provoke — a harness-visible defect.
+    Unexpected(DbfsError),
+}
+
+/// Replays the script until it ends or the injected crash fires, recording
+/// successful outcomes in `shadow`.  Logical refusals (copying an erased
+/// record, updating a tombstone) are expected and skipped.
+fn replay<S: PdStore>(
+    store: &S,
+    escrow: &OperatorEscrow,
+    script: &[ScriptOp],
+    shadow: &mut Shadow,
+    user: &DataTypeId,
+) -> Result<(), ReplayFailure> {
+    fn filter(
+        ids: &mut Vec<PdId>,
+        result: Result<Option<PdId>, DbfsError>,
+    ) -> Result<(), ReplayFailure> {
+        match result {
+            Ok(Some(id)) => {
+                ids.push(id);
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) if is_crash(&e) => Err(ReplayFailure::Crash(e)),
+            Err(e) if is_expected_refusal(&e) => Ok(()),
+            Err(e) => Err(ReplayFailure::Unexpected(e)),
+        }
+    }
+    for op in script {
+        match *op {
+            ScriptOp::Insert { subject } => {
+                let result = store
+                    .collect(user, SubjectId::new(subject), sample_row("scripted"))
+                    .map(Some);
+                filter(&mut shadow.ids, result)?;
+            }
+            ScriptOp::Update { pick } => {
+                if let Some(id) = pick_id(&shadow.ids, pick).copied() {
+                    let result = store
+                        .update_row(user, id, sample_row("updated"))
+                        .map(|()| None);
+                    filter(&mut shadow.ids, result)?;
+                }
+            }
+            ScriptOp::Copy { pick } => {
+                if let Some(id) = pick_id(&shadow.ids, pick).copied() {
+                    let result = store.copy(user, id).map(Some);
+                    filter(&mut shadow.ids, result)?;
+                }
+            }
+            ScriptOp::SetTtlDays { pick, days } => {
+                if let Some(id) = pick_id(&shadow.ids, pick).copied() {
+                    let delta = MembraneDelta::SetTimeToLive {
+                        ttl: TimeToLive::days(days),
+                    };
+                    let result = store.apply_membrane_delta(user, id, &delta).map(|_| None);
+                    filter(&mut shadow.ids, result)?;
+                }
+            }
+            ScriptOp::AdvanceDays { days } => {
+                store.clock().advance(Duration::from_days(days));
+            }
+            ScriptOp::Erase { pick } => {
+                if let Some(id) = pick_id(&shadow.ids, pick).copied() {
+                    match store.erase(user, id, escrow) {
+                        Ok(erased) => shadow.erased.extend(erased),
+                        Err(e) if is_crash(&e) => return Err(ReplayFailure::Crash(e)),
+                        Err(e) if is_expected_refusal(&e) => {}
+                        Err(e) => return Err(ReplayFailure::Unexpected(e)),
+                    }
+                }
+            }
+            ScriptOp::EraseSubject { subject } => {
+                let subject = SubjectId::new(subject);
+                match store.erase_subject(subject, escrow) {
+                    Ok(erased) => {
+                        shadow.erased.extend(erased);
+                        shadow.erased_subjects.insert(subject);
+                    }
+                    Err(e) if is_crash(&e) => return Err(ReplayFailure::Crash(e)),
+                    Err(e) if is_expected_refusal(&e) => {}
+                    Err(e) => return Err(ReplayFailure::Unexpected(e)),
+                }
+            }
+            ScriptOp::Purge => match store.purge_expired(escrow) {
+                Ok(expired) => shadow.erased.extend(expired),
+                Err(e) if is_crash(&e) => return Err(ReplayFailure::Crash(e)),
+                Err(e) if is_expected_refusal(&e) => {}
+                Err(e) => return Err(ReplayFailure::Unexpected(e)),
+            },
+        }
+    }
+    Ok(())
+}
+
+fn pick_id(ids: &[PdId], pick: u8) -> Option<&PdId> {
+    if ids.is_empty() {
+        None
+    } else {
+        ids.get(pick as usize % ids.len())
+    }
+}
+
+/// Post-crash, post-remount invariant checks (see the module docs for the
+/// full list).  Returns human-readable violations.
+fn check_recovered<S: PdStore>(
+    store: &S,
+    shadow: &Shadow,
+    crashed_audit: &[AuditEvent],
+    reference_audit: &[AuditEvent],
+    user: &DataTypeId,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Err(e) = store.verify_index_invariants() {
+        violations.push(format!("index invariants violated after remount: {e}"));
+    }
+    // No erased id is ever live again.
+    for &id in &shadow.erased {
+        match store.load_membrane(user, id) {
+            Ok(membrane) if membrane.is_erased() => {}
+            Ok(_) => violations.push(format!("{id} was erased before the crash but is live")),
+            Err(e) => violations.push(format!("{id} was erased before the crash but is gone: {e}")),
+        }
+    }
+    // No half-written record is visible: every record, tombstones included,
+    // decodes end to end.
+    if let Err(e) = store.query(&QueryRequest::all(user.clone()).including_erased()) {
+        violations.push(format!("a stored record no longer decodes: {e}"));
+    }
+    // Lineage atomicity: no live record has an erased ancestor, and
+    // completed subject erasures left no survivor.
+    match store.load_membranes(user) {
+        Ok(membranes) => {
+            let map: BTreeMap<PdId, Membrane> = membranes.into_iter().collect();
+            for (id, membrane) in &map {
+                if membrane.is_erased() {
+                    continue;
+                }
+                if shadow.erased_subjects.contains(&membrane.subject()) {
+                    violations.push(format!(
+                        "{id} survived the completed erasure of its subject {}",
+                        membrane.subject()
+                    ));
+                }
+                let mut seen = BTreeSet::from([*id]);
+                let mut ancestor = membrane.copied_from();
+                while let Some(current) = ancestor {
+                    if !seen.insert(current) {
+                        break;
+                    }
+                    match map.get(&current) {
+                        Some(parent) => {
+                            if parent.is_erased() {
+                                violations.push(format!(
+                                    "live {id} outlives its erased ancestor {current}"
+                                ));
+                                break;
+                            }
+                            ancestor = parent.copied_from();
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        Err(e) => violations.push(format!("membrane scan failed after remount: {e}")),
+    }
+    // The audit log at crash time is a prefix of the reference trail.
+    if crashed_audit.len() > reference_audit.len()
+        || crashed_audit != &reference_audit[..crashed_audit.len()]
+    {
+        violations.push(format!(
+            "audit log diverged from the reference run ({} events at crash, {} in reference)",
+            crashed_audit.len(),
+            reference_audit.len()
+        ));
+    }
+    // The store stays usable after recovery.
+    if let Err(e) = store.collect(user, SubjectId::new(9_999), sample_row("post-crash")) {
+        violations.push(format!("collect after recovery failed: {e}"));
+    } else if let Err(e) = store.verify_index_invariants() {
+        violations.push(format!(
+            "index invariants broke on first post-crash write: {e}"
+        ));
+    }
+    violations
+}
+
+fn setup_dbfs_image(device: &Arc<MemDevice>) {
+    let dbfs = Dbfs::format(Arc::clone(device), DbfsParams::small()).expect("format DBFS image");
+    dbfs.create_type(listing1_user_schema())
+        .expect("install the user type");
+}
+
+/// Sweeps every write index of `script` against a single-device DBFS.
+pub fn sweep_dbfs(script: &[ScriptOp]) -> SweepReport {
+    let authority = Authority::generate(0xA0D1);
+    let user: DataTypeId = "user".into();
+
+    // Reference run: learns the write count and the expected audit trail.
+    let reference_device = Arc::new(MemDevice::new(16_384, 512));
+    setup_dbfs_image(&reference_device);
+    let probe = FaultyDevice::new(Arc::clone(&reference_device), FaultPlan::None);
+    let cell = probe.cell();
+    let dbfs = Dbfs::mount(probe).expect("reference mount");
+    let mut reference_shadow = Shadow::default();
+    let escrow = OperatorEscrow::new(authority.public_key());
+    let (total_writes, outcome) =
+        cell.writes_between(|| replay(&dbfs, &escrow, script, &mut reference_shadow, &user));
+    outcome.expect("the reference run must not fail");
+    let reference_audit = dbfs.audit().snapshot();
+    drop(dbfs);
+
+    let mut report = SweepReport::new("dbfs", total_writes);
+    for crash_after in 0..total_writes {
+        let device = Arc::new(MemDevice::new(16_384, 512));
+        setup_dbfs_image(&device);
+        let faulty = FaultyDevice::new(
+            Arc::clone(&device),
+            FaultPlan::CrashAfterWrites(crash_after),
+        );
+        let dbfs = match Dbfs::mount(faulty) {
+            Ok(dbfs) => dbfs,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("crash {crash_after}: pre-crash mount failed: {e}"));
+                continue;
+            }
+        };
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let mut shadow = Shadow::default();
+        match replay(&dbfs, &escrow, script, &mut shadow, &user) {
+            Err(ReplayFailure::Crash(_)) => {}
+            Ok(()) => report
+                .violations
+                .push(format!("crash {crash_after}: the fault never fired")),
+            Err(ReplayFailure::Unexpected(e)) => report.violations.push(format!(
+                "crash {crash_after}: unexpected pre-crash failure: {e}"
+            )),
+        }
+        let crashed_audit = dbfs.audit().snapshot();
+        drop(dbfs);
+
+        let remounted = match Dbfs::mount(Arc::clone(&device)) {
+            Ok(dbfs) => dbfs,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("crash {crash_after}: remount failed: {e}"));
+                continue;
+            }
+        };
+        let stats = remounted.stats();
+        report.journal_replays += stats.journal_replays;
+        report.recovered_txs += stats.recovered_txs;
+        for violation in
+            check_recovered(&remounted, &shadow, &crashed_audit, &reference_audit, &user)
+        {
+            report
+                .violations
+                .push(format!("crash {crash_after}: {violation}"));
+        }
+    }
+    report
+}
+
+fn setup_sharded_image(devices: &[Arc<MemDevice>]) {
+    let sharded =
+        ShardedDbfs::format(devices.to_vec(), DbfsParams::small()).expect("format sharded image");
+    sharded
+        .create_type(listing1_user_schema())
+        .expect("install the user type");
+}
+
+/// Sweeps every *global* write index of `script` against a sharded DBFS:
+/// all shard devices share one [`FaultCell`], so the crash is a
+/// whole-machine power loss — the window the two-phase cross-shard erasure
+/// must survive.
+pub fn sweep_sharded(script: &[ScriptOp], shards: usize) -> SweepReport {
+    let authority = Authority::generate(0x5A4D);
+    let user: DataTypeId = "user".into();
+    let fresh_devices = |shards: usize| -> Vec<Arc<MemDevice>> {
+        (0..shards)
+            .map(|_| Arc::new(MemDevice::new(16_384, 512)))
+            .collect()
+    };
+
+    // Reference run.
+    let reference_devices = fresh_devices(shards);
+    setup_sharded_image(&reference_devices);
+    let cell = Arc::new(FaultCell::new(FaultScript::none()));
+    let wrapped: Vec<_> = reference_devices
+        .iter()
+        .map(|device| FaultyDevice::with_cell(Arc::clone(device), Arc::clone(&cell)))
+        .collect();
+    let sharded = ShardedDbfs::mount(wrapped).expect("reference mount");
+    let mut reference_shadow = Shadow::default();
+    let escrow = OperatorEscrow::new(authority.public_key());
+    let (total_writes, outcome) =
+        cell.writes_between(|| replay(&sharded, &escrow, script, &mut reference_shadow, &user));
+    outcome.expect("the reference run must not fail");
+    let reference_audit = sharded.audit().snapshot();
+    drop(sharded);
+
+    let mut report = SweepReport::new(format!("sharded-{shards}"), total_writes);
+    for crash_after in 0..total_writes {
+        let devices = fresh_devices(shards);
+        setup_sharded_image(&devices);
+        let cell = Arc::new(FaultCell::new(FaultScript::crash_after_writes(crash_after)));
+        let wrapped: Vec<_> = devices
+            .iter()
+            .map(|device| FaultyDevice::with_cell(Arc::clone(device), Arc::clone(&cell)))
+            .collect();
+        let sharded = match ShardedDbfs::mount(wrapped) {
+            Ok(sharded) => sharded,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("crash {crash_after}: pre-crash mount failed: {e}"));
+                continue;
+            }
+        };
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let mut shadow = Shadow::default();
+        match replay(&sharded, &escrow, script, &mut shadow, &user) {
+            Err(ReplayFailure::Crash(_)) => {}
+            Ok(()) => report
+                .violations
+                .push(format!("crash {crash_after}: the fault never fired")),
+            Err(ReplayFailure::Unexpected(e)) => report.violations.push(format!(
+                "crash {crash_after}: unexpected pre-crash failure: {e}"
+            )),
+        }
+        let crashed_audit = sharded.audit().snapshot();
+        drop(sharded);
+
+        // Remount the revived devices; this runs intent recovery.
+        let remounted = match ShardedDbfs::mount(devices) {
+            Ok(sharded) => sharded,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("crash {crash_after}: remount failed: {e}"));
+                continue;
+            }
+        };
+        let stats = remounted.stats();
+        report.journal_replays += stats.journal_replays;
+        report.recovered_txs += stats.recovered_txs;
+        for violation in
+            check_recovered(&remounted, &shadow, &crashed_audit, &reference_audit, &user)
+        {
+            report
+                .violations
+                .push(format!("crash {crash_after}: {violation}"));
+        }
+    }
+    report
+}
+
+/// Builds a format-v1 DBFS image (bare-counter metadata + single-section
+/// JSON records) by hand, for the migration sweep.
+fn build_v1_image(device: &Arc<MemDevice>) {
+    use rgpdos::core::record::stored;
+    use rgpdos::inode::{fs::ROOT_INO, FormatParams, InodeFs, InodeKind, JournalMode};
+
+    #[derive(Serialize)]
+    struct V1 {
+        membrane: Membrane,
+        row: Row,
+    }
+
+    let fs = InodeFs::format(
+        Arc::clone(device),
+        FormatParams::small()
+            .with_inode_count(512)
+            .with_journal_blocks(64)
+            .with_secure_free(true),
+        JournalMode::Scrub,
+    )
+    .expect("format v1 image");
+    let tables_ino = fs.alloc_inode(InodeKind::Directory).unwrap();
+    fs.dir_add(ROOT_INO, "tables", tables_ino).unwrap();
+    let subjects_ino = fs.alloc_inode(InodeKind::Directory).unwrap();
+    fs.dir_add(ROOT_INO, "subjects", subjects_ino).unwrap();
+    let meta_ino = fs.alloc_inode(InodeKind::File).unwrap();
+    fs.dir_add(ROOT_INO, "meta", meta_ino).unwrap();
+    let table_ino = fs.alloc_inode(InodeKind::Table).unwrap();
+    fs.dir_add(tables_ino, "user", table_ino).unwrap();
+    let schema_ino = fs.alloc_inode(InodeKind::Schema).unwrap();
+    fs.write_replace(
+        schema_ino,
+        &serde_json::to_vec(&listing1_user_schema()).unwrap(),
+    )
+    .unwrap();
+    fs.dir_add(table_ino, "__schema", schema_ino).unwrap();
+    let subject_ino = fs.alloc_inode(InodeKind::SubjectRoot).unwrap();
+    fs.dir_add(subjects_ino, "subject-9", subject_ino).unwrap();
+
+    // Record 0: legacy single-section JSON.
+    let legacy = V1 {
+        membrane: Membrane::from_schema(
+            &listing1_user_schema(),
+            SubjectId::new(9),
+            rgpdos::core::Timestamp::ZERO,
+        ),
+        row: sample_row("Legacy"),
+    };
+    let record_ino = fs.alloc_inode(InodeKind::Record).unwrap();
+    fs.write_replace(record_ino, &serde_json::to_vec(&legacy).unwrap())
+        .unwrap();
+    fs.dir_add(table_ino, "pd-0", record_ino).unwrap();
+    fs.dir_add(subject_ino, "user#pd-0", record_ino).unwrap();
+
+    // Record 1: already split (the image a crash mid-migration leaves).
+    let membrane = Membrane::from_schema(
+        &listing1_user_schema(),
+        SubjectId::new(9),
+        rgpdos::core::Timestamp::ZERO,
+    );
+    let record2_ino = fs.alloc_inode(InodeKind::Record).unwrap();
+    fs.write_replace(
+        record2_ino,
+        &stored::encode(&membrane, &sample_row("Partial")).unwrap(),
+    )
+    .unwrap();
+    fs.dir_add(table_ino, "pd-1", record2_ino).unwrap();
+    fs.dir_add(subject_ino, "user#pd-1", record2_ino).unwrap();
+    fs.write_replace(meta_ino, &2u64.to_le_bytes()).unwrap();
+}
+
+/// Sweeps every write index of the **v1 → v2 migration** itself: the crash
+/// fires during `Dbfs::mount`'s in-place record rewrites, and the next
+/// mount must finish the migration idempotently.
+pub fn sweep_migration() -> SweepReport {
+    let user: DataTypeId = "user".into();
+
+    // Reference: how many writes does a clean migration perform?
+    let reference_device = Arc::new(MemDevice::new(16_384, 512));
+    build_v1_image(&reference_device);
+    let probe = FaultyDevice::new(Arc::clone(&reference_device), FaultPlan::None);
+    let cell = probe.cell();
+    let (total_writes, mounted) = cell.writes_between(|| Dbfs::mount(probe));
+    mounted.expect("reference migration succeeds");
+
+    let mut report = SweepReport::new("migration", total_writes);
+    for crash_after in 0..total_writes {
+        let device = Arc::new(MemDevice::new(16_384, 512));
+        build_v1_image(&device);
+        // The crash fires inside mount; either outcome (error or a mounted
+        // store that dies on first use) is legitimate.
+        let _ = Dbfs::mount(FaultyDevice::new(
+            Arc::clone(&device),
+            FaultPlan::CrashAfterWrites(crash_after),
+        ));
+        let remounted = match Dbfs::mount(Arc::clone(&device)) {
+            Ok(dbfs) => dbfs,
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("crash {crash_after}: post-crash mount failed: {e}"));
+                continue;
+            }
+        };
+        let stats = remounted.stats();
+        report.journal_replays += stats.journal_replays;
+        report.recovered_txs += stats.recovered_txs;
+        if let Err(e) = remounted.verify_index_invariants() {
+            report
+                .violations
+                .push(format!("crash {crash_after}: invariants violated: {e}"));
+        }
+        for (raw, name) in [(0u64, "Legacy"), (1u64, "Partial")] {
+            match remounted.get(&user, PdId::new(raw)) {
+                Ok(record) => {
+                    if record.row().get("name").and_then(|v| v.as_text()) != Some(name) {
+                        report.violations.push(format!(
+                            "crash {crash_after}: pd-{raw} migrated with wrong contents"
+                        ));
+                    }
+                }
+                Err(e) => report
+                    .violations
+                    .push(format!("crash {crash_after}: pd-{raw} unreadable: {e}")),
+            }
+        }
+    }
+    report
+}
+
+/// Runs the full crash-matrix: the default single-store sweep, a seeded
+/// pseudo-random single-store sweep, the sharded whole-machine sweep and
+/// the migration sweep.
+pub fn run_all(seed: u64) -> Vec<SweepReport> {
+    vec![
+        sweep_dbfs(&default_script()),
+        sweep_dbfs(&scripted_ops(seed, 10)),
+        sweep_sharded(&default_script(), 3),
+        sweep_migration(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_ops_are_deterministic() {
+        assert_eq!(scripted_ops(42, 12), scripted_ops(42, 12));
+        assert_ne!(scripted_ops(42, 12), scripted_ops(43, 12));
+        assert_eq!(scripted_ops(7, 5).len(), 5);
+    }
+
+    #[test]
+    fn default_script_covers_every_mutating_op() {
+        let script = default_script();
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::Insert { .. })));
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::Update { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Copy { .. })));
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::SetTtlDays { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Erase { .. })));
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::EraseSubject { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Purge)));
+    }
+
+    #[test]
+    fn migration_sweep_passes() {
+        let report = sweep_migration();
+        assert!(report.crash_points > 0);
+        assert!(
+            report.passed(),
+            "migration sweep violations: {:?}",
+            report.violations
+        );
+    }
+}

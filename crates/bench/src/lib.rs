@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crashgrind;
+
 use rgpdos::baseline::UserspaceDbEngine;
 use rgpdos::blockdev::{InstrumentedDevice, LatencyModel, MemDevice};
 use rgpdos::dbfs::Dbfs;

@@ -1,0 +1,54 @@
+//! Debug-mode slices of the crash matrix (the full sweep runs in release
+//! via the `crashgrind` binary and the CI `crash-matrix` job).
+
+use rgpdos_bench::crashgrind::{default_script, sweep_dbfs, sweep_sharded, ScriptOp};
+
+#[test]
+fn small_dbfs_sweep_passes_every_crash_point() {
+    let script = [
+        ScriptOp::Insert { subject: 1 },
+        ScriptOp::Copy { pick: 0 },
+        ScriptOp::Erase { pick: 0 },
+    ];
+    let report = sweep_dbfs(&script);
+    assert!(report.crash_points > 20);
+    assert!(
+        report.passed(),
+        "dbfs sweep violations: {:?}",
+        report.violations
+    );
+    assert!(
+        report.journal_replays > 0,
+        "some crash point lands between journal commit and apply"
+    );
+}
+
+#[test]
+fn small_sharded_sweep_passes_every_whole_machine_crash_point() {
+    let script = [
+        ScriptOp::Insert { subject: 1 },
+        ScriptOp::Insert { subject: 2 },
+        ScriptOp::Copy { pick: 0 },
+        ScriptOp::Erase { pick: 0 },
+    ];
+    let report = sweep_sharded(&script, 3);
+    assert!(report.crash_points > 20);
+    assert!(
+        report.passed(),
+        "sharded sweep violations: {:?}",
+        report.violations
+    );
+    assert!(
+        report.recovered_txs > 0,
+        "some crash point must be completed from a persisted erase intent"
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug; run explicitly or via the release crash-matrix job"]
+fn full_default_script_sweeps_pass() {
+    let dbfs = sweep_dbfs(&default_script());
+    assert!(dbfs.passed(), "{:?}", dbfs.violations);
+    let sharded = sweep_sharded(&default_script(), 3);
+    assert!(sharded.passed(), "{:?}", sharded.violations);
+}

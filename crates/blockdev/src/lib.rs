@@ -44,7 +44,7 @@ pub mod scan;
 pub use cache::CachedDevice;
 pub use device::{BlockDevice, DeviceGeometry};
 pub use error::DeviceError;
-pub use faults::{FaultPlan, FaultyDevice};
+pub use faults::{FaultCell, FaultEvent, FaultPlan, FaultScript, FaultyDevice};
 pub use instrument::{DeviceStats, InstrumentedDevice, LatencyModel};
 pub use mem::MemDevice;
 pub use scan::{scan_for_pattern, ScanHit};

@@ -24,16 +24,21 @@ use rgpdos_core::{
     PdId, PdRecord, RecordBatch, Row, SchemaRegistry, SubjectId, Timestamp, WrappedPd,
 };
 use rgpdos_crypto::escrow::OperatorEscrow;
+use rgpdos_crypto::PublicKey;
 use rgpdos_inode::fs::ROOT_INO;
 use rgpdos_inode::{FormatParams, Ino, InodeFs, InodeKind, JournalMode};
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 /// Name of the schema entry inside a table directory.
 const SCHEMA_ENTRY: &str = "__schema";
 /// Name of the metadata file in the DBFS root.
 const META_ENTRY: &str = "meta";
+/// Name of the erase-intent write-ahead log in the DBFS root (created
+/// lazily; absent on images that never ran a routed erasure).
+const INTENTS_ENTRY: &str = "__intents";
 /// Name of the table tree in the DBFS root.
 const TABLES_DIR: &str = "tables";
 /// Name of the subject tree in the DBFS root.
@@ -158,9 +163,16 @@ pub struct DbfsParams {
 
 impl DbfsParams {
     /// The secure defaults used by rgpdOS (scrubbed journal, zero-on-free).
+    ///
+    /// The journal is sized so that every DBFS mutation — including a
+    /// whole-lineage cascade erasure — fits one journal transaction and is
+    /// therefore crash-atomic (see the compound transactions of
+    /// [`rgpdos_inode::InodeFs`]).
     pub fn secure() -> Self {
         Self {
-            inode_params: FormatParams::standard().with_secure_free(true),
+            inode_params: FormatParams::standard()
+                .with_journal_blocks(128)
+                .with_secure_free(true),
             journal_mode: JournalMode::Scrub,
         }
     }
@@ -169,7 +181,9 @@ impl DbfsParams {
     /// by the ablation experiments.
     pub fn insecure() -> Self {
         Self {
-            inode_params: FormatParams::standard().with_secure_free(false),
+            inode_params: FormatParams::standard()
+                .with_journal_blocks(128)
+                .with_secure_free(false),
             journal_mode: JournalMode::Retain,
         }
     }
@@ -179,6 +193,7 @@ impl DbfsParams {
         Self {
             inode_params: FormatParams::small()
                 .with_inode_count(512)
+                .with_journal_blocks(64)
                 .with_secure_free(true),
             journal_mode: JournalMode::Scrub,
         }
@@ -256,6 +271,8 @@ struct DbfsIndex {
     tables_ino: Ino,
     subjects_ino: Ino,
     meta_ino: Ino,
+    /// The erase-intent WAL file, once one exists (created lazily).
+    intents_ino: Option<Ino>,
 }
 
 impl DbfsIndex {
@@ -390,6 +407,35 @@ pub struct RecordSummary {
     pub erased: bool,
 }
 
+/// A durable record of a multi-instance erasure in flight, persisted through
+/// [`Dbfs::put_erase_intent`] *before* any tombstone is written and cleared
+/// after the last one.  If a crash interrupts the erasure, the next mount
+/// finds the intent and completes (never partially applies) it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EraseIntent {
+    /// `(table name, raw id)` pairs the erasure must tombstone.  Empty
+    /// targets mean "heal lineage only": recovery erases whatever live
+    /// record has an erased lineage ancestor (the retention sweep uses
+    /// this, since its target set is only known mid-sweep).
+    pub targets: Vec<(String, u64)>,
+    /// Group element of the authority public key the escrow encrypts to, so
+    /// recovery can rebuild an equivalent `OperatorEscrow`.
+    pub escrow_key: u64,
+    /// Who completes the intent after a crash: `false` for a **local**
+    /// cascade (every target lives on this instance; completed by
+    /// [`Dbfs::mount`]), `true` for a **routed** multi-instance erasure
+    /// (targets may live on other shards; completed by the routing layer
+    /// that wrote it, which also runs the cross-shard lineage heal).
+    pub routed: bool,
+}
+
+/// On-disk encoding of the intent log (`__intents` in the DBFS root).
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct IntentsFile {
+    next_token: u64,
+    pending: Vec<(u64, EraseIntent)>,
+}
+
 /// The database-oriented filesystem.
 #[derive(Debug)]
 pub struct Dbfs<D> {
@@ -450,6 +496,7 @@ impl<D: BlockDevice> Dbfs<D> {
             ..params.inode_params
         };
         let fs = InodeFs::format(device, inode_params, params.journal_mode)?;
+        let tx = fs.begin_tx();
         let tables_ino = fs.alloc_inode(InodeKind::Directory)?;
         fs.dir_add(ROOT_INO, TABLES_DIR, tables_ino)?;
         let subjects_ino = fs.alloc_inode(InodeKind::Directory)?;
@@ -457,6 +504,7 @@ impl<D: BlockDevice> Dbfs<D> {
         let meta_ino = fs.alloc_inode(InodeKind::File)?;
         fs.dir_add(ROOT_INO, META_ENTRY, meta_ino)?;
         fs.write_replace(meta_ino, &encode_meta(0))?;
+        tx.commit()?;
         let index = DbfsIndex {
             tables_ino,
             subjects_ino,
@@ -501,6 +549,13 @@ impl<D: BlockDevice> Dbfs<D> {
     /// allocation.  The allocation is not persisted: a sharded deployment
     /// must pass the same `IdAllocation` it formatted the shard with.
     ///
+    /// Mounting also performs **crash recovery**: besides the inode layer's
+    /// journal replay, DBFS reconciles its two trees (a record reachable from
+    /// only one tree is re-linked into the other, torn record images are
+    /// unlinked and freed), heals the identifier counter, and counts every
+    /// repair in [`DbfsStats::recovered_txs`].  Recovery is idempotent, so a
+    /// crash *during* recovery is repaired by the next mount.
+    ///
     /// # Errors
     ///
     /// Same as [`Dbfs::mount`].
@@ -533,8 +588,10 @@ impl<D: BlockDevice> Dbfs<D> {
             meta_ino,
             alloc,
             next_pd,
+            intents_ino: fs.dir_lookup(ROOT_INO, INTENTS_ENTRY)?,
             ..DbfsIndex::default()
         };
+        let mut recovered = 0u64;
 
         for (subject_name, subject_ino) in fs.dir_entries(subjects_ino)? {
             let raw = subject_name
@@ -544,6 +601,11 @@ impl<D: BlockDevice> Dbfs<D> {
             index.subjects.insert(SubjectId::new(raw), subject_ino);
         }
 
+        // Scan the tables tree (the authoritative record registry).  A
+        // record image that fails to decode is crash debris — the leftovers
+        // of an insert whose compound transaction did not fit one journal
+        // transaction — and is unlinked below.
+        let mut debris: Vec<(String, Ino, Ino)> = Vec::new();
         for (type_name, table_ino) in fs.dir_entries(tables_ino)? {
             let data_type = DataTypeId::from(type_name.as_str());
             index.tables.insert(data_type.clone(), table_ino);
@@ -568,7 +630,9 @@ impl<D: BlockDevice> Dbfs<D> {
                         match serde_json::from_slice::<LegacyStoredRecord>(&bytes) {
                             Ok(legacy) => {
                                 let encoded = stored::encode(&legacy.membrane, &legacy.row)?;
+                                let tx = fs.begin_tx();
                                 fs.write_replace(ino, &encoded)?;
+                                tx.commit()?;
                                 legacy.membrane
                             }
                             Err(_) => stored::decode(&bytes)
@@ -576,9 +640,14 @@ impl<D: BlockDevice> Dbfs<D> {
                                 .map_err(|_| corrupt("record decodes in neither layout"))?,
                         }
                     } else {
-                        // Index rebuild needs membranes only — the row
-                        // payloads stay on disk, unread.
-                        read_membrane_from(&fs, ino)?
+                        match read_membrane_from(&fs, ino) {
+                            Ok(membrane) => membrane,
+                            Err(DbfsError::Corrupt { .. }) | Err(DbfsError::Core(_)) => {
+                                debris.push((entry.clone(), ino, table_ino));
+                                continue;
+                            }
+                            Err(e) => return Err(e),
+                        }
                     };
                     index.insert_record(
                         PdId::new(raw),
@@ -588,19 +657,176 @@ impl<D: BlockDevice> Dbfs<D> {
             }
         }
 
+        // Unlink and free torn record images (zero-on-free scrubs whatever
+        // plaintext the torn image still held).  This is a deliberate
+        // roll-back policy, not silent data loss: a torn image is the
+        // leftover of a mutation that never committed atomically, and
+        // preserving it would keep half-written personal data on the device
+        // outside any membrane's governance — the exact residue failure the
+        // paper criticises.  Every scrub is audited.
+        for (entry, ino, table_ino) in &debris {
+            fs.dir_remove(*table_ino, entry)?;
+            let _ = fs.free_inode(*ino);
+            audit.record(
+                clock.now(),
+                None,
+                AuditEventKind::ViolationBlocked {
+                    description: format!(
+                        "mount recovery scrubbed torn record image `{entry}` \
+                         (uncommitted crash debris)"
+                    ),
+                },
+            );
+            recovered += 1;
+        }
+
+        // Reconcile the subject tree against the table tree.  A record
+        // reachable only through its subject entry is re-linked into its
+        // table (roll forward); an entry whose record is torn or missing is
+        // dropped (roll back).
+        let mut present: BTreeMap<SubjectId, BTreeSet<String>> = BTreeMap::new();
+        let subjects_snapshot: Vec<(SubjectId, Ino)> = index
+            .subjects
+            .iter()
+            .map(|(&subject, &ino)| (subject, ino))
+            .collect();
+        for (subject, subject_ino) in subjects_snapshot {
+            let names = present.entry(subject).or_default();
+            for (entry, ino) in fs.dir_entries(subject_ino)? {
+                let parsed = entry
+                    .rsplit_once("#pd-")
+                    .and_then(|(ty, raw)| raw.parse::<u64>().ok().map(|raw| (ty.to_owned(), raw)));
+                let Some((type_name, raw)) = parsed else {
+                    fs.dir_remove(subject_ino, &entry)?;
+                    recovered += 1;
+                    continue;
+                };
+                let id = PdId::new(raw);
+                match index.records.get(&id) {
+                    Some(loc) if loc.ino == ino => {
+                        names.insert(entry);
+                    }
+                    Some(_) => {
+                        // Entry pointing at a stale inode: drop it; the
+                        // canonical entry is re-created below.
+                        fs.dir_remove(subject_ino, &entry)?;
+                        recovered += 1;
+                    }
+                    None => {
+                        let data_type = DataTypeId::from(type_name.as_str());
+                        let repaired = match index.tables.get(&data_type).copied() {
+                            Some(table_ino) => match read_membrane_from(&fs, ino) {
+                                Ok(membrane) => {
+                                    let name = format!("pd-{raw}");
+                                    if fs.dir_lookup(table_ino, &name)?.is_none() {
+                                        fs.dir_add(table_ino, &name, ino)?;
+                                    }
+                                    index.insert_record(
+                                        id,
+                                        RecordLocation::from_membrane(&data_type, &membrane, ino),
+                                    );
+                                    names.insert(entry.clone());
+                                    true
+                                }
+                                Err(DbfsError::Corrupt { .. })
+                                | Err(DbfsError::Core(_))
+                                | Err(DbfsError::Inode(rgpdos_inode::InodeError::BadInode {
+                                    ..
+                                })) => false,
+                                Err(e) => return Err(e),
+                            },
+                            None => false,
+                        };
+                        if !repaired {
+                            fs.dir_remove(subject_ino, &entry)?;
+                            let _ = fs.free_inode(ino);
+                            audit.record(
+                                clock.now(),
+                                None,
+                                AuditEventKind::ViolationBlocked {
+                                    description: format!(
+                                        "mount recovery scrubbed torn record image \
+                                         `{entry}` (uncommitted crash debris)"
+                                    ),
+                                },
+                            );
+                        }
+                        recovered += 1;
+                    }
+                }
+            }
+        }
+
+        // The other direction: every indexed record must be reachable from
+        // its subject's subtree (erase_subject and the right of access walk
+        // that tree).
+        let records_snapshot: Vec<(PdId, RecordLocation)> = index
+            .records
+            .iter()
+            .map(|(&id, loc)| (id, loc.clone()))
+            .collect();
+        for (id, loc) in records_snapshot {
+            let name = format!("{}#pd-{}", loc.data_type, id.raw());
+            let subject_ino = match index.subjects.get(&loc.subject) {
+                Some(&ino) => ino,
+                None => {
+                    let tx = fs.begin_tx();
+                    let ino = fs.alloc_inode(InodeKind::SubjectRoot)?;
+                    fs.dir_add(subjects_ino, &loc.subject.to_string(), ino)?;
+                    tx.commit()?;
+                    index.subjects.insert(loc.subject, ino);
+                    recovered += 1;
+                    ino
+                }
+            };
+            let names = present.entry(loc.subject).or_default();
+            if !names.contains(&name) {
+                fs.dir_add(subject_ino, &name, loc.ino)?;
+                names.insert(name);
+                recovered += 1;
+            }
+        }
+
+        // Heal the identifier counter: it must stay ahead of every id on
+        // disk, or a recycled id could collide with (and resurrect) an
+        // existing record.
+        let mut max_counter = index.next_pd;
+        for &id in index.records.keys() {
+            let raw = id.raw();
+            if raw >= alloc.offset && (raw - alloc.offset).is_multiple_of(alloc.stride) {
+                max_counter = max_counter.max((raw - alloc.offset) / alloc.stride + 1);
+            }
+        }
+        if max_counter > index.next_pd {
+            index.next_pd = max_counter;
+            fs.write_replace(meta_ino, &encode_meta(max_counter))?;
+            recovered += 1;
+        }
+
         if format_version == 1 {
             // The records above were rewritten in the split layout; stamp the
             // metadata so the next mount takes the v2 fast path.
-            fs.write_replace(meta_ino, &encode_meta(next_pd))?;
+            fs.write_replace(meta_ino, &encode_meta(index.next_pd))?;
         }
 
-        Ok(Self {
+        let stats = DbfsStatsInner::default();
+        stats
+            .journal_replays
+            .store(fs.recovered_txs(), AtomicOrdering::Relaxed);
+        stats
+            .recovered_txs
+            .store(recovered, AtomicOrdering::Relaxed);
+        let this = Self {
             fs,
             index: Mutex::new(index),
             clock,
             audit,
-            stats: DbfsStatsInner::default(),
-        })
+            stats,
+        };
+        // Complete any local erase cascade a crash interrupted beyond the
+        // single-journal-transaction capacity bound.
+        this.recover_local_intents()?;
+        Ok(this)
     }
 
     /// The clock DBFS uses to timestamp membranes.
@@ -644,6 +870,10 @@ impl<D: BlockDevice> Dbfs<D> {
                 name: schema.name().to_string(),
             });
         }
+        // The table subtree, its schema entry and the tables-tree link are
+        // created in one compound transaction: a crash never exposes a table
+        // without its schema.
+        let tx = self.fs.begin_tx();
         let table_ino = self.fs.alloc_inode(InodeKind::Table)?;
         self.fs
             .dir_add(index.tables_ino, schema.name().as_str(), table_ino)?;
@@ -653,6 +883,7 @@ impl<D: BlockDevice> Dbfs<D> {
         })?;
         self.fs.write_replace(schema_ino, &bytes)?;
         self.fs.dir_add(table_ino, SCHEMA_ENTRY, schema_ino)?;
+        tx.commit()?;
         index.tables.insert(schema.name().clone(), table_ino);
         index.schemas.register(schema);
         Ok(())
@@ -779,9 +1010,16 @@ impl<D: BlockDevice> Dbfs<D> {
         }
         let subject = wrapped.membrane().subject();
         let id = PdId::new(index.alloc.id_for(index.next_pd));
-        index.next_pd += 1;
+        let next_pd = index.next_pd + 1;
+
+        // Every disk effect of the insert — identifier counter, record
+        // inode, table-tree entry, subject-tree entry — is staged in one
+        // compound transaction, so a crash at any write index leaves either
+        // the whole record or none of it.  The in-memory index is only
+        // updated after the commit.
+        let tx = self.fs.begin_tx();
         self.fs
-            .write_replace(index.meta_ino, &encode_meta(index.next_pd))?;
+            .write_replace(index.meta_ino, &encode_meta(next_pd))?;
 
         // Record inode + table-tree entry.
         let record_ino = self.fs.alloc_inode(InodeKind::Record)?;
@@ -795,14 +1033,13 @@ impl<D: BlockDevice> Dbfs<D> {
             .dir_add(table_ino, &format!("pd-{}", id.raw()), record_ino)?;
 
         // Subject-tree entry (creating the subject's subtree on first use).
-        let subject_ino = match index.subjects.get(&subject) {
-            Some(&ino) => ino,
+        let (subject_ino, new_subject) = match index.subjects.get(&subject) {
+            Some(&ino) => (ino, false),
             None => {
                 let ino = self.fs.alloc_inode(InodeKind::SubjectRoot)?;
                 self.fs
                     .dir_add(index.subjects_ino, &subject.to_string(), ino)?;
-                index.subjects.insert(subject, ino);
-                ino
+                (ino, true)
             }
         };
         self.fs.dir_add(
@@ -810,7 +1047,12 @@ impl<D: BlockDevice> Dbfs<D> {
             &format!("{}#pd-{}", data_type, id.raw()),
             record_ino,
         )?;
+        tx.commit()?;
 
+        index.next_pd = next_pd;
+        if new_subject {
+            index.subjects.insert(subject, subject_ino);
+        }
         index.insert_record(
             id,
             RecordLocation::from_membrane(data_type, &stored.membrane, record_ino),
@@ -976,7 +1218,9 @@ impl<D: BlockDevice> Dbfs<D> {
             }
             let mut stored = self.read_stored(location.ino)?;
             stored.row = row;
+            let tx = self.fs.begin_tx();
             self.write_stored(location.ino, &stored)?;
+            tx.commit()?;
             location
         };
         DbfsStatsInner::bump(&self.stats.updates);
@@ -1021,7 +1265,9 @@ impl<D: BlockDevice> Dbfs<D> {
             let applied = membrane.apply(delta);
             if applied {
                 let spliced = stored::replace_membrane(&bytes, &membrane)?;
+                let tx = self.fs.begin_tx();
                 self.fs.write_replace(location.ino, &spliced)?;
+                tx.commit()?;
                 if matches!(delta, MembraneDelta::SetTimeToLive { .. }) {
                     index.set_expiry(id, membrane.expiry_instant());
                 }
@@ -1075,7 +1321,10 @@ impl<D: BlockDevice> Dbfs<D> {
     /// record's payload is encrypted under the authority's public key and the
     /// membrane is marked erased.  Erasure reaches every *transitive* copy of
     /// the record — the full lineage closure, computed from the reverse
-    /// copy-lineage index without any disk scan.
+    /// copy-lineage index without any disk scan — and the **whole cascade is
+    /// one compound transaction**: a crash at any write index either
+    /// tombstones the record and every copy, or none of them.  A copy can
+    /// therefore never outlive its erased original across a power loss.
     ///
     /// Returns the identifiers this call tombstoned (the record itself and
     /// every lineage copy it reached; already-erased items are not listed).
@@ -1089,45 +1338,65 @@ impl<D: BlockDevice> Dbfs<D> {
         id: PdId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
-        // Erase the record itself.
-        let mut erased = Vec::new();
-        if self.erase_single(data_type, id, escrow)? {
-            erased.push(id);
-        }
-        // Snapshot the lineage closure from the index — a pure in-memory
-        // walk, so no disk I/O ever happens while the lock is held.
-        let copies: Vec<(DataTypeId, PdId)> = {
-            let index = self.index.lock();
-            index
-                .live_locations(index.lineage_closure(id).into_iter())
-                .map(|(copy, loc)| (loc.data_type.clone(), copy))
-                .collect()
-        };
-        for (copy_type, copy_id) in copies {
-            if self.erase_single(&copy_type, copy_id, escrow)? {
-                erased.push(copy_id);
+        let done = {
+            let mut index = self.index.lock();
+            let root = Self::locate_in(&index, data_type, id)?;
+            // Snapshot the lineage closure from the index — a pure in-memory
+            // walk, so no disk I/O happens before the write set is known.
+            let mut targets: Vec<(DataTypeId, PdId)> = Vec::new();
+            if !root.erased {
+                targets.push((data_type.clone(), id));
             }
-        }
-        Ok(erased)
+            targets.extend(
+                index
+                    .live_locations(index.lineage_closure(id).into_iter())
+                    .map(|(copy, loc)| (loc.data_type.clone(), copy)),
+            );
+            if targets.is_empty() {
+                return Ok(Vec::new());
+            }
+            self.erase_targets_locked(&mut index, &targets, escrow)?
+        };
+        self.audit_erasures(&done);
+        Ok(done.into_iter().map(|(erased_id, _)| erased_id).collect())
     }
 
-    /// Tombstones one record, returning whether *this call* performed the
-    /// erasure (`false` when the record was already a tombstone).
-    fn erase_single(
+    /// Crypto-erases every target (skipping records already tombstoned) in
+    /// **one** compound transaction under an already-held index lock: the
+    /// escrowed ciphertexts always capture the rows as last committed, no
+    /// writer can interleave between the tombstone writes and the index flag
+    /// flips, and a crash applies either every tombstone or none.
+    ///
+    /// Multi-target cascades additionally log a **local erase intent**
+    /// before the transaction and clear it after: if the staged write set
+    /// ever exceeds one journal transaction (forcing the chunked fallback),
+    /// a crash between chunks is still completed at the next mount instead
+    /// of leaving a copy that outlives its erased original.
+    fn erase_targets_locked(
         &self,
-        data_type: &DataTypeId,
-        id: PdId,
+        index: &mut DbfsIndex,
+        targets: &[(DataTypeId, PdId)],
         escrow: &OperatorEscrow,
-    ) -> Result<bool, DbfsError> {
-        // The whole read-encrypt-write-mark sequence runs under one lock
-        // acquisition: the escrowed ciphertext always captures the row as
-        // last committed, and no writer can interleave between the
-        // tombstone write and the index flag flip.
-        let location = {
-            let mut index = self.index.lock();
-            let location = Self::locate_in(&index, data_type, id)?;
+    ) -> Result<Vec<(PdId, SubjectId)>, DbfsError> {
+        let token = if targets.len() > 1 {
+            let intent = EraseIntent {
+                targets: targets
+                    .iter()
+                    .map(|(data_type, id)| (data_type.to_string(), id.raw()))
+                    .collect(),
+                escrow_key: escrow.public_key().element(),
+                routed: false,
+            };
+            Some(self.put_erase_intent_locked(index, &intent)?)
+        } else {
+            None
+        };
+        let tx = self.fs.begin_tx();
+        let mut done = Vec::with_capacity(targets.len());
+        for (data_type, id) in targets {
+            let location = Self::locate_in(index, data_type, *id)?;
             if location.erased {
-                return Ok(false);
+                continue;
             }
             let mut stored = self.read_stored(location.ino)?;
             let plaintext = serde_json::to_vec(&stored.row).map_err(|_| DbfsError::Corrupt {
@@ -1139,23 +1408,40 @@ impl<D: BlockDevice> Dbfs<D> {
             stored.row = wrapped.row().clone();
             stored.membrane = wrapped.membrane().clone();
             self.write_stored(location.ino, &stored)?;
-            index.mark_erased(id);
-            location
-        };
-        DbfsStatsInner::bump(&self.stats.erasures);
-        self.audit.record(
-            self.clock.now(),
-            Some(location.subject),
-            AuditEventKind::Erased { pd: id },
-        );
-        Ok(true)
+            done.push((*id, location.subject));
+        }
+        tx.commit()?;
+        for (id, _) in &done {
+            index.mark_erased(*id);
+        }
+        if let Some(token) = token {
+            // A crash before this clear is benign: the next mount finds
+            // every target already tombstoned, completes nothing and clears
+            // the intent itself.
+            self.clear_erase_intent_locked(index, token)?;
+        }
+        Ok(done)
+    }
+
+    /// Bumps the erasure counter and audits one `Erased` event per
+    /// tombstoned record (after the commit, so a crashed erasure is never
+    /// audited).
+    fn audit_erasures(&self, done: &[(PdId, SubjectId)]) {
+        for (erased_id, subject) in done {
+            DbfsStatsInner::bump(&self.stats.erasures);
+            self.audit.record(
+                self.clock.now(),
+                Some(*subject),
+                AuditEventKind::Erased { pd: *erased_id },
+            );
+        }
     }
 
     /// Erases every record of a subject (a subject-wide right-to-be-forgotten
-    /// request).  Returns the identifiers tombstoned by this call — the
-    /// subject's records *and* every transitive lineage copy the cascade
-    /// reached (copies carry their original's subject, so the closure stays
-    /// within the subject's id set).
+    /// request) in **one** compound transaction.  Returns the identifiers
+    /// tombstoned by this call — the subject's records *and* every transitive
+    /// lineage copy the cascade reached (copies carry their original's
+    /// subject, so the closure stays within the subject's id set).
     ///
     /// # Errors
     ///
@@ -1165,19 +1451,30 @@ impl<D: BlockDevice> Dbfs<D> {
         subject: SubjectId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
-        let targets: Vec<(DataTypeId, PdId)> = {
-            let index = self.index.lock();
-            index
+        let done = {
+            let mut index = self.index.lock();
+            let roots: Vec<(DataTypeId, PdId)> = index
                 .live_locations(index.subject_ids(subject))
                 .map(|(id, loc)| (loc.data_type.clone(), id))
-                .collect()
+                .collect();
+            let mut seen: BTreeSet<PdId> = roots.iter().map(|(_, id)| *id).collect();
+            let mut closure: Vec<(DataTypeId, PdId)> = Vec::new();
+            for (_, root) in &roots {
+                for (copy, loc) in index.live_locations(index.lineage_closure(*root).into_iter()) {
+                    if seen.insert(copy) {
+                        closure.push((loc.data_type.clone(), copy));
+                    }
+                }
+            }
+            let mut targets = roots;
+            targets.extend(closure);
+            if targets.is_empty() {
+                return Ok(Vec::new());
+            }
+            self.erase_targets_locked(&mut index, &targets, escrow)?
         };
-        let mut erased = Vec::with_capacity(targets.len());
-        for (data_type, id) in targets {
-            self.erase(&data_type, id, escrow)?;
-            erased.push(id);
-        }
-        Ok(erased)
+        self.audit_erasures(&done);
+        Ok(done.into_iter().map(|(erased_id, _)| erased_id).collect())
     }
 
     /// Enforces the storage-limitation principle: erases every record whose
@@ -1390,6 +1687,161 @@ impl<D: BlockDevice> Dbfs<D> {
             ));
         }
         Ok(batch)
+    }
+
+    // ------------------------------------------------------------------
+    // Erase-intent write-ahead log (used by routing layers)
+    // ------------------------------------------------------------------
+
+    /// Durably records an [`EraseIntent`] in this instance's intent log
+    /// (creating the log file on first use), returning a token for
+    /// [`Dbfs::clear_erase_intent`].  The write is one compound transaction,
+    /// so the log is never torn.
+    ///
+    /// Routing layers (the sharded router) write an intent *before* starting
+    /// a multi-instance erasure and clear it after the last tombstone: a
+    /// crash in between is completed at the next mount from the persisted
+    /// target list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn put_erase_intent(&self, intent: &EraseIntent) -> Result<u64, DbfsError> {
+        let mut index = self.index.lock();
+        self.put_erase_intent_locked(&mut index, intent)
+    }
+
+    fn put_erase_intent_locked(
+        &self,
+        index: &mut DbfsIndex,
+        intent: &EraseIntent,
+    ) -> Result<u64, DbfsError> {
+        let tx = self.fs.begin_tx();
+        let ino = match index.intents_ino {
+            Some(ino) => ino,
+            None => {
+                let ino = self.fs.alloc_inode(InodeKind::File)?;
+                self.fs.dir_add(ROOT_INO, INTENTS_ENTRY, ino)?;
+                ino
+            }
+        };
+        let mut file = self.read_intents(ino)?;
+        let token = file.next_token;
+        file.next_token += 1;
+        file.pending.push((token, intent.clone()));
+        self.write_intents(ino, &file)?;
+        tx.commit()?;
+        index.intents_ino = Some(ino);
+        Ok(token)
+    }
+
+    /// The intents whose erasures had not been confirmed complete when this
+    /// instance last went down (empty on a cleanly shut-down image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::Corrupt`] when the intent log does not decode.
+    pub fn pending_erase_intents(&self) -> Result<Vec<(u64, EraseIntent)>, DbfsError> {
+        let index = self.index.lock();
+        match index.intents_ino {
+            Some(ino) => Ok(self.read_intents(ino)?.pending),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Removes a completed intent from the log.  Clearing an unknown token
+    /// is a no-op (the happy path and the recovery path may race benignly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn clear_erase_intent(&self, token: u64) -> Result<(), DbfsError> {
+        let index = self.index.lock();
+        self.clear_erase_intent_locked(&index, token)
+    }
+
+    fn clear_erase_intent_locked(&self, index: &DbfsIndex, token: u64) -> Result<(), DbfsError> {
+        let Some(ino) = index.intents_ino else {
+            return Ok(());
+        };
+        let mut file = self.read_intents(ino)?;
+        let before = file.pending.len();
+        file.pending.retain(|(t, _)| *t != token);
+        if file.pending.len() != before {
+            let tx = self.fs.begin_tx();
+            self.write_intents(ino, &file)?;
+            tx.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Completes **local** erase intents left behind by a crash: a cascade
+    /// whose compound transaction spilled past one journal transaction is
+    /// re-driven to completion with an escrow rebuilt from the intent's
+    /// authority key, so no copy ever outlives its erased original even
+    /// beyond the single-transaction capacity bound.  Routed intents are
+    /// left for the routing layer that wrote them.
+    fn recover_local_intents(&self) -> Result<(), DbfsError> {
+        for (token, intent) in self.pending_erase_intents()? {
+            if intent.routed {
+                continue;
+            }
+            let public =
+                PublicKey::from_element(intent.escrow_key).map_err(|_| DbfsError::Corrupt {
+                    what: "erase intent carries an invalid authority key".to_owned(),
+                })?;
+            let escrow = OperatorEscrow::new(public);
+            for (type_name, raw) in &intent.targets {
+                let id = PdId::new(*raw);
+                let data_type = DataTypeId::from(type_name.as_str());
+                match self.load_membrane(&data_type, id) {
+                    Ok(membrane) if !membrane.is_erased() => {
+                        self.erase(&data_type, id, &escrow)?;
+                    }
+                    Ok(_) => {}
+                    // The target never reached the disk (its insert was lost
+                    // in the same crash, or rolled back as debris).
+                    Err(DbfsError::UnknownPd { .. }) | Err(DbfsError::UnknownType { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            self.clear_erase_intent(token)?;
+            self.note_recovered_tx();
+        }
+        Ok(())
+    }
+
+    fn read_intents(&self, ino: Ino) -> Result<IntentsFile, DbfsError> {
+        let bytes = self.fs.read_all(ino)?;
+        if bytes.is_empty() {
+            return Ok(IntentsFile::default());
+        }
+        serde_json::from_slice(&bytes).map_err(|_| DbfsError::Corrupt {
+            what: "erase-intent log".to_owned(),
+        })
+    }
+
+    fn write_intents(&self, ino: Ino, file: &IntentsFile) -> Result<(), DbfsError> {
+        let bytes = serde_json::to_vec(file).map_err(|_| DbfsError::Corrupt {
+            what: "erase-intent serialization".to_owned(),
+        })?;
+        self.fs.write_replace(ino, &bytes)?;
+        Ok(())
+    }
+
+    /// Index-only probe: whether any live record's retention period has
+    /// elapsed at `now` (no disk I/O; the retention sweep re-verifies every
+    /// candidate against its on-disk header before erasing).
+    pub fn has_expired_candidates(&self, now: Timestamp) -> bool {
+        let index = self.index.lock();
+        index.by_expiry.range(..now).any(|(_, ids)| !ids.is_empty())
+    }
+
+    /// Records one recovery action performed on this instance's behalf by a
+    /// routing layer (e.g. a completed cross-shard erase intent), surfacing
+    /// it in [`DbfsStats::recovered_txs`].
+    pub fn note_recovered_tx(&self) {
+        DbfsStatsInner::bump(&self.stats.recovered_txs);
     }
 
     // ------------------------------------------------------------------

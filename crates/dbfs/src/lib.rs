@@ -76,7 +76,7 @@ pub mod query;
 pub mod stats;
 pub mod store;
 
-pub use dbfs::{Dbfs, DbfsParams, IdAllocation, RecordSummary};
+pub use dbfs::{Dbfs, DbfsParams, EraseIntent, IdAllocation, RecordSummary};
 pub use error::DbfsError;
 pub use query::{Predicate, QueryRequest};
 pub use stats::DbfsStats;

@@ -15,6 +15,8 @@ pub struct DbfsStatsInner {
     pub(crate) erasures: AtomicU64,
     pub(crate) expirations: AtomicU64,
     pub(crate) queries: AtomicU64,
+    pub(crate) journal_replays: AtomicU64,
+    pub(crate) recovered_txs: AtomicU64,
 }
 
 /// A point-in-time snapshot of the counters.
@@ -36,6 +38,11 @@ pub struct DbfsStats {
     pub expirations: u64,
     /// Table queries executed.
     pub queries: u64,
+    /// Inode-layer journal transactions replayed at mount (crash recovery).
+    pub journal_replays: u64,
+    /// DBFS-level recovery actions: mount-time tree repairs, counter heals
+    /// and completed erase intents performed on this instance's behalf.
+    pub recovered_txs: u64,
 }
 
 impl DbfsStats {
@@ -52,6 +59,8 @@ impl DbfsStats {
             erasures: self.erasures + other.erasures,
             expirations: self.expirations + other.expirations,
             queries: self.queries + other.queries,
+            journal_replays: self.journal_replays + other.journal_replays,
+            recovered_txs: self.recovered_txs + other.recovered_txs,
         }
     }
 }
@@ -81,6 +90,8 @@ impl DbfsStatsInner {
             erasures: self.erasures.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
+            journal_replays: self.journal_replays.load(Ordering::Relaxed),
+            recovered_txs: self.recovered_txs.load(Ordering::Relaxed),
         }
     }
 
@@ -93,7 +104,7 @@ impl fmt::Display for DbfsStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "collects={} reads={} membrane_loads={} updates={} copies={} erasures={} expirations={} queries={}",
+            "collects={} reads={} membrane_loads={} updates={} copies={} erasures={} expirations={} queries={} journal_replays={} recovered_txs={}",
             self.collects,
             self.reads,
             self.membrane_loads,
@@ -101,7 +112,9 @@ impl fmt::Display for DbfsStats {
             self.copies,
             self.erasures,
             self.expirations,
-            self.queries
+            self.queries,
+            self.journal_replays,
+            self.recovered_txs
         )
     }
 }
@@ -134,6 +147,8 @@ mod tests {
             erasures: 6,
             expirations: 7,
             queries: 8,
+            journal_replays: 9,
+            recovered_txs: 10,
         };
         let b = DbfsStats {
             collects: 10,
@@ -144,6 +159,8 @@ mod tests {
             erasures: 60,
             expirations: 70,
             queries: 80,
+            journal_replays: 90,
+            recovered_txs: 100,
         };
         let merged = a.merge(b);
         assert_eq!(merged.collects, 11);
@@ -154,6 +171,8 @@ mod tests {
         assert_eq!(merged.erasures, 66);
         assert_eq!(merged.expirations, 77);
         assert_eq!(merged.queries, 88);
+        assert_eq!(merged.journal_replays, 99);
+        assert_eq!(merged.recovered_txs, 110);
         // `+` and `+=` agree with `merge`, and the identity element is the
         // default snapshot.
         assert_eq!(a + b, merged);

@@ -1,4 +1,11 @@
 //! Abstract syntax tree of the declaration language.
+//!
+//! Every node implements [`std::fmt::Display`] as a **pretty-printer** whose
+//! output re-parses to the same AST ([`crate::parser::parse_type_declarations`]
+//! round-trips it); the property tests brute-force that guarantee over
+//! generated declarations.
+
+use std::fmt;
 
 /// A `type <name> { … }` declaration (Listing 1).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -48,9 +55,87 @@ pub struct ConsentClause {
     pub decision: String,
 }
 
+impl fmt::Display for TypeDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "type {} {{", self.name)?;
+        if !self.fields.is_empty() {
+            let fields: Vec<String> = self.fields.iter().map(FieldDecl::to_string).collect();
+            writeln!(f, "    fields {{ {} }}", fields.join(", "))?;
+        }
+        for view in &self.views {
+            writeln!(f, "    {view}")?;
+        }
+        if !self.consent.is_empty() {
+            let clauses: Vec<String> = self.consent.iter().map(ConsentClause::to_string).collect();
+            writeln!(f, "    consent {{ {} }}", clauses.join(", "))?;
+        }
+        if !self.collection.is_empty() {
+            let pairs: Vec<String> = self
+                .collection
+                .iter()
+                .map(|(kind, target)| format!("{kind}: {target}"))
+                .collect();
+            writeln!(f, "    collection {{ {} }}", pairs.join(", "))?;
+        }
+        if let Some(origin) = &self.origin {
+            writeln!(f, "    origin: {origin};")?;
+        }
+        if let Some(age) = &self.age {
+            writeln!(f, "    age: {age};")?;
+        }
+        if let Some(sensitivity) = &self.sensitivity {
+            writeln!(f, "    sensitivity: {sensitivity};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for FieldDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.field_type)
+    }
+}
+
+impl fmt::Display for ViewDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view {} {{ {} }}", self.name, self.fields.join(", "))
+    }
+}
+
+impl fmt::Display for ConsentClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.purpose, self.decision)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pretty_printed_listing_round_trips() {
+        use crate::listings::LISTING_1;
+        use crate::parser::parse_type_declarations;
+        let decls = parse_type_declarations(LISTING_1).unwrap();
+        let pretty = decls
+            .iter()
+            .map(TypeDecl::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_type_declarations(&pretty).unwrap();
+        assert_eq!(reparsed, decls);
+    }
+
+    #[test]
+    fn empty_decl_prints_and_reparses() {
+        use crate::parser::parse_type_declarations;
+        let decl = TypeDecl {
+            name: "bare".into(),
+            ..TypeDecl::default()
+        };
+        let reparsed = parse_type_declarations(&decl.to_string()).unwrap();
+        assert_eq!(reparsed, vec![decl]);
+    }
 
     #[test]
     fn default_type_decl_is_empty() {

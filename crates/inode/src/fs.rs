@@ -24,6 +24,7 @@ use crate::layout::{Layout, DIRECT_POINTERS, INODE_SIZE};
 use crate::superblock::Superblock;
 use parking_lot::Mutex;
 use rgpdos_blockdev::BlockDevice;
+use std::collections::BTreeMap;
 
 /// The inode number of the root directory created by `format`.
 pub const ROOT_INO: Ino = 0;
@@ -101,6 +102,65 @@ pub struct InodeFs<D> {
     layout: Layout,
     secure_free: bool,
     state: Mutex<FsState>,
+    /// Active compound transaction, when one is open: new block contents
+    /// staged by every operation since [`InodeFs::begin_tx`], keyed by block
+    /// number, plus a snapshot of the allocation bitmaps taken at
+    /// `begin_tx`.  Reads consult the overlay first, so multi-operation
+    /// mutations observe their own uncommitted writes; nothing reaches the
+    /// device until [`Transaction::commit`] journals the whole set, and an
+    /// abort restores the bitmap snapshot so in-memory allocation state
+    /// never diverges from the (untouched) device.
+    tx: Mutex<Option<TxState>>,
+    /// Number of journal transactions replayed by `mount` (crash recovery).
+    recovered_txs: u64,
+}
+
+/// The staged state of an open compound transaction.
+#[derive(Debug)]
+struct TxState {
+    /// New block contents staged by the transaction, keyed by block number.
+    overlay: BTreeMap<u64, Vec<u8>>,
+    /// The allocation bitmaps as of `begin_tx`, restored on abort: the
+    /// operations inside a transaction mutate the in-memory bitmaps eagerly
+    /// (allocations *and* frees), and a freed-in-memory block whose on-disk
+    /// inode still references it must not be handed out again.
+    saved_inode_bitmap: Bitmap,
+    saved_data_bitmap: Bitmap,
+}
+
+/// An open compound transaction (see [`InodeFs::begin_tx`]).  Dropping the
+/// guard without [`Transaction::commit`] aborts: staged writes are
+/// discarded, the allocation bitmaps are rolled back, and the device is
+/// left exactly as it was when the transaction began.
+#[derive(Debug)]
+pub struct Transaction<'a, D: BlockDevice> {
+    fs: &'a InodeFs<D>,
+    committed: bool,
+}
+
+impl<D: BlockDevice> Transaction<'_, D> {
+    /// Journals and applies every staged write.  The set is crash-atomic as
+    /// long as it fits one journal transaction (see
+    /// [`InodeFs::tx_capacity_blocks`]); larger sets fall back to chunked
+    /// commits, whose partial application is repaired by the mount-time
+    /// recovery of the layers above.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; a failed commit may leave a journalled but
+    /// unapplied transaction, which the next mount replays.
+    pub fn commit(mut self) -> Result<(), InodeError> {
+        self.committed = true;
+        self.fs.commit_tx()
+    }
+}
+
+impl<D: BlockDevice> Drop for Transaction<'_, D> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.fs.abort_tx();
+        }
+    }
 }
 
 impl<D: BlockDevice> InodeFs<D> {
@@ -163,6 +223,8 @@ impl<D: BlockDevice> InodeFs<D> {
                 data_bitmap,
                 op_counter: 1,
             }),
+            tx: Mutex::new(None),
+            recovered_txs: 0,
         })
     }
 
@@ -194,6 +256,7 @@ impl<D: BlockDevice> InodeFs<D> {
         // Journal recovery: a committed transaction with id last_applied + 1
         // may exist either at the recorded write pointer or at offset 0
         // (after a wrap).  Re-applying is idempotent.
+        let mut recovered_txs = 0u64;
         let mut candidates = vec![superblock.journal_write_ptr];
         if superblock.journal_write_ptr != 0 {
             candidates.push(0);
@@ -238,6 +301,7 @@ impl<D: BlockDevice> InodeFs<D> {
                 }
             }
             device.flush()?;
+            recovered_txs += 1;
             break 'candidates;
         }
 
@@ -263,6 +327,8 @@ impl<D: BlockDevice> InodeFs<D> {
                 data_bitmap,
                 op_counter: 1,
             }),
+            tx: Mutex::new(None),
+            recovered_txs,
         })
     }
 
@@ -296,6 +362,12 @@ impl<D: BlockDevice> InodeFs<D> {
         self.state.lock().data_bitmap.count_set()
     }
 
+    /// Number of journal transactions the last `mount` replayed (0 after a
+    /// clean shutdown or a fresh format).
+    pub fn recovered_txs(&self) -> u64 {
+        self.recovered_txs
+    }
+
     /// Flushes the device.
     ///
     /// # Errors
@@ -304,6 +376,92 @@ impl<D: BlockDevice> InodeFs<D> {
     pub fn sync(&self) -> Result<(), InodeError> {
         self.device.flush()?;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Compound transactions
+    // ------------------------------------------------------------------
+
+    /// Opens a compound transaction: every mutation performed until the
+    /// returned guard is committed stages its block writes in an in-memory
+    /// overlay instead of touching the device.  [`Transaction::commit`]
+    /// journals and applies the whole set — in **one** journal transaction
+    /// when it fits [`InodeFs::tx_capacity_blocks`], making the compound
+    /// mutation crash-atomic.  Dropping the guard aborts: the device is left
+    /// untouched and the in-memory allocation bitmaps are restored to their
+    /// `begin_tx` snapshot.
+    ///
+    /// The caller must serialize transactions externally (DBFS runs every
+    /// mutation under its index lock); reads concurrent with an open
+    /// transaction observe the staged writes, mirroring the pre-transaction
+    /// behaviour where each sub-operation committed immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a transaction is already open (transactions do not nest).
+    pub fn begin_tx(&self) -> Transaction<'_, D> {
+        let state = self.state.lock();
+        let mut tx = self.tx.lock();
+        assert!(
+            tx.is_none(),
+            "InodeFs compound transactions do not nest; commit or drop the previous one first"
+        );
+        *tx = Some(TxState {
+            overlay: BTreeMap::new(),
+            saved_inode_bitmap: state.inode_bitmap.clone(),
+            saved_data_bitmap: state.data_bitmap.clone(),
+        });
+        Transaction {
+            fs: self,
+            committed: false,
+        }
+    }
+
+    /// How many distinct blocks a compound transaction can carry while
+    /// staying crash-atomic (one journal transaction): bounded by the
+    /// journal header's target list and by the journal size itself.
+    pub fn tx_capacity_blocks(&self) -> usize {
+        max_targets_per_tx(self.layout.block_size)
+            .min((self.layout.journal_blocks.saturating_sub(2)) as usize)
+            .max(1)
+    }
+
+    fn commit_tx(&self) -> Result<(), InodeError> {
+        let staged = self
+            .tx
+            .lock()
+            .take()
+            .expect("commit_tx requires an open transaction");
+        let writes: Vec<(u64, Vec<u8>)> = staged.overlay.into_iter().collect();
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        self.commit_writes_journaled(&mut state, writes)
+    }
+
+    fn abort_tx(&self) {
+        let staged = self.tx.lock().take();
+        if let Some(staged) = staged {
+            // Roll the in-memory bitmaps back to the snapshot: nothing of
+            // the aborted transaction reached the device, so the pre-tx
+            // bitmaps are the ones that describe it.
+            let mut state = self.state.lock();
+            state.inode_bitmap = staged.saved_inode_bitmap;
+            state.data_bitmap = staged.saved_data_bitmap;
+        }
+    }
+
+    /// Reads a block through the transaction overlay, falling back to the
+    /// device.  Every internal read goes through here so that operations
+    /// inside a compound transaction observe their own staged writes.
+    fn read_block_raw(&self, block: u64) -> Result<Vec<u8>, InodeError> {
+        if let Some(staged) = self.tx.lock().as_ref() {
+            if let Some(data) = staged.overlay.get(&block) {
+                return Ok(data.clone());
+            }
+        }
+        Ok(self.device.read_block(block)?)
     }
 
     // ------------------------------------------------------------------
@@ -423,7 +581,7 @@ impl<D: BlockDevice> InodeFs<D> {
             {
                 vec![0u8; block_size as usize]
             } else {
-                self.device.read_block(ptr)?
+                self.read_block_raw(ptr)?
             };
             let dst_start = (copy_from - block_start) as usize;
             let dst_end = (copy_to - block_start) as usize;
@@ -471,7 +629,7 @@ impl<D: BlockDevice> InodeFs<D> {
             let copy_from = offset.max(block_start);
             let copy_to = end.min(block_start + block_size);
             let content = match self.file_block_ptr(&inode, &indirect_table, file_block) {
-                Some(ptr) => self.device.read_block(ptr)?,
+                Some(ptr) => self.read_block_raw(ptr)?,
                 None => vec![0u8; block_size as usize],
             };
             out.extend_from_slice(
@@ -685,7 +843,7 @@ impl<D: BlockDevice> InodeFs<D> {
             return Err(InodeError::BadInode { ino });
         }
         let (block, offset) = self.layout.inode_location(ino);
-        let data = self.device.read_block(block)?;
+        let data = self.read_block_raw(block)?;
         let inode = Inode::decode(&data[offset..offset + INODE_SIZE])?;
         if inode.is_free() {
             return Err(InodeError::BadInode { ino });
@@ -704,7 +862,7 @@ impl<D: BlockDevice> InodeFs<D> {
         // table block), patch the staged copy instead of the device copy.
         let mut content = match writes.iter().find(|(b, _)| *b == block) {
             Some((_, staged)) => staged.clone(),
-            None => self.device.read_block(block)?,
+            None => self.read_block_raw(block)?,
         };
         content[offset..offset + INODE_SIZE].copy_from_slice(&inode.encode());
         writes.retain(|(b, _)| *b != block);
@@ -756,7 +914,7 @@ impl<D: BlockDevice> InodeFs<D> {
         if inode.indirect == 0 {
             return Ok(vec![0u64; entries]);
         }
-        let data = self.device.read_block(inode.indirect)?;
+        let data = self.read_block_raw(inode.indirect)?;
         Ok(data
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
@@ -790,9 +948,33 @@ impl<D: BlockDevice> InodeFs<D> {
         }
     }
 
-    /// Journals and applies a set of block writes as one or more atomic
-    /// transactions.
+    /// Journals and applies a set of block writes — or, while a compound
+    /// transaction is open, stages them in its overlay instead.
     fn commit_writes(
+        &self,
+        state: &mut FsState,
+        writes: Vec<(u64, Vec<u8>)>,
+    ) -> Result<(), InodeError> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut tx = self.tx.lock();
+            if let Some(staged) = tx.as_mut() {
+                let block_size = self.layout.block_size;
+                for (block, mut data) in writes {
+                    data.resize(block_size, 0);
+                    staged.overlay.insert(block, data);
+                }
+                return Ok(());
+            }
+        }
+        self.commit_writes_journaled(state, writes)
+    }
+
+    /// Journals and applies a set of block writes as one or more atomic
+    /// journal transactions.
+    fn commit_writes_journaled(
         &self,
         state: &mut FsState,
         writes: Vec<(u64, Vec<u8>)>,
@@ -1234,6 +1416,185 @@ mod tests {
             fs.alloc_inode(InodeKind::File),
             Err(InodeError::OutOfInodes)
         ));
+    }
+
+    #[test]
+    fn compound_tx_groups_ops_and_reads_see_overlay() {
+        let fs = small_fs();
+        let tx = fs.begin_tx();
+        let a = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(a, 0, b"staged contents").unwrap();
+        fs.dir_add(ROOT_INO, "a", a).unwrap();
+        // Reads inside the transaction observe the staged writes.
+        assert_eq!(fs.read_all(a).unwrap(), b"staged contents");
+        assert_eq!(fs.dir_lookup(ROOT_INO, "a").unwrap(), Some(a));
+        tx.commit().unwrap();
+        assert_eq!(fs.read_all(a).unwrap(), b"staged contents");
+        assert_eq!(fs.dir_lookup(ROOT_INO, "a").unwrap(), Some(a));
+    }
+
+    #[test]
+    fn aborted_tx_leaves_the_device_untouched() {
+        let device = Arc::new(MemDevice::new(512, 256));
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
+        {
+            let _tx = fs.begin_tx();
+            let ino = fs.alloc_inode(InodeKind::File).unwrap();
+            fs.write(ino, 0, b"never committed").unwrap();
+            fs.dir_add(ROOT_INO, "ghost", ino).unwrap();
+            // Guard dropped without commit -> abort.
+        }
+        // Nothing reached the device: a remount sees an empty root.
+        drop(fs);
+        let fs = InodeFs::mount(device).unwrap();
+        assert_eq!(fs.dir_entries(ROOT_INO).unwrap().len(), 0);
+        assert_eq!(fs.allocated_inodes(), 1);
+    }
+
+    #[test]
+    fn aborted_tx_rolls_back_bitmap_frees() {
+        // A truncate inside an aborted transaction frees blocks in memory
+        // only; the rollback must restore them as allocated, or a later
+        // allocation would clobber data the on-disk inode still references.
+        let fs = small_fs();
+        let a = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(a, 0, &[0xEE; 1000]).unwrap();
+        let before = fs.allocated_blocks();
+        {
+            let _tx = fs.begin_tx();
+            fs.truncate(a, 0).unwrap();
+            // Guard dropped without commit -> abort.
+        }
+        assert_eq!(fs.allocated_blocks(), before, "freed bits are restored");
+        assert_eq!(fs.stat(a).unwrap().size, 1000);
+        let b = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(b, 0, &[0x11; 1000]).unwrap();
+        assert_eq!(
+            fs.read_all(a).unwrap(),
+            vec![0xEE; 1000],
+            "a post-abort allocation must not reuse still-referenced blocks"
+        );
+    }
+
+    #[test]
+    fn compound_tx_is_crash_atomic_at_every_write_index() {
+        // A compound mutation (new inode + data + directory entry) under a
+        // crash at every write index: after remount the filesystem either
+        // shows the whole mutation or none of it.
+        let probe_device = Arc::new(MemDevice::new(512, 256));
+        let mutate = |fs: &InodeFs<FaultyDevice<Arc<MemDevice>>>| -> Result<(), InodeError> {
+            let tx = fs.begin_tx();
+            let ino = fs.alloc_inode(InodeKind::File)?;
+            fs.write(ino, 0, &[0xCD; 700])?;
+            fs.dir_add(ROOT_INO, "atomic", ino)?;
+            tx.commit()
+        };
+        InodeFs::format(
+            Arc::clone(&probe_device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
+        let probe = InodeFs::mount(FaultyDevice::new(
+            Arc::clone(&probe_device),
+            FaultPlan::None,
+        ))
+        .unwrap();
+        let (total_writes, result) = probe.device().writes_between(|| mutate(&probe));
+        result.unwrap();
+        assert!(total_writes > 4, "the compound mutation spans many writes");
+
+        let mut outcomes = [0usize; 2];
+        for crash_after in 0..total_writes {
+            let device = Arc::new(MemDevice::new(512, 256));
+            InodeFs::format(
+                Arc::clone(&device),
+                FormatParams::small(),
+                JournalMode::Retain,
+            )
+            .unwrap();
+            let fs = InodeFs::mount(FaultyDevice::new(
+                Arc::clone(&device),
+                FaultPlan::CrashAfterWrites(crash_after),
+            ))
+            .unwrap();
+            assert!(mutate(&fs).is_err(), "crash point {crash_after} must trip");
+            drop(fs);
+            let fs = InodeFs::mount(Arc::clone(&device)).unwrap();
+            match fs.dir_lookup(ROOT_INO, "atomic").unwrap() {
+                Some(ino) => {
+                    assert_eq!(
+                        fs.read_all(ino).unwrap(),
+                        vec![0xCD; 700],
+                        "crash point {crash_after}: entry visible but data torn"
+                    );
+                    outcomes[1] += 1;
+                }
+                None => outcomes[0] += 1,
+            }
+        }
+        // Crashes before the journal commit roll back; crashes after it roll
+        // forward at mount.  Both outcomes must actually occur in the sweep.
+        assert!(outcomes[0] > 0, "some crash points roll back");
+        assert!(outcomes[1] > 0, "some crash points roll forward via replay");
+    }
+
+    #[test]
+    fn mount_counts_replayed_transactions() {
+        let device = Arc::new(MemDevice::new(512, 256));
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
+        assert_eq!(fs.recovered_txs(), 0);
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(ino, 0, b"old-contents!").unwrap();
+        let inode = fs.stat(ino).unwrap();
+        let data_block = inode.direct[0];
+        let layout = fs.layout();
+        let sb = {
+            let block0 = device.read_block(0).unwrap();
+            Superblock::decode(&block0).unwrap()
+        };
+        drop(fs);
+        // Forge a committed-but-unapplied transaction, as after a crash
+        // between journal commit and in-place apply.
+        let tx_id = sb.last_applied_tx + 1;
+        let pos = sb.journal_write_ptr;
+        let mut new_content = vec![0u8; 256];
+        new_content[..13].copy_from_slice(b"new-contents!");
+        device
+            .write_block(
+                layout.journal_start + pos,
+                &encode_header(tx_id, &[data_block], 256),
+            )
+            .unwrap();
+        device
+            .write_block(layout.journal_start + pos + 1, &new_content)
+            .unwrap();
+        device
+            .write_block(layout.journal_start + pos + 2, &encode_commit(tx_id, 256))
+            .unwrap();
+        let fs = InodeFs::mount(Arc::clone(&device)).unwrap();
+        assert_eq!(fs.recovered_txs(), 1);
+        assert_eq!(&fs.read(ino, 0, 13).unwrap(), b"new-contents!");
+        // A clean remount reports zero.
+        drop(fs);
+        assert_eq!(InodeFs::mount(device).unwrap().recovered_txs(), 0);
+    }
+
+    #[test]
+    fn tx_capacity_reflects_journal_and_block_size() {
+        let fs = small_fs();
+        // 256-byte blocks -> 29 header targets; 16 journal blocks -> 14.
+        assert_eq!(fs.tx_capacity_blocks(), 14);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod layout;
 pub mod superblock;
 
 pub use error::InodeError;
-pub use fs::{FormatParams, InodeFs};
+pub use fs::{FormatParams, InodeFs, Transaction};
 pub use inode::{Ino, Inode, InodeKind};
 pub use journal::JournalMode;
 pub use layout::Layout;

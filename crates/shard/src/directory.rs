@@ -70,9 +70,30 @@ impl LineageDirectory {
         self.entries.entry(id).or_insert(entry);
     }
 
+    /// Marks identifiers as tombstoned, returning the ones that were not
+    /// already marked (so a failed pre-announcement can be retracted
+    /// without resurrecting genuine tombstones).
+    pub(crate) fn mark_erased_returning_new(
+        &mut self,
+        ids: impl IntoIterator<Item = PdId>,
+    ) -> Vec<PdId> {
+        ids.into_iter()
+            .filter(|&id| self.erased.insert(id))
+            .collect()
+    }
+
     /// Marks identifiers as tombstoned.
     pub(crate) fn mark_erased(&mut self, ids: impl IntoIterator<Item = PdId>) {
         self.erased.extend(ids);
+    }
+
+    /// Retracts tombstone pre-announcements that never reached the disk.
+    /// Only used when the durable intent write fails *before* any erasure
+    /// started — the marks describe an operation that never happened.
+    pub(crate) fn retract_erased(&mut self, ids: impl IntoIterator<Item = PdId>) {
+        for id in ids {
+            self.erased.remove(&id);
+        }
     }
 
     /// Whether `id` itself is marked tombstoned.

@@ -11,8 +11,11 @@ use rgpdos_core::{
     RecordBatch, Row, SubjectId, WrappedPd,
 };
 use rgpdos_crypto::escrow::OperatorEscrow;
+use rgpdos_crypto::PublicKey;
 use rgpdos_dbfs::dbfs::RecordSummary;
-use rgpdos_dbfs::{Dbfs, DbfsError, DbfsParams, DbfsStats, IdAllocation, PdStore, QueryRequest};
+use rgpdos_dbfs::{
+    Dbfs, DbfsError, DbfsParams, DbfsStats, EraseIntent, IdAllocation, PdStore, QueryRequest,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,6 +33,53 @@ fn mix(mut x: u64) -> u64 {
 /// The home shard of a subject in a deployment of `shards` shards.
 fn home_for(subject: SubjectId, shards: usize) -> usize {
     (mix(subject.raw()) % shards as u64) as usize
+}
+
+/// Encodes a routed target list as a durable erase intent.
+fn intent_for(targets: &[(usize, DataTypeId, PdId)], escrow: &OperatorEscrow) -> EraseIntent {
+    EraseIntent {
+        targets: targets
+            .iter()
+            .map(|(_, data_type, id)| (data_type.to_string(), id.raw()))
+            .collect(),
+        escrow_key: escrow.public_key().element(),
+        routed: true,
+    }
+}
+
+/// `(descendant, erased ancestor)` pairs over a global summary map: live
+/// records whose lineage chain contains an erased ancestor.  The walk
+/// inspects full ancestor chains, so every transitive descendant of an
+/// erased record is reported in one pass.  Shared by the mount-time lineage
+/// heal (which erases the descendants) and the invariant checker (which
+/// reports them).
+fn erased_ancestor_violations(
+    global: &BTreeMap<PdId, (usize, RecordSummary)>,
+) -> Vec<(PdId, PdId)> {
+    let mut out = Vec::new();
+    for (id, (_, summary)) in global {
+        if summary.erased {
+            continue;
+        }
+        let mut seen = BTreeSet::from([*id]);
+        let mut ancestor = summary.copied_from;
+        while let Some(current) = ancestor {
+            if !seen.insert(current) {
+                break;
+            }
+            match global.get(&current) {
+                Some((_, parent)) => {
+                    if parent.erased {
+                        out.push((*id, current));
+                        break;
+                    }
+                    ancestor = parent.copied_from;
+                }
+                None => break,
+            }
+        }
+    }
+    out
 }
 
 /// Load and operation counters of one shard.
@@ -134,6 +184,13 @@ pub struct ShardedDbfs<D: BlockDevice + 'static> {
     audit: AuditLog,
     /// Round-robin cursor for copy placement.
     next_copy: AtomicUsize,
+    /// Serializes routed erasures (erase / erase_subject / purge / intent
+    /// recovery).  Reads, inserts and copies are unaffected; serializing the
+    /// rare erasure path keeps the pre-announce / intent / per-shard-erase /
+    /// retract sequence of one request from interleaving with another's —
+    /// a failed intent write can then safely retract exactly the tombstone
+    /// marks it pre-announced.
+    erasures: Mutex<()>,
 }
 
 impl<D: BlockDevice + 'static> fmt::Debug for ShardedDbfs<D> {
@@ -207,6 +264,14 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     /// their original shard order; the lineage directory is rebuilt from the
     /// per-shard indexes (membrane headers only — no payload reads).
     ///
+    /// Mounting completes any **crashed two-phase erasure**: erase intents
+    /// persisted by [`ShardedDbfs::erase`] / [`ShardedDbfs::erase_subject`] /
+    /// [`ShardedDbfs::purge_expired`] before the crash are re-driven to
+    /// completion (using an escrow rebuilt from the intent's authority key),
+    /// followed by a lineage heal that erases any live record left with an
+    /// erased ancestor.  Completed intents are counted in the involved
+    /// shard's [`DbfsStats::recovered_txs`].
+    ///
     /// # Errors
     ///
     /// Propagates per-shard mount errors.
@@ -279,7 +344,9 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
                 directory.register_foreign(summary.subject, id, entry);
             }
         }
-        Ok(Self::assemble(instances, directory, clock, audit))
+        let sharded = Self::assemble(instances, directory, clock, audit);
+        sharded.recover_crashed_erasures()?;
+        Ok(sharded)
     }
 
     fn assemble(
@@ -296,7 +363,105 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             clock,
             audit,
             next_copy: AtomicUsize::new(0),
+            erasures: Mutex::new(()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Completes erase intents left behind by a crash (see
+    /// [`ShardedDbfs::mount`]).  Idempotent: a crash *during* recovery
+    /// leaves the intent in place, and the next mount re-runs it.
+    fn recover_crashed_erasures(&self) -> Result<(), DbfsError> {
+        let _serialized = self.erasures.lock();
+        let mut completed: Vec<(usize, u64)> = Vec::new();
+        let mut heal_keys: BTreeSet<u64> = BTreeSet::new();
+        for shard in 0..self.shards.len() {
+            for (token, intent) in self.shards[shard].pending_erase_intents()? {
+                if !intent.routed {
+                    // Local cascade intents were already completed by the
+                    // shard's own `Dbfs::mount`.
+                    continue;
+                }
+                let public =
+                    PublicKey::from_element(intent.escrow_key).map_err(|_| DbfsError::Corrupt {
+                        what: "erase intent carries an invalid authority key".to_owned(),
+                    })?;
+                let escrow = OperatorEscrow::new(public);
+                let mut confirmed: BTreeSet<PdId> = BTreeSet::new();
+                for (type_name, raw) in &intent.targets {
+                    let id = PdId::new(*raw);
+                    let data_type = DataTypeId::from(type_name.as_str());
+                    let target_shard = self.shard_of_id(id);
+                    match self.shards[target_shard].load_membrane(&data_type, id) {
+                        Ok(membrane) if !membrane.is_erased() => {
+                            confirmed
+                                .extend(self.shards[target_shard].erase(&data_type, id, &escrow)?);
+                        }
+                        Ok(_) => {
+                            confirmed.insert(id);
+                        }
+                        // The target never reached the disk (its insert was
+                        // lost in the same crash): nothing to erase, and it
+                        // must not be marked in the directory.
+                        Err(DbfsError::UnknownPd { .. }) | Err(DbfsError::UnknownType { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                self.directory.lock().mark_erased(confirmed);
+                heal_keys.insert(intent.escrow_key);
+                completed.push((shard, token));
+            }
+        }
+        // Mid-sweep crashes (retention) may have tombstoned originals
+        // without reaching their cross-shard copies; one global heal per
+        // *distinct authority key* after all intents covers every such
+        // survivor (deployments normally have one authority, so this is one
+        // pass; with several, each survivor is escrowed under a key the
+        // deployment actually uses rather than whichever intent came last).
+        for key in heal_keys {
+            let public = PublicKey::from_element(key).map_err(|_| DbfsError::Corrupt {
+                what: "erase intent carries an invalid authority key".to_owned(),
+            })?;
+            self.lineage_heal(&OperatorEscrow::new(public))?;
+        }
+        // Clear only after the heal, so a crash during recovery re-runs it.
+        for (shard, token) in completed {
+            self.shards[shard].clear_erase_intent(token)?;
+            self.shards[shard].note_recovered_tx();
+        }
+        Ok(())
+    }
+
+    /// Erases every live record whose lineage chain contains an erased
+    /// ancestor.  One global pass suffices: the walk inspects the *full*
+    /// ancestor chain, so every transitive descendant of an erased record is
+    /// caught in the same pass.
+    fn lineage_heal(&self, escrow: &OperatorEscrow) -> Result<(), DbfsError> {
+        let mut global: BTreeMap<PdId, (usize, RecordSummary)> = BTreeMap::new();
+        for (shard, instance) in self.shards.iter().enumerate() {
+            for summary in instance.record_index_snapshot() {
+                global.insert(summary.id, (shard, summary));
+            }
+        }
+        let victims: Vec<(usize, DataTypeId, PdId)> = erased_ancestor_violations(&global)
+            .into_iter()
+            .map(|(id, _)| {
+                let (shard, summary) = &global[&id];
+                (*shard, summary.data_type.clone(), id)
+            })
+            .collect();
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let mut erased: BTreeSet<PdId> = BTreeSet::new();
+        for (shard, data_type, id) in victims {
+            erased.extend(self.shards[shard].erase(&data_type, id, escrow)?);
+        }
+        self.directory.lock().mark_erased(erased);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -634,12 +799,22 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         self.store_routed(data_type, wrapped, target)
     }
 
-    /// The `delete` built-in across the deployment: erases the record on its
-    /// shard, then tombstones the **transitive copy closure on every
-    /// shard**.  Two phases, mirroring the per-shard discipline: the closure
-    /// is snapshotted and pre-announced as tombstoned under the directory
-    /// lock (pure metadata, no disk I/O), then each involved shard performs
-    /// its crypto-erasures with no router lock held.
+    /// The `delete` built-in across the deployment: tombstones the record
+    /// *and* the **transitive copy closure on every shard**.  The erasure is
+    /// two-phase and crash-durable:
+    ///
+    /// 1. the closure is snapshotted and pre-announced as tombstoned under
+    ///    the directory lock (pure metadata, no disk I/O), so a copy racing
+    ///    the erasure is refused from here on;
+    /// 2. the full target list is persisted as an [`EraseIntent`] on the
+    ///    root's shard **before any tombstone is written**, then each
+    ///    involved shard performs its crypto-erasures (each shard's cascade
+    ///    is one compound transaction) and the intent is cleared.
+    ///
+    /// A crash before the intent write leaves the deployment untouched (a
+    /// clean abort); a crash after it is **completed** at the next
+    /// [`ShardedDbfs::mount`], so no copy ever outlives its erased original
+    /// across a power loss.
     ///
     /// Returns every identifier this call tombstoned, transitive cross-shard
     /// copies included.
@@ -653,45 +828,66 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         id: PdId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
-        // Erase the record itself first (this also validates the id), letting
-        // the shard cascade over its intra-shard lineage.
-        let mut erased: BTreeSet<PdId> = self.shards[self.shard_of_id(id)]
-            .erase(data_type, id, escrow)?
-            .into_iter()
-            .collect();
+        let _serialized = self.erasures.lock();
+        let root_shard = self.shard_of_id(id);
+        // Validate the id (and learn whether the root is already a
+        // tombstone) without mutating anything.
+        let root_erased = self.shards[root_shard]
+            .load_membrane(data_type, id)?
+            .is_erased();
         // Phase 1: snapshot the directory closure and pre-announce the
-        // tombstones, so any copy racing this erasure is refused from here
-        // on.  No disk I/O under the directory lock.
-        let targets: Vec<(usize, DataTypeId, PdId)> = {
+        // tombstones.  No disk I/O under the directory lock.
+        let (targets, pre_announced): (Vec<(usize, DataTypeId, PdId)>, Vec<PdId>) = {
             let mut directory = self.directory.lock();
             let members = directory.closure([id]);
-            directory.mark_erased(members.iter().copied().chain([id]));
-            directory.mark_erased(erased.iter().copied());
-            members
-                .into_iter()
-                .filter(|member| !erased.contains(member))
-                .map(|member| {
-                    let member_type = directory
-                        .entry(member)
-                        .map(|entry| entry.data_type.clone())
-                        .unwrap_or_else(|| data_type.clone());
-                    (self.shard_of_id(member), member_type, member)
-                })
-                .collect()
+            let pre_announced =
+                directory.mark_erased_returning_new(members.iter().copied().chain([id]));
+            let mut targets = Vec::with_capacity(members.len() + 1);
+            if !root_erased {
+                targets.push((root_shard, data_type.clone(), id));
+            }
+            targets.extend(members.into_iter().map(|member| {
+                let member_type = directory
+                    .entry(member)
+                    .map(|entry| entry.data_type.clone())
+                    .unwrap_or_else(|| data_type.clone());
+                (self.shard_of_id(member), member_type, member)
+            }));
+            (targets, pre_announced)
         };
-        // Phase 2: per-shard erasure of the remaining closure members.
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Phase 1.5: persist the intent before the first tombstone.  If the
+        // intent write itself fails (nothing touched disk yet), retract the
+        // pre-announcement — the directory must not claim tombstones for an
+        // erasure that never happened.
+        let token = match self.shards[root_shard].put_erase_intent(&intent_for(&targets, escrow)) {
+            Ok(token) => token,
+            Err(e) => {
+                self.directory.lock().retract_erased(pre_announced);
+                return Err(e);
+            }
+        };
+        // Phase 2: per-shard erasure (root first, so even an unlogged crash
+        // leaves every survivor with an erased ancestor — healable).
+        let mut erased: BTreeSet<PdId> = BTreeSet::new();
         for (shard, member_type, member) in targets {
             erased.extend(self.shards[shard].erase(&member_type, member, escrow)?);
         }
         self.directory.lock().mark_erased(erased.iter().copied());
+        self.shards[root_shard].clear_erase_intent(token)?;
         Ok(erased.into_iter().collect())
     }
 
     /// Subject-wide right to be forgotten: the subject's home-shard records
     /// and foreign placements are snapshotted together with their transitive
-    /// copy closure under the directory lock, then every involved shard
-    /// erases its members.  Returns every identifier tombstoned,
-    /// cross-shard copies included.
+    /// copy closure under the directory lock, the target list is persisted
+    /// as an [`EraseIntent`] on the subject's home shard, then every
+    /// involved shard erases its members and the intent is cleared.  A crash
+    /// mid-erasure is completed at the next mount — the request never stays
+    /// half-applied.  Returns every identifier tombstoned, cross-shard
+    /// copies included.
     ///
     /// # Errors
     ///
@@ -701,11 +897,12 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         subject: SubjectId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
+        let _serialized = self.erasures.lock();
         // The subject's own records, from the home shard's in-memory index.
         let home_ids = self.shards[self.home_shard(subject)].ids_of_subject(subject);
         // Phase 1: roots = home records + foreign placements; closure-expand
         // through the directory and pre-announce the tombstones.
-        let targets: Vec<(usize, DataTypeId, PdId)> = {
+        let (targets, pre_announced) = {
             let mut directory = self.directory.lock();
             let mut targets: Vec<(usize, DataTypeId, PdId)> = Vec::new();
             let mut seen: BTreeSet<PdId> = BTreeSet::new();
@@ -731,8 +928,21 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
                     }
                 }
             }
-            directory.mark_erased(seen);
-            targets
+            let pre_announced = directory.mark_erased_returning_new(seen);
+            (targets, pre_announced)
+        };
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Persist the intent on the subject's home shard, then erase.  A
+        // failed intent write retracts the pre-announcement (see `erase`).
+        let home = self.home_shard(subject);
+        let token = match self.shards[home].put_erase_intent(&intent_for(&targets, escrow)) {
+            Ok(token) => token,
+            Err(e) => {
+                self.directory.lock().retract_erased(pre_announced);
+                return Err(e);
+            }
         };
         // Phase 2: per-shard erasure.
         let mut erased: BTreeSet<PdId> = BTreeSet::new();
@@ -740,6 +950,7 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             erased.extend(self.shards[shard].erase(&data_type, id, escrow)?);
         }
         self.directory.lock().mark_erased(erased.iter().copied());
+        self.shards[home].clear_erase_intent(token)?;
         Ok(erased.into_iter().collect())
     }
 
@@ -748,10 +959,30 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     /// retention diverged from their expired original (a copy must never
     /// outlive its lineage).  Returns every identifier the sweep tombstoned.
     ///
+    /// The sweep's exact target set is only known mid-sweep, so the durable
+    /// intent written up front carries no targets — just the authority key.
+    /// If a crash interrupts the sweep between a shard purge and the
+    /// cross-shard propagation, the next mount finds the intent and runs the
+    /// **lineage heal**: any live record with an erased ancestor is erased.
+    ///
     /// # Errors
     ///
     /// Propagates storage errors.
     pub fn purge_expired(&self, escrow: &OperatorEscrow) -> Result<Vec<PdId>, DbfsError> {
+        let _serialized = self.erasures.lock();
+        let now = self.clock.now();
+        if !self
+            .shards
+            .iter()
+            .any(|shard| shard.has_expired_candidates(now))
+        {
+            return Ok(Vec::new());
+        }
+        let token = self.shards[0].put_erase_intent(&EraseIntent {
+            targets: Vec::new(),
+            escrow_key: escrow.public_key().element(),
+            routed: true,
+        })?;
         let mut expired: Vec<PdId> = Vec::new();
         for shard in &self.shards {
             expired.extend(shard.purge_expired(escrow)?);
@@ -775,6 +1006,7 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         for (shard, data_type, id) in targets {
             expired.extend(self.shards[shard].erase(&data_type, id, escrow)?);
         }
+        self.shards[0].clear_erase_intent(token)?;
         Ok(expired)
     }
 
@@ -940,28 +1172,10 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             }
         }
         // The GDPR invariant: no live record has an erased lineage ancestor.
-        for (id, (_, summary)) in &global {
-            if summary.erased {
-                continue;
-            }
-            let mut seen = BTreeSet::from([*id]);
-            let mut ancestor = summary.copied_from;
-            while let Some(current) = ancestor {
-                if !seen.insert(current) {
-                    break;
-                }
-                match global.get(&current) {
-                    Some((_, parent)) => {
-                        if parent.erased {
-                            return Err(violation(format!(
-                                "live {id} outlives its erased ancestor {current}"
-                            )));
-                        }
-                        ancestor = parent.copied_from;
-                    }
-                    None => break,
-                }
-            }
+        if let Some((id, ancestor)) = erased_ancestor_violations(&global).into_iter().next() {
+            return Err(violation(format!(
+                "live {id} outlives its erased ancestor {ancestor}"
+            )));
         }
         Ok(())
     }

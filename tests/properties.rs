@@ -109,6 +109,130 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// DSL round-trip properties: arbitrary generated declarations survive the
+// lexer -> parser -> compile pipeline without panicking, and pretty-printed
+// ASTs re-parse to the same AST.
+// ---------------------------------------------------------------------
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn field_type_spelling() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::strategy::Just("string".to_owned()),
+        proptest::strategy::Just("int".to_owned()),
+        proptest::strategy::Just("float".to_owned()),
+        proptest::strategy::Just("bool".to_owned()),
+        proptest::strategy::Just("date".to_owned()),
+        // Unknown spellings must surface as errors, never panics.
+        ident_strategy(),
+    ]
+}
+
+fn type_decl_strategy() -> impl Strategy<Value = rgpdos::dsl::TypeDecl> {
+    use rgpdos::dsl::{ConsentClause, FieldDecl, TypeDecl, ViewDecl};
+    let fields = proptest::collection::vec((ident_strategy(), field_type_spelling()), 0..5);
+    let views = proptest::collection::vec(
+        (
+            ident_strategy(),
+            proptest::collection::vec(ident_strategy(), 0..4),
+        ),
+        0..3,
+    );
+    let consent = proptest::collection::vec((ident_strategy(), ident_strategy()), 0..3);
+    let attrs = (
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    proptest::strategy::Just("web_form".to_owned()),
+                    proptest::strategy::Just("third_party".to_owned()),
+                    ident_strategy(),
+                ],
+                ident_strategy(),
+            ),
+            0..3,
+        ),
+        prop_oneof![
+            proptest::strategy::Just(None),
+            ident_strategy().prop_map(Some)
+        ],
+        prop_oneof![
+            proptest::strategy::Just(None),
+            proptest::strategy::Just(Some("1Y".to_owned())),
+            proptest::strategy::Just(Some("30D".to_owned())),
+            ident_strategy().prop_map(Some),
+        ],
+        prop_oneof![
+            proptest::strategy::Just(None),
+            ident_strategy().prop_map(Some)
+        ],
+    );
+    ((ident_strategy(), fields), (views, consent), attrs).prop_map(
+        |((name, fields), (views, consent), (collection, origin, age, sensitivity))| TypeDecl {
+            name,
+            fields: fields
+                .into_iter()
+                .map(|(name, field_type)| FieldDecl { name, field_type })
+                .collect(),
+            views: views
+                .into_iter()
+                .map(|(name, fields)| ViewDecl { name, fields })
+                .collect(),
+            consent: consent
+                .into_iter()
+                .map(|(purpose, decision)| ConsentClause { purpose, decision })
+                .collect(),
+            collection,
+            origin,
+            age,
+            sensitivity,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pretty-printing an arbitrary AST and re-parsing it yields the same
+    /// AST, and compiling the result never panics (it may well `Err` — the
+    /// generated declarations are frequently nonsense).
+    #[test]
+    fn pretty_printed_type_decls_reparse_to_the_same_ast(
+        decls in proptest::collection::vec(type_decl_strategy(), 1..4)
+    ) {
+        use rgpdos::dsl::parse_type_declarations;
+        let source = decls
+            .iter()
+            .map(|decl| decl.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_type_declarations(&source).unwrap();
+        prop_assert_eq!(&reparsed, &decls);
+        for decl in &reparsed {
+            // Must return (Ok or Err) without panicking.
+            let _ = rgpdos::dsl::compile_type_declaration(decl);
+        }
+    }
+
+    /// The whole pipeline (lexer -> parser -> compile) never panics on
+    /// arbitrary token soup; it either compiles or reports a DslError.
+    #[test]
+    fn dsl_pipeline_never_panics_on_arbitrary_input(
+        soup in "[a-z0-9_{}:;,\" \n/*.-]{0,120}"
+    ) {
+        if let Ok(decls) = rgpdos::dsl::parse_type_declarations(&soup) {
+            for decl in &decls {
+                let _ = rgpdos::dsl::compile_type_declaration(decl);
+            }
+        }
+        // Purpose declarations share the lexer; they must not panic either.
+        let _ = rgpdos::dsl::parse_purpose_declarations(&soup);
+        let _ = rgpdos::dsl::extract_purpose_annotation(&soup);
+    }
+}
+
 /// One step of the index-consistency property: the operations a DBFS index
 /// must survive in any order (insert, copy, erase, subject-wide erase, TTL
 /// change, clock advance, retention sweep).
