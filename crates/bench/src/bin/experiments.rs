@@ -7,9 +7,12 @@
 //! (scenario name, counters, elapsed milliseconds per entry), so the perf
 //! trajectory can be tracked across commits.
 
-use rgpdos::blockdev::{scan_for_pattern, LatencyModel};
+use rgpdos::blockdev::{scan_for_pattern, InstrumentedDevice, LatencyModel, MemDevice};
+use rgpdos::core::schema::listing1_user_schema;
+use rgpdos::dbfs::Dbfs;
 use rgpdos::kernel::{ObjectClass, Operation, SecurityContext, Syscall};
 use rgpdos::prelude::*;
+use rgpdos::shard::ShardedDbfs;
 use rgpdos::workloads::penalties::{dataset, top_sectors, totals_by_year};
 use rgpdos::workloads::WorkloadMix;
 use rgpdos_bench::{
@@ -96,6 +99,7 @@ fn main() {
     timed("c5", wants("--c5"), &mut |_| c5());
     timed("s1", wants("--s1"), &mut |report| s1(report));
     timed("s2", wants("--s2"), &mut |report| s2(report));
+    timed("s3", wants("--s3"), &mut |report| s3(report));
     timed("ablations", wants("--ablations"), &mut |_| ablations());
 
     if let Some(path) = json_path {
@@ -324,6 +328,262 @@ fn throughput_scenario(shards: usize, per_shard: usize) -> ShardedScalingScenari
     sharded_scaling_scenario(shards, per_shard, per_shard * (shards - 1))
 }
 
+/// Where `--s3` writes its machine-readable before/after numbers (uploaded
+/// as a CI artifact to seed the perf trajectory across commits).
+const S3_JSON: &str = "BENCH_s3.json";
+
+/// One measured ingest run of the S3 experiment.
+struct IngestRun {
+    journal_txs: u64,
+    device_writes: u64,
+    sim_io_us: u64,
+    wall_ms: f64,
+    cache_hit_rate: f64,
+}
+
+impl IngestRun {
+    /// Simulated ingest throughput in krecords per simulated second.
+    fn sim_krec_per_s(&self, records: usize) -> f64 {
+        records as f64 * 1_000.0 / self.sim_io_us.max(1) as f64
+    }
+}
+
+fn s3(report: &mut BenchReport) {
+    println!("--- S3: batched ingest — journal group commit vs per-op commits ---");
+    println!(
+        "backend, records, mode, journal_txs, device_writes, sim_io_us, wall_ms, \
+         sim_krecords_per_s, cache_hit_rate_pct"
+    );
+    let mut s3_report = BenchReport::default();
+
+    let rows_for = |records: usize| -> Vec<(SubjectId, Row)> {
+        (0..records as u64)
+            .map(|i| {
+                (
+                    SubjectId::new(i % 97),
+                    Row::new()
+                        .with("name", format!("ingest-{i}"))
+                        .with("pwd", "pw")
+                        .with("year_of_birthdate", (1940 + (i % 70)) as i64),
+                )
+            })
+            .collect()
+    };
+    let fresh_dbfs = |records: usize| {
+        let device = Arc::new(InstrumentedDevice::new(
+            MemDevice::new((records as u64 * 24).max(16_384), 512),
+            LatencyModel::nvme(),
+        ));
+        let mut params = DbfsParams::secure();
+        params.inode_params.inode_count = params
+            .inode_params
+            .inode_count
+            .max(records as u64 * 2 + 256);
+        let dbfs = Dbfs::format(Arc::clone(&device), params).expect("format ingest store");
+        dbfs.create_type(listing1_user_schema())
+            .expect("install user type");
+        (dbfs, device)
+    };
+
+    let record_run = |s3_report: &mut BenchReport,
+                      report: &mut BenchReport,
+                      backend: &str,
+                      records: usize,
+                      mode: &str,
+                      run: &IngestRun| {
+        println!(
+            "{backend}, {records}, {mode}, {}, {}, {}, {:.2}, {:.1}, {:.1}",
+            run.journal_txs,
+            run.device_writes,
+            run.sim_io_us,
+            run.wall_ms,
+            run.sim_krec_per_s(records),
+            run.cache_hit_rate * 100.0
+        );
+        let scenario = format!("s3:ingest:{backend}:records={records}:mode={mode}");
+        let counters = [
+            ("records", records as f64),
+            ("journal_txs", run.journal_txs as f64),
+            ("device_writes", run.device_writes as f64),
+            ("sim_io_us", run.sim_io_us as f64),
+            ("sim_krecords_per_s", run.sim_krec_per_s(records)),
+            ("cache_hit_rate", run.cache_hit_rate),
+        ];
+        s3_report.push(scenario.clone(), counters, run.wall_ms);
+        report.push(scenario, counters, run.wall_ms);
+    };
+
+    for &records in &[300usize, 1_000] {
+        let rows = rows_for(records);
+
+        // Per-op commits: one journal transaction per record.
+        let (dbfs, device) = fresh_dbfs(records);
+        device.reset_stats();
+        let start = Instant::now();
+        for (subject, row) in rows.clone() {
+            dbfs.collect("user", subject, row).expect("per-op collect");
+        }
+        let per_op = IngestRun {
+            journal_txs: dbfs.inode_fs().journal_txs(),
+            device_writes: device.stats().writes,
+            sim_io_us: device.stats().simulated_us,
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            cache_hit_rate: dbfs.cache_stats().hit_rate(),
+        };
+        record_run(&mut s3_report, report, "dbfs", records, "per-op", &per_op);
+
+        // Group commit: batched inserts coalesced at the journal-capacity
+        // bound.
+        let (dbfs, device) = fresh_dbfs(records);
+        device.reset_stats();
+        let start = Instant::now();
+        let ids = dbfs.collect_many("user", rows).expect("batched collect");
+        assert_eq!(ids.len(), records);
+        let batched = IngestRun {
+            journal_txs: dbfs.inode_fs().journal_txs(),
+            device_writes: device.stats().writes,
+            sim_io_us: device.stats().simulated_us,
+            wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            cache_hit_rate: dbfs.cache_stats().hit_rate(),
+        };
+        record_run(&mut s3_report, report, "dbfs", records, "batched", &batched);
+
+        // The acceptance bar of the batched write path: >= 3x simulated
+        // ingest throughput over per-op commits.
+        let speedup = per_op.sim_io_us as f64 / batched.sim_io_us.max(1) as f64;
+        assert!(
+            speedup >= 3.0,
+            "group commit must deliver >= 3x ingest throughput, got {speedup:.2}x"
+        );
+        let counters = [
+            ("records", records as f64),
+            ("throughput_ratio", speedup),
+            (
+                "journal_tx_ratio",
+                per_op.journal_txs as f64 / batched.journal_txs.max(1) as f64,
+            ),
+        ];
+        println!("dbfs, {records}, speedup, -, -, -, -, {speedup:.1}x, -");
+        s3_report.push(format!("s3:speedup:dbfs:records={records}"), counters, 0.0);
+        report.push(format!("s3:speedup:dbfs:records={records}"), counters, 0.0);
+    }
+
+    // Sharded scatter writes: the router groups the batch per home shard
+    // and every shard group-commits its slice concurrently.
+    let shards = 4usize;
+    let records = 1_000usize;
+    let rows = rows_for(records);
+    let fresh_sharded = || {
+        let devices: Vec<Arc<InstrumentedDevice<MemDevice>>> = (0..shards)
+            .map(|_| {
+                Arc::new(InstrumentedDevice::new(
+                    MemDevice::new(32_768, 512),
+                    LatencyModel::nvme(),
+                ))
+            })
+            .collect();
+        let mut params = DbfsParams::secure();
+        params.inode_params.inode_count = params
+            .inode_params
+            .inode_count
+            .max(records as u64 * 2 + 256);
+        let sharded = ShardedDbfs::format(devices.clone(), params).expect("format sharded");
+        sharded
+            .create_type(listing1_user_schema())
+            .expect("install user type");
+        (sharded, devices)
+    };
+    let measure_sharded = |sharded: &ShardedDbfs<Arc<InstrumentedDevice<MemDevice>>>,
+                           devices: &[Arc<InstrumentedDevice<MemDevice>>],
+                           wall_ms: f64| {
+        IngestRun {
+            journal_txs: sharded
+                .shards()
+                .iter()
+                .map(|shard| shard.inode_fs().journal_txs())
+                .sum(),
+            device_writes: devices.iter().map(|d| d.stats().writes).sum(),
+            // Shards own their devices, so the deployment's simulated
+            // ingest time is the slowest shard, not the sum.
+            sim_io_us: devices
+                .iter()
+                .map(|d| d.stats().simulated_us)
+                .max()
+                .unwrap_or(0),
+            wall_ms,
+            cache_hit_rate: {
+                let merged = sharded
+                    .shards()
+                    .iter()
+                    .map(|shard| shard.cache_stats())
+                    .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.misses));
+                if merged.0 + merged.1 == 0 {
+                    0.0
+                } else {
+                    merged.0 as f64 / (merged.0 + merged.1) as f64
+                }
+            },
+        }
+    };
+
+    let (sharded, devices) = fresh_sharded();
+    let start = Instant::now();
+    for (subject, row) in rows.clone() {
+        sharded
+            .collect("user", subject, row)
+            .expect("per-op sharded collect");
+    }
+    let per_op = measure_sharded(&sharded, &devices, start.elapsed().as_secs_f64() * 1_000.0);
+    record_run(
+        &mut s3_report,
+        report,
+        &format!("sharded-{shards}"),
+        records,
+        "per-op",
+        &per_op,
+    );
+
+    let (sharded, devices) = fresh_sharded();
+    let start = Instant::now();
+    let ids = sharded
+        .collect_many("user", rows)
+        .expect("batched sharded collect");
+    assert_eq!(ids.len(), records);
+    let batched = measure_sharded(&sharded, &devices, start.elapsed().as_secs_f64() * 1_000.0);
+    record_run(
+        &mut s3_report,
+        report,
+        &format!("sharded-{shards}"),
+        records,
+        "batched",
+        &batched,
+    );
+    let speedup = per_op.sim_io_us as f64 / batched.sim_io_us.max(1) as f64;
+    assert!(
+        speedup >= 3.0,
+        "sharded scatter writes must deliver >= 3x ingest throughput, got {speedup:.2}x"
+    );
+    println!("sharded-{shards}, {records}, speedup, -, -, -, -, {speedup:.1}x, -");
+    let counters = [("records", records as f64), ("throughput_ratio", speedup)];
+    s3_report.push(
+        format!("s3:speedup:sharded-{shards}:records={records}"),
+        counters,
+        0.0,
+    );
+    report.push(
+        format!("s3:speedup:sharded-{shards}:records={records}"),
+        counters,
+        0.0,
+    );
+
+    let json = serde_json::to_string_pretty(&s3_report).expect("serialize S3 report");
+    std::fs::write(S3_JSON, json).expect("write BENCH_s3.json");
+    println!("(batched-ingest results written to {S3_JSON})");
+    println!("(group commit coalesces N inserts into one journal transaction; the buffer");
+    println!(" cache absorbs the re-reads of hot directory blocks, so ingest throughput");
+    println!(" scales with batch size instead of journal round-trips)\n");
+}
+
 fn fig1() {
     println!("--- F1: Figure 1 — GDPR penalties ---");
     let records = dataset();
@@ -425,6 +685,9 @@ fn fig4() {
     for &subjects in &[100usize, 500, 1_000] {
         for &consent in &[0.0f64, 0.25, 0.5, 0.75, 1.0] {
             let scenario = rgpdos_scenario(subjects, consent, DbfsParams::secure());
+            // Cold-cache: the reported metric is simulated *device* I/O,
+            // which the buffer cache would otherwise absorb.
+            scenario.os.dbfs().drop_caches();
             scenario.os.device().reset_stats();
             let start = Instant::now();
             let result = scenario
@@ -780,6 +1043,8 @@ fn ablations() {
             )
             .unwrap();
         }
+        // Cold-cache: the latency-model comparison is about device cost.
+        os.dbfs().drop_caches();
         os.device().reset_stats();
         let start = Instant::now();
         os.invoke(id, InvokeRequest::whole_type()).unwrap();

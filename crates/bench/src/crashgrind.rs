@@ -48,6 +48,17 @@ pub enum ScriptOp {
         /// The data subject.
         subject: u64,
     },
+    /// Collect a batch of records through the batched `collect_many` API:
+    /// stores with journal group commit coalesce the batch into as few
+    /// journal transactions as the capacity bound allows, which is exactly
+    /// the path this op exists to sweep — a crash must leave a clean
+    /// prefix of whole groups, never a torn record.
+    InsertMany {
+        /// First data subject; record `i` belongs to `base_subject + i % 3`.
+        base_subject: u64,
+        /// Records in the batch.
+        count: u8,
+    },
     /// Replace the row of a previously created record.
     Update {
         /// Index into the ids created so far (modulo).
@@ -101,6 +112,31 @@ pub fn default_script() -> Vec<ScriptOp> {
         ScriptOp::Erase { pick: 0 },
         ScriptOp::EraseSubject { subject: 2 },
         ScriptOp::AdvanceDays { days: 40 },
+        ScriptOp::Purge,
+    ]
+}
+
+/// The batched-write-path workload: group-committed batches (including one
+/// large enough to span several journal transactions on the small test
+/// geometry), interleaved with the mutations that must stay correct around
+/// them — copies into batch-created lineage, erasure, TTL expiry, a
+/// subject-wide erasure of subjects created by a batch.
+pub fn batched_script() -> Vec<ScriptOp> {
+    vec![
+        ScriptOp::InsertMany {
+            base_subject: 1,
+            count: 6,
+        },
+        ScriptOp::Copy { pick: 2 },
+        ScriptOp::InsertMany {
+            base_subject: 4,
+            count: 5,
+        },
+        ScriptOp::Update { pick: 1 },
+        ScriptOp::SetTtlDays { pick: 3, days: 20 },
+        ScriptOp::Erase { pick: 0 },
+        ScriptOp::EraseSubject { subject: 2 },
+        ScriptOp::AdvanceDays { days: 30 },
         ScriptOp::Purge,
     ]
 }
@@ -263,6 +299,24 @@ fn replay<S: PdStore>(
                     .map(Some);
                 filter(&mut shadow.ids, result)?;
             }
+            ScriptOp::InsertMany {
+                base_subject,
+                count,
+            } => {
+                let rows: Vec<(SubjectId, Row)> = (0..u64::from(count))
+                    .map(|i| (SubjectId::new(base_subject + i % 3), sample_row("batched")))
+                    .collect();
+                match store.collect_many(user, rows) {
+                    // Only a fully returned batch enters the shadow: a
+                    // crash mid-batch may leave a committed prefix the
+                    // shadow does not know about, which the decode-all and
+                    // invariant checks still cover after remount.
+                    Ok(ids) => shadow.ids.extend(ids),
+                    Err(e) if is_crash(&e) => return Err(ReplayFailure::Crash(e)),
+                    Err(e) if is_expected_refusal(&e) => {}
+                    Err(e) => return Err(ReplayFailure::Unexpected(e)),
+                }
+            }
             ScriptOp::Update { pick } => {
                 if let Some(id) = pick_id(&shadow.ids, pick).copied() {
                     let result = store
@@ -421,8 +475,9 @@ fn setup_dbfs_image(device: &Arc<MemDevice>) {
         .expect("install the user type");
 }
 
-/// Sweeps every write index of `script` against a single-device DBFS.
-pub fn sweep_dbfs(script: &[ScriptOp]) -> SweepReport {
+/// Sweeps every write index of `script` against a single-device DBFS,
+/// reporting under `scenario`.
+pub fn sweep_dbfs(scenario: &str, script: &[ScriptOp]) -> SweepReport {
     let authority = Authority::generate(0xA0D1);
     let user: DataTypeId = "user".into();
 
@@ -440,7 +495,7 @@ pub fn sweep_dbfs(script: &[ScriptOp]) -> SweepReport {
     let reference_audit = dbfs.audit().snapshot();
     drop(dbfs);
 
-    let mut report = SweepReport::new("dbfs", total_writes);
+    let mut report = SweepReport::new(scenario, total_writes);
     for crash_after in 0..total_writes {
         let device = Arc::new(MemDevice::new(16_384, 512));
         setup_dbfs_image(&device);
@@ -506,7 +561,7 @@ fn setup_sharded_image(devices: &[Arc<MemDevice>]) {
 /// all shard devices share one [`FaultCell`], so the crash is a
 /// whole-machine power loss — the window the two-phase cross-shard erasure
 /// must survive.
-pub fn sweep_sharded(script: &[ScriptOp], shards: usize) -> SweepReport {
+pub fn sweep_sharded(scenario: &str, script: &[ScriptOp], shards: usize) -> SweepReport {
     let authority = Authority::generate(0x5A4D);
     let user: DataTypeId = "user".into();
     let fresh_devices = |shards: usize| -> Vec<Arc<MemDevice>> {
@@ -532,7 +587,7 @@ pub fn sweep_sharded(script: &[ScriptOp], shards: usize) -> SweepReport {
     let reference_audit = sharded.audit().snapshot();
     drop(sharded);
 
-    let mut report = SweepReport::new(format!("sharded-{shards}"), total_writes);
+    let mut report = SweepReport::new(format!("{scenario}-{shards}"), total_writes);
     for crash_after in 0..total_writes {
         let devices = fresh_devices(shards);
         setup_sharded_image(&devices);
@@ -719,13 +774,16 @@ pub fn sweep_migration() -> SweepReport {
 }
 
 /// Runs the full crash-matrix: the default single-store sweep, a seeded
-/// pseudo-random single-store sweep, the sharded whole-machine sweep and
+/// pseudo-random single-store sweep, the **batched** (group-commit)
+/// single-store and sharded sweeps, the sharded whole-machine sweep and
 /// the migration sweep.
 pub fn run_all(seed: u64) -> Vec<SweepReport> {
     vec![
-        sweep_dbfs(&default_script()),
-        sweep_dbfs(&scripted_ops(seed, 10)),
-        sweep_sharded(&default_script(), 3),
+        sweep_dbfs("dbfs", &default_script()),
+        sweep_dbfs("dbfs-seeded", &scripted_ops(seed, 10)),
+        sweep_dbfs("dbfs-batched", &batched_script()),
+        sweep_sharded("sharded", &default_script(), 3),
+        sweep_sharded("sharded-batched", &batched_script(), 2),
         sweep_migration(),
     ]
 }
@@ -759,6 +817,33 @@ mod tests {
             .iter()
             .any(|op| matches!(op, ScriptOp::EraseSubject { .. })));
         assert!(script.iter().any(|op| matches!(op, ScriptOp::Purge)));
+    }
+
+    #[test]
+    fn batched_script_exercises_group_commit_and_cascades() {
+        let script = batched_script();
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::InsertMany { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Copy { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Erase { .. })));
+        assert!(script
+            .iter()
+            .any(|op| matches!(op, ScriptOp::EraseSubject { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Purge)));
+    }
+
+    #[test]
+    fn batched_sweep_passes() {
+        // The acceptance gate of the group-commit write path: every crash
+        // point of the batched workload recovers with zero violations.
+        let report = sweep_dbfs("dbfs-batched", &batched_script());
+        assert!(report.crash_points > 0);
+        assert!(
+            report.passed(),
+            "batched sweep violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -192,13 +192,13 @@ pub fn scaling_scenario(
     params.inode_params.inode_count = params.inode_params.inode_count.max(total as u64 * 2 + 256);
     let dbfs = Dbfs::format(Arc::clone(&device), params).expect("format scaling DBFS");
 
+    // Populations ingest through the batched write path (journal group
+    // commit), the same API the S3 experiment measures.
     let target_gen = MultiTableWorkload::new(1, target_records).with_payload_bytes(1_024);
     let target: DataTypeId = MultiTableWorkload::table_name(0).as_str().into();
     dbfs.create_type(target_gen.schema(0)).expect("target type");
-    for (subject, row) in target_gen.rows(0) {
-        dbfs.collect(target.clone(), subject, row)
-            .expect("collect target row");
-    }
+    dbfs.collect_many(target.clone(), target_gen.rows(0).collect())
+        .expect("collect target rows");
 
     let other_gen = MultiTableWorkload::new(other_tables + 1, records_per_other_table)
         .with_payload_bytes(1_024);
@@ -206,10 +206,8 @@ pub fn scaling_scenario(
         dbfs.create_type(other_gen.schema(table))
             .expect("other type");
         let name: DataTypeId = MultiTableWorkload::table_name(table).as_str().into();
-        for (subject, row) in other_gen.rows(table) {
-            dbfs.collect(name.clone(), subject, row)
-                .expect("collect other row");
-        }
+        dbfs.collect_many(name, other_gen.rows(table).collect())
+            .expect("collect other rows");
     }
 
     ScalingScenario {
@@ -286,17 +284,23 @@ pub fn sharded_scaling_scenario(
         .map(SubjectId::new)
         .find(|&s| dbfs.home_shard(s) == 0)
         .expect("some subject is homed on shard 0");
-    for record in 0..target_records {
-        dbfs.collect(
-            "user",
-            target_subject,
-            rgpdos::core::Row::new()
-                .with("name", format!("target-{record}"))
-                .with("pwd", "pw")
-                .with("year_of_birthdate", 1990i64),
-        )
-        .expect("collect target row");
-    }
+    // Batched ingest via the router's scatter-write path (per-shard group
+    // commit) — the same API the S3 experiment measures.
+    dbfs.collect_many(
+        "user",
+        (0..target_records)
+            .map(|record| {
+                (
+                    target_subject,
+                    rgpdos::core::Row::new()
+                        .with("name", format!("target-{record}"))
+                        .with("pwd", "pw")
+                        .with("year_of_birthdate", 1990i64),
+                )
+            })
+            .collect(),
+    )
+    .expect("collect target rows");
 
     // The skewed off-target population: remap every generated subject onto a
     // raw id homed away from shard 0, keeping the Zipf record-count skew.
@@ -304,17 +308,22 @@ pub fn sharded_scaling_scenario(
     let mut remapped: std::collections::BTreeMap<u64, SubjectId> =
         std::collections::BTreeMap::new();
     let mut next_raw = target_subject.raw() + 1;
-    for (subject, row) in population.rows() {
-        let mapped = *remapped.entry(subject.raw()).or_insert_with(|| loop {
-            let candidate = SubjectId::new(next_raw);
-            next_raw += 1;
-            if dbfs.home_shard(candidate) != 0 {
-                break candidate;
-            }
-        });
-        dbfs.collect("user", mapped, row)
-            .expect("collect skewed row");
-    }
+    let skewed_rows: Vec<(SubjectId, rgpdos::core::Row)> = population
+        .rows()
+        .into_iter()
+        .map(|(subject, row)| {
+            let mapped = *remapped.entry(subject.raw()).or_insert_with(|| loop {
+                let candidate = SubjectId::new(next_raw);
+                next_raw += 1;
+                if dbfs.home_shard(candidate) != 0 {
+                    break candidate;
+                }
+            });
+            (mapped, row)
+        })
+        .collect();
+    dbfs.collect_many("user", skewed_rows)
+        .expect("collect skewed rows");
 
     ShardedScalingScenario {
         target_shard: dbfs.home_shard(target_subject),
@@ -489,6 +498,9 @@ mod tests {
         let small = scaling_scenario(50, 0, 0);
         let big = scaling_scenario(50, 4, 100);
         let membrane_scan_reads = |s: &ScalingScenario| {
+            // Cold-cache measurement: the claim is about *device* reads,
+            // which the inode-layer buffer cache would otherwise absorb.
+            s.dbfs.drop_caches();
             s.device.reset_stats();
             let membranes = s.dbfs.load_membranes(&s.target).unwrap();
             assert_eq!(membranes.len(), 50);
@@ -502,6 +514,7 @@ mod tests {
         );
         // And the membrane-only scan reads a fraction of the blocks a
         // full-record scan does.
+        big.dbfs.drop_caches();
         big.device.reset_stats();
         let batch = big
             .dbfs
@@ -523,6 +536,8 @@ mod tests {
         let small = sharded_scaling_scenario(4, 50, 0);
         let big = sharded_scaling_scenario(4, 50, 1_000);
         let subject_reads = |s: &ShardedScalingScenario| {
+            // Cold-cache: isolation is a device-read property.
+            s.dbfs.drop_caches();
             for device in &s.devices {
                 device.reset_stats();
             }

@@ -10,7 +10,7 @@ fn small_dbfs_sweep_passes_every_crash_point() {
         ScriptOp::Copy { pick: 0 },
         ScriptOp::Erase { pick: 0 },
     ];
-    let report = sweep_dbfs(&script);
+    let report = sweep_dbfs("dbfs", &script);
     assert!(report.crash_points > 20);
     assert!(
         report.passed(),
@@ -31,7 +31,7 @@ fn small_sharded_sweep_passes_every_whole_machine_crash_point() {
         ScriptOp::Copy { pick: 0 },
         ScriptOp::Erase { pick: 0 },
     ];
-    let report = sweep_sharded(&script, 3);
+    let report = sweep_sharded("sharded", &script, 3);
     assert!(report.crash_points > 20);
     assert!(
         report.passed(),
@@ -47,8 +47,8 @@ fn small_sharded_sweep_passes_every_whole_machine_crash_point() {
 #[test]
 #[ignore = "minutes-long in debug; run explicitly or via the release crash-matrix job"]
 fn full_default_script_sweeps_pass() {
-    let dbfs = sweep_dbfs(&default_script());
+    let dbfs = sweep_dbfs("dbfs", &default_script());
     assert!(dbfs.passed(), "{:?}", dbfs.violations);
-    let sharded = sweep_sharded(&default_script(), 3);
+    let sharded = sweep_sharded("sharded", &default_script(), 3);
     assert!(sharded.passed(), "{:?}", sharded.violations);
 }

@@ -10,6 +10,45 @@ use crate::device::{BlockDevice, DeviceGeometry};
 use crate::error::DeviceError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Hit/miss counters of a block cache.
+///
+/// Shared by every caching layer in the reproduction: the device-level
+/// [`CachedDevice`] here and the inode-layer buffer cache of `rgpdos-inode`
+/// both report this type, so the benchmark harness aggregates cache
+/// behaviour uniformly across layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to go to the layer below.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
 
 /// A write-through block cache with LRU eviction.
 #[derive(Debug)]
@@ -67,6 +106,15 @@ impl<D: BlockDevice> CachedDevice<D> {
     pub fn hit_miss(&self) -> (u64, u64) {
         let state = self.state.lock();
         (state.hits, state.misses)
+    }
+
+    /// The hit/miss counters as a [`CacheStats`] snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+        }
     }
 
     /// Number of blocks currently cached.
@@ -195,5 +243,19 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         CachedDevice::new(MemDevice::new(1, 8), 0);
+    }
+
+    #[test]
+    fn cache_stats_snapshot_and_hit_rate() {
+        let cached = CachedDevice::new(MemDevice::new(4, 8), 2);
+        cached.write_block(0, &[1u8; 8]).unwrap();
+        let _ = cached.read_block(0).unwrap();
+        let _ = cached.read_block(1).unwrap();
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert!(stats.to_string().contains("hits=1"));
     }
 }

@@ -41,7 +41,7 @@ pub mod instrument;
 pub mod mem;
 pub mod scan;
 
-pub use cache::CachedDevice;
+pub use cache::{CacheStats, CachedDevice};
 pub use device::{BlockDevice, DeviceGeometry};
 pub use error::DeviceError;
 pub use faults::{FaultCell, FaultEvent, FaultPlan, FaultScript, FaultyDevice};

@@ -8,10 +8,20 @@
 //! followed by the row payload.  Membrane-only reads (`ded_load_membrane`)
 //! fetch and deserialize the header section without touching the payload.
 //!
-//! The in-memory [`DbfsIndex`] mirrors the two inode trees with secondary
-//! indexes — per-table, per-subject, reverse copy-lineage, and an expiry
-//! index — so that per-table scans, subject-wide operations, erasure
-//! propagation and retention sweeps never iterate the global record map.
+//! The in-memory index mirrors the two inode trees with secondary indexes
+//! — per-table, per-subject, reverse copy-lineage, and an expiry index —
+//! so that per-table scans, subject-wide operations, erasure propagation
+//! and retention sweeps never iterate the global record map.
+//!
+//! # Write path: group commit
+//!
+//! Every mutation stages its block writes in a compound transaction of the
+//! inode layer and commits them as one journal transaction.  The batched
+//! APIs ([`Dbfs::collect_many`], [`Dbfs::insert_many`],
+//! [`Dbfs::update_rows`]) go further: N independent mutations share one
+//! compound transaction — a **group commit** — cut at the journal-capacity
+//! bound, so ingest costs one journal round-trip per *group* instead of
+//! per record while each record stays individually crash-atomic.
 
 use crate::error::DbfsError;
 use crate::query::QueryRequest;
@@ -244,6 +254,73 @@ impl RecordLocation {
             erased: membrane.is_erased(),
             copied_from: membrane.copied_from(),
             expires_at: membrane.expiry_instant(),
+        }
+    }
+}
+
+/// One record staged into the open compound transaction but not yet
+/// committed: the index mutations to apply once its group commits.
+#[derive(Debug, Clone)]
+struct StagedInsert {
+    id: PdId,
+    data_type: DataTypeId,
+    subject: SubjectId,
+    record_ino: Ino,
+    membrane: Membrane,
+}
+
+/// The in-memory side of one group commit: the records staged into the
+/// open compound transaction, the running identifier counter, and the
+/// subject subtrees the group created (visible to later records of the
+/// same group).  [`InsertGroup::mark`] / [`InsertGroup::rollback_to`] are
+/// the O(1) savepoint pair used to unstage the one record that would
+/// overflow the journal capacity — staging only ever appends, so a mark
+/// is three lengths/counters.
+#[derive(Debug)]
+struct InsertGroup {
+    /// Running identifier counter (`index.next_pd` + records staged).
+    next_pd: u64,
+    /// Subject subtrees created by this group.
+    new_subjects: BTreeMap<SubjectId, Ino>,
+    /// The staged records, in staging order.
+    staged: Vec<StagedInsert>,
+}
+
+/// A position in an [`InsertGroup`]'s append-only state, paired with
+/// [`InsertGroup::rollback_to`].
+#[derive(Debug, Clone, Copy)]
+struct GroupMark {
+    next_pd: u64,
+    staged_len: usize,
+    subjects_len: usize,
+}
+
+impl InsertGroup {
+    fn starting_at(next_pd: u64) -> Self {
+        Self {
+            next_pd,
+            new_subjects: BTreeMap::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    fn mark(&self) -> GroupMark {
+        GroupMark {
+            next_pd: self.next_pd,
+            staged_len: self.staged.len(),
+            subjects_len: self.new_subjects.len(),
+        }
+    }
+
+    /// Undoes everything staged after `mark`.  At most one record — and
+    /// therefore at most one new subject, the record's own — can have been
+    /// staged since, which is why the subject rollback only needs the
+    /// record's subject.
+    fn rollback_to(&mut self, mark: GroupMark, subject: SubjectId) {
+        self.next_pd = mark.next_pd;
+        self.staged.truncate(mark.staged_len);
+        if self.new_subjects.len() > mark.subjects_len {
+            self.new_subjects.remove(&subject);
         }
     }
 }
@@ -844,6 +921,17 @@ impl<D: BlockDevice> Dbfs<D> {
         self.stats.snapshot()
     }
 
+    /// Hit/miss counters of the inode-layer buffer cache under this store.
+    pub fn cache_stats(&self) -> rgpdos_blockdev::CacheStats {
+        self.fs.cache_stats()
+    }
+
+    /// Drops the buffer cache (benchmarks use this to measure a cold read
+    /// path; correctness never requires it).
+    pub fn drop_caches(&self) {
+        self.fs.drop_caches();
+    }
+
     /// The underlying inode filesystem.
     pub fn inode_fs(&self) -> &InodeFs<D> {
         &self.fs
@@ -959,6 +1047,230 @@ impl<D: BlockDevice> Dbfs<D> {
         self.store_wrapped(data_type, wrapped, true)
     }
 
+    /// Batched `acquisition`: collects every row under the default membrane
+    /// of `data_type`, coalescing the inserts into **group commits** — as
+    /// many records per journal transaction as the journal capacity allows
+    /// — instead of one journal transaction per record.  Returns the
+    /// assigned identifiers in input order.
+    ///
+    /// Crash semantics are unchanged from per-record [`Dbfs::collect`]:
+    /// each group is one compound transaction, so a crash leaves a clean
+    /// *prefix* of the batch (whole groups), never a torn record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::collect`].  On error, the items before the failing
+    /// one are still inserted (exactly as if collected sequentially).
+    pub fn collect_many(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        rows: Vec<(SubjectId, Row)>,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        let data_type = data_type.into();
+        let schema = self.schema(&data_type)?;
+        let now = self.clock.now();
+        let items = rows
+            .into_iter()
+            .map(|(subject, row)| {
+                let membrane = Membrane::from_schema(&schema, subject, now);
+                (data_type.clone(), WrappedPd::new(row, membrane))
+            })
+            .collect();
+        self.insert_many(items)
+    }
+
+    /// Batched [`Dbfs::insert_wrapped`] with journal group commit: N
+    /// independent inserts are staged into one compound transaction and
+    /// journaled together, cutting a new group whenever the staged write
+    /// set would overflow [`rgpdos_inode::InodeFs::tx_capacity_blocks`]
+    /// (the crash-atomicity bound).  Returns the identifiers in input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::insert_wrapped`].  On error, the items staged
+    /// before the failing one are committed first (prefix semantics), the
+    /// failing item and everything after it are not applied.
+    pub fn insert_many(&self, items: Vec<(DataTypeId, WrappedPd)>) -> Result<Vec<PdId>, DbfsError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let capacity = self.fs.tx_capacity_blocks();
+        let mut ids = Vec::with_capacity(items.len());
+        let mut committed: Vec<(PdId, SubjectId)> = Vec::new();
+        let mut failure: Option<DbfsError> = None;
+        {
+            let mut index = self.index.lock();
+            let mut group = InsertGroup::starting_at(index.next_pd);
+            let mut tx = Some(self.fs.begin_tx());
+            for (data_type, wrapped) in &items {
+                let savepoint = self.fs.tx_savepoint();
+                let mark = group.mark();
+                let staged = self
+                    .check_insertable(&index, &group, data_type, wrapped, true)
+                    .and_then(|()| self.stage_wrapped(&index, &mut group, data_type, wrapped));
+                let id = match staged {
+                    Ok(id) => id,
+                    Err(e) => {
+                        // Unstage the partial writes of the failing record;
+                        // the group staged so far commits below (prefix
+                        // semantics, as if inserted sequentially).
+                        self.fs.tx_rollback_to(savepoint);
+                        group.rollback_to(mark, wrapped.membrane().subject());
+                        failure = Some(e);
+                        break;
+                    }
+                };
+                if self.fs.tx_staged_blocks() > capacity && mark.staged_len > 0 {
+                    // This record overflows the crash-atomic capacity of
+                    // the open group: unstage it, commit the group, then
+                    // re-stage it first into a fresh transaction.  (The
+                    // identifier is stable across the re-stage: the
+                    // counter rolls back and forward to the same value.)
+                    self.fs.tx_rollback_to(savepoint);
+                    group.rollback_to(mark, wrapped.membrane().subject());
+                    if let Err(e) = tx.take().expect("open group tx").commit() {
+                        failure = Some(e.into());
+                        break;
+                    }
+                    let full = std::mem::replace(&mut group, InsertGroup::starting_at(0));
+                    committed.extend(self.apply_group(&mut index, full));
+                    group = InsertGroup::starting_at(index.next_pd);
+                    tx = Some(self.fs.begin_tx());
+                    let fresh = self.fs.tx_savepoint();
+                    match self.stage_wrapped(&index, &mut group, data_type, wrapped) {
+                        Ok(again) => debug_assert_eq!(again, id),
+                        Err(e) => {
+                            self.fs.tx_rollback_to(fresh);
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                ids.push(id);
+            }
+            // Commit whatever the last open group staged — on the happy
+            // path the batch's tail, on the error path the prefix before
+            // the failing item.
+            if let Some(tx) = tx.take() {
+                match tx.commit() {
+                    Ok(()) => committed.extend(self.apply_group(&mut index, group)),
+                    Err(e) => {
+                        if failure.is_none() {
+                            failure = Some(e.into());
+                        }
+                    }
+                }
+            }
+        }
+        DbfsStatsInner::bump(&self.stats.insert_batches);
+        self.account_inserts(&committed);
+        match failure {
+            None => Ok(ids),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Batched [`Dbfs::update_row`] with journal group commit: the row
+    /// replacements are staged into shared compound transactions, cut at
+    /// the journal-capacity bound like [`Dbfs::insert_many`].  Every
+    /// update stays individually crash-atomic; a crash leaves a prefix of
+    /// whole groups applied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dbfs::update_row`] (`Erased`, `UnknownPd`, schema
+    /// violations).  On error, updates before the failing one are applied.
+    pub fn update_rows(
+        &self,
+        data_type: &DataTypeId,
+        updates: Vec<(PdId, Row)>,
+    ) -> Result<(), DbfsError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let schema = self.schema(data_type)?;
+        for (_, row) in &updates {
+            schema.validate_row(row)?;
+        }
+        let capacity = self.fs.tx_capacity_blocks();
+        let mut committed: Vec<(PdId, SubjectId)> = Vec::new();
+        let mut failure: Option<DbfsError> = None;
+        {
+            // Held across the whole batch, like the per-record path: no
+            // erasure or membrane change can interleave with the staged
+            // read-modify-writes.
+            let index = self.index.lock();
+            let mut tx = Some(self.fs.begin_tx());
+            let mut group: Vec<(PdId, SubjectId)> = Vec::new();
+            for (id, row) in &updates {
+                let savepoint = self.fs.tx_savepoint();
+                let staged = Self::locate_in(&index, data_type, *id).and_then(|location| {
+                    if location.erased {
+                        return Err(DbfsError::Erased { id: id.raw() });
+                    }
+                    let mut stored = self.read_stored(location.ino)?;
+                    stored.row = row.clone();
+                    self.write_stored(location.ino, &stored)?;
+                    Ok(location.subject)
+                });
+                let subject = match staged {
+                    Ok(subject) => subject,
+                    Err(e) => {
+                        self.fs.tx_rollback_to(savepoint);
+                        failure = Some(e);
+                        break;
+                    }
+                };
+                if self.fs.tx_staged_blocks() > capacity && !group.is_empty() {
+                    // Overflow: unstage this update, commit the group so
+                    // far, re-stage into a fresh transaction.
+                    self.fs.tx_rollback_to(savepoint);
+                    if let Err(e) = tx.take().expect("open group tx").commit() {
+                        failure = Some(e.into());
+                        break;
+                    }
+                    committed.append(&mut group);
+                    tx = Some(self.fs.begin_tx());
+                    let fresh = self.fs.tx_savepoint();
+                    let restaged = Self::locate_in(&index, data_type, *id).and_then(|location| {
+                        let mut stored = self.read_stored(location.ino)?;
+                        stored.row = row.clone();
+                        self.write_stored(location.ino, &stored)
+                    });
+                    if let Err(e) = restaged {
+                        self.fs.tx_rollback_to(fresh);
+                        failure = Some(e);
+                        break;
+                    }
+                }
+                group.push((*id, subject));
+            }
+            if let Some(tx) = tx.take() {
+                match tx.commit() {
+                    Ok(()) => committed.append(&mut group),
+                    Err(e) => {
+                        if failure.is_none() {
+                            failure = Some(e.into());
+                        }
+                    }
+                }
+            }
+        }
+        for (id, subject) in &committed {
+            DbfsStatsInner::bump(&self.stats.updates);
+            self.audit.record(
+                self.clock.now(),
+                Some(*subject),
+                AuditEventKind::Updated { pd: *id },
+            );
+        }
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     fn store_wrapped(
         &self,
         data_type: &DataTypeId,
@@ -972,11 +1284,38 @@ impl<D: BlockDevice> Dbfs<D> {
         // other — an accepted cost, since the read paths are what the
         // secondary indexes optimize.
         let mut index = self.index.lock();
-        let Some(&table_ino) = index.tables.get(data_type) else {
+        let mut group = InsertGroup::starting_at(index.next_pd);
+        self.check_insertable(&index, &group, data_type, &wrapped, validate)?;
+        // Every disk effect of the insert — identifier counter, record
+        // inode, table-tree entry, subject-tree entry — is staged in one
+        // compound transaction, so a crash at any write index leaves either
+        // the whole record or none of it.  The in-memory index is only
+        // updated after the commit.
+        let tx = self.fs.begin_tx();
+        let id = self.stage_wrapped(&index, &mut group, data_type, &wrapped)?;
+        tx.commit()?;
+        let committed = self.apply_group(&mut index, group);
+        drop(index);
+        self.account_inserts(&committed);
+        Ok(id)
+    }
+
+    /// Validation + lineage guard of one insert, against the committed
+    /// index *and* the records staged by the open group (a staged record is
+    /// never erased, but its ancestors must still be walked).
+    fn check_insertable(
+        &self,
+        index: &DbfsIndex,
+        group: &InsertGroup,
+        data_type: &DataTypeId,
+        wrapped: &WrappedPd,
+        validate: bool,
+    ) -> Result<(), DbfsError> {
+        if !index.tables.contains_key(data_type) {
             return Err(DbfsError::UnknownType {
                 name: data_type.to_string(),
             });
-        };
+        }
         if validate && !wrapped.membrane().is_erased() {
             let schema = index
                 .schemas
@@ -999,42 +1338,61 @@ impl<D: BlockDevice> Dbfs<D> {
                 if !seen.insert(current) {
                     break;
                 }
-                match index.records.get(&current) {
-                    Some(loc) if loc.erased => {
+                if let Some(loc) = index.records.get(&current) {
+                    if loc.erased {
                         return Err(DbfsError::Erased { id: current.raw() });
                     }
-                    Some(loc) => ancestor = loc.copied_from,
-                    None => break,
+                    ancestor = loc.copied_from;
+                } else if let Some(staged) = group.staged.iter().find(|s| s.id == current) {
+                    ancestor = staged.membrane.copied_from();
+                } else {
+                    break;
                 }
             }
         }
-        let subject = wrapped.membrane().subject();
-        let id = PdId::new(index.alloc.id_for(index.next_pd));
-        let next_pd = index.next_pd + 1;
+        Ok(())
+    }
 
-        // Every disk effect of the insert — identifier counter, record
-        // inode, table-tree entry, subject-tree entry — is staged in one
-        // compound transaction, so a crash at any write index leaves either
-        // the whole record or none of it.  The in-memory index is only
-        // updated after the commit.
-        let tx = self.fs.begin_tx();
+    /// Stages every disk effect of one insert — identifier counter, record
+    /// inode, table-tree entry, subject-tree entry — into the **open**
+    /// compound transaction, and records the index mutations to apply once
+    /// the group commits.  The group is only mutated after every staged
+    /// write succeeded, so a caller that rolls the transaction back to a
+    /// pre-call savepoint can keep using the (then-untouched) group.
+    fn stage_wrapped(
+        &self,
+        index: &DbfsIndex,
+        group: &mut InsertGroup,
+        data_type: &DataTypeId,
+        wrapped: &WrappedPd,
+    ) -> Result<PdId, DbfsError> {
+        let Some(&table_ino) = index.tables.get(data_type) else {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        };
+        let subject = wrapped.membrane().subject();
+        let id = PdId::new(index.alloc.id_for(group.next_pd));
+        let next_pd = group.next_pd + 1;
         self.fs
             .write_replace(index.meta_ino, &encode_meta(next_pd))?;
 
         // Record inode + table-tree entry.
         let record_ino = self.fs.alloc_inode(InodeKind::Record)?;
-        let stored = StoredRecord {
-            membrane: wrapped.membrane().clone(),
-            row: wrapped.row().clone(),
-        };
-        let bytes = stored::encode(&stored.membrane, &stored.row)?;
+        let bytes = stored::encode(wrapped.membrane(), wrapped.row())?;
         self.fs.write_replace(record_ino, &bytes)?;
         self.fs
             .dir_add(table_ino, &format!("pd-{}", id.raw()), record_ino)?;
 
-        // Subject-tree entry (creating the subject's subtree on first use).
-        let (subject_ino, new_subject) = match index.subjects.get(&subject) {
-            Some(&ino) => (ino, false),
+        // Subject-tree entry (creating the subject's subtree on first use —
+        // a subtree created earlier in the same group is reused).
+        let known_subject = index
+            .subjects
+            .get(&subject)
+            .or_else(|| group.new_subjects.get(&subject))
+            .copied();
+        let (subject_ino, new_subject) = match known_subject {
+            Some(ino) => (ino, false),
             None => {
                 let ino = self.fs.alloc_inode(InodeKind::SubjectRoot)?;
                 self.fs
@@ -1047,25 +1405,54 @@ impl<D: BlockDevice> Dbfs<D> {
             &format!("{}#pd-{}", data_type, id.raw()),
             record_ino,
         )?;
-        tx.commit()?;
 
-        index.next_pd = next_pd;
+        group.next_pd = next_pd;
         if new_subject {
-            index.subjects.insert(subject, subject_ino);
+            group.new_subjects.insert(subject, subject_ino);
         }
-        index.insert_record(
+        group.staged.push(StagedInsert {
             id,
-            RecordLocation::from_membrane(data_type, &stored.membrane, record_ino),
-        );
-        drop(index);
-
-        DbfsStatsInner::bump(&self.stats.collects);
-        self.audit.record(
-            self.clock.now(),
-            Some(subject),
-            AuditEventKind::Collected { pd: id },
-        );
+            data_type: data_type.clone(),
+            subject,
+            record_ino,
+            membrane: wrapped.membrane().clone(),
+        });
         Ok(id)
+    }
+
+    /// Applies a committed group's index mutations, returning the
+    /// `(id, subject)` pairs for stats/audit accounting.
+    fn apply_group(&self, index: &mut DbfsIndex, group: InsertGroup) -> Vec<(PdId, SubjectId)> {
+        index.next_pd = group.next_pd;
+        for (subject, ino) in group.new_subjects {
+            index.subjects.insert(subject, ino);
+        }
+        let mut done = Vec::with_capacity(group.staged.len());
+        for staged in group.staged {
+            index.insert_record(
+                staged.id,
+                RecordLocation::from_membrane(
+                    &staged.data_type,
+                    &staged.membrane,
+                    staged.record_ino,
+                ),
+            );
+            done.push((staged.id, staged.subject));
+        }
+        done
+    }
+
+    /// Stats + audit events for committed inserts (outside the index lock,
+    /// after the commit — a crashed insert is never audited).
+    fn account_inserts(&self, committed: &[(PdId, SubjectId)]) {
+        for (id, subject) in committed {
+            DbfsStatsInner::bump(&self.stats.collects);
+            self.audit.record(
+                self.clock.now(),
+                Some(*subject),
+                AuditEventKind::Collected { pd: *id },
+            );
+        }
     }
 
     /// Reads one record (payload + membrane).
@@ -2011,6 +2398,197 @@ mod tests {
             .with("name", name)
             .with("pwd", "hunter2")
             .with("year_of_birthdate", year)
+    }
+
+    #[test]
+    fn collect_many_group_commits_and_matches_sequential_results() {
+        let batched = dbfs();
+        let sequential = dbfs();
+        let rows: Vec<(SubjectId, Row)> = (0..40u64)
+            .map(|i| {
+                (
+                    SubjectId::new(i % 7),
+                    user_row(&format!("u{i}"), 1950 + i as i64),
+                )
+            })
+            .collect();
+
+        let ids = batched.collect_many("user", rows.clone()).unwrap();
+        let mut seq_ids = Vec::new();
+        for (subject, row) in rows {
+            seq_ids.push(sequential.collect("user", subject, row).unwrap());
+        }
+        // Same identifiers, same visible records, same index state.
+        assert_eq!(ids, seq_ids);
+        assert_eq!(batched.count(&"user".into()), 40);
+        for &id in &ids {
+            let a = batched.get(&"user".into(), id).unwrap();
+            let b = sequential.get(&"user".into(), id).unwrap();
+            assert_eq!(a.row(), b.row());
+            assert_eq!(a.subject(), b.subject());
+        }
+        batched.verify_index_invariants().unwrap();
+
+        // The point of group commit: far fewer journal transactions than
+        // one per record.
+        let grouped_txs = batched.inode_fs().journal_txs();
+        let per_op_txs = sequential.inode_fs().journal_txs();
+        assert!(
+            grouped_txs * 3 <= per_op_txs,
+            "group commit must coalesce journal transactions: {grouped_txs} vs {per_op_txs}"
+        );
+        let stats = batched.stats();
+        assert_eq!(stats.collects, 40);
+        assert_eq!(stats.insert_batches, 1);
+        assert_eq!(
+            batched.audit().snapshot().len(),
+            sequential.audit().snapshot().len()
+        );
+    }
+
+    #[test]
+    fn insert_many_cuts_groups_at_the_capacity_bound() {
+        // A small journal forces several groups; every record must still
+        // land intact and the store must stay consistent.
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let mut params = DbfsParams::small();
+        params.inode_params.journal_blocks = 16;
+        let dbfs = Dbfs::format(device, params).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let items: Vec<(DataTypeId, WrappedPd)> = (0..30u64)
+            .map(|i| {
+                let membrane = Membrane::from_schema(
+                    &listing1_user_schema(),
+                    SubjectId::new(i % 5),
+                    dbfs.clock().now(),
+                );
+                (
+                    DataTypeId::from("user"),
+                    WrappedPd::new(user_row(&format!("g{i}"), 1960), membrane),
+                )
+            })
+            .collect();
+        let ids = dbfs.insert_many(items).unwrap();
+        assert_eq!(ids.len(), 30);
+        assert_eq!(dbfs.count(&"user".into()), 30);
+        assert!(
+            dbfs.inode_fs().journal_txs() > 1,
+            "a 30-record batch cannot fit one 16-block journal transaction"
+        );
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn batch_errors_apply_a_clean_prefix() {
+        let dbfs = dbfs();
+        let rows = vec![
+            (SubjectId::new(1), user_row("ok-1", 1980)),
+            (SubjectId::new(2), user_row("ok-2", 1981)),
+            (SubjectId::new(3), Row::new().with("name", "missing fields")),
+            (SubjectId::new(4), user_row("never", 1983)),
+        ];
+        assert!(matches!(
+            dbfs.collect_many("user", rows),
+            Err(DbfsError::Core(_))
+        ));
+        // The two valid rows before the failure are applied, nothing after.
+        assert_eq!(dbfs.count(&"user".into()), 2);
+        assert_eq!(dbfs.stats().collects, 2);
+        dbfs.verify_index_invariants().unwrap();
+        // The id counter continues cleanly for later inserts.
+        let next = dbfs
+            .collect("user", SubjectId::new(9), user_row("after", 1990))
+            .unwrap();
+        assert_eq!(next.raw(), 2);
+    }
+
+    #[test]
+    fn update_rows_batches_and_refuses_tombstones() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(5);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let ids = dbfs
+            .collect_many(
+                "user",
+                (0..10u64)
+                    .map(|i| (SubjectId::new(i), user_row(&format!("v{i}"), 1970)))
+                    .collect(),
+            )
+            .unwrap();
+        let before_txs = dbfs.inode_fs().journal_txs();
+        dbfs.update_rows(
+            &"user".into(),
+            ids.iter()
+                .map(|&id| (id, user_row("updated", 2000)))
+                .collect(),
+        )
+        .unwrap();
+        let grouped = dbfs.inode_fs().journal_txs() - before_txs;
+        assert!(grouped < 10, "updates must coalesce: {grouped} txs for 10");
+        for &id in &ids {
+            assert_eq!(
+                dbfs.get(&"user".into(), id)
+                    .unwrap()
+                    .row()
+                    .get("name")
+                    .unwrap()
+                    .as_text(),
+                Some("updated")
+            );
+        }
+        assert_eq!(dbfs.stats().updates, 10);
+        // A tombstone mid-batch: prefix applied, error surfaced.
+        dbfs.erase(&"user".into(), ids[1], &escrow).unwrap();
+        let result = dbfs.update_rows(
+            &"user".into(),
+            vec![
+                (ids[0], user_row("second-pass", 2001)),
+                (ids[1], user_row("never", 2001)),
+                (ids[2], user_row("never", 2001)),
+            ],
+        );
+        assert!(matches!(result, Err(DbfsError::Erased { .. })));
+        assert_eq!(
+            dbfs.get(&"user".into(), ids[0])
+                .unwrap()
+                .row()
+                .get("name")
+                .unwrap()
+                .as_text(),
+            Some("second-pass")
+        );
+        assert_eq!(
+            dbfs.get(&"user".into(), ids[2])
+                .unwrap()
+                .row()
+                .get("name")
+                .unwrap()
+                .as_text(),
+            Some("updated")
+        );
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn erasure_leaves_no_plaintext_in_the_buffer_cache() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(13);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect(
+                "user",
+                SubjectId::new(1),
+                user_row("CACHE-RESIDUE-CANARY-77", 1990),
+            )
+            .unwrap();
+        // Warm the cache with the plaintext record.
+        let _ = dbfs.get(&"user".into(), id).unwrap();
+        assert!(dbfs.inode_fs().cache_contains(b"CACHE-RESIDUE-CANARY-77"));
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        assert!(
+            !dbfs.inode_fs().cache_contains(b"CACHE-RESIDUE-CANARY-77"),
+            "crypto-erasure must replace the cached plaintext"
+        );
     }
 
     #[test]

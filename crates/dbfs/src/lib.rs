@@ -23,8 +23,8 @@
 //! the plaintext does not.
 //!
 //! DBFS must only ever be called by the DED and the rgpdOS built-ins; that
-//! rule is enforced by the LSM layer of [`rgpdos_kernel`] and exercised in
-//! the integration tests.
+//! rule is enforced by the LSM layer of the `rgpdos-kernel` crate and
+//! exercised in the integration tests.
 //!
 //! ## Split record layout and secondary indexes (format v2)
 //!
@@ -43,6 +43,18 @@
 //! and an **expiry** map keyed by expiry instant (so retention sweeps only
 //! visit records that actually expired).  `Dbfs::verify_index_invariants`
 //! checks all of them against the primary map and the on-disk headers.
+//!
+//! ## Batched writes: journal group commit
+//!
+//! The hot write path is batched: [`Dbfs::collect_many`],
+//! [`Dbfs::insert_many`] and [`Dbfs::update_rows`] coalesce N independent
+//! mutations into shared compound transactions (**group commits**), cut at
+//! the inode journal's capacity bound so each group — and therefore each
+//! record — stays crash-atomic.  Reads are served through the inode
+//! layer's LRU buffer cache, which only ever holds committed contents
+//! (dirty data lives in the transaction overlay until the commit's flush
+//! barrier) and is updated in place by crypto-erasure writes, so no erased
+//! plaintext survives in memory either.
 //!
 //! ## Example
 //!

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct DbfsStatsInner {
     pub(crate) collects: AtomicU64,
+    pub(crate) insert_batches: AtomicU64,
     pub(crate) reads: AtomicU64,
     pub(crate) membrane_loads: AtomicU64,
     pub(crate) updates: AtomicU64,
@@ -22,8 +23,11 @@ pub struct DbfsStatsInner {
 /// A point-in-time snapshot of the counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbfsStats {
-    /// Records collected (inserted).
+    /// Records collected (inserted), batched APIs included.
     pub collects: u64,
+    /// Batched-insert calls (`collect_many` / `insert_many`), each of which
+    /// coalesced its records into journal group commits.
+    pub insert_batches: u64,
     /// Records read individually.
     pub reads: u64,
     /// Membrane-only header reads (the `ded_load_membrane` path).
@@ -52,6 +56,7 @@ impl DbfsStats {
     pub fn merge(self, other: DbfsStats) -> DbfsStats {
         DbfsStats {
             collects: self.collects + other.collects,
+            insert_batches: self.insert_batches + other.insert_batches,
             reads: self.reads + other.reads,
             membrane_loads: self.membrane_loads + other.membrane_loads,
             updates: self.updates + other.updates,
@@ -83,6 +88,7 @@ impl DbfsStatsInner {
     pub(crate) fn snapshot(&self) -> DbfsStats {
         DbfsStats {
             collects: self.collects.load(Ordering::Relaxed),
+            insert_batches: self.insert_batches.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             membrane_loads: self.membrane_loads.load(Ordering::Relaxed),
             updates: self.updates.load(Ordering::Relaxed),
@@ -104,8 +110,9 @@ impl fmt::Display for DbfsStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "collects={} reads={} membrane_loads={} updates={} copies={} erasures={} expirations={} queries={} journal_replays={} recovered_txs={}",
+            "collects={} insert_batches={} reads={} membrane_loads={} updates={} copies={} erasures={} expirations={} queries={} journal_replays={} recovered_txs={}",
             self.collects,
+            self.insert_batches,
             self.reads,
             self.membrane_loads,
             self.updates,
@@ -140,6 +147,7 @@ mod tests {
     fn merge_sums_every_counter_field_wise() {
         let a = DbfsStats {
             collects: 1,
+            insert_batches: 11,
             reads: 2,
             membrane_loads: 3,
             updates: 4,
@@ -152,6 +160,7 @@ mod tests {
         };
         let b = DbfsStats {
             collects: 10,
+            insert_batches: 110,
             reads: 20,
             membrane_loads: 30,
             updates: 40,
@@ -164,6 +173,7 @@ mod tests {
         };
         let merged = a.merge(b);
         assert_eq!(merged.collects, 11);
+        assert_eq!(merged.insert_batches, 121);
         assert_eq!(merged.reads, 22);
         assert_eq!(merged.membrane_loads, 33);
         assert_eq!(merged.updates, 44);

@@ -81,6 +81,58 @@ pub trait PdStore: Send + Sync {
     fn insert_wrapped(&self, data_type: &DataTypeId, wrapped: WrappedPd)
         -> Result<PdId, DbfsError>;
 
+    /// Batched `acquisition`: collects every row, returning the assigned
+    /// identifiers in input order.  Stores that support journal group
+    /// commit override this to coalesce the inserts into far fewer journal
+    /// transactions; the default collects sequentially, so every
+    /// implementation honours the same crash semantics — each record is
+    /// individually atomic and a crash leaves a prefix of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PdStore::collect`]; on error the rows before the failing
+    /// one are applied.
+    fn collect_many(
+        &self,
+        data_type: &DataTypeId,
+        rows: Vec<(SubjectId, Row)>,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        rows.into_iter()
+            .map(|(subject, row)| self.collect(data_type, subject, row))
+            .collect()
+    }
+
+    /// Batched [`PdStore::insert_wrapped`] (see [`PdStore::collect_many`]
+    /// for the batching and crash semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PdStore::insert_wrapped`]; on error the items before the
+    /// failing one are applied.
+    fn insert_many(&self, items: Vec<(DataTypeId, WrappedPd)>) -> Result<Vec<PdId>, DbfsError> {
+        items
+            .into_iter()
+            .map(|(data_type, wrapped)| self.insert_wrapped(&data_type, wrapped))
+            .collect()
+    }
+
+    /// Batched [`PdStore::update_row`] (see [`PdStore::collect_many`] for
+    /// the batching and crash semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PdStore::update_row`]; on error the updates before the
+    /// failing one are applied.
+    fn update_rows(
+        &self,
+        data_type: &DataTypeId,
+        updates: Vec<(PdId, Row)>,
+    ) -> Result<(), DbfsError> {
+        updates
+            .into_iter()
+            .try_for_each(|(id, row)| self.update_row(data_type, id, row))
+    }
+
     /// Reads one record (payload + membrane).
     ///
     /// # Errors
@@ -249,6 +301,26 @@ impl<D: BlockDevice> PdStore for Dbfs<D> {
         wrapped: WrappedPd,
     ) -> Result<PdId, DbfsError> {
         Dbfs::insert_wrapped(self, data_type, wrapped)
+    }
+
+    fn collect_many(
+        &self,
+        data_type: &DataTypeId,
+        rows: Vec<(SubjectId, Row)>,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        Dbfs::collect_many(self, data_type.clone(), rows)
+    }
+
+    fn insert_many(&self, items: Vec<(DataTypeId, WrappedPd)>) -> Result<Vec<PdId>, DbfsError> {
+        Dbfs::insert_many(self, items)
+    }
+
+    fn update_rows(
+        &self,
+        data_type: &DataTypeId,
+        updates: Vec<(PdId, Row)>,
+    ) -> Result<(), DbfsError> {
+        Dbfs::update_rows(self, data_type, updates)
     }
 
     fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {

@@ -15,6 +15,7 @@
 //!   with both enabled it behaves the way rgpdOS's DBFS requires.
 
 use crate::bitmap::Bitmap;
+use crate::cache::{BlockCache, DEFAULT_CACHE_BLOCKS};
 use crate::error::InodeError;
 use crate::inode::{Ino, Inode, InodeKind};
 use crate::journal::{
@@ -23,8 +24,9 @@ use crate::journal::{
 use crate::layout::{Layout, DIRECT_POINTERS, INODE_SIZE};
 use crate::superblock::Superblock;
 use parking_lot::Mutex;
-use rgpdos_blockdev::BlockDevice;
+use rgpdos_blockdev::{BlockDevice, CacheStats};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The inode number of the root directory created by `format`.
 pub const ROOT_INO: Ino = 0;
@@ -111,6 +113,16 @@ pub struct InodeFs<D> {
     /// abort restores the bitmap snapshot so in-memory allocation state
     /// never diverges from the (untouched) device.
     tx: Mutex<Option<TxState>>,
+    /// The buffer cache of committed block contents (see [`crate::cache`]).
+    /// Dirty data never lives here — it stays in the transaction overlay
+    /// until the commit's journal/apply/flush barrier, after which the
+    /// applied blocks are copied in.  The cache therefore always equals
+    /// committed device contents and a crash loses nothing that mattered.
+    cache: Mutex<BlockCache>,
+    /// Number of journal transactions written since format/mount.  Group
+    /// commit exists to drive this (and the device write count) down: N
+    /// coalesced mutations cost one journal transaction instead of N.
+    journal_txs: AtomicU64,
     /// Number of journal transactions replayed by `mount` (crash recovery).
     recovered_txs: u64,
 }
@@ -120,12 +132,36 @@ pub struct InodeFs<D> {
 struct TxState {
     /// New block contents staged by the transaction, keyed by block number.
     overlay: BTreeMap<u64, Vec<u8>>,
+    /// Undo log of overlay mutations, in order: `(block, previous)` where
+    /// `None` means the block was not staged before.  [`TxSavepoint`]s are
+    /// positions in this log, so the overlay side of a savepoint is O(1)
+    /// to take and rolling back only touches the blocks staged since —
+    /// what keeps per-record savepoints affordable inside large group
+    /// commits.  (The allocation bitmaps are still snapshotted whole per
+    /// savepoint: a few KB on the simulated geometries, cheap next to the
+    /// block data the log avoids copying.)
+    undo: Vec<(u64, Option<Vec<u8>>)>,
     /// The allocation bitmaps as of `begin_tx`, restored on abort: the
     /// operations inside a transaction mutate the in-memory bitmaps eagerly
     /// (allocations *and* frees), and a freed-in-memory block whose on-disk
     /// inode still references it must not be handed out again.
     saved_inode_bitmap: Bitmap,
     saved_data_bitmap: Bitmap,
+}
+
+/// A snapshot of an open compound transaction's staged state (overlay and
+/// allocation bitmaps), taken with [`InodeFs::tx_savepoint`].  Rolling back
+/// to a savepoint ([`InodeFs::tx_rollback_to`]) discards everything staged
+/// after it while keeping the transaction open — the mechanism batched
+/// writers use to un-stage the one mutation that would overflow the journal
+/// capacity, commit the group staged so far, and re-stage it in a fresh
+/// transaction.
+#[derive(Debug)]
+pub struct TxSavepoint {
+    /// Position in the transaction's undo log at savepoint time.
+    undo_len: usize,
+    inode_bitmap: Bitmap,
+    data_bitmap: Bitmap,
 }
 
 /// An open compound transaction (see [`InodeFs::begin_tx`]).  Dropping the
@@ -224,6 +260,8 @@ impl<D: BlockDevice> InodeFs<D> {
                 op_counter: 1,
             }),
             tx: Mutex::new(None),
+            cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
+            journal_txs: AtomicU64::new(0),
             recovered_txs: 0,
         })
     }
@@ -328,6 +366,8 @@ impl<D: BlockDevice> InodeFs<D> {
                 op_counter: 1,
             }),
             tx: Mutex::new(None),
+            cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
+            journal_txs: AtomicU64::new(0),
             recovered_txs,
         })
     }
@@ -366,6 +406,47 @@ impl<D: BlockDevice> InodeFs<D> {
     /// clean shutdown or a fresh format).
     pub fn recovered_txs(&self) -> u64 {
         self.recovered_txs
+    }
+
+    /// Number of journal transactions written since format/mount.  One
+    /// group commit counts once however many mutations it coalesced, so
+    /// this is the denominator batching improves.
+    pub fn journal_txs(&self) -> u64 {
+        self.journal_txs.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer cache
+    // ------------------------------------------------------------------
+
+    /// Hit/miss counters of the buffer cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Number of blocks currently held in the buffer cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drops every cached block (hit/miss counters are kept).  Benchmarks
+    /// call this to measure a cold read path; correctness never requires it
+    /// — the cache only ever holds committed device contents.
+    pub fn drop_caches(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Reconfigures the buffer cache capacity in blocks (zero disables
+    /// caching), dropping current contents.
+    pub fn set_cache_capacity(&self, blocks: usize) {
+        self.cache.lock().set_capacity(blocks);
+    }
+
+    /// Whether any cached block contains `pattern` — the buffer-cache
+    /// analogue of the raw-device forensic scan.  Crypto-erasure must leave
+    /// no plaintext here either; the erasure tests assert exactly that.
+    pub fn cache_contains(&self, pattern: &[u8]) -> bool {
+        self.cache.lock().contains_pattern(pattern)
     }
 
     /// Flushes the device.
@@ -408,6 +489,7 @@ impl<D: BlockDevice> InodeFs<D> {
         );
         *tx = Some(TxState {
             overlay: BTreeMap::new(),
+            undo: Vec::new(),
             saved_inode_bitmap: state.inode_bitmap.clone(),
             saved_data_bitmap: state.data_bitmap.clone(),
         });
@@ -424,6 +506,69 @@ impl<D: BlockDevice> InodeFs<D> {
         max_targets_per_tx(self.layout.block_size)
             .min((self.layout.journal_blocks.saturating_sub(2)) as usize)
             .max(1)
+    }
+
+    /// Number of distinct blocks currently staged by the open compound
+    /// transaction (zero when none is open).  Batched writers compare this
+    /// against [`InodeFs::tx_capacity_blocks`] to decide when to cut a
+    /// group commit.
+    pub fn tx_staged_blocks(&self) -> usize {
+        self.tx
+            .lock()
+            .as_ref()
+            .map_or(0, |staged| staged.overlay.len())
+    }
+
+    /// Snapshots the open transaction's staged state (see [`TxSavepoint`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no compound transaction is open.
+    pub fn tx_savepoint(&self) -> TxSavepoint {
+        let state = self.state.lock();
+        let tx = self.tx.lock();
+        let staged = tx
+            .as_ref()
+            .expect("tx_savepoint requires an open compound transaction");
+        TxSavepoint {
+            undo_len: staged.undo.len(),
+            inode_bitmap: state.inode_bitmap.clone(),
+            data_bitmap: state.data_bitmap.clone(),
+        }
+    }
+
+    /// Rolls the open transaction back to a savepoint: staged writes and
+    /// in-memory allocations performed after the savepoint are discarded,
+    /// and the transaction stays open.  The undo is O(blocks staged since
+    /// the savepoint), not O(transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no compound transaction is open, or when the savepoint
+    /// belongs to an earlier (already committed or aborted) transaction.
+    pub fn tx_rollback_to(&self, savepoint: TxSavepoint) {
+        let mut state = self.state.lock();
+        let mut tx = self.tx.lock();
+        let staged = tx
+            .as_mut()
+            .expect("tx_rollback_to requires an open compound transaction");
+        assert!(
+            savepoint.undo_len <= staged.undo.len(),
+            "savepoint belongs to an earlier transaction"
+        );
+        while staged.undo.len() > savepoint.undo_len {
+            let (block, previous) = staged.undo.pop().expect("undo entry");
+            match previous {
+                Some(data) => {
+                    staged.overlay.insert(block, data);
+                }
+                None => {
+                    staged.overlay.remove(&block);
+                }
+            }
+        }
+        state.inode_bitmap = savepoint.inode_bitmap;
+        state.data_bitmap = savepoint.data_bitmap;
     }
 
     fn commit_tx(&self) -> Result<(), InodeError> {
@@ -452,16 +597,38 @@ impl<D: BlockDevice> InodeFs<D> {
         }
     }
 
-    /// Reads a block through the transaction overlay, falling back to the
+    /// Reads a block through the transaction overlay (uncommitted staged
+    /// writes), then the buffer cache (committed contents), then the
     /// device.  Every internal read goes through here so that operations
-    /// inside a compound transaction observe their own staged writes.
+    /// inside a compound transaction observe their own staged writes and
+    /// the hot read path is served from memory.
     fn read_block_raw(&self, block: u64) -> Result<Vec<u8>, InodeError> {
         if let Some(staged) = self.tx.lock().as_ref() {
             if let Some(data) = staged.overlay.get(&block) {
                 return Ok(data.clone());
             }
         }
-        Ok(self.device.read_block(block)?)
+        let epoch = {
+            let mut cache = self.cache.lock();
+            if let Some(data) = cache.get(block) {
+                return Ok(data);
+            }
+            cache.epoch()
+        };
+        let data = self.device.read_block(block)?;
+        {
+            // Install the miss-fill only if no invalidation (i.e. no
+            // committed write) raced the device read: a concurrent commit
+            // invalidates the block before applying it, so an unchanged
+            // epoch proves the bytes just read are still the committed
+            // contents.  A changed epoch merely skips the fill — the next
+            // read misses again and re-fetches the fresh contents.
+            let mut cache = self.cache.lock();
+            if cache.epoch() == epoch {
+                cache.insert(block, data.clone());
+            }
+        }
+        Ok(data)
     }
 
     // ------------------------------------------------------------------
@@ -964,7 +1131,8 @@ impl<D: BlockDevice> InodeFs<D> {
                 let block_size = self.layout.block_size;
                 for (block, mut data) in writes {
                     data.resize(block_size, 0);
-                    staged.overlay.insert(block, data);
+                    let previous = staged.overlay.insert(block, data);
+                    staged.undo.push((block, previous));
                 }
                 return Ok(());
             }
@@ -1011,13 +1179,35 @@ impl<D: BlockDevice> InodeFs<D> {
             )?;
             self.device.flush()?;
 
-            // 2. In-place application.
+            // 2. In-place application.  The chunk's cache entries are
+            // dropped first and re-installed only after the flush barrier,
+            // so the cache never runs ahead of (or goes stale behind) the
+            // device, whatever write the crash lands on.  Re-installing
+            // (rather than leaving the blocks uncached) also guarantees
+            // crypto-erasure reaches the cache — a tombstone or
+            // zero-on-free write replaces whatever plaintext the cache
+            // held for that block.
+            {
+                let mut cache = self.cache.lock();
+                for (target, _) in chunk {
+                    cache.invalidate(*target);
+                }
+            }
             for (target, data) in chunk {
                 let mut padded = data.clone();
                 padded.resize(block_size, 0);
                 self.device.write_block(*target, &padded)?;
             }
             self.device.flush()?;
+            {
+                let mut cache = self.cache.lock();
+                for (target, data) in chunk {
+                    let mut padded = data.clone();
+                    padded.resize(block_size, 0);
+                    cache.insert(*target, padded);
+                }
+            }
+            self.journal_txs.fetch_add(1, Ordering::Relaxed);
 
             // 3. Checkpoint record in the superblock.
             state.superblock.last_started_tx = tx_id;
@@ -1595,6 +1785,111 @@ mod tests {
         let fs = small_fs();
         // 256-byte blocks -> 29 header targets; 16 journal blocks -> 14.
         assert_eq!(fs.tx_capacity_blocks(), 14);
+    }
+
+    #[test]
+    fn buffer_cache_serves_repeated_reads_and_stays_coherent() {
+        let device = Arc::new(MemDevice::new(512, 256));
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small(),
+            JournalMode::Retain,
+        )
+        .unwrap();
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(ino, 0, b"cache me").unwrap();
+        // Repeated reads hit the cache (the commit installed the block).
+        for _ in 0..5 {
+            assert_eq!(fs.read(ino, 0, 8).unwrap(), b"cache me");
+        }
+        let warm = fs.cache_stats();
+        assert!(warm.hits > 0, "repeated reads must hit the cache: {warm}");
+        // An overwrite through the journal updates the cached copy.
+        fs.write(ino, 0, b"fresh!!!").unwrap();
+        assert_eq!(fs.read(ino, 0, 8).unwrap(), b"fresh!!!");
+        // The cached copy equals the device copy for every cached block.
+        let data_block = fs.stat(ino).unwrap().direct[0];
+        assert_eq!(
+            fs.read(ino, 0, 8).unwrap(),
+            device.read_block(data_block).unwrap()[..8].to_vec()
+        );
+        // Dropping the cache forces device reads again, same bytes.
+        fs.drop_caches();
+        assert_eq!(fs.cached_blocks(), 0);
+        assert_eq!(fs.read(ino, 0, 8).unwrap(), b"fresh!!!");
+        assert!(fs.cached_blocks() > 0);
+    }
+
+    #[test]
+    fn secure_free_scrubs_the_cache_too() {
+        let device = Arc::new(MemDevice::new(512, 256));
+        let fs = InodeFs::format(
+            Arc::clone(&device),
+            FormatParams::small().with_secure_free(true),
+            JournalMode::Scrub,
+        )
+        .unwrap();
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(ino, 0, b"CACHED-SENSITIVE-PAYLOAD").unwrap();
+        let _ = fs.read_all(ino).unwrap();
+        assert!(fs.cache_contains(b"CACHED-SENSITIVE-PAYLOAD"));
+        fs.free_inode(ino).unwrap();
+        assert!(
+            !fs.cache_contains(b"CACHED-SENSITIVE-PAYLOAD"),
+            "zero-on-free must replace the cached plaintext as well"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_behaves_identically() {
+        let fs = small_fs();
+        fs.set_cache_capacity(0);
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(ino, 0, &[0x42; 700]).unwrap();
+        assert_eq!(fs.read_all(ino).unwrap(), vec![0x42; 700]);
+        assert_eq!(fs.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn journal_tx_counter_counts_commits() {
+        let fs = small_fs();
+        let before = fs.journal_txs();
+        let tx = fs.begin_tx();
+        let a = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(a, 0, b"one").unwrap();
+        fs.dir_add(ROOT_INO, "a", a).unwrap();
+        tx.commit().unwrap();
+        // The whole compound mutation cost exactly one journal transaction.
+        assert_eq!(fs.journal_txs(), before + 1);
+        // Per-op commits cost one each.
+        let b = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(b, 0, b"two").unwrap();
+        assert_eq!(fs.journal_txs(), before + 3);
+    }
+
+    #[test]
+    fn savepoint_rolls_back_staged_writes_and_allocations() {
+        let fs = small_fs();
+        let tx = fs.begin_tx();
+        let a = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(a, 0, b"kept").unwrap();
+        fs.dir_add(ROOT_INO, "kept", a).unwrap();
+        let staged_before = fs.tx_staged_blocks();
+        let inodes_before = fs.allocated_inodes();
+        let savepoint = fs.tx_savepoint();
+        let b = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(b, 0, &[0x77; 900]).unwrap();
+        fs.dir_add(ROOT_INO, "dropped", b).unwrap();
+        assert!(fs.tx_staged_blocks() > staged_before);
+        fs.tx_rollback_to(savepoint);
+        assert_eq!(fs.tx_staged_blocks(), staged_before);
+        assert_eq!(fs.allocated_inodes(), inodes_before);
+        tx.commit().unwrap();
+        // The pre-savepoint mutation committed; the rolled-back one left no
+        // trace, and its inode number is allocatable again.
+        assert_eq!(fs.dir_lookup(ROOT_INO, "kept").unwrap(), Some(a));
+        assert_eq!(fs.dir_lookup(ROOT_INO, "dropped").unwrap(), None);
+        assert_eq!(fs.alloc_inode(InodeKind::File).unwrap(), b);
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   while [`journal::JournalMode::Scrub`] zeroes journal blocks after
 //!   checkpoint, which is what rgpdOS's DBFS uses;
 //! * a mid-level filesystem API ([`fs::InodeFs`]) with files, directories,
-//!   crash recovery and optional zero-on-free.
+//!   crash recovery and optional zero-on-free;
+//! * an LRU **buffer cache** ([`cache`]) of committed block contents,
+//!   read-through on every internal read, filled write-back at each
+//!   commit's flush barrier — never ahead of the journal, so caching does
+//!   not weaken crash consistency, and updated in place by erasure writes
+//!   so no erased plaintext survives in memory.
 //!
 //! ## Example
 //!
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod cache;
 pub mod error;
 pub mod fs;
 pub mod inode;
@@ -50,8 +56,9 @@ pub mod journal;
 pub mod layout;
 pub mod superblock;
 
+pub use cache::BlockCache;
 pub use error::InodeError;
-pub use fs::{FormatParams, InodeFs, Transaction};
+pub use fs::{FormatParams, InodeFs, Transaction, TxSavepoint};
 pub use inode::{Ino, Inode, InodeKind};
 pub use journal::JournalMode;
 pub use layout::Layout;

@@ -649,6 +649,145 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         Ok(id)
     }
 
+    /// Batched `acquisition`: the rows are grouped by home shard and every
+    /// involved shard ingests its group through [`Dbfs::collect_many`]'s
+    /// journal group commit — the scatter-write analogue of the
+    /// scatter-gather read path.  Shards are driven in shard order rather
+    /// than over the worker pool: the audit log is one totally ordered
+    /// stream shared by every shard, and deterministic routing keeps it
+    /// (and the crash-matrix's audit-prefix invariant) reproducible, while
+    /// the batching win — one journal transaction per group instead of per
+    /// record — is per-shard and unaffected.  Returns the assigned
+    /// identifiers in input order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedDbfs::collect`].  On error, each shard has applied
+    /// a clean prefix of its own group (per-record atomicity holds
+    /// everywhere); rows routed to other shards may or may not have been
+    /// applied.
+    pub fn collect_many(
+        &self,
+        data_type: impl Into<DataTypeId>,
+        rows: Vec<(SubjectId, Row)>,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        let data_type = data_type.into();
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = rows.len();
+        let mut groups: Vec<Vec<(SubjectId, Row)>> = vec![Vec::new(); self.shards.len()];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (pos, (subject, row)) in rows.into_iter().enumerate() {
+            let shard = self.home_shard(subject);
+            groups[shard].push((subject, row));
+            positions[shard].push(pos);
+        }
+        let mut ids: Vec<Option<PdId>> = vec![None; total];
+        for shard in 0..groups.len() {
+            if groups[shard].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut groups[shard]);
+            let shard_ids = self.shards[shard].collect_many(data_type.clone(), batch)?;
+            for (&pos, id) in positions[shard].iter().zip(shard_ids) {
+                ids[pos] = Some(id);
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| id.expect("every row was routed to exactly one shard"))
+            .collect())
+    }
+
+    /// Batched [`ShardedDbfs::insert_wrapped`]: lineage-free records are
+    /// batch-routed to their home shards (group commit per shard, shards
+    /// driven in deterministic shard order — see
+    /// [`ShardedDbfs::collect_many`]); records carrying lineage go through
+    /// the directory-registering single-record path.  Returns the
+    /// identifiers in input order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedDbfs::insert_wrapped`]; partial application on
+    /// error follows [`ShardedDbfs::collect_many`].
+    pub fn insert_many(&self, items: Vec<(DataTypeId, WrappedPd)>) -> Result<Vec<PdId>, DbfsError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = items.len();
+        let mut plain: Vec<Vec<(DataTypeId, WrappedPd)>> = vec![Vec::new(); self.shards.len()];
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut with_lineage: Vec<(usize, DataTypeId, WrappedPd)> = Vec::new();
+        for (pos, (data_type, wrapped)) in items.into_iter().enumerate() {
+            let target = self.home_shard(wrapped.membrane().subject());
+            if wrapped.membrane().copied_from().is_none() {
+                plain[target].push((data_type, wrapped));
+                positions[target].push(pos);
+            } else {
+                with_lineage.push((pos, data_type, wrapped));
+            }
+        }
+        let mut ids: Vec<Option<PdId>> = vec![None; total];
+        for shard in 0..plain.len() {
+            if plain[shard].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut plain[shard]);
+            let shard_ids = self.shards[shard].insert_many(batch)?;
+            for (&pos, id) in positions[shard].iter().zip(shard_ids) {
+                ids[pos] = Some(id);
+            }
+        }
+        for (pos, data_type, wrapped) in with_lineage {
+            let target = self.home_shard(wrapped.membrane().subject());
+            ids[pos] = Some(self.store_routed(&data_type, wrapped, target)?);
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| id.expect("every item was routed"))
+            .collect())
+    }
+
+    /// Batched [`ShardedDbfs::update_row`]: updates are grouped by owning
+    /// shard (computable from the strided id space) and each shard applies
+    /// its group under journal group commit, in deterministic shard order
+    /// (see [`ShardedDbfs::collect_many`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedDbfs::update_row`]; partial application on error
+    /// follows [`ShardedDbfs::collect_many`].
+    pub fn update_rows(
+        &self,
+        data_type: &DataTypeId,
+        updates: Vec<(PdId, Row)>,
+    ) -> Result<(), DbfsError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let mut groups: Vec<Vec<(PdId, Row)>> = vec![Vec::new(); self.shards.len()];
+        for (id, row) in updates {
+            groups[self.shard_of_id(id)].push((id, row));
+        }
+        for (shard, group) in groups.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(group);
+            self.shards[shard].update_rows(data_type, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Drops every shard's inode-layer buffer cache (cold-path
+    /// measurements; correctness never requires it).
+    pub fn drop_caches(&self) {
+        for shard in &self.shards {
+            shard.drop_caches();
+        }
+    }
+
     /// Reads one record, routed by id.
     ///
     /// # Errors
@@ -1225,6 +1364,26 @@ impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
         wrapped: WrappedPd,
     ) -> Result<PdId, DbfsError> {
         ShardedDbfs::insert_wrapped(self, data_type, wrapped)
+    }
+
+    fn collect_many(
+        &self,
+        data_type: &DataTypeId,
+        rows: Vec<(SubjectId, Row)>,
+    ) -> Result<Vec<PdId>, DbfsError> {
+        ShardedDbfs::collect_many(self, data_type.clone(), rows)
+    }
+
+    fn insert_many(&self, items: Vec<(DataTypeId, WrappedPd)>) -> Result<Vec<PdId>, DbfsError> {
+        ShardedDbfs::insert_many(self, items)
+    }
+
+    fn update_rows(
+        &self,
+        data_type: &DataTypeId,
+        updates: Vec<(PdId, Row)>,
+    ) -> Result<(), DbfsError> {
+        ShardedDbfs::update_rows(self, data_type, updates)
     }
 
     fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {

@@ -85,6 +85,69 @@ fn scatter_gather_merges_scans_and_subject_queries_stay_routed() {
 }
 
 #[test]
+fn batched_ingest_routes_groups_to_home_shards_with_group_commit() {
+    let sharded = sharded(4);
+    let rows: Vec<(SubjectId, Row)> = (0..48u64)
+        .map(|raw| (SubjectId::new(raw), user_row(&format!("b{raw}"))))
+        .collect();
+    let ids = sharded.collect_many("user", rows.clone()).unwrap();
+    assert_eq!(ids.len(), 48);
+    // Input order is preserved and every id landed on its home shard.
+    for (&id, (subject, _)) in ids.iter().zip(&rows) {
+        assert_eq!(sharded.shard_of_id(id), sharded.home_shard(*subject));
+        let record = sharded.get(&user(), id).unwrap();
+        assert_eq!(record.subject(), *subject);
+    }
+    assert_eq!(sharded.count(&user()), 48);
+    sharded.verify_index_invariants().unwrap();
+    // Each involved shard coalesced its group: far fewer journal
+    // transactions than records.
+    let journal_txs: u64 = sharded
+        .shards()
+        .iter()
+        .map(|shard| shard.inode_fs().journal_txs())
+        .sum();
+    assert!(
+        journal_txs * 3 <= 48 + sharded.num_shards() as u64,
+        "scatter writes must group-commit per shard: {journal_txs} journal txs for 48 records"
+    );
+    let stats = sharded.stats();
+    assert_eq!(stats.collects, 48);
+    assert_eq!(stats.insert_batches, 4);
+
+    // Batched updates route by owning shard, preserving per-record checks.
+    sharded
+        .update_rows(
+            &user(),
+            ids.iter().map(|&id| (id, user_row("rewritten"))).collect(),
+        )
+        .unwrap();
+    for &id in &ids {
+        assert_eq!(
+            sharded
+                .get(&user(), id)
+                .unwrap()
+                .row()
+                .get("name")
+                .unwrap()
+                .as_text(),
+            Some("rewritten")
+        );
+    }
+
+    // A batch after an erasure still refuses erased lineage through the
+    // single-record guard path (wrapped copies go through store_routed).
+    let erased = sharded.erase(&user(), ids[0], &escrow()).unwrap();
+    assert!(!erased.is_empty());
+    let copy_of_erased = sharded.get(&user(), ids[1]).unwrap();
+    let wrapped = rgpdos_core::WrappedPd::new(
+        copy_of_erased.row().clone(),
+        copy_of_erased.membrane().for_copy(ids[0]),
+    );
+    assert!(sharded.insert_many(vec![(user(), wrapped)]).is_err());
+}
+
+#[test]
 fn id_pinned_queries_route_to_the_owning_shards_only() {
     use rgpdos_blockdev::InstrumentedDevice;
     use rgpdos_blockdev::LatencyModel;
@@ -107,6 +170,9 @@ fn id_pinned_queries_route_to_the_owning_shards_only() {
         .collect();
     let target = ids[0];
     let owner = sharded.shard_of_id(target);
+    // Cold-cache measurement: the routing argument is about *device* reads,
+    // which the inode-layer buffer cache would otherwise absorb.
+    sharded.drop_caches();
     for device in &devices {
         device.reset_stats();
     }

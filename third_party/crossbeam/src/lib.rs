@@ -12,10 +12,19 @@ pub mod channel {
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
 
+    /// Queue and live-sender count live under ONE mutex: `recv` must check
+    /// "empty and no senders left" and go to sleep atomically, or a
+    /// `Sender::drop` between the check and the wait is never observed and
+    /// the receiver sleeps forever (a lost wakeup the original split-mutex
+    /// layout exhibited under the shard pool's teardown).
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
+        inner: Mutex<Inner<T>>,
         ready: Condvar,
-        senders: Mutex<usize>,
     }
 
     /// The sending half of an unbounded channel.
@@ -85,9 +94,11 @@ pub mod channel {
     /// Creates an unbounded channel, returning its sender/receiver halves.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
             ready: Condvar::new(),
-            senders: Mutex::new(1),
         });
         (
             Sender {
@@ -100,9 +111,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues a message; never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            queue.push_back(value);
-            drop(queue);
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.queue.push_back(value);
+            drop(inner);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -110,11 +121,11 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            *self
-                .shared
-                .senders
+            self.shared
+                .inner
                 .lock()
-                .unwrap_or_else(|e| e.into_inner()) += 1;
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
             Self {
                 shared: Arc::clone(&self.shared),
             }
@@ -123,14 +134,12 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut senders = self
-                .shared
-                .senders
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            *senders -= 1;
-            if *senders == 0 {
-                drop(senders);
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Notify while still holding the lock: any receiver is
+                // either inside `wait` (and gets woken) or has not yet
+                // re-checked the predicate (and will observe senders == 0).
                 self.shared.ready.notify_all();
             }
         }
@@ -139,16 +148,11 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Dequeues a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(value) = queue.pop_front() {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = inner.queue.pop_front() {
                 return Ok(value);
             }
-            let senders = *self
-                .shared
-                .senders
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            if senders == 0 {
+            if inner.senders == 0 {
                 Err(TryRecvError::Disconnected)
             } else {
                 Err(TryRecvError::Empty)
@@ -158,23 +162,18 @@ pub mod channel {
         /// Dequeues a message, blocking until one is available or the channel
         /// is disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(value) = queue.pop_front() {
+                if let Some(value) = inner.queue.pop_front() {
                     return Ok(value);
                 }
-                let senders = *self
-                    .shared
-                    .senders
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
-                if senders == 0 {
+                if inner.senders == 0 {
                     return Err(RecvError);
                 }
-                queue = self
+                inner = self
                     .shared
                     .ready
-                    .wait(queue)
+                    .wait(inner)
                     .unwrap_or_else(|e| e.into_inner());
             }
         }
@@ -182,9 +181,10 @@ pub mod channel {
         /// Returns the number of queued messages.
         pub fn len(&self) -> usize {
             self.shared
-                .queue
+                .inner
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
+                .queue
                 .len()
         }
 
@@ -223,6 +223,22 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(42));
             handle.join().unwrap();
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn dropping_the_last_sender_wakes_a_blocked_receiver() {
+            // Lost-wakeup regression: `recv` must check the sender count
+            // under the same lock it sleeps on, or a `Sender::drop` racing
+            // the check is never observed and the receiver sleeps forever.
+            // Stress the teardown interleaving; with the split-mutex layout
+            // this hung within a few hundred iterations.
+            for _ in 0..500 {
+                let (tx, rx) = unbounded::<u8>();
+                let receiver = std::thread::spawn(move || rx.recv());
+                let sender = std::thread::spawn(move || drop(tx));
+                sender.join().unwrap();
+                assert!(receiver.join().unwrap().is_err());
+            }
         }
     }
 }
