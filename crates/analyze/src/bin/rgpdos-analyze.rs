@@ -1,0 +1,166 @@
+//! `rgpdos-analyze` — lint GDPR policy declarations from the command line.
+//!
+//! ```text
+//! rgpdos-analyze [--json <path|->] [--deny-warnings] [--listings] [FILES...]
+//! ```
+//!
+//! Analyzes each declaration file (and, with `--listings`, the paper's
+//! Listings 1–2 built into `rgpdos-dsl`), prints compiler-style diagnostics,
+//! and optionally writes the machine-readable JSON report CI archives.
+//!
+//! Exit status: `0` when every input passes the gate, `1` when any
+//! diagnostic fails it (errors always fail; warnings fail under
+//! `--deny-warnings`), `2` on usage or I/O errors.
+
+use rgpdos_analyze::{analyze, check_purpose, render_human, Diagnostic, JsonFile, JsonReport};
+use rgpdos_dsl::{listings, Span};
+use std::process::ExitCode;
+
+struct Options {
+    json: Option<String>,
+    deny_warnings: bool,
+    listings: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: rgpdos-analyze [--json <path|->] [--deny-warnings] [--listings] [FILES...]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: None,
+        deny_warnings: false,
+        listings: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(path) => opts.json = Some(path.clone()),
+                None => return Err("--json requires a path (or `-` for stdout)".to_owned()),
+            },
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--listings" => opts.listings = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"))
+            }
+            file => opts.files.push(file.to_owned()),
+        }
+    }
+    if !opts.listings && opts.files.is_empty() {
+        return Err(format!("no input files\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Analyzes one source, mapping parse failures to an `RG0001` diagnostic so
+/// broken files are reported (and gate-failed) rather than aborting the run.
+fn analyze_input(source: &str) -> Vec<Diagnostic> {
+    match rgpdos_dsl::parse_type_declarations(source) {
+        Ok(decls) => analyze(&decls),
+        Err(err) => vec![Diagnostic::new(
+            "RG0001",
+            Span::DUMMY,
+            err.to_string(),
+            "fix the declaration syntax; see docs/DIAGNOSTICS.md",
+        )],
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // (path, source, diagnostics) per input.
+    let mut results: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
+
+    if opts.listings {
+        results.push((
+            "<listing-1>".to_owned(),
+            listings::LISTING_1.to_owned(),
+            analyze_input(listings::LISTING_1),
+        ));
+        // Cross-check the Listing 2 purpose against the Listing 1 program.
+        let decls = rgpdos_dsl::parse_type_declarations(listings::LISTING_1).unwrap_or_default();
+        let purpose_diags: Vec<Diagnostic> =
+            match rgpdos_dsl::parse_purpose_declarations(listings::LISTING_2_PURPOSE) {
+                Ok(purposes) => purposes
+                    .iter()
+                    .flat_map(|p| check_purpose(p, &decls))
+                    .collect(),
+                Err(err) => vec![Diagnostic::new(
+                    "RG0001",
+                    Span::DUMMY,
+                    err.to_string(),
+                    "fix the purpose declaration syntax",
+                )],
+            };
+        results.push((
+            "<listing-2-purpose>".to_owned(),
+            listings::LISTING_2_PURPOSE.to_owned(),
+            purpose_diags,
+        ));
+    }
+
+    for path in &opts.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(err) => {
+                eprintln!("rgpdos-analyze: cannot read `{path}`: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = analyze_input(&source);
+        results.push((path.clone(), source, diags));
+    }
+
+    let mut failed = false;
+    for (path, source, diags) in &results {
+        print!("{}", render_human(path, source, diags));
+        if rgpdos_analyze::report::gate_fails(diags, opts.deny_warnings) {
+            failed = true;
+        }
+    }
+
+    let total: usize = results.iter().map(|(_, _, d)| d.len()).sum();
+    if total == 0 {
+        let noun = if results.len() == 1 { "file" } else { "files" };
+        println!("{} {noun} analyzed, no diagnostics", results.len());
+    }
+
+    if let Some(target) = &opts.json {
+        let report = JsonReport::new(
+            results
+                .iter()
+                .map(|(path, _, diags)| JsonFile::new(path.clone(), diags))
+                .collect(),
+        );
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("rgpdos-analyze: cannot serialize report: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        if target == "-" {
+            println!("{json}");
+        } else if let Err(err) = std::fs::write(target, json) {
+            eprintln!("rgpdos-analyze: cannot write `{target}`: {err}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,283 @@
+//! Structured diagnostics and the RG code catalog.
+
+use rgpdos_dsl::Span;
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// *Errors* describe policies that are broken (they will not compile, or
+/// compile into clauses that can never take effect); *warnings* describe
+/// policies that compile but violate a GDPR-completeness rule the paper's
+/// declaration language is supposed to guarantee (missing retention,
+/// over-broad exposure, unconsented third-party collection, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Compiles, but violates a policy-completeness rule.
+    Warning,
+    /// The policy is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding: an RG code, where it is, what is wrong and how to
+/// fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`RG0101`, …); see [`CATALOG`].
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Source span of the offending token ([`Span::DUMMY`] for hand-built
+    /// ASTs that never came from text).
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic, looking the severity up in the [`CATALOG`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `code` is not catalogued — every emitted code must be.
+    pub fn new(
+        code: &'static str,
+        span: Span,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        let info = catalog_entry(code)
+            .unwrap_or_else(|| panic!("diagnostic code `{code}` is not in the catalog"));
+        Diagnostic {
+            code,
+            severity: info.severity,
+            span,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    /// `true` for [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.span
+        )
+    }
+}
+
+/// Catalog entry of one RG code.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// The stable code.
+    pub code: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every diagnostic the analyzer can emit, in code order.
+///
+/// `docs/DIAGNOSTICS.md` documents each entry with a bad/good example; a
+/// test pins that the two stay in sync.
+pub const CATALOG: &[CodeInfo] = &[
+    CodeInfo {
+        code: "RG0001",
+        name: "parse-error",
+        severity: Severity::Error,
+        summary: "the declaration text does not parse",
+    },
+    CodeInfo {
+        code: "RG0101",
+        name: "unknown-consent-view",
+        severity: Severity::Error,
+        summary: "a consent clause references a view the type never declares",
+    },
+    CodeInfo {
+        code: "RG0102",
+        name: "unknown-view-field",
+        severity: Severity::Error,
+        summary: "a view exposes a field that is not derivable from the declared fields",
+    },
+    CodeInfo {
+        code: "RG0103",
+        name: "duplicate-field",
+        severity: Severity::Error,
+        summary: "a field name is declared twice",
+    },
+    CodeInfo {
+        code: "RG0104",
+        name: "duplicate-view",
+        severity: Severity::Error,
+        summary: "a view name is declared twice",
+    },
+    CodeInfo {
+        code: "RG0105",
+        name: "redundant-consent-clause",
+        severity: Severity::Warning,
+        summary: "the same purpose/decision consent clause appears twice",
+    },
+    CodeInfo {
+        code: "RG0106",
+        name: "duplicate-type",
+        severity: Severity::Error,
+        summary: "two type declarations in the program share a name",
+    },
+    CodeInfo {
+        code: "RG0107",
+        name: "empty-type",
+        severity: Severity::Error,
+        summary: "a type declares no fields",
+    },
+    CodeInfo {
+        code: "RG0108",
+        name: "unknown-collection-kind",
+        severity: Severity::Warning,
+        summary: "a collection interface kind is neither web_form nor third_party",
+    },
+    CodeInfo {
+        code: "RG0109",
+        name: "unknown-field-type",
+        severity: Severity::Error,
+        summary: "a field's type spelling is not a known DSL type",
+    },
+    CodeInfo {
+        code: "RG0201",
+        name: "contradictory-consent",
+        severity: Severity::Error,
+        summary: "one purpose receives two different consent decisions",
+    },
+    CodeInfo {
+        code: "RG0202",
+        name: "consent-view-empty",
+        severity: Severity::Warning,
+        summary: "a consent clause restricts a purpose to a view exposing no fields",
+    },
+    CodeInfo {
+        code: "RG0203",
+        name: "over-broad-view",
+        severity: Severity::Warning,
+        summary: "a view exposes every declared field, making it equivalent to `all`",
+    },
+    CodeInfo {
+        code: "RG0301",
+        name: "unbounded-retention-sensitive",
+        severity: Severity::Warning,
+        summary: "a high-sensitivity type declares unbounded retention",
+    },
+    CodeInfo {
+        code: "RG0302",
+        name: "missing-retention",
+        severity: Severity::Warning,
+        summary: "a type declares no retention (`age:`) attribute",
+    },
+    CodeInfo {
+        code: "RG0303",
+        name: "bad-retention",
+        severity: Severity::Error,
+        summary: "the retention value does not parse",
+    },
+    CodeInfo {
+        code: "RG0304",
+        name: "unconsented-third-party",
+        severity: Severity::Warning,
+        summary: "third-party collection is declared but no consent clause covers the type",
+    },
+    CodeInfo {
+        code: "RG0305",
+        name: "bad-sensitivity",
+        severity: Severity::Error,
+        summary: "the sensitivity spelling is unknown",
+    },
+    CodeInfo {
+        code: "RG0306",
+        name: "bad-origin",
+        severity: Severity::Error,
+        summary: "the origin spelling is unknown",
+    },
+    CodeInfo {
+        code: "RG0401",
+        name: "erasure-unreachable",
+        severity: Severity::Warning,
+        summary: "no erasure cascade from collected data can reach this derived type",
+    },
+    CodeInfo {
+        code: "RG0501",
+        name: "purpose-unknown-input",
+        severity: Severity::Error,
+        summary: "a purpose declaration names an input type the program does not declare",
+    },
+    CodeInfo {
+        code: "RG0502",
+        name: "purpose-unknown-view",
+        severity: Severity::Error,
+        summary: "a purpose declaration names a view its input type does not declare",
+    },
+];
+
+/// Looks up a catalogued code.
+pub fn catalog_entry(code: &str) -> Option<&'static CodeInfo> {
+    CATALOG.iter().find(|info| info.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        for pair in CATALOG.windows(2) {
+            assert!(pair[0].code < pair[1].code, "catalog must be code-sorted");
+        }
+        assert!(CATALOG.len() >= 8, "the paper floor is 8 distinct codes");
+    }
+
+    #[test]
+    fn diagnostics_pick_severity_from_the_catalog() {
+        let d = Diagnostic::new(
+            "RG0302",
+            Span::new(1, 6, 4),
+            "no retention",
+            "add `age: 1Y;`",
+        );
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(!d.is_error());
+        let d = Diagnostic::new("RG0101", Span::new(3, 15, 5), "unknown view", "declare it");
+        assert!(d.is_error());
+        assert!(d.to_string().contains("RG0101"));
+        assert!(d.to_string().contains("3:15"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the catalog")]
+    fn uncatalogued_codes_panic() {
+        let _ = Diagnostic::new("RG9999", Span::DUMMY, "", "");
+    }
+
+    #[test]
+    fn severity_orders_and_displays() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.to_string(), "warning");
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+}

@@ -1,0 +1,291 @@
+//! # rgpdos-analyze — static policy analysis for the declaration language
+//!
+//! The paper's promise is that GDPR compliance is *declared once* by the
+//! data operator and then enforced by the OS.  That promise is only as good
+//! as the declaration: a consent clause naming a view that does not exist, a
+//! sensitive type retained forever, or a derived type no erasure cascade can
+//! reach all silently weaken the guarantees.  This crate is the compile-time
+//! side of the defence: a multi-pass static analyzer over parsed
+//! [`TypeDecl`] programs that produces structured, span-tracked
+//! [`Diagnostic`]s with stable `RG` codes.
+//!
+//! Four passes run in order:
+//!
+//! 1. **Name resolution** ([`passes::names`]) — unknown consent views,
+//!    underivable view fields, duplicate types/fields/views, empty types,
+//!    unknown collection kinds (`RG01xx`).
+//! 2. **Consent lattice** ([`passes::consent`]) — contradictory decisions,
+//!    dead clauses, views equivalent to `all` or `none` (`RG02xx`).
+//! 3. **Retention & erasability** ([`passes::retention`]) — missing or
+//!    malformed `age:`, unbounded retention on high sensitivity, bad
+//!    attribute spellings, unconsented third-party collection (`RG03xx`).
+//! 4. **Cross-type reachability** ([`passes::reach`]) — derived types no
+//!    erasure cascade can reach (`RG04xx`).
+//!
+//! [`check_purpose`] additionally cross-checks purpose declarations
+//! (Listing 2's high-level language) against the program (`RG05xx`).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use rgpdos_analyze::analyze_source;
+//!
+//! let diags = analyze_source(rgpdos_dsl::listings::LISTING_1).unwrap();
+//! assert!(diags.is_empty(), "the paper's listing is clean");
+//!
+//! let diags = analyze_source("type t { fields { a: string }; consent { p: ghost }; age: 1Y }").unwrap();
+//! assert_eq!(diags[0].code, "RG0101");
+//! ```
+//!
+//! The guarantees the test-suite pins: the analyzer never panics on any
+//! parseable program (property-tested over arbitrary ASTs), diagnostics are
+//! deterministic (sorted by position, then code), and the paper's
+//! Listings 1–3 and every shipped example produce **zero** diagnostics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostic;
+pub mod passes;
+pub mod report;
+
+pub use diagnostic::{catalog_entry, CodeInfo, Diagnostic, Severity, CATALOG};
+pub use report::{gate_fails, render_human, JsonFile, JsonReport};
+
+use rgpdos_dsl::{DslError, PurposeDecl, Span, TypeDecl};
+
+/// Analyzes a parsed program.
+///
+/// Runs all four passes and returns the diagnostics sorted by source
+/// position (line, then column), then code, then message — a deterministic
+/// order the golden tests rely on.  Never panics, whatever the AST.
+pub fn analyze(decls: &[TypeDecl]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    passes::names::run(decls, &mut out);
+    passes::consent::run(decls, &mut out);
+    passes::retention::run(decls, &mut out);
+    passes::reach::run(decls, &mut out);
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Parses declaration text and analyzes it.
+///
+/// # Errors
+///
+/// Returns the [`DslError`] when the text does not parse; syntax errors are
+/// the parser's to report (the CLI maps them to `RG0001`).
+pub fn analyze_source(source: &str) -> Result<Vec<Diagnostic>, DslError> {
+    let decls = rgpdos_dsl::parse_type_declarations(source)?;
+    Ok(analyze(&decls))
+}
+
+/// Cross-checks one purpose declaration against the program.
+///
+/// Purposes are declared separately from types (Listing 2), so their spans
+/// live in a different source; the diagnostics carry [`Span::DUMMY`].
+pub fn check_purpose(purpose: &PurposeDecl, decls: &[TypeDecl]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let input = match &purpose.input_type {
+        Some(input) => input,
+        None => return out,
+    };
+    let Some(decl) = decls.iter().find(|d| &d.name == input) else {
+        out.push(Diagnostic::new(
+            "RG0501",
+            Span::DUMMY,
+            format!(
+                "purpose `{}` reads input type `{input}`, which the program does not declare",
+                purpose.name
+            ),
+            format!("declare `type {input} {{ … }}` or fix the `input:` attribute"),
+        ));
+        return out;
+    };
+    if let Some(view) = &purpose.view {
+        let views: Vec<String> = decl.views.iter().map(|v| v.name.clone()).collect();
+        if rgpdos_dsl::resolve_consent_view(view, &views).is_none() {
+            out.push(Diagnostic::new(
+                "RG0502",
+                Span::DUMMY,
+                format!(
+                    "purpose `{}` expects view `{view}` of type `{input}`, which declares no \
+                     such view",
+                    purpose.name
+                ),
+                format!(
+                    "declare `view {view} {{ … }}` in type `{input}` or fix the `view:` attribute"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn sort_diagnostics(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (a.span.line, a.span.col, a.code, &a.message).cmp(&(
+            b.span.line,
+            b.span.col,
+            b.code,
+            &b.message,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rgpdos_dsl::listings;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn listing_1_is_clean() {
+        assert_eq!(analyze_source(listings::LISTING_1).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn listing_2_purpose_cross_checks_cleanly() {
+        let decls = rgpdos_dsl::parse_type_declarations(listings::LISTING_1).unwrap();
+        let purposes = rgpdos_dsl::parse_purpose_declarations(listings::LISTING_2_PURPOSE).unwrap();
+        assert!(check_purpose(&purposes[0], &decls).is_empty());
+    }
+
+    #[test]
+    fn unknown_consent_view_is_rg0101_with_the_decision_span() {
+        let src = "type t {\n    fields { a: string };\n    consent { p: ghost }\n}";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0302", "RG0101"]);
+        assert_eq!(diags[1].span, Span::new(3, 18, 5));
+    }
+
+    #[test]
+    fn underivable_view_field_is_rg0102() {
+        let src = "type t { fields { a: string }; view v { b }; age: 1Y }";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0102"]);
+        assert!(diags[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn duplicates_are_reported_at_the_later_occurrence() {
+        let src = "type t {\n    fields { a: string, a: int };\n    view v { a };\n    view v { a };\n    age: 1Y\n}";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0103", "RG0203", "RG0104", "RG0203"]);
+        assert_eq!(diags[0].span.line, 2);
+        assert_eq!(diags[2].span.line, 4);
+        let dup_types =
+            "type t { fields { a: string }; age: 1Y }\ntype t { fields { a: string }; age: 1Y }";
+        assert_eq!(codes(&analyze_source(dup_types).unwrap()), ["RG0106"]);
+    }
+
+    #[test]
+    fn contradictory_and_redundant_consent() {
+        let src = "type t { fields { a: string }; consent { p: all, p: none, p: none }; age: 1Y }";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0201", "RG0105"]);
+        assert!(diags[0].is_error());
+        assert!(!diags[1].is_error());
+    }
+
+    #[test]
+    fn empty_view_consent_is_rg0202_and_full_view_is_rg0203() {
+        let src = "type t { fields { a: string, b: int }; view v_e { }; view v_f { a, b }; consent { p: e }; age: 1Y }";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0203", "RG0202"]);
+    }
+
+    #[test]
+    fn retention_rules() {
+        let no_age = "type t { fields { a: string } }";
+        assert_eq!(codes(&analyze_source(no_age).unwrap()), ["RG0302"]);
+        let bad_age = "type t { fields { a: string }; age: soon }";
+        assert_eq!(codes(&analyze_source(bad_age).unwrap()), ["RG0303"]);
+        let sensitive_forever =
+            "type t { fields { a: string }; age: unbounded; sensitivity: high }";
+        assert_eq!(
+            codes(&analyze_source(sensitive_forever).unwrap()),
+            ["RG0301"]
+        );
+        let low_forever = "type t { fields { a: string }; age: unbounded; sensitivity: low }";
+        assert_eq!(analyze_source(low_forever).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn attribute_spellings_diagnose() {
+        let src = "type t { fields { a: string }; origin: nowhere; age: 1Y; sensitivity: extreme }";
+        let diags = analyze_source(src).unwrap();
+        assert_eq!(codes(&diags), ["RG0306", "RG0305"]);
+        assert!(diags.iter().all(Diagnostic::is_error));
+    }
+
+    #[test]
+    fn unconsented_third_party_collection_is_rg0304() {
+        let src = "type t { fields { a: string }; collection { third_party: f.py }; age: 1Y }";
+        assert_eq!(codes(&analyze_source(src).unwrap()), ["RG0304"]);
+        let consented =
+            "type t { fields { a: string }; consent { p: all }; collection { third_party: f.py }; age: 1Y }";
+        assert_eq!(analyze_source(consented).unwrap(), Vec::new());
+        let web_only = "type t { fields { a: string }; collection { web_form: f.html }; age: 1Y }";
+        assert_eq!(analyze_source(web_only).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn unreachable_derived_type_is_rg0401() {
+        let src = "type src { fields { name: string }; age: 1Y }\n\
+                   type island { fields { score: int }; origin: derived; age: 1Y }";
+        assert_eq!(codes(&analyze_source(src).unwrap()), ["RG0401"]);
+        let linked = "type src { fields { name: string }; age: 1Y }\n\
+                      type stats { fields { name: string, score: int }; origin: derived; age: 1Y }";
+        assert_eq!(analyze_source(linked).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn purpose_cross_checks() {
+        let decls = rgpdos_dsl::parse_type_declarations(listings::LISTING_1).unwrap();
+        let ghost_input = PurposeDecl {
+            name: "p".into(),
+            input_type: Some("ghost".into()),
+            ..PurposeDecl::default()
+        };
+        assert_eq!(codes(&check_purpose(&ghost_input, &decls)), ["RG0501"]);
+        let ghost_view = PurposeDecl {
+            name: "p".into(),
+            input_type: Some("user".into()),
+            view: Some("v_ghost".into()),
+            ..PurposeDecl::default()
+        };
+        assert_eq!(codes(&check_purpose(&ghost_view, &decls)), ["RG0502"]);
+        let no_input = PurposeDecl {
+            name: "p".into(),
+            ..PurposeDecl::default()
+        };
+        assert!(check_purpose(&no_input, &decls).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_deterministically() {
+        let src = "type t {\n    fields { a: string, a: int };\n    consent { p: ghost }\n}";
+        let diags = analyze_source(src).unwrap();
+        let mut resorted = diags.clone();
+        super::sort_diagnostics(&mut resorted);
+        assert_eq!(diags, resorted);
+        for pair in diags.windows(2) {
+            assert!((pair[0].span.line, pair[0].span.col) <= (pair[1].span.line, pair[1].span.col));
+        }
+    }
+
+    #[test]
+    fn analyze_accepts_hand_built_asts_with_dummy_spans() {
+        let decl = TypeDecl {
+            name: "t".into(),
+            ..TypeDecl::default()
+        };
+        let diags = analyze(&[decl]);
+        assert!(diags.iter().any(|d| d.code == "RG0107"));
+        assert!(diags.iter().all(|d| d.span.is_dummy()));
+    }
+}

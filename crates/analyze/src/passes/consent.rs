@@ -1,0 +1,98 @@
+//! Pass 2 — the consent lattice.
+//!
+//! The paper orders consent decisions `none < view < all`.  This pass finds
+//! clauses that fight each other on that lattice: the same purpose granted
+//! two different decisions (last one silently wins at compile time), clauses
+//! repeated verbatim, decisions that restrict to a view exposing nothing
+//! (equivalent to `none`), and views that expose every declared field
+//! (equivalent to `all`).
+
+use crate::diagnostic::Diagnostic;
+use rgpdos_dsl::TypeDecl;
+use std::collections::BTreeMap;
+
+/// Runs the pass over the whole program.
+pub fn run(decls: &[TypeDecl], out: &mut Vec<Diagnostic>) {
+    for decl in decls {
+        check_decl(decl, out);
+    }
+}
+
+fn check_decl(decl: &TypeDecl, out: &mut Vec<Diagnostic>) {
+    // Contradictory / redundant clauses.  The compiler applies clauses in
+    // order, so the latest decision is the one that stands; each clause is
+    // judged against it.
+    let mut latest: BTreeMap<&str, (&str, usize)> = BTreeMap::new();
+    for clause in &decl.consent {
+        match latest.get(clause.purpose.as_str()).copied() {
+            Some((decision, line)) if decision != clause.decision => {
+                out.push(Diagnostic::new(
+                    "RG0201",
+                    clause.span,
+                    format!(
+                        "purpose `{}` receives decision `{}` here but `{decision}` on line {line}; \
+                         the later clause silently wins",
+                        clause.purpose, clause.decision
+                    ),
+                    "keep a single consent clause per purpose",
+                ));
+            }
+            Some((_, line)) => {
+                out.push(Diagnostic::new(
+                    "RG0105",
+                    clause.span,
+                    format!(
+                        "consent clause `{}: {}` repeats the clause on line {line}",
+                        clause.purpose, clause.decision
+                    ),
+                    "remove the duplicate clause",
+                ));
+            }
+            None => {}
+        }
+        latest.insert(&clause.purpose, (&clause.decision, clause.span.line));
+    }
+
+    // Decisions restricting to a view that exposes no fields.
+    for clause in &decl.consent {
+        let Some(view_name) = super::decision_view(decl, &clause.decision) else {
+            continue;
+        };
+        let Some(index) = decl.views.iter().position(|v| v.name == view_name) else {
+            continue;
+        };
+        if super::resolved_view_fields(decl, index).is_empty() {
+            out.push(Diagnostic::new(
+                "RG0202",
+                clause.decision_span,
+                format!(
+                    "consent for purpose `{}` restricts to view `{view_name}`, which exposes no \
+                     fields; the clause is equivalent to `none`",
+                    clause.purpose
+                ),
+                "expose at least one field in the view, or write `none` to make the intent explicit",
+            ));
+        }
+    }
+
+    // Views that expose every declared field.
+    let declared = super::declared_fields(decl);
+    if declared.is_empty() {
+        return; // RG0107 already covers the empty type.
+    }
+    for (index, view) in decl.views.iter().enumerate() {
+        let exposed = super::resolved_view_fields(decl, index);
+        if declared.iter().all(|f| exposed.contains(*f)) {
+            out.push(Diagnostic::new(
+                "RG0203",
+                view.span,
+                format!(
+                    "view `{}` exposes every field of type `{}`; restricting consent to it is \
+                     equivalent to granting `all`",
+                    view.name, decl.name
+                ),
+                "drop fields from the view until it is a genuine restriction, or grant `all`",
+            ));
+        }
+    }
+}

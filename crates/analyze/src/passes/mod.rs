@@ -1,0 +1,40 @@
+//! The analysis passes.
+//!
+//! Each pass walks the whole program (a slice of [`TypeDecl`]s) and pushes
+//! [`crate::Diagnostic`]s; [`crate::analyze`] runs them in order and sorts the
+//! result.  Passes share the compiler's resolution rules
+//! ([`rgpdos_dsl::resolve_consent_view`] / [`rgpdos_dsl::resolve_view_field`])
+//! so the analyzer and `compile_type_declaration` never disagree about what
+//! a policy means.
+
+use rgpdos_dsl::TypeDecl;
+use std::collections::BTreeSet;
+
+pub mod consent;
+pub mod names;
+pub mod reach;
+pub mod retention;
+
+/// The set of declared field names of a declaration.
+pub(crate) fn declared_fields(decl: &TypeDecl) -> BTreeSet<&str> {
+    decl.fields.iter().map(|f| f.name.as_str()).collect()
+}
+
+/// The fields a view actually exposes once view-field derivation is applied
+/// (unresolvable fields are skipped here; [`names`] reports them).
+pub(crate) fn resolved_view_fields(decl: &TypeDecl, view_index: usize) -> BTreeSet<String> {
+    decl.views[view_index]
+        .fields
+        .iter()
+        .filter_map(|f| rgpdos_dsl::resolve_view_field(decl, f.as_str()))
+        .collect()
+}
+
+/// Resolves a consent decision to the declared view it references, if any.
+pub(crate) fn decision_view(decl: &TypeDecl, decision: &str) -> Option<String> {
+    if decision == "all" || decision == "none" {
+        return None;
+    }
+    let views: Vec<String> = decl.views.iter().map(|v| v.name.clone()).collect();
+    rgpdos_dsl::resolve_consent_view(decision, &views)
+}

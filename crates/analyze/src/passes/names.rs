@@ -1,0 +1,142 @@
+//! Pass 1 — name resolution.
+//!
+//! Reports references that do not resolve (unknown consent views, view
+//! fields that are neither declared nor derivable) and declarations that
+//! collide (duplicate types, fields, views) or are vacuous (a type with no
+//! fields).  Everything here is an error except unknown collection kinds,
+//! which compile to [`rgpdos_core`]'s inline method and are only suspicious.
+
+use crate::diagnostic::Diagnostic;
+use rgpdos_dsl::TypeDecl;
+use std::collections::BTreeMap;
+
+const COLLECTION_KINDS: &[&str] = &["web_form", "third_party"];
+
+/// Runs the pass over the whole program.
+pub fn run(decls: &[TypeDecl], out: &mut Vec<Diagnostic>) {
+    let mut seen_types: BTreeMap<&str, usize> = BTreeMap::new();
+    for decl in decls {
+        if let Some(first_line) = seen_types.get(decl.name.as_str()) {
+            out.push(Diagnostic::new(
+                "RG0106",
+                decl.span,
+                format!(
+                    "type `{}` is declared twice (first declared on line {first_line})",
+                    decl.name
+                ),
+                "rename one of the declarations; DBFS installs one table per type name",
+            ));
+        } else {
+            seen_types.insert(decl.name.as_str(), decl.span.line);
+        }
+        check_decl(decl, out);
+    }
+}
+
+fn check_decl(decl: &TypeDecl, out: &mut Vec<Diagnostic>) {
+    if decl.fields.is_empty() {
+        out.push(Diagnostic::new(
+            "RG0107",
+            decl.span,
+            format!("type `{}` declares no fields", decl.name),
+            "add a `fields { … }` block; a table without columns holds no personal data",
+        ));
+    }
+
+    let mut seen_fields: BTreeMap<&str, usize> = BTreeMap::new();
+    for field in &decl.fields {
+        if let Some(first_line) = seen_fields.get(field.name.as_str()) {
+            out.push(Diagnostic::new(
+                "RG0103",
+                field.span,
+                format!(
+                    "field `{}` is declared twice in type `{}` (first declared on line {first_line})",
+                    field.name, decl.name
+                ),
+                "remove or rename the repeated field",
+            ));
+        } else {
+            seen_fields.insert(field.name.as_str(), field.span.line);
+        }
+        if rgpdos_core::FieldType::parse(&field.field_type).is_err() {
+            out.push(Diagnostic::new(
+                "RG0109",
+                field.span,
+                format!(
+                    "field `{}` of type `{}` has unknown field type `{}`",
+                    field.name, decl.name, field.field_type
+                ),
+                "use one of `int`, `float`, `string`, `bool`, `bytes`, `date`",
+            ));
+        }
+    }
+
+    let mut seen_views: BTreeMap<&str, usize> = BTreeMap::new();
+    for view in &decl.views {
+        if let Some(first_line) = seen_views.get(view.name.as_str()) {
+            out.push(Diagnostic::new(
+                "RG0104",
+                view.span,
+                format!(
+                    "view `{}` is declared twice in type `{}` (first declared on line {first_line})",
+                    view.name, decl.name
+                ),
+                "remove or rename the repeated view",
+            ));
+        } else {
+            seen_views.insert(view.name.as_str(), view.span.line);
+        }
+        for field in &view.fields {
+            if rgpdos_dsl::resolve_view_field(decl, field.as_str()).is_none() {
+                out.push(Diagnostic::new(
+                    "RG0102",
+                    field.span,
+                    format!(
+                        "view `{}` exposes `{}`, which type `{}` neither declares nor derives",
+                        view.name,
+                        field.as_str(),
+                        decl.name
+                    ),
+                    format!(
+                        "declare `{}` in the `fields` block or expose a declared field",
+                        field.as_str()
+                    ),
+                ));
+            }
+        }
+    }
+
+    for clause in &decl.consent {
+        if clause.decision != "all"
+            && clause.decision != "none"
+            && super::decision_view(decl, &clause.decision).is_none()
+        {
+            out.push(Diagnostic::new(
+                "RG0101",
+                clause.decision_span,
+                format!(
+                    "consent for purpose `{}` references unknown view `{}`",
+                    clause.purpose, clause.decision
+                ),
+                format!(
+                    "declare `view {} {{ … }}` (or `view v_{} {{ … }}`), or use `all`/`none`",
+                    clause.decision, clause.decision
+                ),
+            ));
+        }
+    }
+
+    for coll in &decl.collection {
+        if !COLLECTION_KINDS.contains(&coll.kind.as_str()) {
+            out.push(Diagnostic::new(
+                "RG0108",
+                coll.span,
+                format!(
+                    "unknown collection kind `{}` in type `{}`",
+                    coll.kind, decl.name
+                ),
+                "use `web_form` or `third_party`; other kinds compile to the inline method",
+            ));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Pass 4 — cross-type erasure reachability.
+//!
+//! rgpdOS's `erasure` built-in cascades from a collected type to data
+//! derived from it; the cascade follows shared field names (the derived
+//! type's columns traceable back to a source column).  A `derived` type
+//! whose fields overlap with no non-derived type is unreachable by any
+//! cascade: erasing every collected row would still leave its rows behind,
+//! which silently breaks the right to be forgotten (art. 17).
+
+use crate::diagnostic::Diagnostic;
+use rgpdos_dsl::TypeDecl;
+
+/// Runs the pass over the whole program.
+pub fn run(decls: &[TypeDecl], out: &mut Vec<Diagnostic>) {
+    for decl in decls {
+        let is_derived = decl
+            .origin
+            .as_ref()
+            .is_some_and(|attr| attr.as_str() == "derived");
+        if !is_derived || decl.fields.is_empty() {
+            continue;
+        }
+        let reachable = decls.iter().any(|source| {
+            let source_is_derived = source
+                .origin
+                .as_ref()
+                .is_some_and(|attr| attr.as_str() == "derived");
+            !source_is_derived
+                && source.name != decl.name
+                && decl
+                    .fields
+                    .iter()
+                    .any(|f| source.fields.iter().any(|sf| sf.name == f.name))
+        });
+        if !reachable {
+            out.push(Diagnostic::new(
+                "RG0401",
+                decl.span,
+                format!(
+                    "derived type `{}` shares no field with any collected type; no erasure \
+                     cascade can reach it",
+                    decl.name
+                ),
+                "name at least one field after the source column it derives from, or collect \
+                 the type directly",
+            ));
+        }
+    }
+}

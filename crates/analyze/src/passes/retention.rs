@@ -1,0 +1,105 @@
+//! Pass 3 — retention and erasability.
+//!
+//! GDPR's storage-limitation principle (art. 5(1)(e)) is what the paper's
+//! `age:` attribute implements: DBFS erases rows whose time-to-live expired.
+//! This pass reports types that opt out of that guarantee — no `age:` at
+//! all, unbounded retention on high-sensitivity data, retention values that
+//! do not parse — plus attribute spellings the membrane would reject and
+//! third-party collection with no consent clause covering the type.
+
+use crate::diagnostic::Diagnostic;
+use rgpdos_core::{Origin, Sensitivity, TimeToLive};
+use rgpdos_dsl::{parse_retention, TypeDecl};
+
+/// Runs the pass over the whole program.
+pub fn run(decls: &[TypeDecl], out: &mut Vec<Diagnostic>) {
+    for decl in decls {
+        check_decl(decl, out);
+    }
+}
+
+fn check_decl(decl: &TypeDecl, out: &mut Vec<Diagnostic>) {
+    let sensitivity =
+        decl.sensitivity
+            .as_ref()
+            .and_then(|attr| match Sensitivity::parse(attr.as_str()) {
+                Ok(level) => Some(level),
+                Err(_) => {
+                    out.push(Diagnostic::new(
+                        "RG0305",
+                        attr.span,
+                        format!(
+                            "unknown sensitivity `{}` on type `{}`",
+                            attr.as_str(),
+                            decl.name
+                        ),
+                        "use `low`, `medium`, or `high` (the paper's `hight` is accepted)",
+                    ));
+                    None
+                }
+            });
+
+    if let Some(attr) = &decl.origin {
+        if Origin::parse(attr.as_str()).is_err() {
+            out.push(Diagnostic::new(
+                "RG0306",
+                attr.span,
+                format!("unknown origin `{}` on type `{}`", attr.as_str(), decl.name),
+                "use `subject`, `sysadmin`, `third_party`, or `derived`",
+            ));
+        }
+    }
+
+    match &decl.age {
+        None => out.push(Diagnostic::new(
+            "RG0302",
+            decl.span,
+            format!(
+                "type `{}` declares no retention; its rows are kept forever by default",
+                decl.name
+            ),
+            "add an `age:` attribute (e.g. `age: 3Y;`) so expired rows are erased",
+        )),
+        Some(attr) => match parse_retention(attr.as_str()) {
+            Err(_) => out.push(Diagnostic::new(
+                "RG0303",
+                attr.span,
+                format!(
+                    "retention value `{}` on type `{}` does not parse",
+                    attr.as_str(),
+                    decl.name
+                ),
+                "use a number with a Y/D/S unit (e.g. `30D`, `3Y`) or `unbounded`",
+            )),
+            Ok(TimeToLive::Unbounded) if sensitivity == Some(Sensitivity::High) => {
+                out.push(Diagnostic::new(
+                    "RG0301",
+                    attr.span,
+                    format!(
+                        "high-sensitivity type `{}` declares unbounded retention",
+                        decl.name
+                    ),
+                    "give sensitive data a finite retention (storage limitation, art. 5(1)(e))",
+                ));
+            }
+            Ok(_) => {}
+        },
+    }
+
+    if decl.consent.is_empty() {
+        for coll in &decl.collection {
+            if coll.kind == "third_party" {
+                out.push(Diagnostic::new(
+                    "RG0304",
+                    coll.span,
+                    format!(
+                        "type `{}` is collected from a third party but declares no consent \
+                         clause; collected rows start with no usable purpose",
+                        decl.name
+                    ),
+                    "add a `consent { … }` block recording the decisions transferred with the data",
+                ));
+            }
+        }
+    }
+}

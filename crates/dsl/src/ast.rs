@@ -4,14 +4,23 @@
 //! output re-parses to the same AST ([`crate::parser::parse_type_declarations`]
 //! round-trips it); the property tests brute-force that guarantee over
 //! generated declarations.
+//!
+//! Nodes carry the [`Span`] of their defining token so the static analyzer
+//! (`rgpdos-analyze`) can point diagnostics at the exact source position.
+//! Spans are **ignored by equality**: two declarations that differ only in
+//! layout compare equal, which is what keeps the pretty-print round-trip
+//! property true.
 
+use crate::span::Span;
 use std::fmt;
 
 /// A `type <name> { … }` declaration (Listing 1).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TypeDecl {
     /// The type (table) name.
     pub name: String,
+    /// Span of the type name token.
+    pub span: Span,
     /// `fields { … }`.
     pub fields: Vec<FieldDecl>,
     /// `view <name> { … }` blocks.
@@ -19,40 +28,217 @@ pub struct TypeDecl {
     /// `consent { purpose: decision, … }`.
     pub consent: Vec<ConsentClause>,
     /// `collection { web_form: …, third_party: … }`.
-    pub collection: Vec<(String, String)>,
+    pub collection: Vec<CollectionDecl>,
     /// `origin: subject;`
-    pub origin: Option<String>,
+    pub origin: Option<Attr>,
     /// `age: 1Y;` (retention / time to live).
-    pub age: Option<String>,
+    pub age: Option<Attr>,
     /// `sensitivity: hight;`
-    pub sensitivity: Option<String>,
+    pub sensitivity: Option<Attr>,
+}
+
+impl PartialEq for TypeDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.fields == other.fields
+            && self.views == other.views
+            && self.consent == other.consent
+            && self.collection == other.collection
+            && self.origin == other.origin
+            && self.age == other.age
+            && self.sensitivity == other.sensitivity
+    }
+}
+
+impl Eq for TypeDecl {}
+
+/// An attribute value (`origin`, `age`, `sensitivity`) with the span of its
+/// value token.
+#[derive(Debug, Clone, Default)]
+pub struct Attr {
+    /// The attribute value spelling.
+    pub value: String,
+    /// Span of the value token.
+    pub span: Span,
+}
+
+impl Attr {
+    /// Creates an attribute with a [`Span::DUMMY`] span (hand-built ASTs).
+    pub fn new(value: impl Into<String>) -> Self {
+        Attr {
+            value: value.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// The value spelling.
+    pub fn as_str(&self) -> &str {
+        &self.value
+    }
+}
+
+impl PartialEq for Attr {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+
+impl Eq for Attr {}
+
+impl From<String> for Attr {
+    fn from(value: String) -> Self {
+        Attr::new(value)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(value: &str) -> Self {
+        Attr::new(value)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.value)
+    }
+}
+
+/// A spanned identifier (view field references).
+#[derive(Debug, Clone, Default)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// Span of the identifier token.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a [`Span::DUMMY`] span.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for Ident {}
+
+impl From<String> for Ident {
+    fn from(name: String) -> Self {
+        Ident::new(name)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(name: &str) -> Self {
+        Ident::new(name)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
 }
 
 /// One field declaration: `name: string`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct FieldDecl {
     /// Field name.
     pub name: String,
     /// Field type spelling (`string`, `int`, …).
     pub field_type: String,
+    /// Span of the field name token.
+    pub span: Span,
 }
 
+impl PartialEq for FieldDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.field_type == other.field_type
+    }
+}
+
+impl Eq for FieldDecl {}
+
 /// One view declaration: `view v_name { name }`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ViewDecl {
     /// View name.
     pub name: String,
     /// Exposed fields.
-    pub fields: Vec<String>,
+    pub fields: Vec<Ident>,
+    /// Span of the view name token.
+    pub span: Span,
 }
 
+impl PartialEq for ViewDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.fields == other.fields
+    }
+}
+
+impl Eq for ViewDecl {}
+
 /// One consent clause: `purpose1: all`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ConsentClause {
     /// Purpose name.
     pub purpose: String,
     /// Decision spelling (`all`, `none`, or a view reference).
     pub decision: String,
+    /// Span of the purpose name token.
+    pub span: Span,
+    /// Span of the decision token.
+    pub decision_span: Span,
+}
+
+impl PartialEq for ConsentClause {
+    fn eq(&self, other: &Self) -> bool {
+        self.purpose == other.purpose && self.decision == other.decision
+    }
+}
+
+impl Eq for ConsentClause {}
+
+/// One collection interface: `web_form: user_form.html`.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionDecl {
+    /// Interface kind (`web_form`, `third_party`).
+    pub kind: String,
+    /// Interface target (page, script).
+    pub target: String,
+    /// Span of the kind token.
+    pub span: Span,
+}
+
+impl PartialEq for CollectionDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.target == other.target
+    }
+}
+
+impl Eq for CollectionDecl {}
+
+impl From<(String, String)> for CollectionDecl {
+    fn from((kind, target): (String, String)) -> Self {
+        CollectionDecl {
+            kind,
+            target,
+            span: Span::DUMMY,
+        }
+    }
 }
 
 impl fmt::Display for TypeDecl {
@@ -73,7 +259,7 @@ impl fmt::Display for TypeDecl {
             let pairs: Vec<String> = self
                 .collection
                 .iter()
-                .map(|(kind, target)| format!("{kind}: {target}"))
+                .map(|c| format!("{}: {}", c.kind, c.target))
                 .collect();
             writeln!(f, "    collection {{ {} }}", pairs.join(", "))?;
         }
@@ -98,7 +284,8 @@ impl fmt::Display for FieldDecl {
 
 impl fmt::Display for ViewDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "view {} {{ {} }}", self.name, self.fields.join(", "))
+        let fields: Vec<&str> = self.fields.iter().map(Ident::as_str).collect();
+        write!(f, "view {} {{ {} }}", self.name, fields.join(", "))
     }
 }
 
@@ -143,6 +330,36 @@ mod tests {
         assert!(decl.name.is_empty());
         assert!(decl.fields.is_empty());
         assert!(decl.origin.is_none());
+        assert!(decl.span.is_dummy());
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let spanned = ConsentClause {
+            purpose: "p".into(),
+            decision: "all".into(),
+            span: Span::new(3, 5, 1),
+            decision_span: Span::new(3, 8, 3),
+        };
+        let dummy = ConsentClause {
+            purpose: "p".into(),
+            decision: "all".into(),
+            ..ConsentClause::default()
+        };
+        assert_eq!(spanned, dummy);
+        let a = FieldDecl {
+            name: "n".into(),
+            field_type: "string".into(),
+            span: Span::new(1, 1, 1),
+        };
+        let b = FieldDecl {
+            name: "n".into(),
+            field_type: "string".into(),
+            span: Span::DUMMY,
+        };
+        assert_eq!(a, b);
+        assert_eq!(Attr::new("1Y"), Attr::from("1Y".to_owned()));
+        assert_eq!(Ident::new("x"), Ident::from("x".to_owned()));
     }
 
     #[test]
@@ -150,17 +367,25 @@ mod tests {
         let a = FieldDecl {
             name: "n".into(),
             field_type: "string".into(),
+            span: Span::DUMMY,
         };
         assert_eq!(a.clone(), a);
         let v = ViewDecl {
             name: "v".into(),
             fields: vec!["n".into()],
+            span: Span::DUMMY,
         };
         assert_eq!(v.fields.len(), 1);
+        assert_eq!(v.to_string(), "view v { n }");
         let c = ConsentClause {
             purpose: "p".into(),
             decision: "all".into(),
+            ..ConsentClause::default()
         };
         assert_eq!(c.decision, "all");
+        let coll = CollectionDecl::from(("web_form".to_owned(), "f.html".to_owned()));
+        assert_eq!(coll.kind, "web_form");
+        assert_eq!(Attr::new("subject").as_str(), "subject");
+        assert_eq!(Ident::new("f").to_string(), "f");
     }
 }

@@ -33,25 +33,58 @@ pub fn parse_retention(value: &str) -> Result<TimeToLive, DslError> {
     }
 }
 
-/// Resolves a consent decision spelling against the declared view names.
+/// Resolves a consent decision spelling against the declared view names,
+/// returning `None` when the spelling is neither `all`, `none`, a declared
+/// view, nor a declared view once the `v_` prefix is added.
 ///
 /// Listing 1 writes `purpose3: ano` while the view is declared as `v_ano`;
 /// we therefore accept either the exact view name or the name with a `v_`
-/// prefix added.
-fn resolve_decision(spelling: &str, views: &[String]) -> ConsentDecision {
+/// prefix added.  The static analyzer uses the same resolution so compiler
+/// and `rgpdos-analyze` agree on what a policy means.
+pub fn resolve_consent_view(spelling: &str, views: &[String]) -> Option<String> {
+    let exact = views.iter().find(|v| v.as_str() == spelling);
+    let prefixed = format!("v_{spelling}");
+    exact
+        .or_else(|| views.iter().find(|v| **v == prefixed))
+        .cloned()
+}
+
+/// Resolves a view field spelling against a declaration's fields, returning
+/// the declared field it maps to (or `None` when it is not derivable).
+///
+/// Listing 1 declares `view v_ano { age }` although the field is
+/// `year_of_birthdate`; `age` is the *derived* quantity purpose3 computes.
+/// We keep the fidelity to the paper by mapping the view field `age` onto
+/// the declared field it derives from when the literal field does not exist.
+pub fn resolve_view_field(decl: &TypeDecl, field: &str) -> Option<String> {
+    if decl.fields.iter().any(|d| d.name == field) {
+        return Some(field.to_owned());
+    }
+    if field == "age" && decl.fields.iter().any(|d| d.name == "year_of_birthdate") {
+        return Some("year_of_birthdate".to_owned());
+    }
+    None
+}
+
+fn resolve_decision(
+    purpose: &str,
+    spelling: &str,
+    spelling_line: usize,
+    views: &[String],
+) -> Result<ConsentDecision, DslError> {
     match spelling {
-        "all" => ConsentDecision::All,
-        "none" => ConsentDecision::None,
-        other => {
-            let exact = views.iter().find(|v| v.as_str() == other);
-            let prefixed = format!("v_{other}");
-            let with_prefix = views.iter().find(|v| **v == prefixed);
-            let resolved = exact
-                .or(with_prefix)
-                .cloned()
-                .unwrap_or_else(|| other.to_owned());
-            ConsentDecision::View(resolved.into())
-        }
+        "all" => Ok(ConsentDecision::All),
+        "none" => Ok(ConsentDecision::None),
+        other => match resolve_consent_view(other, views) {
+            Some(resolved) => Ok(ConsentDecision::View(resolved.into())),
+            // A typo'd view reference must be a hard error: passing the
+            // spelling through would compile a clause that never matches.
+            None => Err(DslError::UnknownConsentView {
+                purpose: purpose.to_owned(),
+                view: other.to_owned(),
+                line: spelling_line,
+            }),
+        },
     }
 }
 
@@ -59,8 +92,9 @@ fn resolve_decision(spelling: &str, views: &[String]) -> ConsentDecision {
 ///
 /// # Errors
 ///
-/// Returns [`DslError::Core`] when the declaration violates schema rules
-/// (duplicate fields, unknown view references, …) and
+/// Returns [`DslError::UnknownConsentView`] when a consent clause references
+/// an undeclared view, [`DslError::Core`] when the declaration violates
+/// schema rules (duplicate fields, views over undeclared fields, …) and
 /// [`DslError::BadRetention`] / [`DslError::Core`] for bad attribute values.
 pub fn compile_type_declaration(decl: &TypeDecl) -> Result<DataTypeSchema, DslError> {
     let mut builder = DataTypeSchema::builder(decl.name.as_str());
@@ -69,52 +103,44 @@ pub fn compile_type_declaration(decl: &TypeDecl) -> Result<DataTypeSchema, DslEr
     }
     let view_names: Vec<String> = decl.views.iter().map(|v| v.name.clone()).collect();
     for view in &decl.views {
-        // Listing 1 declares `view v_ano { age }` although the field is
-        // `year_of_birthdate`; `age` is the *derived* quantity purpose3
-        // computes.  We keep the fidelity to the paper by mapping the view
-        // field `age` onto the declared field it derives from when the
-        // literal field does not exist.
         let fields: Vec<String> = view
             .fields
             .iter()
-            .map(|f| {
-                if decl.fields.iter().any(|d| &d.name == f) {
-                    f.clone()
-                } else if f == "age" && decl.fields.iter().any(|d| d.name == "year_of_birthdate") {
-                    "year_of_birthdate".to_owned()
-                } else {
-                    f.clone()
-                }
-            })
+            .map(|f| resolve_view_field(decl, f.as_str()).unwrap_or_else(|| f.name.clone()))
             .collect();
         builder = builder.view(view.name.as_str(), fields);
     }
     for clause in &decl.consent {
         builder = builder.default_consent(
             clause.purpose.as_str(),
-            resolve_decision(&clause.decision, &view_names),
+            resolve_decision(
+                &clause.purpose,
+                &clause.decision,
+                clause.decision_span.line,
+                &view_names,
+            )?,
         );
     }
-    for (kind, target) in &decl.collection {
-        let method = match kind.as_str() {
+    for coll in &decl.collection {
+        let method = match coll.kind.as_str() {
             "web_form" => CollectionMethod::WebForm {
-                page: target.clone(),
+                page: coll.target.clone(),
             },
             "third_party" => CollectionMethod::ThirdParty {
-                script: target.clone(),
+                script: coll.target.clone(),
             },
             _ => CollectionMethod::Inline,
         };
         builder = builder.collection(method);
     }
     if let Some(origin) = &decl.origin {
-        builder = builder.origin(Origin::parse(origin)?);
+        builder = builder.origin(Origin::parse(origin.as_str())?);
     }
     if let Some(age) = &decl.age {
-        builder = builder.time_to_live(parse_retention(age)?);
+        builder = builder.time_to_live(parse_retention(age.as_str())?);
     }
     if let Some(sensitivity) = &decl.sensitivity {
-        builder = builder.sensitivity(Sensitivity::parse(sensitivity)?);
+        builder = builder.sensitivity(Sensitivity::parse(sensitivity.as_str())?);
     }
     Ok(builder.build()?)
 }
@@ -185,11 +211,32 @@ mod tests {
     }
 
     #[test]
-    fn consent_referencing_missing_view_is_reported() {
+    fn consent_referencing_missing_view_is_a_hard_dsl_error() {
+        // Regression: `secret_view` used to be passed straight through as
+        // `ConsentDecision::View("secret_view")`, deferring detection to the
+        // schema builder (or worse, to run time for hand-assembled schemas).
+        // It now fails in the DSL layer with the view name, purpose and line.
+        let err = compile_type_declarations(
+            "type t {\n  fields { a: int };\n  consent { p: secret_view }\n}",
+        )
+        .unwrap_err();
+        match err {
+            DslError::UnknownConsentView {
+                purpose,
+                view,
+                line,
+            } => {
+                assert_eq!(purpose, "p");
+                assert_eq!(view, "secret_view");
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected UnknownConsentView, got {other:?}"),
+        }
+        // The error display carries the matching analyzer code.
         let err =
             compile_type_declarations("type t { fields { a: int }; consent { p: secret_view } }")
                 .unwrap_err();
-        assert!(matches!(err, DslError::Core(_)));
+        assert!(err.to_string().contains("RG0101"));
     }
 
     #[test]
@@ -207,6 +254,28 @@ mod tests {
     }
 
     #[test]
+    fn sensitivity_spellings_diagnose_instead_of_defaulting() {
+        // The paper's literal `hight` keeps compiling (to High)…
+        let schemas =
+            compile_type_declarations("type t { fields { a: int }; sensitivity: hight; }").unwrap();
+        assert_eq!(schemas[0].sensitivity(), Sensitivity::High);
+        let schemas =
+            compile_type_declarations("type t { fields { a: int }; sensitivity: high; }").unwrap();
+        assert_eq!(schemas[0].sensitivity(), Sensitivity::High);
+        // …while unknown spellings are reported, never silently defaulted.
+        for spelling in ["extreme", "hih", "HIGH", "secret"] {
+            let err = compile_type_declarations(&format!(
+                "type t {{ fields {{ a: int }}; sensitivity: {spelling}; }}"
+            ))
+            .unwrap_err();
+            assert!(
+                matches!(err, DslError::Core(_)),
+                "`{spelling}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn bad_sensitivity_and_origin_are_reported() {
         assert!(
             compile_type_declarations("type t { fields { a: int }; sensitivity: extreme; }")
@@ -214,5 +283,27 @@ mod tests {
         );
         assert!(compile_type_declarations("type t { fields { a: int }; origin: mars; }").is_err());
         assert!(compile_type_declarations("type t { fields { a: int }; age: weird; }").is_err());
+    }
+
+    #[test]
+    fn resolution_helpers_agree_with_the_compiler() {
+        let decls = parse_type_declarations(LISTING_1).unwrap();
+        let user = &decls[0];
+        let views: Vec<String> = user.views.iter().map(|v| v.name.clone()).collect();
+        assert_eq!(
+            resolve_consent_view("ano", &views).as_deref(),
+            Some("v_ano")
+        );
+        assert_eq!(
+            resolve_consent_view("v_name", &views).as_deref(),
+            Some("v_name")
+        );
+        assert_eq!(resolve_consent_view("ghost", &views), None);
+        assert_eq!(
+            resolve_view_field(user, "age").as_deref(),
+            Some("year_of_birthdate")
+        );
+        assert_eq!(resolve_view_field(user, "name").as_deref(), Some("name"));
+        assert_eq!(resolve_view_field(user, "ghost"), None);
     }
 }

@@ -34,6 +34,19 @@ pub enum DslError {
         /// The offending spelling.
         value: String,
     },
+    /// A consent clause references a view the type never declares.
+    ///
+    /// This is the DSL-level form of the analyzer's `RG0101` diagnostic: a
+    /// typo'd view reference must never compile into a policy that silently
+    /// fails to match (`consent { p: secrt_view }`).
+    UnknownConsentView {
+        /// The purpose whose clause is broken.
+        purpose: String,
+        /// The unresolvable view spelling.
+        view: String,
+        /// 1-based line of the decision token (0 for hand-built ASTs).
+        line: usize,
+    },
     /// Compiling the declaration to a schema failed.
     Core(CoreError),
 }
@@ -53,6 +66,15 @@ impl fmt::Display for DslError {
                 write!(f, "declaration ended while expecting {expected}")
             }
             DslError::BadRetention { value } => write!(f, "cannot parse retention `{value}`"),
+            DslError::UnknownConsentView {
+                purpose,
+                view,
+                line,
+            } => write!(
+                f,
+                "consent for purpose `{purpose}` references unknown view `{view}` \
+                 on line {line} [RG0101]"
+            ),
             DslError::Core(e) => write!(f, "schema error: {e}"),
         }
     }
@@ -94,6 +116,11 @@ mod tests {
             },
             DslError::BadRetention {
                 value: "1 fortnight".into(),
+            },
+            DslError::UnknownConsentView {
+                purpose: "p".into(),
+                view: "ghost".into(),
+                line: 4,
             },
             DslError::Core(CoreError::NotFound {
                 what: "view".into(),

@@ -1,6 +1,7 @@
 //! Tokeniser for the declaration language.
 
 use crate::error::DslError;
+use crate::span::Span;
 use std::fmt;
 
 /// One lexical token.
@@ -37,16 +38,56 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token plus the line it was found on (for error messages).
+/// A token plus the source region it was lexed from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
-    /// 1-based source line.
-    pub line: usize,
+    /// Where the token starts and how long its lexeme is.
+    pub span: Span,
 }
 
-/// Tokenises declaration text.
+impl Spanned {
+    /// 1-based source line (convenience for error messages).
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
+}
+
+/// Cursor over the input characters that keeps 1-based line/column counters
+/// in step with every consumed character.
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    /// The span of a token that starts at the current position and is
+    /// `len` characters long.
+    fn span_here(&self, len: usize) -> Span {
+        Span::new(self.line, self.col, len)
+    }
+}
+
+/// Tokenises declaration text, producing tokens with full source spans.
 ///
 /// Line comments (`// …`) and block comments (`/* … */`) are skipped.
 ///
@@ -56,35 +97,31 @@ pub struct Spanned {
 /// language.
 pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
     let mut tokens = Vec::new();
-    let mut chars = input.chars().peekable();
-    let mut line = 1usize;
-    while let Some(&c) = chars.peek() {
+    let mut scanner = Scanner {
+        chars: input.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    while let Some(c) = scanner.peek() {
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                scanner.bump();
             }
             '/' => {
-                chars.next();
-                match chars.peek() {
+                let line = scanner.line;
+                scanner.bump();
+                match scanner.peek() {
                     Some('/') => {
-                        for c in chars.by_ref() {
+                        while let Some(c) = scanner.bump() {
                             if c == '\n' {
-                                line += 1;
                                 break;
                             }
                         }
                     }
                     Some('*') => {
-                        chars.next();
+                        scanner.bump();
                         let mut prev = ' ';
-                        for c in chars.by_ref() {
-                            if c == '\n' {
-                                line += 1;
-                            }
+                        while let Some(c) = scanner.bump() {
                             if prev == '*' && c == '/' {
                                 break;
                             }
@@ -99,51 +136,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
                     }
                 }
             }
-            '{' => {
+            '{' | '}' | ':' | ';' | ',' => {
+                let token = match c {
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    ':' => Token::Colon,
+                    ';' => Token::Semicolon,
+                    _ => Token::Comma,
+                };
                 tokens.push(Spanned {
-                    token: Token::LBrace,
-                    line,
+                    token,
+                    span: scanner.span_here(1),
                 });
-                chars.next();
-            }
-            '}' => {
-                tokens.push(Spanned {
-                    token: Token::RBrace,
-                    line,
-                });
-                chars.next();
-            }
-            ':' => {
-                tokens.push(Spanned {
-                    token: Token::Colon,
-                    line,
-                });
-                chars.next();
-            }
-            ';' => {
-                tokens.push(Spanned {
-                    token: Token::Semicolon,
-                    line,
-                });
-                chars.next();
-            }
-            ',' => {
-                tokens.push(Spanned {
-                    token: Token::Comma,
-                    line,
-                });
-                chars.next();
+                scanner.bump();
             }
             '"' => {
-                chars.next();
+                let span_start = scanner.span_here(0);
+                scanner.bump();
                 let mut s = String::new();
                 loop {
-                    match chars.next() {
+                    match scanner.bump() {
                         Some('"') => break,
-                        Some('\n') => {
-                            line += 1;
-                            s.push('\n');
-                        }
                         Some(c) => s.push(c),
                         None => {
                             return Err(DslError::UnexpectedEndOfInput {
@@ -152,30 +165,33 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, DslError> {
                         }
                     }
                 }
+                let len = s.chars().count() + 2;
                 tokens.push(Spanned {
                     token: Token::Str(s),
-                    line,
+                    span: Span::new(span_start.line, span_start.col, len),
                 });
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
+                let span_start = scanner.span_here(0);
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = scanner.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-' {
                         s.push(c);
-                        chars.next();
+                        scanner.bump();
                     } else {
                         break;
                     }
                 }
+                let len = s.chars().count();
                 tokens.push(Spanned {
                     token: Token::Ident(s),
-                    line,
+                    span: Span::new(span_start.line, span_start.col, len),
                 });
             }
             other => {
                 return Err(DslError::UnexpectedCharacter {
                     character: other,
-                    line,
+                    line: scanner.line,
                 })
             }
         }
@@ -203,12 +219,30 @@ mod tests {
     fn tracks_line_numbers_and_skips_comments() {
         let src = "// header comment\ntype user {\n/* block\ncomment */\nname\n}";
         let tokens = tokenize(src).unwrap();
-        assert_eq!(tokens[0].line, 2); // `type`
+        assert_eq!(tokens[0].line(), 2); // `type`
         let name_token = tokens
             .iter()
             .find(|s| s.token == Token::Ident("name".into()))
             .unwrap();
-        assert_eq!(name_token.line, 5);
+        assert_eq!(name_token.line(), 5);
+    }
+
+    #[test]
+    fn tracks_columns_and_lexeme_lengths() {
+        let tokens = tokenize("type user {\n    age: 1Y;\n}").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1, 4)); // `type`
+        assert_eq!(tokens[1].span, Span::new(1, 6, 4)); // `user`
+        assert_eq!(tokens[2].span, Span::new(1, 11, 1)); // `{`
+        let age = tokens
+            .iter()
+            .find(|s| s.token == Token::Ident("age".into()))
+            .unwrap();
+        assert_eq!(age.span, Span::new(2, 5, 3));
+        let value = tokens
+            .iter()
+            .find(|s| s.token == Token::Ident("1Y".into()))
+            .unwrap();
+        assert_eq!(value.span, Span::new(2, 10, 2));
     }
 
     #[test]
@@ -228,9 +262,12 @@ mod tests {
     #[test]
     fn quoted_strings() {
         let tokens = tokenize("description: \"compute the age\"").unwrap();
-        assert!(tokens
+        let s = tokens
             .iter()
-            .any(|s| s.token == Token::Str("compute the age".into())));
+            .find(|s| s.token == Token::Str("compute the age".into()))
+            .unwrap();
+        // The span covers the quotes.
+        assert_eq!(s.span, Span::new(1, 14, 17));
         assert!(tokenize("\"unterminated").is_err());
     }
 

@@ -39,9 +39,14 @@ pub mod lexer;
 pub mod listings;
 pub mod parser;
 pub mod purpose;
+pub mod span;
 
-pub use ast::{ConsentClause, FieldDecl, TypeDecl, ViewDecl};
-pub use compile::{compile_type_declaration, compile_type_declarations};
+pub use ast::{Attr, CollectionDecl, ConsentClause, FieldDecl, Ident, TypeDecl, ViewDecl};
+pub use compile::{
+    compile_type_declaration, compile_type_declarations, parse_retention, resolve_consent_view,
+    resolve_view_field,
+};
 pub use error::DslError;
 pub use parser::parse_type_declarations;
 pub use purpose::{extract_purpose_annotation, parse_purpose_declarations, PurposeDecl};
+pub use span::Span;

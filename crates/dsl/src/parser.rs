@@ -1,12 +1,21 @@
 //! Recursive-descent parser for type declarations.
 
-use crate::ast::{ConsentClause, FieldDecl, TypeDecl, ViewDecl};
+use crate::ast::{Attr, CollectionDecl, ConsentClause, FieldDecl, Ident, TypeDecl, ViewDecl};
 use crate::error::DslError;
 use crate::lexer::{tokenize, Spanned, Token};
+use crate::span::Span;
 
 struct Cursor {
     tokens: Vec<Spanned>,
     pos: usize,
+}
+
+/// A `key: value` pair with the spans of both tokens.
+struct Pair {
+    key: String,
+    key_span: Span,
+    value: String,
+    value_span: Span,
 }
 
 impl Cursor {
@@ -28,7 +37,7 @@ impl Cursor {
             Some(s) => Err(DslError::UnexpectedToken {
                 found: s.token.to_string(),
                 expected: what.to_owned(),
-                line: s.line,
+                line: s.line(),
             }),
             None => Err(DslError::UnexpectedEndOfInput {
                 expected: what.to_owned(),
@@ -36,20 +45,21 @@ impl Cursor {
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<String, DslError> {
+    /// Consumes an identifier (or string literal), returning its text and span.
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), DslError> {
         match self.next() {
             Some(Spanned {
                 token: Token::Ident(s),
-                ..
-            }) => Ok(s),
-            Some(Spanned {
+                span,
+            })
+            | Some(Spanned {
                 token: Token::Str(s),
-                ..
-            }) => Ok(s),
+                span,
+            }) => Ok((s, span)),
             Some(s) => Err(DslError::UnexpectedToken {
                 found: s.token.to_string(),
                 expected: what.to_owned(),
-                line: s.line,
+                line: s.line(),
             }),
             None => Err(DslError::UnexpectedEndOfInput {
                 expected: what.to_owned(),
@@ -92,16 +102,18 @@ pub fn parse_type_declarations(input: &str) -> Result<Vec<TypeDecl>, DslError> {
 }
 
 fn parse_type(cursor: &mut Cursor) -> Result<TypeDecl, DslError> {
-    let keyword = cursor.expect_ident("the `type` keyword")?;
+    let (keyword, _) = cursor.expect_ident("the `type` keyword")?;
     if keyword != "type" {
         return Err(DslError::UnexpectedToken {
             found: keyword,
             expected: "the `type` keyword".to_owned(),
-            line: cursor.peek().map(|s| s.line).unwrap_or_default(),
+            line: cursor.peek().map(|s| s.line()).unwrap_or_default(),
         });
     }
+    let (name, name_span) = cursor.expect_ident("a type name")?;
     let mut decl = TypeDecl {
-        name: cursor.expect_ident("a type name")?,
+        name,
+        span: name_span,
         ..TypeDecl::default()
     };
     cursor.expect(&Token::LBrace, "`{` opening the type body")?;
@@ -113,41 +125,60 @@ fn parse_type(cursor: &mut Cursor) -> Result<TypeDecl, DslError> {
                 expected: "`}` closing the type body".to_owned(),
             });
         };
-        let section_line = next.line;
+        let section_line = next.line();
         if next.token == Token::RBrace {
             cursor.next();
             break;
         }
-        let section = cursor.expect_ident("a section name")?;
+        let (section, _) = cursor.expect_ident("a section name")?;
         match section.as_str() {
             "fields" => {
-                decl.fields = parse_fields(cursor)?;
+                decl.fields = parse_pairs(cursor)?
+                    .into_iter()
+                    .map(|p| FieldDecl {
+                        name: p.key,
+                        field_type: p.value,
+                        span: p.key_span,
+                    })
+                    .collect();
             }
             "view" => {
-                let name = cursor.expect_ident("a view name")?;
+                let (name, span) = cursor.expect_ident("a view name")?;
                 let fields = parse_ident_list(cursor)?;
-                decl.views.push(ViewDecl { name, fields });
+                decl.views.push(ViewDecl { name, fields, span });
             }
             "consent" => {
                 decl.consent = parse_pairs(cursor)?
                     .into_iter()
-                    .map(|(purpose, decision)| ConsentClause { purpose, decision })
+                    .map(|p| ConsentClause {
+                        purpose: p.key,
+                        decision: p.value,
+                        span: p.key_span,
+                        decision_span: p.value_span,
+                    })
                     .collect();
             }
             "collection" => {
-                decl.collection = parse_pairs(cursor)?;
+                decl.collection = parse_pairs(cursor)?
+                    .into_iter()
+                    .map(|p| CollectionDecl {
+                        kind: p.key,
+                        target: p.value,
+                        span: p.key_span,
+                    })
+                    .collect();
             }
             "origin" => {
                 cursor.expect(&Token::Colon, "`:` after `origin`")?;
-                decl.origin = Some(cursor.expect_ident("an origin value")?);
+                decl.origin = Some(parse_attr(cursor, "an origin value")?);
             }
             "age" | "ttl" | "retention" => {
                 cursor.expect(&Token::Colon, "`:` after `age`")?;
-                decl.age = Some(cursor.expect_ident("a retention value")?);
+                decl.age = Some(parse_attr(cursor, "a retention value")?);
             }
             "sensitivity" => {
                 cursor.expect(&Token::Colon, "`:` after `sensitivity`")?;
-                decl.sensitivity = Some(cursor.expect_ident("a sensitivity value")?);
+                decl.sensitivity = Some(parse_attr(cursor, "a sensitivity value")?);
             }
             other => {
                 return Err(DslError::UnexpectedToken {
@@ -162,15 +193,13 @@ fn parse_type(cursor: &mut Cursor) -> Result<TypeDecl, DslError> {
     Ok(decl)
 }
 
-fn parse_fields(cursor: &mut Cursor) -> Result<Vec<FieldDecl>, DslError> {
-    Ok(parse_pairs(cursor)?
-        .into_iter()
-        .map(|(name, field_type)| FieldDecl { name, field_type })
-        .collect())
+fn parse_attr(cursor: &mut Cursor, what: &str) -> Result<Attr, DslError> {
+    let (value, span) = cursor.expect_ident(what)?;
+    Ok(Attr { value, span })
 }
 
 /// Parses `{ key: value, key: value, … }`.
-fn parse_pairs(cursor: &mut Cursor) -> Result<Vec<(String, String)>, DslError> {
+fn parse_pairs(cursor: &mut Cursor) -> Result<Vec<Pair>, DslError> {
     cursor.expect(&Token::LBrace, "`{`")?;
     let mut pairs = Vec::new();
     loop {
@@ -178,16 +207,21 @@ fn parse_pairs(cursor: &mut Cursor) -> Result<Vec<(String, String)>, DslError> {
         if cursor.eat(&Token::RBrace) {
             break;
         }
-        let key = cursor.expect_ident("a name")?;
+        let (key, key_span) = cursor.expect_ident("a name")?;
         cursor.expect(&Token::Colon, "`:`")?;
-        let value = cursor.expect_ident("a value")?;
-        pairs.push((key, value));
+        let (value, value_span) = cursor.expect_ident("a value")?;
+        pairs.push(Pair {
+            key,
+            key_span,
+            value,
+            value_span,
+        });
     }
     Ok(pairs)
 }
 
 /// Parses `{ ident, ident, … }` (view field lists).
-fn parse_ident_list(cursor: &mut Cursor) -> Result<Vec<String>, DslError> {
+fn parse_ident_list(cursor: &mut Cursor) -> Result<Vec<Ident>, DslError> {
     cursor.expect(&Token::LBrace, "`{`")?;
     let mut idents = Vec::new();
     loop {
@@ -195,7 +229,8 @@ fn parse_ident_list(cursor: &mut Cursor) -> Result<Vec<String>, DslError> {
         if cursor.eat(&Token::RBrace) {
             break;
         }
-        idents.push(cursor.expect_ident("a field name")?);
+        let (name, span) = cursor.expect_ident("a field name")?;
+        idents.push(Ident { name, span });
     }
     Ok(idents)
 }
@@ -216,14 +251,25 @@ mod tests {
         assert_eq!(user.fields[2].field_type, "int");
         assert_eq!(user.views.len(), 2);
         assert_eq!(user.views[0].name, "v_name");
-        assert_eq!(user.views[1].fields, vec!["age".to_string()]);
+        assert_eq!(user.views[1].fields, vec![Ident::new("age")]);
         assert_eq!(user.consent.len(), 3);
         assert_eq!(user.consent[1].decision, "none");
         assert_eq!(user.collection.len(), 2);
-        assert_eq!(user.collection[0].1, "user_form.html");
-        assert_eq!(user.origin.as_deref(), Some("subject"));
-        assert_eq!(user.age.as_deref(), Some("1Y"));
-        assert_eq!(user.sensitivity.as_deref(), Some("hight"));
+        assert_eq!(user.collection[0].target, "user_form.html");
+        assert_eq!(user.origin.as_ref().map(Attr::as_str), Some("subject"));
+        assert_eq!(user.age.as_ref().map(Attr::as_str), Some("1Y"));
+        assert_eq!(user.sensitivity.as_ref().map(Attr::as_str), Some("hight"));
+    }
+
+    #[test]
+    fn ast_spans_point_into_the_source() {
+        let src = "type user {\n    fields { name: string };\n    consent { p1: secret }\n}";
+        let decls = parse_type_declarations(src).unwrap();
+        let user = &decls[0];
+        assert_eq!(user.span, Span::new(1, 6, 4)); // `user`
+        assert_eq!(user.fields[0].span, Span::new(2, 14, 4)); // `name`
+        assert_eq!(user.consent[0].span, Span::new(3, 15, 2)); // `p1`
+        assert_eq!(user.consent[0].decision_span, Span::new(3, 19, 6)); // `secret`
     }
 
     #[test]
@@ -235,7 +281,7 @@ mod tests {
         let decls = parse_type_declarations(src).unwrap();
         assert_eq!(decls.len(), 2);
         assert_eq!(decls[1].name, "invoice");
-        assert_eq!(decls[1].origin.as_deref(), Some("sysadmin"));
+        assert_eq!(decls[1].origin.as_ref().map(Attr::as_str), Some("sysadmin"));
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub fn parse_purpose_declarations(input: &str) -> Result<Vec<PurposeDecl>, DslEr
                 expected: "the `purpose` keyword".to_owned(),
                 line: tokens
                     .get(pos.saturating_sub(1))
-                    .map(|s| s.line)
+                    .map(|s| s.line())
                     .unwrap_or(1),
             });
         }
@@ -121,7 +121,7 @@ pub fn parse_purpose_declarations(input: &str) -> Result<Vec<PurposeDecl>, DslEr
                                     .to_owned(),
                                 line: tokens
                                     .get(pos.saturating_sub(1))
-                                    .map(|s| s.line)
+                                    .map(|s| s.line())
                                     .unwrap_or(1),
                             })
                         }
@@ -154,7 +154,7 @@ fn expect_ident(
                 other => Err(DslError::UnexpectedToken {
                     found: other.to_string(),
                     expected: what.to_owned(),
-                    line: s.line,
+                    line: s.line(),
                 }),
             }
         }
@@ -178,7 +178,7 @@ fn expect_token(
         Some(s) => Err(DslError::UnexpectedToken {
             found: s.token.to_string(),
             expected: what.to_owned(),
-            line: s.line,
+            line: s.line(),
         }),
         None => Err(DslError::UnexpectedEndOfInput {
             expected: what.to_owned(),

@@ -1,0 +1,71 @@
+//! Source spans for diagnostics.
+//!
+//! Every token the lexer produces carries a [`Span`] (1-based line and
+//! column plus the lexeme length), and the parser threads those spans into
+//! the AST nodes so that the static analyzer (`rgpdos-analyze`) can point
+//! diagnostics at the exact place in the declaration text.
+//!
+//! Spans deliberately do **not** participate in AST equality: two
+//! declarations that differ only in layout are the same program, and the
+//! pretty-print → reparse round-trip guarantee relies on that.
+
+use std::fmt;
+
+/// A half-open region of declaration source text: the token starting at
+/// 1-based (`line`, `col`) and spanning `len` characters.
+///
+/// [`Span::DUMMY`] (all zeroes) marks synthesized nodes that never came from
+/// source text (hand-built ASTs, generated test inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// 1-based source line (0 for [`Span::DUMMY`]).
+    pub line: usize,
+    /// 1-based column of the first character (0 for [`Span::DUMMY`]).
+    pub col: usize,
+    /// Length of the lexeme in characters.
+    pub len: usize,
+}
+
+impl Span {
+    /// The span of a node that was never read from source text.
+    pub const DUMMY: Span = Span {
+        line: 0,
+        col: 0,
+        len: 0,
+    };
+
+    /// Creates a span.
+    pub const fn new(line: usize, col: usize, len: usize) -> Self {
+        Span { line, col, len }
+    }
+
+    /// Returns `true` for [`Span::DUMMY`].
+    pub const fn is_dummy(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_and_display() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(!Span::new(3, 7, 4).is_dummy());
+        assert_eq!(Span::new(3, 7, 4).to_string(), "3:7");
+        assert_eq!(Span::default(), Span::DUMMY);
+    }
+
+    #[test]
+    fn spans_order_by_position() {
+        assert!(Span::new(1, 9, 1) < Span::new(2, 1, 1));
+        assert!(Span::new(2, 1, 1) < Span::new(2, 5, 1));
+    }
+}

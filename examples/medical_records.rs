@@ -60,6 +60,8 @@ fn rgpdos_run() -> Result<(), Box<dyn Error>> {
     let os = RgpdOs::builder()
         .device_blocks(16_384)
         .block_size(512)
+        // Warnings from the static policy analyzer abort installation.
+        .deny_policy_warnings()
         .boot()?;
     os.install_types(
         "type radiology {

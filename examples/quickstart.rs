@@ -17,6 +17,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let os = RgpdOs::builder()
         .device_blocks(16_384)
         .block_size(512)
+        // Warnings from the static policy analyzer abort installation.
+        .deny_policy_warnings()
         .boot()?;
     println!("booted rgpdOS: {}", os.machine());
 

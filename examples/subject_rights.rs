@@ -12,6 +12,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let os = RgpdOs::builder()
         .device_blocks(32_768)
         .block_size(512)
+        // Warnings from the static policy analyzer abort installation.
+        .deny_policy_warnings()
         .boot()?;
     os.install_types(rgpdos::dsl::listings::LISTING_1)?;
 

@@ -49,6 +49,7 @@ pub mod runtime;
 
 pub use runtime::{RgpdOs, RgpdOsBuilder, RgpdOsDevice, RgpdOsWith, RuntimeError, ShardedRgpdOs};
 
+pub use rgpdos_analyze as analyze;
 pub use rgpdos_baseline as baseline;
 pub use rgpdos_blockdev as blockdev;
 pub use rgpdos_core as core;

@@ -93,6 +93,7 @@ pub struct RgpdOsBuilder {
     cpus: u32,
     memory_mb: u64,
     shards: usize,
+    deny_policy_warnings: bool,
 }
 
 impl Default for RgpdOsBuilder {
@@ -106,6 +107,7 @@ impl Default for RgpdOsBuilder {
             cpus: 8,
             memory_mb: 8_192,
             shards: 1,
+            deny_policy_warnings: false,
         }
     }
 }
@@ -165,6 +167,20 @@ impl RgpdOsBuilder {
     pub fn shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// Treats static-analyzer **warnings** as installation failures.
+    ///
+    /// [`RgpdOsWith::install_types`] always runs the [`crate::analyze`]
+    /// passes over the declaration text and refuses to install a policy
+    /// with *error*-severity diagnostics.  With this flag set the gate is
+    /// strict: warning-severity diagnostics (missing retention, over-broad
+    /// views, unconsented third-party collection, …) also abort the
+    /// installation — the CI posture for production policies.
+    #[must_use]
+    pub fn deny_policy_warnings(mut self) -> Self {
+        self.deny_policy_warnings = true;
         self
     }
 
@@ -257,6 +273,7 @@ impl RgpdOsBuilder {
             escrow,
             clock,
             audit,
+            deny_policy_warnings: self.deny_policy_warnings,
         })
     }
 }
@@ -277,6 +294,7 @@ pub struct RgpdOsWith<S: PdStore> {
     escrow: Arc<OperatorEscrow>,
     clock: Arc<LogicalClock>,
     audit: AuditLog,
+    deny_policy_warnings: bool,
 }
 
 /// The classic single-device rgpdOS instance.
@@ -372,10 +390,25 @@ impl<S: PdStore> RgpdOsWith<S> {
     /// Compiles and installs every type declaration in `declarations`
     /// (Listing 1 syntax), returning the installed type names.
     ///
+    /// The text is first run through the static policy analyzer
+    /// ([`crate::analyze`]): error-severity diagnostics always abort the
+    /// installation, and warning-severity diagnostics abort it too when the
+    /// instance was booted with [`RgpdOsBuilder::deny_policy_warnings`].
+    ///
     /// # Errors
     ///
-    /// Propagates DSL and DBFS errors.
+    /// Propagates DSL and DBFS errors, and surfaces analyzer diagnostics
+    /// (one per line) when the policy gate fails.
     pub fn install_types(&self, declarations: &str) -> Result<Vec<DataTypeId>, RuntimeError> {
+        let diagnostics = rgpdos_analyze::analyze_source(declarations)?;
+        if rgpdos_analyze::gate_fails(&diagnostics, self.deny_policy_warnings) {
+            let listed: Vec<String> = diagnostics.iter().map(ToString::to_string).collect();
+            return Err(RuntimeError::message(format!(
+                "policy rejected by the static analyzer ({} diagnostic(s)):\n{}",
+                diagnostics.len(),
+                listed.join("\n")
+            )));
+        }
         let schemas = compile_type_declarations(declarations)?;
         let mut names = Vec::with_capacity(schemas.len());
         for schema in schemas {
@@ -589,6 +622,23 @@ mod tests {
         assert!(report.is_compliant());
         // Duplicate type installation is reported.
         assert!(os.install_types(rgpdos_dsl::listings::LISTING_1).is_err());
+    }
+
+    #[test]
+    fn install_types_runs_the_policy_gate() {
+        // Warning-only policy (missing retention): installable by default…
+        let warn_only = "type t { fields { a: string } }";
+        let lenient = RgpdOs::boot_default().unwrap();
+        lenient.install_types(warn_only).unwrap();
+        // …but refused when the instance denies policy warnings.
+        let strict = RgpdOs::builder().deny_policy_warnings().boot().unwrap();
+        let err = strict.install_types(warn_only).unwrap_err();
+        assert!(err.to_string().contains("RG0302"), "{err}");
+        assert!(err.to_string().contains("static analyzer"), "{err}");
+        // Error-severity diagnostics abort regardless of the flag.
+        let bad = "type u { fields { a: string }; consent { p: ghost }; age: 1Y }";
+        let err = lenient.install_types(bad).unwrap_err();
+        assert!(err.to_string().contains("RG0101"), "{err}");
     }
 
     #[test]

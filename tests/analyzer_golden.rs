@@ -1,0 +1,218 @@
+//! Golden-file tests of the static policy analyzer.
+//!
+//! `tests/policies/*.rgpd` is a corpus of deliberately broken declarations;
+//! each has a sibling `.expected` file pinning every diagnostic as one
+//! `CODE severity line:col:len message` line, in output order.  The tests
+//! here freeze the analyzer's codes, spans, messages and ordering, and pin
+//! the zero-false-positive guarantee: the paper's listings and every shipped
+//! good policy produce no diagnostics at all.
+
+use rgpdos::analyze::{analyze, analyze_source, check_purpose, Diagnostic, CATALOG};
+use rgpdos::dsl::listings;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/policies")
+}
+
+fn good_policy_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/policies")
+}
+
+fn corpus_files(dir: &Path, extension: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == extension))
+        .collect();
+    files.sort();
+    files
+}
+
+fn golden_lines(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{} {} {}:{}:{} {}\n",
+                d.code, d.severity, d.span.line, d.span.col, d.span.len, d.message
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn bad_policy_corpus_matches_the_goldens() {
+    let files = corpus_files(&corpus_dir(), "rgpd");
+    assert!(files.len() >= 5, "corpus unexpectedly small: {files:?}");
+    for path in files {
+        let source = std::fs::read_to_string(&path).unwrap();
+        let diags = analyze_source(&source).unwrap_or_else(|e| {
+            panic!(
+                "{} must parse (it is an analyzer corpus, not a parser corpus): {e}",
+                path.display()
+            )
+        });
+        assert!(
+            !diags.is_empty(),
+            "{} is in the bad corpus but produced no diagnostics",
+            path.display()
+        );
+        let expected_path = path.with_extension("expected");
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", expected_path.display()));
+        assert_eq!(
+            golden_lines(&diags),
+            expected,
+            "diagnostics drifted for {}; update {} if the change is intended",
+            path.display(),
+            expected_path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_at_least_eight_distinct_codes_with_real_spans() {
+    let mut codes = BTreeSet::new();
+    for path in corpus_files(&corpus_dir(), "rgpd") {
+        let source = std::fs::read_to_string(&path).unwrap();
+        for diag in analyze_source(&source).unwrap() {
+            assert!(
+                !diag.span.is_dummy(),
+                "{}: {} carries no source span",
+                path.display(),
+                diag.code
+            );
+            // The span must point at a real position inside the file.
+            let line = source
+                .lines()
+                .nth(diag.span.line - 1)
+                .unwrap_or_else(|| panic!("{}: {} points past the end", path.display(), diag.code));
+            assert!(
+                line.chars().count() >= diag.span.col.saturating_sub(1) + diag.span.len,
+                "{}: {} span {} exceeds its line",
+                path.display(),
+                diag.code,
+                diag.span
+            );
+            codes.insert(diag.code);
+        }
+    }
+    assert!(
+        codes.len() >= 8,
+        "corpus covers only {} codes: {codes:?}",
+        codes.len()
+    );
+    // Every corpus code is catalogued.
+    for code in &codes {
+        assert!(
+            CATALOG.iter().any(|info| info.code == *code),
+            "{code} missing from CATALOG"
+        );
+    }
+}
+
+/// The zero-false-positive guard: the paper's own artefacts are clean.
+#[test]
+fn paper_listings_and_good_policies_are_clean() {
+    assert_eq!(
+        analyze_source(listings::LISTING_1).unwrap(),
+        Vec::new(),
+        "Listing 1 must produce zero diagnostics"
+    );
+    let decls = rgpdos::dsl::parse_type_declarations(listings::LISTING_1).unwrap();
+    for purpose in rgpdos::dsl::parse_purpose_declarations(listings::LISTING_2_PURPOSE).unwrap() {
+        assert_eq!(
+            check_purpose(&purpose, &decls),
+            Vec::new(),
+            "Listing 2's purpose must cross-check cleanly"
+        );
+    }
+    for path in corpus_files(&good_policy_dir(), "rgpd") {
+        let source = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            analyze_source(&source).unwrap(),
+            Vec::new(),
+            "{} is a good policy but produced diagnostics",
+            path.display()
+        );
+    }
+}
+
+/// The shipped `examples/policies/listing1.rgpd` stays in sync with the
+/// verbatim listing constant: same AST, hence same schema and diagnostics.
+#[test]
+fn shipped_listing1_policy_matches_the_constant() {
+    let shipped = std::fs::read_to_string(good_policy_dir().join("listing1.rgpd")).unwrap();
+    let from_file = rgpdos::dsl::parse_type_declarations(&shipped).unwrap();
+    let from_constant = rgpdos::dsl::parse_type_declarations(listings::LISTING_1).unwrap();
+    assert_eq!(from_file, from_constant);
+}
+
+/// The JSON report shape is stable: pinned keys and values for one corpus
+/// file, so CI consumers can rely on it.
+#[test]
+fn json_report_shape_is_stable() {
+    use rgpdos::analyze::{JsonFile, JsonReport};
+    let path = corpus_dir().join("unknown_names.rgpd");
+    let source = std::fs::read_to_string(&path).unwrap();
+    let diags = analyze_source(&source).unwrap();
+    let report = JsonReport::new(vec![JsonFile::new("unknown_names.rgpd", &diags)]);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    for needle in [
+        "\"version\": 1",
+        "\"path\": \"unknown_names.rgpd\"",
+        "\"code\": \"RG0102\"",
+        "\"code\": \"RG0101\"",
+        "\"severity\": \"error\"",
+        "\"line\": 4",
+        "\"col\": 20",
+        "\"len\": 8",
+        "\"errors\": 2",
+        "\"warnings\": 0",
+    ] {
+        assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+    }
+}
+
+/// `docs/DIAGNOSTICS.md` stays in sync with the in-code catalog: every
+/// catalogued code has a doc heading carrying its name and severity, and
+/// the doc describes no code the catalog lacks.
+#[test]
+fn diagnostics_doc_matches_the_catalog() {
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("docs/DIAGNOSTICS.md");
+    let doc = std::fs::read_to_string(&doc_path).unwrap();
+    for info in CATALOG {
+        let heading = format!("## {} — {} ({})", info.code, info.name, info.severity);
+        assert!(
+            doc.contains(&heading),
+            "docs/DIAGNOSTICS.md is missing the heading `{heading}`"
+        );
+    }
+    let documented: BTreeSet<&str> = doc
+        .lines()
+        .filter_map(|line| line.strip_prefix("## "))
+        .filter_map(|rest| rest.split(' ').next())
+        .collect();
+    for code in &documented {
+        assert!(
+            CATALOG.iter().any(|info| info.code == *code),
+            "docs/DIAGNOSTICS.md documents `{code}`, which is not in CATALOG"
+        );
+    }
+    assert_eq!(documented.len(), CATALOG.len());
+}
+
+/// Hand-built ASTs (no source text) analyze without panicking and report
+/// dummy spans.
+#[test]
+fn analyzer_handles_spanless_asts() {
+    let decl = rgpdos::dsl::TypeDecl {
+        name: "t".into(),
+        ..Default::default()
+    };
+    let diags = analyze(&[decl]);
+    assert!(diags.iter().all(|d| d.span.is_dummy()));
+    assert!(diags.iter().any(|d| d.code == "RG0107"));
+}

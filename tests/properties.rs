@@ -245,20 +245,33 @@ fn type_decl_strategy() -> impl Strategy<Value = rgpdos::dsl::TypeDecl> {
             name,
             fields: fields
                 .into_iter()
-                .map(|(name, field_type)| FieldDecl { name, field_type })
+                .map(|(name, field_type)| FieldDecl {
+                    name,
+                    field_type,
+                    ..FieldDecl::default()
+                })
                 .collect(),
             views: views
                 .into_iter()
-                .map(|(name, fields)| ViewDecl { name, fields })
+                .map(|(name, fields)| ViewDecl {
+                    name,
+                    fields: fields.into_iter().map(Into::into).collect(),
+                    ..ViewDecl::default()
+                })
                 .collect(),
             consent: consent
                 .into_iter()
-                .map(|(purpose, decision)| ConsentClause { purpose, decision })
+                .map(|(purpose, decision)| ConsentClause {
+                    purpose,
+                    decision,
+                    ..ConsentClause::default()
+                })
                 .collect(),
-            collection,
-            origin,
-            age,
-            sensitivity,
+            collection: collection.into_iter().map(Into::into).collect(),
+            origin: origin.map(Into::into),
+            age: age.map(Into::into),
+            sensitivity: sensitivity.map(Into::into),
+            ..TypeDecl::default()
         },
     )
 }
@@ -297,10 +310,47 @@ proptest! {
             for decl in &decls {
                 let _ = rgpdos::dsl::compile_type_declaration(decl);
             }
+            // The analyzer accepts whatever the parser accepts.
+            let _ = rgpdos::analyze::analyze(&decls);
         }
         // Purpose declarations share the lexer; they must not panic either.
         let _ = rgpdos::dsl::parse_purpose_declarations(&soup);
         let _ = rgpdos::dsl::extract_purpose_annotation(&soup);
+    }
+
+    /// The static analyzer never panics on arbitrary (frequently nonsense)
+    /// ASTs, and its verdict is stable across a pretty-print round trip: the
+    /// same diagnostic codes come out whether it sees the hand-built AST
+    /// (dummy spans) or the re-parsed pretty-printed text (real spans).
+    /// Spans and span-derived message fragments are exactly what the round
+    /// trip is allowed to change, so the comparison is on sorted codes.
+    #[test]
+    fn analyzer_is_total_and_stable_under_pretty_print_round_trip(
+        decls in proptest::collection::vec(type_decl_strategy(), 1..4)
+    ) {
+        let direct = rgpdos::analyze::analyze(&decls);
+        let source = decls
+            .iter()
+            .map(|decl| decl.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = rgpdos::analyze::analyze_source(&source).unwrap();
+        let mut direct_codes: Vec<&str> = direct.iter().map(|d| d.code).collect();
+        let mut reparsed_codes: Vec<&str> = reparsed.iter().map(|d| d.code).collect();
+        direct_codes.sort_unstable();
+        reparsed_codes.sort_unstable();
+        prop_assert_eq!(direct_codes, reparsed_codes);
+        // Analyzing the same source twice is fully deterministic, spans,
+        // messages and ordering included.
+        prop_assert_eq!(&reparsed, &rgpdos::analyze::analyze_source(&source).unwrap());
+        // A policy with no error-severity diagnostics must compile; hard
+        // compile errors must be flagged as analyzer errors.
+        let has_errors = reparsed.iter().any(|d| d.is_error());
+        for decl in rgpdos::dsl::parse_type_declarations(&source).unwrap() {
+            if let Err(e) = rgpdos::dsl::compile_type_declaration(&decl) {
+                prop_assert!(has_errors, "compile failed ({e}) but analyzer saw no errors");
+            }
+        }
     }
 }
 

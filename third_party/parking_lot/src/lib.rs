@@ -3,8 +3,16 @@
 //! Wraps `std::sync` primitives behind the `parking_lot` API the workspace
 //! uses: infallible `lock()`/`read()`/`write()` that recover from poisoning
 //! instead of returning a `Result`.
+//!
+//! The optional `lock-order` feature (enabled by the workspace's
+//! dev-dependencies) turns every acquisition into a check
+//! against a global acquisition-order graph, panicking on cycles so ABBA
+//! deadlocks fail fast in tests.
 
 #![forbid(unsafe_code)]
+
+#[cfg(feature = "lock-order")]
+mod order;
 
 use std::fmt;
 use std::sync::{
@@ -15,11 +23,17 @@ use std::sync::{
 /// A mutual-exclusion lock with an infallible `lock()`.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    order: order::LockId,
     inner: StdMutex<T>,
 }
 
 /// RAII guard returned by [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    // Declared before `inner` so the order record is released first, while
+    // the lock is still held.
+    #[cfg(feature = "lock-order")]
+    _held: order::HeldLock,
     inner: StdMutexGuard<'a, T>,
 }
 
@@ -27,6 +41,8 @@ impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "lock-order")]
+            order: order::LockId::new(),
             inner: StdMutex::new(value),
         }
     }
@@ -42,12 +58,22 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    ///
+    /// Under the `lock-order` feature the acquisition is checked against the
+    /// global acquisition-order graph first and panics on an ordering cycle
+    /// instead of risking a deadlock.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let _held = order::HeldLock::acquire(&self.order);
         let inner = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        MutexGuard { inner }
+        MutexGuard {
+            #[cfg(feature = "lock-order")]
+            _held,
+            inner,
+        }
     }
 
     /// Returns a mutable reference to the protected value.
@@ -81,16 +107,22 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock with infallible `read()`/`write()`.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    order: order::LockId,
     inner: StdRwLock<T>,
 }
 
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _held: order::HeldLock,
     inner: StdRwLockReadGuard<'a, T>,
 }
 
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    _held: order::HeldLock,
     inner: StdRwLockWriteGuard<'a, T>,
 }
 
@@ -98,6 +130,8 @@ impl<T> RwLock<T> {
     /// Creates a new reader-writer lock protecting `value`.
     pub const fn new(value: T) -> Self {
         Self {
+            #[cfg(feature = "lock-order")]
+            order: order::LockId::new(),
             inner: StdRwLock::new(value),
         }
     }
@@ -114,20 +148,32 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let _held = order::HeldLock::acquire(&self.order);
         let inner = match self.inner.read() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        RwLockReadGuard { inner }
+        RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            _held,
+            inner,
+        }
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        let _held = order::HeldLock::acquire(&self.order);
         let inner = match self.inner.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        RwLockWriteGuard { inner }
+        RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            _held,
+            inner,
+        }
     }
 
     /// Returns a mutable reference to the protected value.

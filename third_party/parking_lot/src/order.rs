@@ -1,0 +1,201 @@
+//! Lock-acquisition-order tracking (the `lock-order` feature).
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] carries a lazily-assigned
+//! [`LockId`].  Each acquisition records, for every lock already held by the
+//! current thread, the directed edge *held → acquiring* in a global
+//! acquisition-order graph.  An edge that would close a cycle is an ordering
+//! violation — two threads interleaving those acquisitions can deadlock — and
+//! the tracker panics **before** blocking on the lock, turning a potential
+//! ABBA deadlock into a unit-test failure with both edges named.
+//!
+//! The feature is enabled by the workspace's *dev*-dependencies only, so
+//! `cargo test` runs with the sanitizer while release builds pay nothing.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Lazily-assigned identity of one lock instance.
+///
+/// `const`-constructible (locks are created in `const fn new`), so the id is
+/// assigned on first acquisition from a global counter; `0` means unassigned.
+pub(crate) struct LockId(AtomicU64);
+
+impl LockId {
+    pub(crate) const fn new() -> Self {
+        LockId(AtomicU64::new(0))
+    }
+
+    fn get(&self) -> u64 {
+        let id = self.0.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(current) => current,
+        }
+    }
+}
+
+impl Default for LockId {
+    fn default() -> Self {
+        LockId::new()
+    }
+}
+
+thread_local! {
+    /// Locks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `from → to`: a thread held `from` while acquiring `to`.
+fn edges() -> &'static StdMutex<HashMap<u64, HashSet<u64>>> {
+    static EDGES: OnceLock<StdMutex<HashMap<u64, HashSet<u64>>>> = OnceLock::new();
+    EDGES.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+/// Depth-first reachability over the edge graph.
+fn reaches(graph: &HashMap<u64, HashSet<u64>>, from: u64, to: u64) -> bool {
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = graph.get(&node) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+/// Records `held → acquiring`, panicking when the edge closes a cycle.
+fn record_edge(held: u64, acquiring: u64) {
+    let mut graph = match edges().lock() {
+        Ok(graph) => graph,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if graph.get(&held).is_some_and(|set| set.contains(&acquiring)) {
+        return; // Known-consistent edge.
+    }
+    if reaches(&graph, acquiring, held) {
+        drop(graph); // Don't poison the tracker for unrelated threads.
+        panic!(
+            "lock order violation: acquiring lock #{acquiring} while holding lock #{held}, \
+             but #{acquiring} was previously held while acquiring #{held}; \
+             this acquisition-order cycle can deadlock"
+        );
+    }
+    graph.entry(held).or_default().insert(acquiring);
+}
+
+/// RAII record of one tracked acquisition; guards own one and release it on
+/// drop.
+pub(crate) struct HeldLock {
+    id: u64,
+}
+
+impl HeldLock {
+    /// Registers the acquisition.  Call **before** blocking on the lock so a
+    /// violation panics instead of deadlocking.
+    pub(crate) fn acquire(lock: &LockId) -> Self {
+        let id = lock.get();
+        HELD.with(|held| {
+            for &h in held.borrow().iter() {
+                if h != id {
+                    record_edge(h, id);
+                }
+            }
+            held.borrow_mut().push(id);
+        });
+        HeldLock { id }
+    }
+}
+
+impl Drop for HeldLock {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&h| h == self.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Mutex, RwLock};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+    }
+
+    #[test]
+    fn abba_order_panics_instead_of_deadlocking() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b recorded.
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock();
+            let _ga = a.lock(); // b → a closes the cycle.
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("lock order violation"), "{message}");
+    }
+
+    #[test]
+    fn rwlock_participates_in_tracking() {
+        let m = Mutex::new(0);
+        let l = RwLock::new(0);
+        {
+            let _gm = m.lock();
+            let _gl = l.read(); // m → l recorded.
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _gl = l.write();
+            let _gm = m.lock(); // l → m closes the cycle.
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reentrant_reads_are_not_a_cycle() {
+        let l = RwLock::new(0);
+        let g1 = l.read();
+        let g2 = l.read(); // Same id: no self-edge.
+        drop((g1, g2));
+    }
+
+    #[test]
+    fn release_clears_the_held_stack() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        drop(a.lock());
+        drop(b.lock()); // Nothing held: no edge, any order fine later.
+        drop(b.lock());
+        drop(a.lock());
+    }
+}
