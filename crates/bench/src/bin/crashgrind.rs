@@ -36,11 +36,13 @@ fn main() {
     let mut failed = false;
     for report in &reports {
         println!(
-            "{:<12} crash points: {:>5}  journal replays: {:>4}  recovered: {:>4}  -> {}",
+            "{:<12} crash points: {:>5}  journal replays: {:>4}  recovered: {:>4}  sanitizer: {:>3}  leaked: {:>3}  -> {}",
             report.scenario,
             report.crash_points,
             report.journal_replays,
             report.recovered_txs,
+            report.sanitizer_reports,
+            report.leaked_blocks,
             if report.passed() { "PASS" } else { "FAIL" }
         );
         for violation in &report.violations {

@@ -27,7 +27,9 @@
 //! global write index — exactly the window the two-phase cross-shard
 //! erasure's intent log exists for.
 
-use rgpdos::blockdev::{FaultCell, FaultPlan, FaultScript, FaultyDevice, MemDevice};
+use rgpdos::blockdev::{
+    BlockDevice, FaultCell, FaultPlan, FaultScript, FaultyDevice, MemDevice, SanitizedDevice,
+};
 use rgpdos::core::schema::listing1_user_schema;
 use rgpdos::core::{
     AuditEvent, DataTypeId, Duration, Membrane, MembraneDelta, PdId, Row, SubjectId, TimeToLive,
@@ -210,6 +212,13 @@ pub struct SweepReport {
     pub journal_replays: u64,
     /// DBFS/router recovery actions observed across every remount.
     pub recovered_txs: u64,
+    /// Block-sanitizer reports (read-of-freed, write-to-unallocated,
+    /// double-free, …) across the whole sweep; every sweep runs on a
+    /// [`SanitizedDevice`] and this must stay 0.
+    pub sanitizer_reports: u64,
+    /// Data blocks found allocated-but-unreachable by the unmount-time
+    /// leak check across every remount; must stay 0.
+    pub leaked_blocks: u64,
     /// Human-readable invariant violations (empty on a passing sweep).
     pub violations: Vec<String>,
 }
@@ -221,7 +230,39 @@ impl SweepReport {
             crash_points,
             journal_replays: 0,
             recovered_txs: 0,
+            sanitizer_reports: 0,
+            leaked_blocks: 0,
             violations: Vec::new(),
+        }
+    }
+
+    /// Drains an attached block sanitizer's reports into the violation
+    /// list, labelled with the crash point (or phase) they occurred in.
+    fn drain_sanitizer(&mut self, device: &dyn BlockDevice, label: &str) {
+        if let Some(sanitizer) = device.sanitizer() {
+            for violation in sanitizer.take_violations() {
+                self.sanitizer_reports += 1;
+                self.violations
+                    .push(format!("{label}: sanitizer: {violation}"));
+            }
+        }
+    }
+
+    /// Runs the unmount-time leak check on one recovered inode filesystem
+    /// and records any stranded blocks.
+    fn check_leaks<D: BlockDevice>(&mut self, fs: &rgpdos::inode::InodeFs<D>, label: &str) {
+        match fs.leaked_data_blocks() {
+            Ok(leaked) if leaked.is_empty() => {}
+            Ok(leaked) => {
+                self.leaked_blocks += leaked.len() as u64;
+                self.violations.push(format!(
+                    "{label}: {} data blocks leaked after recovery: {leaked:?}",
+                    leaked.len()
+                ));
+            }
+            Err(e) => self
+                .violations
+                .push(format!("{label}: leak check failed: {e}")),
         }
     }
 
@@ -469,7 +510,15 @@ fn check_recovered<S: PdStore>(
     violations
 }
 
-fn setup_dbfs_image(device: &Arc<MemDevice>) {
+/// Every sweep runs on a sanitizer-wrapped in-memory device, so the whole
+/// crash matrix doubles as a use-after-free sweep of the block layer.
+type SweepDevice = Arc<SanitizedDevice<MemDevice>>;
+
+fn fresh_sweep_device() -> SweepDevice {
+    Arc::new(SanitizedDevice::new(MemDevice::new(16_384, 512)))
+}
+
+fn setup_dbfs_image(device: &SweepDevice) {
     let dbfs = Dbfs::format(Arc::clone(device), DbfsParams::small()).expect("format DBFS image");
     dbfs.create_type(listing1_user_schema())
         .expect("install the user type");
@@ -482,7 +531,7 @@ pub fn sweep_dbfs(scenario: &str, script: &[ScriptOp]) -> SweepReport {
     let user: DataTypeId = "user".into();
 
     // Reference run: learns the write count and the expected audit trail.
-    let reference_device = Arc::new(MemDevice::new(16_384, 512));
+    let reference_device = fresh_sweep_device();
     setup_dbfs_image(&reference_device);
     let probe = FaultyDevice::new(Arc::clone(&reference_device), FaultPlan::None);
     let cell = probe.cell();
@@ -496,8 +545,9 @@ pub fn sweep_dbfs(scenario: &str, script: &[ScriptOp]) -> SweepReport {
     drop(dbfs);
 
     let mut report = SweepReport::new(scenario, total_writes);
+    report.drain_sanitizer(&reference_device, "reference run");
     for crash_after in 0..total_writes {
-        let device = Arc::new(MemDevice::new(16_384, 512));
+        let device = fresh_sweep_device();
         setup_dbfs_image(&device);
         let faulty = FaultyDevice::new(
             Arc::clone(&device),
@@ -545,11 +595,14 @@ pub fn sweep_dbfs(scenario: &str, script: &[ScriptOp]) -> SweepReport {
                 .violations
                 .push(format!("crash {crash_after}: {violation}"));
         }
+        report.check_leaks(remounted.inode_fs(), &format!("crash {crash_after}"));
+        drop(remounted);
+        report.drain_sanitizer(&device, &format!("crash {crash_after}"));
     }
     report
 }
 
-fn setup_sharded_image(devices: &[Arc<MemDevice>]) {
+fn setup_sharded_image(devices: &[SweepDevice]) {
     let sharded =
         ShardedDbfs::format(devices.to_vec(), DbfsParams::small()).expect("format sharded image");
     sharded
@@ -564,11 +617,8 @@ fn setup_sharded_image(devices: &[Arc<MemDevice>]) {
 pub fn sweep_sharded(scenario: &str, script: &[ScriptOp], shards: usize) -> SweepReport {
     let authority = Authority::generate(0x5A4D);
     let user: DataTypeId = "user".into();
-    let fresh_devices = |shards: usize| -> Vec<Arc<MemDevice>> {
-        (0..shards)
-            .map(|_| Arc::new(MemDevice::new(16_384, 512)))
-            .collect()
-    };
+    let fresh_devices =
+        |shards: usize| -> Vec<SweepDevice> { (0..shards).map(|_| fresh_sweep_device()).collect() };
 
     // Reference run.
     let reference_devices = fresh_devices(shards);
@@ -588,6 +638,9 @@ pub fn sweep_sharded(scenario: &str, script: &[ScriptOp], shards: usize) -> Swee
     drop(sharded);
 
     let mut report = SweepReport::new(format!("{scenario}-{shards}"), total_writes);
+    for device in &reference_devices {
+        report.drain_sanitizer(device, "reference run");
+    }
     for crash_after in 0..total_writes {
         let devices = fresh_devices(shards);
         setup_sharded_image(&devices);
@@ -620,7 +673,7 @@ pub fn sweep_sharded(scenario: &str, script: &[ScriptOp], shards: usize) -> Swee
         drop(sharded);
 
         // Remount the revived devices; this runs intent recovery.
-        let remounted = match ShardedDbfs::mount(devices) {
+        let remounted = match ShardedDbfs::mount(devices.clone()) {
             Ok(sharded) => sharded,
             Err(e) => {
                 report
@@ -639,13 +692,23 @@ pub fn sweep_sharded(scenario: &str, script: &[ScriptOp], shards: usize) -> Swee
                 .violations
                 .push(format!("crash {crash_after}: {violation}"));
         }
+        for (index, shard) in remounted.shards().iter().enumerate() {
+            report.check_leaks(
+                shard.inode_fs(),
+                &format!("crash {crash_after} shard {index}"),
+            );
+        }
+        drop(remounted);
+        for (index, device) in devices.iter().enumerate() {
+            report.drain_sanitizer(device, &format!("crash {crash_after} shard {index}"));
+        }
     }
     report
 }
 
 /// Builds a format-v1 DBFS image (bare-counter metadata + single-section
 /// JSON records) by hand, for the migration sweep.
-fn build_v1_image(device: &Arc<MemDevice>) {
+fn build_v1_image(device: &SweepDevice) {
     use rgpdos::core::record::stored;
     use rgpdos::inode::{fs::ROOT_INO, FormatParams, InodeFs, InodeKind, JournalMode};
 
@@ -721,7 +784,7 @@ pub fn sweep_migration() -> SweepReport {
     let user: DataTypeId = "user".into();
 
     // Reference: how many writes does a clean migration perform?
-    let reference_device = Arc::new(MemDevice::new(16_384, 512));
+    let reference_device = fresh_sweep_device();
     build_v1_image(&reference_device);
     let probe = FaultyDevice::new(Arc::clone(&reference_device), FaultPlan::None);
     let cell = probe.cell();
@@ -729,8 +792,9 @@ pub fn sweep_migration() -> SweepReport {
     mounted.expect("reference migration succeeds");
 
     let mut report = SweepReport::new("migration", total_writes);
+    report.drain_sanitizer(&reference_device, "reference run");
     for crash_after in 0..total_writes {
-        let device = Arc::new(MemDevice::new(16_384, 512));
+        let device = fresh_sweep_device();
         build_v1_image(&device);
         // The crash fires inside mount; either outcome (error or a mounted
         // store that dies on first use) is legitimate.
@@ -769,6 +833,9 @@ pub fn sweep_migration() -> SweepReport {
                     .push(format!("crash {crash_after}: pd-{raw} unreadable: {e}")),
             }
         }
+        report.check_leaks(remounted.inode_fs(), &format!("crash {crash_after}"));
+        drop(remounted);
+        report.drain_sanitizer(&device, &format!("crash {crash_after}"));
     }
     report
 }

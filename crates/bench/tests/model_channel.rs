@@ -1,0 +1,136 @@
+//! Model-checked suite for the crossbeam channel stand-in.
+//!
+//! The channel's sender-teardown path carried a real lost-wakeup bug before
+//! its queue and sender count were moved under one mutex (see the doc
+//! comment in `third_party/crossbeam`).  This suite proves the fixed
+//! protocol clean by exhaustive exploration, and — as a mutation test —
+//! re-introduces the broken check-then-sleep ordering behind
+//! `set_split_wakeup_fault` to show the checker rediscovers the bug as a
+//! deadlock with a replayable schedule.
+
+use crossbeam::channel;
+use rgpdos_conc::{spawn, Checker, FailureKind};
+use std::sync::Mutex;
+
+/// The split-wakeup fault toggle is process-global, so tests that run
+/// models must not overlap with a test that has it switched on.
+static FAULT_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// RAII guard: serializes the suite and restores the toggle on exit (also
+/// on panic, so one failing test cannot poison the others).
+struct FaultScope<'a> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+}
+
+impl<'a> FaultScope<'a> {
+    fn new(on: bool) -> Self {
+        let guard = FAULT_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        channel::set_split_wakeup_fault(on);
+        FaultScope { _guard: guard }
+    }
+}
+
+impl Drop for FaultScope<'_> {
+    fn drop(&mut self) {
+        channel::set_split_wakeup_fault(false);
+    }
+}
+
+/// The raciest real scenario: the last sender drops while the receiver is
+/// deciding whether to sleep.  Same shape as the 500-iteration stress test
+/// in the crossbeam crate, but explored exhaustively instead of sampled.
+fn teardown_model() {
+    let (tx, rx) = channel::unbounded::<u8>();
+    let sender = spawn(move || drop(tx));
+    assert!(rx.recv().is_err(), "no message was ever sent");
+    sender.join();
+}
+
+#[test]
+fn channel_teardown_has_no_lost_wakeup() {
+    let _scope = FaultScope::new(false);
+    let report = Checker::dfs().check(teardown_model);
+    assert!(report.complete, "teardown model must be exhausted");
+    assert!(
+        report.executions >= 2,
+        "{} interleavings",
+        report.executions
+    );
+}
+
+#[test]
+fn channel_send_recv_teardown_is_clean() {
+    let _scope = FaultScope::new(false);
+    let report = Checker::dfs().check(|| {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let sender = spawn(move || {
+            tx.send(7).unwrap();
+            // tx drops here: recv must drain the queue, then disconnect.
+        });
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+        sender.join();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn multi_producer_teardown_is_clean() {
+    let _scope = FaultScope::new(false);
+    let report = Checker::dfs().check(|| {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        let a = spawn(move || tx.send(1).unwrap());
+        let b = spawn(move || tx2.send(2).unwrap());
+        let mut got = [rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+        assert!(rx.recv().is_err(), "both senders are gone");
+        a.join();
+        b.join();
+    });
+    assert!(report.failure.is_none());
+    assert!(
+        report.executions >= 1_000,
+        "the two-producer teardown space should be large, got {}",
+        report.executions
+    );
+}
+
+/// The same two-producer model under the seeded random scheduler — bulk
+/// coverage beyond the DFS frontier, deterministic per seed.
+#[test]
+fn random_schedules_keep_the_channel_clean() {
+    let _scope = FaultScope::new(false);
+    let report = Checker::random(2_500, 0xD5C0_0003).run(|| {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        let a = spawn(move || tx.send(1).unwrap());
+        let b = spawn(move || tx2.send(2).unwrap());
+        let mut got = [rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+        a.join();
+        b.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert_eq!(report.executions, 2_500);
+}
+
+/// Mutation test: with the historical split check-then-sleep ordering
+/// re-introduced, the checker must rediscover the lost wakeup (manifesting
+/// as a global deadlock), and the recorded schedule must replay.
+#[test]
+fn checker_rediscovers_the_split_wakeup_bug() {
+    let _scope = FaultScope::new(true);
+    let report = Checker::dfs().run(teardown_model);
+    let failure = report
+        .failure
+        .expect("the split-wakeup mutation must be caught");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+
+    // The failure is replayable from its recorded schedule alone.
+    let schedule = failure.schedule.clone();
+    let replayed = std::panic::catch_unwind(move || Checker::replay(&schedule, teardown_model));
+    assert!(replayed.is_err(), "replay must reproduce the lost wakeup");
+}

@@ -181,6 +181,10 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
     fn flush(&self) -> Result<(), DeviceError> {
         self.inner.flush()
     }
+
+    fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
+        self.inner.sanitizer()
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,17 @@ pub trait BlockDevice: Send + Sync {
         }
         Ok(out)
     }
+
+    /// The [`BlockSanitizer`](crate::sanitize::BlockSanitizer) attached to
+    /// this device chain, if any.
+    ///
+    /// Wrappers forward this so a filesystem can report allocation events
+    /// (via `note_alloc` / `note_free` / `reseed_with`) without knowing how
+    /// deep in the stack the [`SanitizedDevice`](crate::sanitize::SanitizedDevice)
+    /// sits.  The default is `None`: an un-sanitized chain costs nothing.
+    fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
+        None
+    }
 }
 
 impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
@@ -104,6 +115,10 @@ impl<T: BlockDevice + ?Sized> BlockDevice for Arc<T> {
 
     fn flush(&self) -> Result<(), DeviceError> {
         (**self).flush()
+    }
+
+    fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
+        (**self).sanitizer()
     }
 }
 

@@ -302,6 +302,10 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
         }
         self.inner.flush()
     }
+
+    fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
+        self.inner.sanitizer()
+    }
 }
 
 #[cfg(test)]

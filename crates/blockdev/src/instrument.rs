@@ -163,6 +163,10 @@ impl<D: BlockDevice> BlockDevice for InstrumentedDevice<D> {
             .fetch_add(self.model.flush_us, Ordering::Relaxed);
         self.inner.flush()
     }
+
+    fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
+        self.inner.sanitizer()
+    }
 }
 
 #[cfg(test)]

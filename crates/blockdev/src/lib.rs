@@ -39,6 +39,7 @@ pub mod error;
 pub mod faults;
 pub mod instrument;
 pub mod mem;
+pub mod sanitize;
 pub mod scan;
 
 pub use cache::{CacheStats, CachedDevice};
@@ -47,4 +48,7 @@ pub use error::DeviceError;
 pub use faults::{FaultCell, FaultEvent, FaultPlan, FaultScript, FaultyDevice};
 pub use instrument::{DeviceStats, InstrumentedDevice, LatencyModel};
 pub use mem::MemDevice;
+pub use sanitize::{
+    BlockSanitizer, BlockState, SanitizedDevice, SanitizerViolation, SanitizerViolationKind,
+};
 pub use scan::{scan_for_pattern, ScanHit};

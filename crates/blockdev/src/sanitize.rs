@@ -1,0 +1,445 @@
+//! Block-device sanitizer: allocation-aware use-after-free detection.
+//!
+//! [`SanitizedDevice`] wraps any [`BlockDevice`] and tracks a per-block
+//! allocation state — `Unknown`, `Allocated`, or `Freed` — fed by the
+//! filesystem above through [`BlockSanitizer::note_alloc`] /
+//! [`BlockSanitizer::note_free`] (wired to the allocation-bitmap mutations
+//! in `rgpdos_inode`) and periodic [`BlockSanitizer::reseed_with`] calls
+//! that realign the map with the authoritative bitmap at mount, format,
+//! and transaction-rollback boundaries.
+//!
+//! With the map in place the device can flag the block-layer analogues of
+//! heap sanitizer findings, without panicking (reports are collected so a
+//! whole crash-matrix sweep can complete and tally them):
+//!
+//! * **read-of-freed** — a read of a block the filesystem freed: stale
+//!   pointer, or erased personal data still being consulted;
+//! * **write-to-freed** — a non-zero write to a freed block (the zero
+//!   scrub of secure-free mode is the one legitimate writer);
+//! * **write-to-unallocated** — a write to a block the bitmap does not
+//!   own: a lost allocation or a stray pointer;
+//! * **double-free / double-alloc** — bitmap bookkeeping gone wrong.
+//!
+//! In *poison* mode ([`SanitizedDevice::poison_on_free`]), reads of freed
+//! blocks additionally return `0xD5`-filled bytes instead of the stale
+//! contents, so a consumer of freed data fails loudly and deterministically
+//! instead of silently resurrecting old plaintext.  [`BlockDevice::raw_dump`]
+//! always bypasses the sanitizer: forensic scans *must* see the residue.
+//!
+//! The sanitizer starts disarmed (everything `Unknown`, nothing reported):
+//! format and mount write metadata before any bitmap exists.  The first
+//! reseed arms it.  [`BlockSanitizer::begin_recovery`] disarms it again
+//! around mount-time journal replay, whose writes are repairs guided by the
+//! journal, not bitmap-checked allocations.
+
+use crate::device::{BlockDevice, DeviceGeometry};
+use crate::error::DeviceError;
+use parking_lot::Mutex;
+use std::fmt;
+
+/// The byte pattern poison mode returns for reads of freed blocks.
+pub const POISON_BYTE: u8 = 0xD5;
+
+/// Allocation state of one block, as last reported by the filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockState {
+    /// Never claimed by the filesystem since the last reseed (metadata
+    /// writes before arming, or blocks the bitmap does not own).
+    Unknown,
+    /// Claimed by the allocation bitmap.
+    Allocated,
+    /// Explicitly freed since the last reseed.
+    Freed,
+}
+
+/// The kind of rule a device operation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SanitizerViolationKind {
+    /// A freed block was read.
+    ReadOfFreed,
+    /// A freed block was overwritten with non-zero bytes.
+    WriteToFreed,
+    /// A block the bitmap does not own was written.
+    WriteToUnallocated,
+    /// A block was freed twice without an intervening allocation.
+    DoubleFree,
+    /// A block was allocated while already allocated.
+    DoubleAlloc,
+}
+
+impl fmt::Display for SanitizerViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SanitizerViolationKind::ReadOfFreed => "read-of-freed",
+            SanitizerViolationKind::WriteToFreed => "write-to-freed",
+            SanitizerViolationKind::WriteToUnallocated => "write-to-unallocated",
+            SanitizerViolationKind::DoubleFree => "double-free",
+            SanitizerViolationKind::DoubleAlloc => "double-alloc",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One collected sanitizer report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SanitizerViolation {
+    /// What rule was broken.
+    pub kind: SanitizerViolationKind,
+    /// The block the operation touched.
+    pub block: u64,
+}
+
+impl fmt::Display for SanitizerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at block {}", self.kind, self.block)
+    }
+}
+
+struct SanitizerState {
+    armed: bool,
+    states: Vec<BlockState>,
+    violations: Vec<SanitizerViolation>,
+}
+
+/// The allocation map and report sink shared between a [`SanitizedDevice`]
+/// and the filesystem feeding it (via [`BlockDevice::sanitizer`]).
+pub struct BlockSanitizer {
+    inner: Mutex<SanitizerState>,
+}
+
+impl fmt::Debug for BlockSanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BlockSanitizer")
+            .field("armed", &inner.armed)
+            .field("blocks", &inner.states.len())
+            .field("violations", &inner.violations.len())
+            .finish()
+    }
+}
+
+impl BlockSanitizer {
+    /// Creates a disarmed sanitizer for a device of `blocks` blocks.
+    pub fn new(blocks: u64) -> Self {
+        BlockSanitizer {
+            inner: Mutex::new(SanitizerState {
+                armed: false,
+                states: vec![BlockState::Unknown; blocks as usize],
+                violations: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records that the filesystem allocated `block`.  Reports a
+    /// double-alloc when the block is already allocated.
+    pub fn note_alloc(&self, block: u64) {
+        let mut inner = self.inner.lock();
+        if !inner.armed {
+            return;
+        }
+        let Some(state) = inner.states.get(block as usize).copied() else {
+            return;
+        };
+        if state == BlockState::Allocated {
+            inner.violations.push(SanitizerViolation {
+                kind: SanitizerViolationKind::DoubleAlloc,
+                block,
+            });
+        }
+        inner.states[block as usize] = BlockState::Allocated;
+    }
+
+    /// Records that the filesystem freed `block`.  Reports a double-free
+    /// when the block is already freed.
+    pub fn note_free(&self, block: u64) {
+        let mut inner = self.inner.lock();
+        if !inner.armed {
+            return;
+        }
+        let Some(state) = inner.states.get(block as usize).copied() else {
+            return;
+        };
+        if state == BlockState::Freed {
+            inner.violations.push(SanitizerViolation {
+                kind: SanitizerViolationKind::DoubleFree,
+                block,
+            });
+        }
+        inner.states[block as usize] = BlockState::Freed;
+    }
+
+    /// Disarms the sanitizer and forgets all `Freed` knowledge.
+    ///
+    /// Call before mount-time journal replay: replayed writes are repairs
+    /// guided by the journal, not bitmap-checked allocations, and the
+    /// pre-crash free map may describe staged frees that never committed.
+    /// Follow with [`BlockSanitizer::reseed_with`] once the authoritative
+    /// bitmaps are loaded.
+    pub fn begin_recovery(&self) {
+        let mut inner = self.inner.lock();
+        inner.armed = false;
+        for state in &mut inner.states {
+            *state = BlockState::Unknown;
+        }
+    }
+
+    /// Rebuilds the whole allocation map from the authoritative bitmap
+    /// (`allocated(block)` for every block) and arms the sanitizer.
+    pub fn reseed_with(&self, allocated: impl Fn(u64) -> bool) {
+        let mut inner = self.inner.lock();
+        for (block, state) in inner.states.iter_mut().enumerate() {
+            *state = if allocated(block as u64) {
+                BlockState::Allocated
+            } else {
+                BlockState::Unknown
+            };
+        }
+        inner.armed = true;
+    }
+
+    /// The current state of one block (for tests and diagnostics).
+    pub fn block_state(&self, block: u64) -> Option<BlockState> {
+        self.inner.lock().states.get(block as usize).copied()
+    }
+
+    /// All reports collected so far, in order.
+    pub fn violations(&self) -> Vec<SanitizerViolation> {
+        self.inner.lock().violations.clone()
+    }
+
+    /// The number of reports collected so far.
+    pub fn violation_count(&self) -> usize {
+        self.inner.lock().violations.len()
+    }
+
+    /// Drains and returns the collected reports.
+    pub fn take_violations(&self) -> Vec<SanitizerViolation> {
+        std::mem::take(&mut self.inner.lock().violations)
+    }
+
+    /// Checks a read, returning `true` when the block is freed (and, when
+    /// armed, recording the violation).
+    fn check_read(&self, block: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.armed {
+            return false;
+        }
+        if inner.states.get(block as usize).copied() == Some(BlockState::Freed) {
+            inner.violations.push(SanitizerViolation {
+                kind: SanitizerViolationKind::ReadOfFreed,
+                block,
+            });
+            return true;
+        }
+        false
+    }
+
+    /// Checks a write against the allocation map.
+    fn check_write(&self, block: u64, data: &[u8]) {
+        let mut inner = self.inner.lock();
+        if !inner.armed {
+            return;
+        }
+        match inner.states.get(block as usize).copied() {
+            // The zero scrub of secure-free (and journal scrubbing) is the
+            // one legitimate writer of freed blocks.
+            Some(BlockState::Freed) if data.iter().any(|&b| b != 0) => {
+                inner.violations.push(SanitizerViolation {
+                    kind: SanitizerViolationKind::WriteToFreed,
+                    block,
+                });
+            }
+            Some(BlockState::Unknown) => {
+                inner.violations.push(SanitizerViolation {
+                    kind: SanitizerViolationKind::WriteToUnallocated,
+                    block,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A [`BlockDevice`] wrapper enforcing the [`BlockSanitizer`] rules on
+/// every read and write.  Reports are collected, never panicked, so long
+/// sweeps (the crash matrix) run to completion and tally them.
+#[derive(Debug)]
+pub struct SanitizedDevice<D> {
+    inner: D,
+    sanitizer: BlockSanitizer,
+    poison: bool,
+}
+
+impl<D: BlockDevice> SanitizedDevice<D> {
+    /// Wraps `inner`, tracking one state per block.  The sanitizer starts
+    /// disarmed; the filesystem arms it with the first reseed.
+    pub fn new(inner: D) -> Self {
+        let blocks = inner.geometry().blocks;
+        SanitizedDevice {
+            inner,
+            sanitizer: BlockSanitizer::new(blocks),
+            poison: false,
+        }
+    }
+
+    /// Enables poison mode: reads of freed blocks return `0xD5`-filled
+    /// bytes instead of the stale contents (the violation is recorded
+    /// either way).  `raw_dump` still sees the real bytes.
+    pub fn poison_on_free(mut self) -> Self {
+        self.poison = true;
+        self
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for SanitizedDevice<D> {
+    fn geometry(&self) -> DeviceGeometry {
+        self.inner.geometry()
+    }
+
+    fn read_block(&self, index: u64) -> Result<Vec<u8>, DeviceError> {
+        let freed = self.sanitizer.check_read(index);
+        let data = self.inner.read_block(index)?;
+        if freed && self.poison {
+            return Ok(vec![POISON_BYTE; data.len()]);
+        }
+        Ok(data)
+    }
+
+    fn write_block(&self, index: u64, data: &[u8]) -> Result<(), DeviceError> {
+        self.sanitizer.check_write(index, data);
+        self.inner.write_block(index, data)
+    }
+
+    fn flush(&self) -> Result<(), DeviceError> {
+        self.inner.flush()
+    }
+
+    fn raw_dump(&self) -> Result<Vec<u8>, DeviceError> {
+        // Forensic scans must see the residue the sanitizer would mask.
+        self.inner.raw_dump()
+    }
+
+    fn sanitizer(&self) -> Option<&BlockSanitizer> {
+        Some(&self.sanitizer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+
+    fn armed_device() -> SanitizedDevice<MemDevice> {
+        let device = SanitizedDevice::new(MemDevice::new(16, 64));
+        // Blocks 0..8 allocated, the rest unknown.
+        device.sanitizer().unwrap().reseed_with(|b| b < 8);
+        device
+    }
+
+    #[test]
+    fn disarmed_sanitizer_reports_nothing() {
+        let device = SanitizedDevice::new(MemDevice::new(16, 64));
+        device.write_block(3, &[1u8; 64]).unwrap();
+        device.read_block(3).unwrap();
+        assert_eq!(device.sanitizer().unwrap().violation_count(), 0);
+    }
+
+    #[test]
+    fn read_of_freed_is_reported() {
+        let device = armed_device();
+        let sanitizer = device.sanitizer().unwrap();
+        device.write_block(3, &[7u8; 64]).unwrap();
+        sanitizer.note_free(3);
+        let data = device.read_block(3).unwrap();
+        assert_eq!(data, vec![7u8; 64], "non-poison mode returns real bytes");
+        let violations = sanitizer.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, SanitizerViolationKind::ReadOfFreed);
+        assert_eq!(violations[0].block, 3);
+    }
+
+    #[test]
+    fn poison_mode_masks_freed_contents_but_not_raw_dump() {
+        let device = armed_device().poison_on_free();
+        let sanitizer = device.sanitizer().unwrap();
+        device.write_block(3, &[7u8; 64]).unwrap();
+        sanitizer.note_free(3);
+        assert_eq!(device.read_block(3).unwrap(), vec![POISON_BYTE; 64]);
+        // The forensic view still has the residue.
+        let dump = device.raw_dump().unwrap();
+        assert!(dump.windows(4).any(|w| w == [7u8; 4]));
+    }
+
+    #[test]
+    fn nonzero_write_to_freed_is_reported_zero_scrub_is_not() {
+        let device = armed_device();
+        let sanitizer = device.sanitizer().unwrap();
+        sanitizer.note_free(2);
+        device.write_block(2, &[0u8; 64]).unwrap(); // secure-free scrub
+        assert_eq!(sanitizer.violation_count(), 0);
+        device.write_block(2, &[9u8; 64]).unwrap();
+        let violations = sanitizer.violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, SanitizerViolationKind::WriteToFreed);
+    }
+
+    #[test]
+    fn write_to_unallocated_is_reported() {
+        let device = armed_device();
+        device.write_block(12, &[1u8; 64]).unwrap(); // 12 is Unknown
+        let violations = device.sanitizer().unwrap().violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            violations[0].kind,
+            SanitizerViolationKind::WriteToUnallocated
+        );
+    }
+
+    #[test]
+    fn double_free_and_double_alloc_are_reported() {
+        let device = armed_device();
+        let sanitizer = device.sanitizer().unwrap();
+        sanitizer.note_free(5);
+        sanitizer.note_free(5);
+        sanitizer.note_alloc(5); // refill: legal
+        sanitizer.note_alloc(5); // double alloc
+        let kinds: Vec<_> = sanitizer.violations().iter().map(|v| v.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SanitizerViolationKind::DoubleFree,
+                SanitizerViolationKind::DoubleAlloc
+            ]
+        );
+    }
+
+    #[test]
+    fn recovery_disarms_until_the_next_reseed() {
+        let device = armed_device();
+        let sanitizer = device.sanitizer().unwrap();
+        sanitizer.note_free(3);
+        sanitizer.begin_recovery();
+        // Replay-style write into the previously-freed block: no report.
+        device.write_block(3, &[4u8; 64]).unwrap();
+        device.read_block(3).unwrap();
+        assert_eq!(sanitizer.violation_count(), 0);
+        sanitizer.reseed_with(|b| b < 8);
+        assert_eq!(sanitizer.block_state(3), Some(BlockState::Allocated));
+    }
+
+    #[test]
+    fn reseed_realigns_states_with_the_bitmap() {
+        let device = armed_device();
+        let sanitizer = device.sanitizer().unwrap();
+        sanitizer.note_free(7);
+        sanitizer.reseed_with(|b| b < 4);
+        assert_eq!(sanitizer.block_state(2), Some(BlockState::Allocated));
+        assert_eq!(sanitizer.block_state(7), Some(BlockState::Unknown));
+        assert_eq!(sanitizer.block_state(15), Some(BlockState::Unknown));
+    }
+}

@@ -1,0 +1,91 @@
+//! Instrumentation hooks for modelled synchronization primitives.
+//!
+//! The in-tree `parking_lot` and `crossbeam` stand-ins call these under
+//! their `model` feature.  Every hook is a **no-op on uncontrolled
+//! threads** ([`is_active`] is false), so the feature can be enabled
+//! workspace-wide by test builds without affecting ordinary tests; only
+//! code running inside a [`crate::Checker`] execution pays for (and
+//! benefits from) the scheduler.
+//!
+//! Object ids name logical sync objects.  Instrumented primitives either
+//! allocate one eagerly with [`new_object_id`] or embed a
+//! [`crate::LazyObjectId`] when they are `const`-constructed.
+//!
+//! Release hooks ([`mutex_unlock`], [`rw_unlock_read`],
+//! [`rw_unlock_write`]) and the notify hooks never panic and never
+//! deschedule: they are pure logical-state updates, safe to call from guard
+//! `Drop` impls even while a panic is unwinding.  Acquire hooks are
+//! scheduling points and may unwind a torn-down execution.
+
+use crate::rt;
+
+/// Whether the calling thread is controlled by a live model run.
+pub fn is_active() -> bool {
+    rt::hooks_active()
+}
+
+/// Allocates a fresh modelled-object id (eager form of
+/// [`crate::LazyObjectId`]).
+pub fn new_object_id() -> u64 {
+    rt::next_object_id()
+}
+
+/// Scheduling point + logical acquisition of mutex `id` (blocks while held).
+pub fn mutex_lock(id: u64) {
+    rt::hook_mutex_lock(id);
+}
+
+/// Logical release of mutex `id`; its waiters become runnable.
+pub fn mutex_unlock(id: u64) {
+    rt::hook_mutex_unlock(id);
+}
+
+/// Scheduling point + logical shared acquisition of rwlock `id`.
+pub fn rw_read(id: u64) {
+    rt::hook_rw_read(id);
+}
+
+/// Logical release of one shared hold on rwlock `id`.
+pub fn rw_unlock_read(id: u64) {
+    rt::hook_rw_unlock_read(id);
+}
+
+/// Scheduling point + logical exclusive acquisition of rwlock `id`.
+pub fn rw_write(id: u64) {
+    rt::hook_rw_write(id);
+}
+
+/// Logical release of the exclusive hold on rwlock `id`.
+pub fn rw_unlock_write(id: u64) {
+    rt::hook_rw_unlock_write(id);
+}
+
+/// Atomically releases modelled mutex `mutex_id`, waits on condvar `cv_id`,
+/// and re-acquires the mutex once notified — the correct wait protocol.
+/// Notifications are not sticky: with nobody waiting, they are lost.
+pub fn condvar_wait(cv_id: u64, mutex_id: u64) {
+    rt::hook_condvar_wait(cv_id, mutex_id);
+}
+
+/// Parks on condvar `cv_id` without releasing (or holding) any mutex — the
+/// *broken* wait primitive, kept so fault toggles can re-introduce known-bad
+/// orderings for mutation tests.  A notify landing before this call is lost
+/// and the checker reports the resulting deadlock.
+pub fn condvar_wait_unguarded(cv_id: u64) {
+    rt::hook_condvar_wait_unguarded(cv_id);
+}
+
+/// Wakes the longest-waiting thread on condvar `cv_id`, if any.
+pub fn notify_one(cv_id: u64) {
+    rt::hook_notify_one(cv_id);
+}
+
+/// Wakes every thread waiting on condvar `cv_id`.
+pub fn notify_all(cv_id: u64) {
+    rt::hook_notify_all(cv_id);
+}
+
+/// An explicit scheduling point with no logical-state effect.
+pub fn yield_now() {
+    rt::hook_yield_now();
+}

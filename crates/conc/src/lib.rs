@@ -1,0 +1,60 @@
+//! # rgpdos-conc — deterministic concurrency model checker
+//!
+//! A loom/shuttle-style *stateless* model checker for the workspace's
+//! concurrent protocols.  A model is an ordinary closure that spawns
+//! controlled threads with [`spawn`]; the checker serializes execution (one
+//! controlled thread runs at a time, baton-passing over plain `std::sync`
+//! primitives) and, at every **yield point**, chooses which runnable thread
+//! runs next.  Yield points come from:
+//!
+//! * the `model` feature of the in-tree `parking_lot` stand-in — every
+//!   `Mutex::lock` / `RwLock::read` / `RwLock::write` becomes a scheduling
+//!   choice, mirroring how its `lock-order` feature hooks acquisition;
+//! * the `model` feature of the in-tree `crossbeam` stand-in — channel
+//!   send/recv and sender teardown yield through the same hooks;
+//! * explicit [`hooks::yield_now`] calls in a model body.
+//!
+//! Two exploration modes:
+//!
+//! * [`Checker::dfs`] — exhaustive depth-first enumeration of every
+//!   interleaving (bounded by execution and schedule-length caps), for small
+//!   models;
+//! * [`Checker::random`] — a seeded random scheduler (PCT-style) that samples
+//!   a fixed number of interleavings, for models whose state space is too
+//!   large to exhaust.
+//!
+//! A failing interleaving — an assertion panic inside the model or a global
+//! **deadlock** (every live thread blocked, which is how a lost wakeup
+//! manifests) — is reported with the exact schedule that produced it; feed
+//! that schedule to [`Checker::replay`] to re-run it deterministically under
+//! a debugger.
+//!
+//! ```
+//! use rgpdos_conc::{hooks, spawn, Checker};
+//! use std::sync::atomic::{AtomicU32, Ordering};
+//! use std::sync::Arc;
+//!
+//! let report = Checker::dfs().run(|| {
+//!     let x = Arc::new(AtomicU32::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = spawn(move || {
+//!         x2.store(1, Ordering::SeqCst);
+//!         hooks::yield_now();
+//!         x2.store(2, Ordering::SeqCst);
+//!     });
+//!     hooks::yield_now();
+//!     let seen = x.load(Ordering::SeqCst);
+//!     assert!(seen <= 2);
+//!     t.join();
+//! });
+//! assert!(report.failure.is_none());
+//! assert!(report.executions > 1); // several interleavings explored
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hooks;
+mod rt;
+
+pub use rt::{spawn, Checker, Failure, FailureKind, JoinHandle, LazyObjectId, Report};

@@ -1,0 +1,962 @@
+//! The execution engine: controlled threads, the cooperative scheduler and
+//! the DFS / random-schedule explorers.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Upper bound on controlled threads per model (the explorer enumerates
+/// interleavings, so models are deliberately small).
+const MAX_THREADS: usize = 16;
+
+/// Default cap on scheduling decisions per execution; an execution exceeding
+/// it is abandoned and counted as truncated rather than looping forever.
+const DEFAULT_MAX_STEPS: usize = 50_000;
+
+/// Sentinel panic payload used to unwind controlled threads when an
+/// execution is torn down (failure elsewhere, or schedule-length cap).
+struct ModelAbort;
+
+/// Hands out process-wide unique ids for modelled sync objects.
+pub(crate) fn next_object_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A lazily-assigned modelled-object identity, `const`-constructible so the
+/// `parking_lot` stand-in can embed one in its `const fn new` locks.  `0`
+/// means unassigned; the id is taken from a global counter on first use.
+pub struct LazyObjectId(AtomicU64);
+
+impl LazyObjectId {
+    /// A fresh, not-yet-assigned id.
+    pub const fn new() -> Self {
+        LazyObjectId(AtomicU64::new(0))
+    }
+
+    /// The id, assigning one on first call.
+    pub fn get(&self) -> u64 {
+        let id = self.0.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = next_object_id();
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(current) => current,
+        }
+    }
+}
+
+impl Default for LazyObjectId {
+    fn default() -> Self {
+        LazyObjectId::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockedOn {
+    Mutex(u64),
+    RwRead(u64),
+    RwWrite(u64),
+    Condvar(u64),
+    Join(usize),
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockedOn::Mutex(id) => write!(f, "mutex #{id}"),
+            BlockedOn::RwRead(id) => write!(f, "rwlock #{id} (read)"),
+            BlockedOn::RwWrite(id) => write!(f, "rwlock #{id} (write)"),
+            BlockedOn::Condvar(id) => write!(f, "condvar #{id}"),
+            BlockedOn::Join(tid) => write!(f, "join of thread {tid}"),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockedOn),
+    Finished,
+}
+
+#[derive(Debug, Default)]
+struct MutexObj {
+    held_by: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct RwObj {
+    writer: Option<usize>,
+    /// One entry per read guard (a thread may hold several).
+    readers: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct CvObj {
+    /// FIFO wait queue, which keeps notify deterministic.
+    waiting: Vec<usize>,
+}
+
+/// Tiny deterministic PRNG (SplitMix64) for the random-scheduler mode.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct ExecState {
+    statuses: Vec<Status>,
+    /// The thread currently holding the execution baton.
+    active: usize,
+    mutexes: BTreeMap<u64, MutexObj>,
+    rwlocks: BTreeMap<u64, RwObj>,
+    condvars: BTreeMap<u64, CvObj>,
+    /// `(enabled_count, picked_index)` per scheduling decision taken so far.
+    choices: Vec<(usize, usize)>,
+    /// Decisions to replay before free exploration resumes (DFS backtracking
+    /// and `Checker::replay`).
+    prefix: Vec<usize>,
+    /// `Some` selects the random scheduler; `None` is DFS (first enabled).
+    rng: Option<SplitMix64>,
+    failure: Option<Failure>,
+    /// Once set, every controlled thread unwinds with `ModelAbort` at its
+    /// next scheduling interaction.
+    tearing_down: bool,
+    truncated: bool,
+    max_steps: usize,
+}
+
+struct Execution {
+    state: Mutex<ExecState>,
+    baton: Condvar,
+    /// OS handles of spawned controlled threads, joined at execution end.
+    os_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(e, t)| (Arc::clone(e), *t)))
+}
+
+/// Whether the calling thread is a controlled thread of a live model run.
+/// Instrumented primitives call this to keep their hooks no-ops everywhere
+/// else, so the `model` feature is safe to enable workspace-wide.
+pub(crate) fn hooks_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+impl Execution {
+    fn new(prefix: Vec<usize>, rng: Option<SplitMix64>, max_steps: usize) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                statuses: vec![Status::Runnable],
+                active: 0,
+                mutexes: BTreeMap::new(),
+                rwlocks: BTreeMap::new(),
+                condvars: BTreeMap::new(),
+                choices: Vec::new(),
+                prefix,
+                rng,
+                failure: None,
+                tearing_down: false,
+                truncated: false,
+                max_steps,
+            }),
+            baton: Condvar::new(),
+            os_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Records one scheduling decision and hands the baton to the chosen
+    /// thread.  Detects global deadlock (no runnable thread, some blocked)
+    /// and the schedule-length cap, both of which start a teardown.
+    fn pick_next(&self, st: &mut ExecState) {
+        if st.tearing_down {
+            self.baton.notify_all();
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            let blocked: Vec<String> = st
+                .statuses
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Status::Blocked(on) => Some(format!("thread {i} blocked on {on}")),
+                    _ => None,
+                })
+                .collect();
+            if !blocked.is_empty() {
+                if st.failure.is_none() {
+                    st.failure = Some(Failure {
+                        kind: FailureKind::Deadlock,
+                        message: format!(
+                            "deadlock: every live thread is blocked ({})",
+                            blocked.join("; ")
+                        ),
+                        schedule: st.choices.iter().map(|&(_, p)| p).collect(),
+                    });
+                }
+                st.tearing_down = true;
+            }
+            self.baton.notify_all();
+            return;
+        }
+        if st.choices.len() >= st.max_steps {
+            st.truncated = true;
+            st.tearing_down = true;
+            self.baton.notify_all();
+            return;
+        }
+        let idx = if st.choices.len() < st.prefix.len() {
+            st.prefix[st.choices.len()].min(enabled.len() - 1)
+        } else if let Some(rng) = st.rng.as_mut() {
+            (rng.next() % enabled.len() as u64) as usize
+        } else {
+            0
+        };
+        st.choices.push((enabled.len(), idx));
+        st.active = enabled[idx];
+        self.baton.notify_all();
+    }
+
+    /// A scheduling point for a runnable thread: picks the next thread and
+    /// waits until the baton comes back.
+    fn switch(&self, mut st: MutexGuard<'_, ExecState>, me: usize) {
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut st);
+        loop {
+            if st.tearing_down {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                return;
+            }
+            st = self.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Deschedules a thread that just marked itself blocked; returns once a
+    /// release made it runnable again and the scheduler picked it.
+    fn wait_scheduled<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        self.pick_next(&mut st);
+        loop {
+            if st.tearing_down {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                return st;
+            }
+            st = self.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn wake_blocked(st: &mut ExecState, on: BlockedOn) {
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Blocked(on) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    fn record_panic_failure(&self, st: &mut ExecState, payload: &dyn std::any::Any) {
+        if st.failure.is_none() {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic,
+                message: format!("panic in model: {message}"),
+                schedule: st.choices.iter().map(|&(_, p)| p).collect(),
+            });
+        }
+        st.tearing_down = true;
+    }
+
+    // -- hook entry points (called via `crate::hooks`) ---------------------
+
+    fn mutex_lock(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut st);
+        loop {
+            if st.tearing_down {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                let obj = st.mutexes.entry(id).or_default();
+                if obj.held_by.is_none() {
+                    obj.held_by = Some(me);
+                    return;
+                }
+                st.statuses[me] = Status::Blocked(BlockedOn::Mutex(id));
+                st = self.wait_scheduled(st, me);
+            } else {
+                st = self.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    /// Releases are pure state updates: the released object's waiters become
+    /// runnable and contend at the next scheduling point.  No scheduling
+    /// decision happens here, so this is safe to call from guard `Drop`
+    /// impls — including during an unwind.
+    fn mutex_unlock(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        let obj = st.mutexes.entry(id).or_default();
+        debug_assert_eq!(obj.held_by, Some(me), "model mutex released by non-owner");
+        obj.held_by = None;
+        Self::wake_blocked(&mut st, BlockedOn::Mutex(id));
+    }
+
+    fn rw_read(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut st);
+        loop {
+            if st.tearing_down {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                let obj = st.rwlocks.entry(id).or_default();
+                if obj.writer.is_none() {
+                    obj.readers.push(me);
+                    return;
+                }
+                st.statuses[me] = Status::Blocked(BlockedOn::RwRead(id));
+                st = self.wait_scheduled(st, me);
+            } else {
+                st = self.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    fn rw_unlock_read(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        let obj = st.rwlocks.entry(id).or_default();
+        if let Some(pos) = obj.readers.iter().rposition(|&r| r == me) {
+            obj.readers.remove(pos);
+        }
+        if obj.readers.is_empty() {
+            Self::wake_blocked(&mut st, BlockedOn::RwWrite(id));
+        }
+    }
+
+    fn rw_write(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        self.pick_next(&mut st);
+        loop {
+            if st.tearing_down {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                let obj = st.rwlocks.entry(id).or_default();
+                if obj.writer.is_none() && obj.readers.is_empty() {
+                    obj.writer = Some(me);
+                    return;
+                }
+                st.statuses[me] = Status::Blocked(BlockedOn::RwWrite(id));
+                st = self.wait_scheduled(st, me);
+            } else {
+                st = self.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    fn rw_unlock_write(&self, me: usize, id: u64) {
+        let mut st = self.lock_state();
+        let obj = st.rwlocks.entry(id).or_default();
+        debug_assert_eq!(obj.writer, Some(me), "model rwlock released by non-owner");
+        obj.writer = None;
+        Self::wake_blocked(&mut st, BlockedOn::RwRead(id));
+        Self::wake_blocked(&mut st, BlockedOn::RwWrite(id));
+    }
+
+    /// Atomically releases modelled mutex `mutex_id`, enqueues on condvar
+    /// `cv_id`, waits for a notification and re-acquires the mutex — the
+    /// *correct* condvar protocol.  Notifications are **not** sticky: a
+    /// notify with nobody waiting is lost, which is exactly the real-world
+    /// semantics lost-wakeup bugs depend on.
+    fn condvar_wait(&self, me: usize, cv_id: u64, mutex_id: u64) {
+        let mut st = self.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        // Atomic with respect to the scheduler: no decision happens between
+        // the mutex release and joining the wait queue.
+        {
+            let obj = st.mutexes.entry(mutex_id).or_default();
+            debug_assert_eq!(obj.held_by, Some(me), "condvar wait without the mutex");
+            obj.held_by = None;
+        }
+        Self::wake_blocked(&mut st, BlockedOn::Mutex(mutex_id));
+        st.condvars.entry(cv_id).or_default().waiting.push(me);
+        st.statuses[me] = Status::Blocked(BlockedOn::Condvar(cv_id));
+        st = self.wait_scheduled(st, me);
+        // Re-acquire the mutex.
+        loop {
+            let obj = st.mutexes.entry(mutex_id).or_default();
+            if obj.held_by.is_none() {
+                obj.held_by = Some(me);
+                return;
+            }
+            st.statuses[me] = Status::Blocked(BlockedOn::Mutex(mutex_id));
+            st = self.wait_scheduled(st, me);
+        }
+    }
+
+    /// Parks on a condvar **without** holding (or releasing) any mutex — the
+    /// broken wait primitive.  A notify landing before this call is lost and
+    /// the thread sleeps forever; the checker reports the resulting
+    /// deadlock.  Exists solely so fault toggles can re-introduce known-bad
+    /// orderings for mutation tests.
+    fn condvar_wait_unguarded(&self, me: usize, cv_id: u64) {
+        let mut st = self.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        st.condvars.entry(cv_id).or_default().waiting.push(me);
+        st.statuses[me] = Status::Blocked(BlockedOn::Condvar(cv_id));
+        let st = self.wait_scheduled(st, me);
+        drop(st);
+    }
+
+    fn notify_one(&self, cv_id: u64) {
+        let mut st = self.lock_state();
+        let cv = st.condvars.entry(cv_id).or_default();
+        if cv.waiting.is_empty() {
+            return;
+        }
+        let tid = cv.waiting.remove(0);
+        st.statuses[tid] = Status::Runnable;
+    }
+
+    fn notify_all(&self, cv_id: u64) {
+        let mut st = self.lock_state();
+        let woken = std::mem::take(&mut st.condvars.entry(cv_id).or_default().waiting);
+        for tid in woken {
+            st.statuses[tid] = Status::Runnable;
+        }
+    }
+
+    fn yield_now(&self, me: usize) {
+        let st = self.lock_state();
+        self.switch(st, me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hook plumbing used by `crate::hooks`
+// ---------------------------------------------------------------------------
+
+pub(crate) fn hook_mutex_lock(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.mutex_lock(me, id);
+    }
+}
+
+pub(crate) fn hook_mutex_unlock(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.mutex_unlock(me, id);
+    }
+}
+
+pub(crate) fn hook_rw_read(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.rw_read(me, id);
+    }
+}
+
+pub(crate) fn hook_rw_unlock_read(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.rw_unlock_read(me, id);
+    }
+}
+
+pub(crate) fn hook_rw_write(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.rw_write(me, id);
+    }
+}
+
+pub(crate) fn hook_rw_unlock_write(id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.rw_unlock_write(me, id);
+    }
+}
+
+pub(crate) fn hook_condvar_wait(cv_id: u64, mutex_id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.condvar_wait(me, cv_id, mutex_id);
+    }
+}
+
+pub(crate) fn hook_condvar_wait_unguarded(cv_id: u64) {
+    if let Some((exec, me)) = current() {
+        exec.condvar_wait_unguarded(me, cv_id);
+    }
+}
+
+pub(crate) fn hook_notify_one(cv_id: u64) {
+    if let Some((exec, _)) = current() {
+        exec.notify_one(cv_id);
+    }
+}
+
+pub(crate) fn hook_notify_all(cv_id: u64) {
+    if let Some((exec, _)) = current() {
+        exec.notify_all(cv_id);
+    }
+}
+
+pub(crate) fn hook_yield_now() {
+    if let Some((exec, me)) = current() {
+        exec.yield_now(me);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controlled threads
+// ---------------------------------------------------------------------------
+
+/// Handle to a controlled thread spawned with [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (logically) until the thread finishes and returns its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside the owning model run.
+    pub fn join(self) -> T {
+        let (exec, me) = current().expect("JoinHandle::join outside a model run");
+        let mut st = exec.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        while st.statuses[self.tid] != Status::Finished {
+            st.statuses[me] = Status::Blocked(BlockedOn::Join(self.tid));
+            st = exec.wait_scheduled(st, me);
+        }
+        drop(st);
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("joined model thread produced no value")
+    }
+}
+
+/// Spawns a controlled thread inside the current model run.  The closure
+/// runs under the cooperative scheduler: it starts only when the scheduler
+/// picks it and interleaves with other controlled threads at yield points.
+///
+/// # Panics
+///
+/// Panics when called outside a model run or past the thread cap.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (exec, me) = current().expect("rgpdos_conc::spawn outside a model run");
+    let result = Arc::new(Mutex::new(None::<T>));
+    let tid = {
+        let mut st = exec.lock_state();
+        if st.tearing_down {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        assert!(
+            st.statuses.len() < MAX_THREADS,
+            "model exceeds {MAX_THREADS} controlled threads"
+        );
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    };
+    let exec2 = Arc::clone(&exec);
+    let result2 = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("model-thread-{tid}"))
+        .spawn(move || {
+            // Wait for the first baton hand-off.
+            {
+                let mut st = exec2.lock_state();
+                loop {
+                    if st.tearing_down {
+                        break;
+                    }
+                    if st.active == tid && st.statuses[tid] == Status::Runnable {
+                        break;
+                    }
+                    st = exec2.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                if st.tearing_down {
+                    st.statuses[tid] = Status::Finished;
+                    exec2.pick_next(&mut st);
+                    return;
+                }
+            }
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            let mut st = exec2.lock_state();
+            st.statuses[tid] = Status::Finished;
+            match outcome {
+                Ok(value) => {
+                    *result2.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+                    Execution::wake_blocked(&mut st, BlockedOn::Join(tid));
+                }
+                Err(payload) => {
+                    if !payload.is::<ModelAbort>() {
+                        exec2.record_panic_failure(&mut st, payload.as_ref());
+                    }
+                }
+            }
+            exec2.pick_next(&mut st);
+        })
+        .expect("failed to spawn a model thread");
+    exec.os_threads
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(os);
+    // Spawning is itself a scheduling point: the child may run immediately.
+    let st = exec.lock_state();
+    exec.switch(st, me);
+    JoinHandle { tid, result }
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+/// How a model execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A controlled thread panicked (assertion failure in the model).
+    Panic,
+    /// Every live thread was blocked — the signature of a lost wakeup or an
+    /// acquisition cycle.
+    Deadlock,
+}
+
+/// A failing interleaving, with the schedule that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Panic or deadlock.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message / blocked-thread listing).
+    pub message: String,
+    /// The scheduling decisions of the failing execution; feed to
+    /// [`Checker::replay`] to reproduce it deterministically.
+    pub schedule: Vec<usize>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\nfailing schedule ({} decisions): {:?}\nreplay with Checker::replay(&{:?}, model)",
+            self.message,
+            self.schedule.len(),
+            self.schedule,
+            self.schedule
+        )
+    }
+}
+
+/// Outcome of an exploration run.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of interleavings (executions) explored.
+    pub executions: u64,
+    /// `true` when DFS exhausted the whole schedule space within its bounds
+    /// (always `false` for the random scheduler).
+    pub complete: bool,
+    /// The first failing interleaving found, if any (exploration stops at
+    /// the first failure).
+    pub failure: Option<Failure>,
+    /// Executions abandoned at the schedule-length cap.
+    pub truncated: u64,
+}
+
+enum Mode {
+    Dfs { max_executions: u64 },
+    Random { iterations: u64, seed: u64 },
+}
+
+/// The model checker: configure a mode, then [`Checker::run`] (collect) or
+/// [`Checker::check`] (panic on failure) a model closure.
+pub struct Checker {
+    mode: Mode,
+    max_steps: usize,
+}
+
+impl Checker {
+    /// Exhaustive DFS over every interleaving, capped at 100k executions.
+    pub fn dfs() -> Self {
+        Self::dfs_bounded(100_000)
+    }
+
+    /// Exhaustive DFS capped at `max_executions` interleavings.
+    pub fn dfs_bounded(max_executions: u64) -> Self {
+        Checker {
+            mode: Mode::Dfs { max_executions },
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Seeded random scheduler: samples `iterations` interleavings.  Each
+    /// iteration derives its own deterministic stream from `seed`, so a
+    /// failure's schedule is replayable by construction.
+    pub fn random(iterations: u64, seed: u64) -> Self {
+        Checker {
+            mode: Mode::Random { iterations, seed },
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Caps scheduling decisions per execution (runaway-model backstop).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Explores `model`, stopping at the first failing interleaving; the
+    /// report carries the failure (if any) and exploration statistics.
+    pub fn run<F: Fn()>(&self, model: F) -> Report {
+        install_quiet_abort_hook();
+        assert!(
+            current().is_none(),
+            "model runs do not nest: Checker::run called from inside a model"
+        );
+        match self.mode {
+            Mode::Dfs { max_executions } => {
+                let mut prefix: Vec<(usize, usize)> = Vec::new();
+                let mut executions = 0u64;
+                let mut truncated = 0u64;
+                loop {
+                    let picks: Vec<usize> = prefix.iter().map(|&(_, p)| p).collect();
+                    let (choices, was_truncated, failure) =
+                        run_one(picks, None, self.max_steps, &model);
+                    executions += 1;
+                    truncated += u64::from(was_truncated);
+                    if failure.is_some() {
+                        return Report {
+                            executions,
+                            complete: false,
+                            failure,
+                            truncated,
+                        };
+                    }
+                    // Backtrack: bump the deepest decision with an untried
+                    // alternative, drop everything after it.
+                    prefix = choices;
+                    loop {
+                        match prefix.pop() {
+                            None => {
+                                return Report {
+                                    executions,
+                                    complete: true,
+                                    failure: None,
+                                    truncated,
+                                };
+                            }
+                            Some((enabled, picked)) if picked + 1 < enabled => {
+                                prefix.push((enabled, picked + 1));
+                                break;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    if executions >= max_executions {
+                        return Report {
+                            executions,
+                            complete: false,
+                            failure: None,
+                            truncated,
+                        };
+                    }
+                }
+            }
+            Mode::Random { iterations, seed } => {
+                let mut executions = 0u64;
+                let mut truncated = 0u64;
+                for i in 0..iterations {
+                    let stream = SplitMix64(seed ^ (i.wrapping_mul(0xA076_1D64_78BD_642F)));
+                    let (_, was_truncated, failure) =
+                        run_one(Vec::new(), Some(stream), self.max_steps, &model);
+                    executions += 1;
+                    truncated += u64::from(was_truncated);
+                    if failure.is_some() {
+                        return Report {
+                            executions,
+                            complete: false,
+                            failure,
+                            truncated,
+                        };
+                    }
+                }
+                Report {
+                    executions,
+                    complete: false,
+                    failure: None,
+                    truncated,
+                }
+            }
+        }
+    }
+
+    /// Like [`Checker::run`], but panics with the failing schedule so a test
+    /// fails loudly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a failing interleaving is found.
+    pub fn check<F: Fn()>(&self, model: F) -> Report {
+        let report = self.run(model);
+        if let Some(failure) = &report.failure {
+            panic!(
+                "model checking failed after {} interleavings:\n{failure}",
+                report.executions
+            );
+        }
+        report
+    }
+
+    /// Re-runs `model` under exactly the given schedule (as printed by a
+    /// [`Failure`]), panicking if it fails again — the deterministic-replay
+    /// debugging entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the replayed schedule fails (which is the point).
+    pub fn replay<F: Fn()>(schedule: &[usize], model: F) {
+        install_quiet_abort_hook();
+        assert!(current().is_none(), "model runs do not nest");
+        let (_, _, failure) = run_one(schedule.to_vec(), None, DEFAULT_MAX_STEPS, &model);
+        if let Some(failure) = failure {
+            panic!("replayed schedule failed (as recorded):\n{failure}");
+        }
+    }
+}
+
+/// Runs one execution; returns its decisions, whether it was truncated, and
+/// its failure, if any.
+fn run_one<F: Fn()>(
+    prefix: Vec<usize>,
+    rng: Option<SplitMix64>,
+    max_steps: usize,
+    model: &F,
+) -> (Vec<(usize, usize)>, bool, Option<Failure>) {
+    let exec = Arc::new(Execution::new(prefix, rng, max_steps));
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), 0)));
+    let outcome = catch_unwind(AssertUnwindSafe(model));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    {
+        let mut st = exec.lock_state();
+        st.statuses[0] = Status::Finished;
+        match outcome {
+            Ok(()) => {}
+            Err(payload) => {
+                if !payload.is::<ModelAbort>() {
+                    exec.record_panic_failure(&mut st, payload.as_ref());
+                }
+            }
+        }
+        exec.pick_next(&mut st);
+        // Drain the remaining controlled threads (the model may have left
+        // some running; teardown or normal scheduling finishes them).
+        while st.statuses.iter().any(|s| *s != Status::Finished) {
+            if st.tearing_down {
+                exec.baton.notify_all();
+            }
+            st = exec.baton.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+    let handles = std::mem::take(&mut *exec.os_threads.lock().unwrap_or_else(|p| p.into_inner()));
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let st = exec.lock_state();
+    (st.choices.clone(), st.truncated, st.failure.clone())
+}
+
+/// Keeps `ModelAbort` teardown unwinds out of test output: they are control
+/// flow, not failures.  Installed once, delegating every other panic to the
+/// previous hook.
+fn install_quiet_abort_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_some() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

@@ -1,0 +1,190 @@
+//! Engine-level tests: the scheduler must find ordering bugs, prove their
+//! absence, detect deadlocks (lost wakeups), and replay failing schedules.
+
+use rgpdos_conc::{hooks, spawn, Checker, FailureKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A racy read-modify-write with an explicit yield between load and store:
+/// DFS must find the interleaving where both increments read the same value.
+#[test]
+fn dfs_finds_a_lost_update() {
+    let report = Checker::dfs().run(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let counter = Arc::clone(&counter);
+            handles.push(spawn(move || {
+                let v = counter.load(Ordering::SeqCst);
+                hooks::yield_now();
+                counter.store(v + 1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report.failure.expect("DFS must find the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("lost update"),
+        "{}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty());
+}
+
+/// The same race protected by a modelled mutex never fails, and DFS
+/// exhausts the (small) schedule space.
+#[test]
+fn dfs_proves_mutexed_updates_safe() {
+    let report = Checker::dfs().check(|| {
+        let id = hooks::new_object_id();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let counter = Arc::clone(&counter);
+            handles.push(spawn(move || {
+                hooks::mutex_lock(id);
+                let v = counter.load(Ordering::SeqCst);
+                hooks::yield_now();
+                counter.store(v + 1, Ordering::SeqCst);
+                hooks::mutex_unlock(id);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "small model should be exhausted");
+    assert!(report.executions > 1);
+}
+
+/// Classic lost wakeup: the waiter re-checks nothing and parks with the
+/// broken unguarded wait, so a notify landing in the window is lost and the
+/// checker reports the deadlock with a replayable schedule.
+#[test]
+fn dfs_finds_a_lost_wakeup_as_deadlock() {
+    let model = || {
+        let mutex = hooks::new_object_id();
+        let cv = hooks::new_object_id();
+        let ready = Arc::new(AtomicU64::new(0));
+        let ready2 = Arc::clone(&ready);
+        let waiter = spawn(move || {
+            hooks::mutex_lock(mutex);
+            let is_ready = ready2.load(Ordering::SeqCst) == 1;
+            hooks::mutex_unlock(mutex);
+            if !is_ready {
+                // BUG: the predicate can flip (and notify fire) right here.
+                hooks::yield_now();
+                hooks::condvar_wait_unguarded(cv);
+            }
+        });
+        hooks::mutex_lock(mutex);
+        ready.store(1, Ordering::SeqCst);
+        hooks::notify_all(cv);
+        hooks::mutex_unlock(mutex);
+        waiter.join();
+    };
+    let report = Checker::dfs().run(model);
+    let failure = report.failure.expect("the lost wakeup must be found");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("deadlock"), "{}", failure.message);
+
+    // The recorded schedule must reproduce the deadlock deterministically.
+    let schedule = failure.schedule.clone();
+    let replayed = std::panic::catch_unwind(move || Checker::replay(&schedule, model));
+    assert!(replayed.is_err(), "replay must reproduce the failure");
+}
+
+/// The correct protocol — predicate checked under the mutex, wait releases
+/// it atomically — has no failing interleaving.
+#[test]
+fn correct_condvar_protocol_is_clean() {
+    let report = Checker::dfs().check(|| {
+        let mutex = hooks::new_object_id();
+        let cv = hooks::new_object_id();
+        let ready = Arc::new(AtomicU64::new(0));
+        let ready2 = Arc::clone(&ready);
+        let waiter = spawn(move || {
+            hooks::mutex_lock(mutex);
+            while ready2.load(Ordering::SeqCst) == 0 {
+                hooks::condvar_wait(cv, mutex);
+            }
+            hooks::mutex_unlock(mutex);
+        });
+        hooks::mutex_lock(mutex);
+        ready.store(1, Ordering::SeqCst);
+        hooks::notify_all(cv);
+        hooks::mutex_unlock(mutex);
+        waiter.join();
+    });
+    assert!(report.complete);
+}
+
+/// Writers are exclusive against readers and other writers.
+#[test]
+fn rwlock_model_excludes_writers() {
+    let report = Checker::dfs_bounded(20_000).check(|| {
+        let id = hooks::new_object_id();
+        let in_write = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let in_write = Arc::clone(&in_write);
+            handles.push(spawn(move || {
+                hooks::rw_write(id);
+                assert_eq!(in_write.fetch_add(1, Ordering::SeqCst), 0);
+                hooks::yield_now();
+                in_write.fetch_sub(1, Ordering::SeqCst);
+                hooks::rw_unlock_write(id);
+            }));
+        }
+        let in_write2 = Arc::clone(&in_write);
+        handles.push(spawn(move || {
+            hooks::rw_read(id);
+            assert_eq!(in_write2.load(Ordering::SeqCst), 0);
+            hooks::rw_unlock_read(id);
+        }));
+        for h in handles {
+            h.join();
+        }
+    });
+    assert!(report.executions > 10);
+}
+
+/// Random mode is deterministic per seed and explores the requested number
+/// of interleavings.
+#[test]
+fn random_mode_is_seeded_and_counts() {
+    let model = || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            hooks::yield_now();
+        });
+        hooks::yield_now();
+        t.join();
+    };
+    let a = Checker::random(50, 0xC0FFEE).run(model);
+    assert_eq!(a.executions, 50);
+    assert!(a.failure.is_none());
+    // Same seed, same mode: still clean and the same count (determinism is
+    // per-schedule; a failure here would carry an identical schedule).
+    let b = Checker::random(50, 0xC0FFEE).run(model);
+    assert_eq!(b.executions, 50);
+}
+
+/// Self-deadlock (relocking a held modelled mutex) is reported, not hung.
+#[test]
+fn self_deadlock_is_detected() {
+    let report = Checker::dfs_bounded(100).run(|| {
+        let id = hooks::new_object_id();
+        hooks::mutex_lock(id);
+        hooks::mutex_lock(id); // deadlocks on itself
+    });
+    let failure = report.failure.expect("self-deadlock must be reported");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}

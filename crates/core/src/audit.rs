@@ -132,9 +132,18 @@ impl fmt::Display for AuditEvent {
 /// Thread-safe, append-only audit log shared by every rgpdOS component.
 ///
 /// Cloning an `AuditLog` yields a handle to the *same* underlying log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AuditLog {
     events: Arc<RwLock<Vec<AuditEvent>>>,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        // Named so lock-order cycle reports read "audit-log", not a bare id.
+        Self {
+            events: Arc::new(RwLock::new_named("audit-log", Vec::new())),
+        }
+    }
 }
 
 impl AuditLog {

@@ -591,7 +591,7 @@ impl<D: BlockDevice> Dbfs<D> {
         };
         Ok(Self {
             fs,
-            index: Mutex::new(index),
+            index: Mutex::new_named("dbfs-index", index),
             clock,
             audit,
             stats: DbfsStatsInner::default(),
@@ -895,7 +895,7 @@ impl<D: BlockDevice> Dbfs<D> {
             .store(recovered, AtomicOrdering::Relaxed);
         let this = Self {
             fs,
-            index: Mutex::new(index),
+            index: Mutex::new_named("dbfs-index", index),
             clock,
             audit,
             stats,

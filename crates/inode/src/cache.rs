@@ -159,6 +159,22 @@ impl BlockCache {
         }
     }
 
+    /// Installs the just-committed contents of a block, advancing the
+    /// invalidation epoch.
+    ///
+    /// Commit-path installs must advance the epoch, unlike plain
+    /// [`BlockCache::insert`]: a racing miss-fill that sampled the epoch
+    /// after the commit's `invalidate` but read the device *before* the
+    /// in-place write would otherwise pass its epoch check and clobber the
+    /// fresh entry with pre-commit bytes — leaving the cache stale behind
+    /// the device (and, for crypto-erasure commits, leaving erased
+    /// plaintext resident in the cache).  The rgpdos-conc model suite pins
+    /// this rule (`model_block_cache` in the bench crate).
+    pub fn install_committed(&mut self, block: u64, data: Vec<u8>) {
+        self.epoch += 1;
+        self.insert(block, data);
+    }
+
     /// Drops one block, if cached, and advances the invalidation epoch.
     pub fn invalidate(&mut self, block: u64) {
         self.epoch += 1;

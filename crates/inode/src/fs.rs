@@ -249,6 +249,12 @@ impl<D: BlockDevice> InodeFs<D> {
         device.write_block(root_block, &block)?;
         device.flush()?;
 
+        // The freshly written bitmap is authoritative: arm any attached
+        // block sanitizer against it.
+        if let Some(sanitizer) = device.sanitizer() {
+            sanitizer.reseed_with(|block| data_bitmap.is_set(block));
+        }
+
         Ok(Self {
             device,
             layout,
@@ -282,6 +288,13 @@ impl<D: BlockDevice> InodeFs<D> {
     ///
     /// Same as [`InodeFs::mount`].
     pub fn mount_with(device: D, secure_free: bool) -> Result<Self, InodeError> {
+        // Journal replay below writes wherever the journal directs it —
+        // repairs, not bitmap-checked allocations.  Disarm any attached
+        // sanitizer for the duration; the reseed after the bitmaps are
+        // loaded re-arms it against recovered state.
+        if let Some(sanitizer) = device.sanitizer() {
+            sanitizer.begin_recovery();
+        }
         let block0 = device.read_block(0)?;
         let mut superblock = Superblock::decode(&block0)?;
         let layout = Layout::compute(
@@ -354,6 +367,9 @@ impl<D: BlockDevice> InodeFs<D> {
             data_bytes.extend_from_slice(&device.read_block(layout.data_bitmap_start + b)?);
         }
         let data_bitmap = Bitmap::from_bytes(&data_bytes, layout.total_blocks);
+        if let Some(sanitizer) = device.sanitizer() {
+            sanitizer.reseed_with(|block| data_bitmap.is_set(block));
+        }
 
         Ok(Self {
             device,
@@ -569,6 +585,7 @@ impl<D: BlockDevice> InodeFs<D> {
         }
         state.inode_bitmap = savepoint.inode_bitmap;
         state.data_bitmap = savepoint.data_bitmap;
+        self.sanitizer_reseed(&state);
     }
 
     fn commit_tx(&self) -> Result<(), InodeError> {
@@ -594,6 +611,7 @@ impl<D: BlockDevice> InodeFs<D> {
             let mut state = self.state.lock();
             state.inode_bitmap = staged.saved_inode_bitmap;
             state.data_bitmap = staged.saved_data_bitmap;
+            self.sanitizer_reseed(&state);
         }
     }
 
@@ -869,6 +887,11 @@ impl<D: BlockDevice> InodeFs<D> {
         inode.size = new_size;
         inode.modified_at = state.op_counter;
         state.op_counter += 1;
+        if let Some(sanitizer) = self.device.sanitizer() {
+            for &block in &freed_bits {
+                sanitizer.note_free(block);
+            }
+        }
         self.stage_inode_write(ino, &inode, &mut writes)?;
         self.stage_data_bitmap(&state, &freed_bits, &mut writes);
         self.commit_writes(&mut state, writes)?;
@@ -1073,7 +1096,62 @@ impl<D: BlockDevice> InodeFs<D> {
             return Err(InodeError::OutOfSpace);
         }
         allocated.push(block);
+        if let Some(sanitizer) = self.device.sanitizer() {
+            sanitizer.note_alloc(block);
+        }
         Ok(block)
+    }
+
+    /// Re-aligns an attached block sanitizer's allocation map with the
+    /// in-memory data bitmap.  Called wherever the bitmap is replaced
+    /// wholesale (rollback, abort) rather than mutated incrementally.
+    fn sanitizer_reseed(&self, state: &FsState) {
+        if let Some(sanitizer) = self.device.sanitizer() {
+            sanitizer.reseed_with(|block| state.data_bitmap.is_set(block));
+        }
+    }
+
+    /// Walks the whole inode table and returns every data block the bitmap
+    /// marks allocated but no live inode references — leaked blocks.
+    ///
+    /// This is the unmount-time leak check of the block-sanitizer suite:
+    /// the crash harness runs it after every recovery to prove that no
+    /// crash point strands an allocation.  Must not be called with a
+    /// compound transaction open (staged allocations are not yet reachable
+    /// from any on-disk inode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device and decode errors from the inode-table walk.
+    pub fn leaked_data_blocks(&self) -> Result<Vec<u64>, InodeError> {
+        let state = self.state.lock();
+        let mut reachable = std::collections::HashSet::new();
+        for ino in 0..state.superblock.inode_count {
+            if !state.inode_bitmap.is_set(ino) {
+                continue;
+            }
+            let inode = self.load_inode_checked(&state, ino)?;
+            for &ptr in &inode.direct {
+                if ptr != 0 {
+                    reachable.insert(ptr);
+                }
+            }
+            if inode.indirect != 0 {
+                reachable.insert(inode.indirect);
+                for ptr in self.load_indirect_table(&inode)? {
+                    if ptr != 0 {
+                        reachable.insert(ptr);
+                    }
+                }
+            }
+        }
+        let mut leaked = Vec::new();
+        for block in self.layout.data_start..self.layout.total_blocks {
+            if state.data_bitmap.is_set(block) && !reachable.contains(&block) {
+                leaked.push(block);
+            }
+        }
+        Ok(leaked)
     }
 
     fn load_indirect_table(&self, inode: &Inode) -> Result<Vec<u64>, InodeError> {
@@ -1204,7 +1282,11 @@ impl<D: BlockDevice> InodeFs<D> {
                 for (target, data) in chunk {
                     let mut padded = data.clone();
                     padded.resize(block_size, 0);
-                    cache.insert(*target, padded);
+                    // `install_committed`, not `insert`: the epoch bump
+                    // defeats a racing miss-fill that read the device
+                    // before the in-place write above and would otherwise
+                    // re-install the pre-commit bytes over this entry.
+                    cache.install_committed(*target, padded);
                 }
             }
             self.journal_txs.fetch_add(1, Ordering::Relaxed);

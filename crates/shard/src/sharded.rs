@@ -358,12 +358,12 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         let pool = ShardPool::new(&shards);
         Self {
             shards,
-            directory: Mutex::new(directory),
+            directory: Mutex::new_named("lineage-directory", directory),
             pool,
             clock,
             audit,
             next_copy: AtomicUsize::new(0),
-            erasures: Mutex::new(()),
+            erasures: Mutex::new_named("cross-shard-erasures", ()),
         }
     }
 

@@ -3,6 +3,12 @@
 //! Provides `crossbeam::channel` with clonable, `Sync` senders *and*
 //! receivers (unlike `std::sync::mpsc`), implemented over a mutex-guarded
 //! queue and a condition variable.
+//!
+//! With the optional `model` feature every channel operation is also a
+//! scheduling point of the `rgpdos_conc` model checker (a no-op outside a
+//! model run), and `channel::set_split_wakeup_fault` can re-introduce the
+//! historical check-then-sleep lost-wakeup bug so model-checked tests can
+//! prove the checker would have caught it.
 
 #![forbid(unsafe_code)]
 
@@ -11,6 +17,101 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+
+    /// Model-checker instrumentation for the channel (the `model` feature).
+    ///
+    /// The channel's one real mutex + condvar pair is mirrored by a modelled
+    /// mutex + condvar: inside a model run the logical pair is what threads
+    /// contend on (the scheduler serializes execution, so the real lock is
+    /// always uncontended), and outside a run every hook is a no-op.
+    #[cfg(feature = "model")]
+    mod model {
+        use rgpdos_conc::{hooks, LazyObjectId};
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Lazily-assigned ids of the modelled mutex/condvar pair.
+        pub(super) struct ChanIds {
+            pub(super) mutex: LazyObjectId,
+            pub(super) cv: LazyObjectId,
+        }
+
+        impl ChanIds {
+            pub(super) fn new() -> Self {
+                ChanIds {
+                    mutex: LazyObjectId::new(),
+                    cv: LazyObjectId::new(),
+                }
+            }
+        }
+
+        /// When set, `recv` uses the broken split check-then-sleep protocol
+        /// the pre-fix channel had (predicate checked outside the lock it
+        /// sleeps on), so the model checker can rediscover the lost wakeup.
+        static SPLIT_WAKEUP_FAULT: AtomicBool = AtomicBool::new(false);
+
+        pub(super) fn split_wakeup_fault() -> bool {
+            SPLIT_WAKEUP_FAULT.load(Ordering::SeqCst)
+        }
+
+        pub(super) fn set_split_wakeup_fault(on: bool) {
+            SPLIT_WAKEUP_FAULT.store(on, Ordering::SeqCst)
+        }
+
+        /// RAII hold of the modelled channel mutex.  Inert outside a model
+        /// run, and while unwinding (acquire hooks may panic — that is how
+        /// the scheduler tears blocked executions down — and panicking
+        /// inside a `Drop` during an unwind would abort).
+        pub(super) struct ModelLock {
+            id: u64,
+            active: bool,
+        }
+
+        impl ModelLock {
+            pub(super) fn acquire(ids: &ChanIds) -> Self {
+                if hooks::is_active() && !std::thread::panicking() {
+                    let id = ids.mutex.get();
+                    hooks::mutex_lock(id);
+                    ModelLock { id, active: true }
+                } else {
+                    ModelLock {
+                        id: 0,
+                        active: false,
+                    }
+                }
+            }
+        }
+
+        impl Drop for ModelLock {
+            fn drop(&mut self) {
+                if self.active {
+                    hooks::mutex_unlock(self.id);
+                }
+            }
+        }
+
+        /// Mirrors a real `notify_one` onto the modelled condvar.
+        pub(super) fn notify_one(ids: &ChanIds) {
+            if hooks::is_active() {
+                hooks::notify_one(ids.cv.get());
+            }
+        }
+
+        /// Mirrors a real `notify_all` onto the modelled condvar.
+        pub(super) fn notify_all(ids: &ChanIds) {
+            if hooks::is_active() {
+                hooks::notify_all(ids.cv.get());
+            }
+        }
+    }
+
+    /// Re-introduces the historical lost-wakeup bug in `recv` (predicate
+    /// checked outside the lock it sleeps on) for model-checked mutation
+    /// tests.  Affects **only** threads controlled by a model run; real
+    /// (non-modelled) receivers always use the correct protocol.
+    #[cfg(feature = "model")]
+    pub fn set_split_wakeup_fault(on: bool) {
+        model::set_split_wakeup_fault(on)
+    }
 
     /// Queue and live-sender count live under ONE mutex: `recv` must check
     /// "empty and no senders left" and go to sleep atomically, or a
@@ -25,6 +126,8 @@ pub mod channel {
     struct Shared<T> {
         inner: Mutex<Inner<T>>,
         ready: Condvar,
+        #[cfg(feature = "model")]
+        model: model::ChanIds,
     }
 
     /// The sending half of an unbounded channel.
@@ -99,6 +202,8 @@ pub mod channel {
                 senders: 1,
             }),
             ready: Condvar::new(),
+            #[cfg(feature = "model")]
+            model: model::ChanIds::new(),
         });
         (
             Sender {
@@ -111,9 +216,13 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues a message; never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            #[cfg(feature = "model")]
+            let _m = model::ModelLock::acquire(&self.shared.model);
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.queue.push_back(value);
             drop(inner);
+            #[cfg(feature = "model")]
+            model::notify_one(&self.shared.model);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -121,6 +230,8 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            #[cfg(feature = "model")]
+            let _m = model::ModelLock::acquire(&self.shared.model);
             self.shared
                 .inner
                 .lock()
@@ -134,12 +245,16 @@ pub mod channel {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
+            #[cfg(feature = "model")]
+            let _m = model::ModelLock::acquire(&self.shared.model);
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             inner.senders -= 1;
             if inner.senders == 0 {
                 // Notify while still holding the lock: any receiver is
                 // either inside `wait` (and gets woken) or has not yet
                 // re-checked the predicate (and will observe senders == 0).
+                #[cfg(feature = "model")]
+                model::notify_all(&self.shared.model);
                 self.shared.ready.notify_all();
             }
         }
@@ -148,6 +263,8 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Dequeues a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            #[cfg(feature = "model")]
+            let _m = model::ModelLock::acquire(&self.shared.model);
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(value) = inner.queue.pop_front() {
                 return Ok(value);
@@ -159,9 +276,65 @@ pub mod channel {
             }
         }
 
+        /// One non-blocking poll of the queue: message, disconnection, or
+        /// "keep waiting".
+        #[cfg(feature = "model")]
+        fn poll(&self) -> Option<Result<T, RecvError>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(value) = inner.queue.pop_front() {
+                return Some(Ok(value));
+            }
+            if inner.senders == 0 {
+                return Some(Err(RecvError));
+            }
+            None
+        }
+
+        /// `recv` under model control: the real condvar is never used (the
+        /// scheduler decides who runs); blocking happens on the modelled
+        /// mutex/condvar pair instead so the checker can explore wakeup
+        /// interleavings.
+        #[cfg(feature = "model")]
+        fn recv_model(&self) -> Result<T, RecvError> {
+            use rgpdos_conc::hooks;
+            let mutex = self.shared.model.mutex.get();
+            let cv = self.shared.model.cv.get();
+            if model::split_wakeup_fault() {
+                // BUG (re-introduced on purpose): the predicate is checked
+                // under the lock, but the sleep happens *outside* it.  A
+                // sender's notify landing in the window between unlock and
+                // sleep is lost, and the receiver parks forever — exactly
+                // the pre-fix layout this channel's doc comment describes.
+                loop {
+                    hooks::mutex_lock(mutex);
+                    let polled = self.poll();
+                    hooks::mutex_unlock(mutex);
+                    if let Some(result) = polled {
+                        return result;
+                    }
+                    hooks::yield_now(); // the lost-wakeup window
+                    hooks::condvar_wait_unguarded(cv);
+                }
+            }
+            // Correct protocol: predicate and sleep share the modelled
+            // mutex, released atomically by `condvar_wait`.
+            hooks::mutex_lock(mutex);
+            loop {
+                if let Some(result) = self.poll() {
+                    hooks::mutex_unlock(mutex);
+                    return result;
+                }
+                hooks::condvar_wait(cv, mutex);
+            }
+        }
+
         /// Dequeues a message, blocking until one is available or the channel
         /// is disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(feature = "model")]
+            if rgpdos_conc::hooks::is_active() {
+                return self.recv_model();
+            }
             let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = inner.queue.pop_front() {
@@ -180,6 +353,8 @@ pub mod channel {
 
         /// Returns the number of queued messages.
         pub fn len(&self) -> usize {
+            #[cfg(feature = "model")]
+            let _m = model::ModelLock::acquire(&self.shared.model);
             self.shared
                 .inner
                 .lock()

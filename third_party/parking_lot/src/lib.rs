@@ -7,12 +7,22 @@
 //! The optional `lock-order` feature (enabled by the workspace's
 //! dev-dependencies) turns every acquisition into a check
 //! against a global acquisition-order graph, panicking on cycles so ABBA
-//! deadlocks fail fast in tests.
+//! deadlocks fail fast in tests.  [`Mutex::new_named`] /
+//! [`RwLock::new_named`] attach a human-readable label that violation
+//! reports use instead of a bare id.
+//!
+//! The optional `model` feature additionally routes every acquisition and
+//! release through the `rgpdos_conc` model checker's scheduling hooks, so a
+//! model-checked test can exhaustively explore interleavings of code that
+//! synchronizes through these locks.  The hooks are no-ops on threads that
+//! are not part of a model run.
 
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "model")]
+mod model;
 #[cfg(feature = "lock-order")]
-mod order;
+pub mod order;
 
 use std::fmt;
 use std::sync::{
@@ -25,6 +35,8 @@ use std::sync::{
 pub struct Mutex<T: ?Sized> {
     #[cfg(feature = "lock-order")]
     order: order::LockId,
+    #[cfg(feature = "model")]
+    model: model::ModelId,
     inner: StdMutex<T>,
 }
 
@@ -35,6 +47,11 @@ pub struct MutexGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-order")]
     _held: order::HeldLock,
     inner: StdMutexGuard<'a, T>,
+    // Declared after `inner` so the logical (modelled) release happens only
+    // once the real lock is free; the scheduler may immediately hand the
+    // baton to a thread that was logically blocked on it.
+    #[cfg(feature = "model")]
+    _model: model::ModelMutexHeld,
 }
 
 impl<T> Mutex<T> {
@@ -43,6 +60,25 @@ impl<T> Mutex<T> {
         Self {
             #[cfg(feature = "lock-order")]
             order: order::LockId::new(),
+            #[cfg(feature = "model")]
+            model: model::ModelId::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Creates a new mutex with a human-readable name used by the
+    /// `lock-order` sanitizer's violation reports.
+    ///
+    /// Without the feature the name is simply dropped, so callers can use
+    /// this unconditionally.
+    pub const fn new_named(name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "lock-order")]
+            order: order::LockId::named(name),
+            #[cfg(feature = "model")]
+            model: model::ModelId::new(),
             inner: StdMutex::new(value),
         }
     }
@@ -61,10 +97,16 @@ impl<T: ?Sized> Mutex<T> {
     ///
     /// Under the `lock-order` feature the acquisition is checked against the
     /// global acquisition-order graph first and panics on an ordering cycle
-    /// instead of risking a deadlock.
+    /// instead of risking a deadlock.  Under the `model` feature the
+    /// acquisition is a scheduling point of the model checker.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let _held = order::HeldLock::acquire(&self.order);
+        // The logical acquisition blocks (in model time) until the modelled
+        // mutex is free, so the real lock below is always uncontended inside
+        // a model run.
+        #[cfg(feature = "model")]
+        let _model = model::ModelMutexHeld::acquire(&self.model);
         let inner = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -73,6 +115,8 @@ impl<T: ?Sized> Mutex<T> {
             #[cfg(feature = "lock-order")]
             _held,
             inner,
+            #[cfg(feature = "model")]
+            _model,
         }
     }
 
@@ -109,6 +153,8 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 pub struct RwLock<T: ?Sized> {
     #[cfg(feature = "lock-order")]
     order: order::LockId,
+    #[cfg(feature = "model")]
+    model: model::ModelId,
     inner: StdRwLock<T>,
 }
 
@@ -117,6 +163,8 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-order")]
     _held: order::HeldLock,
     inner: StdRwLockReadGuard<'a, T>,
+    #[cfg(feature = "model")]
+    _model: model::ModelReadHeld,
 }
 
 /// RAII guard returned by [`RwLock::write`].
@@ -124,6 +172,8 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(feature = "lock-order")]
     _held: order::HeldLock,
     inner: StdRwLockWriteGuard<'a, T>,
+    #[cfg(feature = "model")]
+    _model: model::ModelWriteHeld,
 }
 
 impl<T> RwLock<T> {
@@ -132,6 +182,22 @@ impl<T> RwLock<T> {
         Self {
             #[cfg(feature = "lock-order")]
             order: order::LockId::new(),
+            #[cfg(feature = "model")]
+            model: model::ModelId::new(),
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Creates a new reader-writer lock with a human-readable name used by
+    /// the `lock-order` sanitizer's violation reports.
+    pub const fn new_named(name: &'static str, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = name;
+        Self {
+            #[cfg(feature = "lock-order")]
+            order: order::LockId::named(name),
+            #[cfg(feature = "model")]
+            model: model::ModelId::new(),
             inner: StdRwLock::new(value),
         }
     }
@@ -150,6 +216,8 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let _held = order::HeldLock::acquire(&self.order);
+        #[cfg(feature = "model")]
+        let _model = model::ModelReadHeld::acquire(&self.model);
         let inner = match self.inner.read() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -158,6 +226,8 @@ impl<T: ?Sized> RwLock<T> {
             #[cfg(feature = "lock-order")]
             _held,
             inner,
+            #[cfg(feature = "model")]
+            _model,
         }
     }
 
@@ -165,6 +235,8 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         let _held = order::HeldLock::acquire(&self.order);
+        #[cfg(feature = "model")]
+        let _model = model::ModelWriteHeld::acquire(&self.model);
         let inner = match self.inner.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -173,6 +245,8 @@ impl<T: ?Sized> RwLock<T> {
             #[cfg(feature = "lock-order")]
             _held,
             inner,
+            #[cfg(feature = "model")]
+            _model,
         }
     }
 
@@ -228,5 +302,13 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn named_constructors_work_without_features() {
+        let m = Mutex::new_named("test-mutex", 7);
+        assert_eq!(*m.lock(), 7);
+        let l = RwLock::new_named("test-rwlock", 8);
+        assert_eq!(*l.read(), 8);
     }
 }

@@ -1,0 +1,108 @@
+//! Model-checker instrumentation (the `model` feature).
+//!
+//! Every lock carries a lazily-assigned modelled-object id; acquisitions
+//! call into `rgpdos_conc`'s scheduling hooks (a yield point + logical
+//! acquisition) and guard drops release the logical object again.  All
+//! hooks are no-ops on threads not controlled by a model run.
+//!
+//! Release ordering matters: the logical release must happen **after** the
+//! real `std::sync` guard has been dropped, otherwise the scheduler could
+//! hand the baton to a logically-granted thread that then blocks for real
+//! on the still-held `std` lock.  Guards therefore declare their model
+//! field *after* `inner` (fields drop in declaration order).
+//!
+//! Acquisitions are additionally skipped while the thread is unwinding:
+//! acquire hooks may themselves panic (that is how the scheduler tears a
+//! blocked execution down), and a panic inside a `Drop` running during an
+//! unwind would abort the process instead of failing the test.
+
+use rgpdos_conc::hooks;
+
+pub(crate) use rgpdos_conc::LazyObjectId as ModelId;
+
+/// RAII record of a modelled mutex hold.
+pub(crate) struct ModelMutexHeld {
+    id: u64,
+    active: bool,
+}
+
+impl ModelMutexHeld {
+    pub(crate) fn acquire(id: &ModelId) -> Self {
+        if hooks::is_active() && !std::thread::panicking() {
+            let id = id.get();
+            hooks::mutex_lock(id);
+            ModelMutexHeld { id, active: true }
+        } else {
+            ModelMutexHeld {
+                id: 0,
+                active: false,
+            }
+        }
+    }
+}
+
+impl Drop for ModelMutexHeld {
+    fn drop(&mut self) {
+        if self.active {
+            hooks::mutex_unlock(self.id);
+        }
+    }
+}
+
+/// RAII record of a modelled shared (read) hold.
+pub(crate) struct ModelReadHeld {
+    id: u64,
+    active: bool,
+}
+
+impl ModelReadHeld {
+    pub(crate) fn acquire(id: &ModelId) -> Self {
+        if hooks::is_active() && !std::thread::panicking() {
+            let id = id.get();
+            hooks::rw_read(id);
+            ModelReadHeld { id, active: true }
+        } else {
+            ModelReadHeld {
+                id: 0,
+                active: false,
+            }
+        }
+    }
+}
+
+impl Drop for ModelReadHeld {
+    fn drop(&mut self) {
+        if self.active {
+            hooks::rw_unlock_read(self.id);
+        }
+    }
+}
+
+/// RAII record of a modelled exclusive (write) hold.
+pub(crate) struct ModelWriteHeld {
+    id: u64,
+    active: bool,
+}
+
+impl ModelWriteHeld {
+    pub(crate) fn acquire(id: &ModelId) -> Self {
+        if hooks::is_active() && !std::thread::panicking() {
+            let id = id.get();
+            hooks::rw_write(id);
+            ModelWriteHeld { id, active: true }
+        } else {
+            ModelWriteHeld {
+                id: 0,
+                active: false,
+            }
+        }
+    }
+}
+
+impl Drop for ModelWriteHeld {
+    fn drop(&mut self) {
+        if self.active {
+            hooks::rw_unlock_write(self.id);
+        }
+    }
+}

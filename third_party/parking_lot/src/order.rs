@@ -6,39 +6,68 @@
 //! acquisition-order graph.  An edge that would close a cycle is an ordering
 //! violation — two threads interleaving those acquisitions can deadlock — and
 //! the tracker panics **before** blocking on the lock, turning a potential
-//! ABBA deadlock into a unit-test failure with both edges named.
+//! ABBA deadlock into a unit-test failure that names **the whole cycle**,
+//! using the human-readable labels given to [`crate::Mutex::new_named`] /
+//! [`crate::RwLock::new_named`] where available.
 //!
 //! The feature is enabled by the workspace's *dev*-dependencies only, so
 //! `cargo test` runs with the sanitizer while release builds pay nothing.
+//!
+//! The graph is process-global and accumulates edges across tests sharing a
+//! process; a test that deliberately provokes violations should call
+//! [`reset_for_test`] first so stale edges cannot produce cross-test false
+//! positives (and its own edges are dropped by the next caller).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex as StdMutex, OnceLock};
 
-/// Lazily-assigned identity of one lock instance.
+/// Lazily-assigned identity of one lock instance, with an optional
+/// human-readable name used in violation reports.
 ///
 /// `const`-constructible (locks are created in `const fn new`), so the id is
 /// assigned on first acquisition from a global counter; `0` means unassigned.
-pub(crate) struct LockId(AtomicU64);
+pub(crate) struct LockId {
+    id: AtomicU64,
+    name: Option<&'static str>,
+}
 
 impl LockId {
     pub(crate) const fn new() -> Self {
-        LockId(AtomicU64::new(0))
+        LockId {
+            id: AtomicU64::new(0),
+            name: None,
+        }
+    }
+
+    pub(crate) const fn named(name: &'static str) -> Self {
+        LockId {
+            id: AtomicU64::new(0),
+            name: Some(name),
+        }
     }
 
     fn get(&self) -> u64 {
-        let id = self.0.load(Ordering::Relaxed);
+        let id = self.id.load(Ordering::Relaxed);
         if id != 0 {
             return id;
         }
         static NEXT: AtomicU64 = AtomicU64::new(1);
         let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
         match self
-            .0
+            .id
             .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
         {
-            Ok(_) => fresh,
+            Ok(_) => {
+                if let Some(name) = self.name {
+                    names()
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(fresh, name);
+                }
+                fresh
+            }
             Err(current) => current,
         }
     }
@@ -61,25 +90,70 @@ fn edges() -> &'static StdMutex<HashMap<u64, HashSet<u64>>> {
     EDGES.get_or_init(|| StdMutex::new(HashMap::new()))
 }
 
-/// Depth-first reachability over the edge graph.
-fn reaches(graph: &HashMap<u64, HashSet<u64>>, from: u64, to: u64) -> bool {
+/// Human-readable labels of named locks, keyed by assigned id.
+fn names() -> &'static StdMutex<HashMap<u64, &'static str>> {
+    static NAMES: OnceLock<StdMutex<HashMap<u64, &'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+/// The display label of a lock: its `new_named` name, or `#id`.
+fn label(id: u64) -> String {
+    match names().lock().unwrap_or_else(|p| p.into_inner()).get(&id) {
+        Some(name) => format!("`{name}` (#{id})"),
+        None => format!("#{id}"),
+    }
+}
+
+/// Clears the global acquisition-order graph **and** the calling thread's
+/// held-lock stack.
+///
+/// The graph is process-global, so edges recorded by one test otherwise
+/// survive into the next test that happens to share the process — a
+/// consistent-order test can then trip over a cycle a violation test
+/// deliberately created.  Tests that assert on ordering behaviour should
+/// call this first to start from a clean slate.
+pub fn reset_for_test() {
+    edges().lock().unwrap_or_else(|p| p.into_inner()).clear();
+    HELD.with(|held| held.borrow_mut().clear());
+}
+
+/// Depth-first search for a path `from → … → to`, returned as the full node
+/// sequence when one exists.
+fn path_between(graph: &HashMap<u64, HashSet<u64>>, from: u64, to: u64) -> Option<Vec<u64>> {
     let mut stack = vec![from];
+    let mut parent: HashMap<u64, u64> = HashMap::new();
     let mut seen = HashSet::new();
     while let Some(node) = stack.pop() {
         if node == to {
-            return true;
+            let mut path = vec![to];
+            let mut cursor = to;
+            while cursor != from {
+                cursor = parent[&cursor];
+                path.push(cursor);
+            }
+            path.reverse();
+            return Some(path);
         }
         if !seen.insert(node) {
             continue;
         }
         if let Some(next) = graph.get(&node) {
-            stack.extend(next.iter().copied());
+            // Deterministic expansion order keeps reports stable.
+            let mut sorted: Vec<u64> = next.iter().copied().collect();
+            sorted.sort_unstable();
+            for n in sorted {
+                if !seen.contains(&n) {
+                    parent.entry(n).or_insert(node);
+                    stack.push(n);
+                }
+            }
         }
     }
-    false
+    None
 }
 
-/// Records `held → acquiring`, panicking when the edge closes a cycle.
+/// Records `held → acquiring`, panicking when the edge closes a cycle.  The
+/// panic message walks the entire cycle with human-readable lock names.
 fn record_edge(held: u64, acquiring: u64) {
     let mut graph = match edges().lock() {
         Ok(graph) => graph,
@@ -88,12 +162,19 @@ fn record_edge(held: u64, acquiring: u64) {
     if graph.get(&held).is_some_and(|set| set.contains(&acquiring)) {
         return; // Known-consistent edge.
     }
-    if reaches(&graph, acquiring, held) {
+    if let Some(path) = path_between(&graph, acquiring, held) {
         drop(graph); // Don't poison the tracker for unrelated threads.
+                     // The recorded path runs acquiring → … → held; the new edge
+                     // held → acquiring closes it into a cycle.
+        let mut cycle: Vec<String> = path.iter().map(|&id| label(id)).collect();
+        cycle.push(label(acquiring));
         panic!(
-            "lock order violation: acquiring lock #{acquiring} while holding lock #{held}, \
-             but #{acquiring} was previously held while acquiring #{held}; \
-             this acquisition-order cycle can deadlock"
+            "lock order violation: acquiring {} while holding {} closes an \
+             acquisition-order cycle:\n  {}\nthreads interleaving these \
+             acquisitions can deadlock",
+            label(acquiring),
+            label(held),
+            cycle.join(" -> ")
         );
     }
     graph.entry(held).or_default().insert(acquiring);
@@ -124,10 +205,25 @@ impl HeldLock {
 
 impl Drop for HeldLock {
     fn drop(&mut self) {
+        // Pop by id, not by position: guards of one thread may be dropped in
+        // any order (including out-of-order nested drops), and a guard
+        // leaked with `mem::forget` must not cause a *different* lock's
+        // record to be popped in its place.
         HELD.with(|held| {
             let mut held = held.borrow_mut();
-            if let Some(pos) = held.iter().rposition(|&h| h == self.id) {
-                held.remove(pos);
+            match held.iter().rposition(|&h| h == self.id) {
+                Some(pos) => {
+                    held.remove(pos);
+                }
+                None => {
+                    // Releasing a lock that is not on the stack means the
+                    // bookkeeping was corrupted (e.g. a double release).
+                    debug_assert!(
+                        false,
+                        "lock-order release of #{} which is not held by this thread",
+                        self.id
+                    );
+                }
             }
         });
     }
@@ -135,6 +231,7 @@ impl Drop for HeldLock {
 
 #[cfg(test)]
 mod tests {
+    use super::reset_for_test;
     use crate::{Mutex, RwLock};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -164,6 +261,31 @@ mod tests {
         }));
         let message = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(message.contains("lock order violation"), "{message}");
+    }
+
+    #[test]
+    fn violation_report_names_the_full_cycle() {
+        let a = Mutex::new_named("index", 0);
+        let b = Mutex::new_named("journal", 0);
+        let c = Mutex::new_named("cache", 0);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // index → journal
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // journal → cache
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _gc = c.lock();
+            let _ga = a.lock(); // cache → index closes a 3-cycle.
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("lock order violation"), "{message}");
+        // The whole path is reported, not just the closing edge.
+        assert!(message.contains("`index`"), "{message}");
+        assert!(message.contains("`journal`"), "{message}");
+        assert!(message.contains("`cache`"), "{message}");
     }
 
     #[test]
@@ -197,5 +319,66 @@ mod tests {
         drop(b.lock()); // Nothing held: no edge, any order fine later.
         drop(b.lock());
         drop(a.lock());
+    }
+
+    #[test]
+    fn out_of_order_nested_guard_drops_release_the_right_ids() {
+        // Regression: releasing guards out of nesting order must pop each
+        // guard's *own* id.  A positional pop-last would remove `b`'s record
+        // when the outer guard of `a` is dropped first, so the subsequent
+        // acquisition of `c` would miss the real b → c edge (recording a
+        // phantom a → c instead) and the probe below would pass silently
+        // instead of reporting the violation.
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let c = Mutex::new(0);
+        let ga = a.lock();
+        let gb = b.lock(); // a → b recorded.
+        drop(ga); // Out-of-order: the outer guard goes first; held is [b].
+        let gc = c.lock(); // Must record b → c.
+        drop(gc);
+        drop(gb);
+        // c → b closes the cycle b → c → b only if b → c was recorded
+        // against the still-held `b`, not the already-released `a`.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _gc = c.lock();
+            let _gb = b.lock();
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("lock order violation"), "{message}");
+    }
+
+    #[test]
+    fn panic_unwind_releases_held_records() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a.lock();
+            let _gb = b.lock();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // The unwind dropped both guards, so the reverse order is not a
+        // same-thread nesting and the stack is clean.
+        drop(b.lock());
+        drop(a.lock());
+    }
+
+    #[test]
+    fn reset_for_test_clears_recorded_edges() {
+        reset_for_test();
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b recorded.
+        }
+        reset_for_test();
+        // Without the reset this would close a cycle; after it, the reverse
+        // nesting is just the first edge of a fresh graph.
+        let gb = b.lock();
+        let ga = a.lock();
+        drop((ga, gb));
+        reset_for_test();
     }
 }
