@@ -15,6 +15,11 @@ pub const JSON_REPORT_VERSION: u32 = 1;
 /// The machine-readable report: one entry per analyzed file plus a summary.
 #[derive(Debug, Clone, Serialize)]
 pub struct JsonReport {
+    /// Shared machine-readable report format version
+    /// ([`rgpdos_trace::SCHEMA_VERSION`]), stamped on every report the
+    /// workspace emits (bench `--json`, crashgrind, metrics, this one) so
+    /// artifact consumers can detect format drift in one place.
+    pub schema_version: u32,
     /// Report shape version ([`JSON_REPORT_VERSION`]).
     pub version: u32,
     /// Per-file results, in analysis order.
@@ -89,6 +94,7 @@ impl JsonReport {
                     }
                 });
         JsonReport {
+            schema_version: rgpdos_trace::SCHEMA_VERSION,
             version: JSON_REPORT_VERSION,
             files,
             summary: JsonSummary { errors, warnings },

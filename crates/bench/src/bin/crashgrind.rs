@@ -54,10 +54,13 @@ fn main() {
     if let Some(path) = json_path {
         #[derive(serde::Serialize)]
         struct CrashMatrix {
+            /// Shared report format version (`rgpdos::trace::SCHEMA_VERSION`).
+            schema_version: u32,
             seed: u64,
             sweeps: Vec<SweepReport>,
         }
         let json = serde_json::to_string_pretty(&CrashMatrix {
+            schema_version: rgpdos::trace::SCHEMA_VERSION,
             seed,
             sweeps: reports,
         })

@@ -5,7 +5,11 @@
 //! or a single experiment with e.g. `--fig1`, `--c4`.  Pass
 //! `--json <path>` to additionally write a machine-readable results file
 //! (scenario name, counters, elapsed milliseconds per entry), so the perf
-//! trajectory can be tracked across commits.
+//! trajectory can be tracked across commits.  Pass `--metrics <path>` to run
+//! an instrumented end-to-end workload and write its full
+//! [`rgpdos::trace::MetricsSnapshot`] (counters, latency histograms, spans),
+//! and `--validate-metrics <path>` to check such a snapshot against the
+//! pinned schema (the CI `metrics` job does both).
 
 use rgpdos::blockdev::{scan_for_pattern, InstrumentedDevice, LatencyModel, MemDevice};
 use rgpdos::core::schema::listing1_user_schema;
@@ -24,6 +28,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The seed stamped on every machine-readable report this driver writes, so
+/// artifact consumers can pair reports from the same run.
+const BENCH_SEED: u64 = 0x2018_0525;
+
 /// One machine-readable result entry.
 #[derive(Debug, Serialize)]
 struct BenchEntry {
@@ -33,9 +41,23 @@ struct BenchEntry {
 }
 
 /// The report written by `--json <path>`.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Serialize)]
 struct BenchReport {
+    /// Shared report format version (`rgpdos::trace::SCHEMA_VERSION`).
+    schema_version: u32,
+    /// The run seed, shared with the metrics snapshot.
+    seed: u64,
     entries: Vec<BenchEntry>,
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self {
+            schema_version: rgpdos::trace::SCHEMA_VERSION,
+            seed: BENCH_SEED,
+            entries: Vec::new(),
+        }
+    }
 }
 
 impl BenchReport {
@@ -58,19 +80,27 @@ impl BenchReport {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let path_flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = path_flag("--json");
+    let metrics_path = path_flag("--metrics");
+    let validate_path = path_flag("--validate-metrics");
     let flags: Vec<String> = {
         let mut flags = args.clone();
-        if let Some(i) = flags.iter().position(|a| a == "--json") {
-            flags.drain(i..(i + 2).min(flags.len()));
+        for name in ["--json", "--metrics", "--validate-metrics"] {
+            if let Some(i) = flags.iter().position(|a| a == name) {
+                flags.drain(i..(i + 2).min(flags.len()));
+            }
         }
         flags
     };
-    let run_all = flags.is_empty() || flags.iter().any(|a| a == "--all");
+    // `--metrics` / `--validate-metrics` alone select just those steps.
+    let run_all = (flags.is_empty() && metrics_path.is_none() && validate_path.is_none())
+        || flags.iter().any(|a| a == "--all");
     let wants = |flag: &str| run_all || flags.iter().any(|a| a == flag);
     let mut report = BenchReport::default();
 
@@ -102,11 +132,73 @@ fn main() {
     timed("s3", wants("--s3"), &mut |report| s3(report));
     timed("ablations", wants("--ablations"), &mut |_| ablations());
 
+    if let Some(path) = metrics_path {
+        write_metrics_snapshot(&path);
+    }
+    if let Some(path) = validate_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read metrics snapshot {path}: {e}"));
+        match rgpdos::trace::MetricsSnapshot::validate_json(&text) {
+            Ok(()) => println!("(metrics snapshot {path} conforms to schema v{})", {
+                rgpdos::trace::SCHEMA_VERSION
+            }),
+            Err(why) => {
+                eprintln!("metrics snapshot {path} violates the pinned schema: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write(&path, json).expect("write bench report");
         println!("(machine-readable results written to {path})");
     }
+}
+
+/// Runs an instrumented end-to-end workload — traced devices, store, commit
+/// pipeline and every subject-facing GDPR right — and writes the resulting
+/// [`rgpdos::trace::MetricsSnapshot`] to `path` (the `--metrics` flag).
+fn write_metrics_snapshot(path: &str) {
+    use rgpdos::core::{ConsentDecision, PurposeId};
+    let ctx = TraceCtx::sim();
+    let os = RgpdOs::builder()
+        .device_blocks(32_768)
+        .trace(&ctx)
+        .boot()
+        .expect("boot traced instance");
+    os.install_types(rgpdos::dsl::listings::LISTING_1)
+        .expect("install user type");
+    let purpose = PurposeId::from(BENCH_PURPOSE);
+    for raw in 0..64u64 {
+        let subject = SubjectId::new(raw);
+        os.collect(
+            "user",
+            subject,
+            Row::new()
+                .with("name", format!("m-{raw}"))
+                .with("pwd", "pw")
+                .with("year_of_birthdate", (1940 + (raw % 70)) as i64),
+        )
+        .expect("collect");
+        os.grant_consent(subject, &purpose, ConsentDecision::All)
+            .expect("grant consent");
+    }
+    for raw in 0..64u64 {
+        let subject = SubjectId::new(raw);
+        os.right_of_access(subject).expect("access");
+        os.right_to_portability(subject).expect("portability");
+        if raw % 4 == 0 {
+            os.right_to_be_forgotten(subject).expect("erasure");
+        }
+    }
+    os.enforce_retention().expect("retention");
+    let snapshot = os
+        .metrics_snapshot(BENCH_SEED)
+        .expect("trace context attached");
+    rgpdos::trace::MetricsSnapshot::validate_json(&snapshot.to_json())
+        .expect("snapshot conforms to its own schema");
+    std::fs::write(path, snapshot.to_json()).expect("write metrics snapshot");
+    println!("(metrics snapshot written to {path})");
 }
 
 fn s1(report: &mut BenchReport) {
@@ -339,6 +431,10 @@ struct IngestRun {
     sim_io_us: u64,
     wall_ms: f64,
     cache_hit_rate: f64,
+    /// Simulated commit-latency distribution (`fs_commit_latency_us`,
+    /// merged across shard labels) — the pipelined-commit baseline.
+    commit_p50_us: u64,
+    commit_p99_us: u64,
 }
 
 impl IngestRun {
@@ -348,11 +444,19 @@ impl IngestRun {
     }
 }
 
+/// p50/p99 of the journal commit latency recorded by the attached trace
+/// context, merged across every `shard` label.
+fn commit_latency(ctx: &TraceCtx) -> (u64, u64) {
+    ctx.registry
+        .merged_summary("fs_commit_latency_us")
+        .map_or((0, 0), |s| (s.p50, s.p99))
+}
+
 fn s3(report: &mut BenchReport) {
     println!("--- S3: batched ingest — journal group commit vs per-op commits ---");
     println!(
         "backend, records, mode, journal_txs, device_writes, sim_io_us, wall_ms, \
-         sim_krecords_per_s, cache_hit_rate_pct"
+         sim_krecords_per_s, cache_hit_rate_pct, commit_p50_us, commit_p99_us"
     );
     let mut s3_report = BenchReport::default();
 
@@ -370,9 +474,12 @@ fn s3(report: &mut BenchReport) {
             .collect()
     };
     let fresh_dbfs = |records: usize| {
-        let device = Arc::new(InstrumentedDevice::new(
+        let ctx = TraceCtx::sim();
+        let device = Arc::new(InstrumentedDevice::with_trace(
             MemDevice::new((records as u64 * 24).max(16_384), 512),
             LatencyModel::nvme(),
+            &ctx,
+            "pd0",
         ));
         let mut params = DbfsParams::secure();
         params.inode_params.inode_count = params
@@ -380,9 +487,10 @@ fn s3(report: &mut BenchReport) {
             .inode_count
             .max(records as u64 * 2 + 256);
         let dbfs = Dbfs::format(Arc::clone(&device), params).expect("format ingest store");
+        dbfs.attach_trace(&ctx);
         dbfs.create_type(listing1_user_schema())
             .expect("install user type");
-        (dbfs, device)
+        (dbfs, device, ctx)
     };
 
     let record_run = |s3_report: &mut BenchReport,
@@ -392,13 +500,15 @@ fn s3(report: &mut BenchReport) {
                       mode: &str,
                       run: &IngestRun| {
         println!(
-            "{backend}, {records}, {mode}, {}, {}, {}, {:.2}, {:.1}, {:.1}",
+            "{backend}, {records}, {mode}, {}, {}, {}, {:.2}, {:.1}, {:.1}, {}, {}",
             run.journal_txs,
             run.device_writes,
             run.sim_io_us,
             run.wall_ms,
             run.sim_krec_per_s(records),
-            run.cache_hit_rate * 100.0
+            run.cache_hit_rate * 100.0,
+            run.commit_p50_us,
+            run.commit_p99_us
         );
         let scenario = format!("s3:ingest:{backend}:records={records}:mode={mode}");
         let counters = [
@@ -408,6 +518,8 @@ fn s3(report: &mut BenchReport) {
             ("sim_io_us", run.sim_io_us as f64),
             ("sim_krecords_per_s", run.sim_krec_per_s(records)),
             ("cache_hit_rate", run.cache_hit_rate),
+            ("commit_p50_us", run.commit_p50_us as f64),
+            ("commit_p99_us", run.commit_p99_us as f64),
         ];
         s3_report.push(scenario.clone(), counters, run.wall_ms);
         report.push(scenario, counters, run.wall_ms);
@@ -417,34 +529,40 @@ fn s3(report: &mut BenchReport) {
         let rows = rows_for(records);
 
         // Per-op commits: one journal transaction per record.
-        let (dbfs, device) = fresh_dbfs(records);
+        let (dbfs, device, ctx) = fresh_dbfs(records);
         device.reset_stats();
         let start = Instant::now();
         for (subject, row) in rows.clone() {
             dbfs.collect("user", subject, row).expect("per-op collect");
         }
+        let (commit_p50_us, commit_p99_us) = commit_latency(&ctx);
         let per_op = IngestRun {
             journal_txs: dbfs.inode_fs().journal_txs(),
             device_writes: device.stats().writes,
             sim_io_us: device.stats().simulated_us,
             wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
             cache_hit_rate: dbfs.cache_stats().hit_rate(),
+            commit_p50_us,
+            commit_p99_us,
         };
         record_run(&mut s3_report, report, "dbfs", records, "per-op", &per_op);
 
         // Group commit: batched inserts coalesced at the journal-capacity
         // bound.
-        let (dbfs, device) = fresh_dbfs(records);
+        let (dbfs, device, ctx) = fresh_dbfs(records);
         device.reset_stats();
         let start = Instant::now();
         let ids = dbfs.collect_many("user", rows).expect("batched collect");
         assert_eq!(ids.len(), records);
+        let (commit_p50_us, commit_p99_us) = commit_latency(&ctx);
         let batched = IngestRun {
             journal_txs: dbfs.inode_fs().journal_txs(),
             device_writes: device.stats().writes,
             sim_io_us: device.stats().simulated_us,
             wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
             cache_hit_rate: dbfs.cache_stats().hit_rate(),
+            commit_p50_us,
+            commit_p99_us,
         };
         record_run(&mut s3_report, report, "dbfs", records, "batched", &batched);
 
@@ -474,11 +592,14 @@ fn s3(report: &mut BenchReport) {
     let records = 1_000usize;
     let rows = rows_for(records);
     let fresh_sharded = || {
+        let ctx = TraceCtx::sim();
         let devices: Vec<Arc<InstrumentedDevice<MemDevice>>> = (0..shards)
-            .map(|_| {
-                Arc::new(InstrumentedDevice::new(
+            .map(|i| {
+                Arc::new(InstrumentedDevice::with_trace(
                     MemDevice::new(32_768, 512),
                     LatencyModel::nvme(),
+                    &ctx,
+                    &format!("pd{i}"),
                 ))
             })
             .collect();
@@ -488,14 +609,17 @@ fn s3(report: &mut BenchReport) {
             .inode_count
             .max(records as u64 * 2 + 256);
         let sharded = ShardedDbfs::format(devices.clone(), params).expect("format sharded");
+        sharded.attach_trace(&ctx);
         sharded
             .create_type(listing1_user_schema())
             .expect("install user type");
-        (sharded, devices)
+        (sharded, devices, ctx)
     };
     let measure_sharded = |sharded: &ShardedDbfs<Arc<InstrumentedDevice<MemDevice>>>,
                            devices: &[Arc<InstrumentedDevice<MemDevice>>],
+                           ctx: &TraceCtx,
                            wall_ms: f64| {
+        let (commit_p50_us, commit_p99_us) = commit_latency(ctx);
         IngestRun {
             journal_txs: sharded
                 .shards()
@@ -523,17 +647,24 @@ fn s3(report: &mut BenchReport) {
                     merged.0 as f64 / (merged.0 + merged.1) as f64
                 }
             },
+            commit_p50_us,
+            commit_p99_us,
         }
     };
 
-    let (sharded, devices) = fresh_sharded();
+    let (sharded, devices, ctx) = fresh_sharded();
     let start = Instant::now();
     for (subject, row) in rows.clone() {
         sharded
             .collect("user", subject, row)
             .expect("per-op sharded collect");
     }
-    let per_op = measure_sharded(&sharded, &devices, start.elapsed().as_secs_f64() * 1_000.0);
+    let per_op = measure_sharded(
+        &sharded,
+        &devices,
+        &ctx,
+        start.elapsed().as_secs_f64() * 1_000.0,
+    );
     record_run(
         &mut s3_report,
         report,
@@ -543,13 +674,18 @@ fn s3(report: &mut BenchReport) {
         &per_op,
     );
 
-    let (sharded, devices) = fresh_sharded();
+    let (sharded, devices, ctx) = fresh_sharded();
     let start = Instant::now();
     let ids = sharded
         .collect_many("user", rows)
         .expect("batched sharded collect");
     assert_eq!(ids.len(), records);
-    let batched = measure_sharded(&sharded, &devices, start.elapsed().as_secs_f64() * 1_000.0);
+    let batched = measure_sharded(
+        &sharded,
+        &devices,
+        &ctx,
+        start.elapsed().as_secs_f64() * 1_000.0,
+    );
     record_run(
         &mut s3_report,
         report,
@@ -575,6 +711,61 @@ fn s3(report: &mut BenchReport) {
         counters,
         0.0,
     );
+
+    // Per-right latency SLOs: the runtime instrumentation times every
+    // subject-facing GDPR right against the simulated device clock.
+    {
+        use rgpdos::core::{ConsentDecision, PurposeId};
+        println!("right, requests, p50_us, p99_us");
+        let ctx = TraceCtx::sim();
+        let os = RgpdOs::builder()
+            .device_blocks(32_768)
+            .trace(&ctx)
+            .boot()
+            .expect("boot traced instance");
+        os.install_types(rgpdos::dsl::listings::LISTING_1)
+            .expect("install user type");
+        let purpose = PurposeId::from(BENCH_PURPOSE);
+        for raw in 0..48u64 {
+            let subject = SubjectId::new(raw);
+            os.collect(
+                "user",
+                subject,
+                Row::new()
+                    .with("name", format!("slo-{raw}"))
+                    .with("pwd", "pw")
+                    .with("year_of_birthdate", (1950 + (raw % 60)) as i64),
+            )
+            .expect("collect");
+            os.grant_consent(subject, &purpose, ConsentDecision::All)
+                .expect("consent");
+        }
+        for raw in 0..48u64 {
+            let subject = SubjectId::new(raw);
+            os.right_of_access(subject).expect("access");
+            os.right_to_portability(subject).expect("portability");
+            if raw % 3 == 0 {
+                os.right_to_be_forgotten(subject).expect("erasure");
+            }
+        }
+        for right in ["access", "portability", "erasure", "consent"] {
+            let summary = ctx
+                .registry
+                .histogram_summary("right_latency_us", &[("right", right)])
+                .unwrap_or_else(|| panic!("no latency histogram for right {right}"));
+            println!(
+                "{right}, {}, {}, {}",
+                summary.count, summary.p50, summary.p99
+            );
+            let counters = [
+                ("requests", summary.count as f64),
+                ("p50_us", summary.p50 as f64),
+                ("p99_us", summary.p99 as f64),
+            ];
+            s3_report.push(format!("s3:rights:{right}"), counters, 0.0);
+            report.push(format!("s3:rights:{right}"), counters, 0.0);
+        }
+    }
 
     let json = serde_json::to_string_pretty(&s3_report).expect("serialize S3 report");
     std::fs::write(S3_JSON, json).expect("write BENCH_s3.json");

@@ -499,6 +499,17 @@ fn check_recovered<S: PdStore>(
             reference_audit.len()
         ));
     }
+    // Sequence numbers are dense and monotonic: crash and recovery must
+    // never reuse, skip, or reorder an audit sequence number.
+    for (expected, event) in crashed_audit.iter().enumerate() {
+        if event.seq != expected as u64 {
+            violations.push(format!(
+                "audit sequence broke monotonicity: event {expected} carries seq {}",
+                event.seq
+            ));
+            break;
+        }
+    }
     // The store stays usable after recovery.
     if let Err(e) = store.collect(user, SubjectId::new(9_999), sample_row("post-crash")) {
         violations.push(format!("collect after recovery failed: {e}"));

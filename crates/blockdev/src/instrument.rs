@@ -8,7 +8,9 @@
 
 use crate::device::{BlockDevice, DeviceGeometry};
 use crate::error::DeviceError;
+use rgpdos_trace::{Hist, TraceClock, TraceCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Latency charged to each device operation, in simulated microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,17 @@ impl DeviceStats {
     }
 }
 
+/// Per-operation latency histograms plus the trace clock the device
+/// advances as it charges its model — how the simulated-time model becomes
+/// the time source for every latency histogram in the stack.
+#[derive(Debug, Clone)]
+struct DeviceTrace {
+    clock: Arc<TraceClock>,
+    read_us: Hist,
+    write_us: Hist,
+    flush_us: Hist,
+}
+
 /// Wraps a device, counting operations and charging simulated latency.
 #[derive(Debug)]
 pub struct InstrumentedDevice<D> {
@@ -94,6 +107,7 @@ pub struct InstrumentedDevice<D> {
     writes: AtomicU64,
     flushes: AtomicU64,
     simulated_us: AtomicU64,
+    trace: Option<DeviceTrace>,
 }
 
 impl<D: BlockDevice> InstrumentedDevice<D> {
@@ -106,7 +120,26 @@ impl<D: BlockDevice> InstrumentedDevice<D> {
             writes: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             simulated_us: AtomicU64::new(0),
+            trace: None,
         }
+    }
+
+    /// Like [`InstrumentedDevice::new`], but additionally recording
+    /// per-operation latency into `ctx`'s `device_read_us` /
+    /// `device_write_us` / `device_flush_us` histograms (labeled
+    /// `device="<device>"`), and — when `ctx` runs on a simulated clock —
+    /// advancing that clock by the model cost of every operation, so
+    /// higher-layer timers read consistent simulated time.
+    pub fn with_trace(inner: D, model: LatencyModel, ctx: &TraceCtx, device: &str) -> Self {
+        let labels = [("device", device)];
+        let mut this = Self::new(inner, model);
+        this.trace = Some(DeviceTrace {
+            clock: Arc::clone(&ctx.clock),
+            read_us: ctx.registry.histogram_with("device_read_us", &labels),
+            write_us: ctx.registry.histogram_with("device_write_us", &labels),
+            flush_us: ctx.registry.histogram_with("device_flush_us", &labels),
+        });
+        this
     }
 
     /// Returns the accumulated statistics.
@@ -147,21 +180,48 @@ impl<D: BlockDevice> BlockDevice for InstrumentedDevice<D> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         self.simulated_us
             .fetch_add(self.model.read_us, Ordering::Relaxed);
-        self.inner.read_block(block)
+        match &self.trace {
+            None => self.inner.read_block(block),
+            Some(t) => {
+                let start = t.clock.now_us();
+                let result = self.inner.read_block(block);
+                t.clock.advance_us(self.model.read_us);
+                t.read_us.record(t.clock.now_us().saturating_sub(start));
+                result
+            }
+        }
     }
 
     fn write_block(&self, block: u64, data: &[u8]) -> Result<(), DeviceError> {
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.simulated_us
             .fetch_add(self.model.write_us, Ordering::Relaxed);
-        self.inner.write_block(block, data)
+        match &self.trace {
+            None => self.inner.write_block(block, data),
+            Some(t) => {
+                let start = t.clock.now_us();
+                let result = self.inner.write_block(block, data);
+                t.clock.advance_us(self.model.write_us);
+                t.write_us.record(t.clock.now_us().saturating_sub(start));
+                result
+            }
+        }
     }
 
     fn flush(&self) -> Result<(), DeviceError> {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.simulated_us
             .fetch_add(self.model.flush_us, Ordering::Relaxed);
-        self.inner.flush()
+        match &self.trace {
+            None => self.inner.flush(),
+            Some(t) => {
+                let start = t.clock.now_us();
+                let result = self.inner.flush();
+                t.clock.advance_us(self.model.flush_us);
+                t.flush_us.record(t.clock.now_us().saturating_sub(start));
+                result
+            }
+        }
     }
 
     fn sanitizer(&self) -> Option<&crate::sanitize::BlockSanitizer> {
@@ -198,6 +258,34 @@ mod tests {
         assert!(LatencyModel::ssd().read_us < LatencyModel::hdd().read_us);
         assert_eq!(LatencyModel::zero().write_us, 0);
         assert_eq!(LatencyModel::default(), LatencyModel::nvme());
+    }
+
+    #[test]
+    fn traced_device_drives_the_sim_clock_and_histograms() {
+        let ctx = TraceCtx::sim();
+        let d = InstrumentedDevice::with_trace(
+            MemDevice::new(4, 16),
+            LatencyModel::nvme(),
+            &ctx,
+            "pd0",
+        );
+        d.write_block(0, &[1u8; 16]).unwrap();
+        let _ = d.read_block(0).unwrap();
+        d.flush().unwrap();
+        // The simulated clock advanced by exactly the modeled cost…
+        assert_eq!(ctx.clock.now_us(), 30 + 20 + 100);
+        assert_eq!(d.stats().simulated_us, 150);
+        // …and each histogram recorded that cost as the op latency.
+        let w = ctx
+            .registry
+            .histogram_summary("device_write_us", &[("device", "pd0")])
+            .unwrap();
+        assert_eq!((w.count, w.p50), (1, 30));
+        let f = ctx
+            .registry
+            .histogram_summary("device_flush_us", &[("device", "pd0")])
+            .unwrap();
+        assert_eq!((f.count, f.max), (1, 100));
     }
 
     #[test]

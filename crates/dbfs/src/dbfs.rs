@@ -39,7 +39,6 @@ use rgpdos_inode::fs::ROOT_INO;
 use rgpdos_inode::{FormatParams, Ino, InodeFs, InodeKind, JournalMode};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::Ordering as AtomicOrdering;
 use std::sync::Arc;
 
 /// Name of the schema entry inside a table directory.
@@ -521,6 +520,53 @@ pub struct Dbfs<D> {
     clock: Arc<LogicalClock>,
     audit: AuditLog,
     stats: DbfsStatsInner,
+    /// Per-operation latency instrumentation, installed by
+    /// [`Dbfs::attach_trace`].  `None` (the default) costs one uncontended
+    /// lock per public operation and nothing else.
+    trace: Mutex<Option<DbfsTrace>>,
+}
+
+/// The handles [`Dbfs::attach_trace`] installs: one latency histogram per
+/// public operation plus the group-commit size distribution, all timed
+/// against the shared trace clock.
+#[derive(Debug, Clone)]
+struct DbfsTrace {
+    clock: Arc<rgpdos_trace::TraceClock>,
+    op_us: std::collections::BTreeMap<&'static str, rgpdos_trace::Hist>,
+    group_records: rgpdos_trace::Hist,
+}
+
+/// The public operations [`Dbfs::attach_trace`] gives a latency histogram
+/// (`dbfs_op_us{op="<name>"}`).
+const DBFS_TRACED_OPS: [&str; 10] = [
+    "collect",
+    "insert_batch",
+    "get",
+    "load_membrane",
+    "update",
+    "copy",
+    "erase",
+    "erase_subject",
+    "purge_expired",
+    "query",
+];
+
+impl DbfsTrace {
+    fn new(ctx: &rgpdos_trace::TraceCtx, labels: &[(&str, &str)]) -> Self {
+        let mut op_us = std::collections::BTreeMap::new();
+        for op in DBFS_TRACED_OPS {
+            let mut with_op: Vec<(&str, &str)> = labels.to_vec();
+            with_op.push(("op", op));
+            op_us.insert(op, ctx.registry.histogram_with("dbfs_op_us", &with_op));
+        }
+        Self {
+            clock: Arc::clone(&ctx.clock),
+            op_us,
+            group_records: ctx
+                .registry
+                .histogram_with("dbfs_group_commit_records", labels),
+        }
+    }
 }
 
 impl<D: BlockDevice> Dbfs<D> {
@@ -595,6 +641,7 @@ impl<D: BlockDevice> Dbfs<D> {
             clock,
             audit,
             stats: DbfsStatsInner::default(),
+            trace: Mutex::new(None),
         })
     }
 
@@ -887,18 +934,15 @@ impl<D: BlockDevice> Dbfs<D> {
         }
 
         let stats = DbfsStatsInner::default();
-        stats
-            .journal_replays
-            .store(fs.recovered_txs(), AtomicOrdering::Relaxed);
-        stats
-            .recovered_txs
-            .store(recovered, AtomicOrdering::Relaxed);
+        stats.journal_replays.add(fs.recovered_txs());
+        stats.recovered_txs.add(recovered);
         let this = Self {
             fs,
             index: Mutex::new_named("dbfs-index", index),
             clock,
             audit,
             stats,
+            trace: Mutex::new(None),
         };
         // Complete any local erase cascade a crash interrupted beyond the
         // single-journal-transaction capacity bound.
@@ -919,6 +963,43 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Operation counters.
     pub fn stats(&self) -> DbfsStats {
         self.stats.snapshot()
+    }
+
+    /// Routes this store's instrumentation through `ctx` (the unlabeled
+    /// single-store form of [`Dbfs::attach_trace_as`]).
+    pub fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {
+        self.attach_trace_as(ctx, &[]);
+    }
+
+    /// Routes this store's instrumentation through `ctx`: every
+    /// [`DbfsStats`] counter is adopted into the registry (the old
+    /// accessors keep reading the same atomics), the inode layer below is
+    /// attached ([`InodeFs::attach_trace`] — commit latency, phase spans,
+    /// cache counters), and every subsequent public operation records its
+    /// latency into `dbfs_op_us{op="…"}` plus the group-commit size
+    /// distribution into `dbfs_group_commit_records`.  `labels` tags all
+    /// of it (sharded deployments pass `shard="<i>"`).  The trace layer
+    /// performs no device I/O of its own.
+    pub fn attach_trace_as(&self, ctx: &rgpdos_trace::TraceCtx, labels: &[(&str, &str)]) {
+        self.stats.register(&ctx.registry, labels);
+        self.fs.attach_trace(ctx, labels);
+        *self.trace.lock() = Some(DbfsTrace::new(ctx, labels));
+    }
+
+    /// A drop-timer for one traced public operation, or `None` when no
+    /// trace is attached.
+    fn op_timer(&self, op: &'static str) -> Option<rgpdos_trace::HistTimer> {
+        let guard = self.trace.lock();
+        guard
+            .as_ref()
+            .and_then(|t| t.op_us.get(op).map(|h| h.timer(&t.clock)))
+    }
+
+    /// Records the size of one journal group commit, if tracing.
+    fn record_group_commit(&self, records: u64) {
+        if let Some(t) = self.trace.lock().as_ref() {
+            t.group_records.record(records);
+        }
     }
 
     /// Hit/miss counters of the inode-layer buffer cache under this store.
@@ -1026,6 +1107,7 @@ impl<D: BlockDevice> Dbfs<D> {
         subject: SubjectId,
         row: Row,
     ) -> Result<PdId, DbfsError> {
+        let _timer = self.op_timer("collect");
         let data_type = data_type.into();
         let now = self.clock.now();
         let schema = self.schema(&data_type)?;
@@ -1095,6 +1177,7 @@ impl<D: BlockDevice> Dbfs<D> {
         if items.is_empty() {
             return Ok(Vec::new());
         }
+        let _timer = self.op_timer("insert_batch");
         let capacity = self.fs.tx_capacity_blocks();
         let mut ids = Vec::with_capacity(items.len());
         let mut committed: Vec<(PdId, SubjectId)> = Vec::new();
@@ -1134,7 +1217,9 @@ impl<D: BlockDevice> Dbfs<D> {
                         break;
                     }
                     let full = std::mem::replace(&mut group, InsertGroup::starting_at(0));
+                    let before = committed.len();
                     committed.extend(self.apply_group(&mut index, full));
+                    self.record_group_commit((committed.len() - before) as u64);
                     group = InsertGroup::starting_at(index.next_pd);
                     tx = Some(self.fs.begin_tx());
                     let fresh = self.fs.tx_savepoint();
@@ -1154,7 +1239,11 @@ impl<D: BlockDevice> Dbfs<D> {
             // the failing item.
             if let Some(tx) = tx.take() {
                 match tx.commit() {
-                    Ok(()) => committed.extend(self.apply_group(&mut index, group)),
+                    Ok(()) => {
+                        let before = committed.len();
+                        committed.extend(self.apply_group(&mut index, group));
+                        self.record_group_commit((committed.len() - before) as u64);
+                    }
                     Err(e) => {
                         if failure.is_none() {
                             failure = Some(e.into());
@@ -1462,6 +1551,7 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::UnknownPd`] when the id does not exist or belongs
     /// to another type.
     pub fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {
+        let _timer = self.op_timer("get");
         DbfsStatsInner::bump(&self.stats.reads);
         let location = self.locate(data_type, id)?;
         let stored = self.read_stored(location.ino)?;
@@ -1533,6 +1623,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Returns [`DbfsError::UnknownPd`].
     pub fn load_membrane(&self, data_type: &DataTypeId, id: PdId) -> Result<Membrane, DbfsError> {
+        let _timer = self.op_timer("load_membrane");
         let location = self.locate(data_type, id)?;
         DbfsStatsInner::bump(&self.stats.membrane_loads);
         read_membrane_from(&self.fs, location.ino)
@@ -1592,6 +1683,7 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::Erased`] for erased records and
     /// [`DbfsError::Core`] for schema violations.
     pub fn update_row(&self, data_type: &DataTypeId, id: PdId, row: Row) -> Result<(), DbfsError> {
+        let _timer = self.op_timer("update");
         let schema = self.schema(data_type)?;
         schema.validate_row(&row)?;
         // The read-modify-write runs atomically under the index lock, so a
@@ -1684,6 +1776,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Returns [`DbfsError::Erased`] for erased records.
     pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DbfsError> {
+        let _timer = self.op_timer("copy");
         let location = self.locate(data_type, id)?;
         if location.erased {
             return Err(DbfsError::Erased { id: id.raw() });
@@ -1725,6 +1818,7 @@ impl<D: BlockDevice> Dbfs<D> {
         id: PdId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
+        let _timer = self.op_timer("erase");
         let done = {
             let mut index = self.index.lock();
             let root = Self::locate_in(&index, data_type, id)?;
@@ -1838,6 +1932,7 @@ impl<D: BlockDevice> Dbfs<D> {
         subject: SubjectId,
         escrow: &OperatorEscrow,
     ) -> Result<Vec<PdId>, DbfsError> {
+        let _timer = self.op_timer("erase_subject");
         let done = {
             let mut index = self.index.lock();
             let roots: Vec<(DataTypeId, PdId)> = index
@@ -1875,6 +1970,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Propagates storage errors.
     pub fn purge_expired(&self, escrow: &OperatorEscrow) -> Result<Vec<PdId>, DbfsError> {
+        let _timer = self.op_timer("purge_expired");
         let now = self.clock.now();
         let candidates: Vec<(DataTypeId, PdId, SubjectId)> = {
             let index = self.index.lock();
@@ -2011,6 +2107,7 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::UnknownType`] (and [`DbfsError::Core`] when the
     /// requested view does not exist).
     pub fn query(&self, request: &QueryRequest) -> Result<RecordBatch, DbfsError> {
+        let _timer = self.op_timer("query");
         DbfsStatsInner::bump(&self.stats.queries);
         let schema = self.schema(&request.data_type)?;
         let view = match &request.view {

@@ -1,23 +1,29 @@
 //! Operation counters exposed by DBFS for the benchmark harness.
+//!
+//! The tallies are `rgpdos_trace` [`Counter`]s — shared atomics a metrics
+//! registry can adopt (`DbfsStatsInner::register`, wired by
+//! `Dbfs::attach_trace`) so one `MetricsSnapshot` covers the store while
+//! [`DbfsStats`] stays available as a thin snapshot view over the very
+//! same counters.
 
+use rgpdos_trace::{Counter, Registry};
 use std::fmt;
 use std::ops::{Add, AddAssign};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters of DBFS operations since format/mount.
 #[derive(Debug, Default)]
 pub struct DbfsStatsInner {
-    pub(crate) collects: AtomicU64,
-    pub(crate) insert_batches: AtomicU64,
-    pub(crate) reads: AtomicU64,
-    pub(crate) membrane_loads: AtomicU64,
-    pub(crate) updates: AtomicU64,
-    pub(crate) copies: AtomicU64,
-    pub(crate) erasures: AtomicU64,
-    pub(crate) expirations: AtomicU64,
-    pub(crate) queries: AtomicU64,
-    pub(crate) journal_replays: AtomicU64,
-    pub(crate) recovered_txs: AtomicU64,
+    pub(crate) collects: Counter,
+    pub(crate) insert_batches: Counter,
+    pub(crate) reads: Counter,
+    pub(crate) membrane_loads: Counter,
+    pub(crate) updates: Counter,
+    pub(crate) copies: Counter,
+    pub(crate) erasures: Counter,
+    pub(crate) expirations: Counter,
+    pub(crate) queries: Counter,
+    pub(crate) journal_replays: Counter,
+    pub(crate) recovered_txs: Counter,
 }
 
 /// A point-in-time snapshot of the counters.
@@ -87,22 +93,43 @@ impl AddAssign for DbfsStats {
 impl DbfsStatsInner {
     pub(crate) fn snapshot(&self) -> DbfsStats {
         DbfsStats {
-            collects: self.collects.load(Ordering::Relaxed),
-            insert_batches: self.insert_batches.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            membrane_loads: self.membrane_loads.load(Ordering::Relaxed),
-            updates: self.updates.load(Ordering::Relaxed),
-            copies: self.copies.load(Ordering::Relaxed),
-            erasures: self.erasures.load(Ordering::Relaxed),
-            expirations: self.expirations.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            journal_replays: self.journal_replays.load(Ordering::Relaxed),
-            recovered_txs: self.recovered_txs.load(Ordering::Relaxed),
+            collects: self.collects.get(),
+            insert_batches: self.insert_batches.get(),
+            reads: self.reads.get(),
+            membrane_loads: self.membrane_loads.get(),
+            updates: self.updates.get(),
+            copies: self.copies.get(),
+            erasures: self.erasures.get(),
+            expirations: self.expirations.get(),
+            queries: self.queries.get(),
+            journal_replays: self.journal_replays.get(),
+            recovered_txs: self.recovered_txs.get(),
         }
     }
 
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn bump(counter: &Counter) {
+        counter.inc();
+    }
+
+    /// Adopts every counter into `registry` under its canonical
+    /// `dbfs_*` name, so the registry and [`DbfsStatsInner::snapshot`]
+    /// read the same atomics.
+    pub(crate) fn register(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        for (name, counter) in [
+            ("dbfs_collects", &self.collects),
+            ("dbfs_insert_batches", &self.insert_batches),
+            ("dbfs_reads", &self.reads),
+            ("dbfs_membrane_loads", &self.membrane_loads),
+            ("dbfs_updates", &self.updates),
+            ("dbfs_copies", &self.copies),
+            ("dbfs_erasures", &self.erasures),
+            ("dbfs_expirations", &self.expirations),
+            ("dbfs_queries", &self.queries),
+            ("dbfs_journal_replays", &self.journal_replays),
+            ("dbfs_recovered_txs", &self.recovered_txs),
+        ] {
+            registry.adopt_counter(name, labels, counter);
+        }
     }
 }
 

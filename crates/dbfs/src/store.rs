@@ -38,6 +38,14 @@ pub trait PdStore: Send + Sync {
     /// instances for partitioned stores).
     fn stats(&self) -> DbfsStats;
 
+    /// Routes the store's instrumentation through a trace context: op
+    /// latency histograms, commit latency, cache and stats counters —
+    /// labeled per backing instance for partitioned stores.  The default
+    /// is a no-op so minimal stores stay trivially conformant.
+    fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {
+        let _ = ctx;
+    }
+
     /// Installs a personal-data type.
     ///
     /// # Errors
@@ -268,6 +276,10 @@ impl<D: BlockDevice> PdStore for Dbfs<D> {
 
     fn stats(&self) -> DbfsStats {
         Dbfs::stats(self)
+    }
+
+    fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {
+        Dbfs::attach_trace(self, ctx);
     }
 
     fn create_type(&self, schema: DataTypeSchema) -> Result<(), DbfsError> {

@@ -30,6 +30,7 @@
 //! raw device.
 
 use rgpdos_blockdev::CacheStats;
+use rgpdos_trace::Counter;
 use std::collections::{BTreeMap, HashMap};
 
 /// Default cache capacity, in blocks, used by a freshly formatted or
@@ -53,8 +54,11 @@ pub struct BlockCache {
     /// happened in between, the just-read contents may be stale and must
     /// not overwrite the committed copy.
     epoch: u64,
-    hits: u64,
-    misses: u64,
+    /// Hit/miss tallies are trace [`Counter`]s (shared atomics) rather than
+    /// plain integers, so a metrics registry can adopt the same handles and
+    /// read them without taking the cache's lock.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl BlockCache {
@@ -66,8 +70,8 @@ impl BlockCache {
             by_stamp: BTreeMap::new(),
             tick: 0,
             epoch: 0,
-            hits: 0,
-            misses: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
     }
 
@@ -90,9 +94,15 @@ impl BlockCache {
     /// does *not* reset them — counters are cumulative).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
+    }
+
+    /// The shared hit/miss counter handles, for adoption into a metrics
+    /// registry (both views read the same atomics).
+    pub fn counters(&self) -> (Counter, Counter) {
+        (self.hits.clone(), self.misses.clone())
     }
 
     /// Reconfigures the capacity, dropping every cached block.
@@ -124,11 +134,11 @@ impl BlockCache {
                 self.by_stamp.remove(old);
                 self.by_stamp.insert(stamp, block);
                 *old = stamp;
-                self.hits += 1;
+                self.hits.inc();
                 Some(data.clone())
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }

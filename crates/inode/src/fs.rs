@@ -25,8 +25,9 @@ use crate::layout::{Layout, DIRECT_POINTERS, INODE_SIZE};
 use crate::superblock::Superblock;
 use parking_lot::Mutex;
 use rgpdos_blockdev::{BlockDevice, CacheStats};
+use rgpdos_trace::{Counter, Hist, TraceClock, TraceCtx, Tracer};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The inode number of the root directory created by `format`.
 pub const ROOT_INO: Ino = 0;
@@ -121,10 +122,24 @@ pub struct InodeFs<D> {
     cache: Mutex<BlockCache>,
     /// Number of journal transactions written since format/mount.  Group
     /// commit exists to drive this (and the device write count) down: N
-    /// coalesced mutations cost one journal transaction instead of N.
-    journal_txs: AtomicU64,
+    /// coalesced mutations cost one journal transaction instead of N.  A
+    /// trace [`Counter`] so a metrics registry can adopt the same atomic.
+    journal_txs: Counter,
     /// Number of journal transactions replayed by `mount` (crash recovery).
     recovered_txs: u64,
+    /// Commit-path instrumentation, when attached (see
+    /// [`InodeFs::attach_trace`]).  `None` costs one uncontended lock per
+    /// journaled commit and nothing else.
+    trace: Mutex<Option<FsTrace>>,
+}
+
+/// The handles [`InodeFs::attach_trace`] installs: the commit-latency
+/// histogram, the phase-span tracer, and the clock both read.
+#[derive(Debug, Clone)]
+struct FsTrace {
+    clock: Arc<TraceClock>,
+    tracer: Arc<Tracer>,
+    commit_us: Hist,
 }
 
 /// The staged state of an open compound transaction.
@@ -267,8 +282,9 @@ impl<D: BlockDevice> InodeFs<D> {
             }),
             tx: Mutex::new(None),
             cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
-            journal_txs: AtomicU64::new(0),
+            journal_txs: Counter::new(),
             recovered_txs: 0,
+            trace: Mutex::new(None),
         })
     }
 
@@ -383,8 +399,9 @@ impl<D: BlockDevice> InodeFs<D> {
             }),
             tx: Mutex::new(None),
             cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
-            journal_txs: AtomicU64::new(0),
+            journal_txs: Counter::new(),
             recovered_txs,
+            trace: Mutex::new(None),
         })
     }
 
@@ -428,7 +445,32 @@ impl<D: BlockDevice> InodeFs<D> {
     /// group commit counts once however many mutations it coalesced, so
     /// this is the denominator batching improves.
     pub fn journal_txs(&self) -> u64 {
-        self.journal_txs.load(Ordering::Relaxed)
+        self.journal_txs.get()
+    }
+
+    /// Routes this filesystem's instrumentation through `ctx`: the cache
+    /// hit/miss and journal-transaction counters are adopted into the
+    /// registry (same atomics the plain accessors read), the mount-time
+    /// replay count becomes a gauge, and every subsequent journaled commit
+    /// records into the `fs_commit_latency_us` histogram with
+    /// journal→apply→flush→checkpoint phase spans.  `labels` distinguishes
+    /// instances (e.g. `shard="2"`); the trace layer itself performs no
+    /// device I/O.
+    pub fn attach_trace(&self, ctx: &TraceCtx, labels: &[(&str, &str)]) {
+        let (hits, misses) = self.cache.lock().counters();
+        ctx.registry.adopt_counter("fs_cache_hits", labels, &hits);
+        ctx.registry
+            .adopt_counter("fs_cache_misses", labels, &misses);
+        ctx.registry
+            .adopt_counter("fs_journal_txs", labels, &self.journal_txs);
+        ctx.registry
+            .gauge_with("fs_recovered_txs", labels)
+            .set(self.recovered_txs as i64);
+        *self.trace.lock() = Some(FsTrace {
+            clock: Arc::clone(&ctx.clock),
+            tracer: Arc::clone(&ctx.tracer),
+            commit_us: ctx.registry.histogram_with("fs_commit_latency_us", labels),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1231,7 +1273,10 @@ impl<D: BlockDevice> InodeFs<D> {
         let block_size = self.layout.block_size;
         let journal_capacity = (self.layout.journal_blocks.saturating_sub(2)) as usize;
         let chunk_size = max_targets_per_tx(block_size).min(journal_capacity).max(1);
+        let trace = self.trace.lock().clone();
         for chunk in writes.chunks(chunk_size) {
+            let commit_span = trace.as_ref().map(|t| t.tracer.span("fs_commit"));
+            let commit_start = trace.as_ref().map(|t| t.clock.now_us());
             let needed = chunk.len() as u64 + 2;
             let mut pos = state.superblock.journal_write_ptr;
             if pos + needed > self.layout.journal_blocks {
@@ -1241,6 +1286,7 @@ impl<D: BlockDevice> InodeFs<D> {
             let targets: Vec<u64> = chunk.iter().map(|(b, _)| *b).collect();
 
             // 1. Journal records.
+            let journal_span = trace.as_ref().map(|t| t.tracer.span("fs_journal"));
             self.device.write_block(
                 self.layout.journal_start + pos,
                 &encode_header(tx_id, &targets, block_size),
@@ -1256,6 +1302,7 @@ impl<D: BlockDevice> InodeFs<D> {
                 &encode_commit(tx_id, block_size),
             )?;
             self.device.flush()?;
+            drop(journal_span);
 
             // 2. In-place application.  The chunk's cache entries are
             // dropped first and re-installed only after the flush barrier,
@@ -1265,6 +1312,7 @@ impl<D: BlockDevice> InodeFs<D> {
             // crypto-erasure reaches the cache — a tombstone or
             // zero-on-free write replaces whatever plaintext the cache
             // held for that block.
+            let apply_span = trace.as_ref().map(|t| t.tracer.span("fs_apply"));
             {
                 let mut cache = self.cache.lock();
                 for (target, _) in chunk {
@@ -1276,7 +1324,10 @@ impl<D: BlockDevice> InodeFs<D> {
                 padded.resize(block_size, 0);
                 self.device.write_block(*target, &padded)?;
             }
+            drop(apply_span);
+            let flush_span = trace.as_ref().map(|t| t.tracer.span("fs_flush"));
             self.device.flush()?;
+            drop(flush_span);
             {
                 let mut cache = self.cache.lock();
                 for (target, data) in chunk {
@@ -1289,9 +1340,10 @@ impl<D: BlockDevice> InodeFs<D> {
                     cache.install_committed(*target, padded);
                 }
             }
-            self.journal_txs.fetch_add(1, Ordering::Relaxed);
+            self.journal_txs.inc();
 
             // 3. Checkpoint record in the superblock.
+            let checkpoint_span = trace.as_ref().map(|t| t.tracer.span("fs_checkpoint"));
             state.superblock.last_started_tx = tx_id;
             state.superblock.last_applied_tx = tx_id;
             state.superblock.last_tx_offset = pos;
@@ -1308,6 +1360,11 @@ impl<D: BlockDevice> InodeFs<D> {
                 }
             }
             self.device.flush()?;
+            drop(checkpoint_span);
+            if let (Some(t), Some(start)) = (&trace, commit_start) {
+                t.commit_us.record(t.clock.now_us().saturating_sub(start));
+            }
+            drop(commit_span);
         }
         Ok(())
     }
@@ -1332,6 +1389,51 @@ mod tests {
         assert_eq!(root.size, 0);
         assert_eq!(fs.dir_entries(ROOT_INO).unwrap().len(), 0);
         assert_eq!(fs.allocated_inodes(), 1);
+    }
+
+    #[test]
+    fn attached_trace_records_commit_latency_and_phase_spans() {
+        let device = Arc::new(MemDevice::new(512, 256));
+        let device =
+            rgpdos_blockdev::InstrumentedDevice::new(device, rgpdos_blockdev::LatencyModel::nvme());
+        let fs = InodeFs::format(device, FormatParams::small(), JournalMode::Retain).unwrap();
+        let ctx = TraceCtx::sim();
+        fs.attach_trace(&ctx, &[("shard", "0")]);
+        let before = fs.journal_txs();
+        let ino = fs.alloc_inode(InodeKind::File).unwrap();
+        fs.write(ino, 0, b"traced write").unwrap();
+        assert!(fs.journal_txs() > before);
+        // The adopted journal-tx counter reads the same atomic.
+        let snap = ctx.snapshot(0);
+        assert_eq!(
+            snap.counters["fs_journal_txs{shard=\"0\"}"],
+            fs.journal_txs()
+        );
+        // Each journaled commit recorded a latency sample; with a zero
+        // latency model the device does not advance the sim clock, so the
+        // count is what matters, not the values.
+        let commit = &snap.histograms["fs_commit_latency_us{shard=\"0\"}"];
+        assert_eq!(commit.count, fs.journal_txs());
+        // Every commit produced the four phase spans under an fs_commit
+        // parent.
+        let spans = ctx.tracer.snapshot();
+        let commit_spans: Vec<_> = spans.iter().filter(|s| s.name == "fs_commit").collect();
+        assert_eq!(commit_spans.len() as u64, fs.journal_txs());
+        for phase in ["fs_journal", "fs_apply", "fs_flush", "fs_checkpoint"] {
+            let phase_spans: Vec<_> = spans.iter().filter(|s| s.name == phase).collect();
+            assert_eq!(phase_spans.len() as u64, fs.journal_txs(), "{phase}");
+            for s in phase_spans {
+                let parent = s.parent.expect("phase spans nest under fs_commit");
+                assert!(commit_spans.iter().any(|c| c.id == parent));
+            }
+        }
+        // Cache counters are adopted too.
+        let _ = fs.read_all(ino).unwrap();
+        let stats = fs.cache_stats();
+        let snap = ctx.snapshot(0);
+        assert_eq!(snap.counters["fs_cache_hits{shard=\"0\"}"], stats.hits);
+        assert_eq!(snap.counters["fs_cache_misses{shard=\"0\"}"], stats.misses);
+        assert_eq!(snap.gauges["fs_recovered_txs{shard=\"0\"}"], 0);
     }
 
     #[test]

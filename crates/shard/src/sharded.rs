@@ -191,6 +191,17 @@ pub struct ShardedDbfs<D: BlockDevice + 'static> {
     /// a failed intent write can then safely retract exactly the tombstone
     /// marks it pre-announced.
     erasures: Mutex<()>,
+    /// Router-level observability, attached post-construction via
+    /// [`ShardedDbfs::attach_trace`].  `None` until then.
+    trace: Mutex<Option<ShardTrace>>,
+}
+
+/// Router-level trace handles: the tracer for scatter-gather spans and the
+/// fan-out histogram (how many shards each routed query touched).
+#[derive(Debug, Clone)]
+struct ShardTrace {
+    tracer: Arc<rgpdos_trace::Tracer>,
+    fanout: rgpdos_trace::Hist,
 }
 
 impl<D: BlockDevice + 'static> fmt::Debug for ShardedDbfs<D> {
@@ -364,6 +375,7 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             audit,
             next_copy: AtomicUsize::new(0),
             erasures: Mutex::new_named("cross-shard-erasures", ()),
+            trace: Mutex::new_named("sharded-trace", None),
         }
     }
 
@@ -524,6 +536,37 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             .map(|load| load.stats)
             .fold(DbfsStats::default(), DbfsStats::merge);
         ShardedStats { per_shard, totals }
+    }
+
+    /// Attaches an observability context to the whole deployment: every
+    /// shard registers its counters and latency histograms under a
+    /// `shard="i"` label, per-shard balance is exported as derived gauges
+    /// (`shard_live_records` / `shard_tombstones`, read at snapshot time),
+    /// and the router itself records scatter-gather spans plus a
+    /// `shard_query_fanout` histogram of how many shards each query
+    /// touched.
+    pub fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let index = i.to_string();
+            shard.attach_trace_as(ctx, &[("shard", &index)]);
+            let live = Arc::clone(shard);
+            ctx.registry
+                .gauge_fn("shard_live_records", &[("shard", &index)], move || {
+                    i64::try_from(live.record_counts().0).unwrap_or(i64::MAX)
+                });
+            let dead = Arc::clone(shard);
+            ctx.registry
+                .gauge_fn("shard_tombstones", &[("shard", &index)], move || {
+                    i64::try_from(dead.record_counts().1).unwrap_or(i64::MAX)
+                });
+        }
+        ctx.registry
+            .gauge("shard_count")
+            .set(i64::try_from(self.shards.len()).unwrap_or(i64::MAX));
+        *self.trace.lock() = Some(ShardTrace {
+            tracer: Arc::clone(&ctx.tracer),
+            fanout: ctx.registry.histogram("shard_query_fanout"),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1211,16 +1254,31 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             involved.dedup();
             involved
         };
+        let trace = self.trace.lock().clone();
+        let scatter_span = trace.as_ref().map(|t| t.tracer.span("shard_query_scatter"));
+        if let Some(t) = &trace {
+            t.fanout.record(involved.len() as u64);
+        }
+        // Pool workers run on their own threads, so the per-leg spans name
+        // the scatter span as parent explicitly rather than relying on the
+        // tracer's per-thread nesting stack.
+        let parent = scatter_span.as_ref().map(rgpdos_trace::SpanGuard::id);
+        let legs = trace.clone();
         let request = Arc::new(request.clone());
         let mut batch = RecordBatch::new();
-        for result in self
-            .pool
-            .scatter_on(&involved, move |_, dbfs| dbfs.query(&request))
-        {
+        for result in self.pool.scatter_on(&involved, move |_, dbfs| {
+            let leg = legs
+                .as_ref()
+                .map(|t| t.tracer.span_with_parent("shard_query_leg", parent));
+            let result = dbfs.query(&request);
+            drop(leg);
+            result
+        }) {
             for record in result?.into_records() {
                 batch.push(record);
             }
         }
+        drop(scatter_span);
         Ok(batch)
     }
 
@@ -1458,5 +1516,9 @@ impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
 
     fn verify_index_invariants(&self) -> Result<(), DbfsError> {
         ShardedDbfs::verify_index_invariants(self)
+    }
+
+    fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {
+        ShardedDbfs::attach_trace(self, ctx);
     }
 }

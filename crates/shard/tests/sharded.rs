@@ -408,3 +408,54 @@ fn pd_store_trait_object_surface_works_for_the_sharded_store() {
     }
     through_trait(&sharded(4));
 }
+
+#[test]
+fn attached_trace_labels_shards_and_records_scatter_fanout() {
+    use rgpdos_trace::TraceCtx;
+    let sharded = sharded(3);
+    let ctx = TraceCtx::sim();
+    sharded.attach_trace(&ctx);
+    for raw in 0..12u64 {
+        sharded
+            .collect("user", SubjectId::new(raw), user_row(&format!("t{raw}")))
+            .unwrap();
+    }
+    // A full scan fans out to all 3 shards; a subject-pinned query to 1.
+    assert_eq!(sharded.query(&QueryRequest::all("user")).unwrap().len(), 12);
+    let subject = SubjectId::new(5);
+    sharded
+        .query(&QueryRequest::all("user").for_subject(subject))
+        .unwrap();
+    let fanout = ctx
+        .registry
+        .histogram_summary("shard_query_fanout", &[])
+        .unwrap();
+    assert_eq!(fanout.count, 2);
+    assert_eq!(fanout.max, 3);
+    assert_eq!(fanout.min, 1);
+    // Per-shard counters carry the shard label and sum to the merged stats.
+    let (counters, gauges, _) = ctx.registry.collect();
+    let collects: u64 = (0..3)
+        .map(|i| counters[&format!("dbfs_collects{{shard=\"{i}\"}}")])
+        .sum();
+    assert_eq!(collects, sharded.stats().collects);
+    // Balance gauges are evaluated at collect time and cover every record.
+    let live: i64 = (0..3)
+        .map(|i| gauges[&format!("shard_live_records{{shard=\"{i}\"}}")])
+        .sum();
+    assert_eq!(live, 12);
+    assert_eq!(gauges["shard_count"], 3);
+    // The scatter produced a parent span with one leg per involved shard.
+    let spans = ctx.tracer.snapshot();
+    let scatters: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "shard_query_scatter")
+        .collect();
+    assert_eq!(scatters.len(), 2);
+    let legs = spans
+        .iter()
+        .filter(|s| s.name == "shard_query_leg")
+        .filter(|s| s.parent.is_some())
+        .count();
+    assert_eq!(legs, 4, "3 legs for the scan + 1 for the pinned query");
+}

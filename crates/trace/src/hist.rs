@@ -1,0 +1,316 @@
+//! Log-linear (HDR-style) latency histogram.
+//!
+//! The histogram covers the full `u64` range with a fixed relative
+//! precision: values are bucketed into power-of-two *buckets*, each split
+//! into [`SUB_BUCKET_COUNT`] linear *sub-buckets*.  Recording is O(1) (one
+//! index computation plus one array increment), quantile readout is one
+//! cumulative walk, and two histograms merge by adding their count arrays —
+//! which makes merged quantiles independent of how samples were distributed
+//! across threads or shards.
+//!
+//! With 11 sub-bucket bits every value below 2048 lands in its own
+//! sub-bucket, so microsecond-scale latencies — the whole range the
+//! simulated device model produces — are recorded **exactly**; above that
+//! the relative error is bounded by one part in 1024 (< 0.1%).
+
+/// log2 of the number of linear sub-buckets per power-of-two bucket.
+const SUB_BUCKET_BITS: u32 = 11;
+/// Number of linear sub-buckets in bucket 0 (values `0..2048` are exact).
+const SUB_BUCKET_COUNT: u64 = 1 << SUB_BUCKET_BITS;
+/// Buckets above 0 only use the upper half of their sub-bucket range.
+const SUB_BUCKET_HALF: u64 = SUB_BUCKET_COUNT / 2;
+const SUB_BUCKET_MASK: u64 = SUB_BUCKET_COUNT - 1;
+
+/// A single-threaded log-linear histogram of `u64` samples.
+///
+/// Thread-safe recording is provided by [`crate::Hist`], which shards a set
+/// of `Histogram`s behind mutexes and merges them at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucketed sample counts, grown lazily up to the highest index seen.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// The fixed quantile digest exported in a [`crate::MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Integer mean of the recorded values (0 when empty).
+    pub mean: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> u32 {
+        // Smallest power-of-two bucket whose sub-bucket resolution can
+        // represent `value`; `| SUB_BUCKET_MASK` keeps bucket 0 for all
+        // values below SUB_BUCKET_COUNT.
+        64 - SUB_BUCKET_BITS - (value | SUB_BUCKET_MASK).leading_zeros()
+    }
+
+    fn counts_index(value: u64) -> usize {
+        let bucket = Self::bucket_index(value);
+        let sub = value >> bucket;
+        // Bucket 0 spans sub-buckets [0, 2048); every later bucket only
+        // produces subs in [1024, 2048), so the layout is contiguous.
+        (bucket as u64 * SUB_BUCKET_HALF + sub) as usize
+    }
+
+    /// The `(lowest, highest)` values that map to `index`'s bucket.
+    fn bounds(index: usize) -> (u64, u64) {
+        let index = index as u64;
+        if index < SUB_BUCKET_COUNT {
+            (index, index)
+        } else {
+            let bucket = index / SUB_BUCKET_HALF - 1;
+            let sub = index - bucket * SUB_BUCKET_HALF;
+            let low = sub << bucket;
+            (low, low + ((1u64 << bucket) - 1))
+        }
+    }
+
+    /// The highest value bucketed together with `value` — the value the
+    /// histogram reports for any sample in that bucket.  Identity for
+    /// values below 2048.
+    pub fn highest_equivalent(value: u64) -> u64 {
+        Self::bounds(Self::counts_index(value)).1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::counts_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    ///
+    /// Because merging adds bucket counts, quantiles of a merge equal the
+    /// quantiles of recording the union into one histogram, whatever the
+    /// original split was.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Integer mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the bucket-rounded value of
+    /// the sample of rank `ceil(q * count)` (1-based), clamped to the
+    /// recorded maximum.  Exact when all samples are below 2048.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The fixed digest exported in snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.value_at_quantile(0.50),
+            p90: self.value_at_quantile(0.90),
+            p99: self.value_at_quantile(0.99),
+            p999: self.value_at_quantile(0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..2048u64 {
+            h.record(v);
+            assert_eq!(Histogram::highest_equivalent(v), v);
+        }
+        assert_eq!(h.count(), 2048);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 2047);
+        assert_eq!(h.value_at_quantile(0.5), 1023);
+        assert_eq!(h.value_at_quantile(1.0), 2047);
+        assert_eq!(h.value_at_quantile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous() {
+        // The first value of each power-of-two bucket lands exactly one
+        // past the last index of the previous bucket.
+        assert_eq!(Histogram::counts_index(0), 0);
+        assert_eq!(Histogram::counts_index(2047), 2047);
+        assert_eq!(Histogram::counts_index(2048), 2048);
+        assert_eq!(Histogram::counts_index(4095), 3071);
+        assert_eq!(Histogram::counts_index(4096), 3072);
+        assert_eq!(Histogram::counts_index(u64::MAX), 56319);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[3000u64, 1 << 20, 123_456_789, u64::MAX / 3] {
+            let hi = Histogram::highest_equivalent(v);
+            assert!(hi >= v);
+            // Bucket width is value / 1024 at worst.
+            assert!(hi - v <= v / 1024 + 1, "v={v} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_reference_exactly_for_small_values() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * 7) % 1024).collect();
+        let mut h = Histogram::new();
+        let mut sorted = samples.clone();
+        for &s in &samples {
+            h.record(s);
+        }
+        sorted.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(h.value_at_quantile(q), sorted[rank - 1], "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 5000;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(42, 10);
+        for _ in 0..10 {
+            b.record(42);
+        }
+        assert_eq!(a, b);
+        a.record_n(7, 0);
+        assert_eq!(a.count(), 10);
+    }
+}

@@ -1,0 +1,422 @@
+//! The sharded metrics registry: counters, gauges and latency histograms
+//! addressed by `name{label="value"}` keys.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Hist`]) are cheap `Arc` clones of the
+//! registered instrument, so hot paths bump atomics (or a sharded mutex for
+//! histograms) without touching the registry map — and existing stats
+//! structs can *adopt* a registered counter as their own field, keeping
+//! their old accessors as thin views over the same atomic.
+
+use crate::clock::TraceClock;
+use crate::hist::{Histogram, HistogramSummary};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Number of independently locked histogram shards per [`Hist`].
+const HIST_SHARDS: usize = 8;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The trace layer holds its locks only for O(1) bucket updates; a
+    // panicked recorder cannot leave a histogram half-updated, so poisoned
+    // locks are safe to keep using.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing `u64` metric.
+///
+/// Cloning yields a handle to the same underlying atomic, which is what
+/// lets `DbfsStats` and friends hold registry-registered counters as plain
+/// struct fields.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at 0 (not yet registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at 0 (not yet registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe latency histogram: a fixed number of independently locked
+/// [`Histogram`] shards, merged at read time.
+///
+/// Each recording thread hashes to one shard, so concurrent recorders
+/// rarely contend; because merging adds bucket counts, the merged quantiles
+/// are independent of which thread recorded which sample.
+#[derive(Debug, Clone)]
+pub struct Hist {
+    shards: Arc<Vec<Mutex<Histogram>>>,
+}
+
+static NEXT_THREAD_SHARD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_SHARD: usize =
+        NEXT_THREAD_SHARD.fetch_add(1, Ordering::Relaxed) % HIST_SHARDS;
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            shards: Arc::new(
+                (0..HIST_SHARDS)
+                    .map(|_| Mutex::new(Histogram::new()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Hist {
+    /// A fresh histogram (not yet registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample into this thread's shard.
+    pub fn record(&self, value: u64) {
+        let shard = THREAD_SHARD.with(|s| *s);
+        lock(&self.shards[shard]).record(value);
+    }
+
+    /// Starts a timer that records `clock` elapsed µs into this histogram
+    /// when dropped.
+    pub fn timer(&self, clock: &Arc<TraceClock>) -> HistTimer {
+        HistTimer {
+            hist: self.clone(),
+            clock: Arc::clone(clock),
+            start_us: clock.now_us(),
+        }
+    }
+
+    /// Merges every shard into one [`Histogram`].
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for shard in self.shards.iter() {
+            out.merge(&lock(shard));
+        }
+        out
+    }
+
+    /// The snapshot digest of the merged shards.
+    pub fn summary(&self) -> HistogramSummary {
+        self.merged().summary()
+    }
+}
+
+/// RAII latency sample: created by [`Hist::timer`], records the elapsed
+/// clock time on drop.
+#[derive(Debug)]
+pub struct HistTimer {
+    hist: Hist,
+    clock: Arc<TraceClock>,
+    start_us: u64,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        let elapsed = self.clock.now_us().saturating_sub(self.start_us);
+        self.hist.record(elapsed);
+    }
+}
+
+type GaugeFn = Box<dyn Fn() -> i64 + Send + Sync>;
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    gauge_fns: BTreeMap<String, GaugeFn>,
+    hists: BTreeMap<String, Hist>,
+}
+
+/// The metric registry: a name → instrument map with get-or-create
+/// semantics, snapshotted as a whole by [`crate::TraceCtx::snapshot`].
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = lock(&self.inner);
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("gauge_fns", &inner.gauge_fns.len())
+            .field("histograms", &inner.hists.len())
+            .finish()
+    }
+}
+
+/// Renders `name{k="v",…}` with labels sorted by key; bare `name` when
+/// there are no labels.  This rendered key is the snapshot map key.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut labels: Vec<_> = labels.to_vec();
+    labels.sort_unstable();
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter `name` (no labels).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get-or-create a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = metric_key(name, labels);
+        lock(&self.inner).counters.entry(key).or_default().clone()
+    }
+
+    /// Registers an *existing* counter handle under `name`, so a stats
+    /// struct's own field and the registry read the same atomic.  Replaces
+    /// any previous registration of the key.
+    pub fn adopt_counter(&self, name: &str, labels: &[(&str, &str)], counter: &Counter) {
+        let key = metric_key(name, labels);
+        lock(&self.inner).counters.insert(key, counter.clone());
+    }
+
+    /// Get-or-create the gauge `name` (no labels).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get-or-create a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = metric_key(name, labels);
+        lock(&self.inner).gauges.entry(key).or_default().clone()
+    }
+
+    /// Registers a derived gauge evaluated at snapshot time — for values
+    /// that live in someone else's data structure (per-shard record
+    /// counts, cache occupancy).  Replaces any previous registration.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        let key = metric_key(name, labels);
+        lock(&self.inner).gauge_fns.insert(key, Box::new(f));
+    }
+
+    /// Get-or-create the histogram `name` (no labels).
+    pub fn histogram(&self, name: &str) -> Hist {
+        self.histogram_with(name, &[])
+    }
+
+    /// Get-or-create a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Hist {
+        let key = metric_key(name, labels);
+        lock(&self.inner).hists.entry(key).or_default().clone()
+    }
+
+    /// The digest of one registered histogram, or `None` if the key was
+    /// never created.
+    pub fn histogram_summary(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSummary> {
+        let key = metric_key(name, labels);
+        lock(&self.inner).hists.get(&key).map(Hist::summary)
+    }
+
+    /// Merges every histogram registered under `name` — bare or with any
+    /// label set — into one digest.  `None` when no key matches.  This is
+    /// how a sharded deployment reads one commit-latency distribution out
+    /// of N per-shard histograms.
+    pub fn merged_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let inner = lock(&self.inner);
+        let prefix = format!("{name}{{");
+        let mut merged = Histogram::new();
+        let mut found = false;
+        for (key, hist) in &inner.hists {
+            if key == name || key.starts_with(&prefix) {
+                merged.merge(&hist.merged());
+                found = true;
+            }
+        }
+        found.then(|| merged.summary())
+    }
+
+    /// Reads every instrument: counter values, gauge values (stored gauges
+    /// first, then derived gauge fns — a derived gauge shadows a stored one
+    /// with the same key), and histogram digests.
+    pub fn collect(
+        &self,
+    ) -> (
+        BTreeMap<String, u64>,
+        BTreeMap<String, i64>,
+        BTreeMap<String, HistogramSummary>,
+    ) {
+        let inner = lock(&self.inner);
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let mut gauges: BTreeMap<String, i64> = inner
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        for (k, f) in &inner.gauge_fns {
+            gauges.insert(k.clone(), f());
+        }
+        let hists = inner
+            .hists
+            .iter()
+            .map(|(k, h)| (k.clone(), h.summary()))
+            .collect();
+        (counters, gauges, hists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("ops").get(), 3);
+    }
+
+    #[test]
+    fn adopted_counter_is_the_same_atomic() {
+        let r = Registry::new();
+        let mine = Counter::new();
+        mine.add(5);
+        r.adopt_counter("stats_reads", &[], &mine);
+        mine.inc();
+        assert_eq!(r.counter("stats_reads").get(), 6);
+    }
+
+    #[test]
+    fn metric_keys_sort_labels() {
+        assert_eq!(metric_key("x", &[]), "x");
+        assert_eq!(
+            metric_key("x", &[("shard", "1"), ("device", "pd0")]),
+            "x{device=\"pd0\",shard=\"1\"}"
+        );
+    }
+
+    #[test]
+    fn gauge_fn_shadows_stored_gauge() {
+        let r = Registry::new();
+        r.gauge("depth").set(1);
+        r.gauge_fn("depth", &[], || 42);
+        let (_, gauges, _) = r.collect();
+        assert_eq!(gauges["depth"], 42);
+    }
+
+    #[test]
+    fn hist_records_across_threads_and_merges() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us");
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        h.record(t * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().unwrap();
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 400);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 399);
+        assert_eq!(s.p50, 199);
+    }
+
+    #[test]
+    fn timer_records_simulated_elapsed() {
+        let r = Registry::new();
+        let clock = TraceClock::sim();
+        let h = r.histogram("op_us");
+        {
+            let _t = h.timer(&clock);
+            clock.advance_us(130);
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max), (1, 130, 130));
+    }
+
+    #[test]
+    fn merged_summary_spans_label_sets() {
+        let r = Registry::new();
+        r.histogram_with("commit_us", &[("shard", "0")]).record(10);
+        r.histogram_with("commit_us", &[("shard", "1")]).record(30);
+        let s = r.merged_summary("commit_us").unwrap();
+        assert_eq!((s.count, s.min, s.max), (2, 10, 30));
+        assert!(r.merged_summary("absent").is_none());
+        assert!(r.histogram_summary("commit_us", &[]).is_none());
+        assert_eq!(
+            r.histogram_summary("commit_us", &[("shard", "0")])
+                .unwrap()
+                .count,
+            1
+        );
+    }
+}

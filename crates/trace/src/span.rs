@@ -1,0 +1,313 @@
+//! Lightweight span tracing: named operation spans with parent/child
+//! nesting, recorded into a bounded ring buffer.
+//!
+//! The tracer keeps one open-span stack per thread, so a span started while
+//! another is open on the same thread becomes its child automatically; pool
+//! workers that execute on behalf of a coordinator thread pass the parent
+//! id explicitly ([`Tracer::start_with_parent`]).  Finished spans go into a
+//! fixed-capacity ring — old spans are evicted, never reallocated without
+//! bound — and every operation is tolerant of out-of-order or duplicate
+//! closes: a finish for an unknown or already-closed id is a no-op, never a
+//! panic.
+
+use crate::clock::TraceClock;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::ThreadId;
+
+/// Default ring capacity: enough for a bench scenario's interesting tail
+/// without unbounded growth.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id (monotonic per tracer, starting at 1).
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Operation name, e.g. `fs_commit` or `shard_scatter`.
+    pub name: String,
+    /// Clock reading when the span opened (µs).
+    pub start_us: u64,
+    /// Clock reading when the span closed (µs).
+    pub end_us: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    parent: Option<u64>,
+    start_us: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    capacity: usize,
+    next_id: u64,
+    open: HashMap<u64, OpenSpan>,
+    stacks: HashMap<ThreadId, Vec<u64>>,
+    finished: VecDeque<SpanRecord>,
+    evicted: u64,
+}
+
+/// The span recorder shared by every instrumented layer.
+#[derive(Debug)]
+pub struct Tracer {
+    clock: Arc<TraceClock>,
+    inner: Mutex<TracerInner>,
+}
+
+fn lock(mutex: &Mutex<TracerInner>) -> MutexGuard<'_, TracerInner> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Tracer {
+    /// A tracer over `clock` with the default ring capacity.
+    pub fn new(clock: Arc<TraceClock>) -> Self {
+        Self::with_capacity(clock, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A tracer with an explicit ring capacity (minimum 1).
+    pub fn with_capacity(clock: Arc<TraceClock>, capacity: usize) -> Self {
+        Self {
+            clock,
+            inner: Mutex::new(TracerInner {
+                capacity: capacity.max(1),
+                next_id: 1,
+                open: HashMap::new(),
+                stacks: HashMap::new(),
+                finished: VecDeque::new(),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Opens a span; its parent is the innermost span still open on this
+    /// thread. Returns the span id.
+    pub fn start(&self, name: &str) -> u64 {
+        self.start_inner(name, None, true)
+    }
+
+    /// Opens a span under an explicit parent (or as a root when `None`) —
+    /// for pool workers executing on behalf of a coordinator thread.
+    pub fn start_with_parent(&self, name: &str, parent: Option<u64>) -> u64 {
+        self.start_inner(name, parent, false)
+    }
+
+    fn start_inner(&self, name: &str, parent: Option<u64>, inherit: bool) -> u64 {
+        let start_us = self.clock.now_us();
+        let thread = std::thread::current().id();
+        let mut inner = lock(&self.inner);
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let stack = inner.stacks.entry(thread).or_default();
+        let parent = if inherit {
+            stack.last().copied()
+        } else {
+            parent
+        };
+        stack.push(id);
+        inner.open.insert(
+            id,
+            OpenSpan {
+                name: name.to_string(),
+                parent,
+                start_us,
+            },
+        );
+        id
+    }
+
+    /// Closes a span by id. Unknown or already-finished ids are ignored.
+    pub fn finish(&self, id: u64) {
+        let end_us = self.clock.now_us();
+        let thread = std::thread::current().id();
+        let mut inner = lock(&self.inner);
+        let Some(open) = inner.open.remove(&id) else {
+            return;
+        };
+        // Drop the id from whichever stack holds it (normally this
+        // thread's); out-of-order closes just leave siblings in place.
+        let mut cleared = false;
+        if let Some(stack) = inner.stacks.get_mut(&thread) {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+                cleared = stack.is_empty();
+            } else {
+                for stack in inner.stacks.values_mut() {
+                    if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                        stack.remove(pos);
+                        break;
+                    }
+                }
+            }
+        }
+        if cleared {
+            inner.stacks.remove(&thread);
+        }
+        if inner.finished.len() >= inner.capacity {
+            inner.finished.pop_front();
+            inner.evicted += 1;
+        }
+        inner.finished.push_back(SpanRecord {
+            id,
+            parent: open.parent,
+            name: open.name,
+            start_us: open.start_us,
+            end_us,
+        });
+    }
+
+    /// Opens a span closed automatically when the guard drops.
+    pub fn span(self: &Arc<Self>, name: &str) -> SpanGuard {
+        SpanGuard {
+            id: self.start(name),
+            tracer: Arc::clone(self),
+        }
+    }
+
+    /// Opens an explicit-parent span closed when the guard drops.
+    pub fn span_with_parent(self: &Arc<Self>, name: &str, parent: Option<u64>) -> SpanGuard {
+        SpanGuard {
+            id: self.start_with_parent(name, parent),
+            tracer: Arc::clone(self),
+        }
+    }
+
+    /// The finished spans currently in the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        lock(&self.inner).finished.iter().cloned().collect()
+    }
+
+    /// Number of finished spans evicted from the ring so far.
+    pub fn evicted(&self) -> u64 {
+        lock(&self.inner).evicted
+    }
+
+    /// Number of spans currently open.
+    pub fn open_count(&self) -> usize {
+        lock(&self.inner).open.len()
+    }
+}
+
+/// RAII handle from [`Tracer::span`]: finishes its span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// The guarded span's id — pass as the explicit parent for work handed
+    /// to another thread.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.finish(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_tracer() -> (Arc<TraceClock>, Arc<Tracer>) {
+        let clock = TraceClock::sim();
+        let tracer = Arc::new(Tracer::new(Arc::clone(&clock)));
+        (clock, tracer)
+    }
+
+    #[test]
+    fn nesting_assigns_parents() {
+        let (clock, tracer) = sim_tracer();
+        let outer = tracer.start("outer");
+        clock.advance_us(10);
+        let inner = tracer.start("inner");
+        clock.advance_us(5);
+        tracer.finish(inner);
+        tracer.finish(outer);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].parent, Some(outer));
+        assert_eq!(spans[0].elapsed_us(), 5);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].elapsed_us(), 15);
+        assert_eq!(tracer.open_count(), 0);
+    }
+
+    #[test]
+    fn unknown_and_double_finish_are_noops() {
+        let (_clock, tracer) = sim_tracer();
+        tracer.finish(999);
+        let id = tracer.start("op");
+        tracer.finish(id);
+        tracer.finish(id);
+        assert_eq!(tracer.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let clock = TraceClock::sim();
+        let tracer = Tracer::with_capacity(clock, 2);
+        for i in 0..5 {
+            let id = tracer.start(&format!("op{i}"));
+            tracer.finish(id);
+        }
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "op3");
+        assert_eq!(spans[1].name, "op4");
+        assert_eq!(tracer.evicted(), 3);
+    }
+
+    #[test]
+    fn guard_closes_on_drop_and_explicit_parent_crosses_threads() {
+        let (_clock, tracer) = sim_tracer();
+        let root = tracer.span("scatter");
+        let root_id = root.id();
+        let worker_tracer = Arc::clone(&tracer);
+        std::thread::spawn(move || {
+            let _child = worker_tracer.span_with_parent("shard-0", Some(root_id));
+        })
+        .join()
+        .unwrap();
+        drop(root);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "shard-0");
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].name, "scatter");
+    }
+
+    #[test]
+    fn out_of_order_close_keeps_siblings_consistent() {
+        let (_clock, tracer) = sim_tracer();
+        let a = tracer.start("a");
+        let b = tracer.start("b");
+        // Close the outer one first: `b` stays open and still closes fine.
+        tracer.finish(a);
+        let c = tracer.start("c");
+        tracer.finish(c);
+        tracer.finish(b);
+        let spans = tracer.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(tracer.open_count(), 0);
+        // `c` was opened while `b` was the innermost open span.
+        let c_rec = spans.iter().find(|s| s.name == "c").unwrap();
+        assert_eq!(c_rec.parent, Some(b));
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the observability core: histogram quantile
+//! exactness against a sorted reference, merge/union equivalence, and span
+//! lifecycle robustness under arbitrary open/close interleavings.
+
+use proptest::prelude::*;
+use rgpdos_trace::{Histogram, TraceClock, Tracer};
+
+/// The value the histogram is allowed to report for the sample of rank
+/// `rank` (1-based) in `sorted`: the bucket-rounded reference sample,
+/// clamped to the observed maximum.
+fn expected_quantile(sorted: &[u64], rank: usize) -> u64 {
+    Histogram::highest_equivalent(sorted[rank - 1]).min(*sorted.last().unwrap())
+}
+
+fn rank_of(q: f64, n: usize) -> usize {
+    ((q * n as f64).ceil() as usize).clamp(1, n)
+}
+
+const QUANTILES: [f64; 7] = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+/// One step of the span-lifecycle property.
+#[derive(Debug, Clone)]
+enum SpanOp {
+    /// Open a span; remember its id.
+    Open,
+    /// Open with an explicit parent chosen among ids seen so far (index).
+    OpenUnder(usize),
+    /// Finish the id at an index among those seen so far.
+    Finish(usize),
+    /// Finish an id that may never have existed.
+    FinishBogus(u64),
+    /// Advance the simulated clock.
+    Advance(u64),
+}
+
+fn span_op_strategy() -> impl Strategy<Value = SpanOp> {
+    prop_oneof![
+        proptest::strategy::Just(SpanOp::Open),
+        (0usize..64).prop_map(SpanOp::OpenUnder),
+        (0usize..64).prop_map(SpanOp::Finish),
+        any::<u64>().prop_map(SpanOp::FinishBogus),
+        (0u64..1_000).prop_map(SpanOp::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For samples below 2048 (one sub-bucket per value) every quantile is
+    /// *exactly* the sorted-reference order statistic.
+    #[test]
+    fn small_value_quantiles_are_exact(samples in proptest::collection::vec(0u64..2048, 1..300)) {
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QUANTILES {
+            let rank = rank_of(q, sorted.len());
+            prop_assert_eq!(hist.value_at_quantile(q), sorted[rank - 1], "q={}", q);
+        }
+    }
+
+    /// For arbitrary u64 samples every quantile equals the bucket-rounded
+    /// sorted reference (bounded relative error by construction).
+    #[test]
+    fn arbitrary_quantiles_match_bucketed_reference(samples in proptest::collection::vec(any::<u64>(), 1..300)) {
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(hist.count(), sorted.len() as u64);
+        prop_assert_eq!(hist.min(), sorted[0]);
+        prop_assert_eq!(hist.max(), *sorted.last().unwrap());
+        for q in QUANTILES {
+            let rank = rank_of(q, sorted.len());
+            prop_assert_eq!(hist.value_at_quantile(q), expected_quantile(&sorted, rank), "q={}", q);
+        }
+    }
+
+    /// merge(a, b) is indistinguishable from recording the union into one
+    /// histogram — the property that makes sharded recording sound.
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+            hu.record(s);
+        }
+        for &s in &b {
+            hb.record(s);
+            hu.record(s);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hu);
+        for q in QUANTILES {
+            prop_assert_eq!(ha.value_at_quantile(q), hu.value_at_quantile(q));
+        }
+    }
+
+    /// Arbitrary open/close interleavings — nested, out-of-order, bogus and
+    /// duplicate finishes, cross-referencing parents — never panic, never
+    /// leak open spans beyond the ones genuinely left open, and never grow
+    /// the ring past its capacity.
+    #[test]
+    fn span_lifecycle_never_panics(
+        ops in proptest::collection::vec(span_op_strategy(), 0..120),
+        capacity in 1usize..16,
+    ) {
+        let clock = TraceClock::sim();
+        let tracer = Tracer::with_capacity(std::sync::Arc::clone(&clock), capacity);
+        let mut ids: Vec<u64> = Vec::new();
+        let mut opened = 0u64;
+        for op in ops {
+            match op {
+                SpanOp::Open => {
+                    ids.push(tracer.start("op"));
+                    opened += 1;
+                }
+                SpanOp::OpenUnder(i) => {
+                    let parent = if ids.is_empty() { None } else { Some(ids[i % ids.len()]) };
+                    ids.push(tracer.start_with_parent("child", parent));
+                    opened += 1;
+                }
+                SpanOp::Finish(i) => {
+                    if !ids.is_empty() {
+                        tracer.finish(ids[i % ids.len()]);
+                    }
+                }
+                SpanOp::FinishBogus(id) => tracer.finish(id),
+                SpanOp::Advance(us) => clock.advance_us(us),
+            }
+        }
+        let finished = tracer.snapshot();
+        prop_assert!(finished.len() <= capacity);
+        prop_assert_eq!(
+            finished.len() as u64 + tracer.evicted() + tracer.open_count() as u64,
+            opened
+        );
+        for span in &finished {
+            prop_assert!(span.end_us >= span.start_us);
+        }
+    }
+}

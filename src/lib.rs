@@ -63,6 +63,7 @@ pub use rgpdos_kernel as kernel;
 pub use rgpdos_ps as ps;
 pub use rgpdos_rights as rights;
 pub use rgpdos_shard as shard;
+pub use rgpdos_trace as trace;
 pub use rgpdos_workloads as workloads;
 
 /// The most commonly used items, re-exported for examples and tests.
@@ -76,4 +77,5 @@ pub mod prelude {
     pub use rgpdos_ps::{ProcessingOutput, ProcessingSpec, RegistrationStatus};
     pub use rgpdos_rights::{ComplianceChecker, SubjectAccessPackage};
     pub use rgpdos_shard::{ShardedDbfs, ShardedStats};
+    pub use rgpdos_trace::{MetricsSnapshot, TraceCtx};
 }

@@ -15,6 +15,7 @@ use rgpdos_rights::{
     ComplianceChecker, ComplianceReport, ErasureReceipt, RightsEngine, SubjectAccessPackage,
 };
 use rgpdos_shard::ShardedDbfs;
+use rgpdos_trace::{HistTimer, MetricsSnapshot, SpanGuard, TraceCtx};
 use std::error::Error as StdError;
 use std::fmt;
 use std::sync::Arc;
@@ -94,6 +95,7 @@ pub struct RgpdOsBuilder {
     memory_mb: u64,
     shards: usize,
     deny_policy_warnings: bool,
+    trace: Option<TraceCtx>,
 }
 
 impl Default for RgpdOsBuilder {
@@ -108,6 +110,7 @@ impl Default for RgpdOsBuilder {
             memory_mb: 8_192,
             shards: 1,
             deny_policy_warnings: false,
+            trace: None,
         }
     }
 }
@@ -184,11 +187,26 @@ impl RgpdOsBuilder {
         self
     }
 
-    fn fresh_device(&self) -> RgpdOsDevice {
-        Arc::new(InstrumentedDevice::new(
-            MemDevice::new(self.device_blocks, self.block_size),
-            self.latency,
-        ))
+    /// Attaches an observability context to the instance being built: the
+    /// PD device(s) record per-I/O latency histograms and drive the trace
+    /// clock, the store registers its counters and commit/op histograms
+    /// (per-`shard` labels on a sharded boot), and the runtime records a
+    /// latency histogram per exercised GDPR right
+    /// (`right_latency_us{right="access"|...}`) plus a span per request.
+    #[must_use]
+    pub fn trace(mut self, ctx: &TraceCtx) -> Self {
+        self.trace = Some(ctx.clone());
+        self
+    }
+
+    fn fresh_device(&self, index: usize) -> RgpdOsDevice {
+        let inner = MemDevice::new(self.device_blocks, self.block_size);
+        Arc::new(match &self.trace {
+            Some(ctx) => {
+                InstrumentedDevice::with_trace(inner, self.latency, ctx, &format!("pd{index}"))
+            }
+            None => InstrumentedDevice::new(inner, self.latency),
+        })
     }
 
     fn build_machine(&self) -> Result<Arc<Machine>, RuntimeError> {
@@ -211,7 +229,7 @@ impl RgpdOsBuilder {
     /// Returns a [`RuntimeError`] when the device is too small or the machine
     /// configuration is invalid.
     pub fn boot(self) -> Result<RgpdOs, RuntimeError> {
-        let device = self.fresh_device();
+        let device = self.fresh_device(0);
         let clock = Arc::new(LogicalClock::new());
         let audit = AuditLog::new();
         let dbfs = Arc::new(Dbfs::format_with(
@@ -232,7 +250,7 @@ impl RgpdOsBuilder {
     /// Returns a [`RuntimeError`] when a device is too small or the machine
     /// configuration is invalid.
     pub fn boot_sharded(self) -> Result<ShardedRgpdOs, RuntimeError> {
-        let devices: Vec<RgpdOsDevice> = (0..self.shards).map(|_| self.fresh_device()).collect();
+        let devices: Vec<RgpdOsDevice> = (0..self.shards).map(|i| self.fresh_device(i)).collect();
         let clock = Arc::new(LogicalClock::new());
         let audit = AuditLog::new();
         let dbfs = Arc::new(ShardedDbfs::format_with(
@@ -262,6 +280,9 @@ impl RgpdOsBuilder {
             Arc::clone(&escrow),
         );
         let rights = RightsEngine::new(Arc::clone(&dbfs), Arc::clone(&escrow));
+        if let Some(ctx) = &self.trace {
+            dbfs.attach_trace(ctx);
+        }
         Ok(RgpdOsWith {
             devices,
             machine,
@@ -274,6 +295,7 @@ impl RgpdOsBuilder {
             clock,
             audit,
             deny_policy_warnings: self.deny_policy_warnings,
+            trace: self.trace,
         })
     }
 }
@@ -295,6 +317,7 @@ pub struct RgpdOsWith<S: PdStore> {
     clock: Arc<LogicalClock>,
     audit: AuditLog,
     deny_policy_warnings: bool,
+    trace: Option<TraceCtx>,
 }
 
 /// The classic single-device rgpdOS instance.
@@ -383,6 +406,33 @@ impl<S: PdStore> RgpdOsWith<S> {
     /// The built-in `F_pd^w` functions.
     pub fn builtins(&self) -> Builtins<'_, S> {
         Builtins::new(&self.ded)
+    }
+
+    /// The attached observability context, when the instance was booted
+    /// with [`RgpdOsBuilder::trace`].
+    pub fn trace_ctx(&self) -> Option<&TraceCtx> {
+        self.trace.as_ref()
+    }
+
+    /// Freezes the attached instruments into a versioned snapshot stamped
+    /// with the run `seed`; `None` when no trace context is attached.
+    pub fn metrics_snapshot(&self, seed: u64) -> Option<MetricsSnapshot> {
+        self.trace.as_ref().map(|ctx| ctx.snapshot(seed))
+    }
+
+    /// A latency timer + span for one subject-facing GDPR right, no-op
+    /// without an attached trace context.  The timer feeds
+    /// `right_latency_us{right="<right>"}` — the histogram behind the
+    /// per-right SLO summaries in the bench reports.
+    fn right_probe(&self, right: &'static str) -> Option<(SpanGuard, HistTimer)> {
+        self.trace.as_ref().map(|ctx| {
+            let span = ctx.tracer.span(&format!("right_{right}"));
+            let timer = ctx
+                .registry
+                .histogram_with("right_latency_us", &[("right", right)])
+                .timer(&ctx.clock);
+            (span, timer)
+        })
     }
 
     // --- sysadmin-facing operations --------------------------------------
@@ -513,7 +563,22 @@ impl<S: PdStore> RgpdOsWith<S> {
         &self,
         subject: SubjectId,
     ) -> Result<SubjectAccessPackage, RuntimeError> {
+        let _probe = self.right_probe("access");
         Ok(self.rights.right_of_access(subject)?)
+    }
+
+    /// Right to data portability (art. 20): the subject's data in an
+    /// export-ready package, without the processing history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn right_to_portability(
+        &self,
+        subject: SubjectId,
+    ) -> Result<SubjectAccessPackage, RuntimeError> {
+        let _probe = self.right_probe("portability");
+        Ok(self.rights.right_to_portability(subject)?)
     }
 
     /// Right to be forgotten (art. 17).
@@ -525,7 +590,39 @@ impl<S: PdStore> RgpdOsWith<S> {
         &self,
         subject: SubjectId,
     ) -> Result<ErasureReceipt, RuntimeError> {
+        let _probe = self.right_probe("erasure");
         Ok(self.rights.right_to_be_forgotten(subject)?)
+    }
+
+    /// Grants consent for one purpose across every item of the subject
+    /// (art. 6(1)(a)).  Returns the number of membranes changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn grant_consent(
+        &self,
+        subject: SubjectId,
+        purpose: &rgpdos_core::PurposeId,
+        decision: rgpdos_core::ConsentDecision,
+    ) -> Result<usize, RuntimeError> {
+        let _probe = self.right_probe("consent");
+        Ok(self.rights.grant_consent(subject, purpose, decision)?)
+    }
+
+    /// Withdraws consent for one purpose across every item of the subject
+    /// (art. 7(3)).  Returns the number of membranes changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rights-engine errors.
+    pub fn withdraw_consent(
+        &self,
+        subject: SubjectId,
+        purpose: &rgpdos_core::PurposeId,
+    ) -> Result<usize, RuntimeError> {
+        let _probe = self.right_probe("consent");
+        Ok(self.rights.withdraw_consent(subject, purpose)?)
     }
 
     /// Storage limitation (art. 5(1)(e)): crypto-erases every record whose
@@ -536,6 +633,7 @@ impl<S: PdStore> RgpdOsWith<S> {
     ///
     /// Propagates rights-engine errors.
     pub fn enforce_retention(&self) -> Result<Vec<PdId>, RuntimeError> {
+        let _probe = self.right_probe("retention");
         Ok(self.rights.enforce_retention()?)
     }
 
@@ -727,6 +825,91 @@ mod tests {
         assert!(report.is_compliant(), "failures: {:?}", report.failures());
         os.dbfs().verify_index_invariants().unwrap();
         assert!(os.device_stats().writes > 0);
+    }
+
+    #[test]
+    fn traced_boot_records_per_right_latency_and_device_histograms() {
+        use rgpdos_core::{ConsentDecision, PurposeId};
+        let ctx = TraceCtx::sim();
+        let os = RgpdOs::builder()
+            .device_blocks(8_192)
+            .trace(&ctx)
+            .boot()
+            .unwrap();
+        os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        let subject = SubjectId::new(9);
+        os.collect("user", subject, user_row("T", 1991)).unwrap();
+        os.right_of_access(subject).unwrap();
+        os.right_to_portability(subject).unwrap();
+        os.grant_consent(
+            subject,
+            &PurposeId::from("statistics"),
+            ConsentDecision::All,
+        )
+        .unwrap();
+        os.withdraw_consent(subject, &PurposeId::from("statistics"))
+            .unwrap();
+        os.enforce_retention().unwrap();
+        os.right_to_be_forgotten(subject).unwrap();
+        for right in ["access", "portability", "erasure", "retention"] {
+            let summary = ctx
+                .registry
+                .histogram_summary("right_latency_us", &[("right", right)])
+                .unwrap_or_else(|| panic!("no histogram for right {right}"));
+            assert_eq!(summary.count, 1, "{right}");
+        }
+        let consent = ctx
+            .registry
+            .histogram_summary("right_latency_us", &[("right", "consent")])
+            .unwrap();
+        assert_eq!(consent.count, 2, "grant + withdraw");
+        // The device feeds labeled I/O histograms and drives the sim clock,
+        // so erasure latency (which must flush) is strictly positive.
+        let writes = ctx
+            .registry
+            .histogram_summary("device_write_us", &[("device", "pd0")])
+            .unwrap();
+        assert_eq!(writes.count, os.device_stats().writes);
+        let erasure = ctx
+            .registry
+            .histogram_summary("right_latency_us", &[("right", "erasure")])
+            .unwrap();
+        assert!(erasure.min > 0, "erasure must pay simulated device time");
+        // The snapshot is versioned and carries the spans.
+        let snapshot = os.metrics_snapshot(42).unwrap();
+        assert_eq!(snapshot.schema_version, rgpdos_trace::SCHEMA_VERSION);
+        assert_eq!(snapshot.seed, 42);
+        assert!(snapshot.spans.iter().any(|s| s.name == "right_erasure"));
+        assert!(snapshot.spans.iter().any(|s| s.name == "fs_commit"));
+        rgpdos_trace::MetricsSnapshot::validate_json(&snapshot.to_json()).unwrap();
+    }
+
+    #[test]
+    fn sharded_traced_boot_labels_every_shard_device() {
+        let ctx = TraceCtx::sim();
+        let os = RgpdOs::builder()
+            .device_blocks(8_192)
+            .shards(3)
+            .trace(&ctx)
+            .boot_sharded()
+            .unwrap();
+        os.install_types(rgpdos_dsl::listings::LISTING_1).unwrap();
+        for raw in 0..9u64 {
+            os.collect("user", SubjectId::new(raw), user_row("S", 1990))
+                .unwrap();
+        }
+        let (counters, _, histograms) = ctx.registry.collect();
+        for shard in 0..3 {
+            assert!(
+                histograms.contains_key(&format!("device_write_us{{device=\"pd{shard}\"}}")),
+                "missing device histogram for shard {shard}"
+            );
+            assert!(counters[&format!("dbfs_collects{{shard=\"{shard}\"}}")] > 0);
+        }
+        // The sharded store merges commit latency across shard labels.
+        let merged = ctx.registry.merged_summary("fs_commit_latency_us").unwrap();
+        assert!(merged.count > 0);
+        assert!(merged.p99 >= merged.p50);
     }
 
     #[test]

@@ -161,6 +161,7 @@ fn json_report_shape_is_stable() {
     let report = JsonReport::new(vec![JsonFile::new("unknown_names.rgpd", &diags)]);
     let json = serde_json::to_string_pretty(&report).unwrap();
     for needle in [
+        "\"schema_version\": 1",
         "\"version\": 1",
         "\"path\": \"unknown_names.rgpd\"",
         "\"code\": \"RG0102\"",
