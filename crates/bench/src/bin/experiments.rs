@@ -33,7 +33,7 @@ use std::time::Instant;
 const BENCH_SEED: u64 = 0x2018_0525;
 
 /// One machine-readable result entry.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, serde::Deserialize)]
 struct BenchEntry {
     scenario: String,
     counters: BTreeMap<String, f64>,
@@ -41,7 +41,7 @@ struct BenchEntry {
 }
 
 /// The report written by `--json <path>`.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, serde::Deserialize)]
 struct BenchReport {
     /// Shared report format version (`rgpdos::trace::SCHEMA_VERSION`).
     schema_version: u32,
@@ -89,17 +89,26 @@ fn main() {
     let json_path = path_flag("--json");
     let metrics_path = path_flag("--metrics");
     let validate_path = path_flag("--validate-metrics");
+    let validate_bench_path = path_flag("--validate-bench");
     let flags: Vec<String> = {
         let mut flags = args.clone();
-        for name in ["--json", "--metrics", "--validate-metrics"] {
+        for name in [
+            "--json",
+            "--metrics",
+            "--validate-metrics",
+            "--validate-bench",
+        ] {
             if let Some(i) = flags.iter().position(|a| a == name) {
                 flags.drain(i..(i + 2).min(flags.len()));
             }
         }
         flags
     };
-    // `--metrics` / `--validate-metrics` alone select just those steps.
-    let run_all = (flags.is_empty() && metrics_path.is_none() && validate_path.is_none())
+    // `--metrics` / `--validate-*` alone select just those steps.
+    let run_all = (flags.is_empty()
+        && metrics_path.is_none()
+        && validate_path.is_none()
+        && validate_bench_path.is_none())
         || flags.iter().any(|a| a == "--all");
     let wants = |flag: &str| run_all || flags.iter().any(|a| a == flag);
     let mut report = BenchReport::default();
@@ -130,6 +139,7 @@ fn main() {
     timed("s1", wants("--s1"), &mut |report| s1(report));
     timed("s2", wants("--s2"), &mut |report| s2(report));
     timed("s3", wants("--s3"), &mut |report| s3(report));
+    timed("s4", wants("--s4"), &mut |report| s4(report));
     timed("ablations", wants("--ablations"), &mut |_| ablations());
 
     if let Some(path) = metrics_path {
@@ -148,11 +158,58 @@ fn main() {
             }
         }
     }
+    if let Some(path) = validate_bench_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read bench report {path}: {e}"));
+        match validate_bench_report(&text) {
+            Ok(entries) => println!(
+                "(bench report {path} conforms to schema v{}, {entries} entries)",
+                rgpdos::trace::SCHEMA_VERSION
+            ),
+            Err(why) => {
+                eprintln!("bench report {path} violates the pinned schema: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write(&path, json).expect("write bench report");
         println!("(machine-readable results written to {path})");
     }
+}
+
+/// Schema check of a machine-readable bench report (`--validate-bench`):
+/// parses the full [`BenchReport`] shape, pins the shared schema version,
+/// and rejects empty or non-finite results — the same bar the CI `metrics`
+/// job applies to `BENCH_s4.json` before uploading it.
+fn validate_bench_report(text: &str) -> Result<usize, String> {
+    let report: BenchReport =
+        serde_json::from_str(text).map_err(|e| format!("not a bench report: {e}"))?;
+    if report.schema_version != rgpdos::trace::SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != pinned {}",
+            report.schema_version,
+            rgpdos::trace::SCHEMA_VERSION
+        ));
+    }
+    if report.entries.is_empty() {
+        return Err("no entries".to_owned());
+    }
+    for entry in &report.entries {
+        if entry.scenario.is_empty() {
+            return Err("entry with an empty scenario name".to_owned());
+        }
+        if !entry.elapsed_ms.is_finite() || entry.elapsed_ms < 0.0 {
+            return Err(format!("{}: bad elapsed_ms", entry.scenario));
+        }
+        for (key, value) in &entry.counters {
+            if !value.is_finite() {
+                return Err(format!("{}: counter {key} is not finite", entry.scenario));
+            }
+        }
+    }
+    Ok(report.entries.len())
 }
 
 /// Runs an instrumented end-to-end workload — traced devices, store, commit
@@ -364,7 +421,7 @@ fn s2(report: &mut BenchReport) {
         let per_shard_records = 1_000usize;
         let scenario = throughput_scenario(shards, per_shard_records);
         let user = rgpdos::core::DataTypeId::from("user");
-        let total = scenario.dbfs.count(&user);
+        let total = scenario.dbfs.count(&user).expect("count after preload");
         for device in &scenario.devices {
             device.reset_stats();
         }
@@ -773,6 +830,224 @@ fn s3(report: &mut BenchReport) {
     println!("(group commit coalesces N inserts into one journal transaction; the buffer");
     println!(" cache absorbs the re-reads of hot directory blocks, so ingest throughput");
     println!(" scales with batch size instead of journal round-trips)\n");
+}
+
+/// Where `--s4` writes its read-scaling numbers (uploaded as a CI artifact
+/// alongside `BENCH_s3.json`).
+const S4_JSON: &str = "BENCH_s4.json";
+
+fn s4(report: &mut BenchReport) {
+    use rgpdos::dbfs::QueryRequest;
+
+    println!("--- S4: snapshot reads — N client threads over one store ---");
+    println!("mix, threads, ops, wall_ms, kops_per_s, index_lock_holds_delta");
+    let mut s4_report = BenchReport::default();
+
+    // A data type's directory tops out around 2.3k entries on the 512-byte
+    // geometry (direct + one indirect block), so preload + the widest write
+    // phase must stay under that.
+    const RECORDS: usize = 1_500;
+    const READ_OPS_PER_THREAD: usize = 3_000;
+    const WRITE_GROUPS_PER_THREAD: usize = 15;
+    const WRITE_GROUP: usize = 10;
+
+    // One identically-preloaded store per run, so cache state is comparable
+    // across thread counts.
+    let fresh = || {
+        let mut params = DbfsParams::secure();
+        params.inode_params.inode_count = params
+            .inode_params
+            .inode_count
+            .max(RECORDS as u64 * 4 + 256);
+        let dbfs =
+            Dbfs::format(Arc::new(MemDevice::new(65_536, 512)), params).expect("format s4 store");
+        dbfs.create_type(listing1_user_schema())
+            .expect("install user type");
+        let rows: Vec<(SubjectId, Row)> = (0..RECORDS as u64)
+            .map(|i| {
+                (
+                    SubjectId::new(i % 199),
+                    Row::new()
+                        .with("name", format!("s4-{i}"))
+                        .with("pwd", "pw")
+                        .with("year_of_birthdate", (1940 + (i % 70)) as i64),
+                )
+            })
+            .collect();
+        let ids = Arc::new(dbfs.collect_many("user", rows).expect("s4 preload"));
+        (Arc::new(dbfs), ids)
+    };
+    let user = rgpdos::core::DataTypeId::from("user");
+
+    // Read-heavy: point gets with a count/query sweep every 64 ops, no
+    // writer anywhere.  The snapshot read path takes zero index-lock
+    // acquisitions, so throughput scales with cores.
+    let read_run = |threads: usize| -> (f64, f64, u64) {
+        let (dbfs, ids) = fresh();
+        let holds_before = dbfs.index_lock_holds();
+        let start = Instant::now();
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let dbfs = Arc::clone(&dbfs);
+                let ids = Arc::clone(&ids);
+                let user = user.clone();
+                std::thread::spawn(move || {
+                    for op in 0..READ_OPS_PER_THREAD {
+                        if op % 64 == 63 {
+                            std::hint::black_box(dbfs.count(&user));
+                            let batch = dbfs
+                                .query(
+                                    &QueryRequest::all(user.clone())
+                                        .for_subject(SubjectId::new((op + t * 31) as u64 % 199)),
+                                )
+                                .expect("s4 query");
+                            std::hint::black_box(batch.len());
+                        } else {
+                            let id = ids[(op * 31 + t * 17) % ids.len()];
+                            let record = dbfs.get(&user, id).expect("s4 get");
+                            std::hint::black_box(record.id());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("s4 reader thread");
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let ops = threads * READ_OPS_PER_THREAD;
+        let holds = dbfs.index_lock_holds() - holds_before;
+        (
+            ops as f64 / start.elapsed().as_secs_f64() / 1_000.0,
+            wall_ms,
+            holds,
+        )
+    };
+
+    // Write-heavy contrast: every thread batch-ingests into the same store;
+    // groups serialize on the writer-side index lock by design, so this
+    // mix stays flat — the figure the read mix is measured against.
+    let write_run = |threads: usize| -> (f64, f64) {
+        let (dbfs, _ids) = fresh();
+        let start = Instant::now();
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let dbfs = Arc::clone(&dbfs);
+                std::thread::spawn(move || {
+                    for group in 0..WRITE_GROUPS_PER_THREAD {
+                        let base = 10_000 + (t * WRITE_GROUPS_PER_THREAD + group) * WRITE_GROUP;
+                        let rows: Vec<(SubjectId, Row)> = (0..WRITE_GROUP)
+                            .map(|row| {
+                                (
+                                    SubjectId::new((base + row) as u64),
+                                    Row::new()
+                                        .with("name", format!("s4w-{base}-{row}"))
+                                        .with("pwd", "pw")
+                                        .with("year_of_birthdate", 1970i64),
+                                )
+                            })
+                            .collect();
+                        dbfs.collect_many("user", rows)
+                            .unwrap_or_else(|e| panic!("s4 group write: {e}"));
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("s4 writer thread");
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let ops = threads * WRITE_GROUPS_PER_THREAD * WRITE_GROUP;
+        (
+            ops as f64 / start.elapsed().as_secs_f64() / 1_000.0,
+            wall_ms,
+        )
+    };
+
+    let mut read_tput = BTreeMap::new();
+    for &threads in &[1usize, 2, 4] {
+        let (kops, wall_ms, holds) = read_run(threads);
+        assert_eq!(
+            holds, 0,
+            "the read mix must take zero index-lock acquisitions, saw {holds}"
+        );
+        println!(
+            "read-heavy, {threads}, {}, {wall_ms:.2}, {kops:.1}, {holds}",
+            threads * READ_OPS_PER_THREAD
+        );
+        let counters = [
+            ("threads", threads as f64),
+            ("ops", (threads * READ_OPS_PER_THREAD) as f64),
+            ("kops_per_s", kops),
+            ("index_lock_holds_delta", holds as f64),
+        ];
+        s4_report.push(
+            format!("s4:read-heavy:threads={threads}"),
+            counters,
+            wall_ms,
+        );
+        report.push(
+            format!("s4:read-heavy:threads={threads}"),
+            counters,
+            wall_ms,
+        );
+        read_tput.insert(threads, kops);
+
+        let (wkops, wwall_ms) = write_run(threads);
+        println!(
+            "write-heavy, {threads}, {}, {wwall_ms:.2}, {wkops:.1}, -",
+            threads * WRITE_GROUPS_PER_THREAD * WRITE_GROUP
+        );
+        let counters = [
+            ("threads", threads as f64),
+            (
+                "ops",
+                (threads * WRITE_GROUPS_PER_THREAD * WRITE_GROUP) as f64,
+            ),
+            ("kops_per_s", wkops),
+        ];
+        s4_report.push(
+            format!("s4:write-heavy:threads={threads}"),
+            counters,
+            wwall_ms,
+        );
+        report.push(
+            format!("s4:write-heavy:threads={threads}"),
+            counters,
+            wwall_ms,
+        );
+    }
+
+    let scaling = read_tput[&4] / read_tput[&1].max(f64::MIN_POSITIVE);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("read-heavy, scaling 4v1, -, -, {scaling:.2}x, - ({cores} cores)");
+    // The acceptance bar of the snapshot read path: with >= 4 cores, four
+    // reader threads deliver >= 2x the single-thread throughput.  On
+    // smaller machines the ratio is recorded but not asserted (the
+    // zero-lock assert above holds regardless).
+    if cores >= 4 {
+        assert!(
+            scaling >= 2.0,
+            "snapshot reads must scale >= 2x from 1 to 4 threads on {cores} cores, \
+             got {scaling:.2}x"
+        );
+    }
+    let counters = [
+        ("read_tput_1", read_tput[&1]),
+        ("read_tput_2", read_tput[&2]),
+        ("read_tput_4", read_tput[&4]),
+        ("read_scaling_4v1", scaling),
+        ("cores", cores as f64),
+    ];
+    s4_report.push("s4:read-scaling", counters, 0.0);
+    report.push("s4:read-scaling", counters, 0.0);
+
+    let json = serde_json::to_string_pretty(&s4_report).expect("serialize S4 report");
+    std::fs::write(S4_JSON, json).expect("write BENCH_s4.json");
+    println!("(snapshot-read scaling results written to {S4_JSON})");
+    println!("(readers clone the published Arc<IndexSnapshot> and never touch the index");
+    println!(" lock, so the read mix scales with cores while the write mix serializes on");
+    println!(" the writer-side index lock by design)\n");
 }
 
 fn fig1() {

@@ -489,25 +489,49 @@ fn check_recovered<S: PdStore>(
         }
         Err(e) => violations.push(format!("membrane scan failed after remount: {e}")),
     }
-    // The audit log at crash time is a prefix of the reference trail.
-    if crashed_audit.len() > reference_audit.len()
-        || crashed_audit != &reference_audit[..crashed_audit.len()]
-    {
-        violations.push(format!(
-            "audit log diverged from the reference run ({} events at crash, {} in reference)",
-            crashed_audit.len(),
-            reference_audit.len()
-        ));
+    // Per-stream audit-prefix: each shard appends to its own audit stream,
+    // so the crash-time trail must be a prefix of the reference trail
+    // stream by stream.  Lamport stamps are excluded from the comparison:
+    // they decide the cross-stream merge order and legitimately vary with
+    // the worker-pool interleaving, while `(seq, at, subject, kind)` are
+    // fully deterministic within a stream.
+    fn by_stream(events: &[AuditEvent]) -> BTreeMap<u32, Vec<&AuditEvent>> {
+        let mut streams: BTreeMap<u32, Vec<&AuditEvent>> = BTreeMap::new();
+        for event in events {
+            streams.entry(event.stream).or_default().push(event);
+        }
+        streams
     }
-    // Sequence numbers are dense and monotonic: crash and recovery must
-    // never reuse, skip, or reorder an audit sequence number.
-    for (expected, event) in crashed_audit.iter().enumerate() {
-        if event.seq != expected as u64 {
+    let reference_streams = by_stream(reference_audit);
+    for (stream, crashed) in by_stream(crashed_audit) {
+        let reference = reference_streams
+            .get(&stream)
+            .map_or(&[][..], Vec::as_slice);
+        let same = |a: &AuditEvent, b: &AuditEvent| {
+            a.seq == b.seq && a.at == b.at && a.subject == b.subject && a.kind == b.kind
+        };
+        if crashed.len() > reference.len()
+            || !crashed.iter().zip(reference).all(|(c, r)| same(c, r))
+        {
             violations.push(format!(
-                "audit sequence broke monotonicity: event {expected} carries seq {}",
-                event.seq
+                "audit stream {stream} diverged from the reference run \
+                 ({} events at crash, {} in reference)",
+                crashed.len(),
+                reference.len()
             ));
-            break;
+        }
+        // Each stream's sequence numbers are dense and monotonic: crash and
+        // recovery must never reuse, skip, or reorder a stream's slice of
+        // the log.
+        for (expected, event) in crashed.iter().enumerate() {
+            if event.seq != expected as u64 {
+                violations.push(format!(
+                    "audit stream {stream} broke seq density: \
+                     event {expected} carries seq {}",
+                    event.seq
+                ));
+                break;
+            }
         }
     }
     // The store stays usable after recovery.

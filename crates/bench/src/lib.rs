@@ -562,7 +562,7 @@ mod tests {
         assert_eq!(quiet_a + quiet_b, 0, "non-home shards are never touched");
         // The skewed population landed live records, none on the target shard
         // beyond the target's own.
-        assert_eq!(big.dbfs.count(&"user".into()), 50 + 1_000);
+        assert_eq!(big.dbfs.count(&"user".into()).unwrap(), 50 + 1_000);
         let balance = big.dbfs.sharded_stats();
         assert_eq!(balance.records_per_shard()[big.target_shard], 50);
     }

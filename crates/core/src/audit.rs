@@ -10,6 +10,7 @@ use crate::clock::Timestamp;
 use crate::ids::{PdId, ProcessingId, PurposeId, SubjectId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -112,12 +113,22 @@ impl fmt::Display for AuditEventKind {
 /// One audit log entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditEvent {
-    /// Monotonic sequence number assigned by the log at append time,
-    /// starting at 0.  Unlike `at` (coarse simulated seconds, frequently
-    /// equal across events) the sequence totally orders the log — the
-    /// groundwork for Lamport-stamped per-shard audit merging, and the
-    /// invariant crashgrind asserts on every recovered prefix.
+    /// Monotonic sequence number, dense **per stream** and starting at 0.
+    /// Unlike `at` (coarse simulated seconds, frequently equal across
+    /// events) the `(stream, seq)` pair totally orders each stream's slice
+    /// of the log — the invariant crashgrind asserts per stream on every
+    /// recovered prefix.
     pub seq: u64,
+    /// The stream this event belongs to.  Each shard of a sharded
+    /// deployment records into its own stream (see
+    /// [`AuditLog::for_stream`]); an unsharded store records into stream 0.
+    pub stream: u32,
+    /// Lamport stamp totally ordering events **across** streams: assigned
+    /// under the same append lock that pushes the event, so the merge
+    /// order of concurrently-committing shards is decided exactly once,
+    /// at append time.  Unlike `seq`, the per-stream lamport sequence is
+    /// *not* dense — gaps are where other streams' events interleaved.
+    pub lamport: u64,
     /// When the event happened (simulated time).
     pub at: Timestamp,
     /// The subject whose PD is concerned, when applicable.
@@ -135,68 +146,145 @@ impl fmt::Display for AuditEvent {
     }
 }
 
+/// The shared append state behind every [`AuditLog`] handle: the merged
+/// event vector (in lamport order by construction) plus the per-stream
+/// sequence allocators.
+#[derive(Debug)]
+struct AuditState {
+    events: Vec<AuditEvent>,
+    next_seq: BTreeMap<u32, u64>,
+    next_lamport: u64,
+}
+
 /// Thread-safe, append-only audit log shared by every rgpdOS component.
 ///
-/// Cloning an `AuditLog` yields a handle to the *same* underlying log.
+/// Cloning an `AuditLog` yields a handle to the *same* underlying log, on
+/// the same stream.  [`AuditLog::for_stream`] yields a handle to the same
+/// log that records into a different **stream**: each stream keeps its own
+/// dense sequence numbering, while a Lamport stamp (assigned under the
+/// append lock) merges all streams into one total order.  This is what
+/// lets a sharded deployment drive shard commits concurrently — each shard
+/// records into its own stream, per-stream order is deterministic, and the
+/// cross-stream merge order is decided once, at append time.
 #[derive(Debug, Clone)]
 pub struct AuditLog {
-    events: Arc<RwLock<Vec<AuditEvent>>>,
+    state: Arc<RwLock<AuditState>>,
+    stream: u32,
 }
 
 impl Default for AuditLog {
     fn default() -> Self {
         // Named so lock-order cycle reports read "audit-log", not a bare id.
         Self {
-            events: Arc::new(RwLock::new_named("audit-log", Vec::new())),
+            state: Arc::new(RwLock::new_named(
+                "audit-log",
+                AuditState {
+                    events: Vec::new(),
+                    next_seq: BTreeMap::new(),
+                    next_lamport: 0,
+                },
+            )),
+            stream: 0,
         }
     }
 }
 
 impl AuditLog {
-    /// Creates an empty log.
+    /// Creates an empty log recording into stream 0.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends an event, stamping it with the next sequence number.  The
-    /// number is taken under the same write lock that appends, so sequence
-    /// order and log order always agree (the crash matrix asserts this on
-    /// every recovered prefix).
+    /// A handle to the same log that records into `stream`.  Sequence
+    /// numbers are dense per stream; the lamport order spans all of them.
+    pub fn for_stream(&self, stream: u32) -> Self {
+        Self {
+            state: Arc::clone(&self.state),
+            stream,
+        }
+    }
+
+    /// The stream this handle records into.
+    pub fn stream(&self) -> u32 {
+        self.stream
+    }
+
+    /// Appends an event, stamping it with the handle's stream, the
+    /// stream's next sequence number and the log's next lamport stamp.
+    /// Both numbers are taken under the same write lock that appends, so
+    /// per-stream sequence order, lamport order and vector order always
+    /// agree (the crash matrix asserts the per-stream part on every
+    /// recovered prefix).
     pub fn record(&self, at: Timestamp, subject: Option<SubjectId>, kind: AuditEventKind) {
-        let mut events = self.events.write();
-        let seq = events.last().map_or(0, |e| e.seq + 1);
-        events.push(AuditEvent {
+        let mut state = self.state.write();
+        let seq_slot = state.next_seq.entry(self.stream).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        let lamport = state.next_lamport;
+        state.next_lamport += 1;
+        state.events.push(AuditEvent {
             seq,
+            stream: self.stream,
+            lamport,
             at,
             subject,
             kind,
         });
     }
 
-    /// The sequence number of the most recent entry, if any.
+    /// The sequence number of this handle's stream's most recent entry, if
+    /// the stream has recorded anything.
     pub fn last_seq(&self) -> Option<u64> {
-        self.events.read().last().map(|e| e.seq)
+        self.state
+            .read()
+            .next_seq
+            .get(&self.stream)
+            .map(|next| next - 1)
     }
 
-    /// Number of events recorded so far.
+    /// Number of events recorded so far, across every stream.
     pub fn len(&self) -> usize {
-        self.events.read().len()
+        self.state.read().events.len()
     }
 
-    /// Returns `true` if nothing has been recorded.
+    /// Returns `true` if nothing has been recorded on any stream.
     pub fn is_empty(&self) -> bool {
-        self.events.read().is_empty()
+        self.state.read().events.is_empty()
     }
 
-    /// Returns a snapshot of every event.
+    /// Returns a snapshot of every event, across every stream, in append
+    /// (= lamport) order.
     pub fn snapshot(&self) -> Vec<AuditEvent> {
-        self.events.read().clone()
+        self.state.read().events.clone()
+    }
+
+    /// Returns the merged view of all streams in lamport order — the
+    /// canonical total order of a multi-stream log.  Because lamport
+    /// stamps are assigned under the append lock, this is the same as
+    /// [`AuditLog::snapshot`]; the separate name documents intent at call
+    /// sites that specifically rely on the cross-stream merge order.
+    pub fn merged(&self) -> Vec<AuditEvent> {
+        let events = self.snapshot();
+        debug_assert!(events.windows(2).all(|w| w[0].lamport < w[1].lamport));
+        events
+    }
+
+    /// Returns a snapshot of one stream's events, in sequence order.
+    pub fn stream_events(&self, stream: u32) -> Vec<AuditEvent> {
+        self.state
+            .read()
+            .events
+            .iter()
+            .filter(|e| e.stream == stream)
+            .cloned()
+            .collect()
     }
 
     /// Returns a snapshot of the events concerning one subject.
     pub fn for_subject(&self, subject: SubjectId) -> Vec<AuditEvent> {
-        self.events
+        self.state
             .read()
+            .events
             .iter()
             .filter(|e| e.subject == Some(subject))
             .cloned()
@@ -207,8 +295,9 @@ impl AuditLog {
     /// given PD item — the per-PD processing history required by the right of
     /// access (§4).
     pub fn processings_for_pd(&self, pd: PdId) -> Vec<AuditEvent> {
-        self.events
+        self.state
             .read()
+            .events
             .iter()
             .filter(|e| match &e.kind {
                 AuditEventKind::ProcessingExecuted { pds, .. } => pds.contains(&pd),
@@ -220,7 +309,12 @@ impl AuditLog {
 
     /// Counts the events matching a predicate.
     pub fn count_matching(&self, mut predicate: impl FnMut(&AuditEvent) -> bool) -> usize {
-        self.events.read().iter().filter(|e| predicate(e)).count()
+        self.state
+            .read()
+            .events
+            .iter()
+            .filter(|e| predicate(e))
+            .count()
     }
 }
 
@@ -295,6 +389,8 @@ mod tests {
     fn events_display() {
         let e = AuditEvent {
             seq: 0,
+            stream: 0,
+            lamport: 0,
             at: Timestamp::from_secs(9),
             subject: Some(SubjectId::new(3)),
             kind: AuditEventKind::AccessDenied {
@@ -347,11 +443,15 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(log.len(), 400);
-        // Sequence numbers stay dense and strictly increasing even under
-        // concurrent recording (they are assigned under the append lock).
+        // All four threads share one handle, hence one stream: sequence
+        // numbers stay dense and strictly increasing even under concurrent
+        // recording (they are assigned under the append lock), and so do
+        // the lamport stamps.
         let events = log.snapshot();
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.seq, i as u64);
+            assert_eq!(e.lamport, i as u64);
+            assert_eq!(e.stream, 0);
         }
         assert_eq!(log.last_seq(), Some(399));
     }
@@ -365,5 +465,66 @@ mod tests {
         }
         let seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn streams_keep_dense_sequences_under_concurrent_recording() {
+        let log = AuditLog::new();
+        let handles: Vec<_> = (0..4u32)
+            .map(|stream| {
+                let handle = log.for_stream(stream);
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        handle.record(
+                            Timestamp::from_secs(j),
+                            None,
+                            AuditEventKind::Updated { pd: PdId::new(j) },
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 400);
+        // Each stream's slice is dense in seq regardless of how the
+        // threads interleaved...
+        for stream in 0..4 {
+            let events = log.stream_events(stream);
+            assert_eq!(events.len(), 100);
+            for (i, e) in events.iter().enumerate() {
+                assert_eq!(e.seq, i as u64);
+            }
+            assert_eq!(log.for_stream(stream).last_seq(), Some(99));
+        }
+        // ...and the merged view is a strict total order over all of them.
+        let merged = log.merged();
+        assert_eq!(merged.len(), 400);
+        assert!(merged.windows(2).all(|w| w[0].lamport < w[1].lamport));
+        // last_seq is per handle-stream: an unused stream has none.
+        assert_eq!(log.for_stream(9).last_seq(), None);
+    }
+
+    #[test]
+    fn stream_handles_share_the_log_but_not_the_sequence() {
+        let log = AuditLog::new();
+        let other = log.for_stream(1);
+        log.record(Timestamp::ZERO, None, AuditEventKind::AccessRequestServed);
+        other.record(Timestamp::ZERO, None, AuditEventKind::AccessRequestServed);
+        other.record(Timestamp::ZERO, None, AuditEventKind::AccessRequestServed);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.last_seq(), Some(0));
+        assert_eq!(other.last_seq(), Some(1));
+        assert_eq!(other.stream(), 1);
+        let merged = log.merged();
+        assert_eq!(
+            merged.iter().map(|e| e.lamport).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            merged.iter().map(|e| (e.stream, e.seq)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 0), (1, 1)]
+        );
     }
 }

@@ -26,7 +26,7 @@
 use crate::error::DbfsError;
 use crate::query::QueryRequest;
 use crate::stats::{DbfsStats, DbfsStatsInner};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rgpdos_blockdev::BlockDevice;
 use rgpdos_core::record::stored;
 use rgpdos_core::{
@@ -324,26 +324,34 @@ impl InsertGroup {
     }
 }
 
+/// The writer-side index.  The maps a reader could consult are `Arc`-wrapped
+/// so that publishing a snapshot is seven `Arc` clones; the *first* writer
+/// mutation after a publish copies only the maps it touches
+/// ([`Arc::make_mut`] copy-on-write) while the published snapshot keeps the
+/// previous version alive.  `copies_of` and the allocator state are only
+/// ever consulted under the index lock, so they stay plain.
 #[derive(Debug, Default)]
 struct DbfsIndex {
-    schemas: SchemaRegistry,
-    tables: BTreeMap<DataTypeId, Ino>,
-    subjects: BTreeMap<SubjectId, Ino>,
+    schemas: Arc<SchemaRegistry>,
+    tables: Arc<BTreeMap<DataTypeId, Ino>>,
+    subjects: Arc<BTreeMap<SubjectId, Ino>>,
     /// The primary record map.
-    records: BTreeMap<PdId, RecordLocation>,
+    records: Arc<BTreeMap<PdId, RecordLocation>>,
     /// Secondary index: table -> record ids (live and tombstoned).
-    by_table: BTreeMap<DataTypeId, BTreeSet<PdId>>,
+    by_table: Arc<BTreeMap<DataTypeId, BTreeSet<PdId>>>,
     /// Secondary index: subject -> record ids (live and tombstoned).
-    by_subject: BTreeMap<SubjectId, BTreeSet<PdId>>,
+    by_subject: Arc<BTreeMap<SubjectId, BTreeSet<PdId>>>,
     /// Reverse copy-lineage index: original -> its direct copies.  Erasure
     /// propagation walks the transitive closure of this map.
     copies_of: BTreeMap<PdId, BTreeSet<PdId>>,
     /// Expiry index: expiry instant -> live bounded-TTL record ids.  The
     /// retention sweep only ever visits the `..now` range of this map.
-    by_expiry: BTreeMap<Timestamp, BTreeSet<PdId>>,
+    by_expiry: Arc<BTreeMap<Timestamp, BTreeSet<PdId>>>,
     /// Identifier allocation policy (dense by default, strided on shards).
     alloc: IdAllocation,
     next_pd: u64,
+    /// Monotonic version counter, bumped on every snapshot publish.
+    epoch: u64,
     tables_ino: Ino,
     subjects_ino: Ino,
     meta_ino: Ino,
@@ -354,11 +362,11 @@ struct DbfsIndex {
 impl DbfsIndex {
     /// Inserts a record into the primary map and every secondary index.
     fn insert_record(&mut self, id: PdId, location: RecordLocation) {
-        self.by_table
+        Arc::make_mut(&mut self.by_table)
             .entry(location.data_type.clone())
             .or_default()
             .insert(id);
-        self.by_subject
+        Arc::make_mut(&mut self.by_subject)
             .entry(location.subject)
             .or_default()
             .insert(id);
@@ -367,15 +375,18 @@ impl DbfsIndex {
         }
         if !location.erased {
             if let Some(at) = location.expires_at {
-                self.by_expiry.entry(at).or_default().insert(id);
+                Arc::make_mut(&mut self.by_expiry)
+                    .entry(at)
+                    .or_default()
+                    .insert(id);
             }
         }
-        self.records.insert(id, location);
+        Arc::make_mut(&mut self.records).insert(id, location);
     }
 
     /// Marks a record as a tombstone, retiring it from the expiry index.
     fn mark_erased(&mut self, id: PdId) {
-        let expires_at = match self.records.get_mut(&id) {
+        let expires_at = match Arc::make_mut(&mut self.records).get_mut(&id) {
             Some(location) => {
                 location.erased = true;
                 location.expires_at.take()
@@ -389,7 +400,7 @@ impl DbfsIndex {
 
     /// Re-keys a live record in the expiry index after a TTL change.
     fn set_expiry(&mut self, id: PdId, expires_at: Option<Timestamp>) {
-        let previous = match self.records.get_mut(&id) {
+        let previous = match Arc::make_mut(&mut self.records).get_mut(&id) {
             Some(location) if !location.erased => {
                 let previous = location.expires_at;
                 location.expires_at = expires_at;
@@ -404,25 +415,21 @@ impl DbfsIndex {
             self.remove_expiry_entry(at, id);
         }
         if let Some(at) = expires_at {
-            self.by_expiry.entry(at).or_default().insert(id);
+            Arc::make_mut(&mut self.by_expiry)
+                .entry(at)
+                .or_default()
+                .insert(id);
         }
     }
 
     fn remove_expiry_entry(&mut self, at: Timestamp, id: PdId) {
-        if let Some(ids) = self.by_expiry.get_mut(&at) {
+        let by_expiry = Arc::make_mut(&mut self.by_expiry);
+        if let Some(ids) = by_expiry.get_mut(&at) {
             ids.remove(&id);
             if ids.is_empty() {
-                self.by_expiry.remove(&at);
+                by_expiry.remove(&at);
             }
         }
-    }
-
-    /// The ids of one table (empty when the table holds no record yet).
-    fn table_ids(&self, data_type: &DataTypeId) -> impl Iterator<Item = PdId> + '_ {
-        self.by_table
-            .get(data_type)
-            .into_iter()
-            .flat_map(|ids| ids.iter().copied())
     }
 
     /// The ids of one subject (empty when the subject owns no record).
@@ -464,6 +471,95 @@ impl DbfsIndex {
         }
         closure
     }
+}
+
+/// An immutable, versioned view of the record index, published by writers
+/// at each commit point and read lock-free (one `RwLock` read to clone an
+/// `Arc`, never held across device I/O).
+///
+/// The maps are the `Arc`s the publishing [`DbfsIndex`] held at commit time:
+/// structurally shared with the live index until the next writer mutation
+/// copies-on-write, so a snapshot costs O(1) regardless of store size.
+#[derive(Debug)]
+struct IndexSnapshot {
+    /// Version counter; strictly increasing across publishes.
+    epoch: u64,
+    /// Logical instant of the publish (drives `read_snapshot_age`).
+    published_at: Timestamp,
+    /// Journal transactions committed when this snapshot was cut: the
+    /// inode-layer commit sequence the snapshot's contents are durable up to.
+    committed_txs: u64,
+    schemas: Arc<SchemaRegistry>,
+    tables: Arc<BTreeMap<DataTypeId, Ino>>,
+    subjects: Arc<BTreeMap<SubjectId, Ino>>,
+    records: Arc<BTreeMap<PdId, RecordLocation>>,
+    by_table: Arc<BTreeMap<DataTypeId, BTreeSet<PdId>>>,
+    by_subject: Arc<BTreeMap<SubjectId, BTreeSet<PdId>>>,
+    by_expiry: Arc<BTreeMap<Timestamp, BTreeSet<PdId>>>,
+}
+
+impl IndexSnapshot {
+    /// The ids of one table (empty when the table holds no record yet).
+    fn table_ids(&self, data_type: &DataTypeId) -> impl Iterator<Item = PdId> + '_ {
+        self.by_table
+            .get(data_type)
+            .into_iter()
+            .flat_map(|ids| ids.iter().copied())
+    }
+
+    /// The ids of one subject (empty when the subject owns no record).
+    fn subject_ids(&self, subject: SubjectId) -> impl Iterator<Item = PdId> + '_ {
+        self.by_subject
+            .get(&subject)
+            .into_iter()
+            .flat_map(|ids| ids.iter().copied())
+    }
+
+    /// Projects ids onto their live (non-tombstoned) locations.
+    fn live_locations<'a>(
+        &'a self,
+        ids: impl Iterator<Item = PdId> + 'a,
+    ) -> impl Iterator<Item = (PdId, &'a RecordLocation)> + 'a {
+        ids.filter_map(|id| {
+            self.records
+                .get(&id)
+                .filter(|loc| !loc.erased)
+                .map(|loc| (id, loc))
+        })
+    }
+
+    /// Resolves a record in this snapshot, checking table membership.
+    fn locate(&self, data_type: &DataTypeId, id: PdId) -> Result<RecordLocation, DbfsError> {
+        if !self.tables.contains_key(data_type) {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        }
+        match self.records.get(&id) {
+            Some(location) if location.data_type == *data_type => Ok(location.clone()),
+            _ => Err(DbfsError::UnknownPd { id: id.raw() }),
+        }
+    }
+}
+
+/// Cuts an immutable snapshot of `index`: seven `Arc` clones, no map copy.
+fn snapshot_of(
+    index: &DbfsIndex,
+    published_at: Timestamp,
+    committed_txs: u64,
+) -> Arc<IndexSnapshot> {
+    Arc::new(IndexSnapshot {
+        epoch: index.epoch,
+        published_at,
+        committed_txs,
+        schemas: Arc::clone(&index.schemas),
+        tables: Arc::clone(&index.tables),
+        subjects: Arc::clone(&index.subjects),
+        records: Arc::clone(&index.records),
+        by_table: Arc::clone(&index.by_table),
+        by_subject: Arc::clone(&index.by_subject),
+        by_expiry: Arc::clone(&index.by_expiry),
+    })
 }
 
 /// An index-only summary of one record, exposed so that routing layers
@@ -517,9 +613,20 @@ struct IntentsFile {
 pub struct Dbfs<D> {
     fs: InodeFs<D>,
     index: Mutex<DbfsIndex>,
+    /// The currently-published read snapshot.  Readers hold the `RwLock`
+    /// only long enough to clone the inner `Arc` (O(1), never across I/O);
+    /// writers replace it while still holding the index lock, so the lock
+    /// order is always `dbfs-index` → `dbfs-snapshot`.  The outer `Arc`
+    /// lets metric closures observe the slot without borrowing `self`.
+    snapshot: Arc<RwLock<Arc<IndexSnapshot>>>,
     clock: Arc<LogicalClock>,
     audit: AuditLog,
     stats: DbfsStatsInner,
+    /// Acquisitions of the writer-side index lock (every `lock_index`
+    /// call).  The read path serves from the published snapshot and must
+    /// never appear in this tally — the `--s4` bench asserts the delta
+    /// stays zero across its read phase.
+    index_lock_holds: std::sync::atomic::AtomicU64,
     /// Per-operation latency instrumentation, installed by
     /// [`Dbfs::attach_trace`].  `None` (the default) costs one uncontended
     /// lock per public operation and nothing else.
@@ -635,12 +742,15 @@ impl<D: BlockDevice> Dbfs<D> {
             alloc,
             ..DbfsIndex::default()
         };
+        let snapshot = snapshot_of(&index, clock.now(), fs.journal_txs());
         Ok(Self {
             fs,
             index: Mutex::new_named("dbfs-index", index),
+            snapshot: Arc::new(RwLock::new_named("dbfs-snapshot", snapshot)),
             clock,
             audit,
             stats: DbfsStatsInner::default(),
+            index_lock_holds: std::sync::atomic::AtomicU64::new(0),
             trace: Mutex::new(None),
         })
     }
@@ -722,7 +832,7 @@ impl<D: BlockDevice> Dbfs<D> {
                 .strip_prefix("subject-")
                 .and_then(|s| s.parse::<u64>().ok())
                 .ok_or_else(|| corrupt("malformed subject entry"))?;
-            index.subjects.insert(SubjectId::new(raw), subject_ino);
+            Arc::make_mut(&mut index.subjects).insert(SubjectId::new(raw), subject_ino);
         }
 
         // Scan the tables tree (the authoritative record registry).  A
@@ -732,13 +842,13 @@ impl<D: BlockDevice> Dbfs<D> {
         let mut debris: Vec<(String, Ino, Ino)> = Vec::new();
         for (type_name, table_ino) in fs.dir_entries(tables_ino)? {
             let data_type = DataTypeId::from(type_name.as_str());
-            index.tables.insert(data_type.clone(), table_ino);
+            Arc::make_mut(&mut index.tables).insert(data_type.clone(), table_ino);
             for (entry, ino) in fs.dir_entries(table_ino)? {
                 if entry == SCHEMA_ENTRY {
                     let bytes = fs.read_all(ino)?;
                     let schema: DataTypeSchema = serde_json::from_slice(&bytes)
                         .map_err(|_| corrupt("schema does not decode"))?;
-                    index.schemas.register(schema);
+                    Arc::make_mut(&mut index.schemas).register(schema);
                 } else {
                     let raw = entry
                         .strip_prefix("pd-")
@@ -898,7 +1008,7 @@ impl<D: BlockDevice> Dbfs<D> {
                     let ino = fs.alloc_inode(InodeKind::SubjectRoot)?;
                     fs.dir_add(subjects_ino, &loc.subject.to_string(), ino)?;
                     tx.commit()?;
-                    index.subjects.insert(loc.subject, ino);
+                    Arc::make_mut(&mut index.subjects).insert(loc.subject, ino);
                     recovered += 1;
                     ino
                 }
@@ -936,12 +1046,15 @@ impl<D: BlockDevice> Dbfs<D> {
         let stats = DbfsStatsInner::default();
         stats.journal_replays.add(fs.recovered_txs());
         stats.recovered_txs.add(recovered);
+        let snapshot = snapshot_of(&index, clock.now(), fs.journal_txs());
         let this = Self {
             fs,
             index: Mutex::new_named("dbfs-index", index),
+            snapshot: Arc::new(RwLock::new_named("dbfs-snapshot", snapshot)),
             clock,
             audit,
             stats,
+            index_lock_holds: std::sync::atomic::AtomicU64::new(0),
             trace: Mutex::new(None),
         };
         // Complete any local erase cascade a crash interrupted beyond the
@@ -983,6 +1096,14 @@ impl<D: BlockDevice> Dbfs<D> {
     pub fn attach_trace_as(&self, ctx: &rgpdos_trace::TraceCtx, labels: &[(&str, &str)]) {
         self.stats.register(&ctx.registry, labels);
         self.fs.attach_trace(ctx, labels);
+        // Staleness of the published read snapshot in simulated seconds: 0
+        // while writers keep publishing, growing on an idle or wedged store.
+        let snapshot = Arc::clone(&self.snapshot);
+        let clock = Arc::clone(&self.clock);
+        ctx.registry.gauge_fn("read_snapshot_age", labels, move || {
+            let published_at = snapshot.read().published_at;
+            i64::try_from(clock.now().since(published_at).as_secs()).unwrap_or(i64::MAX)
+        });
         *self.trace.lock() = Some(DbfsTrace::new(ctx, labels));
     }
 
@@ -1024,6 +1145,73 @@ impl<D: BlockDevice> Dbfs<D> {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot publishing (MVCC-lite read path)
+    // ------------------------------------------------------------------
+
+    /// Clones the currently-published read snapshot: one `RwLock` read held
+    /// for a single `Arc` clone.  Never acquires the index lock and is never
+    /// held across device I/O by any caller.
+    fn read_snapshot(&self) -> Arc<IndexSnapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Acquires the writer-side index lock, counting the acquisition.
+    /// Every index-lock site goes through here, so
+    /// [`Dbfs::index_lock_holds`] is a complete tally.
+    fn lock_index(&self) -> parking_lot::MutexGuard<'_, DbfsIndex> {
+        self.index_lock_holds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.index.lock()
+    }
+
+    /// Total acquisitions of the writer-side index lock since
+    /// format/mount.  Snapshot-served readers never take that lock, so the
+    /// tally is flat across a read-only phase — the `--s4` bench asserts
+    /// exactly that.
+    pub fn index_lock_holds(&self) -> u64 {
+        self.index_lock_holds
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Publishes a new snapshot of `index`.  Must be called with the index
+    /// lock held (the `&mut DbfsIndex` proves it), so publishes are totally
+    /// ordered and the lock order is always `dbfs-index` → `dbfs-snapshot`.
+    fn publish_locked(&self, index: &mut DbfsIndex) {
+        index.epoch += 1;
+        let snapshot = snapshot_of(index, self.clock.now(), self.fs.journal_txs());
+        *self.snapshot.write() = snapshot;
+    }
+
+    /// Returns `true` if `id` — live in the snapshot a reader resolved its
+    /// block location from — has been crypto-erased by a writer that
+    /// published *after* that snapshot was cut.  Readers call this after
+    /// the device read: a `true` answer means the payload bytes may be the
+    /// erased record's scrubbed blocks (or their reuse by a newer record)
+    /// and must not be handed out.
+    fn erased_since(&self, snapshot: &IndexSnapshot, id: PdId) -> bool {
+        let current = self.read_snapshot();
+        if current.epoch == snapshot.epoch {
+            return false;
+        }
+        match current.records.get(&id) {
+            Some(location) => location.erased,
+            None => true,
+        }
+    }
+
+    /// `(epoch, publish instant, committed journal transactions)` of the
+    /// currently-published read snapshot.  Every reader observes exactly one
+    /// such version; the epoch is strictly increasing across commits.
+    pub fn snapshot_info(&self) -> (u64, Timestamp, u64) {
+        let snapshot = self.read_snapshot();
+        (
+            snapshot.epoch,
+            snapshot.published_at,
+            snapshot.committed_txs,
+        )
+    }
+
+    // ------------------------------------------------------------------
     // Schema management
     // ------------------------------------------------------------------
 
@@ -1033,7 +1221,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Returns [`DbfsError::TypeAlreadyExists`] when the type exists.
     pub fn create_type(&self, schema: DataTypeSchema) -> Result<(), DbfsError> {
-        let mut index = self.index.lock();
+        let mut index = self.lock_index();
         if index.tables.contains_key(schema.name()) {
             return Err(DbfsError::TypeAlreadyExists {
                 name: schema.name().to_string(),
@@ -1053,8 +1241,9 @@ impl<D: BlockDevice> Dbfs<D> {
         self.fs.write_replace(schema_ino, &bytes)?;
         self.fs.dir_add(table_ino, SCHEMA_ENTRY, schema_ino)?;
         tx.commit()?;
-        index.tables.insert(schema.name().clone(), table_ino);
-        index.schemas.register(schema);
+        Arc::make_mut(&mut index.tables).insert(schema.name().clone(), table_ino);
+        Arc::make_mut(&mut index.schemas).register(schema);
+        self.publish_locked(&mut index);
         Ok(())
     }
 
@@ -1064,8 +1253,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Returns [`DbfsError::UnknownType`].
     pub fn schema(&self, name: &DataTypeId) -> Result<DataTypeSchema, DbfsError> {
-        self.index
-            .lock()
+        self.read_snapshot()
             .schemas
             .get(name)
             .cloned()
@@ -1074,20 +1262,43 @@ impl<D: BlockDevice> Dbfs<D> {
             })
     }
 
-    /// The installed type names.
+    /// The installed type names.  Served from the published snapshot:
+    /// wait-free, never touches the index lock.
     pub fn types(&self) -> Vec<DataTypeId> {
-        self.index.lock().tables.keys().cloned().collect()
+        self.read_snapshot().tables.keys().cloned().collect()
     }
 
     /// Number of live (non-erased) records of a type.
+    ///
+    /// Served from the published snapshot, so the answer is
+    /// **batch-atomic**: a concurrent group commit is either fully counted
+    /// or not at all — a half-applied batch is never observed.
     pub fn count(&self, name: &DataTypeId) -> usize {
-        let index = self.index.lock();
-        index.live_locations(index.table_ids(name)).count()
+        let snapshot = self.read_snapshot();
+        snapshot.live_locations(snapshot.table_ids(name)).count()
     }
 
-    /// The subjects that currently own at least one record.
+    /// Like [`Dbfs::count`] but distinguishing "table absent" from "table
+    /// empty" (routing layers need the difference to surface partial scatter
+    /// failures instead of silent undercounts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] when the type is not installed.
+    pub fn try_count(&self, name: &DataTypeId) -> Result<usize, DbfsError> {
+        let snapshot = self.read_snapshot();
+        if !snapshot.tables.contains_key(name) {
+            return Err(DbfsError::UnknownType {
+                name: name.to_string(),
+            });
+        }
+        Ok(snapshot.live_locations(snapshot.table_ids(name)).count())
+    }
+
+    /// The subjects that currently own at least one record.  Wait-free
+    /// (published snapshot), like [`Dbfs::types`].
     pub fn subjects(&self) -> Vec<SubjectId> {
-        self.index.lock().subjects.keys().copied().collect()
+        self.read_snapshot().subjects.keys().copied().collect()
     }
 
     // ------------------------------------------------------------------
@@ -1183,7 +1394,7 @@ impl<D: BlockDevice> Dbfs<D> {
         let mut committed: Vec<(PdId, SubjectId)> = Vec::new();
         let mut failure: Option<DbfsError> = None;
         {
-            let mut index = self.index.lock();
+            let mut index = self.lock_index();
             let mut group = InsertGroup::starting_at(index.next_pd);
             let mut tx = Some(self.fs.begin_tx());
             for (data_type, wrapped) in &items {
@@ -1220,6 +1431,9 @@ impl<D: BlockDevice> Dbfs<D> {
                     let before = committed.len();
                     committed.extend(self.apply_group(&mut index, full));
                     self.record_group_commit((committed.len() - before) as u64);
+                    // Each group-commit cut point publishes: concurrent
+                    // readers observe whole groups, never a partial batch.
+                    self.publish_locked(&mut index);
                     group = InsertGroup::starting_at(index.next_pd);
                     tx = Some(self.fs.begin_tx());
                     let fresh = self.fs.tx_savepoint();
@@ -1243,6 +1457,7 @@ impl<D: BlockDevice> Dbfs<D> {
                         let before = committed.len();
                         committed.extend(self.apply_group(&mut index, group));
                         self.record_group_commit((committed.len() - before) as u64);
+                        self.publish_locked(&mut index);
                     }
                     Err(e) => {
                         if failure.is_none() {
@@ -1289,7 +1504,7 @@ impl<D: BlockDevice> Dbfs<D> {
             // Held across the whole batch, like the per-record path: no
             // erasure or membrane change can interleave with the staged
             // read-modify-writes.
-            let index = self.index.lock();
+            let index = self.lock_index();
             let mut tx = Some(self.fs.begin_tx());
             let mut group: Vec<(PdId, SubjectId)> = Vec::new();
             for (id, row) in &updates {
@@ -1372,7 +1587,7 @@ impl<D: BlockDevice> Dbfs<D> {
         // trees stay consistent.  Inserts therefore serialize against each
         // other — an accepted cost, since the read paths are what the
         // secondary indexes optimize.
-        let mut index = self.index.lock();
+        let mut index = self.lock_index();
         let mut group = InsertGroup::starting_at(index.next_pd);
         self.check_insertable(&index, &group, data_type, &wrapped, validate)?;
         // Every disk effect of the insert — identifier counter, record
@@ -1384,6 +1599,7 @@ impl<D: BlockDevice> Dbfs<D> {
         let id = self.stage_wrapped(&index, &mut group, data_type, &wrapped)?;
         tx.commit()?;
         let committed = self.apply_group(&mut index, group);
+        self.publish_locked(&mut index);
         drop(index);
         self.account_inserts(&committed);
         Ok(id)
@@ -1514,7 +1730,7 @@ impl<D: BlockDevice> Dbfs<D> {
     fn apply_group(&self, index: &mut DbfsIndex, group: InsertGroup) -> Vec<(PdId, SubjectId)> {
         index.next_pd = group.next_pd;
         for (subject, ino) in group.new_subjects {
-            index.subjects.insert(subject, ino);
+            Arc::make_mut(&mut index.subjects).insert(subject, ino);
         }
         let mut done = Vec::with_capacity(group.staged.len());
         for staged in group.staged {
@@ -1546,15 +1762,29 @@ impl<D: BlockDevice> Dbfs<D> {
 
     /// Reads one record (payload + membrane).
     ///
+    /// The block location is resolved from the published snapshot and the
+    /// device is read with **no lock held**.  Because a crypto-erase can
+    /// commit concurrently (scrubbing — and possibly reusing — the very
+    /// blocks this read targets), the record's tombstone state is
+    /// re-validated against the *current* snapshot after the device read:
+    /// a record erased since the snapshot was cut returns
+    /// [`DbfsError::Erased`] instead of stale or reused payload bytes.
+    ///
     /// # Errors
     ///
     /// Returns [`DbfsError::UnknownPd`] when the id does not exist or belongs
-    /// to another type.
+    /// to another type, and [`DbfsError::Erased`] when a concurrent erasure
+    /// beat the payload read.
     pub fn get(&self, data_type: &DataTypeId, id: PdId) -> Result<PdRecord, DbfsError> {
         let _timer = self.op_timer("get");
         DbfsStatsInner::bump(&self.stats.reads);
-        let location = self.locate(data_type, id)?;
-        let stored = self.read_stored(location.ino)?;
+        let snapshot = self.read_snapshot();
+        let location = snapshot.locate(data_type, id)?;
+        let stored = self.read_stored(location.ino);
+        if !location.erased && self.erased_since(&snapshot, id) {
+            return Err(DbfsError::Erased { id: id.raw() });
+        }
+        let stored = stored?;
         Ok(PdRecord::new(
             id,
             data_type.clone(),
@@ -1573,19 +1803,17 @@ impl<D: BlockDevice> Dbfs<D> {
         &self,
         data_type: &DataTypeId,
     ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
-        let locations: Vec<(PdId, Ino)> = {
-            let index = self.index.lock();
-            if !index.tables.contains_key(data_type) {
-                return Err(DbfsError::UnknownType {
-                    name: data_type.to_string(),
-                });
-            }
-            index
-                .table_ids(data_type)
-                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc.ino)))
-                .collect()
-        };
-        self.read_membranes(locations)
+        let snapshot = self.read_snapshot();
+        if !snapshot.tables.contains_key(data_type) {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        }
+        let locations: Vec<(PdId, Ino)> = snapshot
+            .table_ids(data_type)
+            .filter_map(|id| snapshot.records.get(&id).map(|loc| (id, loc.ino)))
+            .collect();
+        self.read_membranes(&snapshot, locations)
     }
 
     /// Membrane-only load restricted to one subject's records of a type,
@@ -1600,21 +1828,19 @@ impl<D: BlockDevice> Dbfs<D> {
         data_type: &DataTypeId,
         subject: SubjectId,
     ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
-        let locations: Vec<(PdId, Ino)> = {
-            let index = self.index.lock();
-            if !index.tables.contains_key(data_type) {
-                return Err(DbfsError::UnknownType {
-                    name: data_type.to_string(),
-                });
-            }
-            index
-                .subject_ids(subject)
-                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc)))
-                .filter(|(_, loc)| &loc.data_type == data_type)
-                .map(|(id, loc)| (id, loc.ino))
-                .collect()
-        };
-        self.read_membranes(locations)
+        let snapshot = self.read_snapshot();
+        if !snapshot.tables.contains_key(data_type) {
+            return Err(DbfsError::UnknownType {
+                name: data_type.to_string(),
+            });
+        }
+        let locations: Vec<(PdId, Ino)> = snapshot
+            .subject_ids(subject)
+            .filter_map(|id| snapshot.records.get(&id).map(|loc| (id, loc)))
+            .filter(|(_, loc)| &loc.data_type == data_type)
+            .map(|(id, loc)| (id, loc.ino))
+            .collect();
+        self.read_membranes(&snapshot, locations)
     }
 
     /// Membrane-only load of a single record.
@@ -1624,49 +1850,83 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::UnknownPd`].
     pub fn load_membrane(&self, data_type: &DataTypeId, id: PdId) -> Result<Membrane, DbfsError> {
         let _timer = self.op_timer("load_membrane");
-        let location = self.locate(data_type, id)?;
+        let snapshot = self.read_snapshot();
+        let location = snapshot.locate(data_type, id)?;
         DbfsStatsInner::bump(&self.stats.membrane_loads);
-        read_membrane_from(&self.fs, location.ino)
+        self.read_membrane_checked(&snapshot, id, location.ino)
     }
 
+    /// Reads membrane headers resolved from `snapshot` with no lock held.
     fn read_membranes(
         &self,
+        snapshot: &IndexSnapshot,
         locations: Vec<(PdId, Ino)>,
     ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
         let mut out = Vec::with_capacity(locations.len());
         for (id, ino) in locations {
             DbfsStatsInner::bump(&self.stats.membrane_loads);
-            out.push((id, read_membrane_from(&self.fs, ino)?));
+            out.push((id, self.read_membrane_checked(snapshot, id, ino)?));
         }
         Ok(out)
+    }
+
+    /// One membrane read with stale-snapshot protection: an erasure that
+    /// committed after `snapshot` was cut rewrites the record in place, so
+    /// a read that catches the header mid-rewrite fails to decode.  In that
+    /// case — and only when the current snapshot confirms the record was
+    /// erased since — the read is retried once; the tombstone image is
+    /// committed to the device *before* the erasure publishes, so the retry
+    /// sees a decodable (erased) header.
+    fn read_membrane_checked(
+        &self,
+        snapshot: &IndexSnapshot,
+        id: PdId,
+        ino: Ino,
+    ) -> Result<Membrane, DbfsError> {
+        match read_membrane_from(&self.fs, ino) {
+            Ok(membrane) => Ok(membrane),
+            Err(DbfsError::Corrupt { .. } | DbfsError::Core(_))
+                if self.erased_since(snapshot, id) =>
+            {
+                read_membrane_from(&self.fs, ino)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The `ded_load_data` request: fetches the full records for the
     /// identifiers that passed the membrane filter.
     ///
+    /// Locations resolve from one published snapshot and the device reads
+    /// run with no lock held; each record that was live in that snapshot is
+    /// re-validated afterwards so a concurrent crypto-erase can never leak
+    /// its scrubbed (or reused) payload blocks.
+    ///
     /// # Errors
     ///
-    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers.
+    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers and
+    /// [`DbfsError::Erased`] when a concurrent erasure beat a payload read.
     pub fn load_records(
         &self,
         data_type: &DataTypeId,
         ids: &[PdId],
     ) -> Result<RecordBatch, DbfsError> {
-        // Resolve every location under one lock acquisition, then perform
-        // the batched reads outside the lock.
-        let locations: Vec<(PdId, Ino)> = {
-            let index = self.index.lock();
-            ids.iter()
-                .map(|&id| match index.records.get(&id) {
-                    Some(loc) if &loc.data_type == data_type => Ok((id, loc.ino)),
-                    _ => Err(DbfsError::UnknownPd { id: id.raw() }),
-                })
-                .collect::<Result<_, _>>()?
-        };
+        let snapshot = self.read_snapshot();
+        let locations: Vec<(PdId, Ino, bool)> = ids
+            .iter()
+            .map(|&id| match snapshot.records.get(&id) {
+                Some(loc) if &loc.data_type == data_type => Ok((id, loc.ino, loc.erased)),
+                _ => Err(DbfsError::UnknownPd { id: id.raw() }),
+            })
+            .collect::<Result<_, _>>()?;
         let mut batch = RecordBatch::new();
-        for (id, ino) in locations {
+        for (id, ino, was_erased) in locations {
             DbfsStatsInner::bump(&self.stats.reads);
-            let stored = self.read_stored(ino)?;
+            let stored = self.read_stored(ino);
+            if !was_erased && self.erased_since(&snapshot, id) {
+                return Err(DbfsError::Erased { id: id.raw() });
+            }
+            let stored = stored?;
             batch.push(PdRecord::new(
                 id,
                 data_type.clone(),
@@ -1690,7 +1950,7 @@ impl<D: BlockDevice> Dbfs<D> {
         // concurrent membrane change (consent withdrawal, TTL change) or
         // erasure can never be reverted by this row update.
         let location = {
-            let index = self.index.lock();
+            let index = self.lock_index();
             let location = Self::locate_in(&index, data_type, id)?;
             if location.erased {
                 return Err(DbfsError::Erased { id: id.raw() });
@@ -1735,7 +1995,7 @@ impl<D: BlockDevice> Dbfs<D> {
         // Only the membrane header is deserialized and re-encoded; the row
         // payload bytes are carried over untouched.
         let (location, applied) = {
-            let mut index = self.index.lock();
+            let mut index = self.lock_index();
             let location = Self::locate_in(&index, data_type, id)?;
             let bytes = self.fs.read_all(location.ino)?;
             let mut membrane = stored::membrane_of(&bytes).map_err(|_| DbfsError::Corrupt {
@@ -1749,6 +2009,7 @@ impl<D: BlockDevice> Dbfs<D> {
                 tx.commit()?;
                 if matches!(delta, MembraneDelta::SetTimeToLive { .. }) {
                     index.set_expiry(id, membrane.expiry_instant());
+                    self.publish_locked(&mut index);
                 }
             }
             (location, applied)
@@ -1777,6 +2038,10 @@ impl<D: BlockDevice> Dbfs<D> {
     /// Returns [`DbfsError::Erased`] for erased records.
     pub fn copy(&self, data_type: &DataTypeId, id: PdId) -> Result<PdId, DbfsError> {
         let _timer = self.op_timer("copy");
+        // The source resolves from the published snapshot, so an erasure can
+        // commit between this read and the insert below.  That race is closed
+        // by `check_insertable`, which re-walks the copy's lineage under the
+        // index lock and refuses a live copy of an erased ancestor.
         let location = self.locate(data_type, id)?;
         if location.erased {
             return Err(DbfsError::Erased { id: id.raw() });
@@ -1820,7 +2085,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ) -> Result<Vec<PdId>, DbfsError> {
         let _timer = self.op_timer("erase");
         let done = {
-            let mut index = self.index.lock();
+            let mut index = self.lock_index();
             let root = Self::locate_in(&index, data_type, id)?;
             // Snapshot the lineage closure from the index — a pure in-memory
             // walk, so no disk I/O happens before the write set is known.
@@ -1895,6 +2160,11 @@ impl<D: BlockDevice> Dbfs<D> {
         for (id, _) in &done {
             index.mark_erased(*id);
         }
+        // Publish *after* the tombstones are durable: a reader that sees the
+        // new epoch can rely on the device already holding the erased image.
+        if !done.is_empty() {
+            self.publish_locked(index);
+        }
         if let Some(token) = token {
             // A crash before this clear is benign: the next mount finds
             // every target already tombstoned, completes nothing and clears
@@ -1934,7 +2204,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ) -> Result<Vec<PdId>, DbfsError> {
         let _timer = self.op_timer("erase_subject");
         let done = {
-            let mut index = self.index.lock();
+            let mut index = self.lock_index();
             let roots: Vec<(DataTypeId, PdId)> = index
                 .live_locations(index.subject_ids(subject))
                 .map(|(id, loc)| (loc.data_type.clone(), id))
@@ -1973,7 +2243,7 @@ impl<D: BlockDevice> Dbfs<D> {
         let _timer = self.op_timer("purge_expired");
         let now = self.clock.now();
         let candidates: Vec<(DataTypeId, PdId, SubjectId)> = {
-            let index = self.index.lock();
+            let index = self.lock_index();
             index
                 .live_locations(
                     index
@@ -1995,7 +2265,7 @@ impl<D: BlockDevice> Dbfs<D> {
                 // the heal happen under one lock acquisition so the heal
                 // cannot clobber a concurrent TTL change.
                 let still_expired = {
-                    let mut index = self.index.lock();
+                    let mut index = self.lock_index();
                     // Tombstoned by someone else (a concurrent sweep or an
                     // Art. 17 request) since the snapshot — not this sweep's
                     // expiry to report.
@@ -2013,6 +2283,7 @@ impl<D: BlockDevice> Dbfs<D> {
                             } else {
                                 // Heal the stale expiry entry the race left.
                                 index.set_expiry(id, membrane.expiry_instant());
+                                self.publish_locked(&mut index);
                                 false
                             }
                         }
@@ -2042,16 +2313,20 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Propagates storage errors.
     pub fn records_of_subject(&self, subject: SubjectId) -> Result<Vec<PdRecord>, DbfsError> {
-        let locations: Vec<(PdId, RecordLocation)> = {
-            let index = self.index.lock();
-            index
-                .live_locations(index.subject_ids(subject))
-                .map(|(id, loc)| (id, loc.clone()))
-                .collect()
-        };
+        let snapshot = self.read_snapshot();
+        let locations: Vec<(PdId, RecordLocation)> = snapshot
+            .live_locations(snapshot.subject_ids(subject))
+            .map(|(id, loc)| (id, loc.clone()))
+            .collect();
         let mut out = Vec::with_capacity(locations.len());
         for (id, loc) in locations {
-            let stored = self.read_stored(loc.ino)?;
+            let stored = self.read_stored(loc.ino);
+            if self.erased_since(&snapshot, id) {
+                // Tombstoned since the snapshot was cut: the right of access
+                // must not return the (scrubbed or reused) payload blocks.
+                continue;
+            }
+            let stored = stored?;
             out.push(PdRecord::new(
                 id,
                 loc.data_type,
@@ -2066,28 +2341,27 @@ impl<D: BlockDevice> Dbfs<D> {
     /// to snapshot a subject's record set before a cross-shard erasure
     /// without reading a single block.
     pub fn ids_of_subject(&self, subject: SubjectId) -> Vec<(DataTypeId, PdId)> {
-        let index = self.index.lock();
-        index
-            .live_locations(index.subject_ids(subject))
+        let snapshot = self.read_snapshot();
+        snapshot
+            .live_locations(snapshot.subject_ids(subject))
             .map(|(id, loc)| (loc.data_type.clone(), id))
             .collect()
     }
 
-    /// `(live, tombstoned)` record counts, read straight off the in-memory
-    /// index — no allocation, no disk I/O (the cheap path for load
+    /// `(live, tombstoned)` record counts, read straight off the published
+    /// snapshot — wait-free, no disk I/O (the cheap path for load
     /// reporting; [`Dbfs::record_index_snapshot`] is the full snapshot).
     pub fn record_counts(&self) -> (usize, usize) {
-        let index = self.index.lock();
-        let tombstones = index.records.values().filter(|loc| loc.erased).count();
-        (index.records.len() - tombstones, tombstones)
+        let snapshot = self.read_snapshot();
+        let tombstones = snapshot.records.values().filter(|loc| loc.erased).count();
+        (snapshot.records.len() - tombstones, tombstones)
     }
 
     /// An index-only snapshot of every record (live and tombstoned).  Routing
     /// layers use this to rebuild placement and lineage directories on mount
     /// and to audit cross-instance invariants.
     pub fn record_index_snapshot(&self) -> Vec<RecordSummary> {
-        let index = self.index.lock();
-        index
+        self.read_snapshot()
             .records
             .iter()
             .map(|(&id, loc)| RecordSummary {
@@ -2118,8 +2392,10 @@ impl<D: BlockDevice> Dbfs<D> {
             )?),
             None => None,
         };
+        // Candidates resolve from one published snapshot, so the result is
+        // batch-atomic; the device reads below run with no lock held.
+        let snapshot = self.read_snapshot();
         let locations: Vec<(PdId, RecordLocation)> = {
-            let index = self.index.lock();
             // Narrow the candidate set through the secondary indexes before
             // touching the disk: seed it from the most selective source —
             // an explicit id-list conjunct, then a subject conjunct, then
@@ -2137,16 +2413,16 @@ impl<D: BlockDevice> Dbfs<D> {
                 } else if !subjects.is_empty() {
                     let smallest = subjects
                         .iter()
-                        .map(|s| index.by_subject.get(s))
+                        .map(|s| snapshot.by_subject.get(s))
                         .min_by_key(|set| set.map_or(0, BTreeSet::len))
                         .flatten()
                         .unwrap_or(&EMPTY);
                     Box::new(smallest.iter().copied())
                 } else {
-                    Box::new(index.table_ids(&request.data_type))
+                    Box::new(snapshot.table_ids(&request.data_type))
                 };
             candidates
-                .filter_map(|id| index.records.get(&id).map(|loc| (id, loc)))
+                .filter_map(|id| snapshot.records.get(&id).map(|loc| (id, loc)))
                 .filter(|(_, loc)| loc.data_type == request.data_type)
                 .filter(|(_, loc)| subjects.iter().all(|s| loc.subject == *s))
                 .filter(|(id, _)| id_sets.iter().all(|ids| ids.contains(id)))
@@ -2156,7 +2432,18 @@ impl<D: BlockDevice> Dbfs<D> {
         };
         let mut batch = RecordBatch::new();
         for (id, loc) in locations {
-            let stored = self.read_stored(loc.ino)?;
+            let mut stored = self.read_stored(loc.ino);
+            if !loc.erased && self.erased_since(&snapshot, id) {
+                // Tombstoned since the snapshot was cut: the payload bytes
+                // just read may be the scrubbed (or reused) blocks.
+                if request.skip_erased {
+                    continue;
+                }
+                // The tombstone image was durable before the erasure
+                // published, so one retry reads the committed erased record.
+                stored = self.read_stored(loc.ino);
+            }
+            let stored = stored?;
             if !request.predicate.matches(id, loc.subject, &stored.row) {
                 continue;
             }
@@ -2191,7 +2478,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Propagates storage errors.
     pub fn put_erase_intent(&self, intent: &EraseIntent) -> Result<u64, DbfsError> {
-        let mut index = self.index.lock();
+        let mut index = self.lock_index();
         self.put_erase_intent_locked(&mut index, intent)
     }
 
@@ -2226,7 +2513,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Returns [`DbfsError::Corrupt`] when the intent log does not decode.
     pub fn pending_erase_intents(&self) -> Result<Vec<(u64, EraseIntent)>, DbfsError> {
-        let index = self.index.lock();
+        let index = self.lock_index();
         match index.intents_ino {
             Some(ino) => Ok(self.read_intents(ino)?.pending),
             None => Ok(Vec::new()),
@@ -2240,7 +2527,7 @@ impl<D: BlockDevice> Dbfs<D> {
     ///
     /// Propagates storage errors.
     pub fn clear_erase_intent(&self, token: u64) -> Result<(), DbfsError> {
-        let index = self.index.lock();
+        let index = self.lock_index();
         self.clear_erase_intent_locked(&index, token)
     }
 
@@ -2317,8 +2604,10 @@ impl<D: BlockDevice> Dbfs<D> {
     /// elapsed at `now` (no disk I/O; the retention sweep re-verifies every
     /// candidate against its on-disk header before erasing).
     pub fn has_expired_candidates(&self, now: Timestamp) -> bool {
-        let index = self.index.lock();
-        index.by_expiry.range(..now).any(|(_, ids)| !ids.is_empty())
+        self.read_snapshot()
+            .by_expiry
+            .range(..now)
+            .any(|(_, ids)| !ids.is_empty())
     }
 
     /// Records one recovery action performed on this instance's behalf by a
@@ -2331,8 +2620,7 @@ impl<D: BlockDevice> Dbfs<D> {
     // ------------------------------------------------------------------
 
     fn locate(&self, data_type: &DataTypeId, id: PdId) -> Result<RecordLocation, DbfsError> {
-        let index = self.index.lock();
-        Self::locate_in(&index, data_type, id)
+        self.read_snapshot().locate(data_type, id)
     }
 
     /// Like [`Dbfs::locate`] but against an already-held index lock, so that
@@ -2381,7 +2669,7 @@ impl<D: BlockDevice> Dbfs<D> {
     /// and propagates storage errors.
     pub fn verify_index_invariants(&self) -> Result<(), DbfsError> {
         let (records, by_table, by_subject, copies_of, by_expiry) = {
-            let index = self.index.lock();
+            let index = self.lock_index();
             (
                 index.records.clone(),
                 index.by_table.clone(),
@@ -2392,7 +2680,7 @@ impl<D: BlockDevice> Dbfs<D> {
         };
         let violation = |what: String| DbfsError::Corrupt { what };
         // Every record is present in exactly the right secondary entries.
-        for (id, loc) in &records {
+        for (id, loc) in records.iter() {
             if !by_table
                 .get(&loc.data_type)
                 .is_some_and(|ids| ids.contains(id))
@@ -2420,14 +2708,14 @@ impl<D: BlockDevice> Dbfs<D> {
             }
         }
         // No secondary entry points at a missing or mismatched record.
-        for (data_type, ids) in &by_table {
+        for (data_type, ids) in by_table.iter() {
             for id in ids {
                 if records.get(id).map(|loc| &loc.data_type) != Some(data_type) {
                     return Err(violation(format!("table index points {id} at {data_type}")));
                 }
             }
         }
-        for (subject, ids) in &by_subject {
+        for (subject, ids) in by_subject.iter() {
             for id in ids {
                 if records.get(id).map(|loc| loc.subject) != Some(*subject) {
                     return Err(violation(format!("subject index points {id} at {subject}")));
@@ -2443,7 +2731,7 @@ impl<D: BlockDevice> Dbfs<D> {
                 }
             }
         }
-        for (at, ids) in &by_expiry {
+        for (at, ids) in by_expiry.iter() {
             for id in ids {
                 let Some(loc) = records.get(id) else {
                     return Err(violation(format!("expiry index holds unknown {id}")));
@@ -2454,7 +2742,7 @@ impl<D: BlockDevice> Dbfs<D> {
             }
         }
         // The indexed locations agree with the membrane headers on disk.
-        for (id, loc) in &records {
+        for (id, loc) in records.iter() {
             let membrane = read_membrane_from(&self.fs, loc.ino)?;
             if membrane.subject() != loc.subject
                 || membrane.is_erased() != loc.erased

@@ -41,6 +41,19 @@ pub enum DbfsError {
         /// The erased identifier.
         id: u64,
     },
+    /// A scatter-gather read completed on some shards but failed on another.
+    ///
+    /// Surfaced instead of silently merging the successful shards' results,
+    /// which would present an undercount (or a partial membrane set) as a
+    /// complete answer.
+    PartialScatter {
+        /// The failing shard index.
+        shard: usize,
+        /// How many shards answered successfully.
+        completed: usize,
+        /// The failing shard's error.
+        source: Box<DbfsError>,
+    },
 }
 
 impl fmt::Display for DbfsError {
@@ -54,6 +67,15 @@ impl fmt::Display for DbfsError {
             DbfsError::UnknownType { name } => write!(f, "unknown data type `{name}`"),
             DbfsError::UnknownPd { id } => write!(f, "unknown personal data item pd-{id}"),
             DbfsError::Erased { id } => write!(f, "personal data pd-{id} has been erased"),
+            DbfsError::PartialScatter {
+                shard,
+                completed,
+                source,
+            } => write!(
+                f,
+                "scatter read failed on shard {shard} after {completed} shard(s) \
+                 succeeded: {source}"
+            ),
         }
     }
 }
@@ -64,6 +86,7 @@ impl StdError for DbfsError {
             DbfsError::Inode(e) => Some(e),
             DbfsError::Core(e) => Some(e),
             DbfsError::Crypto(e) => Some(e),
+            DbfsError::PartialScatter { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -113,5 +136,12 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+        let partial = DbfsError::PartialScatter {
+            shard: 2,
+            completed: 1,
+            source: Box::new(DbfsError::from(InodeError::OutOfSpace)),
+        };
+        assert!(partial.to_string().contains("shard 2"));
+        assert!(partial.source().is_some());
     }
 }

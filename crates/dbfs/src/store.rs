@@ -64,7 +64,14 @@ pub trait PdStore: Send + Sync {
     fn types(&self) -> Vec<DataTypeId>;
 
     /// Number of live (non-erased) records of a type.
-    fn count(&self, name: &DataTypeId) -> usize;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::UnknownType`] when the type is not installed,
+    /// and partitioned stores return [`DbfsError::PartialScatter`] when any
+    /// backing instance failed — an undercount is never presented as a
+    /// complete answer.
+    fn count(&self, name: &DataTypeId) -> Result<usize, DbfsError>;
 
     /// The `acquisition` built-in: stores a newly collected row under the
     /// default membrane of its type.
@@ -294,8 +301,8 @@ impl<D: BlockDevice> PdStore for Dbfs<D> {
         Dbfs::types(self)
     }
 
-    fn count(&self, name: &DataTypeId) -> usize {
-        Dbfs::count(self, name)
+    fn count(&self, name: &DataTypeId) -> Result<usize, DbfsError> {
+        Dbfs::try_count(self, name)
     }
 
     fn collect(
@@ -427,7 +434,11 @@ mod tests {
             .with("pwd", "pw")
             .with("year_of_birthdate", 1990i64);
         let id = store.collect(&user, SubjectId::new(1), row).unwrap();
-        assert_eq!(store.count(&user), 1);
+        assert_eq!(store.count(&user).unwrap(), 1);
+        assert!(matches!(
+            store.count(&DataTypeId::from("ghost")),
+            Err(DbfsError::UnknownType { .. } | DbfsError::PartialScatter { .. })
+        ));
         let copy = store.copy(&user, id).unwrap();
         assert_ne!(copy, id);
         assert_eq!(

@@ -52,7 +52,7 @@
 //! let id = sharded.collect("user", SubjectId::new(1), row)?;
 //! // The id was allocated on the subject's home shard.
 //! assert_eq!(sharded.shard_of_id(id), sharded.home_shard(SubjectId::new(1)));
-//! assert_eq!(sharded.count(&"user".into()), 1);
+//! assert_eq!(sharded.count(&"user".into()).unwrap(), 1);
 //! # Ok(())
 //! # }
 //! ```

@@ -21,6 +21,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Per-shard batch slots handed to the worker pool: each involved shard
+/// `take()`s its slot exactly once, so row payloads move instead of clone.
+type ShardBatches<T> = Arc<Vec<Mutex<Option<Vec<T>>>>>;
+
 /// SplitMix64: a strong deterministic mix so that dense subject ids spread
 /// evenly over the shards.
 fn mix(mut x: u64) -> u64 {
@@ -44,6 +48,37 @@ fn intent_for(targets: &[(usize, DataTypeId, PdId)], escrow: &OperatorEscrow) ->
             .collect(),
         escrow_key: escrow.public_key().element(),
         routed: true,
+    }
+}
+
+/// Folds a scatter's per-shard results, surfacing any failure as
+/// [`DbfsError::PartialScatter`] instead of silently merging the shards
+/// that did answer (which would present an undercount or a partial
+/// membrane set as a complete result).  `shards` pairs each result with
+/// the shard that produced it; the lowest failing shard is reported and
+/// `completed` counts every shard that succeeded.
+fn gather_scatter<T>(
+    shards: impl IntoIterator<Item = usize>,
+    results: Vec<Result<T, DbfsError>>,
+) -> Result<Vec<T>, DbfsError> {
+    let mut ok = Vec::with_capacity(results.len());
+    let mut failed: Option<(usize, DbfsError)> = None;
+    for (shard, result) in shards.into_iter().zip(results) {
+        match result {
+            Ok(value) => ok.push(value),
+            Err(source) => match &failed {
+                Some((lowest, _)) if *lowest <= shard => {}
+                _ => failed = Some((shard, source)),
+            },
+        }
+    }
+    match failed {
+        None => Ok(ok),
+        Some((shard, source)) => Err(DbfsError::PartialScatter {
+            shard,
+            completed: ok.len(),
+            source: Box::new(source),
+        }),
     }
 }
 
@@ -257,7 +292,9 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
                     device,
                     params,
                     Arc::clone(&clock),
-                    audit.clone(),
+                    // Each shard records under its own audit stream: dense
+                    // per-shard sequences, Lamport-merged globally.
+                    audit.for_stream(i as u32),
                     IdAllocation::sharded(i, shards),
                 )
                 .map(Arc::new)
@@ -317,7 +354,7 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
                 Dbfs::mount_with_ids(
                     device,
                     Arc::clone(&clock),
-                    audit.clone(),
+                    audit.for_stream(i as u32),
                     IdAllocation::sharded(i, shards),
                 )
                 .map(Arc::new)
@@ -600,12 +637,19 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     }
 
     /// Live records of a type, summed over a scatter across every shard.
-    pub fn count(&self, name: &DataTypeId) -> usize {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbfsError::PartialScatter`] when any shard fails to answer
+    /// (for example because the type is missing there): a sum over the
+    /// remaining shards would be an undercount presented as a total.
+    pub fn count(&self, name: &DataTypeId) -> Result<usize, DbfsError> {
         let name = name.clone();
-        self.pool
-            .scatter(move |_, dbfs| dbfs.count(&name))
-            .into_iter()
-            .sum()
+        let counts = gather_scatter(
+            0..self.shards.len(),
+            self.pool.scatter(move |_, dbfs| dbfs.try_count(&name)),
+        )?;
+        Ok(counts.into_iter().sum())
     }
 
     // ------------------------------------------------------------------
@@ -695,20 +739,20 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     /// Batched `acquisition`: the rows are grouped by home shard and every
     /// involved shard ingests its group through [`Dbfs::collect_many`]'s
     /// journal group commit — the scatter-write analogue of the
-    /// scatter-gather read path.  Shards are driven in shard order rather
-    /// than over the worker pool: the audit log is one totally ordered
-    /// stream shared by every shard, and deterministic routing keeps it
-    /// (and the crash-matrix's audit-prefix invariant) reproducible, while
-    /// the batching win — one journal transaction per group instead of per
-    /// record — is per-shard and unaffected.  Returns the assigned
-    /// identifiers in input order.
+    /// scatter-gather read path.  The groups run concurrently on the worker
+    /// pool: each shard appends to its own audit stream with a dense
+    /// per-shard sequence, and the streams merge by Lamport stamp, so the
+    /// crash-matrix's audit-prefix invariant holds per stream without
+    /// serializing the shards.  The batching win — one journal transaction
+    /// per group instead of per record — is per-shard and unaffected.
+    /// Returns the assigned identifiers in input order.
     ///
     /// # Errors
     ///
-    /// Same as [`ShardedDbfs::collect`].  On error, each shard has applied
-    /// a clean prefix of its own group (per-record atomicity holds
-    /// everywhere); rows routed to other shards may or may not have been
-    /// applied.
+    /// Same as [`ShardedDbfs::collect`]; the lowest failing shard's error
+    /// is reported.  On error, each shard has applied a clean prefix of its
+    /// own group (per-record atomicity holds everywhere); rows routed to
+    /// other shards may or may not have been applied.
     pub fn collect_many(
         &self,
         data_type: impl Into<DataTypeId>,
@@ -726,14 +770,26 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
             groups[shard].push((subject, row));
             positions[shard].push(pos);
         }
+        let involved: Vec<usize> = (0..groups.len())
+            .filter(|&shard| !groups[shard].is_empty())
+            .collect();
+        let groups: ShardBatches<(SubjectId, Row)> = Arc::new(
+            groups
+                .into_iter()
+                .map(|group| Mutex::new(Some(group)))
+                .collect(),
+        );
+        let name = data_type.clone();
+        let results = self.pool.scatter_on(&involved, move |shard, dbfs| {
+            let batch = groups[shard]
+                .lock()
+                .take()
+                .expect("each involved shard runs exactly once");
+            dbfs.collect_many(name.clone(), batch)
+        });
         let mut ids: Vec<Option<PdId>> = vec![None; total];
-        for shard in 0..groups.len() {
-            if groups[shard].is_empty() {
-                continue;
-            }
-            let batch = std::mem::take(&mut groups[shard]);
-            let shard_ids = self.shards[shard].collect_many(data_type.clone(), batch)?;
-            for (&pos, id) in positions[shard].iter().zip(shard_ids) {
+        for (&shard, result) in involved.iter().zip(results) {
+            for (&pos, id) in positions[shard].iter().zip(result?) {
                 ids[pos] = Some(id);
             }
         }
@@ -744,8 +800,8 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     }
 
     /// Batched [`ShardedDbfs::insert_wrapped`]: lineage-free records are
-    /// batch-routed to their home shards (group commit per shard, shards
-    /// driven in deterministic shard order — see
+    /// batch-routed to their home shards (group commit per shard, groups
+    /// run concurrently on the worker pool — see
     /// [`ShardedDbfs::collect_many`]); records carrying lineage go through
     /// the directory-registering single-record path.  Returns the
     /// identifiers in input order.
@@ -771,14 +827,25 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
                 with_lineage.push((pos, data_type, wrapped));
             }
         }
+        let involved: Vec<usize> = (0..plain.len())
+            .filter(|&shard| !plain[shard].is_empty())
+            .collect();
+        let plain: ShardBatches<(DataTypeId, WrappedPd)> = Arc::new(
+            plain
+                .into_iter()
+                .map(|group| Mutex::new(Some(group)))
+                .collect(),
+        );
+        let results = self.pool.scatter_on(&involved, move |shard, dbfs| {
+            let batch = plain[shard]
+                .lock()
+                .take()
+                .expect("each involved shard runs exactly once");
+            dbfs.insert_many(batch)
+        });
         let mut ids: Vec<Option<PdId>> = vec![None; total];
-        for shard in 0..plain.len() {
-            if plain[shard].is_empty() {
-                continue;
-            }
-            let batch = std::mem::take(&mut plain[shard]);
-            let shard_ids = self.shards[shard].insert_many(batch)?;
-            for (&pos, id) in positions[shard].iter().zip(shard_ids) {
+        for (&shard, result) in involved.iter().zip(results) {
+            for (&pos, id) in positions[shard].iter().zip(result?) {
                 ids[pos] = Some(id);
             }
         }
@@ -794,8 +861,8 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
 
     /// Batched [`ShardedDbfs::update_row`]: updates are grouped by owning
     /// shard (computable from the strided id space) and each shard applies
-    /// its group under journal group commit, in deterministic shard order
-    /// (see [`ShardedDbfs::collect_many`]).
+    /// its group under journal group commit, with the groups running
+    /// concurrently on the worker pool (see [`ShardedDbfs::collect_many`]).
     ///
     /// # Errors
     ///
@@ -813,12 +880,25 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         for (id, row) in updates {
             groups[self.shard_of_id(id)].push((id, row));
         }
-        for (shard, group) in groups.iter_mut().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            let batch = std::mem::take(group);
-            self.shards[shard].update_rows(data_type, batch)?;
+        let involved: Vec<usize> = (0..groups.len())
+            .filter(|&shard| !groups[shard].is_empty())
+            .collect();
+        let groups: ShardBatches<(PdId, Row)> = Arc::new(
+            groups
+                .into_iter()
+                .map(|group| Mutex::new(Some(group)))
+                .collect(),
+        );
+        let name = data_type.clone();
+        let results = self.pool.scatter_on(&involved, move |shard, dbfs| {
+            let batch = groups[shard]
+                .lock()
+                .take()
+                .expect("each involved shard runs exactly once");
+            dbfs.update_rows(&name, batch)
+        });
+        for result in results {
+            result?;
         }
         Ok(())
     }
@@ -854,17 +934,20 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     ///
     /// # Errors
     ///
-    /// Returns [`DbfsError::UnknownType`].
+    /// Returns [`DbfsError::PartialScatter`] when any shard fails
+    /// (wrapping, for example, [`DbfsError::UnknownType`]): merging only
+    /// the shards that answered would pass off a partial membrane set as
+    /// the whole table.
     pub fn load_membranes(
         &self,
         data_type: &DataTypeId,
     ) -> Result<Vec<(PdId, Membrane)>, DbfsError> {
         let name = data_type.clone();
-        let mut out = Vec::new();
-        for result in self.pool.scatter(move |_, dbfs| dbfs.load_membranes(&name)) {
-            out.extend(result?);
-        }
-        Ok(out)
+        let per_shard = gather_scatter(
+            0..self.shards.len(),
+            self.pool.scatter(move |_, dbfs| dbfs.load_membranes(&name)),
+        )?;
+        Ok(per_shard.into_iter().flatten().collect())
     }
 
     /// Membrane-only load of one subject's records of a type: the home shard
@@ -905,7 +988,8 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     ///
     /// # Errors
     ///
-    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers.
+    /// Returns [`DbfsError::UnknownPd`] for unknown identifiers, or
+    /// [`DbfsError::PartialScatter`] when a shard fails outright.
     pub fn load_records(
         &self,
         data_type: &DataTypeId,
@@ -923,9 +1007,10 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         let results = self.pool.scatter_on(&involved, move |shard, dbfs| {
             dbfs.load_records(&name, &groups[shard])
         });
+        let per_shard = gather_scatter(involved.iter().copied(), results)?;
         let mut by_id: BTreeMap<PdId, PdRecord> = BTreeMap::new();
-        for result in results {
-            for record in result?.into_records() {
+        for shard_batch in per_shard {
+            for record in shard_batch.into_records() {
                 by_id.insert(record.id(), record);
             }
         }
@@ -1232,7 +1317,9 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
     ///
     /// # Errors
     ///
-    /// Returns [`DbfsError::UnknownType`] or [`DbfsError::Core`].
+    /// Returns [`DbfsError::PartialScatter`] when any involved shard fails
+    /// (wrapping [`DbfsError::UnknownType`] or [`DbfsError::Core`]): a
+    /// merge of the surviving legs would be a silently incomplete answer.
     pub fn query(&self, request: &QueryRequest) -> Result<RecordBatch, DbfsError> {
         let pinned = request.predicate.pinned_subjects();
         let involved: Vec<usize> = if let Some(ids) = request.predicate.pinned_ids() {
@@ -1265,16 +1352,17 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         let parent = scatter_span.as_ref().map(rgpdos_trace::SpanGuard::id);
         let legs = trace.clone();
         let request = Arc::new(request.clone());
-        let mut batch = RecordBatch::new();
-        for result in self.pool.scatter_on(&involved, move |_, dbfs| {
+        let results = self.pool.scatter_on(&involved, move |_, dbfs| {
             let leg = legs
                 .as_ref()
                 .map(|t| t.tracer.span_with_parent("shard_query_leg", parent));
             let result = dbfs.query(&request);
             drop(leg);
             result
-        }) {
-            for record in result?.into_records() {
+        });
+        let mut batch = RecordBatch::new();
+        for shard_batch in gather_scatter(involved.iter().copied(), results)? {
+            for record in shard_batch.into_records() {
                 batch.push(record);
             }
         }
@@ -1403,7 +1491,7 @@ impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
         ShardedDbfs::types(self)
     }
 
-    fn count(&self, name: &DataTypeId) -> usize {
+    fn count(&self, name: &DataTypeId) -> Result<usize, DbfsError> {
         ShardedDbfs::count(self, name)
     }
 

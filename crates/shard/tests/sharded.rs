@@ -46,7 +46,7 @@ fn placement_is_deterministic_and_ids_are_strided() {
         assert_eq!(sharded.shard_of_id(id), sharded.home_shard(subject));
         assert_eq!(id.raw() % 4, sharded.home_shard(subject) as u64);
     }
-    assert_eq!(sharded.count(&user()), 32);
+    assert_eq!(sharded.count(&user()).unwrap(), 32);
     // Every shard got some records (the mix spreads 32 dense subjects).
     let stats = sharded.sharded_stats();
     assert!(
@@ -98,7 +98,7 @@ fn batched_ingest_routes_groups_to_home_shards_with_group_commit() {
         let record = sharded.get(&user(), id).unwrap();
         assert_eq!(record.subject(), *subject);
     }
-    assert_eq!(sharded.count(&user()), 48);
+    assert_eq!(sharded.count(&user()).unwrap(), 48);
     sharded.verify_index_invariants().unwrap();
     // Each involved shard coalesced its group: far fewer journal
     // transactions than records.
@@ -278,7 +278,7 @@ fn erase_subject_reaches_foreign_copies_on_every_shard() {
         .unwrap()
         .membrane()
         .is_erased());
-    assert_eq!(sharded.count(&user()), 1);
+    assert_eq!(sharded.count(&user()).unwrap(), 1);
     sharded.verify_index_invariants().unwrap();
 }
 
@@ -356,7 +356,11 @@ fn mount_rebuilds_the_directory_and_invariants_hold() {
     // per-shard indexes.
     let remounted = ShardedDbfs::mount(devices).unwrap();
     remounted.verify_index_invariants().unwrap();
-    assert_eq!(remounted.count(&user()), 14, "12 + keeper + its copy");
+    assert_eq!(
+        remounted.count(&user()).unwrap(),
+        14,
+        "12 + keeper + its copy"
+    );
     // The erased lineage stays erased, and copying from it stays refused.
     assert!(remounted.copy(&user(), erased_original).is_err());
     // The surviving lineage is still visible through the subject route.
@@ -378,7 +382,7 @@ fn single_shard_deployment_degenerates_to_plain_dbfs_semantics() {
         .collect("user", SubjectId::new(1), user_row("solo"))
         .unwrap();
     let copy = sharded.copy(&user(), id).unwrap();
-    assert_eq!(sharded.count(&user()), 2);
+    assert_eq!(sharded.count(&user()).unwrap(), 2);
     let erased = sharded.erase(&user(), id, &escrow).unwrap();
     assert_eq!(erased.len(), 2);
     assert!(sharded.get(&user(), copy).unwrap().membrane().is_erased());
@@ -399,7 +403,7 @@ fn pd_store_trait_object_surface_works_for_the_sharded_store() {
             .unwrap();
         assert_eq!(membranes.len(), 1);
         assert_eq!(membranes[0].0, id);
-        assert_eq!(store.count(&user), 1);
+        assert_eq!(store.count(&user).unwrap(), 1);
         let batch = store
             .query(&QueryRequest::all("user").filter(Predicate::SubjectIs(SubjectId::new(3))))
             .unwrap();
@@ -458,4 +462,95 @@ fn attached_trace_labels_shards_and_records_scatter_fanout() {
         .filter(|s| s.parent.is_some())
         .count();
     assert_eq!(legs, 4, "3 legs for the scan + 1 for the pinned query");
+}
+
+/// A shard whose device fails mid-scatter must surface
+/// [`DbfsError::PartialScatter`] instead of silently merging the shards
+/// that answered (which would pass a partial membrane set off as the whole
+/// table).  The fault index is self-calibrating: a fault-free pass measures
+/// how many reads setup costs on the target shard, then an identical pass
+/// arms [`FaultPlan::FailedReadAt`] at exactly that index, so the very
+/// first device read of the scatter leg fails.
+#[test]
+fn scatter_read_failure_surfaces_as_partial_scatter() {
+    use rgpdos_blockdev::{FaultPlan, FaultyDevice};
+    use rgpdos_dbfs::DbfsError;
+
+    type FaultyShard = Arc<FaultyDevice<MemDevice>>;
+
+    fn deployment(plans: [FaultPlan; 2]) -> (ShardedDbfs<FaultyShard>, Vec<FaultyShard>) {
+        let devices: Vec<FaultyShard> = plans
+            .into_iter()
+            .map(|plan| Arc::new(FaultyDevice::new(MemDevice::new(8192, 512), plan)))
+            .collect();
+        let sharded = ShardedDbfs::format(devices.clone(), DbfsParams::small()).unwrap();
+        sharded.create_type(listing1_user_schema()).unwrap();
+        for raw in 0..16u64 {
+            sharded
+                .collect("user", SubjectId::new(raw), user_row(&format!("f{raw}")))
+                .unwrap();
+        }
+        sharded.drop_caches();
+        (sharded, devices)
+    }
+
+    // Calibration pass: measure how many reads setup costs on shard 1, and
+    // confirm the fault-free scatter sees the whole table.
+    let (clean, devices) = deployment([FaultPlan::None, FaultPlan::None]);
+    let fault_at = devices[1].reads_seen();
+    assert_eq!(
+        clean.load_membranes(&user()).unwrap().len(),
+        16,
+        "the fault-free pass must see the whole table"
+    );
+    assert!(
+        devices[1].reads_seen() > fault_at,
+        "the scatter leg must actually hit shard 1's device"
+    );
+    drop(clean);
+
+    // Faulty pass: identical setup, shard 1's next read fails.
+    let (sharded, _devices) = deployment([FaultPlan::None, FaultPlan::FailedReadAt(fault_at)]);
+    match sharded.load_membranes(&user()) {
+        Err(DbfsError::PartialScatter {
+            shard, completed, ..
+        }) => {
+            assert_eq!(shard, 1, "the failing shard is named");
+            assert_eq!(completed, 1, "the surviving shard is counted");
+        }
+        other => panic!("expected PartialScatter, got {other:?}"),
+    }
+    // The fault was transient: the retry sees the whole table again.
+    assert_eq!(sharded.load_membranes(&user()).unwrap().len(), 16);
+}
+
+/// `count` must never present a partial sum as a total: a shard that cannot
+/// answer (here: the type diverged and is missing on every shard but one)
+/// surfaces [`DbfsError::PartialScatter`] naming the failing shard.
+#[test]
+fn count_surfaces_shard_divergence_instead_of_undercounting() {
+    use rgpdos_dbfs::DbfsError;
+
+    let sharded = sharded(2);
+    // Install a type on shard 0 only, bypassing the broadcast (simulating
+    // a half-applied rollout).
+    let lopsided = rgpdos_core::schema::DataTypeSchema::builder("lopsided")
+        .field("name", rgpdos_core::value::FieldType::Text)
+        .build()
+        .unwrap();
+    sharded.shards()[0].create_type(lopsided).unwrap();
+    match sharded.count(&DataTypeId::from("lopsided")) {
+        Err(DbfsError::PartialScatter {
+            shard,
+            completed,
+            source,
+        }) => {
+            assert_eq!(shard, 1);
+            assert_eq!(completed, 1);
+            assert!(matches!(*source, DbfsError::UnknownType { .. }));
+        }
+        other => panic!("expected PartialScatter, got {other:?}"),
+    }
+    // The healthy type still counts normally.
+    assert_eq!(sharded.count(&user()).unwrap(), 0);
 }

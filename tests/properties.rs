@@ -581,11 +581,11 @@ proptest! {
                 }
             }
         }
-        let live = sharded.count(&user);
+        let live = sharded.count(&user).unwrap();
         drop(sharded);
         let remounted = ShardedDbfs::mount(devices).unwrap();
         remounted.verify_index_invariants().unwrap();
-        prop_assert_eq!(remounted.count(&user), live);
+        prop_assert_eq!(remounted.count(&user).unwrap(), live);
     }
 }
 
