@@ -65,6 +65,9 @@ fn main() {
             sweeps: reports,
         })
         .expect("serialize crash matrix");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create report directory");
+        }
         std::fs::write(&path, json).expect("write crash matrix");
         println!("\n(machine-readable crash matrix written to {path})");
     }

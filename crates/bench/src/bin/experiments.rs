@@ -140,6 +140,7 @@ fn main() {
     timed("s2", wants("--s2"), &mut |report| s2(report));
     timed("s3", wants("--s3"), &mut |report| s3(report));
     timed("s4", wants("--s4"), &mut |report| s4(report));
+    timed("gdpr", wants("--gdpr"), &mut |report| gdpr(report));
     timed("ablations", wants("--ablations"), &mut |_| ablations());
 
     if let Some(path) = metrics_path {
@@ -173,8 +174,7 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
-        std::fs::write(&path, json).expect("write bench report");
+        write_report(&path, &report);
         println!("(machine-readable results written to {path})");
     }
 }
@@ -254,6 +254,9 @@ fn write_metrics_snapshot(path: &str) {
         .expect("trace context attached");
     rgpdos::trace::MetricsSnapshot::validate_json(&snapshot.to_json())
         .expect("snapshot conforms to its own schema");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).expect("create reports directory");
+    }
     std::fs::write(path, snapshot.to_json()).expect("write metrics snapshot");
     println!("(metrics snapshot written to {path})");
 }
@@ -479,7 +482,18 @@ fn throughput_scenario(shards: usize, per_shard: usize) -> ShardedScalingScenari
 
 /// Where `--s3` writes its machine-readable before/after numbers (uploaded
 /// as a CI artifact to seed the perf trajectory across commits).
-const S3_JSON: &str = "BENCH_s3.json";
+const S3_JSON: &str = "reports/BENCH_s3.json";
+
+/// Writes a machine-readable report under `reports/`, creating the
+/// directory on first use (the whole directory is gitignored — reports are
+/// run outputs, shipped as CI artifacts, never committed).
+fn write_report(path: &str, report: &BenchReport) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).expect("create reports directory");
+    }
+    let json = serde_json::to_string_pretty(report).expect("serialize bench report");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
 
 /// One measured ingest run of the S3 experiment.
 struct IngestRun {
@@ -824,8 +838,7 @@ fn s3(report: &mut BenchReport) {
         }
     }
 
-    let json = serde_json::to_string_pretty(&s3_report).expect("serialize S3 report");
-    std::fs::write(S3_JSON, json).expect("write BENCH_s3.json");
+    write_report(S3_JSON, &s3_report);
     println!("(batched-ingest results written to {S3_JSON})");
     println!("(group commit coalesces N inserts into one journal transaction; the buffer");
     println!(" cache absorbs the re-reads of hot directory blocks, so ingest throughput");
@@ -834,7 +847,7 @@ fn s3(report: &mut BenchReport) {
 
 /// Where `--s4` writes its read-scaling numbers (uploaded as a CI artifact
 /// alongside `BENCH_s3.json`).
-const S4_JSON: &str = "BENCH_s4.json";
+const S4_JSON: &str = "reports/BENCH_s4.json";
 
 fn s4(report: &mut BenchReport) {
     use rgpdos::dbfs::QueryRequest;
@@ -1042,12 +1055,254 @@ fn s4(report: &mut BenchReport) {
     s4_report.push("s4:read-scaling", counters, 0.0);
     report.push("s4:read-scaling", counters, 0.0);
 
-    let json = serde_json::to_string_pretty(&s4_report).expect("serialize S4 report");
-    std::fs::write(S4_JSON, json).expect("write BENCH_s4.json");
+    write_report(S4_JSON, &s4_report);
     println!("(snapshot-read scaling results written to {S4_JSON})");
     println!("(readers clone the published Arc<IndexSnapshot> and never touch the index");
     println!(" lock, so the read mix scales with cores while the write mix serializes on");
     println!(" the writer-side index lock by design)\n");
+}
+
+/// Where `--gdpr` writes its per-right latency and space-amplification
+/// numbers (uploaded as a CI artifact alongside the S3/S4 reports).
+const GDPR_JSON: &str = "reports/BENCH_gdpr.json";
+
+/// Default GDPR-bench population.  Sized so the single-device backend stays
+/// well inside one table directory's entry capacity on the 2048-byte
+/// geometry; override with `RGPDOS_GDPR_RECORDS` for bigger (or CI-reduced)
+/// runs.
+const GDPR_DEFAULT_RECORDS: usize = 6_000;
+
+/// One GDPR-bench backend run: ingest a Zipf population, replay the
+/// GDPRBench role mixes, pile up tombstones with the erase-heavy mix, then
+/// scrub and report before/after space amplification.
+fn gdpr_backend<S: PdStore>(
+    backend: &str,
+    store: &S,
+    ctx: &TraceCtx,
+    records: usize,
+    report: &mut BenchReport,
+    gdpr_report: &mut BenchReport,
+) {
+    use rgpdos::crypto::escrow::{Authority, OperatorEscrow};
+    use rgpdos::workloads::SkewedPopulation;
+    use rgpdos_bench::run_gdpr_mix;
+
+    let escrow = OperatorEscrow::new(Authority::generate(0x6D).public_key());
+    store
+        .create_type(listing1_user_schema())
+        .expect("install user type");
+    let subjects = (records / 40).clamp(16, 2_048);
+    let population = SkewedPopulation::new(0x6D97, subjects, records).with_exponent(1.0);
+    let start = Instant::now();
+    let ids = store
+        .collect_many(&rgpdos::core::DataTypeId::from("user"), population.rows())
+        .expect("gdpr ingest");
+    assert_eq!(ids.len(), records);
+    let ingest_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let subject_list: Vec<SubjectId> = (0..subjects as u64).map(SubjectId::new).collect();
+
+    // Role mixes at the ingest skew, then the erase-heavy burst that the
+    // scrubber experiment measures.  Two erase-heavy ops per subject erase
+    // (almost) the whole resident population subject by subject.
+    let mixes = [
+        ("controller", WorkloadMix::controller(), subjects * 2),
+        ("customer", WorkloadMix::customer(), subjects * 2),
+        ("regulator", WorkloadMix::regulator(), subjects),
+        ("erase-heavy", WorkloadMix::erase_heavy(), subjects * 2),
+    ];
+    for (i, (mix_name, mix, ops)) in mixes.iter().enumerate() {
+        let start = Instant::now();
+        let outcome = run_gdpr_mix(
+            store,
+            ctx,
+            mix_name,
+            mix,
+            &subject_list,
+            &escrow,
+            *ops,
+            BENCH_SEED ^ i as u64,
+        );
+        let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        println!(
+            "{backend}, {mix_name}, ops={}, failures={}, wall_ms={wall_ms:.1}",
+            outcome.operations, outcome.failures
+        );
+        let counters = [
+            ("ops", outcome.operations as f64),
+            ("failures", outcome.failures as f64),
+            ("records", records as f64),
+            ("subjects", subjects as f64),
+            ("ingest_ms", ingest_ms),
+        ];
+        let scenario = format!("gdpr:mix:{backend}:{mix_name}");
+        gdpr_report.push(scenario.clone(), counters, wall_ms);
+        report.push(scenario, counters, wall_ms);
+    }
+    store
+        .verify_index_invariants()
+        .expect("indexes consistent after the mixes");
+
+    // The tombstone pile the erase-heavy burst left behind, the scrub that
+    // compacts it, and the reclaimed steady state.
+    let before = store.space_stats().expect("space stats before scrub");
+    let start = Instant::now();
+    let scrub = store.scrub_tombstones().expect("scrub");
+    let scrub_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let after = store.space_stats().expect("space stats after scrub");
+    store
+        .verify_index_invariants()
+        .expect("indexes consistent after the scrub");
+    println!(
+        "{backend}, scrub, amplification {:.2} -> {:.2}, reclaimed={} \
+         (intent-held={}, lineage-held={}), bytes_reclaimed={}",
+        before.amplification(),
+        after.amplification(),
+        scrub.reclaimed_count(),
+        scrub.retained_intent,
+        scrub.retained_lineage,
+        scrub.bytes_reclaimed
+    );
+    // The acceptance bar of the scrubber: the erase-heavy mix must leave at
+    // least 2x space amplification for the scrub to reclaim.
+    let reclamation = before.amplification() / after.amplification().max(1.0);
+    assert!(
+        reclamation >= 2.0,
+        "{backend}: scrub must reclaim >= 2x space amplification, \
+         got {:.2} -> {:.2}",
+        before.amplification(),
+        after.amplification()
+    );
+    assert_eq!(after.tombstone_records, 0, "{backend}: tombstones remain");
+    let counters = [
+        (
+            "amplification_before_x100",
+            before.amplification_x100() as f64,
+        ),
+        (
+            "amplification_after_x100",
+            after.amplification_x100() as f64,
+        ),
+        ("tombstones_before", before.tombstone_records as f64),
+        ("tombstones_reclaimed", scrub.reclaimed_count() as f64),
+        ("retained_intent", scrub.retained_intent as f64),
+        ("retained_lineage", scrub.retained_lineage as f64),
+        ("bytes_reclaimed", scrub.bytes_reclaimed as f64),
+        ("live_records_after", after.live_records as f64),
+    ];
+    let scenario = format!("gdpr:scrub:{backend}");
+    gdpr_report.push(scenario.clone(), counters, scrub_ms);
+    report.push(scenario, counters, scrub_ms);
+
+    // Per-right latency distributions, per mix, from the attached trace.
+    println!("backend, mix, right, requests, p50_us, p99_us");
+    for (mix_name, ..) in &mixes {
+        for right in [
+            "collect",
+            "query",
+            "consent",
+            "access",
+            "portability",
+            "erasure",
+            "audit",
+        ] {
+            let Some(summary) = ctx.registry.histogram_summary(
+                "gdpr_right_latency_us",
+                &[("right", right), ("mix", mix_name)],
+            ) else {
+                continue;
+            };
+            println!(
+                "{backend}, {mix_name}, {right}, {}, {}, {}",
+                summary.count, summary.p50, summary.p99
+            );
+            let counters = [
+                ("requests", summary.count as f64),
+                ("p50_us", summary.p50 as f64),
+                ("p99_us", summary.p99 as f64),
+            ];
+            let scenario = format!("gdpr:rights:{backend}:{mix_name}:{right}");
+            gdpr_report.push(scenario.clone(), counters, 0.0);
+            report.push(scenario, counters, 0.0);
+        }
+    }
+
+    // The space gauges must also be visible on the metrics surface (the
+    // observability contract of the scrubber).
+    let (_, gauges, _) = ctx.registry.collect();
+    assert!(
+        gauges.keys().any(|k| k.starts_with("space_amplification")),
+        "{backend}: no space_amplification gauge on the trace registry"
+    );
+    assert!(
+        gauges.keys().any(|k| k.starts_with("tombstones_reclaimed")),
+        "{backend}: no tombstones_reclaimed gauge on the trace registry"
+    );
+}
+
+fn gdpr(report: &mut BenchReport) {
+    println!("--- GDPR: GDPRbench mixes + tombstone scrub/compaction ---");
+    let records: usize = std::env::var("RGPDOS_GDPR_RECORDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(GDPR_DEFAULT_RECORDS);
+    let mut gdpr_report = BenchReport::default();
+    println!("backend, mix, outcome");
+
+    // Single-device backend, on the 2048-byte geometry the population sweep
+    // needs (one table directory holds ~25k entries there).
+    {
+        let ctx = TraceCtx::sim();
+        let device = Arc::new(InstrumentedDevice::with_trace(
+            MemDevice::new((records as u64 * 8).max(16_384), 2_048),
+            LatencyModel::nvme(),
+            &ctx,
+            "pd0",
+        ));
+        let mut params = DbfsParams::secure();
+        params.inode_params.inode_count = params
+            .inode_params
+            .inode_count
+            .max(records as u64 * 2 + 512);
+        let dbfs = Dbfs::format(device, params).expect("format gdpr store");
+        dbfs.attach_trace(&ctx);
+        gdpr_backend("dbfs", &dbfs, &ctx, records, report, &mut gdpr_report);
+    }
+
+    // Sharded backend: same total population scattered over four shards.
+    {
+        let shards = 4usize;
+        let ctx = TraceCtx::sim();
+        let devices: Vec<Arc<InstrumentedDevice<MemDevice>>> = (0..shards)
+            .map(|i| {
+                Arc::new(InstrumentedDevice::with_trace(
+                    MemDevice::new((records as u64 * 4).max(16_384), 2_048),
+                    LatencyModel::nvme(),
+                    &ctx,
+                    &format!("pd{i}"),
+                ))
+            })
+            .collect();
+        let mut params = DbfsParams::secure();
+        params.inode_params.inode_count = params
+            .inode_params
+            .inode_count
+            .max(records as u64 * 2 + 512);
+        let sharded = ShardedDbfs::format(devices, params).expect("format gdpr sharded");
+        sharded.attach_trace(&ctx);
+        gdpr_backend(
+            &format!("sharded-{shards}"),
+            &sharded,
+            &ctx,
+            records,
+            report,
+            &mut gdpr_report,
+        );
+    }
+
+    write_report(GDPR_JSON, &gdpr_report);
+    println!("(GDPR bench results written to {GDPR_JSON})");
+    println!("(per-right latency comes from the gdpr_right_latency_us histogram family;");
+    println!(" the scrub entries report space amplification before/after compaction)\n");
 }
 
 fn fig1() {

@@ -96,6 +96,12 @@ pub enum ScriptOp {
     },
     /// Retention sweep.
     Purge,
+    /// Tombstone scrub/compaction pass: reclaims every tombstone whose
+    /// erasure is durable and unreferenced.  Each reclaim is its own
+    /// committed compound transaction, so a crash at any write index of
+    /// the pass must leave a clean prefix of whole reclaims — never a
+    /// resurrected record, never a half-freed inode.
+    Scrub,
 }
 
 /// The default workload: covers insert, update, copy (including a
@@ -115,6 +121,29 @@ pub fn default_script() -> Vec<ScriptOp> {
         ScriptOp::EraseSubject { subject: 2 },
         ScriptOp::AdvanceDays { days: 40 },
         ScriptOp::Purge,
+    ]
+}
+
+/// The scrubber workload: builds up lineage (including a copy chain the
+/// scrubber must reclaim child-first), erases into a tombstone pile,
+/// compacts, keeps mutating on the compacted store, erases and compacts
+/// again.  Swept against both backends, this crashes at every write index
+/// *inside* a compaction pass.
+pub fn scrub_script() -> Vec<ScriptOp> {
+    vec![
+        ScriptOp::Insert { subject: 1 },
+        ScriptOp::Insert { subject: 2 },
+        ScriptOp::Insert { subject: 3 },
+        ScriptOp::Copy { pick: 0 },
+        ScriptOp::Copy { pick: 3 },
+        ScriptOp::Erase { pick: 0 },
+        ScriptOp::EraseSubject { subject: 2 },
+        ScriptOp::Scrub,
+        ScriptOp::Insert { subject: 4 },
+        ScriptOp::SetTtlDays { pick: 2, days: 10 },
+        ScriptOp::AdvanceDays { days: 20 },
+        ScriptOp::Purge,
+        ScriptOp::Scrub,
     ]
 }
 
@@ -155,10 +184,11 @@ pub fn scripted_ops(seed: u64, len: usize) -> Vec<ScriptOp> {
     };
     let mut ops = Vec::with_capacity(len);
     for _ in 0..len {
-        let op = match next() % 10 {
+        let op = match next() % 11 {
             0..=2 => ScriptOp::Insert {
                 subject: next() % 4,
             },
+            9 => ScriptOp::Scrub,
             3 => ScriptOp::Update {
                 pick: (next() % 251) as u8,
             },
@@ -197,8 +227,17 @@ struct Shadow {
     ids: Vec<PdId>,
     /// Every id an erasure / sweep *reported* tombstoned before the crash.
     erased: BTreeSet<PdId>,
-    /// Subjects whose subject-wide erasure completed before the crash.
+    /// Subjects whose subject-wide erasure completed before the crash and
+    /// that were not legitimately re-collected afterwards.
     erased_subjects: BTreeSet<SubjectId>,
+    /// Every id a completed scrub *reported* reclaimed before the crash:
+    /// these must stay gone after recovery.
+    reclaimed: BTreeSet<PdId>,
+    /// Whether any scrub pass *started* before the crash.  A crash
+    /// mid-scrub can durably reclaim tombstones the interrupted call never
+    /// reported, so "erased id is gone" is only legitimate once this is
+    /// set.
+    scrub_started: bool,
 }
 
 /// The machine-readable outcome of one sweep (uploaded as a CI artifact).
@@ -335,9 +374,20 @@ fn replay<S: PdStore>(
     for op in script {
         match *op {
             ScriptOp::Insert { subject } => {
+                let subject = SubjectId::new(subject);
                 let result = store
-                    .collect(user, SubjectId::new(subject), sample_row("scripted"))
+                    .collect(user, subject, sample_row("scripted"))
                     .map(Some);
+                // A fresh collection for a previously erased subject is a
+                // new processing ground, not a survivor of the old erasure,
+                // so the subject-wide check no longer applies (the erased
+                // ids themselves stay covered individually).  A
+                // crash-interrupted collect counts too: the record is
+                // durable iff the crash hit after its journal commit, which
+                // the shadow cannot observe.
+                if !matches!(result, Err(ref e) if is_expected_refusal(e)) {
+                    shadow.erased_subjects.remove(&subject);
+                }
                 filter(&mut shadow.ids, result)?;
             }
             ScriptOp::InsertMany {
@@ -347,7 +397,18 @@ fn replay<S: PdStore>(
                 let rows: Vec<(SubjectId, Row)> = (0..u64::from(count))
                     .map(|i| (SubjectId::new(base_subject + i % 3), sample_row("batched")))
                     .collect();
-                match store.collect_many(user, rows) {
+                let result = store.collect_many(user, rows);
+                // As for `Insert`: a batch (even one interrupted by the
+                // crash, which may leave a committed prefix) revives its
+                // subjects for the subject-wide erasure check.
+                if !matches!(result, Err(ref e) if is_expected_refusal(e)) {
+                    for i in 0..u64::from(count) {
+                        shadow
+                            .erased_subjects
+                            .remove(&SubjectId::new(base_subject + i % 3));
+                    }
+                }
+                match result {
                     // Only a fully returned batch enters the shadow: a
                     // crash mid-batch may leave a committed prefix the
                     // shadow does not know about, which the decode-all and
@@ -412,6 +473,15 @@ fn replay<S: PdStore>(
                 Err(e) if is_expected_refusal(&e) => {}
                 Err(e) => return Err(ReplayFailure::Unexpected(e)),
             },
+            ScriptOp::Scrub => {
+                shadow.scrub_started = true;
+                match store.scrub_tombstones() {
+                    Ok(scrub) => shadow.reclaimed.extend(scrub.reclaimed),
+                    Err(e) if is_crash(&e) => return Err(ReplayFailure::Crash(e)),
+                    Err(e) if is_expected_refusal(&e) => {}
+                    Err(e) => return Err(ReplayFailure::Unexpected(e)),
+                }
+            }
         }
     }
     Ok(())
@@ -438,12 +508,31 @@ fn check_recovered<S: PdStore>(
     if let Err(e) = store.verify_index_invariants() {
         violations.push(format!("index invariants violated after remount: {e}"));
     }
-    // No erased id is ever live again.
+    // No erased id is ever live again.  Once a scrub pass started, an
+    // erased id may legitimately be *gone* (each reclaim commits its own
+    // compound transaction, so an interrupted pass leaves a clean prefix of
+    // whole reclaims) — but it must never be live.
     for &id in &shadow.erased {
         match store.load_membrane(user, id) {
             Ok(membrane) if membrane.is_erased() => {}
             Ok(_) => violations.push(format!("{id} was erased before the crash but is live")),
+            Err(DbfsError::UnknownPd { .. }) if shadow.scrub_started => {}
             Err(e) => violations.push(format!("{id} was erased before the crash but is gone: {e}")),
+        }
+    }
+    // A reclaim a completed scrub reported is durable: the id must stay
+    // gone — neither a live record (resurrection) nor a reappeared
+    // tombstone (a half-undone compound transaction).
+    for &id in &shadow.reclaimed {
+        match store.load_membrane(user, id) {
+            Err(DbfsError::UnknownPd { .. }) => {}
+            Ok(membrane) if membrane.is_erased() => violations.push(format!(
+                "{id} was reclaimed before the crash but its tombstone reappeared"
+            )),
+            Ok(_) => violations.push(format!(
+                "{id} was reclaimed before the crash but resurrected live"
+            )),
+            Err(e) => violations.push(format!("{id} was reclaimed but probing it failed: {e}")),
         }
     }
     // No half-written record is visible: every record, tombstones included,
@@ -877,15 +966,18 @@ pub fn sweep_migration() -> SweepReport {
 
 /// Runs the full crash-matrix: the default single-store sweep, a seeded
 /// pseudo-random single-store sweep, the **batched** (group-commit)
-/// single-store and sharded sweeps, the sharded whole-machine sweep and
-/// the migration sweep.
+/// single-store and sharded sweeps, the **scrubber** (tombstone
+/// compaction) single-store and sharded sweeps, the sharded whole-machine
+/// sweep and the migration sweep.
 pub fn run_all(seed: u64) -> Vec<SweepReport> {
     vec![
         sweep_dbfs("dbfs", &default_script()),
         sweep_dbfs("dbfs-seeded", &scripted_ops(seed, 10)),
         sweep_dbfs("dbfs-batched", &batched_script()),
+        sweep_dbfs("dbfs-scrub", &scrub_script()),
         sweep_sharded("sharded", &default_script(), 3),
         sweep_sharded("sharded-batched", &batched_script(), 2),
+        sweep_sharded("sharded-scrub", &scrub_script(), 2),
         sweep_migration(),
     ]
 }
@@ -944,6 +1036,35 @@ mod tests {
         assert!(
             report.passed(),
             "batched sweep violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn scrub_script_compacts_twice_over_lineage() {
+        let script = scrub_script();
+        assert_eq!(
+            script
+                .iter()
+                .filter(|op| matches!(op, ScriptOp::Scrub))
+                .count(),
+            2
+        );
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Copy { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Erase { .. })));
+        assert!(script.iter().any(|op| matches!(op, ScriptOp::Purge)));
+    }
+
+    #[test]
+    fn scrub_sweep_passes() {
+        // The acceptance gate of the compactor: a crash at every write
+        // index of a scrub pass recovers with zero violations — no
+        // resurrected record, no reappeared tombstone, no leaked block.
+        let report = sweep_dbfs("dbfs-scrub", &scrub_script());
+        assert!(report.crash_points > 0);
+        assert!(
+            report.passed(),
+            "scrub sweep violations: {:?}",
             report.violations
         );
     }

@@ -399,6 +399,11 @@ pub fn run_mix_on_rgpdos(scenario: &RgpdOsScenario, mix: &WorkloadMix, ops: usiz
                 // been erased earlier in the stream.
                 Err(_) => Ok(()),
             },
+            OperationKind::Portability => match scenario.os.right_to_portability(subject) {
+                Ok(_) => Ok(()),
+                // As for access: an erased subject has nothing to export.
+                Err(_) => Ok(()),
+            },
             OperationKind::Erasure => scenario
                 .os
                 .right_to_be_forgotten(subject)
@@ -451,7 +456,7 @@ pub fn run_mix_on_baseline(
                     .set_consent(subject, &"newsletter".into(), true);
                 true
             }
-            OperationKind::AccessRequest | OperationKind::Audit => {
+            OperationKind::AccessRequest | OperationKind::Portability | OperationKind::Audit => {
                 scenario.engine.export_subject(subject).is_ok()
             }
             OperationKind::Erasure => {
@@ -461,6 +466,127 @@ pub fn run_mix_on_baseline(
                     erased.push(record);
                     scenario.engine.delete("user", record).is_ok()
                 }
+            }
+        };
+        if !ok {
+            outcome.failures += 1;
+        }
+    }
+    outcome
+}
+
+/// Replays a GDPRBench-style mix at Zipf skew **directly against a
+/// [`PdStore`]** (single-device or sharded), timing every operation into the
+/// `gdpr_right_latency_us` histogram family of `ctx` — one series per
+/// `(right, mix)` label pair, so the `--gdpr` experiment can report p50/p99
+/// per right.  Subjects are drawn with the same skew the population was
+/// ingested with: the hottest subjects receive most of the rights traffic,
+/// the realistic worst case for erasure (their lineage is the widest).
+///
+/// Rights map onto the store surface as follows: access →
+/// [`PdStore::records_of_subject`], portability → a subject-pinned query
+/// (the machine-readable export), erasure → [`PdStore::erase_subject`],
+/// reads/updates/invokes/audits → membrane loads, consent deltas, full-table
+/// queries and audit-log sweeps (the controller/regulator traffic).
+///
+/// # Panics
+///
+/// Panics when the mix requests an operation on an empty subject universe.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gdpr_mix<S: rgpdos::dbfs::PdStore>(
+    store: &S,
+    ctx: &rgpdos::trace::TraceCtx,
+    mix_name: &str,
+    mix: &WorkloadMix,
+    subjects: &[SubjectId],
+    escrow: &rgpdos::crypto::escrow::OperatorEscrow,
+    ops: usize,
+    seed: u64,
+) -> MixOutcome {
+    use rgpdos::dbfs::QueryRequest;
+    assert!(
+        !subjects.is_empty(),
+        "the GDPR mix needs subjects to target"
+    );
+    let user = DataTypeId::from("user");
+    let stream = mix.generate(ops, seed);
+    let timer = |right: &str| {
+        ctx.registry
+            .histogram_with(
+                "gdpr_right_latency_us",
+                &[("right", right), ("mix", mix_name)],
+            )
+            .timer(&ctx.clock)
+    };
+    let mut outcome = MixOutcome {
+        operations: ops,
+        failures: 0,
+    };
+    let mut next_fresh = 10_000_000u64;
+    for (i, op) in stream.iter().enumerate() {
+        // Walking the skew-ordered subject list reproduces the Zipf draw the
+        // population was generated with.
+        let subject = subjects[(i * 31 + 17) % subjects.len()];
+        let ok = match op {
+            OperationKind::Collect => {
+                next_fresh += 1;
+                let _t = timer("collect");
+                store
+                    .collect(
+                        &user,
+                        SubjectId::new(next_fresh),
+                        rgpdos::core::Row::new()
+                            .with("name", format!("gdpr-{next_fresh}"))
+                            .with("pwd", "pw")
+                            .with("year_of_birthdate", 1975i64),
+                    )
+                    .is_ok()
+            }
+            OperationKind::Read => {
+                let _t = timer("query");
+                store.load_membranes_for_subject(&user, subject).is_ok()
+            }
+            OperationKind::Update | OperationKind::ConsentChange => {
+                let ids = store
+                    .load_membranes_for_subject(&user, subject)
+                    .unwrap_or_default();
+                let _t = timer("consent");
+                match ids.iter().find(|(_, m)| !m.is_erased()) {
+                    Some((id, _)) => store
+                        .apply_membrane_delta(
+                            &user,
+                            *id,
+                            &MembraneDelta::Grant {
+                                purpose: BENCH_PURPOSE.into(),
+                                decision: rgpdos::core::ConsentDecision::All,
+                            },
+                        )
+                        .is_ok(),
+                    // Nothing left to re-consent once the subject is erased.
+                    None => true,
+                }
+            }
+            OperationKind::Invoke => {
+                let _t = timer("query");
+                store.query(&QueryRequest::all("user")).is_ok()
+            }
+            OperationKind::AccessRequest => {
+                let _t = timer("access");
+                store.records_of_subject(subject).is_ok()
+            }
+            OperationKind::Portability => {
+                let _t = timer("portability");
+                store
+                    .query(&QueryRequest::all("user").for_subject(subject))
+                    .is_ok()
+            }
+            OperationKind::Erasure => {
+                let _t = timer("erasure");
+                store.erase_subject(subject, escrow).is_ok()
+            }
+            OperationKind::Audit => {
+                let _t = timer("audit");
+                store.audit().count_matching(|_| true) > 0
             }
         };
         if !ok {

@@ -1,0 +1,253 @@
+//! Model-checked suite for the tombstone scrubber/compactor.
+//!
+//! The scrubber reclaims tombstones whose erasure is durable: it frees the
+//! tombstone's blocks and removes its index entries under the index lock,
+//! then publishes a fresh snapshot.  Two protocols keep that safe against
+//! concurrent traffic, and both are distilled and explored exhaustively
+//! here:
+//!
+//! 1. **Reclaim vs snapshot reader**: a reader that resolved a tombstone's
+//!    location from an older published snapshot reads the device with zero
+//!    locks held.  If the scrubber reclaims the tombstone and a later
+//!    insert reuses the freed block, the post-read epoch re-validation
+//!    (the same check `Dbfs::get` runs for erasures) must turn the read
+//!    into a refusal — never serve the fresh record's bytes under the
+//!    reclaimed id.
+//! 2. **Reclaim vs in-flight eraser**: a routed erasure parks a durable
+//!    `EraseIntent` naming its targets before tombstoning them and clears
+//!    it after.  The scrubber must skip tombstones named by a pending
+//!    intent — reclaiming one mid-erasure would leave the intent (and its
+//!    crash recovery) pointing at an id that no longer exists.
+
+use parking_lot::{Mutex, RwLock};
+use rgpdos_conc::{spawn, Checker, FailureKind};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Model 1: reclaimed-block reuse vs an epoch-stamped tombstone read
+// ---------------------------------------------------------------------
+
+/// The tombstone's escrowed ciphertext, stored in block 0 at the start of
+/// every run.
+const CIPHER: u8 = 0x33;
+/// A fresh record's plaintext, written into block 0 after the reclaim
+/// frees it.
+const REUSED: u8 = 0x77;
+
+const ID_T: u8 = 1;
+const ID_B: u8 = 2;
+
+/// The read-relevant slice of the index: `id -> (block, erased)`.
+#[derive(Clone)]
+struct Snap {
+    epoch: u64,
+    records: BTreeMap<u8, (usize, bool)>,
+}
+
+/// Writer-side state behind the index lock; `publish` mirrors
+/// `Dbfs::publish_locked`.
+struct Index {
+    epoch: u64,
+    records: BTreeMap<u8, (usize, bool)>,
+}
+
+type Slot = Arc<RwLock<Arc<Snap>>>;
+
+fn publish(index: &mut Index, slot: &Slot) {
+    index.epoch += 1;
+    *slot.write() = Arc::new(Snap {
+        epoch: index.epoch,
+        records: index.records.clone(),
+    });
+}
+
+/// A tombstone read in miniature: tombstones stay readable as ciphertext
+/// until reclaimed, so the reader resolves the location from its snapshot,
+/// reads the device unlocked, and (when `fixed`) re-validates against the
+/// current epoch — a reclaimed id turns into a refusal instead of whatever
+/// bytes now live in the reused block.
+fn tombstone_get(slot: &Slot, device: &Mutex<u8>, id: u8, fixed: bool) -> Result<u8, &'static str> {
+    let snap = Arc::clone(&slot.read());
+    let &(block, _erased) = snap.records.get(&id).ok_or("unknown")?;
+    debug_assert_eq!(block, 0, "the model has one block");
+    let byte = *device.lock();
+    if fixed {
+        let current = Arc::clone(&slot.read());
+        if current.epoch != snap.epoch && !current.records.contains_key(&id) {
+            return Err("reclaimed");
+        }
+    }
+    Ok(byte)
+}
+
+/// One tombstone reader racing a scrub-then-reuse writer.  The invariant:
+/// the read either returns the tombstone's own ciphertext or reports the
+/// reclaim — it must never surface the fresh record's bytes.
+fn reclaimed_reuse_model(fixed: bool) {
+    let slot: Slot = Arc::new(RwLock::new(Arc::new(Snap {
+        epoch: 0,
+        records: BTreeMap::from([(ID_T, (0, true))]),
+    })));
+    let index = Arc::new(Mutex::new(Index {
+        epoch: 0,
+        records: BTreeMap::from([(ID_T, (0, true))]),
+    }));
+    let device = Arc::new(Mutex::new(CIPHER));
+
+    let (s, d) = (Arc::clone(&slot), Arc::clone(&device));
+    let reader = spawn(move || {
+        if let Ok(byte) = tombstone_get(&s, &d, ID_T, fixed) {
+            assert_eq!(
+                byte, CIPHER,
+                "reclaimed block reuse leaked fresh bytes under a tombstone id: {byte:#04x}"
+            );
+        }
+    });
+    let (s, i, d) = (Arc::clone(&slot), Arc::clone(&index), Arc::clone(&device));
+    let scrubber = spawn(move || {
+        // Reclaim the tombstone: drop its index entries and publish, all
+        // under the index lock (the compound transaction freeing the inode
+        // commits before the entries go).
+        {
+            let mut index = i.lock();
+            index.records.remove(&ID_T);
+            publish(&mut index, &s);
+        }
+        // A later insert reuses the freed block for a fresh record.
+        {
+            let mut index = i.lock();
+            *d.lock() = REUSED;
+            index.records.insert(ID_B, (0, false));
+            publish(&mut index, &s);
+        }
+    });
+    reader.join();
+    scrubber.join();
+}
+
+#[test]
+fn revalidated_tombstone_read_never_serves_reclaimed_blocks() {
+    let report = Checker::dfs().check(|| reclaimed_reuse_model(true));
+    assert!(report.complete, "the model must be exhausted");
+    assert!(
+        report.executions >= 20,
+        "{} interleavings",
+        report.executions
+    );
+}
+
+/// Mutation: dropping the post-read re-validation lets the checker find
+/// the reuse interleaving (reader resolves the tombstone's block, the
+/// scrubber reclaims it and a fresh insert reuses the block, the reader
+/// returns the fresh bytes under the reclaimed id).
+#[test]
+fn checker_finds_the_reused_block_without_revalidation() {
+    let report = Checker::dfs().run(|| reclaimed_reuse_model(false));
+    let failure = report.failure.expect("the unvalidated read must be caught");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("reclaimed block reuse leaked"),
+        "{}",
+        failure.message
+    );
+
+    // The leak is replayable from its recorded schedule.
+    let schedule = failure.schedule.clone();
+    let replayed = std::panic::catch_unwind(move || {
+        Checker::replay(&schedule, || reclaimed_reuse_model(false))
+    });
+    assert!(replayed.is_err(), "replay must reproduce the leak");
+}
+
+// ---------------------------------------------------------------------
+// Model 2: scrubber vs an in-flight two-phase erasure
+// ---------------------------------------------------------------------
+
+/// The store state the intent protocol guards: the pending-intent flag
+/// (phase 1 of a routed erasure) and the tombstone the erasure produces.
+struct ErasureState {
+    /// A durable `EraseIntent` naming `ID_T` is parked and not yet cleared.
+    intent_pending: bool,
+    /// The tombstone for `ID_T` still exists (not reclaimed).
+    tombstone_exists: bool,
+}
+
+/// An eraser running the two-phase protocol against a concurrent scrubber.
+/// The invariant: when the eraser comes back to clear its intent, the
+/// tombstone the intent names must still exist — intent recovery replays
+/// pending intents on remount, and a reclaimed target would make that
+/// replay dangle.
+fn intent_race_model(fixed: bool) {
+    let state = Arc::new(Mutex::new(ErasureState {
+        intent_pending: false,
+        tombstone_exists: false,
+    }));
+
+    let s = Arc::clone(&state);
+    let eraser = spawn(move || {
+        // Phase 1: park the durable intent, then tombstone the target.
+        {
+            let mut state = s.lock();
+            state.intent_pending = true;
+        }
+        {
+            let mut state = s.lock();
+            state.tombstone_exists = true;
+        }
+        // Phase 2: clear the intent — the target must still be there.
+        {
+            let mut state = s.lock();
+            assert!(
+                state.tombstone_exists,
+                "a pending erase intent names a reclaimed tombstone"
+            );
+            state.intent_pending = false;
+        }
+    });
+    let s = Arc::clone(&state);
+    let scrubber = spawn(move || {
+        let mut state = s.lock();
+        // The fixed scrubber reads the pending-intent set under the same
+        // lock and skips every tombstone a pending intent names.
+        let eligible = state.tombstone_exists && (!fixed || !state.intent_pending);
+        if eligible {
+            state.tombstone_exists = false;
+        }
+    });
+    eraser.join();
+    scrubber.join();
+}
+
+#[test]
+fn scrubber_skips_tombstones_named_by_pending_intents() {
+    let report = Checker::dfs().check(|| intent_race_model(true));
+    assert!(report.complete, "the model must be exhausted");
+    assert!(
+        report.executions >= 5,
+        "{} interleavings",
+        report.executions
+    );
+}
+
+/// Mutation: a scrubber that ignores the pending-intent set reclaims the
+/// tombstone between the erasure's two phases, and the checker catches the
+/// eraser clearing an intent that names a vanished id.
+#[test]
+fn checker_finds_the_reclaim_racing_an_intent() {
+    let report = Checker::dfs().run(|| intent_race_model(false));
+    let failure = report.failure.expect("the intent race must be caught");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure
+            .message
+            .contains("pending erase intent names a reclaimed tombstone"),
+        "{}",
+        failure.message
+    );
+
+    let schedule = failure.schedule.clone();
+    let replayed =
+        std::panic::catch_unwind(move || Checker::replay(&schedule, || intent_race_model(false)));
+    assert!(replayed.is_err(), "replay must reproduce the race");
+}

@@ -67,6 +67,14 @@ pub enum AuditEventKind {
         /// The purpose whose consent changed.
         purpose: PurposeId,
     },
+    /// A tombstone's remaining on-disk footprint was reclaimed by the
+    /// scrubber once its erasure receipt was durable.  The crypto-erasure
+    /// already destroyed the key at [`AuditEventKind::Erased`] time; this
+    /// event marks the later, purely spatial compaction step.
+    Reclaimed {
+        /// The reclaimed (already-erased) item.
+        pd: PdId,
+    },
     /// A subject exercised the right of access; an export was produced.
     AccessRequestServed,
     /// An enforcement violation was blocked (direct DBFS access, forbidden
@@ -102,6 +110,7 @@ impl fmt::Display for AuditEventKind {
             AuditEventKind::ConsentChanged { pd, purpose } => {
                 write!(f, "consent changed on {pd} for {purpose}")
             }
+            AuditEventKind::Reclaimed { pd } => write!(f, "reclaimed {pd}"),
             AuditEventKind::AccessRequestServed => f.write_str("access request served"),
             AuditEventKind::ViolationBlocked { description } => {
                 write!(f, "violation blocked: {description}")

@@ -25,6 +25,7 @@
 
 use crate::error::DbfsError;
 use crate::query::QueryRequest;
+use crate::scrub::{ScrubReport, SpaceGauges, SpaceStats};
 use crate::stats::{DbfsStats, DbfsStatsInner};
 use parking_lot::{Mutex, RwLock};
 use rgpdos_blockdev::BlockDevice;
@@ -627,6 +628,11 @@ pub struct Dbfs<D> {
     /// never appear in this tally — the `--s4` bench asserts the delta
     /// stays zero across its read phase.
     index_lock_holds: std::sync::atomic::AtomicU64,
+    /// Space-accounting gauges (`space_amplification`,
+    /// `tombstones_reclaimed`), refreshed by [`Dbfs::space_stats`] and every
+    /// scrub pass.  `Arc`'d so gauge closures observe them without
+    /// borrowing `self` — and without any device I/O.
+    space: Arc<SpaceGauges>,
     /// Per-operation latency instrumentation, installed by
     /// [`Dbfs::attach_trace`].  `None` (the default) costs one uncontended
     /// lock per public operation and nothing else.
@@ -751,6 +757,7 @@ impl<D: BlockDevice> Dbfs<D> {
             audit,
             stats: DbfsStatsInner::default(),
             index_lock_holds: std::sync::atomic::AtomicU64::new(0),
+            space: Arc::new(SpaceGauges::default()),
             trace: Mutex::new(None),
         })
     }
@@ -1055,6 +1062,7 @@ impl<D: BlockDevice> Dbfs<D> {
             audit,
             stats,
             index_lock_holds: std::sync::atomic::AtomicU64::new(0),
+            space: Arc::new(SpaceGauges::default()),
             trace: Mutex::new(None),
         };
         // Complete any local erase cascade a crash interrupted beyond the
@@ -1104,6 +1112,20 @@ impl<D: BlockDevice> Dbfs<D> {
             let published_at = snapshot.read().published_at;
             i64::try_from(clock.now().since(published_at).as_secs()).unwrap_or(i64::MAX)
         });
+        // Space lifecycle: amplification as measured by the last
+        // `space_stats`/scrub pass (×100 fixed point, 100 = 1.00×) and the
+        // running reclaim count.  Both read pre-computed atomics — gauge
+        // closures must never perform device I/O.
+        let space = Arc::clone(&self.space);
+        ctx.registry
+            .gauge_fn("space_amplification", labels, move || {
+                space.amplification_x100()
+            });
+        let space = Arc::clone(&self.space);
+        ctx.registry
+            .gauge_fn("tombstones_reclaimed", labels, move || {
+                i64::try_from(space.reclaimed()).unwrap_or(i64::MAX)
+            });
         *self.trace.lock() = Some(DbfsTrace::new(ctx, labels));
     }
 
@@ -2618,6 +2640,227 @@ impl<D: BlockDevice> Dbfs<D> {
     }
 
     // ------------------------------------------------------------------
+    // Tombstone scrubbing / space reclamation
+    // ------------------------------------------------------------------
+
+    /// Measures the store's space footprint: live versus tombstone record
+    /// bytes (from the record inodes' on-disk sizes) plus the device's
+    /// allocated-block count.  Also refreshes the `space_amplification`
+    /// gauge.
+    ///
+    /// Sizes resolve against the published snapshot with no index lock
+    /// held; a record reclaimed concurrently is simply skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn space_stats(&self) -> Result<SpaceStats, DbfsError> {
+        let snapshot = self.read_snapshot();
+        let mut stats = SpaceStats::default();
+        for loc in snapshot.records.values() {
+            let bytes = match self.fs.stat(loc.ino) {
+                Ok(inode) => inode.size,
+                // Reclaimed between the snapshot and this stat.
+                Err(rgpdos_inode::InodeError::BadInode { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if loc.erased {
+                stats.tombstone_records += 1;
+                stats.tombstone_bytes += bytes;
+            } else {
+                stats.live_records += 1;
+                stats.live_bytes += bytes;
+            }
+        }
+        stats.allocated_blocks = self.fs.allocated_blocks();
+        self.space
+            .set_amplification_x100(stats.amplification_x100());
+        Ok(stats)
+    }
+
+    /// Tombstones reclaimed by scrub passes since format/mount (the
+    /// `tombstones_reclaimed` gauge).
+    pub fn tombstones_reclaimed(&self) -> u64 {
+        self.space.reclaimed()
+    }
+
+    /// One scrub pass with no extra retention policy: reclaims every
+    /// tombstone not referenced by a pending erase intent, children before
+    /// parents (see [`Dbfs::scrub_tombstones_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn scrub_tombstones(&self) -> Result<ScrubReport, DbfsError> {
+        self.scrub_tombstones_with(|_| true)
+    }
+
+    /// One scrub pass: reclaims the on-disk footprint of tombstones whose
+    /// erasure receipt is durable.  `reclaimable` is the caller's extra
+    /// retention policy — routing layers pass a predicate that retains
+    /// tombstones the cross-shard lineage directory still references.
+    ///
+    /// For every reclaimed tombstone, both tree entries are unlinked and
+    /// the record inode is freed (zeroed under `secure_free`, so the
+    /// escrowed ciphertext leaves no residue) in **one** compound
+    /// transaction — a crash at any write index leaves either the whole
+    /// tombstone or none of it, and the next mount simply no longer indexes
+    /// it.  Skipped, in order of precedence:
+    ///
+    /// * tombstones named by a **pending [`EraseIntent`]** (counted in
+    ///   [`ScrubReport::retained_intent`]): the erasure protocol has not
+    ///   confirmed them durable everywhere;
+    /// * tombstones `reclaimable` refuses, and tombstones that still have
+    ///   copies in the reverse-lineage index (both counted in
+    ///   [`ScrubReport::retained_lineage`]).  Reclamation is strictly
+    ///   child-before-parent — iterated to fixpoint, so a fully erased copy
+    ///   chain is reclaimed whole in one pass, deepest copies first.
+    ///
+    /// Each reclamation is audited as an
+    /// [`AuditEventKind::Reclaimed`] event after its commit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors; tombstones reclaimed before the failure
+    /// stay reclaimed (each was individually atomic).
+    pub fn scrub_tombstones_with(
+        &self,
+        reclaimable: impl Fn(PdId) -> bool,
+    ) -> Result<ScrubReport, DbfsError> {
+        let mut report = ScrubReport::default();
+        let done = {
+            let mut index = self.lock_index();
+            // Tombstones named by a pending intent are still part of an
+            // in-flight erasure (a chunked local cascade or a routed
+            // cross-shard erasure): never reclaim them.
+            let pending: BTreeSet<PdId> = match index.intents_ino {
+                Some(ino) => self
+                    .read_intents(ino)?
+                    .pending
+                    .iter()
+                    .flat_map(|(_, intent)| intent.targets.iter().map(|(_, raw)| PdId::new(*raw)))
+                    .collect(),
+                None => BTreeSet::new(),
+            };
+            let mut blocked = 0usize;
+            let mut queue: Vec<PdId> = Vec::new();
+            for (&id, _) in index.records.iter().filter(|(_, loc)| loc.erased) {
+                report.scanned_tombstones += 1;
+                if pending.contains(&id) {
+                    report.retained_intent += 1;
+                } else if !reclaimable(id) {
+                    blocked += 1;
+                } else {
+                    queue.push(id);
+                }
+            }
+            let mut done: Vec<(PdId, SubjectId)> = Vec::new();
+            // Child-before-parent, iterated to fixpoint: a tombstone is
+            // only reclaimed once nothing references it as its lineage
+            // original, so the reverse-lineage index never dangles.
+            loop {
+                let mut progressed = false;
+                let mut deferred = Vec::new();
+                for id in std::mem::take(&mut queue) {
+                    if index
+                        .copies_of
+                        .get(&id)
+                        .is_some_and(|copies| !copies.is_empty())
+                    {
+                        deferred.push(id);
+                        continue;
+                    }
+                    let Some(location) = index.records.get(&id).cloned() else {
+                        continue;
+                    };
+                    let bytes = self.fs.stat(location.ino)?.size;
+                    self.reclaim_locked(&mut index, id, &location)?;
+                    report.bytes_reclaimed += bytes;
+                    done.push((id, location.subject));
+                    progressed = true;
+                }
+                queue = deferred;
+                if queue.is_empty() || !progressed {
+                    break;
+                }
+            }
+            // Whatever still waits on surviving copies — or on the caller's
+            // retain policy — stays a tombstone until a later pass.
+            report.retained_lineage = blocked + queue.len();
+            report.reclaimed = done.iter().map(|(id, _)| *id).collect();
+            done
+        };
+        if !done.is_empty() {
+            self.space.add_reclaimed(done.len() as u64);
+            // Audited after the commits, outside the index lock: a crashed
+            // reclamation is never audited, mirroring erasure accounting.
+            for (id, subject) in &done {
+                self.audit.record(
+                    self.clock.now(),
+                    Some(*subject),
+                    AuditEventKind::Reclaimed { pd: *id },
+                );
+            }
+        }
+        // Refresh the amplification gauge from the post-pass footprint.
+        self.space_stats()?;
+        Ok(report)
+    }
+
+    /// Reclaims one tombstone under the index lock: one compound
+    /// transaction unlinks both tree entries and frees the record inode,
+    /// then the in-memory index drops the id (the exact reverse of
+    /// `insert_record`) and a new snapshot publishes.
+    fn reclaim_locked(
+        &self,
+        index: &mut DbfsIndex,
+        id: PdId,
+        location: &RecordLocation,
+    ) -> Result<(), DbfsError> {
+        let Some(&table_ino) = index.tables.get(&location.data_type) else {
+            return Err(DbfsError::Corrupt {
+                what: format!("tombstone {id} belongs to an unknown table"),
+            });
+        };
+        let Some(&subject_ino) = index.subjects.get(&location.subject) else {
+            return Err(DbfsError::Corrupt {
+                what: format!("tombstone {id} belongs to an unknown subject"),
+            });
+        };
+        let tx = self.fs.begin_tx();
+        self.fs.dir_remove(table_ino, &format!("pd-{}", id.raw()))?;
+        self.fs.dir_remove(
+            subject_ino,
+            &format!("{}#pd-{}", location.data_type, id.raw()),
+        )?;
+        self.fs.free_inode(location.ino)?;
+        tx.commit()?;
+        Arc::make_mut(&mut index.records).remove(&id);
+        if let Some(ids) = Arc::make_mut(&mut index.by_table).get_mut(&location.data_type) {
+            ids.remove(&id);
+        }
+        if let Some(ids) = Arc::make_mut(&mut index.by_subject).get_mut(&location.subject) {
+            ids.remove(&id);
+        }
+        if let Some(original) = location.copied_from {
+            if let Some(copies) = index.copies_of.get_mut(&original) {
+                copies.remove(&id);
+                if copies.is_empty() {
+                    index.copies_of.remove(&original);
+                }
+            }
+        }
+        index.copies_of.remove(&id);
+        // Tombstones never appear in the expiry index (`mark_erased`
+        // retires them), so nothing to undo there.  Publishing after the
+        // commit means a reader holding an older snapshot resolves the id
+        // to `Erased` via `erased_since` — a reclaimed id is never
+        // readable.
+        self.publish_locked(index);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
 
     fn locate(&self, data_type: &DataTypeId, id: PdId) -> Result<RecordLocation, DbfsError> {
         self.read_snapshot().locate(data_type, id)
@@ -3538,5 +3781,230 @@ mod tests {
             audit.count_matching(|e| matches!(e.kind, AuditEventKind::Erased { .. })) >= 2,
             "original and copy erasures are both audited"
         );
+    }
+
+    #[test]
+    fn scrub_reclaims_tombstones_and_audits_each() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(7);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let mut erased = Vec::new();
+        for i in 0..6 {
+            let id = dbfs
+                .collect(
+                    "user",
+                    SubjectId::new(i % 2),
+                    user_row(&format!("scrub-{i}"), 1980 + i as i64),
+                )
+                .unwrap();
+            if i < 4 {
+                dbfs.erase(&"user".into(), id, &escrow).unwrap();
+                erased.push(id);
+            }
+        }
+        let before = dbfs.space_stats().unwrap();
+        assert_eq!(before.tombstone_records, 4);
+        assert!(before.amplification() > 2.0);
+
+        let report = dbfs.scrub_tombstones().unwrap();
+        assert_eq!(report.scanned_tombstones, 4);
+        assert_eq!(report.reclaimed, erased);
+        assert_eq!(report.retained_intent, 0);
+        assert_eq!(report.retained_lineage, 0);
+        assert!(report.bytes_reclaimed > 0);
+
+        let after = dbfs.space_stats().unwrap();
+        assert_eq!(after.tombstone_records, 0);
+        assert_eq!(after.live_records, 2);
+        assert_eq!(after.amplification(), 1.0);
+        assert!(after.allocated_blocks < before.allocated_blocks);
+        assert_eq!(dbfs.tombstones_reclaimed(), 4);
+        assert_eq!(dbfs.count(&"user".into()), 2);
+        dbfs.verify_index_invariants().unwrap();
+
+        // Each reclamation is audited; a reclaimed id reads as unknown.
+        assert_eq!(
+            dbfs.audit()
+                .count_matching(|e| matches!(e.kind, AuditEventKind::Reclaimed { .. })),
+            4
+        );
+        for id in erased {
+            assert!(matches!(
+                dbfs.get(&"user".into(), id),
+                Err(DbfsError::UnknownPd { .. })
+            ));
+        }
+        // Idempotent: nothing left to reclaim.
+        let again = dbfs.scrub_tombstones().unwrap();
+        assert_eq!(again.reclaimed_count(), 0);
+        assert_eq!(again.scanned_tombstones, 0);
+    }
+
+    #[test]
+    fn scrub_leaves_no_tombstone_ciphertext_on_the_device() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(11);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect(
+                "user",
+                SubjectId::new(3),
+                user_row("SCRUB-TARGET-ABC", 1988),
+            )
+            .unwrap();
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        // The tombstone still holds the escrowed ciphertext on disk (the
+        // stored row is JSON, so the tombstone marker field names it).
+        assert!(!scan_for_pattern(device.as_ref(), b"__erased_ciphertext")
+            .unwrap()
+            .is_empty());
+
+        dbfs.scrub_tombstones().unwrap();
+        // After reclamation neither the plaintext nor the ciphertext
+        // survives anywhere on the raw device (zero-on-free scrubbed the
+        // tombstone blocks; the journal is scrubbed by policy).
+        assert!(scan_for_pattern(device.as_ref(), b"SCRUB-TARGET-ABC")
+            .unwrap()
+            .is_empty());
+        assert!(scan_for_pattern(device.as_ref(), b"__erased_ciphertext")
+            .unwrap()
+            .is_empty());
+        assert!(dbfs.inode_fs().leaked_data_blocks().unwrap().is_empty());
+    }
+
+    #[test]
+    fn scrub_reclaims_erased_copy_chains_child_first() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(13);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let original = dbfs
+            .collect("user", SubjectId::new(1), user_row("Chain", 1990))
+            .unwrap();
+        let copy = dbfs.copy(&"user".into(), original).unwrap();
+        let grandcopy = dbfs.copy(&"user".into(), copy).unwrap();
+        dbfs.erase(&"user".into(), original, &escrow).unwrap();
+
+        // The whole erased chain is reclaimed in one pass, children first.
+        let report = dbfs.scrub_tombstones().unwrap();
+        assert_eq!(report.reclaimed_count(), 3);
+        let order: Vec<PdId> = report.reclaimed.clone();
+        let pos = |id: PdId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(grandcopy) < pos(copy));
+        assert!(pos(copy) < pos(original));
+        dbfs.verify_index_invariants().unwrap();
+        assert_eq!(dbfs.record_counts(), (0, 0));
+    }
+
+    #[test]
+    fn scrub_retains_tombstones_named_by_pending_intents() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(17);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Held", 1991))
+            .unwrap();
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        // A routed erasure still in flight names the tombstone.
+        let token = dbfs
+            .put_erase_intent(&EraseIntent {
+                targets: vec![("user".to_owned(), id.raw())],
+                escrow_key: escrow.public_key().element(),
+                routed: true,
+            })
+            .unwrap();
+        let held = dbfs.scrub_tombstones().unwrap();
+        assert_eq!(held.reclaimed_count(), 0);
+        assert_eq!(held.retained_intent, 1);
+        // The tombstone stays readable as a tombstone while the routed
+        // erasure is in flight.
+        assert!(dbfs.get(&"user".into(), id).unwrap().membrane().is_erased());
+
+        // Once the protocol confirms and clears the intent, it reclaims.
+        dbfs.clear_erase_intent(token).unwrap();
+        let freed = dbfs.scrub_tombstones().unwrap();
+        assert_eq!(freed.reclaimed, vec![id]);
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrub_respects_the_caller_retain_policy() {
+        let dbfs = dbfs();
+        let authority = Authority::generate(19);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let keep = dbfs
+            .collect("user", SubjectId::new(1), user_row("Keep", 1990))
+            .unwrap();
+        let free = dbfs
+            .collect("user", SubjectId::new(1), user_row("Free", 1991))
+            .unwrap();
+        dbfs.erase_subject(SubjectId::new(1), &escrow).unwrap();
+        let report = dbfs.scrub_tombstones_with(|id| id != keep).unwrap();
+        assert_eq!(report.reclaimed, vec![free]);
+        assert_eq!(report.retained_lineage, 1);
+        assert!(matches!(
+            dbfs.load_membrane(&"user".into(), keep),
+            Ok(m) if m.is_erased()
+        ));
+        dbfs.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrubbed_store_survives_remount() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(23);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let gone = dbfs
+            .collect("user", SubjectId::new(1), user_row("Gone", 1990))
+            .unwrap();
+        let stays = dbfs
+            .collect("user", SubjectId::new(2), user_row("Stays", 1991))
+            .unwrap();
+        dbfs.erase(&"user".into(), gone, &escrow).unwrap();
+        dbfs.scrub_tombstones().unwrap();
+        drop(dbfs);
+
+        let remounted = Dbfs::mount(Arc::clone(&device)).unwrap();
+        assert_eq!(remounted.record_counts(), (1, 0));
+        assert!(matches!(
+            remounted.get(&"user".into(), gone),
+            Err(DbfsError::UnknownPd { .. })
+        ));
+        assert_eq!(
+            remounted.get(&"user".into(), stays).unwrap().subject(),
+            SubjectId::new(2)
+        );
+        // The healed id counter never recycles a reclaimed id.
+        let fresh = remounted
+            .collect("user", SubjectId::new(3), user_row("Fresh", 1992))
+            .unwrap();
+        assert!(fresh.raw() > stays.raw());
+        remounted.verify_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn background_scrubber_reclaims_and_stops_on_drop() {
+        let device = Arc::new(MemDevice::new(8192, 512));
+        let dbfs = Arc::new(Dbfs::format(device, DbfsParams::small()).unwrap());
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(29);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(1), user_row("Background", 1990))
+            .unwrap();
+        dbfs.erase(&"user".into(), id, &escrow).unwrap();
+        let scrubber =
+            crate::scrub::Scrubber::spawn(Arc::clone(&dbfs), std::time::Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while dbfs.tombstones_reclaimed() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(dbfs.tombstones_reclaimed(), 1);
+        assert!(scrubber.reclaimed() >= 1);
+        drop(scrubber);
+        dbfs.verify_index_invariants().unwrap();
     }
 }

@@ -85,11 +85,13 @@
 pub mod dbfs;
 pub mod error;
 pub mod query;
+pub mod scrub;
 pub mod stats;
 pub mod store;
 
 pub use dbfs::{Dbfs, DbfsParams, EraseIntent, IdAllocation, RecordSummary};
 pub use error::DbfsError;
 pub use query::{Predicate, QueryRequest};
+pub use scrub::{ScrubReport, Scrubber, SpaceStats};
 pub use stats::DbfsStats;
 pub use store::PdStore;

@@ -12,6 +12,7 @@
 
 use crate::error::DbfsError;
 use crate::query::QueryRequest;
+use crate::scrub::{ScrubReport, SpaceStats};
 use crate::stats::DbfsStats;
 use crate::Dbfs;
 use rgpdos_blockdev::BlockDevice;
@@ -270,6 +271,32 @@ pub trait PdStore: Send + Sync {
     ///
     /// Returns [`DbfsError::Corrupt`] describing the first violation.
     fn verify_index_invariants(&self) -> Result<(), DbfsError>;
+
+    /// One tombstone-scrub pass: reclaims the on-disk footprint of
+    /// tombstones whose erasure receipt is durable, never touching one
+    /// still referenced by a pending erase intent or by surviving lineage
+    /// (locally or in a routing layer's lineage directory).  The default is
+    /// a no-op pass, so minimal stores stay trivially conformant —
+    /// tombstones then simply accumulate, exactly as before scrubbing
+    /// existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    fn scrub_tombstones(&self) -> Result<ScrubReport, DbfsError> {
+        Ok(ScrubReport::default())
+    }
+
+    /// The store's space footprint: live versus tombstone record bytes and
+    /// allocated blocks (aggregated across backing instances for
+    /// partitioned stores).  The default reports an empty footprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    fn space_stats(&self) -> Result<SpaceStats, DbfsError> {
+        Ok(SpaceStats::default())
+    }
 }
 
 impl<D: BlockDevice> PdStore for Dbfs<D> {
@@ -414,6 +441,14 @@ impl<D: BlockDevice> PdStore for Dbfs<D> {
 
     fn verify_index_invariants(&self) -> Result<(), DbfsError> {
         Dbfs::verify_index_invariants(self)
+    }
+
+    fn scrub_tombstones(&self) -> Result<ScrubReport, DbfsError> {
+        Dbfs::scrub_tombstones(self)
+    }
+
+    fn space_stats(&self) -> Result<SpaceStats, DbfsError> {
+        Dbfs::space_stats(self)
     }
 }
 

@@ -173,6 +173,45 @@ impl LineageDirectory {
     pub(crate) fn erased_iter(&self) -> impl Iterator<Item = PdId> + '_ {
         self.erased.iter().copied()
     }
+
+    /// The ids that still have at least one direct copy on record — the
+    /// scrubber must not reclaim these tombstones, or the directory (and the
+    /// per-shard reverse-lineage indexes rebuilt from it) would dangle.
+    pub(crate) fn copy_sources(&self) -> BTreeSet<PdId> {
+        self.copies_of
+            .iter()
+            .filter(|(_, copies)| !copies.is_empty())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Drops every trace of reclaimed identifiers: tombstone marks, routing
+    /// entries, foreign placements and lineage edges.  Called only after the
+    /// scrubber has durably freed the tombstones on their shards, so the
+    /// monotonic-tombstone rule is not violated — the ids no longer exist
+    /// anywhere, and a fresh mount would rebuild the directory without them.
+    pub(crate) fn forget(&mut self, ids: impl IntoIterator<Item = PdId>) {
+        for id in ids {
+            self.erased.remove(&id);
+            if let Some(entry) = self.entries.remove(&id) {
+                if let Some(set) = self.foreign.get_mut(&entry.subject) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.foreign.remove(&entry.subject);
+                    }
+                }
+            }
+            if let Some(parent) = self.copied_from.remove(&id) {
+                if let Some(set) = self.copies_of.get_mut(&parent) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.copies_of.remove(&parent);
+                    }
+                }
+            }
+            self.copies_of.remove(&id);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use rgpdos_crypto::PublicKey;
 use rgpdos_dbfs::dbfs::RecordSummary;
 use rgpdos_dbfs::{
     Dbfs, DbfsError, DbfsParams, DbfsStats, EraseIntent, IdAllocation, PdStore, QueryRequest,
+    ScrubReport, SpaceStats,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -1464,6 +1465,100 @@ impl<D: BlockDevice + 'static> ShardedDbfs<D> {
         }
         Ok(())
     }
+
+    /// Space accounting aggregated across every shard (records, bytes and
+    /// allocated blocks summed; see [`SpaceStats::amplification`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn space_stats(&self) -> Result<SpaceStats, DbfsError> {
+        let mut stats = SpaceStats::default();
+        for result in self.pool.scatter(|_, dbfs| dbfs.space_stats()) {
+            stats.merge(&result?);
+        }
+        Ok(stats)
+    }
+
+    /// Total tombstones reclaimed by scrub passes since mount, summed over
+    /// the shards.
+    pub fn tombstones_reclaimed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.tombstones_reclaimed())
+            .sum()
+    }
+
+    /// Router-level scrub pass: reclaims every shard's durable tombstones,
+    /// honouring the cross-shard protocol state.  A tombstone survives the
+    /// pass while **any** shard holds a pending [`EraseIntent`] naming it
+    /// (the routed erasure may still be completing elsewhere) or while the
+    /// lineage directory records surviving copies of it (per-shard
+    /// reverse-lineage indexes rebuilt from disk must never dangle).
+    ///
+    /// Runs under the cross-shard erasure lock, in rounds: reclaiming a
+    /// leaf copy on one shard unblocks its original on another, so the pass
+    /// iterates until no shard makes progress — erased copy chains vanish
+    /// whole, children first, exactly like the per-shard fixpoint.  After
+    /// each round the reclaimed ids are forgotten by the directory; a crash
+    /// between a shard reclaim and the in-memory forget is benign, because
+    /// the directory is rebuilt from the shards' indexes at mount and the
+    /// reclaimed ids are simply absent.
+    ///
+    /// The returned report accumulates reclaims across rounds; the
+    /// `retained_*` counters describe what the *final* round left behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn scrub_tombstones(&self) -> Result<ScrubReport, DbfsError> {
+        let _serialized = self.erasures.lock();
+        let mut report = ScrubReport::default();
+        let mut first_scan: Option<usize> = None;
+        loop {
+            // Tombstones named by any shard's pending intents stay: the
+            // intent may target ids on other shards, so the guard set is
+            // gathered deployment-wide, not per shard.
+            let mut pending: BTreeSet<PdId> = BTreeSet::new();
+            for shard in &self.shards {
+                for (_, intent) in shard.pending_erase_intents()? {
+                    pending.extend(intent.targets.iter().map(|(_, raw)| PdId::new(*raw)));
+                }
+            }
+            let blocked = self.directory.lock().copy_sources();
+            let mut round = ScrubReport::default();
+            // The shard-level scrubber classifies every closure-vetoed
+            // tombstone as lineage-retained; count the vetoes that were
+            // really in-flight-intent holds so the report attributes them
+            // correctly.
+            let pending_holds = std::sync::atomic::AtomicUsize::new(0);
+            for shard in &self.shards {
+                round.merge(shard.scrub_tombstones_with(|id| {
+                    if pending.contains(&id) {
+                        pending_holds.fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    !blocked.contains(&id)
+                })?);
+            }
+            if first_scan.is_none() {
+                first_scan = Some(round.scanned_tombstones);
+            }
+            let pending_holds = pending_holds.into_inner();
+            report.retained_intent = round.retained_intent + pending_holds;
+            report.retained_lineage = round.retained_lineage.saturating_sub(pending_holds);
+            if round.reclaimed.is_empty() {
+                break;
+            }
+            self.directory
+                .lock()
+                .forget(round.reclaimed.iter().copied());
+            report.bytes_reclaimed += round.bytes_reclaimed;
+            report.reclaimed.extend(round.reclaimed);
+        }
+        report.scanned_tombstones = first_scan.unwrap_or(0);
+        Ok(report)
+    }
 }
 
 impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
@@ -1604,6 +1699,14 @@ impl<D: BlockDevice + 'static> PdStore for ShardedDbfs<D> {
 
     fn verify_index_invariants(&self) -> Result<(), DbfsError> {
         ShardedDbfs::verify_index_invariants(self)
+    }
+
+    fn scrub_tombstones(&self) -> Result<ScrubReport, DbfsError> {
+        ShardedDbfs::scrub_tombstones(self)
+    }
+
+    fn space_stats(&self) -> Result<SpaceStats, DbfsError> {
+        ShardedDbfs::space_stats(self)
     }
 
     fn attach_trace(&self, ctx: &rgpdos_trace::TraceCtx) {

@@ -554,3 +554,118 @@ fn count_surfaces_shard_divergence_instead_of_undercounting() {
     // The healthy type still counts normally.
     assert_eq!(sharded.count(&user()).unwrap(), 0);
 }
+
+#[test]
+fn scrub_reclaims_cross_shard_erased_chains_whole() {
+    let sharded = sharded(4);
+    let escrow = escrow();
+    let original = sharded
+        .collect("user", SubjectId::new(5), user_row("chain"))
+        .unwrap();
+    let copies: Vec<PdId> = (0..4)
+        .map(|_| sharded.copy(&user(), original).unwrap())
+        .collect();
+    let grandchild = sharded.copy(&user(), copies[0]).unwrap();
+    let keeper = sharded
+        .collect("user", SubjectId::new(6), user_row("keeper"))
+        .unwrap();
+    sharded.erase(&user(), original, &escrow).unwrap();
+
+    let before = sharded.space_stats().unwrap();
+    assert_eq!(before.tombstone_records, 6);
+    assert!(before.amplification() > 2.0);
+
+    // One router pass reclaims the whole erased chain, across shards: the
+    // leaf copies unblock their originals round by round.
+    let report = sharded.scrub_tombstones().unwrap();
+    assert_eq!(report.reclaimed_count(), 6);
+    assert_eq!(report.retained_intent, 0);
+    assert_eq!(report.retained_lineage, 0);
+    assert!(report.bytes_reclaimed > 0);
+    for id in copies.iter().chain([&original, &grandchild]) {
+        assert!(sharded.get(&user(), *id).is_err(), "{id} must be reclaimed");
+    }
+    assert_eq!(sharded.count(&user()).unwrap(), 1);
+    assert_eq!(sharded.tombstones_reclaimed(), 6);
+    let after = sharded.space_stats().unwrap();
+    assert_eq!(after.tombstone_records, 0);
+    assert_eq!(after.amplification(), 1.0);
+    assert!(after.allocated_blocks < before.allocated_blocks);
+    sharded.verify_index_invariants().unwrap();
+    // The keeper is untouched and a second pass finds nothing.
+    assert!(!sharded.get(&user(), keeper).unwrap().membrane().is_erased());
+    assert_eq!(sharded.scrub_tombstones().unwrap().reclaimed_count(), 0);
+}
+
+#[test]
+fn scrub_retains_tombstones_named_by_in_flight_routed_intents() {
+    let sharded = sharded(3);
+    let escrow = escrow();
+    let id = sharded
+        .collect("user", SubjectId::new(9), user_row("held"))
+        .unwrap();
+    sharded.erase(&user(), id, &escrow).unwrap();
+    // A routed erasure parked on a *different* shard still names the
+    // tombstone: the scrubber must gather intents deployment-wide.
+    let holder = (sharded.shard_of_id(id) + 1) % sharded.num_shards();
+    let token = sharded.shards()[holder]
+        .put_erase_intent(&rgpdos_dbfs::EraseIntent {
+            targets: vec![("user".to_owned(), id.raw())],
+            escrow_key: escrow.public_key().element(),
+            routed: true,
+        })
+        .unwrap();
+    let held = sharded.scrub_tombstones().unwrap();
+    assert_eq!(held.reclaimed_count(), 0);
+    assert_eq!(held.retained_intent, 1);
+    assert!(sharded.get(&user(), id).unwrap().membrane().is_erased());
+
+    sharded.shards()[holder].clear_erase_intent(token).unwrap();
+    let freed = sharded.scrub_tombstones().unwrap();
+    assert_eq!(freed.reclaimed, vec![id]);
+    sharded.verify_index_invariants().unwrap();
+}
+
+#[test]
+fn scrubbed_deployment_survives_remount_with_a_clean_directory() {
+    let devices = devices(3);
+    let escrow = escrow();
+    let (victim, keeper) = {
+        let sharded = ShardedDbfs::format(devices.clone(), DbfsParams::small()).unwrap();
+        sharded.create_type(listing1_user_schema()).unwrap();
+        let victim = sharded
+            .collect("user", SubjectId::new(50), user_row("victim"))
+            .unwrap();
+        for _ in 0..3 {
+            sharded.copy(&user(), victim).unwrap();
+        }
+        let keeper = sharded
+            .collect("user", SubjectId::new(51), user_row("keeper"))
+            .unwrap();
+        sharded.copy(&user(), keeper).unwrap();
+        sharded.erase(&user(), victim, &escrow).unwrap();
+        let report = sharded.scrub_tombstones().unwrap();
+        assert_eq!(report.reclaimed_count(), 4);
+        sharded.verify_index_invariants().unwrap();
+        (victim, keeper)
+    };
+    // The rebuilt directory has no trace of the reclaimed lineage; the
+    // surviving lineage still routes.
+    let remounted = ShardedDbfs::mount(devices).unwrap();
+    remounted.verify_index_invariants().unwrap();
+    assert_eq!(remounted.count(&user()).unwrap(), 2, "keeper + copy");
+    assert!(remounted.get(&user(), victim).is_err());
+    assert_eq!(
+        remounted
+            .records_of_subject(SubjectId::new(51))
+            .unwrap()
+            .len(),
+        2
+    );
+    assert!(!remounted
+        .get(&user(), keeper)
+        .unwrap()
+        .membrane()
+        .is_erased());
+    assert_eq!(remounted.scrub_tombstones().unwrap().reclaimed_count(), 0);
+}

@@ -24,6 +24,8 @@ pub enum OperationKind {
     Invoke,
     /// Serve a right-of-access request.
     AccessRequest,
+    /// Serve a right-to-portability request (machine-readable export).
+    Portability,
     /// Serve a right-to-be-forgotten request.
     Erasure,
     /// Record a consent change.
@@ -40,6 +42,7 @@ impl fmt::Display for OperationKind {
             OperationKind::Update => "update",
             OperationKind::Invoke => "invoke",
             OperationKind::AccessRequest => "access-request",
+            OperationKind::Portability => "portability",
             OperationKind::Erasure => "erasure",
             OperationKind::ConsentChange => "consent-change",
             OperationKind::Audit => "audit",
@@ -61,6 +64,8 @@ pub struct WorkloadMix {
     pub invoke: u32,
     /// Weight of access requests.
     pub access_request: u32,
+    /// Weight of portability requests.
+    pub portability: u32,
     /// Weight of erasures.
     pub erasure: u32,
     /// Weight of consent changes.
@@ -79,6 +84,7 @@ impl WorkloadMix {
             update: 20,
             invoke: 10,
             access_request: 2,
+            portability: 0,
             erasure: 1,
             consent_change: 2,
             audit: 0,
@@ -92,7 +98,8 @@ impl WorkloadMix {
             read: 10,
             update: 5,
             invoke: 0,
-            access_request: 40,
+            access_request: 30,
+            portability: 10,
             erasure: 20,
             consent_change: 20,
             audit: 0,
@@ -107,19 +114,38 @@ impl WorkloadMix {
             update: 0,
             invoke: 0,
             access_request: 40,
+            portability: 0,
             erasure: 0,
             consent_change: 0,
             audit: 50,
         }
     }
 
-    fn weights(&self) -> [(OperationKind, u32); 8] {
+    /// The erase-heavy mix the scrubber/compaction experiments run: a burst
+    /// of right-to-be-forgotten traffic with enough reads and exports mixed
+    /// in to keep the store's hot paths honest while tombstones pile up.
+    pub fn erase_heavy() -> Self {
+        Self {
+            collect: 10,
+            read: 10,
+            update: 0,
+            invoke: 0,
+            access_request: 10,
+            portability: 10,
+            erasure: 60,
+            consent_change: 0,
+            audit: 0,
+        }
+    }
+
+    fn weights(&self) -> [(OperationKind, u32); 9] {
         [
             (OperationKind::Collect, self.collect),
             (OperationKind::Read, self.read),
             (OperationKind::Update, self.update),
             (OperationKind::Invoke, self.invoke),
             (OperationKind::AccessRequest, self.access_request),
+            (OperationKind::Portability, self.portability),
             (OperationKind::Erasure, self.erasure),
             (OperationKind::ConsentChange, self.consent_change),
             (OperationKind::Audit, self.audit),
@@ -201,7 +227,15 @@ mod tests {
         assert_eq!(WorkloadMix::controller().total_weight(), 100);
         assert_eq!(WorkloadMix::customer().total_weight(), 100);
         assert_eq!(WorkloadMix::regulator().total_weight(), 100);
+        assert_eq!(WorkloadMix::erase_heavy().total_weight(), 100);
         assert_eq!(OperationKind::Erasure.to_string(), "erasure");
+        assert_eq!(OperationKind::Portability.to_string(), "portability");
+    }
+
+    #[test]
+    fn erase_heavy_mix_is_dominated_by_erasures() {
+        let h = histogram(&WorkloadMix::erase_heavy().generate(10_000, 3));
+        assert!(h["erasure"] > h["read"] + h["collect"] + h["portability"]);
     }
 
     #[test]
@@ -213,6 +247,7 @@ mod tests {
             update: 0,
             invoke: 0,
             access_request: 0,
+            portability: 0,
             erasure: 0,
             consent_change: 0,
             audit: 0,

@@ -366,6 +366,7 @@ enum DbfsOp {
     SetTtlDays { pick: u8, days: u64 },
     AdvanceDays { days: u64 },
     Purge,
+    Scrub,
 }
 
 fn dbfs_op_strategy() -> impl Strategy<Value = DbfsOp> {
@@ -377,6 +378,7 @@ fn dbfs_op_strategy() -> impl Strategy<Value = DbfsOp> {
         (any::<u8>(), 1u64..800).prop_map(|(pick, days)| DbfsOp::SetTtlDays { pick, days }),
         (1u64..400).prop_map(|days| DbfsOp::AdvanceDays { days }),
         proptest::strategy::Just(DbfsOp::Purge),
+        proptest::strategy::Just(DbfsOp::Scrub),
     ]
 }
 
@@ -386,7 +388,10 @@ proptest! {
     /// After an arbitrary sequence of lifecycle operations the secondary
     /// indexes (per-table, per-subject, reverse lineage, expiry) agree with
     /// the primary record map and with the membrane headers on disk — and a
-    /// remount rebuilds the same picture.
+    /// remount rebuilds the same picture.  `Scrub` interleaves tombstone
+    /// compaction anywhere in the sequence; after every pass the invariants
+    /// must hold and **no erased id may ever be readable as live data
+    /// again** — a reclaimed tombstone is gone, never resurrected.
     #[test]
     fn secondary_indexes_stay_consistent(
         ops in proptest::collection::vec(dbfs_op_strategy(), 1..40)
@@ -398,6 +403,8 @@ proptest! {
         let escrow = OperatorEscrow::new(authority.public_key());
         let user = rgpdos::core::DataTypeId::from("user");
         let mut ids: Vec<PdId> = Vec::new();
+        let mut erased: std::collections::BTreeSet<PdId> = std::collections::BTreeSet::new();
+        let mut reclaimed: std::collections::BTreeSet<PdId> = std::collections::BTreeSet::new();
         for op in ops {
             match op {
                 DbfsOp::Collect { subject } => {
@@ -409,32 +416,62 @@ proptest! {
                 }
                 DbfsOp::Copy { pick } if !ids.is_empty() => {
                     let id = ids[pick as usize % ids.len()];
-                    // Copying an erased record is (correctly) refused.
+                    // Copying an erased (or reclaimed) record is refused.
                     if let Ok(copy) = dbfs.copy(&user, id) {
                         ids.push(copy);
                     }
                 }
                 DbfsOp::Erase { pick } if !ids.is_empty() => {
                     let id = ids[pick as usize % ids.len()];
-                    dbfs.erase(&user, id, &escrow).unwrap();
+                    match dbfs.erase(&user, id, &escrow) {
+                        Ok(closure) => erased.extend(closure),
+                        // Only a reclaimed id may refuse an erasure.
+                        Err(e) => prop_assert!(
+                            reclaimed.contains(&id),
+                            "erase of {} failed: {}", id, e
+                        ),
+                    }
                 }
                 DbfsOp::EraseSubject { subject } => {
-                    dbfs.erase_subject(SubjectId::new(subject as u64), &escrow).unwrap();
+                    erased.extend(
+                        dbfs.erase_subject(SubjectId::new(subject as u64), &escrow).unwrap()
+                    );
                 }
                 DbfsOp::SetTtlDays { pick, days } if !ids.is_empty() => {
                     let id = ids[pick as usize % ids.len()];
-                    dbfs.apply_membrane_delta(
-                        &user,
-                        id,
-                        &MembraneDelta::SetTimeToLive { ttl: TimeToLive::days(days) },
-                    )
-                    .unwrap();
+                    let delta = MembraneDelta::SetTimeToLive { ttl: TimeToLive::days(days) };
+                    match dbfs.apply_membrane_delta(&user, id, &delta) {
+                        Ok(_) => {}
+                        Err(e) => prop_assert!(
+                            reclaimed.contains(&id),
+                            "ttl change of {} failed: {}", id, e
+                        ),
+                    }
                 }
                 DbfsOp::AdvanceDays { days } => {
                     dbfs.clock().advance(Duration::from_days(days));
                 }
                 DbfsOp::Purge => {
-                    dbfs.purge_expired(&escrow).unwrap();
+                    erased.extend(dbfs.purge_expired(&escrow).unwrap());
+                }
+                DbfsOp::Scrub => {
+                    let report = dbfs.scrub_tombstones().unwrap();
+                    reclaimed.extend(report.reclaimed.iter().copied());
+                    dbfs.verify_index_invariants().unwrap();
+                    // No erased id is ever readable as live data again: it
+                    // is a tombstone until reclaimed, then gone for good.
+                    for &id in &erased {
+                        match dbfs.get(&user, id) {
+                            Ok(record) => prop_assert!(
+                                record.membrane().is_erased(),
+                                "erased {} readable as live data after a scrub", id
+                            ),
+                            Err(_) => prop_assert!(
+                                reclaimed.contains(&id),
+                                "erased {} vanished without being reclaimed", id
+                            ),
+                        }
+                    }
                 }
                 // Pick-based operations on an empty store are no-ops.
                 _ => {}
@@ -446,6 +483,13 @@ proptest! {
         let remounted = Dbfs::mount(device).unwrap();
         remounted.verify_index_invariants().unwrap();
         prop_assert_eq!(remounted.count(&user), live);
+        // Reclaims survive the remount: a reclaimed id never resurrects.
+        for &id in &reclaimed {
+            prop_assert!(
+                remounted.get(&user, id).is_err(),
+                "reclaimed {} resurrected across a remount", id
+            );
+        }
     }
 }
 
@@ -462,6 +506,7 @@ enum ShardOp {
     SetTtlDays { pick: u8, days: u64 },
     AdvanceDays { days: u64 },
     Purge,
+    Scrub,
 }
 
 fn shard_op_strategy() -> impl Strategy<Value = ShardOp> {
@@ -476,6 +521,7 @@ fn shard_op_strategy() -> impl Strategy<Value = ShardOp> {
         (any::<u8>(), 1u64..800).prop_map(|(pick, days)| ShardOp::SetTtlDays { pick, days }),
         (1u64..400).prop_map(|days| ShardOp::AdvanceDays { days }),
         proptest::strategy::Just(ShardOp::Purge),
+        proptest::strategy::Just(ShardOp::Scrub),
     ]
 }
 
@@ -501,6 +547,8 @@ proptest! {
         let escrow = OperatorEscrow::new(authority.public_key());
         let user = rgpdos::core::DataTypeId::from("user");
         let mut ids: Vec<PdId> = Vec::new();
+        let mut erased: std::collections::BTreeSet<PdId> = std::collections::BTreeSet::new();
+        let mut reclaimed: std::collections::BTreeSet<PdId> = std::collections::BTreeSet::new();
         for op in ops {
             match op {
                 ShardOp::Collect { subject } => {
@@ -524,28 +572,57 @@ proptest! {
                 }
                 ShardOp::Erase { pick } if !ids.is_empty() => {
                     let id = ids[pick as usize % ids.len()];
-                    sharded.erase(&user, id, &escrow).unwrap();
+                    match sharded.erase(&user, id, &escrow) {
+                        Ok(closure) => erased.extend(closure),
+                        // Only a reclaimed id may refuse an erasure.
+                        Err(e) => prop_assert!(
+                            reclaimed.contains(&id),
+                            "erase of {} failed: {}", id, e
+                        ),
+                    }
                 }
                 ShardOp::EraseSubject { subject } => {
-                    sharded
-                        .erase_subject(SubjectId::new(subject as u64), &escrow)
-                        .unwrap();
+                    erased.extend(
+                        sharded
+                            .erase_subject(SubjectId::new(subject as u64), &escrow)
+                            .unwrap(),
+                    );
                 }
                 ShardOp::SetTtlDays { pick, days } if !ids.is_empty() => {
                     let id = ids[pick as usize % ids.len()];
-                    sharded
-                        .apply_membrane_delta(
-                            &user,
-                            id,
-                            &MembraneDelta::SetTimeToLive { ttl: TimeToLive::days(days) },
-                        )
-                        .unwrap();
+                    let delta = MembraneDelta::SetTimeToLive { ttl: TimeToLive::days(days) };
+                    match sharded.apply_membrane_delta(&user, id, &delta) {
+                        Ok(_) => {}
+                        Err(e) => prop_assert!(
+                            reclaimed.contains(&id),
+                            "ttl change of {} failed: {}", id, e
+                        ),
+                    }
                 }
                 ShardOp::AdvanceDays { days } => {
                     sharded.clock().advance(Duration::from_days(days));
                 }
                 ShardOp::Purge => {
-                    sharded.purge_expired(&escrow).unwrap();
+                    erased.extend(sharded.purge_expired(&escrow).unwrap());
+                }
+                ShardOp::Scrub => {
+                    let report = sharded.scrub_tombstones().unwrap();
+                    reclaimed.extend(report.reclaimed.iter().copied());
+                    sharded.verify_index_invariants().unwrap();
+                    // No erased id is ever readable as live data again,
+                    // on any shard.
+                    for &id in &erased {
+                        match sharded.get(&user, id) {
+                            Ok(record) => prop_assert!(
+                                record.membrane().is_erased(),
+                                "erased {} readable as live data after a scrub", id
+                            ),
+                            Err(_) => prop_assert!(
+                                reclaimed.contains(&id),
+                                "erased {} vanished without being reclaimed", id
+                            ),
+                        }
+                    }
                 }
                 // Pick-based operations on an empty deployment are no-ops.
                 _ => {}
@@ -586,6 +663,13 @@ proptest! {
         let remounted = ShardedDbfs::mount(devices).unwrap();
         remounted.verify_index_invariants().unwrap();
         prop_assert_eq!(remounted.count(&user).unwrap(), live);
+        // Reclaims survive the remount on every shard.
+        for &id in &reclaimed {
+            prop_assert!(
+                remounted.get(&user, id).is_err(),
+                "reclaimed {} resurrected across a remount", id
+            );
+        }
     }
 }
 
@@ -677,5 +761,106 @@ fn erasure_never_leaves_residue_for_sampled_payloads() {
                 .is_empty(),
             "residue found for {name}"
         );
+    }
+}
+
+/// After scrub + compaction, a forensic dump of **every raw device** shows
+/// neither the erased payload bytes (crypto-erasure already removed those)
+/// nor the tombstone itself (the scrubber reclaimed it: its on-disk marker
+/// `__erased_ciphertext` is the scannable trace of the escrowed ciphertext
+/// field).  Checked against both the single-device store and a sharded
+/// deployment whose erased lineage spans shards.
+#[test]
+fn scrub_leaves_no_forensic_residue_on_any_device() {
+    use rgpdos::shard::ShardedDbfs;
+    const TOMBSTONE_MARKER: &[u8] = b"__erased_ciphertext";
+    let canary = "UNIQUE-CANARY-SCRUBBED-777";
+    let keeper = "UNIQUE-KEEPER-STAYS-LIVE-1";
+    let user = rgpdos::core::DataTypeId::from("user");
+    let row = |name: &str| {
+        Row::new()
+            .with("name", name)
+            .with("pwd", "pw")
+            .with("year_of_birthdate", 1990i64)
+    };
+
+    // Single-device store.
+    {
+        let device = Arc::new(MemDevice::new(8_192, 512));
+        let dbfs = Dbfs::format(Arc::clone(&device), DbfsParams::small()).unwrap();
+        dbfs.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(41);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = dbfs
+            .collect("user", SubjectId::new(1), row(canary))
+            .unwrap();
+        dbfs.collect("user", SubjectId::new(2), row(keeper))
+            .unwrap();
+        dbfs.erase(&user, id, &escrow).unwrap();
+        // The tombstone is on disk (marker present), the payload is not.
+        assert!(!scan_for_pattern(device.as_ref(), TOMBSTONE_MARKER)
+            .unwrap()
+            .is_empty());
+        dbfs.scrub_tombstones().unwrap();
+        for pattern in [canary.as_bytes(), TOMBSTONE_MARKER] {
+            assert!(
+                scan_for_pattern(device.as_ref(), pattern)
+                    .unwrap()
+                    .is_empty(),
+                "dbfs: residue {:?} survived the scrub",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+        // The keeper is untouched by the compaction.
+        assert!(!scan_for_pattern(device.as_ref(), keeper.as_bytes())
+            .unwrap()
+            .is_empty());
+    }
+
+    // Sharded deployment: the erased record's copies land round-robin on
+    // other shards, so the subject erasure tombstones — and the scrub must
+    // clean — several devices.
+    {
+        let devices: Vec<Arc<MemDevice>> = (0..3)
+            .map(|_| Arc::new(MemDevice::new(8_192, 512)))
+            .collect();
+        let sharded = ShardedDbfs::format(devices.clone(), DbfsParams::small()).unwrap();
+        sharded.create_type(listing1_user_schema()).unwrap();
+        let authority = Authority::generate(42);
+        let escrow = OperatorEscrow::new(authority.public_key());
+        let id = sharded
+            .collect("user", SubjectId::new(1), row(canary))
+            .unwrap();
+        let copy = sharded.copy(&user, id).unwrap();
+        sharded.copy(&user, copy).unwrap();
+        sharded
+            .collect("user", SubjectId::new(2), row(keeper))
+            .unwrap();
+        sharded.erase_subject(SubjectId::new(1), &escrow).unwrap();
+        assert!(
+            devices
+                .iter()
+                .any(|d| !scan_for_pattern(d.as_ref(), TOMBSTONE_MARKER)
+                    .unwrap()
+                    .is_empty()),
+            "the erasure left no tombstone to scrub"
+        );
+        sharded.scrub_tombstones().unwrap();
+        for (shard, device) in devices.iter().enumerate() {
+            for pattern in [canary.as_bytes(), TOMBSTONE_MARKER] {
+                assert!(
+                    scan_for_pattern(device.as_ref(), pattern)
+                        .unwrap()
+                        .is_empty(),
+                    "shard {shard}: residue {:?} survived the scrub",
+                    String::from_utf8_lossy(pattern)
+                );
+            }
+        }
+        assert!(devices
+            .iter()
+            .any(|d| !scan_for_pattern(d.as_ref(), keeper.as_bytes())
+                .unwrap()
+                .is_empty()));
     }
 }
